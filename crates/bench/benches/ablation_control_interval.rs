@@ -1,0 +1,38 @@
+//! Ablation: decision cadence — how often the decision function `D`
+//! sees a fresh snapshot (Algorithm 1 evaluates it per iteration; the
+//! interval models the snapshot cadence).
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::{run_one, HarnessConfig};
+use acep_core::PolicyKind;
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (scenario, events) = common::inputs(DatasetKind::Traffic);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+    for interval in [16u64, 64, 256] {
+        let harness = HarnessConfig {
+            control_interval: interval,
+            ..HarnessConfig::default()
+        };
+        c.bench_function(&format!("ablation/control_interval/{interval}"), |b| {
+            b.iter(|| {
+                run_one(
+                    &scenario,
+                    &pattern,
+                    PlannerKind::Greedy,
+                    PolicyKind::invariant_with_distance(0.2),
+                    &events,
+                    &harness,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: deployment hysteresis (`min_improvement`) — an engineering
+//! alternative to the paper's distance-based damping of near-tie plan
+//! thrash (§3.4). 0.0 is the paper-faithful Algorithm 1.
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::{run_one, HarnessConfig};
+use acep_core::PolicyKind;
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (scenario, events) = common::inputs(DatasetKind::Stocks);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+    for (label, h) in [("h0", 0.0), ("h2pct", 0.02), ("h10pct", 0.10)] {
+        let harness = HarnessConfig {
+            min_improvement: h,
+            ..HarnessConfig::default()
+        };
+        c.bench_function(&format!("ablation/hysteresis/{label}"), |b| {
+            b.iter(|| {
+                run_one(
+                    &scenario,
+                    &pattern,
+                    PlannerKind::Greedy,
+                    PolicyKind::invariant_with_distance(0.0),
+                    &events,
+                    &harness,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation: the K-invariant method (§3.3) — precision/overhead
+//! trade-off from K = 1 (basic) to K = all (Theorem 2 mode), on the
+//! tree planner where the paper recommends K > 1.
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::run_one;
+use acep_core::{InvariantPolicyConfig, PolicyKind, SelectionStrategy};
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    let (scenario, events) = common::inputs(DatasetKind::Traffic);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+    for (label, k) in [("k1", 1), ("k2", 2), ("k4", 4), ("kall", usize::MAX)] {
+        let policy = PolicyKind::Invariant(InvariantPolicyConfig {
+            k,
+            distance: 0.2,
+            strategy: SelectionStrategy::Tightest,
+        });
+        c.bench_function(&format!("ablation/k_invariant/{label}"), |b| {
+            b.iter(|| {
+                run_one(&scenario, &pattern, PlannerKind::ZStream, policy, &events, &harness)
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: invariant selection strategies (§3.1 tightest vs the §3.5
+//! alternatives).
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::run_one;
+use acep_core::{InvariantPolicyConfig, PolicyKind, SelectionStrategy};
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    let (scenario, events) = common::inputs(DatasetKind::Stocks);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+    for (label, strategy) in [
+        ("tightest", SelectionStrategy::Tightest),
+        ("relative", SelectionStrategy::RelativeMargin),
+        ("violation_prob", SelectionStrategy::ViolationProbability),
+    ] {
+        let policy = PolicyKind::Invariant(InvariantPolicyConfig {
+            k: 1,
+            distance: 0.2,
+            strategy,
+        });
+        c.bench_function(&format!("ablation/selection/{label}"), |b| {
+            b.iter(|| {
+                run_one(&scenario, &pattern, PlannerKind::Greedy, policy, &events, &harness)
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Appendix figures 10–29: per-pattern-set behaviour — reduced-scale
+//! version of `experiments appendix <set>` (invariant method on
+//! traffic/greedy for each of the five sets).
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::run_one;
+use acep_core::PolicyKind;
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    let (scenario, events) = common::inputs(DatasetKind::Traffic);
+    for set in PatternSetKind::ALL {
+        let pattern = scenario.pattern(set, 5);
+        c.bench_function(&format!("appendix/traffic/greedy/{}/n5", set.label()), |b| {
+            b.iter(|| {
+                run_one(
+                    &scenario,
+                    &pattern,
+                    PlannerKind::Greedy,
+                    PolicyKind::invariant_with_distance(0.3),
+                    &events,
+                    &harness,
+                )
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 5: invariant-method throughput across the distance-d grid —
+//! reduced-scale version of `experiments fig5` (one size, two distances
+//! per combo; the binary runs the full grid).
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::{run_one, COMBOS};
+use acep_core::PolicyKind;
+use acep_workloads::PatternSetKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    for combo in COMBOS {
+        let (scenario, events) = common::inputs(combo.dataset);
+        let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+        for d in [0.0, 0.3] {
+            c.bench_function(&format!("fig5/{}/n6/d{}", combo.label(), d), |b| {
+                b.iter(|| {
+                    run_one(
+                        &scenario,
+                        &pattern,
+                        combo.planner,
+                        PolicyKind::invariant_with_distance(d),
+                        &events,
+                        &harness,
+                    )
+                })
+            });
+        }
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 6: adaptation-method comparison — reduced-scale version
+//! of `experiments fig6` (sequence set only; the binary averages all
+//! five pattern sets over long streams).
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::{methods, run_one, COMBOS};
+use acep_workloads::PatternSetKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    let combo = COMBOS[0];
+    let (scenario, events) = common::inputs(combo.dataset);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+    for (name, policy) in methods(0.75, 0.3) {
+        c.bench_function(&format!("fig6/{}/n6/{}", combo.label(), name), |b| {
+            b.iter(|| run_one(&scenario, &pattern, combo.planner, policy, &events, &harness))
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of the evaluation engines: good vs bad plans on a
+//! skewed stream (the work gap adaptation is supposed to close), and
+//! the steady-state cost of a migrating executor.
+
+#[path = "common.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use acep_engine::{build_executor, ExecContext, MigratingExecutor};
+use acep_plan::{EvalPlan, OrderPlan, TreePlan};
+use acep_workloads::{DatasetKind, PatternSetKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (scenario, events) = common::inputs(DatasetKind::Traffic);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 5);
+    let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+
+    // Traffic rates descend with the type index, so the identity order
+    // is the *eager* (bad) plan and the reverse is the lazy (good) one.
+    let plans = [
+        ("order_eager", EvalPlan::Order(OrderPlan::identity(5))),
+        ("order_lazy", EvalPlan::Order(OrderPlan::new(vec![4, 3, 2, 1, 0]))),
+        ("tree_left_deep", EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2, 3, 4]))),
+        ("tree_rare_first", EvalPlan::Tree(TreePlan::left_deep(&[4, 3, 2, 1, 0]))),
+    ];
+    for (name, plan) in &plans {
+        c.bench_function(&format!("micro/engine/{name}/n5"), |b| {
+            b.iter(|| {
+                let mut exec = build_executor(Arc::clone(&ctx), plan);
+                let mut out = Vec::new();
+                for ev in &events {
+                    exec.on_event(ev, &mut out);
+                    out.clear();
+                }
+                black_box(exec.comparisons())
+            })
+        });
+    }
+
+    c.bench_function("micro/engine/migrating_with_replacement/n5", |b| {
+        b.iter(|| {
+            let mut mig = MigratingExecutor::new(
+                ctx.window,
+                build_executor(Arc::clone(&ctx), &plans[0].1),
+            );
+            let mut out = Vec::new();
+            let mid = events.len() / 2;
+            for ev in &events[..mid] {
+                mig.on_event(ev, &mut out);
+                out.clear();
+            }
+            mig.replace(
+                build_executor(Arc::clone(&ctx), &plans[1].1),
+                events[mid].timestamp,
+            );
+            for ev in &events[mid..] {
+                mig.on_event(ev, &mut out);
+                out.clear();
+            }
+            black_box(mig.comparisons())
+        })
+    });
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks of the decision function `D`: invariant verification
+//! must be O(B) with constant-time conditions (§3.2) and dramatically
+//! cheaper than re-planning.
+
+#[path = "common.rs"]
+mod common;
+
+use acep_core::{InvariantSet, SelectionStrategy};
+use acep_plan::{CollectingRecorder, GreedyOrderPlanner, ZStreamTreePlanner};
+use acep_stats::StatSnapshot;
+use acep_types::{EventTypeId, Pattern};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let p = Pattern::sequence(
+        "p",
+        &(0..8u32).map(EventTypeId).collect::<Vec<_>>(),
+        1_000,
+    );
+    let sub = &p.canonical().branches[0];
+    let s = StatSnapshot::from_rates((1..=8).map(|i| i as f64 * 3.0).collect());
+
+    let mut rec = CollectingRecorder::new();
+    GreedyOrderPlanner.plan(sub, &s, &mut rec);
+    let greedy_sets = rec.into_condition_sets();
+    let k1 = InvariantSet::build(&greedy_sets, &s, SelectionStrategy::Tightest, 1, 0.1);
+    let kall = InvariantSet::build(
+        &greedy_sets,
+        &s,
+        SelectionStrategy::Tightest,
+        usize::MAX,
+        0.1,
+    );
+    c.bench_function("micro/D/invariant_verify_k1_n8", |b| {
+        b.iter(|| black_box(k1.first_violated(&s)))
+    });
+    c.bench_function("micro/D/invariant_verify_kall_n8", |b| {
+        b.iter(|| black_box(kall.first_violated(&s)))
+    });
+    c.bench_function("micro/D/invariant_build_k1_n8", |b| {
+        b.iter(|| {
+            black_box(InvariantSet::build(
+                &greedy_sets,
+                &s,
+                SelectionStrategy::Tightest,
+                1,
+                0.1,
+            ))
+        })
+    });
+
+    let mut rec = CollectingRecorder::new();
+    ZStreamTreePlanner.plan(sub, &s, &mut rec);
+    let tree_sets = rec.into_condition_sets();
+    let tree_inv = InvariantSet::build(&tree_sets, &s, SelectionStrategy::Tightest, 2, 0.1);
+    c.bench_function("micro/D/invariant_verify_tree_k2_n8", |b| {
+        b.iter(|| black_box(tree_inv.first_violated(&s)))
+    });
+
+    let baseline = s.clone();
+    c.bench_function("micro/D/threshold_deviation_n8", |b| {
+        b.iter(|| black_box(s.max_relative_deviation(&baseline)))
+    });
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Microbenchmarks of plan generation `A` — the paper treats `A` as "a
+//! computationally expensive operation"; these benches quantify it and
+//! the cost of BBC instrumentation.
+
+#[path = "common.rs"]
+mod common;
+
+use acep_plan::{
+    exhaustive, CollectingRecorder, GreedyOrderPlanner, NoopRecorder, ZStreamTreePlanner,
+};
+use acep_stats::StatSnapshot;
+use acep_types::{EventTypeId, Pattern};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn snapshot(n: usize) -> StatSnapshot {
+    let mut s = StatSnapshot::from_rates((1..=n).map(|i| (i * 13 % 17 + 1) as f64).collect());
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s.set_sel(i, j, 0.2 + 0.6 * ((i * j) % 7) as f64 / 7.0);
+        }
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let p = Pattern::sequence(
+        "p",
+        &(0..8u32).map(EventTypeId).collect::<Vec<_>>(),
+        1_000,
+    );
+    let sub = &p.canonical().branches[0];
+    let s = snapshot(8);
+    c.bench_function("micro/planner/greedy_n8", |b| {
+        b.iter(|| black_box(GreedyOrderPlanner.plan(sub, &s, &mut NoopRecorder)))
+    });
+    c.bench_function("micro/planner/greedy_n8_instrumented", |b| {
+        b.iter(|| {
+            let mut rec = CollectingRecorder::new();
+            let plan = GreedyOrderPlanner.plan(sub, &s, &mut rec);
+            black_box((plan, rec.into_condition_sets()))
+        })
+    });
+    c.bench_function("micro/planner/zstream_n8", |b| {
+        b.iter(|| black_box(ZStreamTreePlanner.plan(sub, &s, &mut NoopRecorder)))
+    });
+    c.bench_function("micro/planner/zstream_n8_instrumented", |b| {
+        b.iter(|| {
+            let mut rec = CollectingRecorder::new();
+            let plan = ZStreamTreePlanner.plan(sub, &s, &mut rec);
+            black_box((plan, rec.into_condition_sets()))
+        })
+    });
+    let s7 = snapshot(7);
+    c.bench_function("micro/planner/exhaustive_order_n7", |b| {
+        b.iter(|| black_box(exhaustive::optimal_order(7, &s7)))
+    });
+    c.bench_function("micro/planner/exhaustive_tree_n7", |b| {
+        b.iter(|| {
+            black_box(exhaustive::optimal_contiguous_tree(
+                &[0, 1, 2, 3, 4, 5, 6],
+                &s7,
+            ))
+        })
+    });
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

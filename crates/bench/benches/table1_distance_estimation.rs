@@ -1,0 +1,23 @@
+//! Table 1: cost of the d_avg average-relative-difference estimator —
+//! reduced-scale version of `experiments table1`.
+
+#[path = "common.rs"]
+mod common;
+
+use acep_bench::{estimate_d_avg, COMBOS};
+use acep_workloads::PatternSetKind;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let harness = common::harness();
+    for combo in COMBOS {
+        let (scenario, events) = common::inputs(combo.dataset);
+        let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
+        c.bench_function(&format!("table1/d_avg/{}", combo.label()), |b| {
+            b.iter(|| estimate_d_avg(&scenario, &pattern, combo.planner, &events, &harness))
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <command> [--quick] [--events N]
+//!
+//! commands:
+//!   fig5       throughput vs pattern size × invariant distance d
+//!   table1     d_avg estimator quality vs scanned d_opt
+//!   fig6       methods on traffic/greedy   (all pattern sets)
+//!   fig7       methods on traffic/zstream  (all pattern sets)
+//!   fig8       methods on stocks/greedy    (all pattern sets)
+//!   fig9       methods on stocks/zstream   (all pattern sets)
+//!   appendix <seq|and|neg|kleene|or>   figures 10–29 for one set
+//!   all        everything above
+//! ```
+
+use acep_bench::{appendix, fig5, fig6to9, table1, HarnessConfig, Scale, COMBOS};
+use acep_workloads::PatternSetKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|all> [--quick] [--events N]");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut scale = if quick { Scale::quick() } else { Scale::full() };
+    if let Some(pos) = args.iter().position(|a| a == "--events") {
+        let n: usize = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--events takes a number");
+        scale = scale.with_events(n);
+    }
+    let harness = HarnessConfig::default();
+
+    let set_from = |name: &str| match name {
+        "seq" => PatternSetKind::Sequence,
+        "and" => PatternSetKind::Conjunction,
+        "neg" => PatternSetKind::Negation,
+        "kleene" => PatternSetKind::Kleene,
+        "or" => PatternSetKind::Composite,
+        other => {
+            eprintln!("unknown pattern set: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    match args[0].as_str() {
+        "fig5" => {
+            fig5(&scale, &harness);
+        }
+        "table1" => {
+            table1(&scale, &harness);
+        }
+        "fig6" => {
+            fig6to9(COMBOS[0], &scale, &harness);
+        }
+        "fig7" => {
+            fig6to9(COMBOS[1], &scale, &harness);
+        }
+        "fig8" => {
+            fig6to9(COMBOS[2], &scale, &harness);
+        }
+        "fig9" => {
+            fig6to9(COMBOS[3], &scale, &harness);
+        }
+        "appendix" => {
+            let set = set_from(args.get(1).map(String::as_str).unwrap_or("seq"));
+            appendix(set, &scale, &harness);
+        }
+        "all" => {
+            fig5(&scale, &harness);
+            table1(&scale, &harness);
+            for combo in COMBOS {
+                fig6to9(combo, &scale, &harness);
+            }
+            for set in PatternSetKind::ALL {
+                appendix(set, &scale, &harness);
+            }
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Diagnostic probe: plan/partial-count trajectory of one run.
+use acep_bench::HarnessConfig;
+use acep_core::{AdaptiveCep, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
+
+fn main() {
+    let policy_arg = std::env::args().nth(1).unwrap_or_else(|| "invariant".into());
+    let policy = match policy_arg.as_str() {
+        "static" => PolicyKind::Static,
+        "unconditional" => PolicyKind::Unconditional,
+        "threshold" => PolicyKind::ConstantThreshold { t: 1.0, mode: acep_core::DeviationMode::Relative },
+        _ => PolicyKind::invariant_with_distance(0.3),
+    };
+    let scenario = Scenario::new(DatasetKind::Traffic);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 8);
+    let harness = HarnessConfig::default();
+    let mut engine = AdaptiveCep::new(
+        &pattern,
+        scenario.num_types(),
+        harness.runtime_config(PlannerKind::Greedy, policy),
+    )
+    .unwrap();
+    let events = scenario.events(50_000);
+    let mut out = Vec::new();
+    let mut last_cmp = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        engine.on_event(ev, &mut out);
+        out.clear();
+        if i % 5000 == 4999 {
+            let cmp = engine.comparisons();
+            println!(
+                "ev={:>6} ts={:>7} partials={:>8} d_cmp={:>10} repl={:>3} plan={}",
+                i + 1,
+                ev.timestamp,
+                engine.partial_count(),
+                cmp - last_cmp,
+                engine.metrics().plan_replacements,
+                engine.plan(0).describe()
+            );
+            last_cmp = cmp;
+        }
+    }
+}

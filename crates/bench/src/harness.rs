@@ -1,0 +1,229 @@
+//! The experiment harness: runs one (stream, pattern, planner, policy)
+//! configuration and reports the paper's metrics.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acep_core::{AdaptiveCep, AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stats::StatsConfig;
+use acep_types::{Event, Pattern};
+use acep_workloads::Scenario;
+
+/// Harness-level knobs shared by every run of an experiment (identical
+/// across compared methods, so comparisons are apples-to-apples).
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Events between decision points.
+    pub control_interval: u64,
+    /// Events before the one-off initial optimization.
+    pub warmup_events: u64,
+    /// Statistics estimation window (ms).
+    pub stats_window_ms: u64,
+    /// Deployment hysteresis (0.0 = paper-faithful Algorithm 1).
+    pub min_improvement: f64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            control_interval: 64,
+            warmup_events: 2_048,
+            stats_window_ms: 8_000,
+            min_improvement: 0.0,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// Builds the runtime configuration for a given planner and policy.
+    pub fn runtime_config(&self, planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
+        AdaptiveConfig {
+            planner,
+            policy,
+            control_interval: self.control_interval,
+            warmup_events: self.warmup_events,
+            min_improvement: self.min_improvement,
+            stats: self.stats_config(),
+        }
+    }
+
+    /// The statistics configuration shared by every method (estimate
+    /// stability matters: jittery estimates make every policy
+    /// flip-flop, which is what the paper's distance `d` damps).
+    pub fn stats_config(&self) -> StatsConfig {
+        StatsConfig {
+            window_ms: self.stats_window_ms,
+            sample_capacity: 48,
+            max_pairs: 300,
+            dgim_max_per_size: 16,
+            ..StatsConfig::default()
+        }
+    }
+}
+
+/// Metrics of one run — the quantities plotted in the paper's figures.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Events processed per wall-clock second.
+    pub throughput: f64,
+    /// Matches detected.
+    pub matches: u64,
+    /// Actual plan replacements ("total number of plan
+    /// reoptimizations", figures (c)).
+    pub reoptimizations: u64,
+    /// Plan-generation invocations.
+    pub planner_invocations: u64,
+    /// Percentage of wall time spent in `D` and `A` ("computational
+    /// overhead", figures (d)).
+    pub overhead_pct: f64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// Runs one configuration over a pre-generated stream.
+pub fn run_one(
+    scenario: &Scenario,
+    pattern: &Pattern,
+    planner: PlannerKind,
+    policy: PolicyKind,
+    events: &[Arc<Event>],
+    harness: &HarnessConfig,
+) -> RunResult {
+    let cfg = harness.runtime_config(planner, policy);
+    let mut engine = AdaptiveCep::new(pattern, scenario.num_types(), cfg)
+        .expect("scenario patterns are valid");
+    let mut out = Vec::new();
+    let start = Instant::now();
+    for ev in events {
+        engine.on_event(ev, &mut out);
+        // Matches are drained so the output buffer does not grow without
+        // bound (emission cost is still paid).
+        if out.len() > 4_096 {
+            out.clear();
+        }
+    }
+    engine.finish(&mut out);
+    let wall = start.elapsed();
+    let m = engine.metrics();
+    RunResult {
+        throughput: m.events as f64 / wall.as_secs_f64().max(1e-9),
+        matches: m.matches,
+        reoptimizations: m.plan_replacements,
+        planner_invocations: m.planner_invocations,
+        overhead_pct: 100.0 * m.overhead_fraction(wall),
+        events: m.events,
+    }
+}
+
+/// Scans the invariant distance `d` over a grid, returning per-`d`
+/// results (the paper's Fig. 5 series and the `d_opt` parameter scan of
+/// §3.4).
+pub fn scan_distance(
+    scenario: &Scenario,
+    pattern: &Pattern,
+    planner: PlannerKind,
+    events: &[Arc<Event>],
+    harness: &HarnessConfig,
+    grid: &[f64],
+) -> Vec<(f64, RunResult)> {
+    grid.iter()
+        .map(|&d| {
+            let r = run_one(
+                scenario,
+                pattern,
+                planner,
+                PolicyKind::invariant_with_distance(d),
+                events,
+                harness,
+            );
+            (d, r)
+        })
+        .collect()
+}
+
+/// Returns the grid point with the best throughput.
+pub fn best_of(results: &[(f64, RunResult)]) -> (f64, f64) {
+    let mut best = (0.0, 0.0);
+    for (d, r) in results {
+        if r.throughput > best.1 {
+            best = (*d, r.throughput);
+        }
+    }
+    best
+}
+
+/// Scans the constant threshold `t` over a grid, returning `t_opt`.
+pub fn scan_threshold(
+    scenario: &Scenario,
+    pattern: &Pattern,
+    planner: PlannerKind,
+    events: &[Arc<Event>],
+    harness: &HarnessConfig,
+    grid: &[f64],
+) -> (f64, Vec<(f64, RunResult)>) {
+    let mut results = Vec::with_capacity(grid.len());
+    let mut best = (grid[0], 0.0f64);
+    for &t in grid {
+        let r = run_one(
+            scenario,
+            pattern,
+            planner,
+            PolicyKind::ConstantThreshold {
+                t,
+                mode: acep_core::DeviationMode::Relative,
+            },
+            events,
+            harness,
+        );
+        if r.throughput > best.1 {
+            best = (t, r.throughput);
+        }
+        results.push((t, r));
+    }
+    (best.0, results)
+}
+
+/// Computes the `d_avg` estimate of §3.4 for a pattern: warm the
+/// statistics collector on a stream prefix, run the planner once, and
+/// average the relative margins of the tightest (i.e. monitored)
+/// condition of each building block, across branches.
+pub fn estimate_d_avg(
+    scenario: &Scenario,
+    pattern: &Pattern,
+    planner: PlannerKind,
+    events: &[Arc<Event>],
+    harness: &HarnessConfig,
+) -> f64 {
+    let stats_cfg = harness.stats_config();
+    let mut collector =
+        acep_stats::StatisticsCollector::new(scenario.num_types(), pattern.canonical(), &stats_cfg);
+    for ev in events {
+        collector.observe(ev);
+    }
+    let now = events.last().map(|e| e.timestamp).unwrap_or(0);
+    let p = acep_plan::Planner::new(planner);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (bi, sub) in pattern.canonical().branches.iter().enumerate() {
+        let snapshot = collector.snapshot_branch(bi, now);
+        let mut rec = acep_plan::CollectingRecorder::new();
+        p.generate(sub, &snapshot, &mut rec);
+        let sets = rec.into_condition_sets();
+        let d = acep_core::average_invariant_relative_difference(&sets, &snapshot);
+        if !sets.is_empty() {
+            sum += d;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Formats a markdown table row.
+pub fn md_row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}

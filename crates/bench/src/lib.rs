@@ -1,0 +1,21 @@
+//! # acep-bench
+//!
+//! Experiment harness and benchmark support regenerating every table and
+//! figure of the paper's evaluation (see DESIGN.md, per-experiment
+//! index).
+//!
+//! * [`harness`] — run one configuration, scan `d`/`t` parameters,
+//!   estimate `d_avg`;
+//! * [`experiments`] — the figure/table drivers shared by the
+//!   `experiments` binary and the criterion benches.
+
+pub mod experiments;
+pub mod harness;
+
+pub use experiments::{
+    appendix, fig5, fig6to9, method_comparison, methods, table1, Combo, ComboInputs, MethodRow,
+    Scale, COMBOS,
+};
+pub use harness::{
+    best_of, estimate_d_avg, run_one, scan_distance, scan_threshold, HarnessConfig, RunResult,
+};

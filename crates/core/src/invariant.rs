@@ -1,0 +1,237 @@
+//! Invariants and invariant-set construction (paper §3.1–§3.5).
+//!
+//! An *invariant* is a deciding condition selected for runtime
+//! verification, optionally tightened by a minimal distance `d`
+//! (§3.4): the condition counts as violated once `(1 + d)·lhs ≥ rhs`.
+//! From each building block's deciding-condition set (DCS), the
+//! [`SelectionStrategy`] picks up to `K` conditions (§3.3: the
+//! K-invariant method; `K = 1` is the basic method, `K = ∞` gives the
+//! paper's Theorem 2 guarantees).
+
+use acep_plan::{DecidingCondition, DecidingConditionSet};
+use acep_stats::StatSnapshot;
+
+/// How to pick invariants out of a deciding-condition set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionStrategy {
+    /// The condition with the smallest absolute slack `rhs − lhs` — the
+    /// paper's default ("the one that was closest to being violated",
+    /// §3.1).
+    Tightest,
+    /// Smallest *relative* slack `(rhs − lhs) / min(lhs, rhs)` — a §3.5
+    /// alternative that is scale-free across heterogeneous statistics.
+    RelativeMargin,
+    /// Highest violation probability under a proportional-noise model
+    /// (§3.5): each side is treated as normally distributed with a
+    /// standard deviation proportional to its value, so the score is
+    /// `(rhs − lhs) / sqrt(lhs² + rhs²)` (lower = more likely to flip).
+    ViolationProbability,
+}
+
+impl SelectionStrategy {
+    /// Selection score of a condition (lower = more likely to be picked).
+    fn score(&self, c: &DecidingCondition, s: &StatSnapshot) -> f64 {
+        let (l, r) = (c.lhs.eval(s), c.rhs.eval(s));
+        match self {
+            SelectionStrategy::Tightest => r - l,
+            SelectionStrategy::RelativeMargin => (r - l) / l.min(r).max(1e-12),
+            SelectionStrategy::ViolationProbability => {
+                (r - l) / (l * l + r * r).sqrt().max(1e-12)
+            }
+        }
+    }
+}
+
+/// One invariant: a deciding condition plus its violation distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invariant {
+    /// The monitored condition (`lhs < rhs`).
+    pub condition: DecidingCondition,
+    /// Minimal distance `d` (§3.4); `0.0` reproduces the basic method.
+    pub distance: f64,
+}
+
+impl Invariant {
+    /// True while the invariant holds: `(1 + d)·lhs < rhs`.
+    #[inline]
+    pub fn holds(&self, s: &StatSnapshot) -> bool {
+        self.condition.holds_with_distance(s, self.distance)
+    }
+}
+
+/// The ordered invariant list verified by the decision function `D`.
+///
+/// Invariants are ordered by building block — the plan's verification
+/// order (§3.2): each invariant implicitly assumes the preceding ones
+/// hold.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantSet {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantSet {
+    /// Builds the invariant list from per-block deciding-condition sets.
+    ///
+    /// * `k` — maximum conditions selected per block (§3.3); use
+    ///   `usize::MAX` to monitor every condition (Theorem 2 mode).
+    /// * `distance` — the minimal distance `d` applied to every selected
+    ///   invariant (§3.4).
+    /// * `snapshot` — the statistics the plan was generated from (used
+    ///   to rank conditions by slack).
+    pub fn build(
+        sets: &[DecidingConditionSet],
+        snapshot: &StatSnapshot,
+        strategy: SelectionStrategy,
+        k: usize,
+        distance: f64,
+    ) -> Self {
+        assert!(k >= 1, "K-invariant method needs k >= 1");
+        let mut invariants = Vec::new();
+        for set in sets {
+            let mut ranked: Vec<&DecidingCondition> = set.conditions.iter().collect();
+            ranked.sort_by(|a, b| {
+                strategy
+                    .score(a, snapshot)
+                    .total_cmp(&strategy.score(b, snapshot))
+            });
+            for c in ranked.into_iter().take(k) {
+                invariants.push(Invariant {
+                    condition: c.clone(),
+                    distance,
+                });
+            }
+        }
+        Self { invariants }
+    }
+
+    /// Verifies the list in order; returns the index of the first
+    /// violated invariant, or `None` if all hold.
+    pub fn first_violated(&self, s: &StatSnapshot) -> Option<usize> {
+        self.invariants.iter().position(|inv| !inv.holds(s))
+    }
+
+    /// Number of invariants monitored.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// True if no invariants are monitored (single-block plans).
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Iterates over the invariants in verification order.
+    pub fn iter(&self) -> impl Iterator<Item = &Invariant> {
+        self.invariants.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_plan::{BlockId, CostExpr, Monomial};
+
+    fn cond(block: usize, lhs_rate: usize, rhs_rate: usize) -> DecidingCondition {
+        DecidingCondition {
+            block: BlockId(block),
+            lhs: CostExpr::monomial(Monomial::rate(lhs_rate)),
+            rhs: CostExpr::monomial(Monomial::rate(rhs_rate)),
+        }
+    }
+
+    fn dcs(block: usize, conds: Vec<DecidingCondition>) -> DecidingConditionSet {
+        DecidingConditionSet {
+            block: BlockId(block),
+            conditions: conds,
+        }
+    }
+
+    #[test]
+    fn tightest_picks_smallest_margin() {
+        // Paper §3.1 example: rates C=10, B=15, A=100; DCS of block 0 is
+        // {r_C < r_B, r_C < r_A}; the invariant must be r_C < r_B.
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let sets = vec![dcs(0, vec![cond(0, 2, 0), cond(0, 2, 1)])];
+        let inv = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 1, 0.0);
+        assert_eq!(inv.len(), 1);
+        let picked = &inv.iter().next().unwrap().condition;
+        assert_eq!(picked.rhs.eval(&s), 15.0, "tighter bound is r_B");
+    }
+
+    #[test]
+    fn k_selects_up_to_k_per_block() {
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let sets = vec![
+            dcs(0, vec![cond(0, 2, 0), cond(0, 2, 1)]),
+            dcs(1, vec![cond(1, 1, 0)]),
+        ];
+        let k1 = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 1, 0.0);
+        assert_eq!(k1.len(), 2);
+        let k2 = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 2, 0.0);
+        assert_eq!(k2.len(), 3);
+        let all = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, usize::MAX, 0.0);
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn violation_detection_in_block_order() {
+        let s0 = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let sets = vec![
+            dcs(0, vec![cond(0, 2, 1)]), // r_C < r_B
+            dcs(1, vec![cond(1, 1, 0)]), // r_B < r_A
+        ];
+        let inv = InvariantSet::build(&sets, &s0, SelectionStrategy::Tightest, 1, 0.0);
+        assert_eq!(inv.first_violated(&s0), None);
+        // C's rate grows past B (the paper's motivating change).
+        let s1 = StatSnapshot::from_rates(vec![100.0, 15.0, 16.0]);
+        assert_eq!(inv.first_violated(&s1), Some(0));
+        // B's rate grows past A → second invariant fires.
+        let s2 = StatSnapshot::from_rates(vec![100.0, 120.0, 10.0]);
+        assert_eq!(inv.first_violated(&s2), Some(1));
+    }
+
+    #[test]
+    fn distance_suppresses_small_oscillations() {
+        // r0 = 10, r1 = 11: holds. With d = 0.2 the invariant demands
+        // 12 < 11 → treated as violated only under the tightened test.
+        let s = StatSnapshot::from_rates(vec![10.0, 11.0]);
+        let sets = vec![dcs(0, vec![cond(0, 0, 1)])];
+        let plain = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 1, 0.0);
+        assert_eq!(plain.first_violated(&s), None);
+        let tight = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 1, 0.2);
+        assert_eq!(tight.first_violated(&s), Some(0));
+        // A comfortable gap passes even with the distance.
+        let wide = StatSnapshot::from_rates(vec![10.0, 20.0]);
+        assert_eq!(tight.first_violated(&wide), None);
+    }
+
+    #[test]
+    fn relative_margin_prefers_scale_free_tightness() {
+        // Condition A: 1 < 2 (margin 1, relative 1.0);
+        // Condition B: 100 < 110 (margin 10, relative 0.1).
+        // Absolute tightest picks A; relative picks B.
+        let s = StatSnapshot::from_rates(vec![1.0, 2.0, 100.0, 110.0]);
+        let sets = vec![dcs(0, vec![cond(0, 0, 1), cond(0, 2, 3)])];
+        let abs = InvariantSet::build(&sets, &s, SelectionStrategy::Tightest, 1, 0.0);
+        assert_eq!(abs.iter().next().unwrap().condition.rhs.eval(&s), 2.0);
+        let rel = InvariantSet::build(&sets, &s, SelectionStrategy::RelativeMargin, 1, 0.0);
+        assert_eq!(rel.iter().next().unwrap().condition.rhs.eval(&s), 110.0);
+    }
+
+    #[test]
+    fn violation_probability_orders_by_normalized_margin() {
+        // margin/√(l²+r²): A: 1/√5 ≈ 0.447; B: 10/√(100²+110²) ≈ 0.067.
+        let s = StatSnapshot::from_rates(vec![1.0, 2.0, 100.0, 110.0]);
+        let sets = vec![dcs(0, vec![cond(0, 0, 1), cond(0, 2, 3)])];
+        let vp = InvariantSet::build(&sets, &s, SelectionStrategy::ViolationProbability, 1, 0.0);
+        assert_eq!(vp.iter().next().unwrap().condition.rhs.eval(&s), 110.0);
+    }
+
+    #[test]
+    fn empty_sets_yield_empty_invariants() {
+        let s = StatSnapshot::uniform(1);
+        let inv = InvariantSet::build(&[], &s, SelectionStrategy::Tightest, 1, 0.0);
+        assert!(inv.is_empty());
+        assert_eq!(inv.first_violated(&s), None);
+    }
+}

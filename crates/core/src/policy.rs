@@ -1,0 +1,427 @@
+//! Reoptimizing decision functions (the paper's `D`).
+//!
+//! Four implementations are provided, matching the paper's experimental
+//! lineup (§5.1):
+//!
+//! * [`StaticPolicy`] — never adapts (the "static plan" baseline);
+//! * [`UnconditionalPolicy`] — always returns `true`, re-planning at
+//!   every opportunity (the tree-NFA strategy of \[36\]);
+//! * [`ConstantThresholdPolicy`] — fires once any monitored value
+//!   deviates from its value at the last reoptimization by more than a
+//!   constant `t` (ZStream's strategy \[42\]);
+//! * [`InvariantPolicy`] — the paper's contribution: verifies the
+//!   invariant list built from the planner's deciding conditions and
+//!   fires exactly when one is violated.
+
+use acep_plan::DecidingConditionSet;
+use acep_stats::StatSnapshot;
+
+use crate::invariant::{InvariantSet, SelectionStrategy};
+
+/// What the detection-adaptation loop did with the planner's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptOutcome {
+    /// The new plan was deployed (or is the initial plan).
+    Deployed,
+    /// The planner reproduced the currently deployed plan.
+    Unchanged,
+    /// The planner proposed a different plan but it was not deployed
+    /// (not better under the current statistics — possible only through
+    /// estimation noise or cost ties). The deployed plan is *not* the
+    /// plan the fresh conditions describe.
+    RejectedCandidate,
+}
+
+/// A reoptimizing decision function `D : STAT → {true, false}`.
+pub trait ReoptPolicy: Send {
+    /// Called whenever the planner has produced a plan (initially and
+    /// after every reoptimization) with the deciding conditions recorded
+    /// during that run, the snapshot it planned against, and what the
+    /// loop did with the output.
+    fn on_plan_installed(
+        &mut self,
+        sets: &[DecidingConditionSet],
+        snapshot: &StatSnapshot,
+        outcome: ReoptOutcome,
+    );
+
+    /// The decision: should the plan generation algorithm be re-invoked?
+    fn should_reoptimize(&mut self, snapshot: &StatSnapshot) -> bool;
+
+    /// Stable name for reporting.
+    fn name(&self) -> &'static str;
+}
+
+/// Never adapts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StaticPolicy;
+
+impl ReoptPolicy for StaticPolicy {
+    fn on_plan_installed(
+        &mut self,
+        _sets: &[DecidingConditionSet],
+        _snapshot: &StatSnapshot,
+        _outcome: ReoptOutcome,
+    ) {
+    }
+
+    fn should_reoptimize(&mut self, _snapshot: &StatSnapshot) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Re-plans at every decision point (paper §2.3: "a trivial decision
+/// function, unconditionally returning true").
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UnconditionalPolicy;
+
+impl ReoptPolicy for UnconditionalPolicy {
+    fn on_plan_installed(
+        &mut self,
+        _sets: &[DecidingConditionSet],
+        _snapshot: &StatSnapshot,
+        _outcome: ReoptOutcome,
+    ) {
+    }
+
+    fn should_reoptimize(&mut self, _snapshot: &StatSnapshot) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "unconditional"
+    }
+}
+
+/// How the constant-threshold baseline measures deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviationMode {
+    /// `|x − x₀| > t` — the paper's §1 example (rates 100/15/10 with
+    /// `t = 6`).
+    Absolute,
+    /// `|x − x₀| / |x₀| > t` — scale-free variant, appropriate when
+    /// rates and selectivities are monitored together.
+    Relative,
+}
+
+/// ZStream's constant-threshold decision function \[42\]: fires when any
+/// monitored statistic drifted more than `t` from its baseline (the
+/// values observed at the last reoptimization).
+#[derive(Debug, Clone)]
+pub struct ConstantThresholdPolicy {
+    t: f64,
+    mode: DeviationMode,
+    baseline: Option<StatSnapshot>,
+}
+
+impl ConstantThresholdPolicy {
+    /// Creates the policy with threshold `t` and the given deviation
+    /// mode.
+    pub fn new(t: f64, mode: DeviationMode) -> Self {
+        assert!(t >= 0.0, "threshold must be non-negative");
+        Self {
+            t,
+            mode,
+            baseline: None,
+        }
+    }
+}
+
+impl ReoptPolicy for ConstantThresholdPolicy {
+    fn on_plan_installed(
+        &mut self,
+        _sets: &[DecidingConditionSet],
+        snapshot: &StatSnapshot,
+        _outcome: ReoptOutcome,
+    ) {
+        // The baseline resets whenever reconstruction ran, deployed or
+        // not — otherwise a permanent regime change would re-fire the
+        // planner on every decision point forever.
+        self.baseline = Some(snapshot.clone());
+    }
+
+    fn should_reoptimize(&mut self, snapshot: &StatSnapshot) -> bool {
+        match &self.baseline {
+            None => true, // nothing installed yet → (re)optimize
+            Some(base) => {
+                let dev = match self.mode {
+                    DeviationMode::Absolute => snapshot.max_absolute_deviation(base),
+                    DeviationMode::Relative => snapshot.max_relative_deviation(base),
+                };
+                dev > self.t
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// Configuration of the invariant-based method.
+#[derive(Debug, Clone, Copy)]
+pub struct InvariantPolicyConfig {
+    /// Conditions monitored per building block (§3.3). `1` is the basic
+    /// method; `usize::MAX` monitors every deciding condition.
+    pub k: usize,
+    /// Minimal violation distance `d` (§3.4).
+    pub distance: f64,
+    /// Invariant selection strategy (§3.1 / §3.5).
+    pub strategy: SelectionStrategy,
+}
+
+impl Default for InvariantPolicyConfig {
+    fn default() -> Self {
+        Self {
+            k: 1,
+            distance: 0.0,
+            strategy: SelectionStrategy::Tightest,
+        }
+    }
+}
+
+/// The paper's invariant-based decision function (§3).
+#[derive(Debug, Clone, Default)]
+pub struct InvariantPolicy {
+    config: InvariantPolicyConfig,
+    invariants: InvariantSet,
+    installed: bool,
+}
+
+impl InvariantPolicy {
+    /// Creates the policy with the given configuration.
+    pub fn new(config: InvariantPolicyConfig) -> Self {
+        Self {
+            config,
+            invariants: InvariantSet::default(),
+            installed: false,
+        }
+    }
+
+    /// The currently monitored invariants.
+    pub fn invariants(&self) -> &InvariantSet {
+        &self.invariants
+    }
+}
+
+impl ReoptPolicy for InvariantPolicy {
+    fn on_plan_installed(
+        &mut self,
+        sets: &[DecidingConditionSet],
+        snapshot: &StatSnapshot,
+        outcome: ReoptOutcome,
+    ) {
+        // Invariants must describe the *deployed* plan. If the loop
+        // rejected the planner's candidate, installing its conditions
+        // would guard a phantom plan that is optimal for the current
+        // statistics — so `D` would fall silent while the actually
+        // deployed plan rots. Keep the old (violated) invariants
+        // instead: `D` stays armed and retries until deployment
+        // succeeds or the statistics swing back.
+        if outcome == ReoptOutcome::RejectedCandidate {
+            return;
+        }
+        self.invariants = InvariantSet::build(
+            sets,
+            snapshot,
+            self.config.strategy,
+            self.config.k,
+            self.config.distance,
+        );
+        self.installed = true;
+    }
+
+    fn should_reoptimize(&mut self, snapshot: &StatSnapshot) -> bool {
+        if !self.installed {
+            return true;
+        }
+        self.invariants.first_violated(snapshot).is_some()
+    }
+
+    fn name(&self) -> &'static str {
+        "invariant"
+    }
+}
+
+/// Factory description of a policy, so experiment configurations can be
+/// cloned per pattern branch.
+#[derive(Debug, Clone, Copy)]
+pub enum PolicyKind {
+    /// Never adapt.
+    Static,
+    /// Re-plan at every decision point.
+    Unconditional,
+    /// Constant-threshold with the given `t`.
+    ConstantThreshold {
+        /// The deviation threshold.
+        t: f64,
+        /// Absolute or relative deviation.
+        mode: DeviationMode,
+    },
+    /// The invariant-based method.
+    Invariant(InvariantPolicyConfig),
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn ReoptPolicy> {
+        match self {
+            PolicyKind::Static => Box::new(StaticPolicy),
+            PolicyKind::Unconditional => Box::new(UnconditionalPolicy),
+            PolicyKind::ConstantThreshold { t, mode } => {
+                Box::new(ConstantThresholdPolicy::new(*t, *mode))
+            }
+            PolicyKind::Invariant(cfg) => Box::new(InvariantPolicy::new(*cfg)),
+        }
+    }
+
+    /// Stable name for reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyKind::Static => "static",
+            PolicyKind::Unconditional => "unconditional",
+            PolicyKind::ConstantThreshold { .. } => "threshold",
+            PolicyKind::Invariant(_) => "invariant",
+        }
+    }
+
+    /// Convenience: the invariant method with distance `d` and `k = 1`.
+    pub fn invariant_with_distance(d: f64) -> Self {
+        PolicyKind::Invariant(InvariantPolicyConfig {
+            distance: d,
+            ..InvariantPolicyConfig::default()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_plan::{BlockId, CostExpr, DecidingCondition, Monomial};
+
+    fn sets_for(block: usize, lhs: usize, rhs: usize) -> Vec<DecidingConditionSet> {
+        vec![DecidingConditionSet {
+            block: BlockId(block),
+            conditions: vec![DecidingCondition {
+                block: BlockId(block),
+                lhs: CostExpr::monomial(Monomial::rate(lhs)),
+                rhs: CostExpr::monomial(Monomial::rate(rhs)),
+            }],
+        }]
+    }
+
+    #[test]
+    fn static_never_fires() {
+        let mut p = StaticPolicy;
+        let s = StatSnapshot::from_rates(vec![1.0, 2.0]);
+        p.on_plan_installed(&sets_for(0, 0, 1), &s, ReoptOutcome::Deployed);
+        assert!(!p.should_reoptimize(&s));
+        assert_eq!(p.name(), "static");
+    }
+
+    #[test]
+    fn unconditional_always_fires() {
+        let mut p = UnconditionalPolicy;
+        let s = StatSnapshot::from_rates(vec![1.0]);
+        assert!(p.should_reoptimize(&s));
+        assert!(p.should_reoptimize(&s));
+    }
+
+    #[test]
+    fn threshold_absolute_reproduces_paper_example() {
+        // Rates A=100, B=15, C=10 with t = 6 (paper §1): C growing to 16
+        // (change of 6, not > 6) is missed, while A fluctuating by 7 is
+        // (pointlessly) detected.
+        let mut p = ConstantThresholdPolicy::new(6.0, DeviationMode::Absolute);
+        let base = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        p.on_plan_installed(&[], &base, ReoptOutcome::Deployed);
+        let mut c_grew = base.clone();
+        c_grew.set_rate(2, 16.0); // C now exceeds B — a vital change
+        assert!(
+            !p.should_reoptimize(&c_grew),
+            "threshold misses the vital change (false negative)"
+        );
+        let mut a_wiggled = base.clone();
+        a_wiggled.set_rate(0, 107.1);
+        assert!(
+            p.should_reoptimize(&a_wiggled),
+            "threshold reacts to an irrelevant fluctuation (false positive)"
+        );
+    }
+
+    #[test]
+    fn threshold_relative_mode() {
+        let mut p = ConstantThresholdPolicy::new(0.5, DeviationMode::Relative);
+        let base = StatSnapshot::from_rates(vec![10.0]);
+        p.on_plan_installed(&[], &base, ReoptOutcome::Deployed);
+        let mut drift = base.clone();
+        drift.set_rate(0, 14.0); // +40 %
+        assert!(!p.should_reoptimize(&drift));
+        drift.set_rate(0, 16.0); // +60 %
+        assert!(p.should_reoptimize(&drift));
+    }
+
+    #[test]
+    fn threshold_fires_before_first_installation() {
+        let mut p = ConstantThresholdPolicy::new(1.0, DeviationMode::Relative);
+        assert!(p.should_reoptimize(&StatSnapshot::uniform(1)));
+    }
+
+    #[test]
+    fn invariant_policy_fires_only_on_violation() {
+        let mut p = InvariantPolicy::new(InvariantPolicyConfig::default());
+        let s = StatSnapshot::from_rates(vec![10.0, 15.0]);
+        assert!(p.should_reoptimize(&s), "fires before installation");
+        p.on_plan_installed(&sets_for(0, 0, 1), &s, ReoptOutcome::Deployed);
+        assert!(!p.should_reoptimize(&s));
+        // Any drift that keeps r0 < r1 does not fire — no false positive.
+        let drifted = StatSnapshot::from_rates(vec![14.0, 15.5]);
+        assert!(!p.should_reoptimize(&drifted));
+        // Crossing fires.
+        let crossed = StatSnapshot::from_rates(vec![16.0, 15.0]);
+        assert!(p.should_reoptimize(&crossed));
+    }
+
+    #[test]
+    fn invariant_policy_distance_damps_oscillation() {
+        let mut p = InvariantPolicy::new(InvariantPolicyConfig {
+            distance: 0.3,
+            ..InvariantPolicyConfig::default()
+        });
+        let s = StatSnapshot::from_rates(vec![10.0, 15.0]);
+        p.on_plan_installed(&sets_for(0, 0, 1), &s, ReoptOutcome::Deployed);
+        // Minor swap: 11 vs 10.9 — violated without distance, but the
+        // invariant with d = 0.3 already treats the original 10/15 gap
+        // as the boundary: (1.3)·10 = 13 < 15 holds; after the swap
+        // (1.3)·11 = 14.3 ≥ 10.9 → fires. Distance does not mask true
+        // crossings…
+        let crossed = StatSnapshot::from_rates(vec![11.0, 10.9]);
+        assert!(p.should_reoptimize(&crossed));
+        // …but near-violations within the margin do fire early:
+        let near = StatSnapshot::from_rates(vec![12.0, 15.0]);
+        assert!(p.should_reoptimize(&near), "(1.3)·12 = 15.6 ≥ 15");
+    }
+
+    #[test]
+    fn policy_kind_builds_matching_names() {
+        for (kind, name) in [
+            (PolicyKind::Static, "static"),
+            (PolicyKind::Unconditional, "unconditional"),
+            (
+                PolicyKind::ConstantThreshold {
+                    t: 0.1,
+                    mode: DeviationMode::Relative,
+                },
+                "threshold",
+            ),
+            (PolicyKind::invariant_with_distance(0.1), "invariant"),
+        ] {
+            assert_eq!(kind.build().name(), name);
+            assert_eq!(kind.name(), name);
+        }
+    }
+}

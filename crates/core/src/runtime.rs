@@ -1,0 +1,440 @@
+//! The detection-adaptation loop (paper Algorithm 1).
+//!
+//! [`AdaptiveCep`] wires everything together: events flow through the
+//! statistics collector and the per-branch evaluation executors; every
+//! `control_interval` events a fresh statistics snapshot is handed to the
+//! branch's decision function `D`; when `D` fires, the plan generation
+//! algorithm `A` is re-invoked, and the new plan is deployed — through
+//! the lossless migration protocol — only if it is better than the
+//! current one under the current statistics.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acep_engine::{build_executor, ExecContext, Match, MigratingExecutor};
+use acep_plan::{CollectingRecorder, EvalPlan, Planner, PlannerKind};
+use acep_stats::{StatisticsCollector, StatsConfig};
+use acep_types::{AcepError, CanonicalPattern, Event, Pattern, SubPattern, Timestamp};
+
+use crate::policy::{PolicyKind, ReoptOutcome, ReoptPolicy};
+
+/// Configuration of the adaptive runtime.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Which plan-generation algorithm `A` to use.
+    pub planner: PlannerKind,
+    /// Which reoptimizing decision function `D` to use.
+    pub policy: PolicyKind,
+    /// Events between decision points (snapshot + `D` evaluation).
+    pub control_interval: u64,
+    /// Events before the one-off *initial optimization*: every policy —
+    /// including `static` — gets one plan built from the first real
+    /// statistics, modeling the paper's initially-tuned plans.
+    pub warmup_events: u64,
+    /// Deployment hysteresis for Algorithm 1's "if new_plan is better
+    /// than curr_plan" check: the new plan must be cheaper by this
+    /// relative margin. The paper's Algorithm 1 uses a plain comparison
+    /// (`0.0`, the default); §3.4 instead damps near-tie thrash with
+    /// distance-based invariants. A positive value is an engineering
+    /// alternative explored by the `ablation_hysteresis` bench.
+    pub min_improvement: f64,
+    /// Statistics-maintenance configuration.
+    pub stats: StatsConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        Self {
+            planner: PlannerKind::Greedy,
+            policy: PolicyKind::Invariant(Default::default()),
+            control_interval: 64,
+            warmup_events: 512,
+            min_improvement: 0.0,
+            stats: StatsConfig::default(),
+        }
+    }
+}
+
+/// Counters and timers of one adaptive run.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveMetrics {
+    /// Events processed.
+    pub events: u64,
+    /// Matches emitted.
+    pub matches: u64,
+    /// Decision-function evaluations.
+    pub decision_evals: u64,
+    /// Times `D` returned `true` (reoptimization attempts).
+    pub reopt_triggers: u64,
+    /// Plan-generation (`A`) invocations, excluding the initial ones.
+    pub planner_invocations: u64,
+    /// Actual plan replacements (the paper's "total number of plan
+    /// reoptimizations").
+    pub plan_replacements: u64,
+    /// Wall time spent evaluating `D`.
+    pub decision_time: Duration,
+    /// Wall time spent in `A`, invariant construction and deployment.
+    pub planning_time: Duration,
+}
+
+impl AdaptiveMetrics {
+    /// The paper's *computational overhead*: fraction of `total` runtime
+    /// spent deciding and re-planning.
+    pub fn overhead_fraction(&self, total: Duration) -> f64 {
+        if total.is_zero() {
+            return 0.0;
+        }
+        (self.decision_time + self.planning_time).as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+struct BranchRuntime {
+    sub: SubPattern,
+    ctx: Arc<ExecContext>,
+    policy: Box<dyn ReoptPolicy>,
+    plan: EvalPlan,
+    exec: MigratingExecutor,
+    initialized: bool,
+}
+
+/// An adaptive CEP engine instance for one pattern (paper Fig. 2).
+pub struct AdaptiveCep {
+    pattern: CanonicalPattern,
+    config: AdaptiveConfig,
+    planner: Planner,
+    collector: StatisticsCollector,
+    branches: Vec<BranchRuntime>,
+    metrics: AdaptiveMetrics,
+}
+
+impl AdaptiveCep {
+    /// Creates the engine for `pattern`, where `num_types` is the total
+    /// number of registered event types in the input stream.
+    pub fn new(pattern: &Pattern, num_types: usize, config: AdaptiveConfig) -> Result<Self, AcepError> {
+        if config.control_interval == 0 {
+            return Err(AcepError::InvalidConfig(
+                "control_interval must be positive".into(),
+            ));
+        }
+        let canonical = pattern.canonical().clone();
+        let planner = Planner::new(config.planner);
+        let collector = StatisticsCollector::new(num_types, &canonical, &config.stats);
+
+        let mut branches = Vec::with_capacity(canonical.branches.len());
+        for sub in &canonical.branches {
+            let ctx = ExecContext::compile(sub)?;
+            // Initial plan from the "default, empty Stat" (§2.1).
+            let uniform = acep_stats::StatSnapshot::uniform(sub.n());
+            let mut rec = CollectingRecorder::new();
+            let plan = planner.generate(sub, &uniform, &mut rec);
+            let mut policy = config.policy.build();
+            policy.on_plan_installed(&rec.into_condition_sets(), &uniform, ReoptOutcome::Deployed);
+            let exec = MigratingExecutor::new(sub.window, build_executor(Arc::clone(&ctx), &plan));
+            branches.push(BranchRuntime {
+                sub: sub.clone(),
+                ctx,
+                policy,
+                plan,
+                exec,
+                initialized: false,
+            });
+        }
+        Ok(Self {
+            pattern: canonical,
+            config,
+            planner,
+            collector,
+            branches,
+            metrics: AdaptiveMetrics::default(),
+        })
+    }
+
+    /// Processes one event, appending matches to `out`.
+    #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.75 MSRV
+    pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        self.collector.observe(ev);
+        let before = out.len();
+        for b in &mut self.branches {
+            b.exec.on_event(ev, out);
+        }
+        self.metrics.matches += (out.len() - before) as u64;
+        self.metrics.events += 1;
+        if self.metrics.events >= self.config.warmup_events
+            && self.metrics.events % self.config.control_interval == 0
+        {
+            self.control_step(ev.timestamp);
+        }
+    }
+
+    /// One decision point: snapshot → `D` → (maybe) `A` → (maybe)
+    /// deployment, per branch.
+    fn control_step(&mut self, now: Timestamp) {
+        for bi in 0..self.branches.len() {
+            let snapshot = self.collector.snapshot_branch(bi, now);
+            let b = &mut self.branches[bi];
+
+            if !b.initialized {
+                // One-off initial optimization from real statistics.
+                b.initialized = true;
+                let mut rec = CollectingRecorder::new();
+                let plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
+                // The initial optimization replaces unconditionally on
+                // any improvement — the uniform-stats plan is a
+                // placeholder, not a tuned incumbent.
+                b.policy.on_plan_installed(
+                    &rec.into_condition_sets(),
+                    &snapshot,
+                    ReoptOutcome::Deployed,
+                );
+                if plan != b.plan && plan.cost(&snapshot) < b.plan.cost(&snapshot) {
+                    b.exec
+                        .replace(build_executor(Arc::clone(&b.ctx), &plan), now);
+                    b.plan = plan;
+                }
+                continue;
+            }
+
+            let t0 = Instant::now();
+            let fire = b.policy.should_reoptimize(&snapshot);
+            self.metrics.decision_time += t0.elapsed();
+            self.metrics.decision_evals += 1;
+            if !fire {
+                continue;
+            }
+            self.metrics.reopt_triggers += 1;
+
+            let t1 = Instant::now();
+            let mut rec = CollectingRecorder::new();
+            let new_plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
+            self.metrics.planner_invocations += 1;
+            // Algorithm 1: "if new_plan is better than curr_plan".
+            let new_cost = new_plan.cost(&snapshot);
+            let cur_cost = b.plan.cost(&snapshot);
+            let better = new_cost < cur_cost * (1.0 - self.config.min_improvement);
+            // A rejected candidate within this relative band of the
+            // current plan's cost is a tie: monitoring its conditions is
+            // as good as monitoring the deployed plan's, so install
+            // instead of re-arming D every decision point.
+            const TIE_BAND: f64 = 0.05;
+            let outcome = if new_plan == b.plan {
+                ReoptOutcome::Unchanged
+            } else if better {
+                b.exec
+                    .replace(build_executor(Arc::clone(&b.ctx), &new_plan), now);
+                b.plan = new_plan;
+                self.metrics.plan_replacements += 1;
+                ReoptOutcome::Deployed
+            } else if new_cost <= cur_cost * (1.0 + TIE_BAND) {
+                ReoptOutcome::Unchanged
+            } else {
+                ReoptOutcome::RejectedCandidate
+            };
+            b.policy
+                .on_plan_installed(&rec.into_condition_sets(), &snapshot, outcome);
+            self.metrics.planning_time += t1.elapsed();
+        }
+    }
+
+    /// Flushes pending matches at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<Match>) {
+        let before = out.len();
+        for b in &mut self.branches {
+            b.exec.finish(out);
+        }
+        self.metrics.matches += (out.len() - before) as u64;
+    }
+
+    /// Run metrics so far.
+    pub fn metrics(&self) -> &AdaptiveMetrics {
+        &self.metrics
+    }
+
+    /// The currently deployed plan of a branch.
+    pub fn plan(&self, branch: usize) -> &EvalPlan {
+        &self.branches[branch].plan
+    }
+
+    /// Number of pattern branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// The canonical pattern being evaluated.
+    pub fn pattern(&self) -> &CanonicalPattern {
+        &self.pattern
+    }
+
+    /// Stored partial matches across branches and plan generations.
+    pub fn partial_count(&self) -> usize {
+        self.branches.iter().map(|b| b.exec.partial_count()).sum()
+    }
+
+    /// Join/predicate comparisons across branches.
+    pub fn comparisons(&self) -> u64 {
+        self.branches.iter().map(|b| b.exec.comparisons()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{EventTypeId, Value};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![Value::Int(0)])
+    }
+
+    /// A skewed stream: type 0 frequent, type 1 medium, type 2 rare.
+    fn skewed_stream(n: u64) -> Vec<Arc<Event>> {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for i in 0..n {
+            events.push(ev(0, i * 10, seq));
+            seq += 1;
+            if i % 5 == 0 {
+                events.push(ev(1, i * 10 + 1, seq));
+                seq += 1;
+            }
+            if i % 25 == 0 {
+                events.push(ev(2, i * 10 + 2, seq));
+                seq += 1;
+            }
+        }
+        events
+    }
+
+    fn config(policy: PolicyKind) -> AdaptiveConfig {
+        AdaptiveConfig {
+            policy,
+            control_interval: 50,
+            warmup_events: 200,
+            stats: StatsConfig {
+                exact_rates: true,
+                window_ms: 2_000,
+                ..StatsConfig::default()
+            },
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn adapts_to_skew_with_invariant_policy() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let mut engine =
+            AdaptiveCep::new(&p, 3, config(PolicyKind::invariant_with_distance(0.0))).unwrap();
+        let mut out = Vec::new();
+        for e in skewed_stream(2_000) {
+            engine.on_event(&e, &mut out);
+        }
+        engine.finish(&mut out);
+        // The deployed plan must start with the rare type 2.
+        match engine.plan(0) {
+            EvalPlan::Order(o) => assert_eq!(o.order[0], 2, "plan {:?}", o.order),
+            _ => panic!("greedy planner yields order plans"),
+        }
+        assert!(engine.metrics().events > 0);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn static_policy_never_replans_after_init() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let mut engine = AdaptiveCep::new(&p, 3, config(PolicyKind::Static)).unwrap();
+        let mut out = Vec::new();
+        for e in skewed_stream(2_000) {
+            engine.on_event(&e, &mut out);
+        }
+        assert_eq!(engine.metrics().planner_invocations, 0);
+        assert_eq!(engine.metrics().plan_replacements, 0);
+        assert_eq!(engine.metrics().reopt_triggers, 0);
+    }
+
+    #[test]
+    fn unconditional_policy_replans_every_control_step() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let mut engine = AdaptiveCep::new(&p, 3, config(PolicyKind::Unconditional)).unwrap();
+        let mut out = Vec::new();
+        for e in skewed_stream(2_000) {
+            engine.on_event(&e, &mut out);
+        }
+        let m = engine.metrics();
+        assert!(m.planner_invocations >= m.decision_evals);
+        assert!(m.decision_evals > 10);
+        // But with stable statistics, the *plan* rarely changes.
+        assert!(m.plan_replacements <= 2, "replacements {}", m.plan_replacements);
+    }
+
+    #[test]
+    fn invariant_policy_no_false_positives_on_stable_stream() {
+        // After the initial optimization, a stationary stream must not
+        // trigger a single plan replacement (Theorem 1 / Corollary 1).
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let mut engine =
+            AdaptiveCep::new(&p, 3, config(PolicyKind::invariant_with_distance(0.0))).unwrap();
+        let mut out = Vec::new();
+        for e in skewed_stream(5_000) {
+            engine.on_event(&e, &mut out);
+        }
+        assert_eq!(
+            engine.metrics().plan_replacements,
+            0,
+            "stationary stream must not cause replacements (triggers: {})",
+            engine.metrics().reopt_triggers
+        );
+    }
+
+    #[test]
+    fn all_policies_find_identical_matches() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let mut reference: Option<Vec<String>> = None;
+        for policy in [
+            PolicyKind::Static,
+            PolicyKind::Unconditional,
+            PolicyKind::ConstantThreshold {
+                t: 0.2,
+                mode: crate::policy::DeviationMode::Relative,
+            },
+            PolicyKind::invariant_with_distance(0.05),
+        ] {
+            let mut engine = AdaptiveCep::new(&p, 3, config(policy)).unwrap();
+            let mut out = Vec::new();
+            for e in skewed_stream(1_500) {
+                engine.on_event(&e, &mut out);
+            }
+            engine.finish(&mut out);
+            let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+            keys.sort();
+            match &reference {
+                None => reference = Some(keys),
+                Some(r) => assert_eq!(r, &keys, "policy {} diverged", policy.name()),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn zero_control_interval_is_rejected() {
+        let p = Pattern::sequence("p", &[t(0)], 100);
+        let cfg = AdaptiveConfig {
+            control_interval: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(AdaptiveCep::new(&p, 1, cfg).is_err());
+    }
+
+    #[test]
+    fn overhead_fraction_is_bounded() {
+        let m = AdaptiveMetrics {
+            decision_time: Duration::from_millis(5),
+            planning_time: Duration::from_millis(5),
+            ..AdaptiveMetrics::default()
+        };
+        let f = m.overhead_fraction(Duration::from_millis(100));
+        assert!((f - 0.1).abs() < 1e-9);
+        assert_eq!(m.overhead_fraction(Duration::ZERO), 0.0);
+    }
+}

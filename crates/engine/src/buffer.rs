@@ -1,0 +1,105 @@
+//! Sliding-window event buffers.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use acep_types::{Event, Timestamp};
+
+/// A window-bounded buffer of events (the per-type "history" the lazy
+/// evaluation scans).
+///
+/// Events are appended in timestamp order and expired once they are more
+/// than `window` ms older than the latest observed stream time.
+#[derive(Debug, Clone)]
+pub struct EventBuffer {
+    window: Timestamp,
+    buf: VecDeque<Arc<Event>>,
+}
+
+impl EventBuffer {
+    /// Creates a buffer retaining `window` ms of history.
+    pub fn new(window: Timestamp) -> Self {
+        Self {
+            window,
+            buf: VecDeque::new(),
+        }
+    }
+
+    /// Appends an event and expires stale ones relative to its
+    /// timestamp.
+    pub fn push(&mut self, ev: Arc<Event>) {
+        let now = ev.timestamp;
+        self.buf.push_back(ev);
+        self.expire(now);
+    }
+
+    /// Drops events older than `now − window`.
+    pub fn expire(&mut self, now: Timestamp) {
+        let cutoff = now.saturating_sub(self.window);
+        while let Some(front) = self.buf.front() {
+            // Keep events exactly `window` old: spans are inclusive.
+            if front.timestamp < cutoff {
+                self.buf.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Event>> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::EventTypeId;
+
+    fn ev(ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(EventTypeId(0), ts, seq, vec![])
+    }
+
+    #[test]
+    fn push_expires_stale_events() {
+        let mut b = EventBuffer::new(100);
+        b.push(ev(0, 0));
+        b.push(ev(50, 1));
+        b.push(ev(100, 2)); // ts 0 is exactly window-old → kept
+        assert_eq!(b.len(), 3);
+        b.push(ev(101, 3)); // now ts 0 is older than the window
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.iter().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn explicit_expire() {
+        let mut b = EventBuffer::new(10);
+        b.push(ev(0, 0));
+        b.push(ev(5, 1));
+        b.expire(20);
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_oldest_first() {
+        let mut b = EventBuffer::new(1_000);
+        for i in 0..5 {
+            b.push(ev(i, i));
+        }
+        let seqs: Vec<u64> = b.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2, 3, 4]);
+    }
+}

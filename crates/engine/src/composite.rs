@@ -1,0 +1,135 @@
+//! Whole-pattern evaluation: one executor per disjunction branch.
+
+use std::sync::Arc;
+
+use acep_plan::{EvalPlan, OrderPlan};
+use acep_types::{AcepError, CanonicalPattern, Event};
+
+use crate::context::ExecContext;
+use crate::executor::{build_executor, Executor};
+use crate::matches::Match;
+
+/// A non-adaptive engine evaluating every branch of a canonical pattern
+/// with a fixed plan — the paper's "static" baseline, and the semantic
+/// reference the adaptive runtime is tested against.
+pub struct StaticEngine {
+    branches: Vec<Box<dyn Executor>>,
+    contexts: Vec<Arc<ExecContext>>,
+}
+
+impl StaticEngine {
+    /// Builds an engine with one explicit plan per branch.
+    pub fn from_plans(
+        pattern: &CanonicalPattern,
+        plans: &[EvalPlan],
+    ) -> Result<Self, AcepError> {
+        if plans.len() != pattern.branches.len() {
+            return Err(AcepError::InvalidConfig(format!(
+                "{} plans for {} branches",
+                plans.len(),
+                pattern.branches.len()
+            )));
+        }
+        let mut branches = Vec::with_capacity(plans.len());
+        let mut contexts = Vec::with_capacity(plans.len());
+        for (sub, plan) in pattern.branches.iter().zip(plans) {
+            let ctx = ExecContext::compile(sub)?;
+            branches.push(build_executor(Arc::clone(&ctx), plan));
+            contexts.push(ctx);
+        }
+        Ok(Self {
+            branches,
+            contexts,
+        })
+    }
+
+    /// Builds an engine using declaration-order plans for every branch.
+    pub fn with_identity_plans(pattern: &CanonicalPattern) -> Result<Self, AcepError> {
+        let plans: Vec<EvalPlan> = pattern
+            .branches
+            .iter()
+            .map(|b| EvalPlan::Order(OrderPlan::identity(b.n())))
+            .collect();
+        Self::from_plans(pattern, &plans)
+    }
+
+    /// Processes one event through every branch.
+    pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        for b in &mut self.branches {
+            b.on_event(ev, out);
+        }
+    }
+
+    /// Flushes pending matches at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<Match>) {
+        for b in &mut self.branches {
+            b.finish(out);
+        }
+    }
+
+    /// Total stored partial matches.
+    pub fn partial_count(&self) -> usize {
+        self.branches.iter().map(|b| b.partial_count()).sum()
+    }
+
+    /// Total comparisons performed.
+    pub fn comparisons(&self) -> u64 {
+        self.branches.iter().map(|b| b.comparisons()).sum()
+    }
+
+    /// Compiled contexts, one per branch.
+    pub fn contexts(&self) -> &[Arc<ExecContext>] {
+        &self.contexts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{EventTypeId, Pattern, PatternExpr};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![])
+    }
+
+    #[test]
+    fn disjunction_branches_fire_independently() {
+        let p = Pattern::builder("or")
+            .expr(PatternExpr::or([
+                PatternExpr::seq([PatternExpr::prim(t(0)), PatternExpr::prim(t(1))]),
+                PatternExpr::seq([PatternExpr::prim(t(2)), PatternExpr::prim(t(3))]),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let mut engine = StaticEngine::with_identity_plans(p.canonical()).unwrap();
+        let mut out = Vec::new();
+        for e in [ev(0, 10, 0), ev(2, 15, 1), ev(1, 20, 2), ev(3, 25, 3)] {
+            engine.on_event(&e, &mut out);
+        }
+        engine.finish(&mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn plan_count_mismatch_is_rejected() {
+        let p = Pattern::sequence("p", &[t(0), t(1)], 100);
+        assert!(StaticEngine::from_plans(p.canonical(), &[]).is_err());
+    }
+
+    #[test]
+    fn single_branch_behaves_as_plain_executor() {
+        let p = Pattern::sequence("p", &[t(0), t(1)], 100);
+        let mut engine = StaticEngine::with_identity_plans(p.canonical()).unwrap();
+        let mut out = Vec::new();
+        engine.on_event(&ev(0, 1, 0), &mut out);
+        engine.on_event(&ev(1, 2, 1), &mut out);
+        engine.finish(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(engine.contexts().len(), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! Compiled execution context: a [`SubPattern`] preprocessed for the hot
+//! path.
+
+use std::sync::Arc;
+
+use acep_types::{
+    AcepError, CondVars, Event, EventBinding, EventTypeId, Predicate, SubKind, SubPattern,
+    Timestamp, VarId,
+};
+
+/// A negated-event guard compiled for execution.
+#[derive(Debug, Clone)]
+pub struct NegGuard {
+    /// Variable of the negated event (for condition binding).
+    pub var: VarId,
+    /// Event type that must be absent.
+    pub event_type: EventTypeId,
+    /// Positive slot that must precede the negated event (`None` =
+    /// bounded by the window start).
+    pub after_slot: Option<usize>,
+    /// Positive slot that must follow it (`None` = bounded by the window
+    /// end; such guards delay match finalization).
+    pub before_slot: Option<usize>,
+    /// Conditions involving the negated variable (and possibly positive
+    /// variables); the negated event only invalidates a match if all of
+    /// them hold.
+    pub conditions: Vec<Predicate>,
+}
+
+/// Preprocessed sub-pattern shared by the executors.
+#[derive(Debug)]
+pub struct ExecContext {
+    /// Sequence or conjunction.
+    pub kind: SubKind,
+    /// Number of positive slots.
+    pub n: usize,
+    /// Event type of each slot.
+    pub slot_types: Vec<EventTypeId>,
+    /// Kleene flag per slot.
+    pub kleene: Vec<bool>,
+    /// Pattern variable of each slot.
+    pub vars: Vec<VarId>,
+    /// Match window (ms).
+    pub window: Timestamp,
+    /// Unary predicates per slot.
+    pub unary: Vec<Vec<Predicate>>,
+    /// Pairwise predicates; index `i * n + j` (both orders filled).
+    pub pair: Vec<Vec<Predicate>>,
+    /// Conditions over 3+ variables, checked on complete matches.
+    pub general: Vec<Predicate>,
+    /// Negated-event guards.
+    pub negated: Vec<NegGuard>,
+    /// Slot indices that participate in joins (non-Kleene).
+    pub join_slots: Vec<usize>,
+    /// Slot indices under Kleene closure.
+    pub kleene_slots: Vec<usize>,
+}
+
+impl ExecContext {
+    /// Compiles a sub-pattern. Fails when the sub-pattern uses features
+    /// outside the engine's scope (every slot under Kleene closure, or
+    /// predicates between two Kleene variables).
+    pub fn compile(sub: &SubPattern) -> Result<Arc<Self>, AcepError> {
+        let n = sub.n();
+        let slot_types: Vec<EventTypeId> = sub.slots.iter().map(|s| s.event_type).collect();
+        let kleene: Vec<bool> = sub.slots.iter().map(|s| s.kleene).collect();
+        let vars: Vec<VarId> = sub.slots.iter().map(|s| s.var).collect();
+
+        let join_slots: Vec<usize> = (0..n).filter(|&i| !kleene[i]).collect();
+        let kleene_slots: Vec<usize> = (0..n).filter(|&i| kleene[i]).collect();
+        if join_slots.is_empty() {
+            return Err(AcepError::InvalidPattern(
+                "at least one slot must not be under Kleene closure".into(),
+            ));
+        }
+
+        let mut unary: Vec<Vec<Predicate>> = vec![Vec::new(); n];
+        let mut pair: Vec<Vec<Predicate>> = vec![Vec::new(); n * n];
+        let mut general: Vec<Predicate> = Vec::new();
+        for c in &sub.conditions {
+            match &c.vars {
+                CondVars::Unary(v) => {
+                    if let Some(i) = sub.slot_of_var(*v) {
+                        unary[i].push(c.predicate.clone());
+                    }
+                    // Unary conditions on negated vars are attached to
+                    // the guard below.
+                }
+                CondVars::Binary(a, b) => {
+                    // Conditions touching a negated var go to its guard
+                    // below; only positive-positive pairs land here.
+                    if let (Some(i), Some(j)) = (sub.slot_of_var(*a), sub.slot_of_var(*b)) {
+                        if kleene[i] && kleene[j] {
+                            return Err(AcepError::InvalidPattern(
+                                "predicates between two Kleene variables are not supported"
+                                    .into(),
+                            ));
+                        }
+                        pair[i * n + j].push(c.predicate.clone());
+                        pair[j * n + i].push(c.predicate.clone());
+                    }
+                }
+                CondVars::General(vs) => {
+                    let touches_negated = vs
+                        .iter()
+                        .any(|v| sub.negated.iter().any(|ng| ng.var == *v));
+                    if !touches_negated {
+                        general.push(c.predicate.clone());
+                    }
+                }
+            }
+        }
+
+        let negated = sub
+            .negated
+            .iter()
+            .map(|ng| NegGuard {
+                var: ng.var,
+                event_type: ng.event_type,
+                after_slot: ng.after_slot,
+                before_slot: ng.before_slot,
+                conditions: sub
+                    .conditions_on_negated(ng.var)
+                    .map(|c| c.predicate.clone())
+                    .collect(),
+            })
+            .collect();
+
+        Ok(Arc::new(Self {
+            kind: sub.kind,
+            n,
+            slot_types,
+            kleene,
+            vars,
+            window: sub.window,
+            unary,
+            pair,
+            general,
+            negated,
+            join_slots,
+            kleene_slots,
+        }))
+    }
+
+    /// Pairwise predicates between slots `i` and `j`.
+    #[inline]
+    pub fn pair_preds(&self, i: usize, j: usize) -> &[Predicate] {
+        &self.pair[i * self.n + j]
+    }
+
+    /// Nearest non-Kleene slot strictly before `slot` in pattern order.
+    pub fn prev_join_slot(&self, slot: usize) -> Option<usize> {
+        (0..slot).rev().find(|&i| !self.kleene[i])
+    }
+
+    /// Nearest non-Kleene slot strictly after `slot` in pattern order.
+    pub fn next_join_slot(&self, slot: usize) -> Option<usize> {
+        ((slot + 1)..self.n).find(|&i| !self.kleene[i])
+    }
+
+    /// Strict event order used for `SEQ` temporal constraints:
+    /// lexicographic on `(timestamp, seq)` so simultaneous events have a
+    /// deterministic order.
+    #[inline]
+    pub fn before(a: &Event, b: &Event) -> bool {
+        (a.timestamp, a.seq) < (b.timestamp, b.seq)
+    }
+}
+
+/// Binding of a partial match's slot events plus one extra candidate,
+/// used to evaluate predicates without allocating.
+pub struct PartialBinding<'a> {
+    /// Execution context (for var → slot resolution).
+    pub ctx: &'a ExecContext,
+    /// Bound events by slot index.
+    pub events: &'a [Option<Arc<Event>>],
+    /// Extra binding overriding/extending the slots (candidate event).
+    pub extra: Option<(VarId, &'a Event)>,
+}
+
+impl EventBinding for PartialBinding<'_> {
+    fn resolve(&self, var: VarId) -> Option<&Event> {
+        if let Some((v, e)) = &self.extra {
+            if *v == var {
+                return Some(e);
+            }
+        }
+        let slot = self.ctx.vars.iter().position(|v| *v == var)?;
+        self.events[slot].as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{attr, Pattern, PatternExpr};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    #[test]
+    fn compile_splits_join_and_kleene_slots() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        assert_eq!(ctx.join_slots, vec![0, 2]);
+        assert_eq!(ctx.kleene_slots, vec![1]);
+        assert_eq!(ctx.prev_join_slot(1), Some(0));
+        assert_eq!(ctx.next_join_slot(1), Some(2));
+        assert_eq!(ctx.prev_join_slot(0), None);
+        assert_eq!(ctx.next_join_slot(2), None);
+    }
+
+    #[test]
+    fn all_kleene_is_rejected() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([PatternExpr::kleene(PatternExpr::prim(
+                t(0),
+            ))]))
+            .window(100)
+            .build()
+            .unwrap();
+        assert!(ExecContext::compile(&p.canonical().branches[0]).is_err());
+    }
+
+    #[test]
+    fn kleene_kleene_predicate_is_rejected() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+                PatternExpr::kleene(PatternExpr::prim(t(2))),
+            ]))
+            .condition(attr(1, 0).lt(attr(2, 0)))
+            .window(100)
+            .build()
+            .unwrap();
+        assert!(ExecContext::compile(&p.canonical().branches[0]).is_err());
+    }
+
+    #[test]
+    fn conditions_are_distributed() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(1)),
+            ]))
+            .condition(attr(0, 0).lt(attr(1, 0)))
+            .condition(attr(1, 0).gt(acep_types::constant(2)))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        assert_eq!(ctx.pair_preds(0, 1).len(), 1);
+        assert_eq!(ctx.pair_preds(1, 0).len(), 1);
+        assert_eq!(ctx.unary[1].len(), 1);
+        assert!(ctx.unary[0].is_empty());
+    }
+
+    #[test]
+    fn negated_guard_collects_its_conditions() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::neg(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .condition(attr(0, 0).eq(attr(1, 0)))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        assert_eq!(ctx.negated.len(), 1);
+        assert_eq!(ctx.negated[0].conditions.len(), 1);
+        assert_eq!(ctx.negated[0].after_slot, Some(0));
+        assert_eq!(ctx.negated[0].before_slot, Some(1));
+        // The A=B condition must not leak into the positive pair preds.
+        assert!(ctx.pair_preds(0, 1).is_empty());
+    }
+
+    #[test]
+    fn before_is_strict_and_tie_broken_by_seq() {
+        let a = Event::new(t(0), 5, 1, vec![]);
+        let b = Event::new(t(0), 5, 2, vec![]);
+        assert!(ExecContext::before(&a, &b));
+        assert!(!ExecContext::before(&b, &a));
+        assert!(!ExecContext::before(&a, &a));
+    }
+}

@@ -1,0 +1,60 @@
+//! The executor abstraction shared by both evaluation mechanisms.
+
+use std::sync::Arc;
+
+use acep_plan::EvalPlan;
+use acep_types::Event;
+
+use crate::context::ExecContext;
+use crate::finalize::FinalizerHistory;
+use crate::matches::Match;
+use crate::order_exec::OrderExecutor;
+use crate::tree_exec::TreeExecutor;
+
+/// A pattern-evaluation engine instance following one plan.
+pub trait Executor {
+    /// Processes one event, appending any completed matches to `out`.
+    fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>);
+
+    /// Flushes matches still pending at end of stream.
+    fn finish(&mut self, out: &mut Vec<Match>);
+
+    /// Exports the negation/Kleene event history (for plan migration).
+    fn export_history(&self) -> FinalizerHistory;
+
+    /// Imports history exported from the previously deployed plan.
+    fn import_history(&mut self, history: FinalizerHistory);
+
+    /// Number of partial matches currently stored (the paper's memory
+    /// metric).
+    fn partial_count(&self) -> usize;
+
+    /// Total predicate/join comparisons performed (the paper's work
+    /// metric).
+    fn comparisons(&self) -> u64;
+}
+
+/// Instantiates the matching executor for a plan.
+pub fn build_executor(ctx: Arc<ExecContext>, plan: &EvalPlan) -> Box<dyn Executor> {
+    match plan {
+        EvalPlan::Order(p) => Box::new(OrderExecutor::new(ctx, p)),
+        EvalPlan::Tree(p) => Box::new(TreeExecutor::new(ctx, p)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_plan::{OrderPlan, TreePlan};
+    use acep_types::{EventTypeId, Pattern};
+
+    #[test]
+    fn build_dispatches_on_plan_kind() {
+        let p = Pattern::sequence("p", &[EventTypeId(0), EventTypeId(1)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let o = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::identity(2)));
+        let t = build_executor(ctx, &EvalPlan::Tree(TreePlan::left_deep(&[0, 1])));
+        assert_eq!(o.partial_count(), 0);
+        assert_eq!(t.partial_count(), 0);
+    }
+}

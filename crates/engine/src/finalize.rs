@@ -1,0 +1,589 @@
+//! Match finalization: negation guards and Kleene-closure sets.
+//!
+//! Completed positive join combinations are *admitted* here rather than
+//! emitted directly. The finalizer:
+//!
+//! * rejects matches invalidated by a negated event already seen;
+//! * holds matches whose negation scope or Kleene collection window
+//!   extends into the future (e.g. a trailing `~D` in `SEQ(A, C, ~D)`)
+//!   in a pending queue until their deadline (`min_ts + W`) passes,
+//!   invalidating/extending them as further events arrive;
+//! * attaches the maximal set of qualifying events to each Kleene slot
+//!   (SASE+-style "ALL" semantics, see DESIGN.md);
+//! * evaluates conditions spanning three or more variables.
+//!
+//! Because negated and Kleene events are plain history (not partial
+//! matches), their buffers can be exported and re-imported when a new
+//! evaluation plan is deployed, so mid-migration matches keep correct
+//! negation semantics (see `migration`).
+
+use std::sync::Arc;
+
+use acep_types::{Event, SubKind, Timestamp};
+
+use crate::buffer::EventBuffer;
+use crate::context::{ExecContext, NegGuard, PartialBinding};
+use crate::matches::Match;
+use crate::partial::Partial;
+
+/// Event history needed by negation/Kleene finalization; transferable
+/// between plan generations.
+#[derive(Debug, Clone)]
+pub struct FinalizerHistory {
+    /// One buffer per negation guard.
+    pub neg: Vec<EventBuffer>,
+    /// One buffer per Kleene slot.
+    pub kleene: Vec<EventBuffer>,
+}
+
+/// A completed positive combination awaiting its finalization deadline.
+#[derive(Debug)]
+struct PendingMatch {
+    partial: Partial,
+    /// Collected Kleene events, parallel to `ctx.kleene_slots`.
+    kleene_sets: Vec<Vec<Arc<Event>>>,
+    /// Last stream time at which an event may still affect this match.
+    deadline: Timestamp,
+}
+
+/// The finalization stage shared by both executors.
+#[derive(Debug)]
+pub struct Finalizer {
+    ctx: Arc<ExecContext>,
+    history: FinalizerHistory,
+    pending: Vec<PendingMatch>,
+    comparisons: u64,
+}
+
+impl Finalizer {
+    /// Creates a finalizer for the given compiled sub-pattern.
+    pub fn new(ctx: Arc<ExecContext>) -> Self {
+        let window = ctx.window;
+        let history = FinalizerHistory {
+            neg: ctx.negated.iter().map(|_| EventBuffer::new(window)).collect(),
+            kleene: ctx
+                .kleene_slots
+                .iter()
+                .map(|_| EventBuffer::new(window))
+                .collect(),
+        };
+        Self {
+            ctx,
+            history,
+            pending: Vec::new(),
+            comparisons: 0,
+        }
+    }
+
+    /// Predicate-evaluation count (part of the engine's work metric).
+    pub fn comparisons(&self) -> u64 {
+        self.comparisons
+    }
+
+    /// Number of matches currently pending finalization.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Exports the negation/Kleene history (for plan migration).
+    pub fn export_history(&self) -> FinalizerHistory {
+        self.history.clone()
+    }
+
+    /// Imports history exported from a previous plan's finalizer.
+    pub fn import_history(&mut self, history: FinalizerHistory) {
+        debug_assert_eq!(history.neg.len(), self.history.neg.len());
+        debug_assert_eq!(history.kleene.len(), self.history.kleene.len());
+        self.history = history;
+    }
+
+    /// Feeds one event: updates history, invalidates/extends pending
+    /// matches, and emits matches whose deadline has passed.
+    pub fn observe(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        let now = ev.timestamp;
+        // Negated events: record and test pending matches.
+        for (gi, guard) in self.ctx.negated.iter().enumerate() {
+            if guard.event_type == ev.type_id {
+                self.history.neg[gi].push(Arc::clone(ev));
+                let ctx = &self.ctx;
+                let mut comparisons = 0u64;
+                self.pending.retain(|pm| {
+                    comparisons += 1;
+                    !neg_invalidates(ctx, guard, &pm.partial, ev)
+                });
+                self.comparisons += comparisons;
+            }
+        }
+        // Kleene events: record and extend pending matches.
+        for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
+            if self.ctx.slot_types[slot] == ev.type_id {
+                self.history.kleene[ki].push(Arc::clone(ev));
+                let ctx = Arc::clone(&self.ctx);
+                for pm in &mut self.pending {
+                    self.comparisons += 1;
+                    if kleene_compatible(&ctx, slot, &pm.partial, ev) {
+                        pm.kleene_sets[ki].push(Arc::clone(ev));
+                    }
+                }
+            }
+        }
+        self.flush_ready(now, out);
+    }
+
+    /// Admits a completed positive combination observed at stream time
+    /// `now`. Emits immediately when possible, otherwise parks it in the
+    /// pending queue.
+    pub fn admit(&mut self, partial: Partial, now: Timestamp, out: &mut Vec<Match>) {
+        // Conditions over 3+ variables.
+        for p in &self.ctx.general {
+            self.comparisons += 1;
+            let binding = PartialBinding {
+                ctx: &self.ctx,
+                events: &partial.events,
+                extra: None,
+            };
+            if !p.eval(&binding) {
+                return;
+            }
+        }
+        // Past negated events.
+        for (gi, guard) in self.ctx.negated.iter().enumerate() {
+            for ev in self.history.neg[gi].iter() {
+                self.comparisons += 1;
+                if neg_invalidates(&self.ctx, guard, &partial, ev) {
+                    return;
+                }
+            }
+        }
+        // Past Kleene candidates.
+        let mut kleene_sets: Vec<Vec<Arc<Event>>> =
+            Vec::with_capacity(self.ctx.kleene_slots.len());
+        for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
+            let mut set = Vec::new();
+            for ev in self.history.kleene[ki].iter() {
+                self.comparisons += 1;
+                if kleene_compatible(&self.ctx, slot, &partial, ev) {
+                    set.push(Arc::clone(ev));
+                }
+            }
+            let _ = ki;
+            kleene_sets.push(set);
+        }
+
+        let deadline = self.finalization_deadline(&partial);
+        if deadline <= now {
+            self.emit(partial, kleene_sets, now, out);
+        } else {
+            self.pending.push(PendingMatch {
+                partial,
+                kleene_sets,
+                deadline,
+            });
+        }
+    }
+
+    /// Emits pending matches whose deadline strictly precedes `now`
+    /// (events carrying `ts == deadline` may still arrive while
+    /// `now == deadline`).
+    pub fn flush_ready(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].deadline < now {
+                let pm = self.pending.swap_remove(i);
+                self.emit(pm.partial, pm.kleene_sets, now, out);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Flushes everything at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<Match>) {
+        let pending = std::mem::take(&mut self.pending);
+        for pm in pending {
+            let at = pm.deadline;
+            self.emit(pm.partial, pm.kleene_sets, at, out);
+        }
+    }
+
+    /// Latest stream time at which an event may still invalidate or
+    /// extend a match built on `partial`.
+    fn finalization_deadline(&self, partial: &Partial) -> Timestamp {
+        let window_end = partial.min_ts + self.ctx.window;
+        let mut deadline = 0;
+        for guard in &self.ctx.negated {
+            let open = !matches!((self.ctx.kind, guard.before_slot), (SubKind::Sequence, Some(_)));
+            if open {
+                deadline = deadline.max(window_end);
+            }
+        }
+        for &slot in &self.ctx.kleene_slots {
+            let open = match self.ctx.kind {
+                SubKind::Sequence => self.ctx.next_join_slot(slot).is_none(),
+                SubKind::Conjunction => true,
+            };
+            if open {
+                deadline = deadline.max(window_end);
+            }
+        }
+        deadline
+    }
+
+    fn emit(
+        &mut self,
+        partial: Partial,
+        kleene_sets: Vec<Vec<Arc<Event>>>,
+        now: Timestamp,
+        out: &mut Vec<Match>,
+    ) {
+        // Kleene closure requires at least one occurrence.
+        if kleene_sets.iter().any(|s| s.is_empty()) {
+            return;
+        }
+        let mut bindings = Vec::with_capacity(self.ctx.n);
+        for &slot in &self.ctx.join_slots {
+            let ev = partial.events[slot]
+                .as_ref()
+                .expect("admitted partial binds every join slot");
+            bindings.push((self.ctx.vars[slot], vec![Arc::clone(ev)]));
+        }
+        for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
+            bindings.push((self.ctx.vars[slot], kleene_sets[ki].clone()));
+        }
+        out.push(Match {
+            bindings,
+            min_ts: partial.min_ts,
+            max_ts: partial.max_ts,
+            detected_at: now,
+        });
+    }
+}
+
+/// Does negated event `ev` invalidate a match built on `partial`?
+fn neg_invalidates(ctx: &ExecContext, guard: &NegGuard, partial: &Partial, ev: &Arc<Event>) -> bool {
+    // Temporal scope.
+    match guard.after_slot {
+        Some(s) => {
+            let anchor = partial.events[s].as_ref().expect("bound join slot");
+            if !ExecContext::before(anchor, ev) {
+                return false;
+            }
+        }
+        None => {
+            if ev.timestamp < partial.max_ts.saturating_sub(ctx.window) {
+                return false;
+            }
+        }
+    }
+    match guard.before_slot {
+        Some(s) => {
+            let anchor = partial.events[s].as_ref().expect("bound join slot");
+            if !ExecContext::before(ev, anchor) {
+                return false;
+            }
+        }
+        None => {
+            if ev.timestamp > partial.min_ts + ctx.window {
+                return false;
+            }
+        }
+    }
+    // Predicates involving the negated variable.
+    let binding = PartialBinding {
+        ctx,
+        events: &partial.events,
+        extra: Some((guard.var, ev)),
+    };
+    guard.conditions.iter().all(|p| p.eval(&binding))
+}
+
+/// Is `ev` a qualifying member of the Kleene set at `slot` for a match
+/// built on `partial`?
+fn kleene_compatible(ctx: &ExecContext, slot: usize, partial: &Partial, ev: &Arc<Event>) -> bool {
+    // The same event instance cannot double as a join event.
+    if partial.contains_seq(ev.seq) {
+        return false;
+    }
+    // Window span.
+    if ev.timestamp > partial.min_ts + ctx.window
+        || ev.timestamp < partial.max_ts.saturating_sub(ctx.window)
+    {
+        return false;
+    }
+    // Temporal position for sequences.
+    if ctx.kind == SubKind::Sequence {
+        if let Some(prev) = ctx.prev_join_slot(slot) {
+            let anchor = partial.events[prev].as_ref().expect("bound join slot");
+            if !ExecContext::before(anchor, ev) {
+                return false;
+            }
+        }
+        if let Some(next) = ctx.next_join_slot(slot) {
+            let anchor = partial.events[next].as_ref().expect("bound join slot");
+            if !ExecContext::before(ev, anchor) {
+                return false;
+            }
+        }
+    }
+    // Unary predicates on the Kleene slot.
+    let binding = PartialBinding {
+        ctx,
+        events: &partial.events,
+        extra: Some((ctx.vars[slot], ev)),
+    };
+    for p in &ctx.unary[slot] {
+        if !p.eval(&binding) {
+            return false;
+        }
+    }
+    // Pairwise predicates with bound join slots.
+    for &js in &ctx.join_slots {
+        for p in ctx.pair_preds(slot, js) {
+            if !p.eval(&binding) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{attr, EventTypeId, Pattern, PatternExpr, Value};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64, v: i64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![Value::Int(v)])
+    }
+
+    fn ctx_for(p: &Pattern) -> Arc<ExecContext> {
+        ExecContext::compile(&p.canonical().branches[0]).unwrap()
+    }
+
+    /// SEQ(A, ~B, C) with B.x = A.x.
+    fn neg_pattern() -> Pattern {
+        Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::neg(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .condition(attr(1, 0).eq(attr(0, 0)))
+            .window(100)
+            .build()
+            .unwrap()
+    }
+
+    fn positive_partial(ctx: &ExecContext, a: Arc<Event>, c: Arc<Event>) -> Partial {
+        Partial::seed(ctx.n, 0, a).extend(1, c)
+    }
+
+    #[test]
+    fn interior_negation_blocks_match() {
+        let p = neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let a = ev(0, 10, 0, 7);
+        // Matching B (same x) between A and C.
+        f.observe(&ev(1, 20, 1, 7), &mut out);
+        let c = ev(2, 30, 2, 0);
+        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn interior_negation_ignores_non_matching_b() {
+        let p = neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let a = ev(0, 10, 0, 7);
+        // B with a different x does not invalidate.
+        f.observe(&ev(1, 20, 1, 99), &mut out);
+        // B outside the (A, C) span does not invalidate.
+        f.observe(&ev(1, 5, 3, 7), &mut out);
+        let c = ev(2, 30, 2, 0);
+        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].min_ts, 10);
+    }
+
+    /// SEQ(A, C, ~D): trailing negation delays finalization.
+    fn trailing_neg_pattern() -> Pattern {
+        Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(2)),
+                PatternExpr::neg(PatternExpr::prim(t(3))),
+            ]))
+            .window(100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trailing_negation_waits_for_window_close() {
+        let p = trailing_neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let a = ev(0, 10, 0, 0);
+        let c = ev(2, 30, 1, 0);
+        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        assert!(out.is_empty(), "must wait until min_ts + W = 110");
+        assert_eq!(f.pending_count(), 1);
+        // An unrelated event at ts 111 releases the match.
+        f.observe(&ev(5, 111, 2, 0), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(f.pending_count(), 0);
+    }
+
+    #[test]
+    fn trailing_negation_invalidates_pending() {
+        let p = trailing_neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let a = ev(0, 10, 0, 0);
+        let c = ev(2, 30, 1, 0);
+        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        // D arrives after C within the window → invalidates.
+        f.observe(&ev(3, 50, 2, 0), &mut out);
+        f.observe(&ev(5, 200, 3, 0), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(f.pending_count(), 0);
+    }
+
+    #[test]
+    fn trailing_negation_after_window_is_harmless() {
+        let p = trailing_neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        f.admit(
+            positive_partial(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
+            30,
+            &mut out,
+        );
+        // D at ts 111 > min_ts + W = 110 cannot invalidate; it also
+        // releases the pending match.
+        f.observe(&ev(3, 111, 2, 0), &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    /// SEQ(A, B*, C) with B.x > 0.
+    fn kleene_pattern() -> Pattern {
+        Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .condition(attr(1, 0).gt(acep_types::constant(0)))
+            .window(100)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kleene_collects_maximal_qualifying_set() {
+        let p = kleene_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        f.observe(&ev(1, 15, 10, 5), &mut out); // qualifies
+        f.observe(&ev(1, 20, 11, -1), &mut out); // fails unary pred
+        f.observe(&ev(1, 25, 12, 3), &mut out); // qualifies
+        f.observe(&ev(1, 5, 13, 9), &mut out); // before A → out of scope
+        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(2, ev(2, 30, 1, 0));
+        f.admit(partial, 30, &mut out);
+        assert_eq!(out.len(), 1);
+        let kleene_binding = out[0]
+            .bindings
+            .iter()
+            .find(|(v, _)| *v == acep_types::VarId(1))
+            .unwrap();
+        let mut seqs: Vec<u64> = kleene_binding.1.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![10, 12]);
+    }
+
+    #[test]
+    fn kleene_requires_at_least_one_event() {
+        let p = kleene_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(2, ev(2, 30, 1, 0));
+        f.admit(partial, 30, &mut out);
+        assert!(out.is_empty(), "Kleene closure means one *or more*");
+    }
+
+    /// SEQ(A, C, B*): trailing Kleene accumulates until window close.
+    #[test]
+    fn trailing_kleene_accumulates_future_events() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(2)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(1, ev(2, 30, 1, 0));
+        f.admit(partial, 30, &mut out);
+        assert_eq!(f.pending_count(), 1);
+        f.observe(&ev(1, 50, 2, 0), &mut out); // collected
+        f.observe(&ev(1, 90, 3, 0), &mut out); // collected
+        f.observe(&ev(9, 200, 4, 0), &mut out); // releases
+        assert_eq!(out.len(), 1);
+        let set = &out[0].bindings.iter().find(|(v, _)| v.0 == 2).unwrap().1;
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn finish_flushes_pending() {
+        let p = trailing_neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        f.admit(
+            positive_partial(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
+            30,
+            &mut out,
+        );
+        assert!(out.is_empty());
+        f.finish(&mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn history_export_import_round_trip() {
+        let p = neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f1 = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        f1.observe(&ev(1, 20, 1, 7), &mut out);
+        // A second finalizer importing f1's history sees the old B.
+        let mut f2 = Finalizer::new(Arc::clone(&ctx));
+        f2.import_history(f1.export_history());
+        f2.admit(
+            positive_partial(&ctx, ev(0, 10, 0, 7), ev(2, 30, 2, 0)),
+            30,
+            &mut out,
+        );
+        assert!(out.is_empty(), "imported history must carry the negation");
+    }
+}

@@ -1,0 +1,44 @@
+//! # acep-engine
+//!
+//! The complex-event evaluation engines of the `acep` library: the
+//! runtime machinery that turns evaluation plans into matches.
+//!
+//! * [`order_exec`] — the lazy order-based (NFA-style) executor of the
+//!   paper's reference \[36\] (Fig. 1(b)): a chain of join levels
+//!   following an [`OrderPlan`](acep_plan::OrderPlan).
+//! * [`tree_exec`] — the ZStream-style tree executor (paper Fig. 3):
+//!   events buffered at leaves, internal nodes joining child results.
+//! * [`finalize`] — negation guards and Kleene-closure sets, applied as
+//!   plan post-processing (paper §4.1) with correct window semantics.
+//! * [`migration`] — live plan replacement (paper §2.2): overlapping
+//!   plan generations partitioned by match start time, so replacement
+//!   never loses or duplicates matches.
+//! * [`composite`] — the static whole-pattern engine (one executor per
+//!   disjunction branch), which is also the semantic reference for the
+//!   adaptive runtime.
+//!
+//! Both executors expose their stored-partial-match counts and
+//! comparison counters — the quantities the paper's cost model predicts —
+//! so benchmarks can verify that plan quality translates into work.
+
+pub mod buffer;
+pub mod composite;
+pub mod context;
+pub mod executor;
+pub mod finalize;
+pub mod matches;
+pub mod migration;
+pub mod order_exec;
+pub mod partial;
+pub mod tree_exec;
+
+pub use buffer::EventBuffer;
+pub use composite::StaticEngine;
+pub use context::{ExecContext, NegGuard, PartialBinding};
+pub use executor::{build_executor, Executor};
+pub use finalize::{Finalizer, FinalizerHistory};
+pub use matches::Match;
+pub use migration::MigratingExecutor;
+pub use order_exec::OrderExecutor;
+pub use partial::Partial;
+pub use tree_exec::TreeExecutor;

@@ -1,0 +1,124 @@
+//! Complete pattern matches.
+
+use std::sync::Arc;
+
+use acep_types::{Event, Timestamp, VarId};
+
+/// A complete match of one pattern branch.
+#[derive(Debug, Clone)]
+pub struct Match {
+    /// Events per pattern variable. Non-Kleene variables bind exactly one
+    /// event; Kleene variables bind one or more (maximal-set semantics).
+    pub bindings: Vec<(VarId, Vec<Arc<Event>>)>,
+    /// Minimum timestamp over the non-Kleene (positive join) events —
+    /// used by plan migration to assign matches to plan generations.
+    pub min_ts: Timestamp,
+    /// Maximum timestamp over the non-Kleene events.
+    pub max_ts: Timestamp,
+    /// Stream time at which the match was emitted.
+    pub detected_at: Timestamp,
+}
+
+impl Match {
+    /// A canonical identity key: sorted `(var, [event seqs])` pairs.
+    /// Two matches are the same detection iff their keys are equal,
+    /// regardless of which plan produced them.
+    pub fn key(&self) -> String {
+        let mut parts: Vec<(u32, Vec<u64>)> = self
+            .bindings
+            .iter()
+            .map(|(v, evs)| {
+                let mut seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
+                seqs.sort_unstable();
+                (v.0, seqs)
+            })
+            .collect();
+        parts.sort();
+        let mut out = String::new();
+        for (v, seqs) in parts {
+            out.push_str(&format!("v{v}:{seqs:?};"));
+        }
+        out
+    }
+
+    /// The single event bound to a non-Kleene variable.
+    pub fn event_of(&self, var: VarId) -> Option<&Arc<Event>> {
+        self.bindings
+            .iter()
+            .find(|(v, _)| *v == var)
+            .and_then(|(_, evs)| evs.first())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::EventTypeId;
+
+    fn ev(ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(EventTypeId(0), ts, seq, vec![])
+    }
+
+    #[test]
+    fn key_is_order_insensitive() {
+        let a = Match {
+            bindings: vec![(VarId(0), vec![ev(1, 10)]), (VarId(1), vec![ev(2, 20)])],
+            min_ts: 1,
+            max_ts: 2,
+            detected_at: 2,
+        };
+        let b = Match {
+            bindings: vec![(VarId(1), vec![ev(2, 20)]), (VarId(0), vec![ev(1, 10)])],
+            min_ts: 1,
+            max_ts: 2,
+            detected_at: 5,
+        };
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn key_distinguishes_different_events() {
+        let a = Match {
+            bindings: vec![(VarId(0), vec![ev(1, 10)])],
+            min_ts: 1,
+            max_ts: 1,
+            detected_at: 1,
+        };
+        let b = Match {
+            bindings: vec![(VarId(0), vec![ev(1, 11)])],
+            min_ts: 1,
+            max_ts: 1,
+            detected_at: 1,
+        };
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn kleene_sets_are_order_insensitive_in_key() {
+        let a = Match {
+            bindings: vec![(VarId(0), vec![ev(1, 10), ev(2, 11)])],
+            min_ts: 1,
+            max_ts: 2,
+            detected_at: 2,
+        };
+        let b = Match {
+            bindings: vec![(VarId(0), vec![ev(2, 11), ev(1, 10)])],
+            min_ts: 1,
+            max_ts: 2,
+            detected_at: 2,
+        };
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn event_of_returns_first_binding() {
+        let m = Match {
+            bindings: vec![(VarId(3), vec![ev(5, 50)])],
+            min_ts: 5,
+            max_ts: 5,
+            detected_at: 5,
+        };
+        assert_eq!(m.event_of(VarId(3)).unwrap().seq, 50);
+        assert!(m.event_of(VarId(9)).is_none());
+    }
+}

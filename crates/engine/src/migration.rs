@@ -1,0 +1,298 @@
+//! On-the-fly plan replacement (paper §2.2, after \[36\]).
+//!
+//! When a new plan is deployed at time `t₀`, matches whose earliest
+//! (positive) event precedes `t₀` are still owed to the *old* plan, while
+//! matches consisting entirely of newer events belong to the *new* plan.
+//! [`MigratingExecutor`] generalizes this to a chain of plan
+//! *generations*: generation `g`, deployed at `t_g`, owns exactly the
+//! matches with `min_ts ∈ [t_g, t_{g+1})` — a disjoint, exhaustive
+//! partition, so no match is lost or duplicated across replacements. A
+//! generation retires once `t_{g+1} + W < now` (its last owed match has
+//! expired), which is the paper's "at time t₀ + W … the system switches
+//! fully to p_new".
+//!
+//! Running the overlapping generations on every event is the *deployment
+//! cost* the paper counts against over-eager adaptation policies.
+
+use std::sync::Arc;
+
+use acep_types::{Event, Timestamp};
+
+use crate::executor::Executor;
+use crate::matches::Match;
+
+struct Generation {
+    exec: Box<dyn Executor>,
+    /// Deployment time: this generation owns matches with
+    /// `min_ts >= start` (up to the next generation's start).
+    start: Timestamp,
+}
+
+/// An executor wrapper that replaces plans without losing or duplicating
+/// matches.
+pub struct MigratingExecutor {
+    window: Timestamp,
+    gens: Vec<Generation>,
+    scratch: Vec<Match>,
+    replacements: u64,
+    /// Comparisons accumulated by generations that have retired, so the
+    /// total stays monotonic.
+    retired_comparisons: u64,
+}
+
+impl MigratingExecutor {
+    /// Wraps the initial executor (deployed at stream time 0).
+    pub fn new(window: Timestamp, exec: Box<dyn Executor>) -> Self {
+        Self {
+            window,
+            gens: vec![Generation { exec, start: 0 }],
+            scratch: Vec::new(),
+            replacements: 0,
+            retired_comparisons: 0,
+        }
+    }
+
+    /// Deploys a new plan's executor at stream time `now`. The new
+    /// generation inherits the negation/Kleene history so its matches
+    /// keep correct semantics from the first event on.
+    ///
+    /// Ownership starts at `now + 1`: events stamped `now` were already
+    /// processed (deployment happens after the triggering event), so
+    /// matches beginning at `now` still belong to the previous
+    /// generation — which saw those events.
+    pub fn replace(&mut self, mut exec: Box<dyn Executor>, now: Timestamp) {
+        let history = self
+            .gens
+            .last()
+            .expect("at least one generation")
+            .exec
+            .export_history();
+        exec.import_history(history);
+        self.gens.push(Generation {
+            exec,
+            start: now.saturating_add(1),
+        });
+        self.replacements += 1;
+    }
+
+    /// Number of plan replacements performed so far.
+    pub fn replacements(&self) -> u64 {
+        self.replacements
+    }
+
+    /// Number of generations currently processing events (1 = no
+    /// migration in progress).
+    pub fn active_generations(&self) -> usize {
+        self.gens.len()
+    }
+
+    /// Processes one event through every live generation, keeping only
+    /// the matches each generation owns.
+    pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        let now = ev.timestamp;
+        let n = self.gens.len();
+        for i in 0..n {
+            self.scratch.clear();
+            self.gens[i].exec.on_event(ev, &mut self.scratch);
+            let lo = self.gens[i].start;
+            let hi = if i + 1 < n {
+                self.gens[i + 1].start
+            } else {
+                Timestamp::MAX
+            };
+            out.extend(self.scratch.drain(..).filter(|m| m.min_ts >= lo && m.min_ts < hi));
+        }
+        // Retire generations whose ownership range has fully expired.
+        while self.gens.len() >= 2 && self.gens[1].start.saturating_add(self.window) < now {
+            let retired = self.gens.remove(0);
+            self.retired_comparisons += retired.exec.comparisons();
+        }
+    }
+
+    /// Flushes all generations at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<Match>) {
+        let n = self.gens.len();
+        for i in 0..n {
+            self.scratch.clear();
+            self.gens[i].exec.finish(&mut self.scratch);
+            let lo = self.gens[i].start;
+            let hi = if i + 1 < n {
+                self.gens[i + 1].start
+            } else {
+                Timestamp::MAX
+            };
+            out.extend(self.scratch.drain(..).filter(|m| m.min_ts >= lo && m.min_ts < hi));
+        }
+    }
+
+    /// Total stored partial matches across generations.
+    pub fn partial_count(&self) -> usize {
+        self.gens.iter().map(|g| g.exec.partial_count()).sum()
+    }
+
+    /// Total comparisons across generations (monotonic: retired
+    /// generations' work is accumulated, not dropped).
+    pub fn comparisons(&self) -> u64 {
+        self.retired_comparisons + self.gens.iter().map(|g| g.exec.comparisons()).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecContext;
+    use crate::executor::build_executor;
+    use acep_plan::{EvalPlan, OrderPlan};
+    use acep_types::{EventTypeId, Pattern};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![])
+    }
+
+    fn setup() -> (Arc<ExecContext>, MigratingExecutor) {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::identity(3)));
+        let mig = MigratingExecutor::new(ctx.window, exec);
+        (ctx, mig)
+    }
+
+    #[test]
+    fn no_replacement_behaves_like_plain_executor() {
+        let (_, mut mig) = setup();
+        let mut out = Vec::new();
+        for e in [ev(0, 10, 0), ev(1, 20, 1), ev(2, 30, 2)] {
+            mig.on_event(&e, &mut out);
+        }
+        mig.finish(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(mig.active_generations(), 1);
+        assert_eq!(mig.replacements(), 0);
+    }
+
+    #[test]
+    fn straddling_match_is_found_exactly_once() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        // A arrives before the switch; B, C after.
+        mig.on_event(&ev(0, 10, 0), &mut out);
+        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        mig.replace(new_exec, 15);
+        assert_eq!(mig.active_generations(), 2);
+        mig.on_event(&ev(1, 20, 1), &mut out);
+        mig.on_event(&ev(2, 30, 2), &mut out);
+        mig.finish(&mut out);
+        // min_ts = 10 < 15 → owned by the old generation only.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn all_new_match_is_found_exactly_once() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        mig.on_event(&ev(0, 10, 0), &mut out);
+        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        mig.replace(new_exec, 15);
+        // Full match entirely after the switch: owned by the new
+        // generation; the old one also sees it internally but its
+        // emission is filtered out.
+        for e in [ev(0, 20, 1), ev(1, 25, 2), ev(2, 30, 3)] {
+            mig.on_event(&e, &mut out);
+        }
+        mig.finish(&mut out);
+        // Matches: (A@10,B@25,C@30) old-gen + (A@20,B@25,C@30) new-gen.
+        assert_eq!(out.len(), 2);
+        let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 2, "no duplicates across generations");
+    }
+
+    #[test]
+    fn old_generation_retires_after_window() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        mig.on_event(&ev(0, 10, 0), &mut out);
+        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        mig.replace(new_exec, 15);
+        assert_eq!(mig.active_generations(), 2);
+        // Ownership starts at 16; window = 100 → the old generation
+        // retires once now > 116.
+        mig.on_event(&ev(0, 116, 1), &mut out);
+        assert_eq!(mig.active_generations(), 2);
+        mig.on_event(&ev(0, 117, 2), &mut out);
+        assert_eq!(mig.active_generations(), 1);
+    }
+
+    #[test]
+    fn comparisons_stay_monotonic_across_retirement() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        let mut last = 0u64;
+        let mut seq = 0u64;
+        for round in 0..6u64 {
+            let base = round * 60;
+            for (tid, off) in [(0u32, 1u64), (1, 2), (2, 3)] {
+                mig.on_event(&ev(tid, base + off, seq), &mut out);
+                seq += 1;
+                let c = mig.comparisons();
+                assert!(c >= last, "comparisons must never decrease");
+                last = c;
+            }
+            mig.replace(
+                build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]))),
+                base + 4,
+            );
+        }
+        assert!(last > 0);
+    }
+
+    #[test]
+    fn rapid_replacements_stay_correct() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        let mut seq = 0;
+        for round in 0..10u64 {
+            let base = round * 40;
+            mig.on_event(&ev(0, base + 1, seq), &mut out);
+            seq += 1;
+            mig.on_event(&ev(1, base + 2, seq), &mut out);
+            seq += 1;
+            mig.on_event(&ev(2, base + 3, seq), &mut out);
+            seq += 1;
+            let plan = if round % 2 == 0 {
+                OrderPlan::new(vec![2, 1, 0])
+            } else {
+                OrderPlan::identity(3)
+            };
+            mig.replace(
+                build_executor(Arc::clone(&ctx), &EvalPlan::Order(plan)),
+                base + 4,
+            );
+        }
+        mig.finish(&mut out);
+        // Count matches of a replacement-free run on the same stream.
+        let exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::identity(3)));
+        let mut reference = MigratingExecutor::new(ctx.window, exec);
+        let mut ref_out = Vec::new();
+        let mut seq = 0;
+        for round in 0..10u64 {
+            let base = round * 40;
+            for (tid, off) in [(0, 1), (1, 2), (2, 3)] {
+                reference.on_event(&ev(tid, base + off, seq), &mut ref_out);
+                seq += 1;
+            }
+        }
+        reference.finish(&mut ref_out);
+        let mut a: Vec<String> = out.iter().map(Match::key).collect();
+        let mut b: Vec<String> = ref_out.iter().map(Match::key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+}

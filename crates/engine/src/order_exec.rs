@@ -1,0 +1,506 @@
+//! The order-based (lazy-NFA) executor.
+//!
+//! Implements the lazy evaluation principle of the paper's reference
+//! \[36\] (Fig. 1(b)): events are buffered per plan position, partial
+//! matches are *opened* only by events of the first type in the plan
+//! order, and deeper positions are filled either from history (when the
+//! partial is created) or by later arrivals (when they extend stored
+//! partials). The number of stored partials per level is exactly what the
+//! paper's order cost model counts, so plan quality directly drives
+//! per-event work.
+
+use std::sync::Arc;
+
+use acep_plan::OrderPlan;
+use acep_types::{Event, SubKind, Timestamp};
+
+use crate::buffer::EventBuffer;
+use crate::context::{ExecContext, PartialBinding};
+use crate::executor::Executor;
+use crate::finalize::{Finalizer, FinalizerHistory};
+use crate::matches::Match;
+use crate::partial::Partial;
+
+/// How many events between full expiry sweeps of untouched levels.
+const SWEEP_INTERVAL: u32 = 256;
+
+/// Order-plan executor for one sub-pattern.
+pub struct OrderExecutor {
+    ctx: Arc<ExecContext>,
+    /// Slot indices in processing order (Kleene slots excluded — they are
+    /// resolved by the finalizer).
+    join_order: Vec<usize>,
+    /// Event history per join position.
+    buffers: Vec<EventBuffer>,
+    /// `levels[d]` holds partials with positions `0..=d` bound.
+    /// The final depth is not stored (completions go to the finalizer).
+    levels: Vec<Vec<Partial>>,
+    finalizer: Finalizer,
+    comparisons: u64,
+    events_since_sweep: u32,
+}
+
+impl OrderExecutor {
+    /// Creates an executor following `plan` for the compiled sub-pattern
+    /// `ctx`.
+    pub fn new(ctx: Arc<ExecContext>, plan: &OrderPlan) -> Self {
+        assert_eq!(plan.n(), ctx.n, "plan size must match the sub-pattern");
+        let join_order: Vec<usize> = plan
+            .order
+            .iter()
+            .copied()
+            .filter(|&s| !ctx.kleene[s])
+            .collect();
+        let m = join_order.len();
+        debug_assert!(m >= 1, "ExecContext guarantees a non-Kleene slot");
+        let window = ctx.window;
+        Self {
+            finalizer: Finalizer::new(Arc::clone(&ctx)),
+            ctx,
+            buffers: (0..m).map(|_| EventBuffer::new(window)).collect(),
+            levels: vec![Vec::new(); m.saturating_sub(1)],
+            join_order,
+            comparisons: 0,
+            events_since_sweep: 0,
+        }
+    }
+
+    /// Number of join levels (non-Kleene slots).
+    pub fn depth(&self) -> usize {
+        self.join_order.len()
+    }
+
+    fn sweep(&mut self, now: Timestamp) {
+        let window = self.ctx.window;
+        for level in &mut self.levels {
+            level.retain(|p| !p.expired(now, window));
+        }
+        for buf in &mut self.buffers {
+            buf.expire(now);
+        }
+    }
+
+    /// Handles `ev` arriving at join position `pos`.
+    fn process_at(&mut self, pos: usize, ev: &Arc<Event>, now: Timestamp, out: &mut Vec<Match>) {
+        let slot = self.join_order[pos];
+        if pos == 0 {
+            self.comparisons += 1;
+            if unary_ok(&self.ctx, slot, ev) {
+                let seed = Partial::seed(self.ctx.n, slot, Arc::clone(ev));
+                self.cascade(seed, 1, now, out);
+            }
+        } else {
+            let window = self.ctx.window;
+            let level = &mut self.levels[pos - 1];
+            level.retain(|p| !p.expired(now, window));
+            let mut extended = Vec::new();
+            for pm in level.iter() {
+                self.comparisons += 1;
+                if compatible(&self.ctx, pm, slot, ev) {
+                    extended.push(pm.extend(slot, Arc::clone(ev)));
+                }
+            }
+            for pm in extended {
+                self.cascade(pm, pos + 1, now, out);
+            }
+        }
+    }
+
+    /// Stores a partial of depth `depth` and greedily extends it with
+    /// already-buffered events of the deeper positions.
+    fn cascade(&mut self, partial: Partial, depth: usize, now: Timestamp, out: &mut Vec<Match>) {
+        let m = self.join_order.len();
+        if depth == m {
+            self.finalizer.admit(partial, now, out);
+            return;
+        }
+        let slot = self.join_order[depth];
+        let mut extensions = Vec::new();
+        for ev in self.buffers[depth].iter() {
+            self.comparisons += 1;
+            if compatible(&self.ctx, &partial, slot, ev) {
+                extensions.push(partial.extend(slot, Arc::clone(ev)));
+            }
+        }
+        self.levels[depth - 1].push(partial);
+        for ext in extensions {
+            self.cascade(ext, depth + 1, now, out);
+        }
+    }
+}
+
+impl Executor for OrderExecutor {
+    fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        let now = ev.timestamp;
+        self.finalizer.observe(ev, out);
+        self.events_since_sweep += 1;
+        if self.events_since_sweep >= SWEEP_INTERVAL {
+            self.events_since_sweep = 0;
+            self.sweep(now);
+        }
+        // An event type may serve several join positions.
+        let mut matched_positions: Vec<usize> = Vec::new();
+        for (pos, &slot) in self.join_order.iter().enumerate() {
+            if self.ctx.slot_types[slot] == ev.type_id {
+                matched_positions.push(pos);
+            }
+        }
+        if matched_positions.is_empty() {
+            return;
+        }
+        for &pos in &matched_positions {
+            self.process_at(pos, ev, now, out);
+        }
+        // Buffer only after processing so an event never joins itself.
+        for &pos in &matched_positions {
+            self.buffers[pos].push(Arc::clone(ev));
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Match>) {
+        self.finalizer.finish(out);
+    }
+
+    fn export_history(&self) -> FinalizerHistory {
+        self.finalizer.export_history()
+    }
+
+    fn import_history(&mut self, history: FinalizerHistory) {
+        self.finalizer.import_history(history);
+    }
+
+    fn partial_count(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
+    }
+
+    fn comparisons(&self) -> u64 {
+        self.comparisons + self.finalizer.comparisons()
+    }
+}
+
+/// Unary predicates on `slot` hold for `ev`.
+fn unary_ok(ctx: &ExecContext, slot: usize, ev: &Arc<Event>) -> bool {
+    if ctx.unary[slot].is_empty() {
+        return true;
+    }
+    let events = vec![None; ctx.n];
+    let binding = PartialBinding {
+        ctx,
+        events: &events,
+        extra: Some((ctx.vars[slot], ev)),
+    };
+    ctx.unary[slot].iter().all(|p| p.eval(&binding))
+}
+
+/// Full compatibility check for extending `partial` with `ev` at `slot`.
+fn compatible(ctx: &ExecContext, partial: &Partial, slot: usize, ev: &Arc<Event>) -> bool {
+    if partial.contains_seq(ev.seq) {
+        return false;
+    }
+    // Window span.
+    let min_ts = partial.min_ts.min(ev.timestamp);
+    let max_ts = partial.max_ts.max(ev.timestamp);
+    if max_ts - min_ts > ctx.window {
+        return false;
+    }
+    // Temporal order for sequences.
+    if ctx.kind == SubKind::Sequence {
+        for (s, bound) in partial.events.iter().enumerate() {
+            if let Some(b) = bound {
+                let ok = if s < slot {
+                    ExecContext::before(b, ev)
+                } else {
+                    ExecContext::before(ev, b)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+    }
+    // Unary predicates on the new slot.
+    let binding = PartialBinding {
+        ctx,
+        events: &partial.events,
+        extra: Some((ctx.vars[slot], ev)),
+    };
+    for p in &ctx.unary[slot] {
+        if !p.eval(&binding) {
+            return false;
+        }
+    }
+    // Pairwise predicates with every bound slot.
+    for (s, bound) in partial.events.iter().enumerate() {
+        if bound.is_some() {
+            for p in ctx.pair_preds(slot, s) {
+                if !p.eval(&binding) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{attr, EventTypeId, Pattern, PatternExpr, Value};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64, v: i64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![Value::Int(v)])
+    }
+
+    fn run(exec: &mut OrderExecutor, events: &[Arc<Event>]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for e in events {
+            exec.on_event(e, &mut out);
+        }
+        exec.finish(&mut out);
+        out
+    }
+
+    fn seq_abc() -> Pattern {
+        Pattern::sequence("p", &[t(0), t(1), t(2)], 100)
+    }
+
+    #[test]
+    fn detects_sequence_in_declaration_order_plan() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].min_ts, 10);
+        assert_eq!(matches[0].max_ts, 30);
+    }
+
+    #[test]
+    fn reversed_plan_finds_the_same_match() {
+        // Lazy plan [C, B, A]: the match is only assembled when C's
+        // arrival lets the executor scan the history of B and A.
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::new(vec![2, 1, 0]));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn temporal_order_is_enforced() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        // B arrives before A → no match.
+        let matches = run(
+            &mut exec,
+            &[ev(1, 10, 0, 0), ev(0, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn window_is_enforced() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 20, 1, 0), ev(2, 111, 2, 0)],
+        );
+        assert!(matches.is_empty(), "span 101 > window 100");
+    }
+
+    #[test]
+    fn skip_till_any_match_semantics() {
+        // Two As and two Bs before one C → 4 matches.
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        let matches = run(
+            &mut exec,
+            &[
+                ev(0, 10, 0, 0),
+                ev(0, 11, 1, 0),
+                ev(1, 20, 2, 0),
+                ev(1, 21, 3, 0),
+                ev(2, 30, 4, 0),
+            ],
+        );
+        assert_eq!(matches.len(), 4);
+        // All match keys distinct.
+        let mut keys: Vec<String> = matches.iter().map(Match::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 4);
+    }
+
+    #[test]
+    fn predicates_filter_joins() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(1)),
+            ]))
+            .condition(attr(0, 0).eq(attr(1, 0)))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(2));
+        let matches = run(
+            &mut exec,
+            &[
+                ev(0, 10, 0, 7),
+                ev(0, 11, 1, 8),
+                ev(1, 20, 2, 7), // matches seq 0 only
+            ],
+        );
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].event_of(acep_types::VarId(0)).unwrap().seq, 0);
+    }
+
+    #[test]
+    fn conjunction_matches_any_arrival_order() {
+        let p = Pattern::conjunction("p", &[t(0), t(1), t(2)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::new(vec![2, 0, 1]));
+        let matches = run(
+            &mut exec,
+            &[ev(1, 10, 0, 0), ev(2, 15, 1, 0), ev(0, 20, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn same_type_in_two_slots_requires_distinct_events() {
+        let p = Pattern::conjunction("p", &[t(0), t(0)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(2));
+        // A single A must not match (would need the same event twice);
+        // two As produce the two orderings — which are the same event
+        // *set* in different slots, both valid under AND.
+        let matches = run(&mut exec, &[ev(0, 10, 0, 0), ev(0, 20, 1, 0)]);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn plan_order_changes_work_not_results() {
+        // Skewed stream: plan starting with the rare type stores fewer
+        // partials but finds the identical match set.
+        let p = seq_abc();
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for i in 0..200u64 {
+            events.push(ev(0, i * 10, seq, 0)); // frequent A
+            seq += 1;
+            if i % 10 == 0 {
+                events.push(ev(1, i * 10 + 1, seq, 0));
+                seq += 1;
+            }
+            if i % 40 == 0 {
+                events.push(ev(2, i * 10 + 2, seq, 0));
+                seq += 1;
+            }
+        }
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut eager = OrderExecutor::new(Arc::clone(&ctx), &OrderPlan::identity(3));
+        let mut lazy = OrderExecutor::new(Arc::clone(&ctx), &OrderPlan::new(vec![2, 1, 0]));
+        let m1 = run(&mut eager, &events);
+        let m2 = run(&mut lazy, &events);
+        let mut k1: Vec<String> = m1.iter().map(Match::key).collect();
+        let mut k2: Vec<String> = m2.iter().map(Match::key).collect();
+        k1.sort();
+        k2.sort();
+        assert_eq!(k1, k2);
+        assert!(!k1.is_empty());
+        // The lazy plan should have done less join work on this skew.
+        assert!(
+            lazy.comparisons() < eager.comparisons(),
+            "lazy {} vs eager {}",
+            lazy.comparisons(),
+            eager.comparisons()
+        );
+    }
+
+    #[test]
+    fn kleene_slot_is_skipped_in_joins_and_filled_at_emission() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        assert_eq!(exec.depth(), 2);
+        let matches = run(
+            &mut exec,
+            &[
+                ev(0, 10, 0, 0),
+                ev(1, 15, 1, 0),
+                ev(1, 20, 2, 0),
+                ev(2, 30, 3, 0),
+            ],
+        );
+        assert_eq!(matches.len(), 1);
+        let kleene_set = &matches[0]
+            .bindings
+            .iter()
+            .find(|(v, _)| v.0 == 1)
+            .unwrap()
+            .1;
+        assert_eq!(kleene_set.len(), 2);
+    }
+
+    #[test]
+    fn negation_blocks_via_finalizer() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::neg(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(Arc::clone(&ctx), &OrderPlan::identity(2));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert!(matches.is_empty());
+        // Without the B, the match appears.
+        let mut exec2 = OrderExecutor::new(ctx, &OrderPlan::identity(2));
+        let matches = run(&mut exec2, &[ev(0, 10, 0, 0), ev(2, 30, 2, 0)]);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn partial_count_reflects_stored_state() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        let mut out = Vec::new();
+        exec.on_event(&ev(0, 10, 0, 0), &mut out);
+        exec.on_event(&ev(0, 11, 1, 0), &mut out);
+        assert_eq!(exec.partial_count(), 2);
+        exec.on_event(&ev(1, 20, 2, 0), &mut out);
+        // Two (A,B) partials joined the two As.
+        assert_eq!(exec.partial_count(), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Partial matches.
+
+use std::sync::Arc;
+
+use acep_types::{Event, Timestamp};
+
+/// A partial match: events bound to a subset of the join slots.
+///
+/// Kleene slots are never bound here — they are resolved at finalization
+/// time (see `finalize`) — so `events[slot]` is `None` for Kleene slots
+/// and for join slots not yet filled.
+#[derive(Debug, Clone)]
+pub struct Partial {
+    /// Bound events by slot index (`None` = unbound or Kleene).
+    pub events: Vec<Option<Arc<Event>>>,
+    /// Minimum timestamp over bound events.
+    pub min_ts: Timestamp,
+    /// Maximum timestamp over bound events.
+    pub max_ts: Timestamp,
+    /// Number of bound events.
+    pub bound: u32,
+}
+
+impl Partial {
+    /// A partial holding a single event at `slot` (out of `n` slots).
+    pub fn seed(n: usize, slot: usize, ev: Arc<Event>) -> Self {
+        let ts = ev.timestamp;
+        let mut events = vec![None; n];
+        events[slot] = Some(ev);
+        Self {
+            events,
+            min_ts: ts,
+            max_ts: ts,
+            bound: 1,
+        }
+    }
+
+    /// Extends with one more event, producing a new partial.
+    pub fn extend(&self, slot: usize, ev: Arc<Event>) -> Self {
+        debug_assert!(self.events[slot].is_none(), "slot already bound");
+        let ts = ev.timestamp;
+        let mut events = self.events.clone();
+        events[slot] = Some(ev);
+        Self {
+            events,
+            min_ts: self.min_ts.min(ts),
+            max_ts: self.max_ts.max(ts),
+            bound: self.bound + 1,
+        }
+    }
+
+    /// Merges two partials with disjoint bound slots.
+    pub fn merge(&self, other: &Partial) -> Self {
+        let mut events = self.events.clone();
+        for (slot, ev) in other.events.iter().enumerate() {
+            if let Some(e) = ev {
+                debug_assert!(events[slot].is_none(), "overlapping slots in merge");
+                events[slot] = Some(Arc::clone(e));
+            }
+        }
+        Self {
+            events,
+            min_ts: self.min_ts.min(other.min_ts),
+            max_ts: self.max_ts.max(other.max_ts),
+            bound: self.bound + other.bound,
+        }
+    }
+
+    /// True if the given event instance is already part of this partial.
+    pub fn contains_seq(&self, seq: u64) -> bool {
+        self.events
+            .iter()
+            .flatten()
+            .any(|e| e.seq == seq)
+    }
+
+    /// True if this partial can never be completed or invalidated after
+    /// stream time `now` (its window has closed).
+    pub fn expired(&self, now: Timestamp, window: Timestamp) -> bool {
+        now.saturating_sub(self.min_ts) > window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::EventTypeId;
+
+    fn ev(ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(EventTypeId(0), ts, seq, vec![])
+    }
+
+    #[test]
+    fn seed_and_extend_track_bounds() {
+        let p = Partial::seed(3, 1, ev(10, 0));
+        assert_eq!((p.min_ts, p.max_ts, p.bound), (10, 10, 1));
+        let p2 = p.extend(0, ev(5, 1));
+        assert_eq!((p2.min_ts, p2.max_ts, p2.bound), (5, 10, 2));
+        let p3 = p2.extend(2, ev(20, 2));
+        assert_eq!((p3.min_ts, p3.max_ts, p3.bound), (5, 20, 3));
+        // Original is untouched (persistent extension).
+        assert_eq!(p.bound, 1);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_slots() {
+        let a = Partial::seed(3, 0, ev(1, 0));
+        let b = Partial::seed(3, 2, ev(9, 1));
+        let m = a.merge(&b);
+        assert_eq!(m.bound, 2);
+        assert_eq!((m.min_ts, m.max_ts), (1, 9));
+        assert!(m.events[0].is_some() && m.events[2].is_some());
+        assert!(m.events[1].is_none());
+    }
+
+    #[test]
+    fn contains_seq_detects_duplicates() {
+        let p = Partial::seed(2, 0, ev(1, 42));
+        assert!(p.contains_seq(42));
+        assert!(!p.contains_seq(43));
+    }
+
+    #[test]
+    fn expiry_is_window_relative() {
+        let p = Partial::seed(1, 0, ev(100, 0));
+        assert!(!p.expired(150, 100));
+        assert!(!p.expired(200, 100));
+        assert!(p.expired(201, 100));
+    }
+}

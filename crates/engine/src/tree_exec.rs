@@ -1,0 +1,468 @@
+//! The tree-based (ZStream-style) executor.
+//!
+//! Events accumulate at the leaves of the evaluation tree; each internal
+//! node joins the result sets of its children (paper Fig. 3). New
+//! arrivals propagate along the leaf-to-root path, joining against the
+//! sibling subtree's stored results at every level, so the work per event
+//! is proportional to the intermediate cardinalities the ZStream cost
+//! model counts.
+
+use std::sync::Arc;
+
+use acep_plan::{TreeNode, TreePlan};
+use acep_types::{Event, SubKind, Timestamp};
+
+use crate::context::{ExecContext, PartialBinding};
+use crate::executor::Executor;
+use crate::finalize::{Finalizer, FinalizerHistory};
+use crate::matches::Match;
+use crate::partial::Partial;
+
+const SWEEP_INTERVAL: u32 = 256;
+
+/// Tree-plan executor for one sub-pattern.
+pub struct TreeExecutor {
+    ctx: Arc<ExecContext>,
+    /// Join tree over non-Kleene slots (Kleene leaves pruned; the
+    /// finalizer fills them in at emission).
+    nodes: Vec<TreeNode>,
+    root: usize,
+    parent: Vec<Option<usize>>,
+    sibling: Vec<Option<usize>>,
+    /// Result partials per node (single-event partials at leaves).
+    store: Vec<Vec<Partial>>,
+    finalizer: Finalizer,
+    comparisons: u64,
+    events_since_sweep: u32,
+}
+
+impl TreeExecutor {
+    /// Creates an executor following `plan` for the compiled sub-pattern
+    /// `ctx`.
+    pub fn new(ctx: Arc<ExecContext>, plan: &TreePlan) -> Self {
+        assert_eq!(plan.num_leaves(), ctx.n, "plan must cover every slot");
+        let (nodes, root) = prune_kleene(&ctx, plan);
+        let mut parent = vec![None; nodes.len()];
+        let mut sibling = vec![None; nodes.len()];
+        for (i, n) in nodes.iter().enumerate() {
+            if let TreeNode::Internal { left, right } = n {
+                parent[*left] = Some(i);
+                parent[*right] = Some(i);
+                sibling[*left] = Some(*right);
+                sibling[*right] = Some(*left);
+            }
+        }
+        Self {
+            finalizer: Finalizer::new(Arc::clone(&ctx)),
+            store: vec![Vec::new(); nodes.len()],
+            ctx,
+            nodes,
+            root,
+            parent,
+            sibling,
+            comparisons: 0,
+            events_since_sweep: 0,
+        }
+    }
+
+    fn sweep(&mut self, now: Timestamp) {
+        let window = self.ctx.window;
+        for s in &mut self.store {
+            s.retain(|p| !p.expired(now, window));
+        }
+    }
+
+    /// Pushes new partials produced at `node` upward toward the root.
+    fn propagate(
+        &mut self,
+        node: usize,
+        new_partials: Vec<Partial>,
+        now: Timestamp,
+        out: &mut Vec<Match>,
+    ) {
+        if new_partials.is_empty() {
+            return;
+        }
+        if node == self.root {
+            for p in new_partials {
+                self.finalizer.admit(p, now, out);
+            }
+            return;
+        }
+        let parent = self.parent[node].expect("non-root has a parent");
+        let sibling = self.sibling[node].expect("non-root has a sibling");
+        // Join new partials against the sibling's stored results.
+        let window = self.ctx.window;
+        self.store[sibling].retain(|p| !p.expired(now, window));
+        let mut joined = Vec::new();
+        for a in &new_partials {
+            for b in &self.store[sibling] {
+                self.comparisons += 1;
+                if join_compatible(&self.ctx, a, b) {
+                    joined.push(a.merge(b));
+                }
+            }
+        }
+        // Store for future joins from the sibling side.
+        self.store[node].extend(new_partials);
+        self.propagate(parent, joined, now, out);
+    }
+}
+
+impl Executor for TreeExecutor {
+    fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        let now = ev.timestamp;
+        self.finalizer.observe(ev, out);
+        self.events_since_sweep += 1;
+        if self.events_since_sweep >= SWEEP_INTERVAL {
+            self.events_since_sweep = 0;
+            self.sweep(now);
+        }
+        // Seed every leaf whose slot type matches.
+        for i in 0..self.nodes.len() {
+            if let TreeNode::Leaf { slot } = self.nodes[i] {
+                if self.ctx.slot_types[slot] == ev.type_id {
+                    self.comparisons += 1;
+                    if unary_ok(&self.ctx, slot, ev) {
+                        let seed = Partial::seed(self.ctx.n, slot, Arc::clone(ev));
+                        self.propagate(i, vec![seed], now, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, out: &mut Vec<Match>) {
+        self.finalizer.finish(out);
+    }
+
+    fn export_history(&self) -> FinalizerHistory {
+        self.finalizer.export_history()
+    }
+
+    fn import_history(&mut self, history: FinalizerHistory) {
+        self.finalizer.import_history(history);
+    }
+
+    fn partial_count(&self) -> usize {
+        self.store.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
+    }
+
+    fn comparisons(&self) -> u64 {
+        self.comparisons + self.finalizer.comparisons()
+    }
+}
+
+/// Rebuilds the plan tree with Kleene leaves removed (their parent is
+/// replaced by the remaining sibling).
+fn prune_kleene(ctx: &ExecContext, plan: &TreePlan) -> (Vec<TreeNode>, usize) {
+    let mut nodes = Vec::new();
+    let root = prune_rec(ctx, plan, plan.root, &mut nodes)
+        .expect("ExecContext guarantees a non-Kleene slot");
+    (nodes, root)
+}
+
+fn prune_rec(
+    ctx: &ExecContext,
+    plan: &TreePlan,
+    node: usize,
+    out: &mut Vec<TreeNode>,
+) -> Option<usize> {
+    match plan.nodes[node] {
+        TreeNode::Leaf { slot } => {
+            if ctx.kleene[slot] {
+                None
+            } else {
+                out.push(TreeNode::Leaf { slot });
+                Some(out.len() - 1)
+            }
+        }
+        TreeNode::Internal { left, right } => {
+            let l = prune_rec(ctx, plan, left, out);
+            let r = prune_rec(ctx, plan, right, out);
+            match (l, r) {
+                (Some(l), Some(r)) => {
+                    out.push(TreeNode::Internal { left: l, right: r });
+                    Some(out.len() - 1)
+                }
+                (Some(x), None) | (None, Some(x)) => Some(x),
+                (None, None) => None,
+            }
+        }
+    }
+}
+
+/// Unary predicates on `slot` hold for `ev`.
+fn unary_ok(ctx: &ExecContext, slot: usize, ev: &Arc<Event>) -> bool {
+    if ctx.unary[slot].is_empty() {
+        return true;
+    }
+    let events = vec![None; ctx.n];
+    let binding = PartialBinding {
+        ctx,
+        events: &events,
+        extra: Some((ctx.vars[slot], ev)),
+    };
+    ctx.unary[slot].iter().all(|p| p.eval(&binding))
+}
+
+/// Can two partials with disjoint slot sets merge into one?
+fn join_compatible(ctx: &ExecContext, a: &Partial, b: &Partial) -> bool {
+    // Window span.
+    let min_ts = a.min_ts.min(b.min_ts);
+    let max_ts = a.max_ts.max(b.max_ts);
+    if max_ts - min_ts > ctx.window {
+        return false;
+    }
+    // Event-instance disjointness (types may repeat across slots).
+    for ev in b.events.iter().flatten() {
+        if a.contains_seq(ev.seq) {
+            return false;
+        }
+    }
+    // Temporal order for sequences: check all cross pairs.
+    if ctx.kind == SubKind::Sequence {
+        for (s, ea) in a.events.iter().enumerate() {
+            let Some(ea) = ea else { continue };
+            for (t, eb) in b.events.iter().enumerate() {
+                let Some(eb) = eb else { continue };
+                let ok = if s < t {
+                    ExecContext::before(ea, eb)
+                } else {
+                    ExecContext::before(eb, ea)
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+    }
+    // Cross predicates between the two sides.
+    let merged = MergedBinding { ctx, a, b };
+    for (s, ea) in a.events.iter().enumerate() {
+        if ea.is_none() {
+            continue;
+        }
+        for (t, eb) in b.events.iter().enumerate() {
+            if eb.is_none() {
+                continue;
+            }
+            for p in ctx.pair_preds(s, t) {
+                if !p.eval(&merged) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Binding over the union of two partials, without merging them first.
+struct MergedBinding<'a> {
+    ctx: &'a ExecContext,
+    a: &'a Partial,
+    b: &'a Partial,
+}
+
+impl acep_types::EventBinding for MergedBinding<'_> {
+    fn resolve(&self, var: acep_types::VarId) -> Option<&Event> {
+        let slot = self.ctx.vars.iter().position(|v| *v == var)?;
+        self.a.events[slot]
+            .as_deref()
+            .or(self.b.events[slot].as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{attr, EventTypeId, Pattern, PatternExpr, Value};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64, v: i64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![Value::Int(v)])
+    }
+
+    fn run(exec: &mut TreeExecutor, events: &[Arc<Event>]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for e in events {
+            exec.on_event(e, &mut out);
+        }
+        exec.finish(&mut out);
+        out
+    }
+
+    fn seq_abc() -> Pattern {
+        Pattern::sequence("p", &[t(0), t(1), t(2)], 100)
+    }
+
+    #[test]
+    fn left_deep_tree_detects_sequence() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn right_deep_tree_finds_identical_matches() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        // (0,(1,2)) — paper Fig. 3(b).
+        let nodes = vec![
+            TreeNode::Leaf { slot: 0 },
+            TreeNode::Leaf { slot: 1 },
+            TreeNode::Leaf { slot: 2 },
+            TreeNode::Internal { left: 1, right: 2 },
+            TreeNode::Internal { left: 0, right: 3 },
+        ];
+        let plan = TreePlan { nodes, root: 4 };
+        let mut exec = TreeExecutor::new(ctx, &plan);
+        let matches = run(
+            &mut exec,
+            &[
+                ev(0, 10, 0, 0),
+                ev(0, 12, 1, 0),
+                ev(1, 20, 2, 0),
+                ev(2, 30, 3, 0),
+            ],
+        );
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_sequence_is_rejected() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let matches = run(
+            &mut exec,
+            &[ev(1, 10, 0, 0), ev(0, 20, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn predicates_checked_at_the_join_node() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(1)),
+                PatternExpr::prim(t(2)),
+            ]))
+            .condition(attr(0, 0).lt(attr(2, 0)))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let matches = run(
+            &mut exec,
+            &[
+                ev(0, 10, 0, 5),
+                ev(1, 20, 1, 0),
+                ev(2, 30, 2, 9), // 5 < 9 ✓
+                ev(2, 31, 3, 1), // 5 < 1 ✗
+            ],
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn conjunction_tree_ignores_arrival_order() {
+        let p = Pattern::conjunction("p", &[t(0), t(1), t(2)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[2, 0, 1]));
+        let matches = run(
+            &mut exec,
+            &[ev(1, 10, 0, 0), ev(0, 15, 1, 0), ev(2, 20, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_order_executor_on_random_stream() {
+        use crate::order_exec::OrderExecutor;
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        // Deterministic pseudo-random interleaving.
+        let mut events = Vec::new();
+        let mut state = 0x12345678u64;
+        for i in 0..500u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let tid = (state >> 33) % 3;
+            events.push(ev(tid as u32, i * 3, i, (state >> 40) as i64 % 10));
+        }
+        let mut tree = TreeExecutor::new(Arc::clone(&ctx), &TreePlan::left_deep(&[0, 1, 2]));
+        let mut order = OrderExecutor::new(ctx, &acep_plan::OrderPlan::identity(3));
+        let mut mt = Vec::new();
+        let mut mo = Vec::new();
+        for e in &events {
+            tree.on_event(e, &mut mt);
+            order.on_event(e, &mut mo);
+        }
+        tree.finish(&mut mt);
+        order.finish(&mut mo);
+        let mut kt: Vec<String> = mt.iter().map(Match::key).collect();
+        let mut ko: Vec<String> = mo.iter().map(Match::key).collect();
+        kt.sort();
+        ko.sort();
+        assert_eq!(kt, ko);
+        assert!(!kt.is_empty());
+    }
+
+    #[test]
+    fn kleene_leaf_is_pruned_from_join_tree() {
+        let p = Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::kleene(PatternExpr::prim(t(1))),
+                PatternExpr::prim(t(2)),
+            ]))
+            .window(100)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let matches = run(
+            &mut exec,
+            &[ev(0, 10, 0, 0), ev(1, 15, 1, 0), ev(2, 30, 2, 0)],
+        );
+        assert_eq!(matches.len(), 1);
+        let kleene_set = &matches[0]
+            .bindings
+            .iter()
+            .find(|(v, _)| v.0 == 1)
+            .unwrap()
+            .1;
+        assert_eq!(kleene_set.len(), 1);
+    }
+
+    #[test]
+    fn single_slot_tree() {
+        let p = Pattern::sequence("p", &[t(0)], 100);
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::leaf(0));
+        let matches = run(&mut exec, &[ev(0, 10, 0, 0), ev(0, 20, 1, 0)]);
+        assert_eq!(matches.len(), 2);
+    }
+
+    #[test]
+    fn partial_count_tracks_stored_results() {
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let mut out = Vec::new();
+        exec.on_event(&ev(0, 10, 0, 0), &mut out);
+        exec.on_event(&ev(1, 20, 1, 0), &mut out);
+        // Stored: leaf A (1), leaf B (1), internal (A,B) (1).
+        assert_eq!(exec.partial_count(), 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deciding conditions (paper §3.1).
+//!
+//! A deciding condition `f₁(stat₁) < f₂(stat₂)` is an inequality whose
+//! verification led the plan-generation algorithm to include a building
+//! block in the final plan. The left side is the cost of the *chosen*
+//! alternative, the right side the cost of a *rejected* one; while every
+//! recorded condition holds, the (deterministic) planner re-run would
+//! reproduce the same plan.
+
+use acep_stats::StatSnapshot;
+
+use crate::expr::CostExpr;
+
+/// Identifier of a building block within an evaluation plan.
+///
+/// Blocks are numbered in the plan's verification order: for order-based
+/// plans, the step index; for tree-based plans, leaf-ordering blocks (if
+/// any) followed by internal nodes bottom-up (paper §3.2: tree invariants
+/// are verified "in the direction from leaves to the root").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub usize);
+
+/// One deciding condition: `lhs < rhs` (chosen beats rejected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecidingCondition {
+    /// Building block this condition belongs to (paper: each condition is
+    /// in exactly one DCS).
+    pub block: BlockId,
+    /// Cost of the chosen alternative.
+    pub lhs: CostExpr,
+    /// Cost of the rejected alternative.
+    pub rhs: CostExpr,
+}
+
+impl DecidingCondition {
+    /// True iff the condition holds on the given statistics.
+    pub fn holds(&self, s: &StatSnapshot) -> bool {
+        self.lhs.eval(s) < self.rhs.eval(s)
+    }
+
+    /// Distance-based verification (paper §3.4): the condition counts as
+    /// violated only once `(1 + d)·lhs ≥ rhs`.
+    pub fn holds_with_distance(&self, s: &StatSnapshot, d: f64) -> bool {
+        (1.0 + d) * self.lhs.eval(s) < self.rhs.eval(s)
+    }
+
+    /// `rhs − lhs` — the slack used by the tightest-condition selection
+    /// strategy (smaller = closer to violation).
+    pub fn margin(&self, s: &StatSnapshot) -> f64 {
+        self.rhs.eval(s) - self.lhs.eval(s)
+    }
+
+    /// `|rhs − lhs| / min(lhs, rhs)` — the relative difference averaged
+    /// by the `d_avg` distance estimator (paper §3.4).
+    pub fn relative_margin(&self, s: &StatSnapshot) -> f64 {
+        let (l, r) = (self.lhs.eval(s), self.rhs.eval(s));
+        let denom = l.min(r).max(1e-12);
+        (r - l).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Monomial;
+
+    fn cond(block: usize, lhs_rate: usize, rhs_rate: usize) -> DecidingCondition {
+        DecidingCondition {
+            block: BlockId(block),
+            lhs: CostExpr::monomial(Monomial::rate(lhs_rate)),
+            rhs: CostExpr::monomial(Monomial::rate(rhs_rate)),
+        }
+    }
+
+    #[test]
+    fn holds_compares_sides() {
+        let s = StatSnapshot::from_rates(vec![10.0, 15.0]);
+        assert!(cond(0, 0, 1).holds(&s));
+        assert!(!cond(0, 1, 0).holds(&s));
+    }
+
+    #[test]
+    fn distance_tightens_the_inequality() {
+        // lhs = 10, rhs = 15: holds plainly and with d < 0.5, violated at
+        // d ≥ 0.5 (paper §3.4: (1+d)·f1 < f2).
+        let s = StatSnapshot::from_rates(vec![10.0, 15.0]);
+        let c = cond(0, 0, 1);
+        assert!(c.holds_with_distance(&s, 0.0));
+        assert!(c.holds_with_distance(&s, 0.49));
+        assert!(!c.holds_with_distance(&s, 0.5));
+        assert!(!c.holds_with_distance(&s, 1.0));
+    }
+
+    #[test]
+    fn margins() {
+        let s = StatSnapshot::from_rates(vec![10.0, 15.0]);
+        let c = cond(0, 0, 1);
+        assert!((c.margin(&s) - 5.0).abs() < 1e-12);
+        assert!((c.relative_margin(&s) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equal_sides_do_not_hold() {
+        let s = StatSnapshot::from_rates(vec![7.0, 7.0]);
+        assert!(!cond(0, 0, 1).holds(&s));
+    }
+}

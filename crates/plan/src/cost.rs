@@ -1,0 +1,168 @@
+//! The cost model: expected partial-match counts under a statistics
+//! snapshot.
+//!
+//! * Order-based plans: the cost is `Σ_{i=1..n} Π_{j≤i} r_{p_j} ·
+//!   sel_{p_j,p_j} · Π_{k<l≤i} sel_{p_k,p_l}` — the total number of
+//!   partial matches kept in memory per window (paper §4.1).
+//! * Tree-based plans: `Cost(T) = Card(T)` for leaves and
+//!   `Cost(L) + Cost(R) + Card(L,R)` for internal nodes, with
+//!   `Card(L,R) = Card(L)·Card(R)·SEL(L,R)` (paper §4.2). Leaf
+//!   cardinality is the arrival rate times the slot's unary selectivity.
+//!
+//! Pairs without predicates have selectivity `1.0` in every snapshot, so
+//! multiplying them in is exact and keeps these functions agnostic of the
+//! pattern's predicate structure.
+
+use acep_stats::StatSnapshot;
+
+use crate::order::OrderPlan;
+use crate::planner::EvalPlan;
+use crate::tree::{TreeNode, TreePlan};
+
+/// Cost of an order-based plan: expected total partial matches across all
+/// prefix levels, per unit time.
+pub fn order_plan_cost(plan: &OrderPlan, s: &StatSnapshot) -> f64 {
+    let mut total = 0.0;
+    let mut acc = 1.0;
+    for (i, &slot) in plan.order.iter().enumerate() {
+        let mut f = s.rate(slot) * s.sel(slot, slot);
+        for &prev in &plan.order[..i] {
+            f *= s.sel(prev, slot);
+        }
+        acc *= f;
+        total += acc;
+    }
+    total
+}
+
+/// Cardinality (expected matches reaching a node) and cost of a subtree.
+fn tree_node_cost(plan: &TreePlan, node: usize, s: &StatSnapshot) -> (f64, f64, Vec<usize>) {
+    match plan.nodes[node] {
+        TreeNode::Leaf { slot } => {
+            let card = s.rate(slot) * s.sel(slot, slot);
+            (card, card, vec![slot])
+        }
+        TreeNode::Internal { left, right } => {
+            let (lcost, lcard, lleaves) = tree_node_cost(plan, left, s);
+            let (rcost, rcard, rleaves) = tree_node_cost(plan, right, s);
+            let mut cross = 1.0;
+            for &a in &lleaves {
+                for &b in &rleaves {
+                    cross *= s.sel(a, b);
+                }
+            }
+            let card = lcard * rcard * cross;
+            let cost = lcost + rcost + card;
+            let mut leaves = lleaves;
+            leaves.extend(rleaves);
+            (cost, card, leaves)
+        }
+    }
+}
+
+/// Cost of a tree-based plan (paper §4.2 cost formula).
+pub fn tree_plan_cost(plan: &TreePlan, s: &StatSnapshot) -> f64 {
+    tree_node_cost(plan, plan.root, s).0
+}
+
+/// Cardinality of a subtree of a tree-based plan.
+pub fn tree_node_cardinality(plan: &TreePlan, node: usize, s: &StatSnapshot) -> f64 {
+    tree_node_cost(plan, node, s).1
+}
+
+/// Cost of either plan kind.
+pub fn eval_plan_cost(plan: &EvalPlan, s: &StatSnapshot) -> f64 {
+    match plan {
+        EvalPlan::Order(p) => order_plan_cost(p, s),
+        EvalPlan::Tree(p) => tree_plan_cost(p, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap3() -> StatSnapshot {
+        StatSnapshot::from_rates(vec![100.0, 15.0, 10.0])
+    }
+
+    #[test]
+    fn order_cost_matches_paper_example() {
+        // Rates 100, 15, 10 (paper §1). Ascending order C,B,A:
+        // 10 + 10·15 + 10·15·100 = 15160.
+        let s = snap3();
+        let asc = OrderPlan::new(vec![2, 1, 0]);
+        assert!((order_plan_cost(&asc, &s) - 15_160.0).abs() < 1e-9);
+        // Declaration order A,B,C: 100 + 1500 + 15000 = 16600.
+        let dec = OrderPlan::identity(3);
+        assert!((order_plan_cost(&dec, &s) - 16_600.0).abs() < 1e-9);
+        assert!(order_plan_cost(&asc, &s) < order_plan_cost(&dec, &s));
+    }
+
+    #[test]
+    fn order_cost_uses_selectivities() {
+        let mut s = snap3();
+        s.set_sel(0, 1, 0.1);
+        // Order A,B: level2 = 100·15·0.1 = 150 instead of 1500.
+        let p = OrderPlan::new(vec![0, 1, 2]);
+        // 100 + 150 + 150·10·sel(0,2)·sel(1,2)=1500 → total 1750.
+        assert!((order_plan_cost(&p, &s) - 1_750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unary_selectivity_scales_leaf() {
+        let mut s = StatSnapshot::from_rates(vec![10.0, 10.0]);
+        s.set_sel(0, 0, 0.5);
+        let p = OrderPlan::identity(2);
+        // 10·0.5 + 10·0.5·10 = 55.
+        assert!((order_plan_cost(&p, &s) - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_cost_left_vs_right_deep() {
+        // Paper Fig. 3: for rates r0 > r1 > r2 with no predicates,
+        // joining the two rarest types first is cheaper.
+        let s = snap3();
+        let left_deep = TreePlan::left_deep(&[0, 1, 2]); // (A,B) first
+        let rare_first = TreePlan::left_deep(&[2, 1, 0]); // (C,B) first
+        // left_deep: 100+15+1500 + 10 + 15000 = 16625.
+        assert!((tree_plan_cost(&left_deep, &s) - 16_625.0).abs() < 1e-9);
+        // rare_first: 10+15+150 + 100 + 15000 = 15275.
+        assert!((tree_plan_cost(&rare_first, &s) - 15_275.0).abs() < 1e-9);
+        assert!(tree_plan_cost(&rare_first, &s) < tree_plan_cost(&left_deep, &s));
+    }
+
+    #[test]
+    fn tree_cost_applies_cross_selectivities() {
+        let mut s = StatSnapshot::from_rates(vec![10.0, 10.0, 10.0]);
+        s.set_sel(0, 1, 0.0);
+        let t = TreePlan::left_deep(&[0, 1, 2]);
+        // Card(0,1) = 0 → only leaf costs remain: 10+10+0 +10+0 = 30.
+        assert!((tree_plan_cost(&t, &s) - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_leaf_tree_cost_is_rate() {
+        let s = snap3();
+        assert_eq!(tree_plan_cost(&TreePlan::leaf(2), &s), 10.0);
+    }
+
+    #[test]
+    fn cardinality_of_subtree() {
+        let s = snap3();
+        let t = TreePlan::left_deep(&[1, 2]);
+        assert!((tree_node_cardinality(&t, t.root, &s) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_plan_cost_dispatches() {
+        let s = snap3();
+        let o = EvalPlan::Order(OrderPlan::identity(3));
+        let t = EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2]));
+        assert_eq!(eval_plan_cost(&o, &s), order_plan_cost(&OrderPlan::identity(3), &s));
+        assert_eq!(
+            eval_plan_cost(&t, &s),
+            tree_plan_cost(&TreePlan::left_deep(&[0, 1, 2]), &s)
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Exhaustive reference planners.
+//!
+//! Brute-force searches over all processing orders / all contiguous tree
+//! shapes. Exponential — used to validate the production planners in
+//! tests and to quantify the greedy heuristic's optimality gap in
+//! benches, exactly the role the paper assigns to "the optimal A".
+
+use acep_stats::StatSnapshot;
+
+use crate::cost::{order_plan_cost, tree_plan_cost};
+use crate::order::OrderPlan;
+use crate::tree::{TreeNode, TreePlan};
+
+/// Maximum pattern size accepted by the exhaustive planners.
+pub const MAX_EXHAUSTIVE_N: usize = 10;
+
+/// Finds the minimum-cost processing order by enumerating all `n!`
+/// permutations. Ties break toward the lexicographically smaller order.
+pub fn optimal_order(n: usize, s: &StatSnapshot) -> (OrderPlan, f64) {
+    assert!((1..=MAX_EXHAUSTIVE_N).contains(&n), "n out of range");
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    let mut items: Vec<usize> = (0..n).collect();
+    permute(&mut items, 0, &mut |perm| {
+        let cost = order_plan_cost(&OrderPlan { order: perm.to_vec() }, s);
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => cost < *bc,
+        };
+        if better {
+            best = Some((perm.to_vec(), cost));
+        }
+    });
+    let (order, cost) = best.expect("n >= 1");
+    (OrderPlan::new(order), cost)
+}
+
+fn permute(items: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    // Generate in lexicographic-ish deterministic order.
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+/// All binary tree shapes over a contiguous leaf order (Catalan number of
+/// shapes).
+pub fn all_contiguous_trees(order: &[usize]) -> Vec<TreePlan> {
+    assert!(!order.is_empty() && order.len() <= MAX_EXHAUSTIVE_N);
+    enumerate(order)
+}
+
+fn enumerate(order: &[usize]) -> Vec<TreePlan> {
+    if order.len() == 1 {
+        return vec![TreePlan::leaf(order[0])];
+    }
+    let mut out = Vec::new();
+    for split in 1..order.len() {
+        for l in enumerate(&order[..split]) {
+            for r in enumerate(&order[split..]) {
+                out.push(graft(&l, &r));
+            }
+        }
+    }
+    out
+}
+
+/// Joins two trees under a new root, rebasing arena indices.
+fn graft(l: &TreePlan, r: &TreePlan) -> TreePlan {
+    let mut nodes = l.nodes.clone();
+    let offset = nodes.len();
+    nodes.extend(r.nodes.iter().map(|n| match n {
+        TreeNode::Leaf { slot } => TreeNode::Leaf { slot: *slot },
+        TreeNode::Internal { left, right } => TreeNode::Internal {
+            left: left + offset,
+            right: right + offset,
+        },
+    }));
+    let (lroot, rroot) = (l.root, r.root + offset);
+    nodes.push(TreeNode::Internal {
+        left: lroot,
+        right: rroot,
+    });
+    let root = nodes.len() - 1;
+    TreePlan { nodes, root }
+}
+
+/// Finds the minimum-cost contiguous tree shape over the given leaf
+/// order.
+pub fn optimal_contiguous_tree(order: &[usize], s: &StatSnapshot) -> (TreePlan, f64) {
+    let mut best: Option<(TreePlan, f64)> = None;
+    for t in all_contiguous_trees(order) {
+        let cost = tree_plan_cost(&t, s);
+        let better = match &best {
+            None => true,
+            Some((_, bc)) => cost < *bc,
+        };
+        if better {
+            best = Some((t, cost));
+        }
+    }
+    best.expect("order non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_order_on_predicate_free_is_rate_sort() {
+        let s = StatSnapshot::from_rates(vec![7.0, 2.0, 9.0, 4.0]);
+        let (plan, _) = optimal_order(4, &s);
+        assert_eq!(plan.order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn tree_enumeration_counts_are_catalan() {
+        // C_0=1, C_1=1, C_2=2, C_3=5, C_4=14 shapes for 1..5 leaves.
+        for (n, catalan) in [(1, 1), (2, 1), (3, 2), (4, 5), (5, 14)] {
+            let order: Vec<usize> = (0..n).collect();
+            assert_eq!(all_contiguous_trees(&order).len(), catalan);
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_preserve_leaf_order() {
+        let order = [2, 0, 1];
+        for t in all_contiguous_trees(&order) {
+            assert_eq!(t.leaves_under(t.root), vec![2, 0, 1]);
+        }
+    }
+
+    #[test]
+    fn optimal_tree_beats_or_matches_every_shape() {
+        let mut s = StatSnapshot::from_rates(vec![5.0, 50.0, 2.0, 20.0]);
+        s.set_sel(1, 2, 0.01);
+        let order = [0, 1, 2, 3];
+        let (_, best_cost) = optimal_contiguous_tree(&order, &s);
+        for t in all_contiguous_trees(&order) {
+            assert!(best_cost <= tree_plan_cost(&t, &s) + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_order_is_rejected() {
+        optimal_order(11, &StatSnapshot::uniform(11));
+    }
+}

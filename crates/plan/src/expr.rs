@@ -1,0 +1,182 @@
+//! Cost expressions: closed-form functions of the monitored statistics.
+//!
+//! A [`CostExpr`] is a linear combination of [`Monomial`]s — products of
+//! a frozen coefficient, *live* slot arrival rates, and *live* pairwise
+//! selectivities — plus a frozen constant. Both sides of every deciding
+//! condition (paper §3.1) are such expressions, which is what makes
+//! invariant verification a constant-time evaluation against the current
+//! [`StatSnapshot`] instead of a planner re-run.
+
+use acep_stats::StatSnapshot;
+
+/// A product of a coefficient, live rates, and live selectivities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    /// Frozen multiplicative coefficient (e.g. memoized subtree
+    /// cardinalities, see paper §4.2).
+    pub coeff: f64,
+    /// Slot indices whose *current* arrival rate multiplies in.
+    pub rates: Vec<usize>,
+    /// Slot index pairs `(i, j)`, `i ≤ j`, whose *current* selectivity
+    /// multiplies in (`i == j` is a unary selectivity).
+    pub sels: Vec<(usize, usize)>,
+}
+
+impl Monomial {
+    /// A bare coefficient.
+    pub fn constant(coeff: f64) -> Self {
+        Self {
+            coeff,
+            rates: Vec::new(),
+            sels: Vec::new(),
+        }
+    }
+
+    /// The live rate of one slot.
+    pub fn rate(slot: usize) -> Self {
+        Self {
+            coeff: 1.0,
+            rates: vec![slot],
+            sels: Vec::new(),
+        }
+    }
+
+    /// Multiplies a live rate factor in.
+    pub fn with_rate(mut self, slot: usize) -> Self {
+        self.rates.push(slot);
+        self
+    }
+
+    /// Multiplies a live selectivity factor in (pair normalized so that
+    /// `i ≤ j`).
+    pub fn with_sel(mut self, i: usize, j: usize) -> Self {
+        self.sels.push((i.min(j), i.max(j)));
+        self
+    }
+
+    /// Evaluates against the current statistics.
+    pub fn eval(&self, s: &StatSnapshot) -> f64 {
+        let mut v = self.coeff;
+        for &r in &self.rates {
+            v *= s.rate(r);
+        }
+        for &(i, j) in &self.sels {
+            v *= s.sel(i, j);
+        }
+        v
+    }
+}
+
+/// A frozen constant plus a sum of monomials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostExpr {
+    /// Frozen additive part (memoized subtree costs, paper §4.2).
+    pub constant: f64,
+    /// Live terms.
+    pub terms: Vec<Monomial>,
+}
+
+impl CostExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self {
+            constant: 0.0,
+            terms: Vec::new(),
+        }
+    }
+
+    /// A frozen constant.
+    pub fn constant(c: f64) -> Self {
+        Self {
+            constant: c,
+            terms: Vec::new(),
+        }
+    }
+
+    /// A single monomial.
+    pub fn monomial(m: Monomial) -> Self {
+        Self {
+            constant: 0.0,
+            terms: vec![m],
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, c: f64) {
+        self.constant += c;
+    }
+
+    /// Adds a monomial term in place.
+    pub fn add_term(&mut self, m: Monomial) {
+        self.terms.push(m);
+    }
+
+    /// Sums two expressions.
+    #[allow(clippy::should_implement_trait)] // by-value builder, not operator overloading
+    pub fn add(mut self, other: CostExpr) -> CostExpr {
+        self.constant += other.constant;
+        self.terms.extend(other.terms);
+        self
+    }
+
+    /// Evaluates against the current statistics.
+    pub fn eval(&self, s: &StatSnapshot) -> f64 {
+        self.constant + self.terms.iter().map(|m| m.eval(s)).sum::<f64>()
+    }
+
+    /// True if the expression has no live factors (then its value can
+    /// never change and it is useless as an invariant side).
+    pub fn is_frozen(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> StatSnapshot {
+        let mut s = StatSnapshot::from_rates(vec![10.0, 2.0, 5.0]);
+        s.set_sel(0, 1, 0.5);
+        s.set_sel(1, 1, 0.2);
+        s
+    }
+
+    #[test]
+    fn monomial_eval_multiplies_factors() {
+        let s = snap();
+        let m = Monomial::rate(0).with_rate(1).with_sel(1, 0).with_sel(1, 1);
+        // 10 * 2 * 0.5 * 0.2 = 2.
+        assert!((m.eval(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_sel_normalizes_pair_order() {
+        let m = Monomial::constant(1.0).with_sel(2, 0);
+        assert_eq!(m.sels, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn expr_eval_sums_terms_and_constant() {
+        let s = snap();
+        let mut e = CostExpr::constant(3.0);
+        e.add_term(Monomial::rate(2)); // 5
+        e.add_term(Monomial::constant(2.0).with_rate(1)); // 4
+        assert!((e.eval(&s) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_combines_expressions() {
+        let s = snap();
+        let a = CostExpr::monomial(Monomial::rate(0));
+        let b = CostExpr::constant(1.0);
+        assert!((a.add(b).eval(&s) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frozen_detection() {
+        assert!(CostExpr::constant(4.0).is_frozen());
+        assert!(!CostExpr::monomial(Monomial::rate(0)).is_frozen());
+        assert!(CostExpr::zero().is_frozen());
+    }
+}

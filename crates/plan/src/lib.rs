@@ -1,0 +1,42 @@
+//! # acep-plan
+//!
+//! Evaluation plans, the partial-match cost model, and the instrumented
+//! plan-generation algorithms of the `acep` adaptive CEP engine.
+//!
+//! This crate implements the paper's plan-generation algorithm `A` for
+//! both plan families it evaluates:
+//!
+//! * [`greedy`] — the greedy order-based algorithm (paper Algorithm 2,
+//!   §4.1), producing [`OrderPlan`]s for the lazy-NFA engine;
+//! * [`zstream`] — the ZStream dynamic-programming algorithm (paper
+//!   Algorithm 3, §4.2), producing [`TreePlan`]s for the tree engine.
+//!
+//! Both planners are *instrumented* (paper §3.1): every block-building
+//! comparison is reported to a [`ComparisonRecorder`] as a
+//! [`DecidingCondition`] — a pair of [`CostExpr`]s over the live
+//! statistics — grouped into per-block deciding-condition sets from which
+//! the adaptive layer (`acep-core`) selects its invariants.
+//!
+//! [`exhaustive`] contains brute-force reference planners used by tests
+//! and ablation benches.
+
+pub mod condition;
+pub mod cost;
+pub mod exhaustive;
+pub mod expr;
+pub mod greedy;
+pub mod order;
+pub mod planner;
+pub mod recorder;
+pub mod tree;
+pub mod zstream;
+
+pub use condition::{BlockId, DecidingCondition};
+pub use cost::{eval_plan_cost, order_plan_cost, tree_plan_cost};
+pub use expr::{CostExpr, Monomial};
+pub use greedy::GreedyOrderPlanner;
+pub use order::OrderPlan;
+pub use planner::{EvalPlan, Planner, PlannerKind};
+pub use recorder::{CollectingRecorder, ComparisonRecorder, DecidingConditionSet, NoopRecorder};
+pub use tree::{TreeNode, TreePlan};
+pub use zstream::ZStreamTreePlanner;

@@ -1,0 +1,79 @@
+//! Order-based evaluation plans (lazy-NFA processing orders).
+
+/// An order-based plan: a permutation of a sub-pattern's slot indices.
+///
+/// `order[0]` is processed first (its events open partial matches);
+/// `order[k]` extends partial matches of depth `k`. The paper's Example 1
+/// plan for `SEQ(A, B, C)` under rates `r_A > r_B > r_C` is
+/// `order = [C, B, A]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderPlan {
+    /// Slot indices in processing order.
+    pub order: Vec<usize>,
+}
+
+impl OrderPlan {
+    /// Creates a plan from an explicit processing order, validating that
+    /// it is a permutation of `0..n`.
+    pub fn new(order: Vec<usize>) -> Self {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &s in &order {
+            assert!(s < n && !seen[s], "order must be a permutation of 0..n");
+            seen[s] = true;
+        }
+        Self { order }
+    }
+
+    /// The identity plan (pattern declaration order).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Processing position of slot `s`.
+    pub fn position_of(&self, s: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&x| x == s)
+            .expect("slot not in plan")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_plan() {
+        let p = OrderPlan::identity(3);
+        assert_eq!(p.order, vec![0, 1, 2]);
+        assert_eq!(p.n(), 3);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let p = OrderPlan::new(vec![2, 0, 1]);
+        assert_eq!(p.position_of(2), 0);
+        assert_eq!(p.position_of(0), 1);
+        assert_eq!(p.position_of(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_slot_panics() {
+        OrderPlan::new(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn out_of_range_slot_panics() {
+        OrderPlan::new(vec![0, 3]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Unified planner facade: the paper's plan-generation algorithm `A`.
+
+use acep_stats::StatSnapshot;
+use acep_types::SubPattern;
+
+use crate::cost::eval_plan_cost;
+use crate::greedy::GreedyOrderPlanner;
+use crate::order::OrderPlan;
+use crate::recorder::ComparisonRecorder;
+use crate::tree::TreePlan;
+use crate::zstream::ZStreamTreePlanner;
+
+/// An evaluation plan of either family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalPlan {
+    /// Order-based (lazy-NFA) plan.
+    Order(OrderPlan),
+    /// Tree-based (ZStream) plan.
+    Tree(TreePlan),
+}
+
+impl EvalPlan {
+    /// Cost under the given statistics (the planner's objective).
+    pub fn cost(&self, s: &StatSnapshot) -> f64 {
+        eval_plan_cost(self, s)
+    }
+
+    /// Human-readable plan description (order or tree shape).
+    pub fn describe(&self) -> String {
+        match self {
+            EvalPlan::Order(p) => format!("order{:?}", p.order),
+            EvalPlan::Tree(p) => format!("tree{}", p.shape()),
+        }
+    }
+
+    /// Number of building blocks carrying invariants: `n` steps for an
+    /// order plan, internal nodes (+ leaf-order blocks for conjunctions,
+    /// counted separately by the planner) for trees.
+    pub fn num_blocks(&self) -> usize {
+        match self {
+            EvalPlan::Order(p) => p.n(),
+            EvalPlan::Tree(p) => p.internal_nodes_bottom_up().len(),
+        }
+    }
+}
+
+/// Which plan-generation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerKind {
+    /// Greedy order-based planner (paper Algorithm 2, §4.1).
+    Greedy,
+    /// ZStream dynamic-programming tree planner (paper Algorithm 3,
+    /// §4.2).
+    ZStream,
+}
+
+/// The plan-generation algorithm `A`: deterministic, instrumented.
+#[derive(Debug, Clone, Copy)]
+pub struct Planner {
+    kind: PlannerKind,
+}
+
+impl Planner {
+    /// Creates a planner of the given kind.
+    pub fn new(kind: PlannerKind) -> Self {
+        Self { kind }
+    }
+
+    /// The planner kind.
+    pub fn kind(&self) -> PlannerKind {
+        self.kind
+    }
+
+    /// Generates a plan for `sub` under statistics `s`, reporting
+    /// block-building comparisons to `rec`.
+    pub fn generate(
+        &self,
+        sub: &SubPattern,
+        s: &StatSnapshot,
+        rec: &mut dyn ComparisonRecorder,
+    ) -> EvalPlan {
+        match self.kind {
+            PlannerKind::Greedy => EvalPlan::Order(GreedyOrderPlanner.plan(sub, s, rec)),
+            PlannerKind::ZStream => EvalPlan::Tree(ZStreamTreePlanner.plan(sub, s, rec)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::NoopRecorder;
+    use acep_types::{EventTypeId, Pattern};
+
+    fn sub3() -> Pattern {
+        Pattern::sequence(
+            "p",
+            &[EventTypeId(0), EventTypeId(1), EventTypeId(2)],
+            1_000,
+        )
+    }
+
+    #[test]
+    fn greedy_kind_yields_order_plan() {
+        let p = sub3();
+        let s = StatSnapshot::from_rates(vec![3.0, 2.0, 1.0]);
+        let plan = Planner::new(PlannerKind::Greedy).generate(
+            &p.canonical().branches[0],
+            &s,
+            &mut NoopRecorder,
+        );
+        assert!(matches!(plan, EvalPlan::Order(_)));
+        assert_eq!(plan.describe(), "order[2, 1, 0]");
+        assert_eq!(plan.num_blocks(), 3);
+    }
+
+    #[test]
+    fn zstream_kind_yields_tree_plan() {
+        let p = sub3();
+        let s = StatSnapshot::from_rates(vec![3.0, 2.0, 1.0]);
+        let plan = Planner::new(PlannerKind::ZStream).generate(
+            &p.canonical().branches[0],
+            &s,
+            &mut NoopRecorder,
+        );
+        assert!(matches!(plan, EvalPlan::Tree(_)));
+        assert_eq!(plan.num_blocks(), 2);
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let p = sub3();
+        let s = StatSnapshot::from_rates(vec![5.0, 4.0, 6.0]);
+        for kind in [PlannerKind::Greedy, PlannerKind::ZStream] {
+            let a = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
+            let b = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn plan_cost_is_positive() {
+        let p = sub3();
+        let s = StatSnapshot::from_rates(vec![5.0, 4.0, 6.0]);
+        for kind in [PlannerKind::Greedy, PlannerKind::ZStream] {
+            let plan = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
+            assert!(plan.cost(&s) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Block-building-comparison recorders (paper §3.1).
+//!
+//! Planners are instrumented: every block-building comparison that
+//! committed a building block to the final plan is reported to a
+//! [`ComparisonRecorder`]. The adaptive layer passes a
+//! [`CollectingRecorder`] to harvest deciding-condition sets; the
+//! non-adaptive baselines pass a [`NoopRecorder`] so instrumentation
+//! costs nothing when unused.
+
+use crate::condition::{BlockId, DecidingCondition};
+
+/// Sink for deciding conditions discovered during plan generation.
+pub trait ComparisonRecorder {
+    /// Records one deciding condition.
+    fn record(&mut self, condition: DecidingCondition);
+}
+
+/// Discards everything (zero-cost instrumentation for static planning).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl ComparisonRecorder for NoopRecorder {
+    #[inline]
+    fn record(&mut self, _condition: DecidingCondition) {}
+}
+
+/// Collects all deciding conditions of one planner run.
+#[derive(Debug, Clone, Default)]
+pub struct CollectingRecorder {
+    conditions: Vec<DecidingCondition>,
+}
+
+impl CollectingRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded conditions, in recording order.
+    pub fn conditions(&self) -> &[DecidingCondition] {
+        &self.conditions
+    }
+
+    /// Consumes the recorder, grouping conditions into per-block
+    /// deciding-condition sets ordered by block id (= the plan's
+    /// verification order).
+    pub fn into_condition_sets(self) -> Vec<DecidingConditionSet> {
+        let mut sets: Vec<DecidingConditionSet> = Vec::new();
+        for cond in self.conditions {
+            match sets.iter_mut().find(|s| s.block == cond.block) {
+                Some(set) => set.conditions.push(cond),
+                None => sets.push(DecidingConditionSet {
+                    block: cond.block,
+                    conditions: vec![cond],
+                }),
+            }
+        }
+        sets.sort_by_key(|s| s.block);
+        sets
+    }
+}
+
+impl ComparisonRecorder for CollectingRecorder {
+    #[inline]
+    fn record(&mut self, condition: DecidingCondition) {
+        self.conditions.push(condition);
+    }
+}
+
+/// The deciding-condition set (DCS) of one building block: all conditions
+/// whose satisfaction committed this block to the plan. DCSs of distinct
+/// blocks are disjoint by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecidingConditionSet {
+    /// The building block.
+    pub block: BlockId,
+    /// The conditions, each of which held at planning time.
+    pub conditions: Vec<DecidingCondition>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CostExpr;
+
+    fn cond(block: usize, lhs: f64, rhs: f64) -> DecidingCondition {
+        DecidingCondition {
+            block: BlockId(block),
+            lhs: CostExpr::constant(lhs),
+            rhs: CostExpr::constant(rhs),
+        }
+    }
+
+    #[test]
+    fn grouping_preserves_blocks_and_orders_them() {
+        let mut r = CollectingRecorder::new();
+        r.record(cond(1, 1.0, 2.0));
+        r.record(cond(0, 3.0, 4.0));
+        r.record(cond(1, 5.0, 6.0));
+        let sets = r.into_condition_sets();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].block, BlockId(0));
+        assert_eq!(sets[0].conditions.len(), 1);
+        assert_eq!(sets[1].block, BlockId(1));
+        assert_eq!(sets[1].conditions.len(), 2);
+    }
+
+    #[test]
+    fn noop_recorder_discards() {
+        let mut r = NoopRecorder;
+        r.record(cond(0, 1.0, 2.0));
+        // Nothing to assert — it compiles and does nothing.
+    }
+
+    #[test]
+    fn empty_recorder_yields_no_sets() {
+        assert!(CollectingRecorder::new().into_condition_sets().is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Tree-based evaluation plans (ZStream-style join trees).
+
+/// A node of a [`TreePlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeNode {
+    /// A leaf buffering events of one sub-pattern slot.
+    Leaf {
+        /// Slot index within the sub-pattern.
+        slot: usize,
+    },
+    /// An internal join node.
+    Internal {
+        /// Index of the left child in the node arena.
+        left: usize,
+        /// Index of the right child in the node arena.
+        right: usize,
+    },
+}
+
+/// A binary evaluation tree over a sub-pattern's slots (paper Fig. 3).
+///
+/// Nodes live in an arena; structural equality of two plans is equality
+/// of their canonicalized shapes (see [`TreePlan::shape`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePlan {
+    /// Node arena.
+    pub nodes: Vec<TreeNode>,
+    /// Index of the root node.
+    pub root: usize,
+}
+
+impl TreePlan {
+    /// A single-leaf plan.
+    pub fn leaf(slot: usize) -> Self {
+        Self {
+            nodes: vec![TreeNode::Leaf { slot }],
+            root: 0,
+        }
+    }
+
+    /// A left-deep chain `((((s0 ⋈ s1) ⋈ s2) ⋈ …)` over the given slots.
+    pub fn left_deep(slots: &[usize]) -> Self {
+        assert!(!slots.is_empty(), "tree needs at least one leaf");
+        let mut nodes = vec![TreeNode::Leaf { slot: slots[0] }];
+        let mut prev = 0;
+        for &s in &slots[1..] {
+            nodes.push(TreeNode::Leaf { slot: s });
+            let leaf = nodes.len() - 1;
+            nodes.push(TreeNode::Internal {
+                left: prev,
+                right: leaf,
+            });
+            prev = nodes.len() - 1;
+        }
+        Self {
+            nodes,
+            root: prev,
+        }
+    }
+
+    /// Number of leaves (= sub-pattern slots covered).
+    pub fn num_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Slot indices of all leaves under `node`, left to right.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(node, &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, node: usize, out: &mut Vec<usize>) {
+        match self.nodes[node] {
+            TreeNode::Leaf { slot } => out.push(slot),
+            TreeNode::Internal { left, right } => {
+                self.collect_leaves(left, out);
+                self.collect_leaves(right, out);
+            }
+        }
+    }
+
+    /// Internal node indices in bottom-up order (children before
+    /// parents) — the verification order of tree invariants (§3.2).
+    pub fn internal_nodes_bottom_up(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.post_order(self.root, &mut out);
+        out
+    }
+
+    fn post_order(&self, node: usize, out: &mut Vec<usize>) {
+        if let TreeNode::Internal { left, right } = self.nodes[node] {
+            self.post_order(left, out);
+            self.post_order(right, out);
+            out.push(node);
+        }
+    }
+
+    /// A canonical, arena-independent description of the tree shape:
+    /// nested parenthesization of slot indices. Two plans are the same
+    /// evaluation strategy iff their shapes are equal.
+    pub fn shape(&self) -> String {
+        let mut s = String::new();
+        self.write_shape(self.root, &mut s);
+        s
+    }
+
+    fn write_shape(&self, node: usize, out: &mut String) {
+        match self.nodes[node] {
+            TreeNode::Leaf { slot } => out.push_str(&slot.to_string()),
+            TreeNode::Internal { left, right } => {
+                out.push('(');
+                self.write_shape(left, out);
+                out.push(',');
+                self.write_shape(right, out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn left_deep_shape() {
+        let t = TreePlan::left_deep(&[0, 1, 2]);
+        assert_eq!(t.shape(), "((0,1),2)");
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.leaves_under(t.root), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_leaf() {
+        let t = TreePlan::leaf(4);
+        assert_eq!(t.shape(), "4");
+        assert_eq!(t.num_leaves(), 1);
+        assert!(t.internal_nodes_bottom_up().is_empty());
+    }
+
+    #[test]
+    fn bottom_up_order_visits_children_first() {
+        let t = TreePlan::left_deep(&[0, 1, 2, 3]);
+        let order = t.internal_nodes_bottom_up();
+        assert_eq!(order.len(), 3);
+        // Each node must appear after its internal children.
+        for (i, &n) in order.iter().enumerate() {
+            if let TreeNode::Internal { left, right } = t.nodes[n] {
+                for child in [left, right] {
+                    if matches!(t.nodes[child], TreeNode::Internal { .. }) {
+                        let child_pos = order.iter().position(|&x| x == child).unwrap();
+                        assert!(child_pos < i);
+                    }
+                }
+            }
+        }
+        // Root is last.
+        assert_eq!(*order.last().unwrap(), t.root);
+    }
+
+    #[test]
+    fn custom_right_deep_tree() {
+        // (0,(1,2))
+        let nodes = vec![
+            TreeNode::Leaf { slot: 0 },
+            TreeNode::Leaf { slot: 1 },
+            TreeNode::Leaf { slot: 2 },
+            TreeNode::Internal { left: 1, right: 2 },
+            TreeNode::Internal { left: 0, right: 3 },
+        ];
+        let t = TreePlan { nodes, root: 4 };
+        assert_eq!(t.shape(), "(0,(1,2))");
+        assert_eq!(t.leaves_under(3), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_left_deep_panics() {
+        TreePlan::left_deep(&[]);
+    }
+}

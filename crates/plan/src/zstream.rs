@@ -1,0 +1,382 @@
+//! The ZStream dynamic-programming tree planner (paper Algorithm 3, after
+//! Mei & Madden 2009).
+//!
+//! Computes the cheapest tree over every contiguous leaf range by dynamic
+//! programming on range length (the paper's `n × n` `subtrees` matrix).
+//! For sequences the leaf order is the pattern's temporal order; for
+//! conjunctions leaves are pre-sorted by ascending `rate × unary
+//! selectivity` (ZStream reorders commutative operators), and the sort
+//! comparisons are themselves recorded as leaf-ordering deciding
+//! conditions.
+//!
+//! ## Invariant cost expressions (paper §4.2)
+//!
+//! Tree cost is recursive, which would break constant-time invariant
+//! verification. Following the paper, the deciding-condition expressions
+//! freeze the *cost and cardinality of internal subtrees* at their
+//! plan-creation values (changes below are caught by earlier, bottom-up
+//! invariants), while keeping *leaf cardinalities* (current rates/unary
+//! selectivities) and the *cross-product selectivities* of the compared
+//! node live. Since the paper notes that selecting a single comparison
+//! per block "may create a problem of false negatives" for this
+//! algorithm, the K-invariant method is recommended on top.
+
+use acep_stats::StatSnapshot;
+use acep_types::{SubKind, SubPattern};
+
+use crate::condition::{BlockId, DecidingCondition};
+use crate::expr::{CostExpr, Monomial};
+use crate::recorder::ComparisonRecorder;
+use crate::tree::{TreeNode, TreePlan};
+
+/// The ZStream dynamic-programming tree planner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZStreamTreePlanner;
+
+/// One memoized DP cell (`subtrees[len][start]` in the paper).
+struct Cell {
+    cost: f64,
+    card: f64,
+    /// Number of leaves in the chosen left subtree (0 for leaves).
+    chosen_left_len: usize,
+    /// `(left_len, cost expression)` of every candidate split.
+    candidates: Vec<(usize, CostExpr)>,
+}
+
+impl ZStreamTreePlanner {
+    /// Generates a tree plan for `sub` under statistics `s`, reporting
+    /// block-building comparisons to `rec`.
+    ///
+    /// Deterministic: cost ties break toward the smaller left subtree,
+    /// and the conjunction leaf sort is stable with index tie-breaks.
+    pub fn plan(
+        &self,
+        sub: &SubPattern,
+        s: &StatSnapshot,
+        rec: &mut dyn ComparisonRecorder,
+    ) -> TreePlan {
+        let n = sub.n();
+        let order = leaf_order(sub, s);
+
+        // Leaf-ordering deciding conditions (conjunctions only): the
+        // sorted order is itself a product of comparisons the planner
+        // made; if adjacent leaf costs cross, a re-run produces a
+        // different leaf layout and hence a different plan.
+        let mut block_offset = 0;
+        if sub.kind == SubKind::Conjunction && n >= 2 {
+            for i in 0..n - 1 {
+                rec.record(DecidingCondition {
+                    block: BlockId(i),
+                    lhs: CostExpr::monomial(leaf_monomial(order[i])),
+                    rhs: CostExpr::monomial(leaf_monomial(order[i + 1])),
+                });
+            }
+            block_offset = n - 1;
+        }
+
+        if n == 1 {
+            return TreePlan::leaf(order[0]);
+        }
+
+        // table[len-1][start] covers `order[start .. start+len]`.
+        let mut table: Vec<Vec<Cell>> = Vec::with_capacity(n);
+        table.push(
+            (0..n)
+                .map(|start| {
+                    let slot = order[start];
+                    let card = s.rate(slot) * s.sel(slot, slot);
+                    Cell {
+                        cost: card,
+                        card,
+                        chosen_left_len: 0,
+                        candidates: Vec::new(),
+                    }
+                })
+                .collect(),
+        );
+
+        for len in 2..=n {
+            let mut row = Vec::with_capacity(n - len + 1);
+            for start in 0..=(n - len) {
+                row.push(best_split(&table, &order, s, len, start));
+            }
+            table.push(row);
+        }
+
+        // Record deciding conditions for the blocks that made it into the
+        // final plan, numbered bottom-up (shorter ranges first).
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        collect_final_ranges(&table, n, 0, &mut ranges);
+        ranges.sort_unstable();
+        for (bi, &(len, start)) in ranges.iter().enumerate() {
+            let cell = &table[len - 1][start];
+            let chosen_expr = cell
+                .candidates
+                .iter()
+                .find(|(ll, _)| *ll == cell.chosen_left_len)
+                .map(|(_, e)| e.clone())
+                .expect("chosen split is among candidates");
+            for (ll, e) in &cell.candidates {
+                if *ll != cell.chosen_left_len {
+                    rec.record(DecidingCondition {
+                        block: BlockId(block_offset + bi),
+                        lhs: chosen_expr.clone(),
+                        rhs: e.clone(),
+                    });
+                }
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(2 * n - 1);
+        let root = build_arena(&table, &order, n, 0, &mut nodes);
+        TreePlan { nodes, root }
+    }
+}
+
+/// Leaf layout: temporal order for sequences; ascending leaf cardinality
+/// (with index tie-break) for conjunctions.
+fn leaf_order(sub: &SubPattern, s: &StatSnapshot) -> Vec<usize> {
+    let n = sub.n();
+    let mut order: Vec<usize> = (0..n).collect();
+    if sub.kind == SubKind::Conjunction {
+        order.sort_by(|&a, &b| {
+            let ca = s.rate(a) * s.sel(a, a);
+            let cb = s.rate(b) * s.sel(b, b);
+            ca.total_cmp(&cb).then(a.cmp(&b))
+        });
+    }
+    order
+}
+
+fn leaf_monomial(slot: usize) -> Monomial {
+    Monomial::rate(slot).with_sel(slot, slot)
+}
+
+/// Evaluates all splits of `order[start .. start+len]` and memoizes the
+/// cheapest (the paper's inner loop over `k`).
+fn best_split(
+    table: &[Vec<Cell>],
+    order: &[usize],
+    s: &StatSnapshot,
+    len: usize,
+    start: usize,
+) -> Cell {
+    let mut candidates: Vec<(usize, CostExpr)> = Vec::with_capacity(len - 1);
+    let mut best: Option<(usize, f64, f64)> = None;
+
+    for left_len in 1..len {
+        let right_len = len - left_len;
+        let right_start = start + left_len;
+        let lcell = &table[left_len - 1][start];
+        let rcell = &table[right_len - 1][right_start];
+
+        let mut cross = 1.0;
+        for a in start..right_start {
+            for b in right_start..start + len {
+                cross *= s.sel(order[a], order[b]);
+            }
+        }
+        let card = lcell.card * rcell.card * cross;
+        let cost = lcell.cost + rcell.cost + card;
+
+        // Cost expression: child costs (live for leaves, frozen for
+        // internal subtrees) plus the cardinality monomial.
+        let mut expr = CostExpr::zero();
+        let mut card_m = Monomial::constant(1.0);
+        for (clen, cstart, cell) in [
+            (left_len, start, lcell),
+            (right_len, right_start, rcell),
+        ] {
+            if clen == 1 {
+                let slot = order[cstart];
+                expr.add_term(leaf_monomial(slot));
+                card_m = card_m.with_rate(slot).with_sel(slot, slot);
+            } else {
+                expr.add_constant(cell.cost);
+                card_m.coeff *= cell.card;
+            }
+        }
+        for a in start..right_start {
+            for b in right_start..start + len {
+                card_m = card_m.with_sel(order[a], order[b]);
+            }
+        }
+        expr.add_term(card_m);
+        debug_assert!(
+            (expr.eval(s) - cost).abs() <= 1e-6 * cost.abs().max(1.0),
+            "cost expression must reproduce the DP cost"
+        );
+        candidates.push((left_len, expr));
+
+        if best.is_none_or(|(_, bc, _)| cost < bc) {
+            best = Some((left_len, cost, card));
+        }
+    }
+
+    let (chosen_left_len, cost, card) = best.expect("len >= 2 has at least one split");
+    Cell {
+        cost,
+        card,
+        chosen_left_len,
+        candidates,
+    }
+}
+
+/// Ranges (len, start) of the internal nodes of the final plan.
+fn collect_final_ranges(table: &[Vec<Cell>], len: usize, start: usize, out: &mut Vec<(usize, usize)>) {
+    if len == 1 {
+        return;
+    }
+    out.push((len, start));
+    let ll = table[len - 1][start].chosen_left_len;
+    collect_final_ranges(table, ll, start, out);
+    collect_final_ranges(table, len - ll, start + ll, out);
+}
+
+/// Builds the arena representation of the chosen tree.
+fn build_arena(
+    table: &[Vec<Cell>],
+    order: &[usize],
+    len: usize,
+    start: usize,
+    nodes: &mut Vec<TreeNode>,
+) -> usize {
+    if len == 1 {
+        nodes.push(TreeNode::Leaf { slot: order[start] });
+        return nodes.len() - 1;
+    }
+    let ll = table[len - 1][start].chosen_left_len;
+    let left = build_arena(table, order, ll, start, nodes);
+    let right = build_arena(table, order, len - ll, start + ll, nodes);
+    nodes.push(TreeNode::Internal { left, right });
+    nodes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::tree_plan_cost;
+    use crate::recorder::{CollectingRecorder, NoopRecorder};
+    use acep_types::{EventTypeId, Pattern};
+
+    fn seq_sub(n: usize) -> Pattern {
+        let types: Vec<EventTypeId> = (0..n as u32).map(EventTypeId).collect();
+        Pattern::sequence("p", &types, 1_000)
+    }
+
+    fn and_sub(n: usize) -> Pattern {
+        let types: Vec<EventTypeId> = (0..n as u32).map(EventTypeId).collect();
+        Pattern::conjunction("p", &types, 1_000)
+    }
+
+    #[test]
+    fn sequence_prefers_joining_rare_types_first() {
+        // Rates A=100, B=15, C=10 (paper Fig. 3): joining (B,C) first is
+        // cheaper than the left-deep (A,B) tree.
+        let p = seq_sub(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let plan = ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut NoopRecorder);
+        assert_eq!(plan.shape(), "(0,(1,2))");
+        assert!((tree_plan_cost(&plan, &s) - 15_275.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjunction_sorts_leaves_by_rate() {
+        let p = and_sub(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let plan = ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut NoopRecorder);
+        // Leaves ascending by rate: 2, 1, 0 and the cheapest grouping
+        // joins the two rarest first.
+        assert_eq!(plan.shape(), "((2,1),0)");
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_over_contiguous_shapes() {
+        let p = seq_sub(5);
+        let mut s = StatSnapshot::from_rates(vec![12.0, 3.0, 40.0, 7.0, 25.0]);
+        s.set_sel(0, 2, 0.1);
+        s.set_sel(1, 4, 0.05);
+        s.set_sel(3, 4, 0.7);
+        let plan = ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut NoopRecorder);
+        let dp_cost = tree_plan_cost(&plan, &s);
+        let (best, best_cost) = crate::exhaustive::optimal_contiguous_tree(&[0, 1, 2, 3, 4], &s);
+        assert!(
+            (dp_cost - best_cost).abs() <= 1e-9 * best_cost.max(1.0),
+            "dp={dp_cost} best={best_cost} (shape {})",
+            best.shape()
+        );
+    }
+
+    #[test]
+    fn single_leaf_pattern() {
+        let p = seq_sub(1);
+        let s = StatSnapshot::from_rates(vec![5.0]);
+        let mut rec = CollectingRecorder::new();
+        let plan = ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut rec);
+        assert_eq!(plan.shape(), "0");
+        assert!(rec.conditions().is_empty());
+    }
+
+    #[test]
+    fn conditions_recorded_for_final_blocks_hold() {
+        let p = seq_sub(4);
+        let s = StatSnapshot::from_rates(vec![50.0, 5.0, 20.0, 2.0]);
+        let mut rec = CollectingRecorder::new();
+        ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut rec);
+        let sets = rec.into_condition_sets();
+        assert!(!sets.is_empty());
+        for set in &sets {
+            for c in &set.conditions {
+                assert!(c.holds(&s), "recorded condition must hold at planning time");
+            }
+        }
+        // The root block (last, bottom-up) compares len-1 = 3 candidates
+        // → 2 rejected conditions.
+        let root_set = sets.last().unwrap();
+        assert_eq!(root_set.conditions.len(), 2);
+    }
+
+    #[test]
+    fn conjunction_records_leaf_order_conditions() {
+        let p = and_sub(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let mut rec = CollectingRecorder::new();
+        ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut rec);
+        let sets = rec.into_condition_sets();
+        // Blocks 0..1 are leaf-order comparisons: r2 < r1 and r1 < r0.
+        assert_eq!(sets[0].block, BlockId(0));
+        let c = &sets[0].conditions[0];
+        assert_eq!(c.lhs.eval(&s), 10.0);
+        assert_eq!(c.rhs.eval(&s), 15.0);
+        let c = &sets[1].conditions[0];
+        assert_eq!(c.lhs.eval(&s), 15.0);
+        assert_eq!(c.rhs.eval(&s), 100.0);
+    }
+
+    #[test]
+    fn expression_values_track_live_rate_changes() {
+        // The root condition of a 3-leaf tree: chosen (0,(1,2)) vs
+        // rejected ((0,1),2). Under the §4.2 freezing rule, leaf rates
+        // stay live while internal subtree costs/cards are frozen.
+        let p = seq_sub(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let mut rec = CollectingRecorder::new();
+        ZStreamTreePlanner.plan(&p.canonical().branches[0], &s, &mut rec);
+        let sets = rec.into_condition_sets();
+        let root_cond = &sets.last().unwrap().conditions[0];
+        assert!(root_cond.holds(&s));
+        // The rejected side's leaf (slot 2) is live on the rhs: if type
+        // 2 becomes ultra-rare the rejected candidate looks cheap and
+        // the condition is violated → reoptimization fires.
+        let s2 = StatSnapshot::from_rates(vec![100.0, 15.0, 0.01]);
+        assert!(!root_cond.holds(&s2));
+        // The chosen side's leaf (slot 0) is live on the lhs.
+        let s3 = StatSnapshot::from_rates(vec![50.0, 15.0, 10.0]);
+        assert!(root_cond.lhs.eval(&s3) < root_cond.lhs.eval(&s));
+        // The frozen internal subtree keeps rhs blind to changes in its
+        // own leaves — the false-negative source the paper mitigates
+        // with the K-invariant method (§3.3, §4.2).
+        let s4 = StatSnapshot::from_rates(vec![0.1, 15.0, 10.0]);
+        assert!(root_cond.holds(&s4));
+    }
+}

@@ -1,0 +1,311 @@
+//! The statistics collector: per-type rate estimators plus per-branch
+//! selectivity estimation, producing [`StatSnapshot`]s on demand.
+
+use std::sync::Arc;
+
+use acep_types::{CanonicalPattern, Event, EventTypeId, Predicate, Timestamp, VarId};
+
+use crate::rates::{DgimRateEstimator, ExactRateEstimator, RateEstimator};
+use crate::sample::EventSample;
+use crate::selectivity::SelectivityEstimator;
+use crate::snapshot::StatSnapshot;
+
+/// Configuration of the statistics component.
+#[derive(Debug, Clone)]
+pub struct StatsConfig {
+    /// Sliding window (ms) over which rates are estimated. Independent of
+    /// the pattern's match window.
+    pub window_ms: Timestamp,
+    /// DGIM buckets-per-size parameter (error ≤ 1/(2(r−1))).
+    pub dgim_max_per_size: usize,
+    /// Events retained per type for selectivity sampling.
+    pub sample_capacity: usize,
+    /// Maximum event pairs evaluated per selectivity estimate.
+    pub max_pairs: usize,
+    /// Use the exact ring-buffer rate estimator instead of DGIM (more
+    /// memory, zero approximation error). Used in tests.
+    pub exact_rates: bool,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 10_000,
+            dgim_max_per_size: 8,
+            sample_capacity: 16,
+            max_pairs: 256,
+            exact_rates: false,
+        }
+    }
+}
+
+enum RateImpl {
+    Dgim(DgimRateEstimator),
+    Exact(ExactRateEstimator),
+}
+
+impl RateEstimator for RateImpl {
+    fn observe(&mut self, ts: Timestamp) {
+        match self {
+            RateImpl::Dgim(e) => e.observe(ts),
+            RateImpl::Exact(e) => e.observe(ts),
+        }
+    }
+
+    fn rate_per_sec(&mut self, now: Timestamp) -> f64 {
+        match self {
+            RateImpl::Dgim(e) => e.rate_per_sec(now),
+            RateImpl::Exact(e) => e.rate_per_sec(now),
+        }
+    }
+}
+
+/// Precompiled statistics spec for one sub-pattern branch.
+struct BranchSpec {
+    slot_types: Vec<EventTypeId>,
+    /// `(slot_i, slot_j, var_i, var_j, predicates)` for each pair with
+    /// at least one condition.
+    pair_preds: Vec<(usize, usize, VarId, VarId, Vec<Predicate>)>,
+    /// `(slot, var, predicates)` for slots with unary conditions.
+    unary_preds: Vec<(usize, VarId, Vec<Predicate>)>,
+}
+
+/// Continuously re-estimates the monitored statistics of a pattern — the
+/// paper's "dedicated component \[that\] calculates up-to-date estimates
+/// of the statistics" (Fig. 2).
+pub struct StatisticsCollector {
+    rates: Vec<RateImpl>,
+    samples: Vec<EventSample>,
+    branches: Vec<BranchSpec>,
+    estimator: SelectivityEstimator,
+    events_observed: u64,
+}
+
+impl StatisticsCollector {
+    /// Creates a collector for `num_types` registered event types and the
+    /// given pattern.
+    pub fn new(num_types: usize, pattern: &CanonicalPattern, config: &StatsConfig) -> Self {
+        let rates = (0..num_types)
+            .map(|_| {
+                if config.exact_rates {
+                    RateImpl::Exact(ExactRateEstimator::new(config.window_ms))
+                } else {
+                    RateImpl::Dgim(DgimRateEstimator::new(
+                        config.window_ms,
+                        config.dgim_max_per_size,
+                    ))
+                }
+            })
+            .collect();
+        let samples = (0..num_types)
+            .map(|_| EventSample::new(config.sample_capacity))
+            .collect();
+
+        let branches = pattern
+            .branches
+            .iter()
+            .map(|b| {
+                let slot_types = b.slots.iter().map(|s| s.event_type).collect();
+                let mut pair_preds = Vec::new();
+                for i in 0..b.n() {
+                    for j in (i + 1)..b.n() {
+                        let preds: Vec<Predicate> = b
+                            .binary_conditions(i, j)
+                            .map(|c| c.predicate.clone())
+                            .collect();
+                        if !preds.is_empty() {
+                            pair_preds.push((i, j, b.slots[i].var, b.slots[j].var, preds));
+                        }
+                    }
+                }
+                let mut unary_preds = Vec::new();
+                for i in 0..b.n() {
+                    let preds: Vec<Predicate> = b
+                        .unary_conditions(i)
+                        .map(|c| c.predicate.clone())
+                        .collect();
+                    if !preds.is_empty() {
+                        unary_preds.push((i, b.slots[i].var, preds));
+                    }
+                }
+                BranchSpec {
+                    slot_types,
+                    pair_preds,
+                    unary_preds,
+                }
+            })
+            .collect();
+
+        Self {
+            rates,
+            samples,
+            branches,
+            estimator: SelectivityEstimator::new(config.max_pairs),
+            events_observed: 0,
+        }
+    }
+
+    /// Number of pattern branches covered.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total events observed so far.
+    pub fn events_observed(&self) -> u64 {
+        self.events_observed
+    }
+
+    /// Feeds one event into the rate estimators and samples.
+    pub fn observe(&mut self, ev: &Arc<Event>) {
+        self.events_observed += 1;
+        let idx = ev.type_id.index();
+        if let Some(r) = self.rates.get_mut(idx) {
+            r.observe(ev.timestamp);
+        }
+        if let Some(s) = self.samples.get_mut(idx) {
+            s.push(Arc::clone(ev));
+        }
+    }
+
+    /// Produces the current statistics snapshot for branch `b`.
+    pub fn snapshot_branch(&mut self, b: usize, now: Timestamp) -> StatSnapshot {
+        let spec = &self.branches[b];
+        let n = spec.slot_types.len();
+        let mut snap = StatSnapshot::uniform(n);
+        for (i, t) in spec.slot_types.iter().enumerate() {
+            snap.set_rate(i, self.rates[t.index()].rate_per_sec(now));
+        }
+        for (i, j, vi, vj, preds) in &spec.pair_preds {
+            let pred_refs: Vec<&Predicate> = preds.iter().collect();
+            let sel = self.estimator.pair(
+                &pred_refs,
+                *vi,
+                &self.samples[spec.slot_types[*i].index()],
+                *vj,
+                &self.samples[spec.slot_types[*j].index()],
+            );
+            snap.set_sel(*i, *j, sel);
+        }
+        for (i, v, preds) in &spec.unary_preds {
+            let pred_refs: Vec<&Predicate> = preds.iter().collect();
+            let sel =
+                self.estimator
+                    .unary(&pred_refs, *v, &self.samples[spec.slot_types[*i].index()]);
+            snap.set_sel(*i, *i, sel);
+        }
+        snap
+    }
+
+    /// Produces snapshots for all branches.
+    pub fn snapshots(&mut self, now: Timestamp) -> Vec<StatSnapshot> {
+        (0..self.branches.len())
+            .map(|b| self.snapshot_branch(b, now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{attr, Pattern, PatternExpr, Value};
+
+    fn pattern_ab() -> Pattern {
+        Pattern::builder("p")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+            ]))
+            .condition(attr(0, 0).lt(attr(1, 0)))
+            .window(1_000)
+            .build()
+            .unwrap()
+    }
+
+    fn ev(type_id: u32, ts: u64, seq: u64, v: i64) -> Arc<Event> {
+        Event::new(EventTypeId(type_id), ts, seq, vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn rates_reflect_arrival_frequencies() {
+        let p = pattern_ab();
+        let cfg = StatsConfig {
+            exact_rates: true,
+            window_ms: 1_000,
+            ..StatsConfig::default()
+        };
+        let mut c = StatisticsCollector::new(2, p.canonical(), &cfg);
+        // Type 0 at 100 ev/s, type 1 at 10 ev/s over one second.
+        let mut seq = 0;
+        for i in 0..100u64 {
+            c.observe(&ev(0, i * 10, seq, 1));
+            seq += 1;
+        }
+        for i in 0..10u64 {
+            c.observe(&ev(1, i * 100, seq, 2));
+            seq += 1;
+        }
+        let snap = c.snapshot_branch(0, 1_000);
+        assert!((snap.rate(0) - 100.0).abs() < 5.0, "r0={}", snap.rate(0));
+        assert!((snap.rate(1) - 10.0).abs() < 2.0, "r1={}", snap.rate(1));
+        assert_eq!(c.events_observed(), 110);
+    }
+
+    #[test]
+    fn selectivity_estimated_from_samples() {
+        let p = pattern_ab();
+        let cfg = StatsConfig {
+            exact_rates: true,
+            sample_capacity: 16,
+            ..StatsConfig::default()
+        };
+        let mut c = StatisticsCollector::new(2, p.canonical(), &cfg);
+        // Type-0 values all 50, type-1 values 0..16 → sel(a.x < b.x) = 0.
+        for i in 0..16u64 {
+            c.observe(&ev(0, i, i, 50));
+            c.observe(&ev(1, i, 100 + i, i as i64));
+        }
+        let snap = c.snapshot_branch(0, 16);
+        assert_eq!(snap.sel(0, 1), 0.0);
+        // Flip: type-1 values all 100 → sel = 1.
+        for i in 0..16u64 {
+            c.observe(&ev(1, 20 + i, 200 + i, 100));
+        }
+        let snap = c.snapshot_branch(0, 36);
+        assert_eq!(snap.sel(0, 1), 1.0);
+    }
+
+    #[test]
+    fn pairs_without_conditions_stay_neutral() {
+        let p = Pattern::sequence("s", &[EventTypeId(0), EventTypeId(1)], 1_000);
+        let mut c = StatisticsCollector::new(2, p.canonical(), &StatsConfig::default());
+        for i in 0..10u64 {
+            c.observe(&ev(0, i, i, 1));
+        }
+        let snap = c.snapshot_branch(0, 10);
+        assert_eq!(snap.sel(0, 1), 1.0);
+        assert_eq!(snap.sel(0, 0), 1.0);
+    }
+
+    #[test]
+    fn snapshots_cover_all_branches() {
+        let p = Pattern::builder("or")
+            .expr(PatternExpr::or([
+                PatternExpr::seq([
+                    PatternExpr::prim(EventTypeId(0)),
+                    PatternExpr::prim(EventTypeId(1)),
+                ]),
+                PatternExpr::seq([
+                    PatternExpr::prim(EventTypeId(2)),
+                    PatternExpr::prim(EventTypeId(3)),
+                ]),
+            ]))
+            .window(1_000)
+            .build()
+            .unwrap();
+        let mut c = StatisticsCollector::new(4, p.canonical(), &StatsConfig::default());
+        assert_eq!(c.num_branches(), 2);
+        let snaps = c.snapshots(0);
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].n(), 2);
+    }
+}

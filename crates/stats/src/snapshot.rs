@@ -1,0 +1,155 @@
+//! Statistics snapshots: the `Stat ∈ STAT` input of the paper's plan
+//! generation algorithm `A` and reoptimizing decision function `D`.
+
+/// A snapshot of the monitored statistics for one sub-pattern with `n`
+/// positive slots:
+///
+/// * `rates[i]` — arrival rate (events/s) of slot `i`'s event type
+///   (`r_i` in the paper);
+/// * `sel(i, j)` for `i ≠ j` — selectivity of the conjunction of
+///   predicates between slots `i` and `j` (`sel_{i,j}`; `1.0` when no
+///   predicate links them);
+/// * `sel(i, i)` — selectivity of slot `i`'s unary predicates
+///   (`sel_{i,i}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatSnapshot {
+    n: usize,
+    rates: Vec<f64>,
+    /// Row-major `n × n`, symmetric.
+    sel: Vec<f64>,
+}
+
+impl StatSnapshot {
+    /// A snapshot with all rates `1.0` and all selectivities `1.0` — the
+    /// "default, empty `Stat`" the paper passes when nothing is known.
+    pub fn uniform(n: usize) -> Self {
+        Self {
+            n,
+            rates: vec![1.0; n],
+            sel: vec![1.0; n * n],
+        }
+    }
+
+    /// Builds a snapshot from explicit rates (selectivities default 1.0).
+    pub fn from_rates(rates: Vec<f64>) -> Self {
+        let n = rates.len();
+        Self {
+            n,
+            rates,
+            sel: vec![1.0; n * n],
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Arrival rate of slot `i`.
+    #[inline]
+    pub fn rate(&self, i: usize) -> f64 {
+        self.rates[i]
+    }
+
+    /// Sets the arrival rate of slot `i`.
+    pub fn set_rate(&mut self, i: usize, r: f64) {
+        self.rates[i] = r;
+    }
+
+    /// Selectivity between slots `i` and `j` (unary selectivity when
+    /// `i == j`).
+    #[inline]
+    pub fn sel(&self, i: usize, j: usize) -> f64 {
+        self.sel[i * self.n + j]
+    }
+
+    /// Sets `sel(i, j)` (and symmetrically `sel(j, i)`).
+    pub fn set_sel(&mut self, i: usize, j: usize, s: f64) {
+        self.sel[i * self.n + j] = s;
+        self.sel[j * self.n + i] = s;
+    }
+
+    /// Iterates over every monitored value (rates then the upper
+    /// selectivity triangle incl. diagonal) — the flat view used by the
+    /// constant-threshold baseline, which compares "all values in
+    /// `curr_stat`".
+    pub fn values(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n + self.n * (self.n + 1) / 2);
+        out.extend_from_slice(&self.rates);
+        for i in 0..self.n {
+            for j in i..self.n {
+                out.push(self.sel(i, j));
+            }
+        }
+        out
+    }
+
+    /// Maximum relative deviation between this snapshot's values and a
+    /// baseline's (`|x − x₀| / max(|x₀|, ε)`), the quantity the
+    /// constant-threshold method tests against `t`.
+    pub fn max_relative_deviation(&self, baseline: &StatSnapshot) -> f64 {
+        const EPS: f64 = 1e-9;
+        self.values()
+            .iter()
+            .zip(baseline.values().iter())
+            .map(|(x, x0)| (x - x0).abs() / x0.abs().max(EPS))
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute deviation between this snapshot's values and a
+    /// baseline's.
+    pub fn max_absolute_deviation(&self, baseline: &StatSnapshot) -> f64 {
+        self.values()
+            .iter()
+            .zip(baseline.values().iter())
+            .map(|(x, x0)| (x - x0).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_defaults() {
+        let s = StatSnapshot::uniform(3);
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.rate(2), 1.0);
+        assert_eq!(s.sel(0, 2), 1.0);
+    }
+
+    #[test]
+    fn sel_is_symmetric() {
+        let mut s = StatSnapshot::uniform(3);
+        s.set_sel(0, 2, 0.25);
+        assert_eq!(s.sel(0, 2), 0.25);
+        assert_eq!(s.sel(2, 0), 0.25);
+        assert_eq!(s.sel(0, 1), 1.0);
+    }
+
+    #[test]
+    fn values_flattens_rates_and_upper_triangle() {
+        let mut s = StatSnapshot::from_rates(vec![10.0, 20.0]);
+        s.set_sel(0, 1, 0.5);
+        s.set_sel(0, 0, 0.9);
+        // rates: 10, 20; sel upper triangle: (0,0)=0.9 (0,1)=0.5 (1,1)=1.
+        assert_eq!(s.values(), vec![10.0, 20.0, 0.9, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn relative_deviation() {
+        let base = StatSnapshot::from_rates(vec![100.0, 10.0]);
+        let mut cur = base.clone();
+        cur.set_rate(1, 16.0); // +60 %
+        assert!((cur.max_relative_deviation(&base) - 0.6).abs() < 1e-12);
+        assert!((cur.max_absolute_deviation(&base) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deviation_of_identical_snapshots_is_zero() {
+        let s = StatSnapshot::from_rates(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.max_relative_deviation(&s.clone()), 0.0);
+    }
+}

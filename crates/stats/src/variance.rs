@@ -1,0 +1,167 @@
+//! Running mean/variance trackers.
+//!
+//! Used by the violation-probability invariant selection strategy (paper
+//! §3.5), which needs per-statistic variance estimates, and by tests.
+
+/// Welford's online algorithm: exact running mean and variance.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Exponentially weighted moving average and variance — tracks
+/// *recent* behaviour of a statistic, forgetting old regimes.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    alpha: f64,
+    mean: Option<f64>,
+    var: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha ∈ (0, 1]` (higher =
+    /// faster forgetting).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Self {
+            alpha,
+            mean: None,
+            var: 0.0,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        match self.mean {
+            None => self.mean = Some(x),
+            Some(m) => {
+                let diff = x - m;
+                let incr = self.alpha * diff;
+                self.mean = Some(m + incr);
+                self.var = (1.0 - self.alpha) * (self.var + diff * incr);
+            }
+        }
+    }
+
+    /// Current smoothed mean (`None` before the first observation).
+    pub fn mean(&self) -> Option<f64> {
+        self.mean
+    }
+
+    /// Current smoothed variance.
+    pub fn variance(&self) -> f64 {
+        self.var
+    }
+
+    /// Current smoothed standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 8);
+        assert!((rs.mean() - 5.0).abs() < 1e-12);
+        assert!((rs.variance() - 4.0).abs() < 1e-12);
+        assert!((rs.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_small_counts() {
+        let mut rs = RunningStats::new();
+        assert_eq!(rs.mean(), 0.0);
+        assert_eq!(rs.variance(), 0.0);
+        rs.push(3.0);
+        assert_eq!(rs.mean(), 3.0);
+        assert_eq!(rs.variance(), 0.0);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.2);
+        for _ in 0..200 {
+            e.push(7.0);
+        }
+        assert!((e.mean().unwrap() - 7.0).abs() < 1e-9);
+        assert!(e.variance() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_tracks_regime_change() {
+        let mut e = Ewma::new(0.3);
+        for _ in 0..100 {
+            e.push(1.0);
+        }
+        for _ in 0..100 {
+            e.push(10.0);
+        }
+        assert!((e.mean().unwrap() - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn ewma_variance_positive_for_noisy_input() {
+        let mut e = Ewma::new(0.1);
+        for i in 0..1000 {
+            e.push(if i % 2 == 0 { 0.0 } else { 1.0 });
+        }
+        assert!(e.variance() > 0.01);
+        assert!(e.std_dev() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn invalid_alpha_panics() {
+        Ewma::new(0.0);
+    }
+}

@@ -1,0 +1,566 @@
+//! Canonical (normalized) pattern form.
+//!
+//! Planners and engines do not work on the raw operator tree; they work on
+//! a [`CanonicalPattern`]: a disjunction of [`SubPattern`]s, each of which
+//! is a flat sequence or conjunction of positive slots (possibly Kleene)
+//! plus negated slots and compiled conditions. This mirrors the paper's
+//! treatment: the core algorithms target sequence/conjunction patterns,
+//! negation is a post-processing step on the plan (§4.1), and composite
+//! (disjunctive) patterns are evaluated as independent sub-patterns
+//! (Appendix A, set 5).
+
+use crate::error::AcepError;
+use crate::event::{EventTypeId, Timestamp};
+use crate::pattern::PatternExpr;
+use crate::predicate::{Predicate, VarId};
+
+/// Whether a sub-pattern's positive slots are temporally ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubKind {
+    /// `SEQ`: slot order is ascending timestamp order.
+    Sequence,
+    /// `AND`: no temporal constraints beyond the window.
+    Conjunction,
+}
+
+/// A positive slot of a sub-pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slot {
+    /// The pattern variable bound by this slot.
+    pub var: VarId,
+    /// The event type accepted by this slot.
+    pub event_type: EventTypeId,
+    /// Whether this slot is under Kleene closure (matches one or more
+    /// events; the engine uses maximal-set semantics).
+    pub kleene: bool,
+}
+
+/// A negated slot: an event type whose presence invalidates a match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NegatedSlot {
+    /// The pattern variable (negated events still get variables so that
+    /// conditions can reference them).
+    pub var: VarId,
+    /// The event type that must be absent.
+    pub event_type: EventTypeId,
+    /// For sequences: the positive slot index that must precede the
+    /// negated event (`None` = window start).
+    pub after_slot: Option<usize>,
+    /// For sequences: the positive slot index that must follow the
+    /// negated event (`None` = window end).
+    pub before_slot: Option<usize>,
+}
+
+/// Variable footprint of a compiled condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondVars {
+    /// Exactly one variable — contributes to that slot's unary
+    /// selectivity (`sel_{i,i}` in the paper).
+    Unary(VarId),
+    /// Exactly two variables — contributes to the pairwise selectivity
+    /// `sel_{i,j}`.
+    Binary(VarId, VarId),
+    /// Three or more variables — evaluated only at full-match time; not
+    /// modeled by the pairwise cost model.
+    General(Vec<VarId>),
+}
+
+/// A condition plus its precomputed variable footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledCondition {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// Which variables it touches.
+    pub vars: CondVars,
+}
+
+/// A flat sequence/conjunction sub-pattern — the planning unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubPattern {
+    /// Sequence or conjunction.
+    pub kind: SubKind,
+    /// Positive slots in declaration (for `SEQ`: temporal) order.
+    pub slots: Vec<Slot>,
+    /// Negated slots.
+    pub negated: Vec<NegatedSlot>,
+    /// Conditions whose variables all fall inside this sub-pattern.
+    pub conditions: Vec<CompiledCondition>,
+    /// Time window (ms), inherited from the pattern.
+    pub window: Timestamp,
+}
+
+impl SubPattern {
+    /// Number of positive slots (the paper's pattern size `n`).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Maps a variable to its positive slot index, if it is positive.
+    pub fn slot_of_var(&self, var: VarId) -> Option<usize> {
+        self.slots.iter().position(|s| s.var == var)
+    }
+
+    /// Conditions between exactly the positive slots `a` and `b` (in
+    /// either variable order).
+    pub fn binary_conditions(&self, a: usize, b: usize) -> impl Iterator<Item = &CompiledCondition> {
+        let (va, vb) = (self.slots[a].var, self.slots[b].var);
+        self.conditions.iter().filter(move |c| match &c.vars {
+            CondVars::Binary(x, y) => (*x == va && *y == vb) || (*x == vb && *y == va),
+            _ => false,
+        })
+    }
+
+    /// Unary conditions on positive slot `i`.
+    pub fn unary_conditions(&self, i: usize) -> impl Iterator<Item = &CompiledCondition> {
+        let v = self.slots[i].var;
+        self.conditions.iter().filter(move |c| match &c.vars {
+            CondVars::Unary(x) => *x == v,
+            _ => false,
+        })
+    }
+
+    /// True if any binary condition links positive slots `a` and `b`.
+    pub fn pair_has_condition(&self, a: usize, b: usize) -> bool {
+        self.binary_conditions(a, b).next().is_some()
+    }
+
+    /// Conditions that involve the given negated variable.
+    pub fn conditions_on_negated(&self, var: VarId) -> impl Iterator<Item = &CompiledCondition> {
+        self.conditions.iter().filter(move |c| match &c.vars {
+            CondVars::Unary(x) => *x == var,
+            CondVars::Binary(x, y) => *x == var || *y == var,
+            CondVars::General(vs) => vs.contains(&var),
+        })
+    }
+
+    /// Conditions with three or more variables (evaluated at full-match
+    /// time only).
+    pub fn general_conditions(&self) -> impl Iterator<Item = &CompiledCondition> {
+        self.conditions
+            .iter()
+            .filter(|c| matches!(c.vars, CondVars::General(_)))
+    }
+}
+
+/// A normalized pattern: a disjunction of sub-patterns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CanonicalPattern {
+    /// Pattern name.
+    pub name: String,
+    /// The disjunction branches (a non-disjunctive pattern has one).
+    pub branches: Vec<SubPattern>,
+    /// Time window (ms).
+    pub window: Timestamp,
+}
+
+/// Flat item extracted from a branch expression.
+enum BranchItem {
+    Positive { event_type: EventTypeId, kleene: bool },
+    Negated { event_type: EventTypeId },
+}
+
+/// Normalizes a pattern expression + conditions into canonical form.
+///
+/// Rules (deviations are rejected with [`AcepError::InvalidPattern`]):
+/// * `OR` may appear only at the top level.
+/// * Each branch is a `SEQ`, an `AND`, or a single primitive; nested
+///   same-operator nodes are flattened.
+/// * `Neg`/`Kleene` apply to primitives only; they cannot nest in each
+///   other.
+/// * A branch needs at least one positive slot.
+/// * Every condition's variables must fall within a single branch.
+pub fn canonicalize(
+    name: &str,
+    expr: &PatternExpr,
+    conditions: &[Predicate],
+    window: Timestamp,
+) -> Result<CanonicalPattern, AcepError> {
+    let branch_exprs: Vec<&PatternExpr> = match expr {
+        PatternExpr::Or(items) => {
+            if items.is_empty() {
+                return Err(AcepError::InvalidPattern("empty disjunction".into()));
+            }
+            items.iter().collect()
+        }
+        other => vec![other],
+    };
+
+    let mut next_var = 0u32;
+    let mut branches = Vec::with_capacity(branch_exprs.len());
+    for bexpr in branch_exprs {
+        branches.push(build_branch(bexpr, &mut next_var, window)?);
+    }
+
+    // Assign each condition to the unique branch containing its variables.
+    for cond in conditions {
+        let vars = cond.vars();
+        if vars.is_empty() {
+            return Err(AcepError::InvalidPattern(
+                "condition references no pattern variables".into(),
+            ));
+        }
+        let owner = branches.iter_mut().find(|b| {
+            vars.iter().all(|v| {
+                b.slots.iter().any(|s| s.var == *v) || b.negated.iter().any(|nk| nk.var == *v)
+            })
+        });
+        let Some(branch) = owner else {
+            return Err(AcepError::InvalidPattern(format!(
+                "condition variables {vars:?} span multiple disjunction branches"
+            )));
+        };
+        let cond_vars = match vars.as_slice() {
+            [v] => CondVars::Unary(*v),
+            [a, b] => CondVars::Binary(*a, *b),
+            _ => CondVars::General(vars),
+        };
+        branch.conditions.push(CompiledCondition {
+            predicate: cond.clone(),
+            vars: cond_vars,
+        });
+    }
+
+    Ok(CanonicalPattern {
+        name: name.to_string(),
+        branches,
+        window,
+    })
+}
+
+fn build_branch(
+    expr: &PatternExpr,
+    next_var: &mut u32,
+    window: Timestamp,
+) -> Result<SubPattern, AcepError> {
+    let (kind, raw_items): (SubKind, Vec<&PatternExpr>) = match expr {
+        PatternExpr::Seq(items) => (SubKind::Sequence, items.iter().collect()),
+        PatternExpr::And(items) => (SubKind::Conjunction, items.iter().collect()),
+        PatternExpr::Prim(_) | PatternExpr::Kleene(_) | PatternExpr::Neg(_) => {
+            (SubKind::Sequence, vec![expr])
+        }
+        PatternExpr::Or(_) => {
+            return Err(AcepError::InvalidPattern(
+                "disjunction is only supported at the top level".into(),
+            ))
+        }
+    };
+
+    // Flatten nested same-operator nodes, then classify leaves.
+    let mut items: Vec<BranchItem> = Vec::new();
+    let mut vars: Vec<VarId> = Vec::new();
+    flatten_items(kind, &raw_items, &mut items, &mut vars, next_var)?;
+
+    // Positive slot index of each item (needed to anchor negated slots).
+    let mut positive_index_by_item: Vec<Option<usize>> = Vec::with_capacity(items.len());
+    let mut slots: Vec<Slot> = Vec::new();
+    for (item, var) in items.iter().zip(vars.iter()) {
+        match item {
+            BranchItem::Positive { event_type, kleene } => {
+                positive_index_by_item.push(Some(slots.len()));
+                slots.push(Slot {
+                    var: *var,
+                    event_type: *event_type,
+                    kleene: *kleene,
+                });
+            }
+            BranchItem::Negated { .. } => positive_index_by_item.push(None),
+        }
+    }
+    let mut negated = Vec::new();
+    for (idx, (item, var)) in items.iter().zip(vars.iter()).enumerate() {
+        if let BranchItem::Negated { event_type } = item {
+            let (after_slot, before_slot) = if kind == SubKind::Sequence {
+                let after = positive_index_by_item[..idx]
+                    .iter()
+                    .rev()
+                    .find_map(|p| *p);
+                let before = positive_index_by_item[idx + 1..].iter().find_map(|p| *p);
+                (after, before)
+            } else {
+                (None, None)
+            };
+            negated.push(NegatedSlot {
+                var: *var,
+                event_type: *event_type,
+                after_slot,
+                before_slot,
+            });
+        }
+    }
+
+    if slots.is_empty() {
+        return Err(AcepError::InvalidPattern(
+            "a pattern branch needs at least one positive (non-negated) event".into(),
+        ));
+    }
+
+    Ok(SubPattern {
+        kind,
+        slots,
+        negated,
+        conditions: Vec::new(),
+        window,
+    })
+}
+
+fn flatten_items(
+    kind: SubKind,
+    raw: &[&PatternExpr],
+    items: &mut Vec<BranchItem>,
+    vars: &mut Vec<VarId>,
+    next_var: &mut u32,
+) -> Result<(), AcepError> {
+    for e in raw {
+        match e {
+            PatternExpr::Prim(t) => {
+                items.push(BranchItem::Positive {
+                    event_type: *t,
+                    kleene: false,
+                });
+                vars.push(VarId(*next_var));
+                *next_var += 1;
+            }
+            PatternExpr::Kleene(inner) => match inner.as_ref() {
+                PatternExpr::Prim(t) => {
+                    items.push(BranchItem::Positive {
+                        event_type: *t,
+                        kleene: true,
+                    });
+                    vars.push(VarId(*next_var));
+                    *next_var += 1;
+                }
+                _ => {
+                    return Err(AcepError::InvalidPattern(
+                        "Kleene closure applies to primitive events only".into(),
+                    ))
+                }
+            },
+            PatternExpr::Neg(inner) => match inner.as_ref() {
+                PatternExpr::Prim(t) => {
+                    items.push(BranchItem::Negated { event_type: *t });
+                    vars.push(VarId(*next_var));
+                    *next_var += 1;
+                }
+                _ => {
+                    return Err(AcepError::InvalidPattern(
+                        "negation applies to primitive events only".into(),
+                    ))
+                }
+            },
+            PatternExpr::Seq(inner) if kind == SubKind::Sequence => {
+                let refs: Vec<&PatternExpr> = inner.iter().collect();
+                flatten_items(kind, &refs, items, vars, next_var)?;
+            }
+            PatternExpr::And(inner) if kind == SubKind::Conjunction => {
+                let refs: Vec<&PatternExpr> = inner.iter().collect();
+                flatten_items(kind, &refs, items, vars, next_var)?;
+            }
+            PatternExpr::Seq(_) | PatternExpr::And(_) => {
+                return Err(AcepError::InvalidPattern(
+                    "mixing SEQ and AND in one branch is not supported".into(),
+                ))
+            }
+            PatternExpr::Or(_) => {
+                return Err(AcepError::InvalidPattern(
+                    "disjunction is only supported at the top level".into(),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::attr;
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    #[test]
+    fn simple_sequence() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::prim(t(2)),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        assert_eq!(c.branches.len(), 1);
+        let b = &c.branches[0];
+        assert_eq!(b.kind, SubKind::Sequence);
+        assert_eq!(b.n(), 3);
+        assert_eq!(b.slots[1].var, VarId(1));
+        assert_eq!(b.slots[1].event_type, t(1));
+        assert!(b.negated.is_empty());
+    }
+
+    #[test]
+    fn nested_seq_is_flattened() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::seq([PatternExpr::prim(t(1)), PatternExpr::prim(t(2))]),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        assert_eq!(c.branches[0].n(), 3);
+        assert_eq!(
+            c.branches[0]
+                .slots
+                .iter()
+                .map(|s| s.var)
+                .collect::<Vec<_>>(),
+            vec![VarId(0), VarId(1), VarId(2)]
+        );
+    }
+
+    #[test]
+    fn negation_anchors_in_sequence() {
+        // SEQ(A, ~B, C, ~D)
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::neg(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+            PatternExpr::neg(PatternExpr::prim(t(3))),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        let b = &c.branches[0];
+        assert_eq!(b.n(), 2);
+        assert_eq!(b.negated.len(), 2);
+        // ~B sits between positive slots 0 (A) and 1 (C).
+        assert_eq!(b.negated[0].after_slot, Some(0));
+        assert_eq!(b.negated[0].before_slot, Some(1));
+        // ~D is after C, unbounded on the right.
+        assert_eq!(b.negated[1].after_slot, Some(1));
+        assert_eq!(b.negated[1].before_slot, None);
+        // Vars: A=0, ~B=1, C=2, ~D=3.
+        assert_eq!(b.negated[0].var, VarId(1));
+        assert_eq!(b.slots[1].var, VarId(2));
+    }
+
+    #[test]
+    fn negation_in_conjunction_is_unanchored() {
+        let e = PatternExpr::and([
+            PatternExpr::prim(t(0)),
+            PatternExpr::neg(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        let b = &c.branches[0];
+        assert_eq!(b.kind, SubKind::Conjunction);
+        assert_eq!(b.negated[0].after_slot, None);
+        assert_eq!(b.negated[0].before_slot, None);
+    }
+
+    #[test]
+    fn kleene_marks_slot() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::kleene(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        assert!(c.branches[0].slots[1].kleene);
+        assert!(!c.branches[0].slots[0].kleene);
+    }
+
+    #[test]
+    fn top_level_or_splits_branches_with_global_vars() {
+        let e = PatternExpr::or([
+            PatternExpr::seq([PatternExpr::prim(t(0)), PatternExpr::prim(t(1))]),
+            PatternExpr::seq([PatternExpr::prim(t(2)), PatternExpr::prim(t(3))]),
+        ]);
+        let conds = vec![attr(0, 0).lt(attr(1, 0)), attr(2, 0).lt(attr(3, 0))];
+        let c = canonicalize("p", &e, &conds, 100).unwrap();
+        assert_eq!(c.branches.len(), 2);
+        assert_eq!(c.branches[0].conditions.len(), 1);
+        assert_eq!(c.branches[1].conditions.len(), 1);
+        assert_eq!(c.branches[1].slots[0].var, VarId(2));
+    }
+
+    #[test]
+    fn condition_spanning_branches_is_rejected() {
+        let e = PatternExpr::or([PatternExpr::prim(t(0)), PatternExpr::prim(t(1))]);
+        let conds = vec![attr(0, 0).lt(attr(1, 0))];
+        assert!(canonicalize("p", &e, &conds, 100).is_err());
+    }
+
+    #[test]
+    fn nested_or_is_rejected() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::or([PatternExpr::prim(t(1)), PatternExpr::prim(t(2))]),
+        ]);
+        assert!(canonicalize("p", &e, &[], 100).is_err());
+    }
+
+    #[test]
+    fn mixed_seq_and_is_rejected() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::and([PatternExpr::prim(t(1)), PatternExpr::prim(t(2))]),
+        ]);
+        assert!(canonicalize("p", &e, &[], 100).is_err());
+    }
+
+    #[test]
+    fn all_negative_branch_is_rejected() {
+        let e = PatternExpr::seq([PatternExpr::neg(PatternExpr::prim(t(0)))]);
+        assert!(canonicalize("p", &e, &[], 100).is_err());
+    }
+
+    #[test]
+    fn kleene_of_seq_is_rejected() {
+        let e = PatternExpr::kleene(PatternExpr::seq([PatternExpr::prim(t(0))]));
+        assert!(canonicalize("p", &e, &[], 100).is_err());
+    }
+
+    #[test]
+    fn condition_classification() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::prim(t(2)),
+        ]);
+        let conds = vec![
+            attr(0, 0).lt(attr(1, 0)),
+            attr(1, 0).gt(crate::predicate::constant(3)),
+            Predicate::And(vec![
+                attr(0, 0).lt(attr(1, 0)),
+                attr(1, 0).lt(attr(2, 0)),
+            ]),
+        ];
+        let c = canonicalize("p", &e, &conds, 100).unwrap();
+        let b = &c.branches[0];
+        assert_eq!(b.binary_conditions(0, 1).count(), 1);
+        assert_eq!(b.binary_conditions(1, 0).count(), 1);
+        assert_eq!(b.binary_conditions(0, 2).count(), 0);
+        assert_eq!(b.unary_conditions(1).count(), 1);
+        assert_eq!(b.unary_conditions(0).count(), 0);
+        assert_eq!(b.general_conditions().count(), 1);
+        assert!(b.pair_has_condition(0, 1));
+        assert!(!b.pair_has_condition(0, 2));
+    }
+
+    #[test]
+    fn single_prim_branch() {
+        let c = canonicalize("p", &PatternExpr::prim(t(5)), &[], 10).unwrap();
+        assert_eq!(c.branches[0].n(), 1);
+        assert_eq!(c.branches[0].kind, SubKind::Sequence);
+    }
+
+    #[test]
+    fn slot_of_var_maps_correctly() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::neg(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+        ]);
+        let c = canonicalize("p", &e, &[], 100).unwrap();
+        let b = &c.branches[0];
+        assert_eq!(b.slot_of_var(VarId(0)), Some(0));
+        assert_eq!(b.slot_of_var(VarId(1)), None); // negated
+        assert_eq!(b.slot_of_var(VarId(2)), Some(1));
+    }
+}

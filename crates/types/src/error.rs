@@ -1,0 +1,77 @@
+//! Error type shared across the acep workspace.
+
+use std::fmt;
+
+/// Errors produced while declaring patterns or configuring the engine.
+///
+/// Runtime event processing is infallible by design (malformed events are
+/// impossible to construct through the typed API), so errors only arise at
+/// declaration/configuration time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcepError {
+    /// The pattern expression is outside the supported language (e.g. a
+    /// disjunction nested below a sequence).
+    InvalidPattern(String),
+    /// A referenced event type is not registered in the schema registry.
+    UnknownEventType(String),
+    /// A referenced attribute does not exist on the given event type.
+    UnknownAttribute {
+        /// Event type name.
+        event_type: String,
+        /// Attribute name that failed to resolve.
+        attribute: String,
+    },
+    /// Invalid engine or policy configuration value.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for AcepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcepError::InvalidPattern(msg) => write!(f, "invalid pattern: {msg}"),
+            AcepError::UnknownEventType(name) => write!(f, "unknown event type: {name}"),
+            AcepError::UnknownAttribute {
+                event_type,
+                attribute,
+            } => write!(f, "unknown attribute {attribute} on event type {event_type}"),
+            AcepError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AcepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            AcepError::InvalidPattern("x".into()).to_string(),
+            "invalid pattern: x"
+        );
+        assert_eq!(
+            AcepError::UnknownEventType("Z".into()).to_string(),
+            "unknown event type: Z"
+        );
+        assert_eq!(
+            AcepError::UnknownAttribute {
+                event_type: "A".into(),
+                attribute: "p".into()
+            }
+            .to_string(),
+            "unknown attribute p on event type A"
+        );
+        assert_eq!(
+            AcepError::InvalidConfig("bad".into()).to_string(),
+            "invalid configuration: bad"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(AcepError::InvalidConfig("x".into()));
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Primitive events.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Milliseconds since an arbitrary stream epoch.
+pub type Timestamp = u64;
+
+/// Identifier of an event type (index into the [`SchemaRegistry`]).
+///
+/// [`SchemaRegistry`]: crate::schema::SchemaRegistry
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventTypeId(pub u32);
+
+impl EventTypeId {
+    /// The type id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A primitive event: a typed, timestamped tuple of attribute values.
+///
+/// Events are immutable once constructed and shared via `Arc` between
+/// buffers and partial matches, so cloning an event reference is a
+/// refcount bump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The event type.
+    pub type_id: EventTypeId,
+    /// Occurrence timestamp (stream time, ms).
+    pub timestamp: Timestamp,
+    /// Global arrival sequence number; unique per stream, used for
+    /// identity, deduplication, and deterministic tie-breaking.
+    pub seq: u64,
+    /// Attribute values, positionally matching the type's schema.
+    pub attrs: Vec<Value>,
+}
+
+impl Event {
+    /// Creates a new event.
+    pub fn new(
+        type_id: EventTypeId,
+        timestamp: Timestamp,
+        seq: u64,
+        attrs: Vec<Value>,
+    ) -> Arc<Self> {
+        Arc::new(Event {
+            type_id,
+            timestamp,
+            seq,
+            attrs,
+        })
+    }
+
+    /// Returns the attribute at `idx`, or `None` if out of range.
+    #[inline]
+    pub fn attr(&self, idx: usize) -> Option<&Value> {
+        self.attrs.get(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new(
+            EventTypeId(3),
+            17,
+            42,
+            vec![Value::Int(1), Value::Float(2.5)],
+        );
+        assert_eq!(e.type_id, EventTypeId(3));
+        assert_eq!(e.timestamp, 17);
+        assert_eq!(e.seq, 42);
+        assert_eq!(e.attr(0), Some(&Value::Int(1)));
+        assert_eq!(e.attr(1), Some(&Value::Float(2.5)));
+        assert_eq!(e.attr(2), None);
+    }
+
+    #[test]
+    fn type_id_display_and_index() {
+        assert_eq!(EventTypeId(7).to_string(), "T7");
+        assert_eq!(EventTypeId(7).index(), 7);
+    }
+}

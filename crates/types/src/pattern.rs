@@ -1,0 +1,247 @@
+//! Pattern declarations: operator trees plus predicates and a window.
+
+use crate::canonical::{canonicalize, CanonicalPattern};
+use crate::error::AcepError;
+use crate::event::{EventTypeId, Timestamp};
+use crate::predicate::Predicate;
+
+/// Operator tree of a pattern.
+///
+/// Supported operators match the paper (§2.1): sequence (`SEQ`),
+/// conjunction (`AND`), disjunction (`OR`), negation (`~`), and Kleene
+/// closure (`*`). Disjunction is restricted to the top level and
+/// negation/Kleene to primitive events — the same composition classes the
+/// paper evaluates (its five pattern sets).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternExpr {
+    /// A primitive event of the given type.
+    Prim(EventTypeId),
+    /// `SEQ(e1, ..., en)`: all events present, in timestamp order.
+    Seq(Vec<PatternExpr>),
+    /// `AND(e1, ..., en)`: all events present in the window, any order.
+    And(Vec<PatternExpr>),
+    /// `OR(p1, ..., pk)`: any operand matches (top level only).
+    Or(Vec<PatternExpr>),
+    /// `~e`: the event must be absent.
+    Neg(Box<PatternExpr>),
+    /// `e*`: one or more occurrences of the event.
+    Kleene(Box<PatternExpr>),
+}
+
+impl PatternExpr {
+    /// A primitive event.
+    pub fn prim(t: EventTypeId) -> Self {
+        PatternExpr::Prim(t)
+    }
+
+    /// A sequence of sub-expressions.
+    pub fn seq(items: impl IntoIterator<Item = PatternExpr>) -> Self {
+        PatternExpr::Seq(items.into_iter().collect())
+    }
+
+    /// A conjunction of sub-expressions.
+    pub fn and(items: impl IntoIterator<Item = PatternExpr>) -> Self {
+        PatternExpr::And(items.into_iter().collect())
+    }
+
+    /// A disjunction of sub-expressions.
+    pub fn or(items: impl IntoIterator<Item = PatternExpr>) -> Self {
+        PatternExpr::Or(items.into_iter().collect())
+    }
+
+    /// Negation of a primitive event.
+    #[allow(clippy::should_implement_trait)] // DSL constructor, not arithmetic
+    pub fn neg(inner: PatternExpr) -> Self {
+        PatternExpr::Neg(Box::new(inner))
+    }
+
+    /// Kleene closure of a primitive event.
+    pub fn kleene(inner: PatternExpr) -> Self {
+        PatternExpr::Kleene(Box::new(inner))
+    }
+
+    /// Number of primitive events in the expression (negated and Kleene
+    /// events included).
+    pub fn num_prims(&self) -> usize {
+        match self {
+            PatternExpr::Prim(_) => 1,
+            PatternExpr::Seq(items) | PatternExpr::And(items) | PatternExpr::Or(items) => {
+                items.iter().map(PatternExpr::num_prims).sum()
+            }
+            PatternExpr::Neg(inner) | PatternExpr::Kleene(inner) => inner.num_prims(),
+        }
+    }
+}
+
+/// A complete pattern declaration.
+///
+/// Primitive events are assigned [`VarId`]s in left-to-right order of
+/// appearance in `expr`; `conditions` reference those ids. The canonical
+/// form used by planners and engines is computed once at construction.
+///
+/// [`VarId`]: crate::predicate::VarId
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    /// Pattern name (for reporting).
+    pub name: String,
+    /// Operator tree.
+    pub expr: PatternExpr,
+    /// Predicates over the pattern variables.
+    pub conditions: Vec<Predicate>,
+    /// Time window (ms): all events of a match fit in a window of this
+    /// length.
+    pub window: Timestamp,
+    canonical: CanonicalPattern,
+}
+
+impl Pattern {
+    /// Starts building a pattern.
+    pub fn builder(name: impl Into<String>) -> PatternBuilder {
+        PatternBuilder {
+            name: name.into(),
+            expr: None,
+            conditions: Vec::new(),
+            window: 0,
+        }
+    }
+
+    /// The canonical (normalized) form.
+    pub fn canonical(&self) -> &CanonicalPattern {
+        &self.canonical
+    }
+
+    /// Convenience: a predicate-free `SEQ` over the given event types.
+    pub fn sequence(
+        name: impl Into<String>,
+        types: &[EventTypeId],
+        window: Timestamp,
+    ) -> Pattern {
+        Pattern::builder(name)
+            .expr(PatternExpr::seq(types.iter().copied().map(PatternExpr::prim)))
+            .window(window)
+            .build()
+            .expect("predicate-free sequence is always valid")
+    }
+
+    /// Convenience: a predicate-free `AND` over the given event types.
+    pub fn conjunction(
+        name: impl Into<String>,
+        types: &[EventTypeId],
+        window: Timestamp,
+    ) -> Pattern {
+        Pattern::builder(name)
+            .expr(PatternExpr::and(types.iter().copied().map(PatternExpr::prim)))
+            .window(window)
+            .build()
+            .expect("predicate-free conjunction is always valid")
+    }
+}
+
+/// Builder for [`Pattern`].
+#[derive(Debug, Clone)]
+pub struct PatternBuilder {
+    name: String,
+    expr: Option<PatternExpr>,
+    conditions: Vec<Predicate>,
+    window: Timestamp,
+}
+
+impl PatternBuilder {
+    /// Sets the operator tree.
+    pub fn expr(mut self, expr: PatternExpr) -> Self {
+        self.expr = Some(expr);
+        self
+    }
+
+    /// Adds a condition (conjoined with previously added ones).
+    pub fn condition(mut self, p: Predicate) -> Self {
+        self.conditions.push(p);
+        self
+    }
+
+    /// Sets the time window in milliseconds.
+    pub fn window(mut self, window: Timestamp) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Validates and canonicalizes the pattern.
+    pub fn build(self) -> Result<Pattern, AcepError> {
+        let expr = self
+            .expr
+            .ok_or_else(|| AcepError::InvalidPattern("pattern has no expression".into()))?;
+        if self.window == 0 {
+            return Err(AcepError::InvalidConfig(
+                "pattern window must be positive".into(),
+            ));
+        }
+        let canonical = canonicalize(&self.name, &expr, &self.conditions, self.window)?;
+        Ok(Pattern {
+            name: self.name,
+            expr,
+            conditions: self.conditions,
+            window: self.window,
+            canonical,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{attr, constant};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    #[test]
+    fn num_prims_counts_all_leaves() {
+        let e = PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::neg(PatternExpr::prim(t(1))),
+            PatternExpr::kleene(PatternExpr::prim(t(2))),
+        ]);
+        assert_eq!(e.num_prims(), 3);
+        let o = PatternExpr::or([e.clone(), PatternExpr::prim(t(3))]);
+        assert_eq!(o.num_prims(), 4);
+    }
+
+    #[test]
+    fn builder_requires_expr_and_window() {
+        assert!(matches!(
+            Pattern::builder("p").window(10).build(),
+            Err(AcepError::InvalidPattern(_))
+        ));
+        assert!(matches!(
+            Pattern::builder("p")
+                .expr(PatternExpr::prim(t(0)))
+                .build(),
+            Err(AcepError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn sequence_convenience_builds() {
+        let p = Pattern::sequence("s", &[t(0), t(1), t(2)], 100);
+        assert_eq!(p.canonical().branches.len(), 1);
+        assert_eq!(p.canonical().branches[0].slots.len(), 3);
+        assert_eq!(p.window, 100);
+    }
+
+    #[test]
+    fn conditions_are_preserved() {
+        let p = Pattern::builder("c")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(t(0)),
+                PatternExpr::prim(t(1)),
+            ]))
+            .condition(attr(0, 0).lt(attr(1, 0)))
+            .condition(attr(0, 0).gt(constant(5)))
+            .window(50)
+            .build()
+            .unwrap();
+        assert_eq!(p.conditions.len(), 2);
+        assert_eq!(p.canonical().branches[0].conditions.len(), 2);
+    }
+}

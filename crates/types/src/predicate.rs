@@ -1,0 +1,364 @@
+//! Predicates over pattern variables.
+//!
+//! Conditions are Boolean formulas over comparisons between attributes of
+//! the pattern's primitive events (and constants), mirroring the `WHERE`
+//! clause of SASE-style pattern declarations. Keeping predicates as data
+//! (rather than opaque closures) lets the statistics collector estimate
+//! their selectivities by evaluating them on sampled event pairs, which is
+//! what the paper's cost model consumes.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::event::Event;
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// Identifier of a primitive event within a pattern (its position in
+/// left-to-right declaration order, counting negated and Kleene events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Resolves pattern variables to concrete events during evaluation.
+pub trait EventBinding {
+    /// Returns the event currently bound to `var`, if any.
+    fn resolve(&self, var: VarId) -> Option<&Event>;
+}
+
+/// A binding over a small, fixed set of `(var, event)` pairs. Used by the
+/// selectivity estimator and in tests.
+pub struct SliceBinding<'a> {
+    entries: &'a [(VarId, &'a Event)],
+}
+
+impl<'a> SliceBinding<'a> {
+    /// Creates a binding from explicit pairs.
+    pub fn new(entries: &'a [(VarId, &'a Event)]) -> Self {
+        Self { entries }
+    }
+}
+
+impl EventBinding for SliceBinding<'_> {
+    fn resolve(&self, var: VarId) -> Option<&Event> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, e)| *e)
+    }
+}
+
+/// One side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// An attribute of the event bound to a pattern variable.
+    Attr {
+        /// The pattern variable.
+        var: VarId,
+        /// Positional attribute id within that event's schema.
+        attr: AttrId,
+    },
+    /// A numeric attribute plus a constant offset (`x.attr + offset`),
+    /// enabling gap conditions like `a.diff + 0.25 < b.diff`.
+    AttrOffset {
+        /// The pattern variable.
+        var: VarId,
+        /// Positional attribute id within that event's schema.
+        attr: AttrId,
+        /// Constant added to the attribute value.
+        offset: f64,
+    },
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Operand {
+    /// Resolves the operand to a value. `AttrOffset` over a non-numeric
+    /// attribute resolves to `None` (conservative: the comparison
+    /// fails).
+    fn value(&self, binding: &dyn EventBinding) -> Option<Value> {
+        match self {
+            Operand::Attr { var, attr } => binding.resolve(*var)?.attr(*attr).cloned(),
+            Operand::AttrOffset { var, attr, offset } => {
+                let v = binding.resolve(*var)?.attr(*attr)?.as_f64()?;
+                Some(Value::Float(v + offset))
+            }
+            Operand::Const(v) => Some(v.clone()),
+        }
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Lt, rhs)
+    }
+    /// `self <= rhs`
+    pub fn le(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Le, rhs)
+    }
+    /// `self > rhs`
+    pub fn gt(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Gt, rhs)
+    }
+    /// `self >= rhs`
+    pub fn ge(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Ge, rhs)
+    }
+    /// `self == rhs`
+    pub fn eq(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Eq, rhs)
+    }
+    /// `self != rhs`
+    pub fn ne(self, rhs: Operand) -> Predicate {
+        Predicate::cmp(self, CmpOp::Ne, rhs)
+    }
+}
+
+/// Shorthand for [`Operand::Attr`].
+pub fn attr(var: u32, attr: AttrId) -> Operand {
+    Operand::Attr {
+        var: VarId(var),
+        attr,
+    }
+}
+
+/// Shorthand for [`Operand::AttrOffset`] (`x.attr + offset`).
+pub fn attr_plus(var: u32, attr: AttrId, offset: f64) -> Operand {
+    Operand::AttrOffset {
+        var: VarId(var),
+        attr,
+        offset,
+    }
+}
+
+/// Shorthand for [`Operand::Const`].
+pub fn constant(v: impl Into<Value>) -> Operand {
+    Operand::Const(v.into())
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+}
+
+/// A Boolean formula over attribute comparisons.
+///
+/// Evaluation is *conservative*: a comparison over an unbound variable, a
+/// missing attribute, or incomparable value types evaluates to `false`
+/// (so `Not` of such a comparison evaluates to `true`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// A single comparison.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+    /// Disjunction of sub-predicates.
+    Or(Vec<Predicate>),
+    /// Negation of a sub-predicate.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Creates a comparison predicate.
+    pub fn cmp(lhs: Operand, op: CmpOp, rhs: Operand) -> Self {
+        Predicate::Cmp { lhs, op, rhs }
+    }
+
+    /// Evaluates the predicate against a variable binding.
+    pub fn eval(&self, binding: &dyn EventBinding) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { lhs, op, rhs } => {
+                match (lhs.value(binding), rhs.value(binding)) {
+                    (Some(a), Some(b)) => a.compare(&b).is_some_and(|ord| op.test(ord)),
+                    _ => false,
+                }
+            }
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(binding)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(binding)),
+            Predicate::Not(p) => !p.eval(binding),
+        }
+    }
+
+    /// Returns the distinct pattern variables referenced, in ascending
+    /// order.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<VarId>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cmp { lhs, rhs, .. } => {
+                for operand in [lhs, rhs] {
+                    match operand {
+                        Operand::Attr { var, .. } | Operand::AttrOffset { var, .. } => {
+                            out.push(*var)
+                        }
+                        Operand::Const(_) => {}
+                    }
+                }
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_vars(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_vars(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventTypeId;
+
+    fn ev(type_id: u32, attrs: Vec<Value>) -> Event {
+        Event {
+            type_id: EventTypeId(type_id),
+            timestamp: 0,
+            seq: 0,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn comparison_between_two_events() {
+        let a = ev(0, vec![Value::Int(5)]);
+        let b = ev(1, vec![Value::Int(9)]);
+        let binding_pairs = [(VarId(0), &a), (VarId(1), &b)];
+        let binding = SliceBinding::new(&binding_pairs);
+
+        assert!(attr(0, 0).lt(attr(1, 0)).eval(&binding));
+        assert!(!attr(0, 0).gt(attr(1, 0)).eval(&binding));
+        assert!(attr(0, 0).ne(attr(1, 0)).eval(&binding));
+        assert!(attr(0, 0).le(attr(1, 0)).eval(&binding));
+        assert!(!attr(0, 0).ge(attr(1, 0)).eval(&binding));
+        assert!(!attr(0, 0).eq(attr(1, 0)).eval(&binding));
+    }
+
+    #[test]
+    fn comparison_with_constant() {
+        let a = ev(0, vec![Value::Float(2.5)]);
+        let binding_pairs = [(VarId(0), &a)];
+        let binding = SliceBinding::new(&binding_pairs);
+        assert!(attr(0, 0).gt(constant(2.0)).eval(&binding));
+        assert!(!attr(0, 0).gt(constant(3)).eval(&binding));
+    }
+
+    #[test]
+    fn unbound_variable_is_false() {
+        let a = ev(0, vec![Value::Int(5)]);
+        let binding_pairs = [(VarId(0), &a)];
+        let binding = SliceBinding::new(&binding_pairs);
+        let p = attr(0, 0).eq(attr(7, 0));
+        assert!(!p.eval(&binding));
+        // ... and Not of it is true (conservative semantics).
+        assert!(Predicate::Not(Box::new(p)).eval(&binding));
+    }
+
+    #[test]
+    fn missing_attribute_is_false() {
+        let a = ev(0, vec![]);
+        let binding_pairs = [(VarId(0), &a)];
+        let binding = SliceBinding::new(&binding_pairs);
+        assert!(!attr(0, 3).eq(constant(1)).eval(&binding));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let a = ev(0, vec![Value::Int(5)]);
+        let binding_pairs = [(VarId(0), &a)];
+        let binding = SliceBinding::new(&binding_pairs);
+        let t = attr(0, 0).eq(constant(5));
+        let f = attr(0, 0).eq(constant(6));
+        assert!(Predicate::And(vec![t.clone(), t.clone()]).eval(&binding));
+        assert!(!Predicate::And(vec![t.clone(), f.clone()]).eval(&binding));
+        assert!(Predicate::Or(vec![f.clone(), t.clone()]).eval(&binding));
+        assert!(!Predicate::Or(vec![f.clone(), f.clone()]).eval(&binding));
+        assert!(Predicate::True.eval(&binding));
+        assert!(Predicate::And(vec![]).eval(&binding));
+        assert!(!Predicate::Or(vec![]).eval(&binding));
+    }
+
+    #[test]
+    fn attr_offset_shifts_numeric_values() {
+        let a = ev(0, vec![Value::Float(1.0)]);
+        let b = ev(1, vec![Value::Float(1.2)]);
+        let binding_pairs = [(VarId(0), &a), (VarId(1), &b)];
+        let binding = SliceBinding::new(&binding_pairs);
+        // a.x + 0.25 < b.x → 1.25 < 1.2 is false.
+        assert!(!attr_plus(0, 0, 0.25).lt(attr(1, 0)).eval(&binding));
+        // a.x + 0.1 < b.x → 1.1 < 1.2 is true.
+        assert!(attr_plus(0, 0, 0.1).lt(attr(1, 0)).eval(&binding));
+        // Offset over a non-numeric attribute fails conservatively.
+        let s = ev(0, vec![Value::from("text")]);
+        let sp = [(VarId(0), &s)];
+        let sb = SliceBinding::new(&sp);
+        assert!(!attr_plus(0, 0, 1.0).gt(constant(0)).eval(&sb));
+        // AttrOffset contributes its variable to vars().
+        assert_eq!(attr_plus(3, 0, 1.0).lt(constant(1)).vars(), vec![VarId(3)]);
+    }
+
+    #[test]
+    fn vars_are_sorted_and_deduped() {
+        let p = Predicate::And(vec![
+            attr(2, 0).lt(attr(0, 0)),
+            attr(2, 1).eq(constant(1)),
+            Predicate::Not(Box::new(attr(1, 0).gt(constant(0.0)))),
+        ]);
+        assert_eq!(p.vars(), vec![VarId(0), VarId(1), VarId(2)]);
+        assert_eq!(Predicate::True.vars(), Vec::<VarId>::new());
+    }
+}

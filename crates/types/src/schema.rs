@@ -1,0 +1,165 @@
+//! Event type schemas and the registry mapping names to ids.
+
+use std::collections::HashMap;
+
+use crate::error::AcepError;
+use crate::event::EventTypeId;
+
+/// Index of an attribute within an event type's schema.
+pub type AttrId = usize;
+
+/// Schema of one event type: a name plus ordered attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSchema {
+    /// Human-readable type name (unique within a registry).
+    pub name: String,
+    /// Ordered attribute names.
+    pub attributes: Vec<String>,
+}
+
+impl EventSchema {
+    /// Resolves an attribute name to its positional id.
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+/// Registry of event type schemas.
+///
+/// Event type ids are dense indices assigned in registration order, which
+/// lets the statistics collector and the engines use flat vectors keyed by
+/// `EventTypeId::index()`.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaRegistry {
+    schemas: Vec<EventSchema>,
+    by_name: HashMap<String, EventTypeId>,
+}
+
+impl SchemaRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an event type, returning its id. Re-registering an
+    /// existing name returns the existing id (the attribute list must
+    /// match — mismatches panic, as they are programming errors).
+    pub fn register(&mut self, name: &str, attributes: &[&str]) -> EventTypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            let existing = &self.schemas[id.index()];
+            assert!(
+                existing.attributes.iter().map(String::as_str).eq(attributes.iter().copied()),
+                "event type {name} re-registered with different attributes"
+            );
+            return id;
+        }
+        let id = EventTypeId(self.schemas.len() as u32);
+        self.schemas.push(EventSchema {
+            name: name.to_string(),
+            attributes: attributes.iter().map(|s| s.to_string()).collect(),
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Number of registered event types.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// True if no event types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Looks up a type id by name.
+    pub fn type_id(&self, name: &str) -> Result<EventTypeId, AcepError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| AcepError::UnknownEventType(name.to_string()))
+    }
+
+    /// Returns the schema for a type id.
+    pub fn schema(&self, id: EventTypeId) -> &EventSchema {
+        &self.schemas[id.index()]
+    }
+
+    /// Resolves `(type name, attribute name)` to `(type id, attr id)`.
+    pub fn resolve_attr(&self, type_name: &str, attr: &str) -> Result<(EventTypeId, AttrId), AcepError> {
+        let id = self.type_id(type_name)?;
+        let attr_id =
+            self.schema(id)
+                .attr_id(attr)
+                .ok_or_else(|| AcepError::UnknownAttribute {
+                    event_type: type_name.to_string(),
+                    attribute: attr.to_string(),
+                })?;
+        Ok((id, attr_id))
+    }
+
+    /// Iterates over `(id, schema)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventTypeId, &EventSchema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (EventTypeId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_dense_ids() {
+        let mut r = SchemaRegistry::new();
+        let a = r.register("A", &["x", "y"]);
+        let b = r.register("B", &["z"]);
+        assert_eq!(a, EventTypeId(0));
+        assert_eq!(b, EventTypeId(1));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn reregistration_is_idempotent() {
+        let mut r = SchemaRegistry::new();
+        let a1 = r.register("A", &["x"]);
+        let a2 = r.register("A", &["x"]);
+        assert_eq!(a1, a2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different attributes")]
+    fn conflicting_reregistration_panics() {
+        let mut r = SchemaRegistry::new();
+        r.register("A", &["x"]);
+        r.register("A", &["y"]);
+    }
+
+    #[test]
+    fn attr_resolution() {
+        let mut r = SchemaRegistry::new();
+        r.register("A", &["x", "y"]);
+        assert_eq!(r.resolve_attr("A", "y").unwrap().1, 1);
+        assert!(matches!(
+            r.resolve_attr("A", "nope"),
+            Err(AcepError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            r.resolve_attr("Z", "x"),
+            Err(AcepError::UnknownEventType(_))
+        ));
+    }
+
+    #[test]
+    fn iter_visits_in_order() {
+        let mut r = SchemaRegistry::new();
+        r.register("A", &[]);
+        r.register("B", &[]);
+        let names: Vec<_> = r.iter().map(|(_, s)| s.name.clone()).collect();
+        assert_eq!(names, ["A", "B"]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Attribute values carried by events.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed attribute value.
+///
+/// Numeric comparisons are defined across `Int` and `Float`; all other
+/// cross-type comparisons yield `None` (and therefore fail any predicate
+/// built on them, rather than panicking on malformed data).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Interned/shared string (cheap to clone).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Returns the value as a float if it is numeric.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an integer if it is an `Int`.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a bool if it is a `Bool`.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice if it is a `Str`.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Compares two values, allowing `Int`/`Float` mixing.
+    ///
+    /// Returns `None` for incomparable type combinations and for NaN.
+    #[inline]
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (a, b) => {
+                let (a, b) = (a.as_f64()?, b.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(4.5).compare(&Value::Int(4)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incomparable_types_yield_none() {
+        assert_eq!(Value::Bool(true).compare(&Value::Int(1)), None);
+        assert_eq!(Value::from("x").compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn nan_is_incomparable() {
+        assert_eq!(Value::Float(f64::NAN).compare(&Value::Float(1.0)), None);
+    }
+
+    #[test]
+    fn string_comparison_is_lexicographic() {
+        assert_eq!(
+            Value::from("abc").compare(&Value::from("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn equality_mixes_int_and_float() {
+        assert_eq!(Value::Int(7), Value::Float(7.0));
+        assert_ne!(Value::Int(7), Value::Float(7.5));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Float(4.5).as_f64(), Some(4.5));
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::Int(4).as_i64(), Some(4));
+        assert_eq!(Value::Float(4.0).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::from("hey").as_str(), Some("hey"));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::from("s").to_string(), "s");
+    }
+}

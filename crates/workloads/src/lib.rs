@@ -1,0 +1,33 @@
+//! # acep-workloads
+//!
+//! Synthetic workloads reproducing the *statistical profiles* of the two
+//! real-world datasets of the paper's evaluation (§5.1), plus the five
+//! pattern sets used across its figures.
+//!
+//! The real datasets (City of Aarhus traffic sensors; NASDAQ price
+//! updates) are not redistributable, so this crate implements generators
+//! that reproduce exactly the properties the paper says drive the
+//! results (see DESIGN.md, Substitutions):
+//!
+//! * [`traffic`] — highly skewed, stable arrival rates and
+//!   selectivities; rare but extreme shifts;
+//! * [`stocks`] — near-uniform initial statistics with highly frequent
+//!   but minor drift;
+//! * [`patterns`] — the five pattern sets (sequence, conjunction,
+//!   negation, Kleene, composite) at sizes 3–8;
+//! * [`scenario`] — reproducible bundles of registry + stream +
+//!   patterns, keyed by an RNG seed so competing adaptation methods see
+//!   byte-identical input.
+
+pub mod model;
+pub mod patterns;
+pub mod sampling;
+pub mod scenario;
+pub mod stocks;
+pub mod traffic;
+
+pub use model::{empirical_rates, DatasetModel, StreamGenerator};
+pub use patterns::{build_pattern, pattern_set, DatasetKind, PatternSetKind, PATTERN_SIZES};
+pub use scenario::{Scenario, ScenarioConfig};
+pub use stocks::{StocksConfig, StocksModel};
+pub use traffic::{TrafficConfig, TrafficModel};

@@ -1,0 +1,323 @@
+//! The five pattern sets of the paper's evaluation (§5.1, Appendix A).
+//!
+//! 1. **Sequences** — a single `SEQ` operator;
+//! 2. **Conjunctions** — the same patterns with the temporal constraints
+//!    removed (`AND`);
+//! 3. **Negations** — sequences with one negated event at an interior
+//!    position;
+//! 4. **Kleene closures** — sequences with one event under `*`;
+//! 5. **Composites** — a disjunction of three sequences.
+//!
+//! Each set contains patterns of sizes 3–8 (the paper's size axis);
+//! negated events do not count toward the size, Kleene events do.
+//! Conditions follow the paper's dataset semantics: traffic patterns
+//! look for joint increases of `vehicle_count` and `avg_speed`
+//! (violations of normal driving behaviour); stock patterns require
+//! ascending price differences with a minimal gap.
+
+use acep_types::{
+    attr, attr_plus, EventTypeId, Pattern, PatternExpr, Predicate, Timestamp,
+};
+
+/// Which pattern set to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternSetKind {
+    /// Set 1: plain sequences.
+    Sequence,
+    /// Set 2: conjunctions.
+    Conjunction,
+    /// Set 3: sequences with a negated event.
+    Negation,
+    /// Set 4: sequences with a Kleene-closure event.
+    Kleene,
+    /// Set 5: disjunctions of three sequences.
+    Composite,
+}
+
+impl PatternSetKind {
+    /// All five sets, in the paper's order.
+    pub const ALL: [PatternSetKind; 5] = [
+        PatternSetKind::Sequence,
+        PatternSetKind::Conjunction,
+        PatternSetKind::Negation,
+        PatternSetKind::Kleene,
+        PatternSetKind::Composite,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PatternSetKind::Sequence => "seq",
+            PatternSetKind::Conjunction => "and",
+            PatternSetKind::Negation => "neg",
+            PatternSetKind::Kleene => "kleene",
+            PatternSetKind::Composite => "or",
+        }
+    }
+}
+
+/// Which dataset's condition style to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Traffic-like (skewed/stable with extreme shifts).
+    Traffic,
+    /// Stocks-like (uniform with frequent minor drift).
+    Stocks,
+}
+
+impl DatasetKind {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Traffic => "traffic",
+            DatasetKind::Stocks => "stocks",
+        }
+    }
+
+    /// Conditions between two adjacent pattern events.
+    ///
+    /// Traffic (attrs: `point_id`, `vehicle_count`, `avg_speed`): both
+    /// the vehicle count and the average speed increase — a violation of
+    /// normal driving behaviour (count up should mean speed down).
+    /// Stocks (attrs: `price`, `diff`): the price difference increases
+    /// by at least 0.25.
+    fn chain_conditions(&self, prev: u32, next: u32) -> Vec<Predicate> {
+        match self {
+            DatasetKind::Traffic => vec![
+                attr(prev, 1).lt(attr(next, 1)),
+                attr(prev, 2).lt(attr(next, 2)),
+            ],
+            DatasetKind::Stocks => vec![attr_plus(prev, 1, 0.25).lt(attr(next, 1))],
+        }
+    }
+
+    /// Condition tying a negated event to the positive event before it.
+    fn negation_condition(&self, neg: u32, anchor: u32) -> Predicate {
+        match self {
+            DatasetKind::Traffic => attr(neg, 1).gt(attr(anchor, 1)),
+            DatasetKind::Stocks => attr(neg, 1).gt(attr(anchor, 1)),
+        }
+    }
+}
+
+/// Sizes used throughout the paper's figures.
+pub const PATTERN_SIZES: [usize; 6] = [3, 4, 5, 6, 7, 8];
+
+/// Number of sequences in a composite pattern.
+const COMPOSITE_BRANCHES: usize = 3;
+
+/// Builds one pattern of the given set and size over the given types.
+///
+/// `types` must contain at least `size + 1` entries (the extra type
+/// feeds the negated event of set 3).
+pub fn build_pattern(
+    dataset: DatasetKind,
+    set: PatternSetKind,
+    size: usize,
+    window: Timestamp,
+    types: &[EventTypeId],
+) -> Pattern {
+    assert!(size >= 2, "pattern size must be at least 2");
+    assert!(
+        types.len() > size,
+        "need at least size+1 event types ({} for size {})",
+        types.len(),
+        size
+    );
+    let name = format!("{}-{}-n{}", dataset.label(), set.label(), size);
+    let builder = Pattern::builder(name).window(window);
+
+    let built = match set {
+        PatternSetKind::Sequence | PatternSetKind::Conjunction => {
+            let prims = (0..size).map(|i| PatternExpr::prim(types[i]));
+            let expr = if set == PatternSetKind::Sequence {
+                PatternExpr::seq(prims)
+            } else {
+                PatternExpr::and(prims)
+            };
+            let mut b = builder.expr(expr);
+            for i in 1..size {
+                for c in dataset.chain_conditions((i - 1) as u32, i as u32) {
+                    b = b.condition(c);
+                }
+            }
+            b
+        }
+        PatternSetKind::Negation => {
+            // Negated event inserted mid-sequence; vars: positives
+            // 0..pos, negated at pos, positives pos+1..size+1.
+            let neg_pos = size / 2; // item index of the negated event
+            let mut items = Vec::with_capacity(size + 1);
+            let mut positive_vars = Vec::with_capacity(size);
+            let mut var = 0u32;
+            let mut neg_var = 0u32;
+            for i in 0..size {
+                if i == neg_pos {
+                    items.push(PatternExpr::neg(PatternExpr::prim(types[size])));
+                    neg_var = var;
+                    var += 1;
+                }
+                items.push(PatternExpr::prim(types[i]));
+                positive_vars.push(var);
+                var += 1;
+            }
+            let mut b = builder.expr(PatternExpr::seq(items));
+            for w in positive_vars.windows(2) {
+                for c in dataset.chain_conditions(w[0], w[1]) {
+                    b = b.condition(c);
+                }
+            }
+            let anchor = positive_vars[neg_pos.saturating_sub(1)];
+            b = b.condition(dataset.negation_condition(neg_var, anchor));
+            b
+        }
+        PatternSetKind::Kleene => {
+            let kleene_pos = size / 2;
+            let items = (0..size).map(|i| {
+                let prim = PatternExpr::prim(types[i]);
+                if i == kleene_pos {
+                    PatternExpr::kleene(prim)
+                } else {
+                    prim
+                }
+            });
+            let mut b = builder.expr(PatternExpr::seq(items));
+            for i in 1..size {
+                for c in dataset.chain_conditions((i - 1) as u32, i as u32) {
+                    b = b.condition(c);
+                }
+            }
+            b
+        }
+        PatternSetKind::Composite => {
+            let n_types = types.len();
+            let mut branches = Vec::with_capacity(COMPOSITE_BRANCHES);
+            let mut b = builder;
+            for br in 0..COMPOSITE_BRANCHES {
+                let branch_types: Vec<EventTypeId> =
+                    (0..size).map(|i| types[(i + br) % n_types]).collect();
+                branches.push(PatternExpr::seq(
+                    branch_types.iter().copied().map(PatternExpr::prim),
+                ));
+                let offset = (br * size) as u32;
+                for i in 1..size as u32 {
+                    for c in dataset.chain_conditions(offset + i - 1, offset + i) {
+                        b = b.condition(c);
+                    }
+                }
+            }
+            b.expr(PatternExpr::or(branches))
+        }
+    };
+
+    built.build().expect("pattern-set construction is valid")
+}
+
+/// Builds the full set (sizes 3–8).
+pub fn pattern_set(
+    dataset: DatasetKind,
+    set: PatternSetKind,
+    window: Timestamp,
+    types: &[EventTypeId],
+) -> Vec<Pattern> {
+    PATTERN_SIZES
+        .iter()
+        .map(|&n| build_pattern(dataset, set, n, window, types))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::SubKind;
+
+    fn types(n: usize) -> Vec<EventTypeId> {
+        (0..n as u32).map(EventTypeId).collect()
+    }
+
+    #[test]
+    fn sequence_set_shapes() {
+        for &n in &PATTERN_SIZES {
+            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Sequence, n, 1_000, &types(10));
+            let b = &p.canonical().branches[0];
+            assert_eq!(b.kind, SubKind::Sequence);
+            assert_eq!(b.n(), n);
+            assert!(b.negated.is_empty());
+            // Two conditions per adjacent pair on traffic.
+            assert_eq!(b.conditions.len(), 2 * (n - 1));
+        }
+    }
+
+    #[test]
+    fn conjunction_set_shapes() {
+        let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Conjunction, 5, 1_000, &types(10));
+        let b = &p.canonical().branches[0];
+        assert_eq!(b.kind, SubKind::Conjunction);
+        assert_eq!(b.n(), 5);
+        assert_eq!(b.conditions.len(), 4);
+    }
+
+    #[test]
+    fn negation_set_excludes_negated_from_size() {
+        for &n in &PATTERN_SIZES {
+            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Negation, n, 1_000, &types(10));
+            let b = &p.canonical().branches[0];
+            assert_eq!(b.n(), n, "positives count as size");
+            assert_eq!(b.negated.len(), 1);
+            // The negated event sits mid-pattern with both anchors.
+            let ng = &b.negated[0];
+            assert!(ng.after_slot.is_some());
+            assert!(ng.before_slot.is_some());
+            assert_eq!(ng.event_type, EventTypeId(n as u32));
+        }
+    }
+
+    #[test]
+    fn negation_condition_references_negated_var() {
+        let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Negation, 4, 1_000, &types(10));
+        let b = &p.canonical().branches[0];
+        let neg_var = b.negated[0].var;
+        assert!(b.conditions_on_negated(neg_var).count() >= 1);
+    }
+
+    #[test]
+    fn kleene_set_marks_one_slot() {
+        for &n in &PATTERN_SIZES {
+            let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Kleene, n, 1_000, &types(10));
+            let b = &p.canonical().branches[0];
+            assert_eq!(b.n(), n, "Kleene events count toward size");
+            assert_eq!(b.slots.iter().filter(|s| s.kleene).count(), 1);
+            assert!(b.slots[n / 2].kleene);
+        }
+    }
+
+    #[test]
+    fn composite_set_has_three_branches() {
+        for &n in &PATTERN_SIZES {
+            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Composite, n, 1_000, &types(10));
+            assert_eq!(p.canonical().branches.len(), 3);
+            for b in &p.canonical().branches {
+                assert_eq!(b.n(), n);
+                assert_eq!(b.conditions.len(), 2 * (n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_set_builds_all_sizes() {
+        for ds in [DatasetKind::Traffic, DatasetKind::Stocks] {
+            for set in PatternSetKind::ALL {
+                let ps = pattern_set(ds, set, 1_000, &types(10));
+                assert_eq!(ps.len(), PATTERN_SIZES.len());
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PatternSetKind::Sequence.label(), "seq");
+        assert_eq!(PatternSetKind::Composite.label(), "or");
+        assert_eq!(DatasetKind::Traffic.label(), "traffic");
+        assert_eq!(DatasetKind::Stocks.label(), "stocks");
+    }
+}

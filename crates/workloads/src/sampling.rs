@@ -1,0 +1,74 @@
+//! Distribution sampling helpers (kept dependency-light: only `rand`'s
+//! uniform source is used; exponential, normal and Zipf sampling are
+//! implemented by hand).
+
+use rand::Rng;
+
+/// Samples an exponential inter-arrival time (in ms) for a process with
+/// `rate` events/second, via inverse-transform sampling.
+pub fn exp_interarrival_ms<R: Rng>(rng: &mut R, rate_per_sec: f64) -> f64 {
+    debug_assert!(rate_per_sec > 0.0);
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -u.ln() / rate_per_sec * 1_000.0
+}
+
+/// Samples a standard normal via Box–Muller.
+pub fn std_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a normal with the given mean and standard deviation.
+pub fn normal<R: Rng>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * std_normal(rng)
+}
+
+/// Zipf-like weights: `w_i ∝ 1 / (i + 1)^s`, normalized to sum to 1.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let rate = 50.0; // events/s → mean gap 20 ms
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp_interarrival_ms(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 20.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn zipf_weights_are_normalized_and_decreasing() {
+        let w = zipf_weights(5, 1.3);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        for i in 1..w.len() {
+            assert!(w[i] < w[i - 1]);
+        }
+        // Skew: the head dominates the tail.
+        assert!(w[0] / w[4] > 5.0);
+    }
+}

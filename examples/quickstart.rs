@@ -1,0 +1,70 @@
+//! Quickstart: declare a pattern, feed events, get matches.
+//!
+//! Reproduces the paper's Example 1: security cameras A (main gate),
+//! B (lobby) and C (restricted area) report face recognitions; we detect
+//! the same person passing A → B → C within 10 minutes.
+//!
+//! ```sh
+//! cargo run --release -p acep-examples --bin quickstart
+//! ```
+
+use acep_core::prelude::*;
+
+fn main() {
+    // 1. Register event types (one per camera) with their attributes.
+    let mut registry = SchemaRegistry::new();
+    let cam_a = registry.register("CameraA", &["person_id"]);
+    let cam_b = registry.register("CameraB", &["person_id"]);
+    let cam_c = registry.register("CameraC", &["person_id"]);
+
+    // 2. Declare the pattern:
+    //    PATTERN SEQ(A a, B b, C c)
+    //    WHERE a.person_id = b.person_id AND b.person_id = c.person_id
+    //    WITHIN 10 minutes
+    let pattern = Pattern::builder("intrusion")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(cam_a),
+            PatternExpr::prim(cam_b),
+            PatternExpr::prim(cam_c),
+        ]))
+        .condition(attr(0, 0).eq(attr(1, 0)))
+        .condition(attr(1, 0).eq(attr(2, 0)))
+        .window(10 * 60 * 1000)
+        .build()
+        .expect("valid pattern");
+
+    // 3. Run the adaptive engine (invariant-based decisions, greedy
+    //    order planner — all defaults).
+    let mut engine = AdaptiveCep::new(&pattern, registry.len(), AdaptiveConfig::default())
+        .expect("valid configuration");
+
+    // 4. Feed a small hand-written stream. Person 17 walks A → B → C
+    //    (an intrusion); person 42 only reaches the lobby.
+    let stream = [
+        (cam_a, 0_000, 17),
+        (cam_a, 1_000, 42),
+        (cam_b, 120_000, 17),
+        (cam_b, 125_000, 42),
+        (cam_c, 240_000, 17),
+    ];
+    let mut matches = Vec::new();
+    for (i, (ty, ts, person)) in stream.into_iter().enumerate() {
+        let event = Event::new(ty, ts, i as u64, vec![Value::Int(person)]);
+        engine.on_event(&event, &mut matches);
+    }
+    engine.finish(&mut matches);
+
+    // 5. Report.
+    println!("detected {} intrusion(s):", matches.len());
+    for m in &matches {
+        let person = m.event_of(VarId(0)).unwrap().attr(0).unwrap().clone();
+        println!(
+            "  person {person}: gate t={}ms -> lobby t={}ms -> restricted t={}ms",
+            m.event_of(VarId(0)).unwrap().timestamp,
+            m.event_of(VarId(1)).unwrap().timestamp,
+            m.event_of(VarId(2)).unwrap().timestamp,
+        );
+    }
+    assert_eq!(matches.len(), 1, "exactly one intrusion expected");
+    println!("\ncurrent evaluation plan: {}", engine.plan(0).describe());
+}

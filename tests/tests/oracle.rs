@@ -1,0 +1,166 @@
+//! Brute-force oracle tests: on small random streams, both engines must
+//! produce exactly the match set of a naive enumerator that checks every
+//! event combination against the pattern semantics directly.
+
+use std::sync::Arc;
+
+use acep_engine::{build_executor, ExecContext, Match};
+use acep_plan::{EvalPlan, OrderPlan, TreePlan};
+use acep_types::{attr, Event, EventTypeId, Pattern, PatternExpr, Value};
+use proptest::prelude::*;
+
+const WINDOW: u64 = 50;
+
+/// SEQ(T0 a, T1 b, T2 c) WHERE a.x < c.x WITHIN 50.
+fn pattern() -> Pattern {
+    Pattern::builder("oracle")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(EventTypeId(0)),
+            PatternExpr::prim(EventTypeId(1)),
+            PatternExpr::prim(EventTypeId(2)),
+        ]))
+        .condition(attr(0, 0).lt(attr(2, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// AND(T0, T1) WHERE a.x == b.x WITHIN 50.
+fn and_pattern() -> Pattern {
+    Pattern::builder("oracle-and")
+        .expr(PatternExpr::and([
+            PatternExpr::prim(EventTypeId(0)),
+            PatternExpr::prim(EventTypeId(1)),
+        ]))
+        .condition(attr(0, 0).eq(attr(1, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+fn make_events(spec: &[(u8, u8, i8)]) -> Vec<Arc<Event>> {
+    let mut ts = 0u64;
+    spec.iter()
+        .enumerate()
+        .map(|(i, (ty, gap, x))| {
+            ts += *gap as u64;
+            Event::new(
+                EventTypeId((*ty % 3) as u32),
+                ts,
+                i as u64,
+                vec![Value::Int(*x as i64)],
+            )
+        })
+        .collect()
+}
+
+fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<String> {
+    let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+    let mut exec = build_executor(ctx, plan);
+    let mut out = Vec::new();
+    for ev in events {
+        exec.on_event(ev, &mut out);
+    }
+    exec.finish(&mut out);
+    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Naive oracle for the 3-slot sequence pattern.
+fn oracle_seq(events: &[Arc<Event>]) -> Vec<String> {
+    let mut keys = Vec::new();
+    for a in events.iter().filter(|e| e.type_id == EventTypeId(0)) {
+        for b in events.iter().filter(|e| e.type_id == EventTypeId(1)) {
+            for c in events.iter().filter(|e| e.type_id == EventTypeId(2)) {
+                let order = (a.timestamp, a.seq) < (b.timestamp, b.seq)
+                    && (b.timestamp, b.seq) < (c.timestamp, c.seq);
+                if !order {
+                    continue;
+                }
+                let window = c.timestamp - a.timestamp <= WINDOW;
+                let cond = a.attrs[0].as_i64().unwrap() < c.attrs[0].as_i64().unwrap();
+                if window && cond {
+                    keys.push(format!("v0:[{}];v1:[{}];v2:[{}];", a.seq, b.seq, c.seq));
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Naive oracle for the 2-slot conjunction pattern.
+fn oracle_and(events: &[Arc<Event>]) -> Vec<String> {
+    let mut keys = Vec::new();
+    for a in events.iter().filter(|e| e.type_id == EventTypeId(0)) {
+        for b in events.iter().filter(|e| e.type_id == EventTypeId(1)) {
+            let window = a.timestamp.abs_diff(b.timestamp) <= WINDOW;
+            let cond = a.attrs[0] == b.attrs[0];
+            if window && cond && a.seq != b.seq {
+                keys.push(format!("v0:[{}];v1:[{}];", a.seq, b.seq));
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every processing order and two tree shapes agree with the naive
+    /// enumerator on random streams.
+    #[test]
+    fn engines_match_oracle_on_sequences(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -5i8..5), 1..40)
+    ) {
+        let p = pattern();
+        let events = make_events(&spec);
+        let expected = oracle_seq(&events);
+        let plans = [
+            EvalPlan::Order(OrderPlan::new(vec![0, 1, 2])),
+            EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+            EvalPlan::Order(OrderPlan::new(vec![1, 0, 2])),
+            EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2])),
+            EvalPlan::Tree(TreePlan {
+                nodes: vec![
+                    acep_plan::TreeNode::Leaf { slot: 0 },
+                    acep_plan::TreeNode::Leaf { slot: 1 },
+                    acep_plan::TreeNode::Leaf { slot: 2 },
+                    acep_plan::TreeNode::Internal { left: 1, right: 2 },
+                    acep_plan::TreeNode::Internal { left: 0, right: 3 },
+                ],
+                root: 4,
+            }),
+        ];
+        for plan in &plans {
+            let got = run_engine(&p, plan, &events);
+            prop_assert_eq!(
+                &got, &expected,
+                "plan {} diverged from oracle", plan.describe()
+            );
+        }
+    }
+
+    /// Conjunction semantics against the oracle.
+    #[test]
+    fn engines_match_oracle_on_conjunctions(
+        spec in prop::collection::vec((0u8..2, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = and_pattern();
+        let events = make_events(&spec);
+        let expected = oracle_and(&events);
+        for plan in [
+            EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+            EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+            EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+        ] {
+            let got = run_engine(&p, &plan, &events);
+            prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
+        }
+    }
+}

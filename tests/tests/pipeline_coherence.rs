@@ -1,0 +1,173 @@
+//! Coherence of the stats → cost model → planner → engine pipeline:
+//! the quantities the planner optimizes must predict the work the
+//! engine actually performs (otherwise "better plan" is meaningless).
+
+use std::sync::Arc;
+
+use acep_engine::{build_executor, ExecContext, Match};
+use acep_plan::{order_plan_cost, EvalPlan, NoopRecorder, OrderPlan, Planner, PlannerKind};
+use acep_stats::{StatisticsCollector, StatsConfig};
+use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
+
+fn measure_plan(
+    pattern: &acep_types::Pattern,
+    plan: &EvalPlan,
+    events: &[Arc<acep_types::Event>],
+) -> (u64, Vec<String>) {
+    let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+    let mut exec = build_executor(ctx, plan);
+    let mut out = Vec::new();
+    for ev in events {
+        exec.on_event(ev, &mut out);
+    }
+    exec.finish(&mut out);
+    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    keys.sort();
+    (exec.comparisons(), keys)
+}
+
+fn estimated_snapshot(
+    scenario: &Scenario,
+    pattern: &acep_types::Pattern,
+    events: &[Arc<acep_types::Event>],
+) -> acep_stats::StatSnapshot {
+    let mut collector = StatisticsCollector::new(
+        scenario.num_types(),
+        pattern.canonical(),
+        &StatsConfig {
+            window_ms: u64::MAX / 4,
+            sample_capacity: 128,
+            max_pairs: 2_048,
+            exact_rates: true,
+            ..StatsConfig::default()
+        },
+    );
+    for ev in events {
+        collector.observe(ev);
+    }
+    collector.snapshot_branch(0, events.last().unwrap().timestamp)
+}
+
+#[test]
+fn cheaper_cost_means_less_engine_work() {
+    // On a skewed traffic stream, compare the cost-model ranking of
+    // every processing order with the engine's measured comparison
+    // counts: the planner-optimal order must do (near-)minimal work and
+    // the cost-max order must do maximal work, with identical matches.
+    let scenario = Scenario::new(DatasetKind::Traffic);
+    let events = scenario.events(15_000);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 4);
+    let snapshot = estimated_snapshot(&scenario, &pattern, &events);
+
+    // Rank all 4! orders by modeled cost.
+    let mut orders: Vec<(f64, Vec<usize>)> = Vec::new();
+    let perms = permutations(4);
+    for perm in perms {
+        let cost = order_plan_cost(&OrderPlan::new(perm.clone()), &snapshot);
+        orders.push((cost, perm));
+    }
+    orders.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let cheapest = EvalPlan::Order(OrderPlan::new(orders.first().unwrap().1.clone()));
+    let costliest = EvalPlan::Order(OrderPlan::new(orders.last().unwrap().1.clone()));
+
+    let (work_cheap, matches_cheap) = measure_plan(&pattern, &cheapest, &events);
+    let (work_costly, matches_costly) = measure_plan(&pattern, &costliest, &events);
+    assert_eq!(matches_cheap, matches_costly, "plans must agree on matches");
+    assert!(
+        work_cheap * 2 < work_costly,
+        "modeled-cheap plan must do much less work: {work_cheap} vs {work_costly}"
+    );
+}
+
+#[test]
+fn greedy_plan_is_near_engine_optimal() {
+    // The greedy plan's measured work must be within 2x of the best
+    // measured work over all orders (the heuristic is near-optimal on
+    // this workload, as the paper assumes of `A`).
+    let scenario = Scenario::new(DatasetKind::Traffic);
+    let events = scenario.events(10_000);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 4);
+    let snapshot = estimated_snapshot(&scenario, &pattern, &events);
+    let greedy = Planner::new(PlannerKind::Greedy).generate(
+        &pattern.canonical().branches[0],
+        &snapshot,
+        &mut NoopRecorder,
+    );
+    let (greedy_work, _) = measure_plan(&pattern, &greedy, &events);
+    let mut best_work = u64::MAX;
+    for perm in permutations(4) {
+        let (w, _) = measure_plan(&pattern, &EvalPlan::Order(OrderPlan::new(perm)), &events);
+        best_work = best_work.min(w);
+    }
+    assert!(
+        greedy_work <= best_work * 2,
+        "greedy work {greedy_work} vs best {best_work}"
+    );
+}
+
+#[test]
+fn tree_and_order_plans_agree_on_matches() {
+    for dataset in [DatasetKind::Traffic, DatasetKind::Stocks] {
+        let scenario = Scenario::new(dataset);
+        let events = scenario.events(10_000);
+        let pattern = scenario.pattern(PatternSetKind::Sequence, 5);
+        let snapshot = estimated_snapshot(&scenario, &pattern, &events);
+        let order = Planner::new(PlannerKind::Greedy).generate(
+            &pattern.canonical().branches[0],
+            &snapshot,
+            &mut NoopRecorder,
+        );
+        let tree = Planner::new(PlannerKind::ZStream).generate(
+            &pattern.canonical().branches[0],
+            &snapshot,
+            &mut NoopRecorder,
+        );
+        let (_, m_order) = measure_plan(&pattern, &order, &events);
+        let (_, m_tree) = measure_plan(&pattern, &tree, &events);
+        assert_eq!(m_order, m_tree, "dataset {dataset:?}");
+    }
+}
+
+#[test]
+fn estimated_rates_track_generator_rates() {
+    // The statistics collector must recover the workload generator's
+    // configured skew: estimated rates ordered like empirical rates.
+    let scenario = Scenario::new(DatasetKind::Traffic);
+    let events = scenario.events(20_000);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 8);
+    let snapshot = estimated_snapshot(&scenario, &pattern, &events);
+    let empirical = acep_workloads::empirical_rates(&events, scenario.num_types());
+    for i in 0..8 {
+        for j in 0..8 {
+            if empirical[i] > 2.0 * empirical[j] {
+                assert!(
+                    snapshot.rate(i) > snapshot.rate(j),
+                    "estimated rates must preserve strong orderings: \
+                     r{i}={} r{j}={} (empirical {} vs {})",
+                    snapshot.rate(i),
+                    snapshot.rate(j),
+                    empirical[i],
+                    empirical[j]
+                );
+            }
+        }
+    }
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    fn rec(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            rec(items, k + 1, out);
+            items.swap(k, i);
+        }
+    }
+    rec(&mut items, 0, &mut out);
+    out
+}

@@ -1,0 +1,96 @@
+//! The central correctness property of an *adaptive* CEP system:
+//! adaptation must change performance, never semantics. Every policy ×
+//! planner combination must detect exactly the match set of the static
+//! reference engine, across all five pattern sets and both dataset
+//! profiles — including through mid-run plan migrations.
+
+use acep_core::{DeviationMode, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
+use acep_integration_tests::{run_adaptive, run_static_reference};
+
+const EVENTS: usize = 12_000;
+
+fn policies() -> Vec<PolicyKind> {
+    vec![
+        PolicyKind::Static,
+        PolicyKind::Unconditional,
+        PolicyKind::ConstantThreshold {
+            t: 0.3,
+            mode: DeviationMode::Relative,
+        },
+        PolicyKind::invariant_with_distance(0.0),
+        PolicyKind::invariant_with_distance(0.2),
+    ]
+}
+
+fn check_set(dataset: DatasetKind, set: PatternSetKind, size: usize) {
+    let scenario = Scenario::new(dataset);
+    let events = scenario.events(EVENTS);
+    let pattern = scenario.pattern(set, size);
+    let reference = run_static_reference(&pattern, &events);
+    for planner in [PlannerKind::Greedy, PlannerKind::ZStream] {
+        for policy in policies() {
+            let (keys, metrics) = run_adaptive(
+                &pattern,
+                scenario.num_types(),
+                planner,
+                policy,
+                32, // small interval → many decision points → migrations
+                &events,
+            );
+            assert_eq!(
+                keys,
+                reference,
+                "match set diverged: {dataset:?}/{set:?}/n{size} planner {planner:?} policy {} \
+                 (replacements: {})",
+                policy.name(),
+                metrics.plan_replacements
+            );
+        }
+    }
+}
+
+#[test]
+fn sequences_are_plan_invariant_traffic() {
+    check_set(DatasetKind::Traffic, PatternSetKind::Sequence, 4);
+}
+
+#[test]
+fn sequences_are_plan_invariant_stocks() {
+    check_set(DatasetKind::Stocks, PatternSetKind::Sequence, 4);
+}
+
+#[test]
+fn conjunctions_are_plan_invariant() {
+    check_set(DatasetKind::Traffic, PatternSetKind::Conjunction, 3);
+}
+
+#[test]
+fn negations_are_plan_invariant() {
+    check_set(DatasetKind::Traffic, PatternSetKind::Negation, 4);
+}
+
+#[test]
+fn kleene_patterns_are_plan_invariant() {
+    check_set(DatasetKind::Stocks, PatternSetKind::Kleene, 4);
+}
+
+#[test]
+fn composites_are_plan_invariant() {
+    check_set(DatasetKind::Traffic, PatternSetKind::Composite, 3);
+}
+
+#[test]
+fn matches_are_nonempty_for_small_sequences() {
+    // Guard against vacuous equivalence: the reference must actually
+    // find matches on these workloads.
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.events(EVENTS);
+    let pattern = scenario.pattern(PatternSetKind::Sequence, 3);
+    let reference = run_static_reference(&pattern, &events);
+    assert!(
+        !reference.is_empty(),
+        "size-3 stock sequences must match on 12k events"
+    );
+}

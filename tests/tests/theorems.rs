@@ -1,0 +1,212 @@
+//! Property tests for the paper's formal guarantees (§3.3).
+//!
+//! * **Theorem 1 (no false positives)** — if any recorded deciding
+//!   condition of the greedy planner is violated under new statistics,
+//!   re-running the planner on those statistics yields a *different*
+//!   plan.
+//! * **Theorem 2 (K = all, exactness)** — the greedy planner's output
+//!   changes **iff** at least one recorded deciding condition is
+//!   violated.
+//! * For the ZStream planner the paper's §4.2 freezing rule makes the
+//!   guarantees approximate; the *sound* direction tested here is that
+//!   every recorded condition holds at planning time and the planner is
+//!   deterministic.
+
+use acep_core::{InvariantSet, SelectionStrategy};
+use acep_plan::{CollectingRecorder, GreedyOrderPlanner, NoopRecorder, ZStreamTreePlanner};
+use acep_stats::StatSnapshot;
+use acep_types::{EventTypeId, Pattern};
+use proptest::prelude::*;
+
+fn seq_pattern(n: usize) -> Pattern {
+    let types: Vec<EventTypeId> = (0..n as u32).map(EventTypeId).collect();
+    Pattern::sequence("p", &types, 1_000)
+}
+
+/// Rates bounded away from ties so that float-equal costs (which make
+/// planner tie-breaks legitimate) don't create spurious counterexamples.
+fn rates(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(1.0f64..1000.0, n)
+}
+
+fn snapshot(r: &[f64]) -> StatSnapshot {
+    StatSnapshot::from_rates(r.to_vec())
+}
+
+/// Minimum relative gap between any two candidate costs for the case to
+/// count (filters measure-zero tie regions).
+fn well_separated(r: &[f64]) -> bool {
+    for (i, a) in r.iter().enumerate() {
+        for b in &r[i + 1..] {
+            if (a - b).abs() / a.max(*b) < 1e-6 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Theorem 1 for the greedy planner: a violated invariant implies a
+    /// different plan on re-run. Tested with K = 1 (the basic method).
+    #[test]
+    fn theorem1_greedy_violation_implies_new_plan(
+        r0 in rates(5),
+        r1 in rates(5),
+    ) {
+        prop_assume!(well_separated(&r0) && well_separated(&r1));
+        let p = seq_pattern(5);
+        let sub = &p.canonical().branches[0];
+        let s0 = snapshot(&r0);
+        let mut rec = CollectingRecorder::new();
+        let plan0 = GreedyOrderPlanner.plan(sub, &s0, &mut rec);
+        let invariants = InvariantSet::build(
+            &rec.into_condition_sets(),
+            &s0,
+            SelectionStrategy::Tightest,
+            1,
+            0.0,
+        );
+        let s1 = snapshot(&r1);
+        if invariants.first_violated(&s1).is_some() {
+            let plan1 = GreedyOrderPlanner.plan(sub, &s1, &mut NoopRecorder);
+            prop_assert_ne!(
+                plan0, plan1,
+                "fired invariant must imply a different plan (Theorem 1)"
+            );
+        }
+    }
+
+    /// Theorem 2 for the greedy planner with K = all: plan changes iff
+    /// some recorded condition is violated.
+    #[test]
+    fn theorem2_greedy_iff(
+        r0 in rates(6),
+        r1 in rates(6),
+    ) {
+        prop_assume!(well_separated(&r0) && well_separated(&r1));
+        let p = seq_pattern(6);
+        let sub = &p.canonical().branches[0];
+        let s0 = snapshot(&r0);
+        let mut rec = CollectingRecorder::new();
+        let plan0 = GreedyOrderPlanner.plan(sub, &s0, &mut rec);
+        let all = InvariantSet::build(
+            &rec.into_condition_sets(),
+            &s0,
+            SelectionStrategy::Tightest,
+            usize::MAX,
+            0.0,
+        );
+        let s1 = snapshot(&r1);
+        let plan1 = GreedyOrderPlanner.plan(sub, &s1, &mut NoopRecorder);
+        let violated = all.first_violated(&s1).is_some();
+        prop_assert_eq!(
+            plan1 != plan0,
+            violated,
+            "Theorem 2: plan change must coincide with a violation"
+        );
+    }
+
+    /// Recorded conditions always hold on the snapshot that produced the
+    /// plan (for both planners) — otherwise invariants would fire
+    /// immediately.
+    #[test]
+    fn recorded_conditions_hold_at_planning_time(r in rates(5)) {
+        prop_assume!(well_separated(&r));
+        let p = seq_pattern(5);
+        let sub = &p.canonical().branches[0];
+        let s = snapshot(&r);
+        let mut rec = CollectingRecorder::new();
+        GreedyOrderPlanner.plan(sub, &s, &mut rec);
+        for set in rec.into_condition_sets() {
+            for c in &set.conditions {
+                prop_assert!(c.holds(&s));
+            }
+        }
+        let mut rec = CollectingRecorder::new();
+        ZStreamTreePlanner.plan(sub, &s, &mut rec);
+        for set in rec.into_condition_sets() {
+            for c in &set.conditions {
+                prop_assert!(c.holds(&s));
+            }
+        }
+    }
+
+    /// Determinism: identical statistics always produce identical plans
+    /// (precondition of both theorems).
+    #[test]
+    fn planners_are_deterministic(r in rates(6)) {
+        let p = seq_pattern(6);
+        let sub = &p.canonical().branches[0];
+        let s = snapshot(&r);
+        let a = GreedyOrderPlanner.plan(sub, &s, &mut NoopRecorder);
+        let b = GreedyOrderPlanner.plan(sub, &s, &mut NoopRecorder);
+        prop_assert_eq!(a, b);
+        let a = ZStreamTreePlanner.plan(sub, &s, &mut NoopRecorder);
+        let b = ZStreamTreePlanner.plan(sub, &s, &mut NoopRecorder);
+        prop_assert_eq!(a.shape(), b.shape());
+    }
+
+    /// ZStream Theorem-1 analogue restricted to rate changes *visible*
+    /// to the invariants: if NO condition (K = all, d = 0) is violated
+    /// and the statistics did not change at all, the plan is unchanged
+    /// (sanity floor under the frozen-cost rule).
+    #[test]
+    fn zstream_stable_stats_stable_plan(r in rates(5)) {
+        prop_assume!(well_separated(&r));
+        let p = seq_pattern(5);
+        let sub = &p.canonical().branches[0];
+        let s = snapshot(&r);
+        let mut rec = CollectingRecorder::new();
+        let plan0 = ZStreamTreePlanner.plan(sub, &s, &mut rec);
+        let all = InvariantSet::build(
+            &rec.into_condition_sets(),
+            &s,
+            SelectionStrategy::Tightest,
+            usize::MAX,
+            0.0,
+        );
+        prop_assert!(all.first_violated(&s).is_none());
+        let plan1 = ZStreamTreePlanner.plan(sub, &s, &mut NoopRecorder);
+        prop_assert_eq!(plan0.shape(), plan1.shape());
+    }
+
+    /// The DP planner is optimal over contiguous tree shapes for any
+    /// statistics (cost-model-level guarantee the paper assumes of `A`).
+    #[test]
+    fn zstream_dp_is_optimal(r in rates(5)) {
+        let p = seq_pattern(5);
+        let sub = &p.canonical().branches[0];
+        let s = snapshot(&r);
+        let plan = ZStreamTreePlanner.plan(sub, &s, &mut NoopRecorder);
+        let dp_cost = acep_plan::tree_plan_cost(&plan, &s);
+        let (_, best) = acep_plan::exhaustive::optimal_contiguous_tree(&[0, 1, 2, 3, 4], &s);
+        prop_assert!(dp_cost <= best * (1.0 + 1e-9));
+    }
+
+    /// Distance-d invariants are monotone: everything that holds at
+    /// distance d also holds at any smaller distance (so growing d can
+    /// only suppress reoptimizations, §3.4).
+    #[test]
+    fn distance_monotonicity(
+        r0 in rates(5),
+        r1 in rates(5),
+        d in 0.0f64..1.0,
+    ) {
+        let p = seq_pattern(5);
+        let sub = &p.canonical().branches[0];
+        let s0 = snapshot(&r0);
+        let mut rec = CollectingRecorder::new();
+        GreedyOrderPlanner.plan(sub, &s0, &mut rec);
+        let sets = rec.into_condition_sets();
+        let tight = InvariantSet::build(&sets, &s0, SelectionStrategy::Tightest, 1, d);
+        let loose = InvariantSet::build(&sets, &s0, SelectionStrategy::Tightest, 1, 0.0);
+        let s1 = snapshot(&r1);
+        // Violated without distance ⇒ violated with distance.
+        if loose.first_violated(&s1).is_some() {
+            prop_assert!(tight.first_violated(&s1).is_some());
+        }
+    }
+}
