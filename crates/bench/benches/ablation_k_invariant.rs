@@ -23,7 +23,14 @@ fn bench(c: &mut Criterion) {
         });
         c.bench_function(&format!("ablation/k_invariant/{label}"), |b| {
             b.iter(|| {
-                run_one(&scenario, &pattern, PlannerKind::ZStream, policy, &events, &harness)
+                run_one(
+                    &scenario,
+                    &pattern,
+                    PlannerKind::ZStream,
+                    policy,
+                    &events,
+                    &harness,
+                )
             })
         });
     }

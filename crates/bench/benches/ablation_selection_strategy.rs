@@ -26,7 +26,14 @@ fn bench(c: &mut Criterion) {
         });
         c.bench_function(&format!("ablation/selection/{label}"), |b| {
             b.iter(|| {
-                run_one(&scenario, &pattern, PlannerKind::Greedy, policy, &events, &harness)
+                run_one(
+                    &scenario,
+                    &pattern,
+                    PlannerKind::Greedy,
+                    policy,
+                    &events,
+                    &harness,
+                )
             })
         });
     }

@@ -16,18 +16,21 @@ fn bench(c: &mut Criterion) {
     let (scenario, events) = common::inputs(DatasetKind::Traffic);
     for set in PatternSetKind::ALL {
         let pattern = scenario.pattern(set, 5);
-        c.bench_function(&format!("appendix/traffic/greedy/{}/n5", set.label()), |b| {
-            b.iter(|| {
-                run_one(
-                    &scenario,
-                    &pattern,
-                    PlannerKind::Greedy,
-                    PolicyKind::invariant_with_distance(0.3),
-                    &events,
-                    &harness,
-                )
-            })
-        });
+        c.bench_function(
+            &format!("appendix/traffic/greedy/{}/n5", set.label()),
+            |b| {
+                b.iter(|| {
+                    run_one(
+                        &scenario,
+                        &pattern,
+                        PlannerKind::Greedy,
+                        PolicyKind::invariant_with_distance(0.3),
+                        &events,
+                        &harness,
+                    )
+                })
+            },
+        );
     }
 }
 

@@ -16,7 +16,16 @@ fn bench(c: &mut Criterion) {
     let pattern = scenario.pattern(PatternSetKind::Sequence, 6);
     for (name, policy) in methods(0.75, 0.3) {
         c.bench_function(&format!("fig6/{}/n6/{}", combo.label(), name), |b| {
-            b.iter(|| run_one(&scenario, &pattern, combo.planner, policy, &events, &harness))
+            b.iter(|| {
+                run_one(
+                    &scenario,
+                    &pattern,
+                    combo.planner,
+                    policy,
+                    &events,
+                    &harness,
+                )
+            })
         });
     }
 }

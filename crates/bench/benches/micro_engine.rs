@@ -21,9 +21,18 @@ fn bench(c: &mut Criterion) {
     // is the *eager* (bad) plan and the reverse is the lazy (good) one.
     let plans = [
         ("order_eager", EvalPlan::Order(OrderPlan::identity(5))),
-        ("order_lazy", EvalPlan::Order(OrderPlan::new(vec![4, 3, 2, 1, 0]))),
-        ("tree_left_deep", EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2, 3, 4]))),
-        ("tree_rare_first", EvalPlan::Tree(TreePlan::left_deep(&[4, 3, 2, 1, 0]))),
+        (
+            "order_lazy",
+            EvalPlan::Order(OrderPlan::new(vec![4, 3, 2, 1, 0])),
+        ),
+        (
+            "tree_left_deep",
+            EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2, 3, 4])),
+        ),
+        (
+            "tree_rare_first",
+            EvalPlan::Tree(TreePlan::left_deep(&[4, 3, 2, 1, 0])),
+        ),
     ];
     for (name, plan) in &plans {
         c.bench_function(&format!("micro/engine/{name}/n5"), |b| {
@@ -41,10 +50,8 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("micro/engine/migrating_with_replacement/n5", |b| {
         b.iter(|| {
-            let mut mig = MigratingExecutor::new(
-                ctx.window,
-                build_executor(Arc::clone(&ctx), &plans[0].1),
-            );
+            let mut mig =
+                MigratingExecutor::new(ctx.window, build_executor(Arc::clone(&ctx), &plans[0].1));
             let mut out = Vec::new();
             let mid = events.len() / 2;
             for ev in &events[..mid] {

@@ -12,11 +12,7 @@ use acep_types::{EventTypeId, Pattern};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let p = Pattern::sequence(
-        "p",
-        &(0..8u32).map(EventTypeId).collect::<Vec<_>>(),
-        1_000,
-    );
+    let p = Pattern::sequence("p", &(0..8u32).map(EventTypeId).collect::<Vec<_>>(), 1_000);
     let sub = &p.canonical().branches[0];
     let s = StatSnapshot::from_rates((1..=8).map(|i| i as f64 * 3.0).collect());
 

@@ -23,11 +23,7 @@ fn snapshot(n: usize) -> StatSnapshot {
 }
 
 fn bench(c: &mut Criterion) {
-    let p = Pattern::sequence(
-        "p",
-        &(0..8u32).map(EventTypeId).collect::<Vec<_>>(),
-        1_000,
-    );
+    let p = Pattern::sequence("p", &(0..8u32).map(EventTypeId).collect::<Vec<_>>(), 1_000);
     let sub = &p.canonical().branches[0];
     let s = snapshot(8);
     c.bench_function("micro/planner/greedy_n8", |b| {

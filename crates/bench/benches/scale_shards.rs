@@ -1,0 +1,81 @@
+//! Scale-out: sharded-runtime throughput vs. worker count (1/2/4/8)
+//! on a key-partitioned stocks stream with two hosted queries.
+//!
+//! Reports elements-per-second per shard count; the match multiset is
+//! identical at every width (see the `stream_determinism` test), so the
+//! numbers compare equal work. Speedup over W=1 naturally requires a
+//! multi-core host — on a single-core machine all widths report the
+//! same throughput (the workers time-slice one core).
+
+#[path = "common.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stream::{CountingSink, LastAttrKeyExtractor, PatternSet, ShardedRuntime, StreamConfig};
+use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const NUM_KEYS: u64 = 16;
+const EVENTS_PER_KEY: usize = 1_500;
+
+fn pattern_set(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        AdaptiveConfig {
+            planner: PlannerKind::Greedy,
+            policy: PolicyKind::invariant_with_distance(0.1),
+            ..AdaptiveConfig::default()
+        },
+    )
+    .unwrap();
+    set.register(
+        "stocks/seq4",
+        scenario.pattern(PatternSetKind::Sequence, 4),
+        AdaptiveConfig {
+            planner: PlannerKind::ZStream,
+            policy: PolicyKind::invariant_with_distance(0.2),
+            ..AdaptiveConfig::default()
+        },
+    )
+    .unwrap();
+    set
+}
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+    let set = pattern_set(&scenario);
+
+    let mut group = c.benchmark_group("scale_shards");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(shards), |b| {
+            b.iter(|| {
+                let sink = Arc::new(CountingSink::new(set.len()));
+                let runtime = ShardedRuntime::new(
+                    &set,
+                    Arc::new(LastAttrKeyExtractor),
+                    Arc::clone(&sink) as _,
+                    StreamConfig {
+                        shards,
+                        ..StreamConfig::default()
+                    },
+                )
+                .unwrap();
+                for chunk in events.chunks(4_096) {
+                    runtime.push_batch(chunk);
+                }
+                black_box(runtime.finish().total_matches())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -5,11 +5,16 @@ use acep_plan::PlannerKind;
 use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
 
 fn main() {
-    let policy_arg = std::env::args().nth(1).unwrap_or_else(|| "invariant".into());
+    let policy_arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "invariant".into());
     let policy = match policy_arg.as_str() {
         "static" => PolicyKind::Static,
         "unconditional" => PolicyKind::Unconditional,
-        "threshold" => PolicyKind::ConstantThreshold { t: 1.0, mode: acep_core::DeviationMode::Relative },
+        "threshold" => PolicyKind::ConstantThreshold {
+            t: 1.0,
+            mode: acep_core::DeviationMode::Relative,
+        },
         _ => PolicyKind::invariant_with_distance(0.3),
     };
     let scenario = Scenario::new(DatasetKind::Traffic);

@@ -131,7 +131,12 @@ pub struct MethodRow {
 /// the sequence experiment; scanning at a larger size is robust because
 /// deeper selectivity products have noisier margins, so the d that
 /// works at n = 7 also damps thrash at every smaller size).
-pub fn tune(combo: Combo, inputs: &ComboInputs, scale: &Scale, harness: &HarnessConfig) -> (f64, f64) {
+pub fn tune(
+    combo: Combo,
+    inputs: &ComboInputs,
+    scale: &Scale,
+    harness: &HarnessConfig,
+) -> (f64, f64) {
     let pattern = inputs.scenario.pattern(PatternSetKind::Sequence, 7);
     let (t_opt, _) = scan_threshold(
         &inputs.scenario,
@@ -204,13 +209,7 @@ pub fn table1(scale: &Scale, harness: &HarnessConfig) -> Vec<(String, usize, f64
                 continue; // the paper reports sizes 4–8
             }
             let pattern = inputs.scenario.pattern(PatternSetKind::Sequence, size);
-            let d_avg = estimate_d_avg(
-                &inputs.scenario,
-                &pattern,
-                combo.planner,
-                prefix,
-                harness,
-            );
+            let d_avg = estimate_d_avg(&inputs.scenario, &pattern, combo.planner, prefix, harness);
             let results = scan_distance(
                 &inputs.scenario,
                 &pattern,
@@ -232,9 +231,7 @@ pub fn table1(scale: &Scale, harness: &HarnessConfig) -> Vec<(String, usize, f64
                 parts.pop();
                 (parts, alg)
             };
-            println!(
-                "| {ds} | {alg} | {size} | {d_avg:.4} | {d_opt:.2} | {quality:.3} |"
-            );
+            println!("| {ds} | {alg} | {size} | {d_avg:.4} | {d_opt:.2} | {quality:.3} |");
             rows.push((combo.label(), size, d_avg, d_opt, quality));
         }
     }
@@ -334,7 +331,9 @@ pub fn method_comparison(
 /// Prints a method-comparison table (one of Figs. 6–9 / 10–29).
 pub fn print_method_comparison(title: &str, rows: &[MethodRow]) {
     println!("\n## {title}\n");
-    println!("| size | method | throughput (ev/s) | gain vs static | reoptimizations | overhead % |");
+    println!(
+        "| size | method | throughput (ev/s) | gain vs static | reoptimizations | overhead % |"
+    );
     println!("|---|---|---|---|---|---|");
     for r in rows {
         println!(
@@ -359,7 +358,10 @@ pub fn fig6to9(combo: Combo, scale: &Scale, harness: &HarnessConfig) -> Vec<Meth
         (DatasetKind::Stocks, PlannerKind::ZStream) => "Figure 9",
     };
     print_method_comparison(
-        &format!("{fig}: adaptation methods on {} (all pattern sets)", combo.label()),
+        &format!(
+            "{fig}: adaptation methods on {} (all pattern sets)",
+            combo.label()
+        ),
         &rows,
     );
     rows

@@ -91,8 +91,8 @@ pub fn run_one(
     harness: &HarnessConfig,
 ) -> RunResult {
     let cfg = harness.runtime_config(planner, policy);
-    let mut engine = AdaptiveCep::new(pattern, scenario.num_types(), cfg)
-        .expect("scenario patterns are valid");
+    let mut engine =
+        AdaptiveCep::new(pattern, scenario.num_types(), cfg).expect("scenario patterns are valid");
     let mut out = Vec::new();
     let start = Instant::now();
     for ev in events {

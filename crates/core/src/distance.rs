@@ -113,8 +113,7 @@ mod tests {
             conditions: vec![cond(0, 1)],
         }];
         assert!(
-            average_relative_difference(&sets, &skewed)
-                > average_relative_difference(&sets, &flat)
+            average_relative_difference(&sets, &skewed) > average_relative_difference(&sets, &flat)
         );
     }
 }

@@ -35,9 +35,7 @@ impl SelectionStrategy {
         match self {
             SelectionStrategy::Tightest => r - l,
             SelectionStrategy::RelativeMargin => (r - l) / l.min(r).max(1e-12),
-            SelectionStrategy::ViolationProbability => {
-                (r - l) / (l * l + r * r).sqrt().max(1e-12)
-            }
+            SelectionStrategy::ViolationProbability => (r - l) / (l * l + r * r).sqrt().max(1e-12),
         }
     }
 }

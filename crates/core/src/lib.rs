@@ -18,8 +18,15 @@
 //! * [`distance`] — the `d_avg` average-relative-difference distance
 //!   estimator of §3.4;
 //! * [`runtime`] — [`AdaptiveCep`], the detection-adaptation loop of
-//!   Algorithm 1;
+//!   Algorithm 1, and [`EngineTemplate`] for stamping out many engine
+//!   instances of one pattern cheaply;
 //! * [`concurrent`] — background statistics estimation.
+//!
+//! To run *many* patterns over a *partitioned* stream across parallel
+//! worker shards, layer the `acep-stream` crate on top: it hosts one
+//! `AdaptiveCep` per (partition key, query), instantiated from
+//! [`EngineTemplate`]s, with batched ingestion and aggregated
+//! observability.
 //!
 //! ## Quickstart
 //!
@@ -69,13 +76,13 @@ pub use policy::{
     ConstantThresholdPolicy, DeviationMode, InvariantPolicy, InvariantPolicyConfig, PolicyKind,
     ReoptOutcome, ReoptPolicy, StaticPolicy, UnconditionalPolicy,
 };
-pub use runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics};
+pub use runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics, EngineTemplate};
 
 /// Commonly used items across the whole stack.
 pub mod prelude {
     pub use crate::invariant::SelectionStrategy;
     pub use crate::policy::{DeviationMode, InvariantPolicyConfig, PolicyKind};
-    pub use crate::runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics};
+    pub use crate::runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics, EngineTemplate};
     pub use acep_engine::{Match, StaticEngine};
     pub use acep_plan::{EvalPlan, PlannerKind};
     pub use acep_stats::{StatSnapshot, StatsConfig};

@@ -266,6 +266,14 @@ pub enum PolicyKind {
     Invariant(InvariantPolicyConfig),
 }
 
+impl Default for PolicyKind {
+    /// The paper's method with its default parameters (`k = 1`,
+    /// `d = 0`, tightest-first selection).
+    fn default() -> Self {
+        PolicyKind::Invariant(InvariantPolicyConfig::default())
+    }
+}
+
 impl PolicyKind {
     /// Instantiates the policy.
     pub fn build(&self) -> Box<dyn ReoptPolicy> {

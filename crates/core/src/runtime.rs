@@ -12,9 +12,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acep_engine::{build_executor, ExecContext, Match, MigratingExecutor};
-use acep_plan::{CollectingRecorder, EvalPlan, Planner, PlannerKind};
-use acep_stats::{StatisticsCollector, StatsConfig};
-use acep_types::{AcepError, CanonicalPattern, Event, Pattern, SubPattern, Timestamp};
+use acep_plan::{CollectingRecorder, DecidingConditionSet, EvalPlan, Planner, PlannerKind};
+use acep_stats::{StatSnapshot, StatisticsCollector, StatsConfig};
+use acep_types::{AcepError, CanonicalPattern, Event, EventTypeId, Pattern, SubPattern, Timestamp};
 
 use crate::policy::{PolicyKind, ReoptOutcome, ReoptPolicy};
 
@@ -97,9 +97,161 @@ struct BranchRuntime {
     initialized: bool,
 }
 
+/// Pre-compiled construction state of one branch: everything that is
+/// identical across engine instances of the same pattern.
+struct BranchTemplate {
+    sub: SubPattern,
+    ctx: Arc<ExecContext>,
+    /// Initial plan from the "default, empty Stat" (§2.1).
+    uniform_plan: EvalPlan,
+    /// Deciding-condition sets recorded while building `uniform_plan`.
+    uniform_sets: Vec<DecidingConditionSet>,
+    uniform_snapshot: StatSnapshot,
+}
+
+/// Shareable, pre-compiled construction state for stamping out many
+/// [`AdaptiveCep`] instances of the same pattern cheaply.
+///
+/// Compiling a pattern into an [`ExecContext`] and generating the
+/// initial uniform-statistics plan is the expensive part of
+/// [`AdaptiveCep::new`]; a template does both exactly once and shares
+/// the compiled context (behind `Arc`) between every instance. The
+/// sharded runtime in `acep-stream` keeps one engine per
+/// (partition key, query) and instantiates them lazily from templates
+/// as keys first appear in the stream.
+pub struct EngineTemplate {
+    pattern: Arc<CanonicalPattern>,
+    num_types: usize,
+    config: AdaptiveConfig,
+    branches: Vec<BranchTemplate>,
+    /// `relevant[t]` is true iff some slot (positive or negated) of some
+    /// branch accepts event type `t`.
+    relevant: Vec<bool>,
+}
+
+impl EngineTemplate {
+    /// Compiles `pattern` once, where `num_types` is the total number of
+    /// registered event types in the input stream.
+    pub fn new(
+        pattern: &Pattern,
+        num_types: usize,
+        config: AdaptiveConfig,
+    ) -> Result<Self, AcepError> {
+        if config.control_interval == 0 {
+            return Err(AcepError::InvalidConfig(
+                "control_interval must be positive".into(),
+            ));
+        }
+        let canonical = pattern.canonical().clone();
+        let planner = Planner::new(config.planner);
+        let mut relevant = vec![false; num_types];
+        let mut mark = |ty: EventTypeId| -> Result<(), AcepError> {
+            match relevant.get_mut(ty.index()) {
+                Some(flag) => {
+                    *flag = true;
+                    Ok(())
+                }
+                // Accepting this silently would make a multi-query host
+                // drop every event of the query (is_relevant = false
+                // everywhere) instead of surfacing the misconfiguration.
+                None => Err(AcepError::InvalidConfig(format!(
+                    "pattern references event type {ty} but the stream registers only {num_types} types"
+                ))),
+            }
+        };
+        let mut branches = Vec::with_capacity(canonical.branches.len());
+        for sub in &canonical.branches {
+            for slot in &sub.slots {
+                mark(slot.event_type)?;
+            }
+            for neg in &sub.negated {
+                mark(neg.event_type)?;
+            }
+            let ctx = ExecContext::compile(sub)?;
+            let uniform_snapshot = StatSnapshot::uniform(sub.n());
+            let mut rec = CollectingRecorder::new();
+            let uniform_plan = planner.generate(sub, &uniform_snapshot, &mut rec);
+            branches.push(BranchTemplate {
+                sub: sub.clone(),
+                ctx,
+                uniform_plan,
+                uniform_sets: rec.into_condition_sets(),
+                uniform_snapshot,
+            });
+        }
+        Ok(Self {
+            pattern: Arc::new(canonical),
+            num_types,
+            config,
+            branches,
+            relevant,
+        })
+    }
+
+    /// Stamps out a fresh engine instance. Cheap relative to
+    /// [`AdaptiveCep::new`]: no pattern compilation or plan generation,
+    /// only per-instance state (statistics collector, policy, executor).
+    pub fn instantiate(&self) -> AdaptiveCep {
+        let branches = self
+            .branches
+            .iter()
+            .map(|bt| {
+                let mut policy = self.config.policy.build();
+                policy.on_plan_installed(
+                    &bt.uniform_sets,
+                    &bt.uniform_snapshot,
+                    ReoptOutcome::Deployed,
+                );
+                let exec = MigratingExecutor::new(
+                    bt.sub.window,
+                    build_executor(Arc::clone(&bt.ctx), &bt.uniform_plan),
+                );
+                BranchRuntime {
+                    sub: bt.sub.clone(),
+                    ctx: Arc::clone(&bt.ctx),
+                    policy,
+                    plan: bt.uniform_plan.clone(),
+                    exec,
+                    initialized: false,
+                }
+            })
+            .collect();
+        AdaptiveCep {
+            pattern: Arc::clone(&self.pattern),
+            config: self.config.clone(),
+            planner: Planner::new(self.config.planner),
+            collector: StatisticsCollector::new(self.num_types, &self.pattern, &self.config.stats),
+            branches,
+            metrics: AdaptiveMetrics::default(),
+        }
+    }
+
+    /// Whether events of type `ty` can participate in this pattern (as a
+    /// positive or negated slot). Irrelevant events cannot affect the
+    /// match set; a multi-query host may skip routing them.
+    pub fn is_relevant(&self, ty: EventTypeId) -> bool {
+        self.relevant.get(ty.index()).copied().unwrap_or(false)
+    }
+
+    /// The canonical pattern this template compiles.
+    pub fn pattern(&self) -> &CanonicalPattern {
+        &self.pattern
+    }
+
+    /// The per-instance configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
+    /// Number of registered event types in the input stream.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+}
+
 /// An adaptive CEP engine instance for one pattern (paper Fig. 2).
 pub struct AdaptiveCep {
-    pattern: CanonicalPattern,
+    pattern: Arc<CanonicalPattern>,
     config: AdaptiveConfig,
     planner: Planner,
     collector: StatisticsCollector,
@@ -110,47 +262,20 @@ pub struct AdaptiveCep {
 impl AdaptiveCep {
     /// Creates the engine for `pattern`, where `num_types` is the total
     /// number of registered event types in the input stream.
-    pub fn new(pattern: &Pattern, num_types: usize, config: AdaptiveConfig) -> Result<Self, AcepError> {
-        if config.control_interval == 0 {
-            return Err(AcepError::InvalidConfig(
-                "control_interval must be positive".into(),
-            ));
-        }
-        let canonical = pattern.canonical().clone();
-        let planner = Planner::new(config.planner);
-        let collector = StatisticsCollector::new(num_types, &canonical, &config.stats);
-
-        let mut branches = Vec::with_capacity(canonical.branches.len());
-        for sub in &canonical.branches {
-            let ctx = ExecContext::compile(sub)?;
-            // Initial plan from the "default, empty Stat" (§2.1).
-            let uniform = acep_stats::StatSnapshot::uniform(sub.n());
-            let mut rec = CollectingRecorder::new();
-            let plan = planner.generate(sub, &uniform, &mut rec);
-            let mut policy = config.policy.build();
-            policy.on_plan_installed(&rec.into_condition_sets(), &uniform, ReoptOutcome::Deployed);
-            let exec = MigratingExecutor::new(sub.window, build_executor(Arc::clone(&ctx), &plan));
-            branches.push(BranchRuntime {
-                sub: sub.clone(),
-                ctx,
-                policy,
-                plan,
-                exec,
-                initialized: false,
-            });
-        }
-        Ok(Self {
-            pattern: canonical,
-            config,
-            planner,
-            collector,
-            branches,
-            metrics: AdaptiveMetrics::default(),
-        })
+    ///
+    /// To build many instances of the same pattern (e.g. one per
+    /// partition key), compile an [`EngineTemplate`] once and
+    /// [`instantiate`](EngineTemplate::instantiate) from it instead.
+    pub fn new(
+        pattern: &Pattern,
+        num_types: usize,
+        config: AdaptiveConfig,
+    ) -> Result<Self, AcepError> {
+        EngineTemplate::new(pattern, num_types, config).map(|t| t.instantiate())
     }
 
     /// Processes one event, appending matches to `out`.
-    #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.75 MSRV
+    #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.82 MSRV
     pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
         self.collector.observe(ev);
         let before = out.len();
@@ -264,6 +389,11 @@ impl AdaptiveCep {
         &self.pattern
     }
 
+    /// The engine configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+
     /// Stored partial matches across branches and plan generations.
     pub fn partial_count(&self) -> usize {
         self.branches.iter().map(|b| b.exec.partial_count()).sum()
@@ -365,7 +495,11 @@ mod tests {
         assert!(m.planner_invocations >= m.decision_evals);
         assert!(m.decision_evals > 10);
         // But with stable statistics, the *plan* rarely changes.
-        assert!(m.plan_replacements <= 2, "replacements {}", m.plan_replacements);
+        assert!(
+            m.plan_replacements <= 2,
+            "replacements {}",
+            m.plan_replacements
+        );
     }
 
     #[test]
@@ -414,6 +548,15 @@ mod tests {
             }
         }
         assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_event_type_is_rejected() {
+        // A pattern referencing a type the stream does not register is a
+        // misconfiguration, not a silently-empty query.
+        let p = Pattern::sequence("p", &[t(0), t(5)], 100);
+        assert!(AdaptiveCep::new(&p, 3, AdaptiveConfig::default()).is_err());
+        assert!(EngineTemplate::new(&p, 6, AdaptiveConfig::default()).is_ok());
     }
 
     #[test]

@@ -19,10 +19,7 @@ pub struct StaticEngine {
 
 impl StaticEngine {
     /// Builds an engine with one explicit plan per branch.
-    pub fn from_plans(
-        pattern: &CanonicalPattern,
-        plans: &[EvalPlan],
-    ) -> Result<Self, AcepError> {
+    pub fn from_plans(pattern: &CanonicalPattern, plans: &[EvalPlan]) -> Result<Self, AcepError> {
         if plans.len() != pattern.branches.len() {
             return Err(AcepError::InvalidConfig(format!(
                 "{} plans for {} branches",
@@ -37,10 +34,7 @@ impl StaticEngine {
             branches.push(build_executor(Arc::clone(&ctx), plan));
             contexts.push(ctx);
         }
-        Ok(Self {
-            branches,
-            contexts,
-        })
+        Ok(Self { branches, contexts })
     }
 
     /// Builds an engine using declaration-order plans for every branch.

@@ -92,8 +92,7 @@ impl ExecContext {
                     if let (Some(i), Some(j)) = (sub.slot_of_var(*a), sub.slot_of_var(*b)) {
                         if kleene[i] && kleene[j] {
                             return Err(AcepError::InvalidPattern(
-                                "predicates between two Kleene variables are not supported"
-                                    .into(),
+                                "predicates between two Kleene variables are not supported".into(),
                             ));
                         }
                         pair[i * n + j].push(c.predicate.clone());
@@ -101,9 +100,8 @@ impl ExecContext {
                     }
                 }
                 CondVars::General(vs) => {
-                    let touches_negated = vs
-                        .iter()
-                        .any(|v| sub.negated.iter().any(|ng| ng.var == *v));
+                    let touches_negated =
+                        vs.iter().any(|v| sub.negated.iter().any(|ng| ng.var == *v));
                     if !touches_negated {
                         general.push(c.predicate.clone());
                     }

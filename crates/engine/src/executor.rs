@@ -12,7 +12,11 @@ use crate::order_exec::OrderExecutor;
 use crate::tree_exec::TreeExecutor;
 
 /// A pattern-evaluation engine instance following one plan.
-pub trait Executor {
+///
+/// `Send` is required so boxed executors (and the engines owning them)
+/// can move onto worker threads — the `acep-stream` sharded runtime
+/// owns one engine per (partition key, query) inside each worker.
+pub trait Executor: Send {
     /// Processes one event, appending any completed matches to `out`.
     fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>);
 

@@ -60,7 +60,11 @@ impl Finalizer {
     pub fn new(ctx: Arc<ExecContext>) -> Self {
         let window = ctx.window;
         let history = FinalizerHistory {
-            neg: ctx.negated.iter().map(|_| EventBuffer::new(window)).collect(),
+            neg: ctx
+                .negated
+                .iter()
+                .map(|_| EventBuffer::new(window))
+                .collect(),
             kleene: ctx
                 .kleene_slots
                 .iter()
@@ -156,8 +160,7 @@ impl Finalizer {
             }
         }
         // Past Kleene candidates.
-        let mut kleene_sets: Vec<Vec<Arc<Event>>> =
-            Vec::with_capacity(self.ctx.kleene_slots.len());
+        let mut kleene_sets: Vec<Vec<Arc<Event>>> = Vec::with_capacity(self.ctx.kleene_slots.len());
         for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
             let mut set = Vec::new();
             for ev in self.history.kleene[ki].iter() {
@@ -215,7 +218,10 @@ impl Finalizer {
         let window_end = partial.min_ts + self.ctx.window;
         let mut deadline = 0;
         for guard in &self.ctx.negated {
-            let open = !matches!((self.ctx.kind, guard.before_slot), (SubKind::Sequence, Some(_)));
+            let open = !matches!(
+                (self.ctx.kind, guard.before_slot),
+                (SubKind::Sequence, Some(_))
+            );
             if open {
                 deadline = deadline.max(window_end);
             }
@@ -263,7 +269,12 @@ impl Finalizer {
 }
 
 /// Does negated event `ev` invalidate a match built on `partial`?
-fn neg_invalidates(ctx: &ExecContext, guard: &NegGuard, partial: &Partial, ev: &Arc<Event>) -> bool {
+fn neg_invalidates(
+    ctx: &ExecContext,
+    guard: &NegGuard,
+    partial: &Partial,
+    ev: &Arc<Event>,
+) -> bool {
     // Temporal scope.
     match guard.after_slot {
         Some(s) => {

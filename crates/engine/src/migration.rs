@@ -100,7 +100,11 @@ impl MigratingExecutor {
             } else {
                 Timestamp::MAX
             };
-            out.extend(self.scratch.drain(..).filter(|m| m.min_ts >= lo && m.min_ts < hi));
+            out.extend(
+                self.scratch
+                    .drain(..)
+                    .filter(|m| m.min_ts >= lo && m.min_ts < hi),
+            );
         }
         // Retire generations whose ownership range has fully expired.
         while self.gens.len() >= 2 && self.gens[1].start.saturating_add(self.window) < now {
@@ -121,7 +125,11 @@ impl MigratingExecutor {
             } else {
                 Timestamp::MAX
             };
-            out.extend(self.scratch.drain(..).filter(|m| m.min_ts >= lo && m.min_ts < hi));
+            out.extend(
+                self.scratch
+                    .drain(..)
+                    .filter(|m| m.min_ts >= lo && m.min_ts < hi),
+            );
         }
     }
 
@@ -180,7 +188,10 @@ mod tests {
         let mut out = Vec::new();
         // A arrives before the switch; B, C after.
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        let new_exec = build_executor(
+            Arc::clone(&ctx),
+            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+        );
         mig.replace(new_exec, 15);
         assert_eq!(mig.active_generations(), 2);
         mig.on_event(&ev(1, 20, 1), &mut out);
@@ -195,7 +206,10 @@ mod tests {
         let (ctx, mut mig) = setup();
         let mut out = Vec::new();
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        let new_exec = build_executor(
+            Arc::clone(&ctx),
+            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+        );
         mig.replace(new_exec, 15);
         // Full match entirely after the switch: owned by the new
         // generation; the old one also sees it internally but its
@@ -217,7 +231,10 @@ mod tests {
         let (ctx, mut mig) = setup();
         let mut out = Vec::new();
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])));
+        let new_exec = build_executor(
+            Arc::clone(&ctx),
+            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+        );
         mig.replace(new_exec, 15);
         assert_eq!(mig.active_generations(), 2);
         // Ownership starts at 16; window = 100 → the old generation
@@ -244,7 +261,10 @@ mod tests {
                 last = c;
             }
             mig.replace(
-                build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]))),
+                build_executor(
+                    Arc::clone(&ctx),
+                    &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+                ),
                 base + 4,
             );
         }

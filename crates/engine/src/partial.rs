@@ -68,10 +68,7 @@ impl Partial {
 
     /// True if the given event instance is already part of this partial.
     pub fn contains_seq(&self, seq: u64) -> bool {
-        self.events
-            .iter()
-            .flatten()
-            .any(|e| e.seq == seq)
+        self.events.iter().flatten().any(|e| e.seq == seq)
     }
 
     /// True if this partial can never be completed or invalidated after

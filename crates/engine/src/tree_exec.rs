@@ -396,7 +396,9 @@ mod tests {
         let mut events = Vec::new();
         let mut state = 0x12345678u64;
         for i in 0..500u64 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let tid = (state >> 33) % 3;
             events.push(ev(tid as u32, i * 3, i, (state >> 40) as i64 % 10));
         }

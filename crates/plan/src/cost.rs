@@ -125,7 +125,7 @@ mod tests {
         let s = snap3();
         let left_deep = TreePlan::left_deep(&[0, 1, 2]); // (A,B) first
         let rare_first = TreePlan::left_deep(&[2, 1, 0]); // (C,B) first
-        // left_deep: 100+15+1500 + 10 + 15000 = 16625.
+                                                          // left_deep: 100+15+1500 + 10 + 15000 = 16625.
         assert!((tree_plan_cost(&left_deep, &s) - 16_625.0).abs() < 1e-9);
         // rare_first: 10+15+150 + 100 + 15000 = 15275.
         assert!((tree_plan_cost(&rare_first, &s) - 15_275.0).abs() < 1e-9);
@@ -159,7 +159,10 @@ mod tests {
         let s = snap3();
         let o = EvalPlan::Order(OrderPlan::identity(3));
         let t = EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2]));
-        assert_eq!(eval_plan_cost(&o, &s), order_plan_cost(&OrderPlan::identity(3), &s));
+        assert_eq!(
+            eval_plan_cost(&o, &s),
+            order_plan_cost(&OrderPlan::identity(3), &s)
+        );
         assert_eq!(
             eval_plan_cost(&t, &s),
             tree_plan_cost(&TreePlan::left_deep(&[0, 1, 2]), &s)

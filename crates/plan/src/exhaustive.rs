@@ -21,7 +21,12 @@ pub fn optimal_order(n: usize, s: &StatSnapshot) -> (OrderPlan, f64) {
     let mut best: Option<(Vec<usize>, f64)> = None;
     let mut items: Vec<usize> = (0..n).collect();
     permute(&mut items, 0, &mut |perm| {
-        let cost = order_plan_cost(&OrderPlan { order: perm.to_vec() }, s);
+        let cost = order_plan_cost(
+            &OrderPlan {
+                order: perm.to_vec(),
+            },
+            s,
+        );
         let better = match &best {
             None => true,
             Some((_, bc)) => cost < *bc,

@@ -45,9 +45,10 @@ impl EvalPlan {
 }
 
 /// Which plan-generation algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PlannerKind {
     /// Greedy order-based planner (paper Algorithm 2, §4.1).
+    #[default]
     Greedy,
     /// ZStream dynamic-programming tree planner (paper Algorithm 3,
     /// §4.2).
@@ -143,7 +144,8 @@ mod tests {
         let p = sub3();
         let s = StatSnapshot::from_rates(vec![5.0, 4.0, 6.0]);
         for kind in [PlannerKind::Greedy, PlannerKind::ZStream] {
-            let plan = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
+            let plan =
+                Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
             assert!(plan.cost(&s) > 0.0);
         }
     }

@@ -52,10 +52,7 @@ impl TreePlan {
             });
             prev = nodes.len() - 1;
         }
-        Self {
-            nodes,
-            root: prev,
-        }
+        Self { nodes, root: prev }
     }
 
     /// Number of leaves (= sub-pattern slots covered).

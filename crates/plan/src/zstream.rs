@@ -183,10 +183,7 @@ fn best_split(
         // internal subtrees) plus the cardinality monomial.
         let mut expr = CostExpr::zero();
         let mut card_m = Monomial::constant(1.0);
-        for (clen, cstart, cell) in [
-            (left_len, start, lcell),
-            (right_len, right_start, rcell),
-        ] {
+        for (clen, cstart, cell) in [(left_len, start, lcell), (right_len, right_start, rcell)] {
             if clen == 1 {
                 let slot = order[cstart];
                 expr.add_term(leaf_monomial(slot));
@@ -223,7 +220,12 @@ fn best_split(
 }
 
 /// Ranges (len, start) of the internal nodes of the final plan.
-fn collect_final_ranges(table: &[Vec<Cell>], len: usize, start: usize, out: &mut Vec<(usize, usize)>) {
+fn collect_final_ranges(
+    table: &[Vec<Cell>],
+    len: usize,
+    start: usize,
+    out: &mut Vec<(usize, usize)>,
+) {
     if len == 1 {
         return;
     }

@@ -1,0 +1,329 @@
+//! Offline stand-in for the subset of the [`criterion`] benchmarking API
+//! this workspace uses: `Criterion` with `sample_size` / `warm_up_time` /
+//! `measurement_time`, `bench_function`, benchmark groups with element
+//! throughput, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! renames this crate to `criterion` (root `[workspace.dependencies]`).
+//! Measurement is deliberately simple — warm up for the configured
+//! duration, then time `sample_size` runs of the routine and report
+//! min / mean / max (plus elements-per-second when a group declares
+//! [`Throughput::Elements`]). There is no statistical outlier analysis
+//! or HTML report; swap the workspace dependency back to the registry
+//! `criterion` to get those without touching any bench code.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched
+/// work. Forwards to [`std::hint::black_box`].
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Input size of one benched iteration, for derived throughput rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. events).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop driver handed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting the samples reported for this bench.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            // Respect the measurement budget, but always record at
+            // least two samples so mean/min/max are meaningful.
+            if i >= 1 && Instant::now() > measure_until {
+                break;
+            }
+        }
+    }
+}
+
+/// Benchmark driver: configuration plus result reporting.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sampling time budget (soft: at least two samples always run).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments: the first free argument is a
+    /// substring filter on benchmark ids; harness flags are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                // Flags cargo/criterion conventionally pass; ignored.
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--save-baseline" | "--baseline" | "--load-baseline" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        report(id, &b.samples, throughput);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration input size of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// A benchmark id composed of a function name and a parameter, mirroring
+/// `criterion::BenchmarkId`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id from a name plus a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+fn report(id: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{id:<56} no samples collected");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let mut line = format!(
+        "{id:<56} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    if let Some(t) = throughput {
+        let per_sec = |n: u64| n as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!(" thrpt: {} elem/s", fmt_rate(per_sec(n))));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!(" thrpt: {} B/s", fmt_rate(per_sec(n))));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e6 {
+        format!("{:.3} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Declares a function running a list of benchmark targets with a shared
+/// configuration, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`), mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20));
+        let mut runs = 0u32;
+        c.bench_function("shim/smoke", |b| b.iter(|| runs += 1));
+        assert!(runs >= 3, "routine ran {runs} times");
+    }
+
+    #[test]
+    fn groups_apply_prefix_and_throughput() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function(BenchmarkId::from_parameter(4), |b| {
+            b.iter(|| black_box(2 + 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert!(fmt_duration(Duration::from_nanos(12)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(12)).ends_with(" s"));
+        assert_eq!(fmt_rate(2_500_000.0), "2.500 M");
+        assert_eq!(fmt_rate(2_500.0), "2.50 K");
+        assert_eq!(fmt_rate(25.0), "25.0");
+    }
+}

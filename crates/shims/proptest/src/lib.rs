@@ -1,0 +1,368 @@
+//! Offline stand-in for the subset of the [`proptest`] API this
+//! workspace uses: the `proptest!` macro over `pattern in strategy`
+//! arguments, range and tuple strategies, `prop::collection::vec`,
+//! `ProptestConfig::with_cases`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! renames this crate to `proptest` (root `[workspace.dependencies]`).
+//! Semantics match real proptest closely enough for the test suites
+//! here, with two simplifications: failing cases are **not shrunk**
+//! (the failing inputs are printed as-is), and case generation is
+//! derived deterministically from the test name, so a failure always
+//! reproduces under plain `cargo test`. Swapping the workspace
+//! dependency back to the registry `proptest` restores shrinking
+//! without touching any test code.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform};
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why a generated case did not complete.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not counted.
+    Reject,
+    /// A `prop_assert*!` failed; the test fails with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Failure with a rendered message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+
+/// Generates a fixed value, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Sizes accepted by [`prop::collection::vec`]: a fixed length or a
+/// half-open range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace of strategy constructors.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// A strategy for `Vec`s of values from `element`.
+        pub struct VecStrategy<S: Strategy> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose length is drawn from `size` and whose
+        /// elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let range = &self.size.0;
+                let len = if range.end - range.start <= 1 {
+                    range.start
+                } else {
+                    rng.gen_range(range.start..range.end)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-case RNG derivation.
+
+    use super::TestRng;
+    use rand::SeedableRng;
+
+    /// Derives the RNG for one case of one named test: FNV-1a over the
+    /// test name, mixed with the case index.
+    pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+pub mod prelude {
+    //! Everything a proptest-based test file needs.
+
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` becomes a `#[test]`
+/// running `config.cases` generated cases. The body may use the
+/// `prop_assert*!` and `prop_assume!` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let max_attempts = config.cases.saturating_mul(64).max(1024);
+                while accepted < config.cases {
+                    assert!(
+                        attempts < max_attempts,
+                        "proptest {}: too many rejected cases ({} attempts for {} accepted)",
+                        stringify!($name), attempts, accepted
+                    );
+                    let mut __rng =
+                        $crate::test_runner::case_rng(stringify!($name), attempts);
+                    attempts += 1;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name), accepted, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{} ({:?} != {:?})", format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "{} (both {:?})", format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Skips the current case unless an assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_generate_in_bounds(
+            (a, b, c) in (0u8..3, 1u8..20, -5i8..5),
+            f in 1.0f64..1000.0,
+        ) {
+            prop_assert!(a < 3);
+            prop_assert!((1..20).contains(&b));
+            prop_assert!((-5..5).contains(&c));
+            prop_assert!((1.0..1000.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_respects_size_range(
+            v in prop::collection::vec((0u8..3, 1u8..20), 1..40)
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 40, "len {}", v.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x, 1);
+        }
+    }
+
+    #[test]
+    fn fixed_size_vec_and_just() {
+        let mut rng = crate::test_runner::case_rng("fixed", 0);
+        let s = prop::collection::vec(0.0f64..1.0, 5usize);
+        assert_eq!(s.generate(&mut rng).len(), 5);
+        assert_eq!(Just(17u8).generate(&mut rng), 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut a = crate::test_runner::case_rng("t", 3);
+        let mut b = crate::test_runner::case_rng("t", 3);
+        let s = 0u64..1_000_000;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn unsatisfiable_assumption_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0i64..10) {
+                prop_assume!(x > 100);
+            }
+        }
+        inner();
+    }
+}

@@ -120,10 +120,8 @@ impl StatisticsCollector {
                 }
                 let mut unary_preds = Vec::new();
                 for i in 0..b.n() {
-                    let preds: Vec<Predicate> = b
-                        .unary_conditions(i)
-                        .map(|c| c.predicate.clone())
-                        .collect();
+                    let preds: Vec<Predicate> =
+                        b.unary_conditions(i).map(|c| c.predicate.clone()).collect();
                     if !preds.is_empty() {
                         unary_preds.push((i, b.slots[i].var, preds));
                     }

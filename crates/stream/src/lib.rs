@@ -1,0 +1,127 @@
+//! # acep-stream — sharded multi-pattern streaming runtime
+//!
+//! Scales the single-pattern, single-threaded [`AdaptiveCep`] loop of
+//! `acep-core` to a production-shaped deployment: **many patterns**,
+//! evaluated **per partition key**, across **W parallel worker shards**,
+//! fed by **batched, bounded-channel ingestion**.
+//!
+//! ## Sharding model
+//!
+//! Incoming events are mapped to a 64-bit *partition key* by a
+//! user-supplied [`KeyExtractor`] (stock symbol, road segment, user id,
+//! …). Keys are hashed onto `W` worker threads; each worker owns every
+//! engine instance for its keys — one lazily-instantiated
+//! [`AdaptiveCep`] per `(key, query)` pair, stamped from a per-query
+//! [`EngineTemplate`](acep_core::EngineTemplate) that compiles the
+//! pattern exactly once. Patterns are registered up front in a
+//! [`PatternSet`], each under its own [`QueryId`] and with its own
+//! [`AdaptiveConfig`](acep_core::AdaptiveConfig).
+//!
+//! ```text
+//!                    ┌────────────────────── ShardedRuntime ─┐
+//!  push_batch(&[e])  │   ┌─ shard 0: { key ↦ [engine Q0,    │
+//!  ── key = extract ─┼──▶│             engine Q1, …] }      │──▶ MatchSink
+//!     hash(key) % W  │   ├─ shard 1: …                      │    (tagged
+//!                    │   └─ shard W-1: …                    │     matches)
+//!                    └───────────────────────────────────────┘
+//! ```
+//!
+//! ## Ordering and determinism guarantees
+//!
+//! * **Per-key total order.** All events of one key land on one shard
+//!   and are processed in ingest order; each `(key, query)` engine sees
+//!   exactly the subsequence it would see in a single-threaded per-key
+//!   run.
+//! * **No cross-key order.** Workers run concurrently; matches of
+//!   different keys reach the [`MatchSink`] in nondeterministic
+//!   interleaving. Consumers needing global order must sort on match
+//!   timestamps downstream.
+//! * **Shard-count independence.** The match *multiset* (and every
+//!   per-key match sequence) is identical for every `W` — verified by
+//!   the `stream_determinism` integration test, which checks `W = 4`
+//!   against `W = 1` and against direct per-key [`AdaptiveCep`] runs.
+//! * **Windows and flushes.** Time windows are evaluated on event
+//!   timestamps within each key's substream, so window expiry needs no
+//!   cross-shard coordination. [`ShardedRuntime::flush`] is a barrier
+//!   (all pushed events processed, their matches delivered);
+//!   [`ShardedRuntime::finish`] additionally flushes end-of-stream
+//!   state from every engine, exactly like [`AdaptiveCep::finish`].
+//!
+//! ## Adaptation stays per key
+//!
+//! Each `(key, query)` engine runs the paper's detection-adaptation
+//! loop on its *own* statistics: a hot symbol can deploy a different
+//! evaluation plan than a quiet one, and plan migration happens
+//! independently per key — there is no shared optimizer state and hence
+//! no cross-shard synchronization on the hot path. Events whose type a
+//! query never references are not routed to that query's engines at
+//! all; they cannot affect its match set.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use acep_core::AdaptiveConfig;
+//! use acep_stream::{CollectingSink, PatternSet, ShardedRuntime, StreamConfig};
+//! use acep_types::{AttrKeyExtractor, Event, EventTypeId, Pattern, Value};
+//!
+//! // One query: SEQ(T0, T1) within 1 s, per user id (attribute 0).
+//! let mut set = PatternSet::new(2);
+//! let seq = Pattern::sequence("pair", &[EventTypeId(0), EventTypeId(1)], 1_000);
+//! let q = set.register("pair", seq, AdaptiveConfig::default()).unwrap();
+//!
+//! let sink = Arc::new(CollectingSink::new());
+//! let runtime = ShardedRuntime::new(
+//!     &set,
+//!     Arc::new(AttrKeyExtractor { attr: 0 }),
+//!     Arc::clone(&sink) as _,
+//!     StreamConfig { shards: 2, ..StreamConfig::default() },
+//! )
+//! .unwrap();
+//!
+//! // Users 7 and 8 both emit T0 then T1 inside the window.
+//! let mut events = Vec::new();
+//! for (i, (ty, user)) in [(0, 7), (0, 8), (1, 7), (1, 8)].into_iter().enumerate() {
+//!     events.push(Event::new(
+//!         EventTypeId(ty),
+//!         100 * i as u64,
+//!         i as u64,
+//!         vec![Value::Int(user)],
+//!     ));
+//! }
+//! runtime.push_batch(&events);
+//! let stats = runtime.finish();
+//!
+//! assert_eq!(stats.total_events(), 4);
+//! assert_eq!(stats.query(q).matches, 2, "one match per user");
+//! assert_eq!(sink.drain().len(), 2);
+//! ```
+
+pub mod registry;
+pub mod runtime;
+mod shard;
+pub mod sink;
+pub mod stats;
+
+pub use registry::{PatternSet, QueryId, QuerySpec};
+pub use runtime::{ShardedRuntime, StreamConfig};
+pub use sink::{CollectingSink, CountingSink, MatchSink, TaggedMatch};
+pub use stats::{QueryStats, RuntimeStats, ShardStats};
+
+// Re-exported so runtime users need not depend on `acep-types` for the
+// common extractors.
+pub use acep_core::AdaptiveCep;
+pub use acep_types::{AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor};
+
+/// Compile-time guarantees: engines and templates cross thread
+/// boundaries, sinks and extractors are shared.
+#[allow(dead_code)]
+fn assert_thread_bounds() {
+    fn send<T: Send>() {}
+    fn send_sync<T: Send + Sync>() {}
+    send::<acep_core::AdaptiveCep>();
+    send_sync::<acep_core::EngineTemplate>();
+    send_sync::<CollectingSink>();
+    send_sync::<CountingSink>();
+    send_sync::<LastAttrKeyExtractor>();
+}

@@ -1,0 +1,151 @@
+//! The multi-pattern query registry.
+//!
+//! A [`PatternSet`] collects the patterns one runtime instance hosts,
+//! each under its own [`QueryId`] and with its own adaptive
+//! configuration — so a latency-sensitive query can run a tight control
+//! interval while a batch query next to it replans rarely. The set is
+//! sealed when handed to the runtime, which compiles every query into
+//! an [`EngineTemplate`](acep_core::EngineTemplate) exactly once.
+
+use std::fmt;
+
+use acep_core::AdaptiveConfig;
+use acep_types::{AcepError, Pattern};
+
+/// Identifier of a registered query (index into its [`PatternSet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u32);
+
+impl QueryId {
+    /// The query id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// One registered query: a pattern plus its adaptive configuration.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Human-readable query name (for reporting).
+    pub name: String,
+    /// The pattern to detect.
+    pub pattern: Pattern,
+    /// Per-query adaptation configuration; every per-key engine instance
+    /// of this query starts from this template.
+    pub config: AdaptiveConfig,
+}
+
+/// The set of queries a runtime hosts over one event-type space.
+#[derive(Debug, Clone, Default)]
+pub struct PatternSet {
+    num_types: usize,
+    queries: Vec<QuerySpec>,
+}
+
+impl PatternSet {
+    /// Creates an empty set over a stream with `num_types` registered
+    /// event types.
+    pub fn new(num_types: usize) -> Self {
+        Self {
+            num_types,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Registers a query, returning its id.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        pattern: Pattern,
+        config: AdaptiveConfig,
+    ) -> Result<QueryId, AcepError> {
+        if config.control_interval == 0 {
+            return Err(AcepError::InvalidConfig(
+                "control_interval must be positive".into(),
+            ));
+        }
+        let id = QueryId(self.queries.len() as u32);
+        self.queries.push(QuerySpec {
+            name: name.into(),
+            pattern,
+            config,
+        });
+        Ok(id)
+    }
+
+    /// Number of event types in the input stream.
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The spec of a query.
+    pub fn get(&self, id: QueryId) -> Option<&QuerySpec> {
+        self.queries.get(id.index())
+    }
+
+    /// Iterates `(id, spec)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &QuerySpec)> {
+        self.queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId(i as u32), q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_types::{EventTypeId, Pattern};
+
+    fn pattern(name: &str) -> Pattern {
+        Pattern::sequence(name, &[EventTypeId(0), EventTypeId(1)], 1_000)
+    }
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut set = PatternSet::new(2);
+        let a = set
+            .register("a", pattern("a"), AdaptiveConfig::default())
+            .unwrap();
+        let b = set
+            .register("b", pattern("b"), AdaptiveConfig::default())
+            .unwrap();
+        assert_eq!((a, b), (QueryId(0), QueryId(1)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(set.get(a).unwrap().name, "a");
+        assert_eq!(set.num_types(), 2);
+        let names: Vec<_> = set.iter().map(|(id, q)| (id, q.name.as_str())).collect();
+        assert_eq!(names, vec![(QueryId(0), "a"), (QueryId(1), "b")]);
+        assert_eq!(a.to_string(), "Q0");
+        assert_eq!(a.index(), 0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_registration() {
+        let mut set = PatternSet::new(2);
+        let bad = AdaptiveConfig {
+            control_interval: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(set.register("bad", pattern("bad"), bad).is_err());
+        assert!(set.is_empty());
+    }
+}

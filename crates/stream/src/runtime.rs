@@ -1,0 +1,254 @@
+//! The sharded runtime: ingestion, routing, and lifecycle.
+
+use std::sync::mpsc::{self, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use acep_core::EngineTemplate;
+use acep_types::{AcepError, Event, KeyExtractor};
+
+use crate::registry::PatternSet;
+use crate::shard::{ShardWorker, ToWorker};
+use crate::sink::MatchSink;
+use crate::stats::RuntimeStats;
+
+/// Configuration of a [`ShardedRuntime`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Number of worker shards (W). Partition keys are hashed across
+    /// shards; the match multiset is identical for every W.
+    pub shards: usize,
+    /// Control messages buffered per shard channel. When a shard falls
+    /// behind, `push_batch` blocks on its full channel — bounded-memory
+    /// backpressure rather than unbounded queueing.
+    pub channel_capacity: usize,
+    /// Largest per-shard event batch forwarded at once; one ingest call
+    /// is split into chunks of at most this size.
+    pub max_batch: usize,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            channel_capacity: 8,
+            max_batch: 4_096,
+        }
+    }
+}
+
+struct WorkerHandle {
+    tx: SyncSender<ToWorker>,
+    handle: JoinHandle<()>,
+}
+
+/// A sharded, batched, multi-pattern streaming runtime.
+///
+/// See the [crate docs](crate) for the sharding model and its ordering
+/// and determinism guarantees. Construction compiles every registered
+/// query once ([`EngineTemplate`]); per-key engines are instantiated
+/// lazily inside the workers as keys appear.
+pub struct ShardedRuntime {
+    workers: Vec<WorkerHandle>,
+    extractor: Arc<dyn KeyExtractor>,
+    config: StreamConfig,
+    num_queries: usize,
+}
+
+impl ShardedRuntime {
+    /// Builds the runtime and spawns its worker threads.
+    pub fn new(
+        set: &PatternSet,
+        extractor: Arc<dyn KeyExtractor>,
+        sink: Arc<dyn MatchSink>,
+        config: StreamConfig,
+    ) -> Result<Self, AcepError> {
+        if config.shards == 0 {
+            return Err(AcepError::InvalidConfig("shards must be positive".into()));
+        }
+        if config.max_batch == 0 {
+            return Err(AcepError::InvalidConfig(
+                "max_batch must be positive".into(),
+            ));
+        }
+        if set.is_empty() {
+            return Err(AcepError::InvalidConfig(
+                "a runtime needs at least one registered query".into(),
+            ));
+        }
+        let templates: Vec<EngineTemplate> = set
+            .iter()
+            .map(|(_, q)| EngineTemplate::new(&q.pattern, set.num_types(), q.config.clone()))
+            .collect::<Result<_, _>>()?;
+        let templates: Arc<[EngineTemplate]> = templates.into();
+
+        let workers = (0..config.shards)
+            .map(|shard| {
+                let (tx, rx) = mpsc::sync_channel(config.channel_capacity.max(1));
+                let worker = ShardWorker::new(shard, Arc::clone(&templates), Arc::clone(&sink));
+                let handle = std::thread::Builder::new()
+                    .name(format!("acep-shard-{shard}"))
+                    .spawn(move || worker.run(rx))
+                    .expect("spawning a shard worker thread");
+                WorkerHandle { tx, handle }
+            })
+            .collect();
+        Ok(Self {
+            workers,
+            extractor,
+            config,
+            num_queries: set.len(),
+        })
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of hosted queries.
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// The shard a partition key is pinned to. SplitMix64-mixed so
+    /// near-contiguous key spaces still spread evenly.
+    fn shard_of(&self, key: u64) -> usize {
+        acep_types::mix64(key) as usize % self.workers.len()
+    }
+
+    /// Ingests one event (convenience wrapper over [`push_batch`]).
+    ///
+    /// [`push_batch`]: Self::push_batch
+    pub fn push(&self, ev: &Arc<Event>) {
+        self.push_batch(std::slice::from_ref(ev));
+    }
+
+    /// Ingests a batch: events are routed to their shards by partition
+    /// key and forwarded in per-shard sub-batches, preserving the input
+    /// order *within every key*. Blocks when a shard's channel is full
+    /// (backpressure).
+    pub fn push_batch(&self, events: &[Arc<Event>]) {
+        let mut per_shard: Vec<Vec<(u64, Arc<Event>)>> = vec![Vec::new(); self.workers.len()];
+        for ev in events {
+            // The key travels with the event so workers never re-run
+            // the extractor (it may hash string attributes).
+            let key = self.extractor.shard_key(ev);
+            let shard = self.shard_of(key);
+            let batch = &mut per_shard[shard];
+            batch.push((key, Arc::clone(ev)));
+            if batch.len() >= self.config.max_batch {
+                self.send(shard, ToWorker::Batch(std::mem::take(batch)));
+            }
+        }
+        for (shard, batch) in per_shard.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.send(shard, ToWorker::Batch(batch));
+            }
+        }
+    }
+
+    /// Barrier: returns once every worker has processed every event
+    /// pushed before this call. After `flush`, all matches detectable
+    /// from the ingested prefix have reached the sink.
+    pub fn flush(&self) {
+        let acks: Vec<_> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(shard, _)| {
+                let (ack_tx, ack_rx) = mpsc::channel();
+                self.send(shard, ToWorker::Flush(ack_tx));
+                ack_rx
+            })
+            .collect();
+        for (shard, ack) in acks.into_iter().enumerate() {
+            // Like stats()/finish(): a worker dying mid-flush must not
+            // let the caller believe the barrier held.
+            if ack.recv().is_err() {
+                panic!("shard worker {shard} died before acknowledging the flush");
+            }
+        }
+    }
+
+    /// Consistent per-shard/per-query statistics snapshot. Implies a
+    /// [`flush`](Self::flush)-equivalent barrier (the snapshot is taken
+    /// after all previously pushed events).
+    pub fn stats(&self) -> RuntimeStats {
+        let replies: Vec<_> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(shard, _)| {
+                let (tx, rx) = mpsc::channel();
+                self.send(shard, ToWorker::Stats(tx));
+                rx
+            })
+            .collect();
+        RuntimeStats {
+            shards: replies
+                .into_iter()
+                .enumerate()
+                .map(|(shard, rx)| {
+                    rx.recv().unwrap_or_else(|_| {
+                        panic!("shard worker {shard} died before replying with stats")
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Ends the stream: drains every shard, flushes end-of-stream
+    /// matches from all engines to the sink, joins the workers, and
+    /// returns the final statistics.
+    pub fn finish(mut self) -> RuntimeStats {
+        let replies: Vec<_> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(shard, _)| {
+                let (tx, rx) = mpsc::channel();
+                self.send(shard, ToWorker::Finish(tx));
+                rx
+            })
+            .collect();
+        // A missing reply or a panicked join means a worker died mid-
+        // flush; returning partial stats would silently truncate the
+        // stream, so surface it.
+        let shards = replies
+            .into_iter()
+            .enumerate()
+            .map(|(shard, rx)| {
+                rx.recv().unwrap_or_else(|_| {
+                    panic!("shard worker {shard} died before finishing its keys")
+                })
+            })
+            .collect();
+        for (shard, w) in self.workers.drain(..).enumerate() {
+            drop(w.tx);
+            if w.handle.join().is_err() {
+                panic!("shard worker {shard} panicked during shutdown");
+            }
+        }
+        RuntimeStats { shards }
+    }
+
+    fn send(&self, shard: usize, msg: ToWorker) {
+        // A send failure means the worker thread died (it panicked);
+        // surface that on the runtime thread instead of hanging.
+        if self.workers[shard].tx.send(msg).is_err() {
+            panic!("shard worker {shard} terminated unexpectedly");
+        }
+    }
+}
+
+impl Drop for ShardedRuntime {
+    /// Dropping without [`finish`](Self::finish) tears the workers down
+    /// without flushing end-of-stream matches.
+    fn drop(&mut self) {
+        for w in self.workers.drain(..) {
+            drop(w.tx);
+            let _ = w.handle.join();
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The worker owning one shard of the key space.
+//!
+//! A worker is a plain thread draining a bounded control channel. It
+//! owns every engine instance for the keys hashed to its shard — a
+//! `HashMap<key, Vec<Option<AdaptiveCep>>>` with one slot per
+//! registered query — and instantiates engines lazily from the shared
+//! [`EngineTemplate`]s when a key first receives an event relevant to a
+//! query. Events of types a query never references are not routed to
+//! that query's engine at all (they cannot affect its match set), so
+//! hosting many narrow queries over one wide stream stays cheap.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use acep_core::{AdaptiveCep, EngineTemplate};
+use acep_engine::Match;
+use acep_types::Event;
+
+use crate::registry::QueryId;
+use crate::sink::{MatchSink, TaggedMatch};
+use crate::stats::{QueryStats, ShardStats};
+
+/// Control messages from the runtime to one worker.
+pub(crate) enum ToWorker {
+    /// `(partition key, event)` pairs of this shard, in ingest order.
+    /// Keys are extracted once, at ingest.
+    Batch(Vec<(u64, Arc<Event>)>),
+    /// Acknowledge once every prior message is processed.
+    Flush(Sender<()>),
+    /// Reply with a stats snapshot (processing continues).
+    Stats(Sender<ShardStats>),
+    /// Flush engine state (end-of-stream matches), reply with final
+    /// stats, and exit.
+    Finish(Sender<ShardStats>),
+}
+
+/// Per-key engine instances, one slot per registered query.
+type KeyEngines = Vec<Option<AdaptiveCep>>;
+
+pub(crate) struct ShardWorker {
+    shard: usize,
+    templates: Arc<[EngineTemplate]>,
+    sink: Arc<dyn MatchSink>,
+    keys: HashMap<u64, KeyEngines>,
+    events: u64,
+    batches: u64,
+    /// Reused per-event match buffer.
+    scratch: Vec<Match>,
+    /// Matches of the batch in flight, delivered to the sink per batch.
+    pending: Vec<TaggedMatch>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        shard: usize,
+        templates: Arc<[EngineTemplate]>,
+        sink: Arc<dyn MatchSink>,
+    ) -> Self {
+        Self {
+            shard,
+            templates,
+            sink,
+            keys: HashMap::new(),
+            events: 0,
+            batches: 0,
+            scratch: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The worker loop: drain messages until `Finish` (or until the
+    /// runtime is dropped and the channel closes).
+    pub(crate) fn run(mut self, rx: Receiver<ToWorker>) {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ToWorker::Batch(events) => self.on_batch(&events),
+                ToWorker::Flush(ack) => {
+                    let _ = ack.send(());
+                }
+                ToWorker::Stats(reply) => {
+                    let _ = reply.send(self.stats());
+                }
+                ToWorker::Finish(reply) => {
+                    self.finish();
+                    let _ = reply.send(self.stats());
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_batch(&mut self, events: &[(u64, Arc<Event>)]) {
+        self.batches += 1;
+        for (key, ev) in events {
+            let key = *key;
+            self.events += 1;
+            // Keys whose events no query ever references must not pin a
+            // map entry: memory stays bounded by keys hosting engines.
+            if !self.templates.iter().any(|t| t.is_relevant(ev.type_id)) {
+                continue;
+            }
+            let engines = self
+                .keys
+                .entry(key)
+                .or_insert_with(|| self.templates.iter().map(|_| None).collect());
+            for (qi, slot) in engines.iter_mut().enumerate() {
+                let template = &self.templates[qi];
+                if !template.is_relevant(ev.type_id) {
+                    continue;
+                }
+                let engine = slot.get_or_insert_with(|| template.instantiate());
+                engine.on_event(ev, &mut self.scratch);
+                drain_tagged(
+                    &mut self.scratch,
+                    &mut self.pending,
+                    QueryId(qi as u32),
+                    key,
+                    self.shard,
+                );
+            }
+        }
+        if !self.pending.is_empty() {
+            self.sink.on_batch(std::mem::take(&mut self.pending));
+        }
+    }
+
+    /// End-of-stream: flush pending partial state of every engine, in
+    /// deterministic (key, query) order.
+    fn finish(&mut self) {
+        let mut keys: Vec<u64> = self.keys.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let engines = self.keys.get_mut(&key).expect("key just listed");
+            for (qi, slot) in engines.iter_mut().enumerate() {
+                if let Some(engine) = slot {
+                    engine.finish(&mut self.scratch);
+                    drain_tagged(
+                        &mut self.scratch,
+                        &mut self.pending,
+                        QueryId(qi as u32),
+                        key,
+                        self.shard,
+                    );
+                }
+            }
+        }
+        if !self.pending.is_empty() {
+            self.sink.on_batch(std::mem::take(&mut self.pending));
+        }
+    }
+
+    fn stats(&self) -> ShardStats {
+        let mut per_query = vec![QueryStats::default(); self.templates.len()];
+        for engines in self.keys.values() {
+            for (qi, slot) in engines.iter().enumerate() {
+                if let Some(engine) = slot {
+                    per_query[qi].absorb(engine.metrics());
+                }
+            }
+        }
+        ShardStats {
+            shard: self.shard,
+            events: self.events,
+            batches: self.batches,
+            keys: self.keys.len(),
+            per_query,
+        }
+    }
+}
+
+fn drain_tagged(
+    scratch: &mut Vec<Match>,
+    pending: &mut Vec<TaggedMatch>,
+    query: QueryId,
+    key: u64,
+    shard: usize,
+) {
+    for matched in scratch.drain(..) {
+        pending.push(TaggedMatch {
+            query,
+            key,
+            shard,
+            matched,
+        });
+    }
+}

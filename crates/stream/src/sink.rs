@@ -1,0 +1,166 @@
+//! Match delivery from worker shards.
+//!
+//! Workers emit matches from their own threads as soon as a batch is
+//! processed; a [`MatchSink`] is the shared, thread-safe consumer.
+//! Delivery order across *different* keys is nondeterministic (workers
+//! run concurrently), but matches of one key always arrive in that
+//! key's detection order, and the overall match **multiset** is
+//! independent of the shard count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use acep_engine::Match;
+
+use crate::registry::QueryId;
+
+/// A match tagged with its provenance.
+#[derive(Debug, Clone)]
+pub struct TaggedMatch {
+    /// The query that produced the match.
+    pub query: QueryId,
+    /// The partition key whose substream matched.
+    pub key: u64,
+    /// The shard that hosted the key.
+    pub shard: usize,
+    /// The match itself.
+    pub matched: Match,
+}
+
+/// Thread-safe consumer of matches produced by worker shards.
+pub trait MatchSink: Send + Sync {
+    /// Consumes one match.
+    fn on_match(&self, m: TaggedMatch);
+
+    /// Consumes a batch (one worker, one ingest batch). The default
+    /// forwards to [`on_match`](Self::on_match); override to amortize
+    /// locking.
+    fn on_batch(&self, ms: Vec<TaggedMatch>) {
+        for m in ms {
+            self.on_match(m);
+        }
+    }
+}
+
+/// Collects every match into a mutex-guarded vector.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    matches: Mutex<Vec<TaggedMatch>>,
+}
+
+impl CollectingSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of matches collected so far.
+    pub fn len(&self) -> usize {
+        self.matches.lock().unwrap().len()
+    }
+
+    /// Whether nothing was collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns everything collected so far.
+    pub fn drain(&self) -> Vec<TaggedMatch> {
+        std::mem::take(&mut *self.matches.lock().unwrap())
+    }
+}
+
+impl MatchSink for CollectingSink {
+    fn on_match(&self, m: TaggedMatch) {
+        self.matches.lock().unwrap().push(m);
+    }
+
+    fn on_batch(&self, mut ms: Vec<TaggedMatch>) {
+        self.matches.lock().unwrap().append(&mut ms);
+    }
+}
+
+/// Counts matches per query without retaining them (constant memory —
+/// the right sink for throughput measurement).
+#[derive(Debug)]
+pub struct CountingSink {
+    per_query: Vec<AtomicU64>,
+    total: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates counters for `num_queries` queries.
+    pub fn new(num_queries: usize) -> Self {
+        Self {
+            per_query: (0..num_queries).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Matches counted for one query.
+    pub fn count(&self, query: QueryId) -> u64 {
+        self.per_query
+            .get(query.index())
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Matches counted across all queries.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+impl MatchSink for CountingSink {
+    fn on_match(&self, m: TaggedMatch) {
+        if let Some(c) = self.per_query.get(m.query.index()) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acep_engine::Match;
+
+    fn tagged(query: u32, key: u64) -> TaggedMatch {
+        TaggedMatch {
+            query: QueryId(query),
+            key,
+            shard: 0,
+            matched: Match {
+                bindings: Vec::new(),
+                min_ts: 0,
+                max_ts: 0,
+                detected_at: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn collecting_sink_accumulates_and_drains() {
+        let sink = CollectingSink::new();
+        sink.on_match(tagged(0, 1));
+        sink.on_batch(vec![tagged(1, 2), tagged(0, 3)]);
+        assert_eq!(sink.len(), 3);
+        assert!(!sink.is_empty());
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[1].query, QueryId(1));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn counting_sink_counts_per_query() {
+        let sink = CountingSink::new(2);
+        sink.on_match(tagged(0, 1));
+        sink.on_match(tagged(1, 1));
+        sink.on_match(tagged(0, 2));
+        assert_eq!(sink.count(QueryId(0)), 2);
+        assert_eq!(sink.count(QueryId(1)), 1);
+        assert_eq!(sink.count(QueryId(9)), 0, "unknown query counts zero");
+        assert_eq!(sink.total(), 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Observability snapshots of a running sharded runtime.
+//!
+//! Workers aggregate the [`AdaptiveMetrics`](acep_core::AdaptiveMetrics)
+//! of every per-key engine they own into per-query rollups; the runtime
+//! stitches the per-shard snapshots into a [`RuntimeStats`]. Snapshots
+//! are taken *on* the worker thread (via a control message), so they are
+//! always internally consistent with the events processed so far.
+
+use acep_core::AdaptiveMetrics;
+
+use crate::registry::QueryId;
+
+/// Rollup of every engine instance of one query (within one shard, or
+/// merged across shards).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Engine instances (= partition keys with ≥ 1 relevant event).
+    pub engines: usize,
+    /// Events routed into engines of this query.
+    pub events: u64,
+    /// Matches emitted.
+    pub matches: u64,
+    /// Decision-function evaluations.
+    pub decision_evals: u64,
+    /// Times the decision function fired.
+    pub reopt_triggers: u64,
+    /// Plan-generation invocations (excluding initial optimization).
+    pub planner_invocations: u64,
+    /// Plans actually replaced.
+    pub plan_replacements: u64,
+}
+
+impl QueryStats {
+    /// Folds one engine's metrics into the rollup.
+    pub fn absorb(&mut self, m: &AdaptiveMetrics) {
+        self.engines += 1;
+        self.events += m.events;
+        self.matches += m.matches;
+        self.decision_evals += m.decision_evals;
+        self.reopt_triggers += m.reopt_triggers;
+        self.planner_invocations += m.planner_invocations;
+        self.plan_replacements += m.plan_replacements;
+    }
+
+    /// Merges another rollup (e.g. the same query from another shard).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.engines += other.engines;
+        self.events += other.events;
+        self.matches += other.matches;
+        self.decision_evals += other.decision_evals;
+        self.reopt_triggers += other.reopt_triggers;
+        self.planner_invocations += other.planner_invocations;
+        self.plan_replacements += other.plan_replacements;
+    }
+}
+
+/// Snapshot of one worker shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Events routed to this shard (before per-query relevance routing).
+    pub events: u64,
+    /// Ingest batches processed.
+    pub batches: u64,
+    /// Distinct partition keys hosting at least one engine (keys whose
+    /// events are relevant to no query are processed but not retained).
+    pub keys: usize,
+    /// Per-query rollups, indexed by [`QueryId`].
+    pub per_query: Vec<QueryStats>,
+}
+
+/// Snapshot of the whole runtime: one [`ShardStats`] per worker.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RuntimeStats {
+    /// Events ingested across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Matches emitted across all shards and queries.
+    pub fn total_matches(&self) -> u64 {
+        self.shards
+            .iter()
+            .flat_map(|s| &s.per_query)
+            .map(|q| q.matches)
+            .sum()
+    }
+
+    /// Distinct partition keys across all shards (keys never span
+    /// shards, so the per-shard counts add up).
+    pub fn total_keys(&self) -> usize {
+        self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// The rollup of one query merged across all shards.
+    pub fn query(&self, id: QueryId) -> QueryStats {
+        let mut merged = QueryStats::default();
+        for shard in &self.shards {
+            if let Some(q) = shard.per_query.get(id.index()) {
+                merged.merge(q);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_stats(matches: u64, replacements: u64) -> QueryStats {
+        QueryStats {
+            engines: 1,
+            events: 10 * matches,
+            matches,
+            decision_evals: 4,
+            reopt_triggers: 2,
+            planner_invocations: 2,
+            plan_replacements: replacements,
+        }
+    }
+
+    #[test]
+    fn absorb_folds_engine_metrics() {
+        let mut q = QueryStats::default();
+        q.absorb(&AdaptiveMetrics {
+            events: 100,
+            matches: 3,
+            decision_evals: 5,
+            reopt_triggers: 2,
+            planner_invocations: 2,
+            plan_replacements: 1,
+            ..AdaptiveMetrics::default()
+        });
+        q.absorb(&AdaptiveMetrics {
+            events: 50,
+            matches: 1,
+            ..AdaptiveMetrics::default()
+        });
+        assert_eq!(q.engines, 2);
+        assert_eq!(q.events, 150);
+        assert_eq!(q.matches, 4);
+        assert_eq!(q.plan_replacements, 1);
+    }
+
+    #[test]
+    fn runtime_rollups_sum_across_shards() {
+        let stats = RuntimeStats {
+            shards: vec![
+                ShardStats {
+                    shard: 0,
+                    events: 100,
+                    batches: 2,
+                    keys: 3,
+                    per_query: vec![query_stats(5, 1), query_stats(2, 0)],
+                },
+                ShardStats {
+                    shard: 1,
+                    events: 60,
+                    batches: 1,
+                    keys: 2,
+                    per_query: vec![query_stats(1, 0), query_stats(4, 2)],
+                },
+            ],
+        };
+        assert_eq!(stats.total_events(), 160);
+        assert_eq!(stats.total_matches(), 12);
+        assert_eq!(stats.total_keys(), 5);
+        let q0 = stats.query(QueryId(0));
+        assert_eq!(q0.matches, 6);
+        assert_eq!(q0.engines, 2);
+        assert_eq!(q0.plan_replacements, 1);
+        let q1 = stats.query(QueryId(1));
+        assert_eq!(q1.matches, 6);
+        assert_eq!(q1.plan_replacements, 2);
+        assert_eq!(stats.query(QueryId(9)), QueryStats::default());
+    }
+}

@@ -103,7 +103,11 @@ impl SubPattern {
 
     /// Conditions between exactly the positive slots `a` and `b` (in
     /// either variable order).
-    pub fn binary_conditions(&self, a: usize, b: usize) -> impl Iterator<Item = &CompiledCondition> {
+    pub fn binary_conditions(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> impl Iterator<Item = &CompiledCondition> {
         let (va, vb) = (self.slots[a].var, self.slots[b].var);
         self.conditions.iter().filter(move |c| match &c.vars {
             CondVars::Binary(x, y) => (*x == va && *y == vb) || (*x == vb && *y == va),
@@ -156,8 +160,13 @@ pub struct CanonicalPattern {
 
 /// Flat item extracted from a branch expression.
 enum BranchItem {
-    Positive { event_type: EventTypeId, kleene: bool },
-    Negated { event_type: EventTypeId },
+    Positive {
+        event_type: EventTypeId,
+        kleene: bool,
+    },
+    Negated {
+        event_type: EventTypeId,
+    },
 }
 
 /// Normalizes a pattern expression + conditions into canonical form.
@@ -271,10 +280,7 @@ fn build_branch(
     for (idx, (item, var)) in items.iter().zip(vars.iter()).enumerate() {
         if let BranchItem::Negated { event_type } = item {
             let (after_slot, before_slot) = if kind == SubKind::Sequence {
-                let after = positive_index_by_item[..idx]
-                    .iter()
-                    .rev()
-                    .find_map(|p| *p);
+                let after = positive_index_by_item[..idx].iter().rev().find_map(|p| *p);
                 let before = positive_index_by_item[idx + 1..].iter().find_map(|p| *p);
                 (after, before)
             } else {
@@ -526,10 +532,7 @@ mod tests {
         let conds = vec![
             attr(0, 0).lt(attr(1, 0)),
             attr(1, 0).gt(crate::predicate::constant(3)),
-            Predicate::And(vec![
-                attr(0, 0).lt(attr(1, 0)),
-                attr(1, 0).lt(attr(2, 0)),
-            ]),
+            Predicate::And(vec![attr(0, 0).lt(attr(1, 0)), attr(1, 0).lt(attr(2, 0))]),
         ];
         let c = canonicalize("p", &e, &conds, 100).unwrap();
         let b = &c.branches[0];

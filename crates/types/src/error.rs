@@ -33,7 +33,10 @@ impl fmt::Display for AcepError {
             AcepError::UnknownAttribute {
                 event_type,
                 attribute,
-            } => write!(f, "unknown attribute {attribute} on event type {event_type}"),
+            } => write!(
+                f,
+                "unknown attribute {attribute} on event type {event_type}"
+            ),
             AcepError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
         }
     }

@@ -48,6 +48,7 @@
 pub mod canonical;
 pub mod error;
 pub mod event;
+pub mod partition;
 pub mod pattern;
 pub mod predicate;
 pub mod schema;
@@ -58,6 +59,9 @@ pub use canonical::{
 };
 pub use error::AcepError;
 pub use event::{Event, EventTypeId, Timestamp};
+pub use partition::{
+    mix64, value_key, AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor, TypeKeyExtractor,
+};
 pub use pattern::{Pattern, PatternBuilder, PatternExpr};
 pub use predicate::{attr, attr_plus, constant, CmpOp, EventBinding, Operand, Predicate, VarId};
 pub use schema::{AttrId, EventSchema, SchemaRegistry};
@@ -68,6 +72,7 @@ pub mod prelude {
     pub use crate::canonical::{CanonicalPattern, SubKind, SubPattern};
     pub use crate::error::AcepError;
     pub use crate::event::{Event, EventTypeId, Timestamp};
+    pub use crate::partition::{AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor};
     pub use crate::pattern::{Pattern, PatternExpr};
     pub use crate::predicate::{attr, attr_plus, constant, CmpOp, Operand, Predicate, VarId};
     pub use crate::schema::{AttrId, EventSchema, SchemaRegistry};

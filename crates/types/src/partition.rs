@@ -1,0 +1,187 @@
+//! Partition-key extraction for sharded stream processing.
+//!
+//! A key-partitioned runtime (see the `acep-stream` crate) splits one
+//! logical event stream into independent substreams — one per partition
+//! key (stock symbol, road segment, user id, …) — and detects patterns
+//! *within* each substream. The [`KeyExtractor`] trait is the contract
+//! between the data model and such a runtime: given an event, produce
+//! the 64-bit key identifying the substream the event belongs to.
+//!
+//! Extractors must be pure (the same event always yields the same key):
+//! the per-key total ordering guarantee of a sharded runtime holds only
+//! if every event of a key is routed to the same place.
+
+use std::fmt;
+
+use crate::event::Event;
+use crate::value::Value;
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation. The
+/// canonical mixer for everything key-derived in this workspace —
+/// shard placement (`acep-stream`) and per-key RNG seed derivation
+/// (`acep-workloads`) both use it, so the constants live here once.
+#[inline]
+pub fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps each event to its partition key.
+///
+/// Implemented by closures (`Fn(&Event) -> u64`) and by the ready-made
+/// extractors in this module. `Send + Sync` is required because sharded
+/// runtimes evaluate the extractor from ingest threads while workers
+/// run concurrently.
+pub trait KeyExtractor: Send + Sync {
+    /// The partition key of `ev`.
+    fn shard_key(&self, ev: &Event) -> u64;
+}
+
+impl<F> KeyExtractor for F
+where
+    F: Fn(&Event) -> u64 + Send + Sync,
+{
+    #[inline]
+    fn shard_key(&self, ev: &Event) -> u64 {
+        self(ev)
+    }
+}
+
+/// Folds any attribute [`Value`] into a stable 64-bit key.
+///
+/// Integers and booleans map to their bit patterns, floats to their IEEE
+/// bits, and strings through FNV-1a — so equal values always produce
+/// equal keys across processes and runs.
+pub fn value_key(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => *i as u64,
+        Value::Bool(b) => *b as u64,
+        // Normalize -0.0 to 0.0: the two compare equal, so they must
+        // land in the same partition despite distinct bit patterns.
+        Value::Float(f) => (if *f == 0.0 { 0.0f64 } else { *f }).to_bits(),
+        Value::Str(s) => {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in s.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+    }
+}
+
+/// Extracts the key from a fixed attribute position.
+///
+/// Events missing the attribute fall into key 0 (a runtime cannot drop
+/// them without breaking the "every event is routed somewhere"
+/// invariant); schema-homogeneous streams never hit that path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrKeyExtractor {
+    /// Index of the key attribute in every event's tuple.
+    pub attr: usize,
+}
+
+impl KeyExtractor for AttrKeyExtractor {
+    #[inline]
+    fn shard_key(&self, ev: &Event) -> u64 {
+        ev.attr(self.attr).map(value_key).unwrap_or(0)
+    }
+}
+
+/// Extracts the key from each event's **last** attribute.
+///
+/// The convention used by the keyed workload generators
+/// (`acep-workloads`), which append the partition key as a trailing
+/// synthetic attribute so heterogeneous schemas (different attribute
+/// counts per dataset) can share one extractor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LastAttrKeyExtractor;
+
+impl KeyExtractor for LastAttrKeyExtractor {
+    #[inline]
+    fn shard_key(&self, ev: &Event) -> u64 {
+        ev.attrs.last().map(value_key).unwrap_or(0)
+    }
+}
+
+/// Partitions by event type — every type is its own substream.
+///
+/// Only correct for patterns whose slots all accept a single type;
+/// provided mainly for micro-benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TypeKeyExtractor;
+
+impl KeyExtractor for TypeKeyExtractor {
+    #[inline]
+    fn shard_key(&self, ev: &Event) -> u64 {
+        ev.type_id.0 as u64
+    }
+}
+
+impl fmt::Display for AttrKeyExtractor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "attr[{}]", self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventTypeId;
+    use std::sync::Arc;
+
+    fn ev(attrs: Vec<Value>) -> Arc<Event> {
+        Event::new(EventTypeId(3), 10, 0, attrs)
+    }
+
+    #[test]
+    fn closures_are_extractors() {
+        let by_type = |e: &Event| e.type_id.0 as u64 * 10;
+        assert_eq!(by_type.shard_key(&ev(vec![])), 30);
+    }
+
+    #[test]
+    fn attr_extractor_reads_fixed_position() {
+        let x = AttrKeyExtractor { attr: 1 };
+        assert_eq!(x.shard_key(&ev(vec![Value::Int(9), Value::Int(7)])), 7);
+        assert_eq!(
+            x.shard_key(&ev(vec![Value::Int(9)])),
+            0,
+            "missing attr -> key 0"
+        );
+        assert_eq!(x.to_string(), "attr[1]");
+    }
+
+    #[test]
+    fn last_attr_extractor_reads_trailing_key() {
+        let x = LastAttrKeyExtractor;
+        assert_eq!(
+            x.shard_key(&ev(vec![Value::Float(1.5), Value::Int(42)])),
+            42
+        );
+        assert_eq!(x.shard_key(&ev(vec![])), 0);
+    }
+
+    #[test]
+    fn type_extractor_uses_type_id() {
+        assert_eq!(TypeKeyExtractor.shard_key(&ev(vec![])), 3);
+    }
+
+    #[test]
+    fn value_keys_are_stable_and_distinct() {
+        assert_eq!(value_key(&Value::Int(-1)), u64::MAX);
+        assert_eq!(value_key(&Value::Bool(true)), 1);
+        assert_eq!(value_key(&Value::Float(2.5)), value_key(&Value::Float(2.5)));
+        assert_eq!(
+            value_key(&Value::Float(-0.0)),
+            value_key(&Value::Float(0.0)),
+            "equal floats must share a partition key"
+        );
+        let a = value_key(&Value::Str(Arc::from("AAPL")));
+        let b = value_key(&Value::Str(Arc::from("MSFT")));
+        assert_ne!(a, b);
+        assert_eq!(a, value_key(&Value::Str(Arc::from("AAPL"))));
+    }
+}

@@ -111,13 +111,11 @@ impl Pattern {
     }
 
     /// Convenience: a predicate-free `SEQ` over the given event types.
-    pub fn sequence(
-        name: impl Into<String>,
-        types: &[EventTypeId],
-        window: Timestamp,
-    ) -> Pattern {
+    pub fn sequence(name: impl Into<String>, types: &[EventTypeId], window: Timestamp) -> Pattern {
         Pattern::builder(name)
-            .expr(PatternExpr::seq(types.iter().copied().map(PatternExpr::prim)))
+            .expr(PatternExpr::seq(
+                types.iter().copied().map(PatternExpr::prim),
+            ))
             .window(window)
             .build()
             .expect("predicate-free sequence is always valid")
@@ -130,7 +128,9 @@ impl Pattern {
         window: Timestamp,
     ) -> Pattern {
         Pattern::builder(name)
-            .expr(PatternExpr::and(types.iter().copied().map(PatternExpr::prim)))
+            .expr(PatternExpr::and(
+                types.iter().copied().map(PatternExpr::prim),
+            ))
             .window(window)
             .build()
             .expect("predicate-free conjunction is always valid")
@@ -214,9 +214,7 @@ mod tests {
             Err(AcepError::InvalidPattern(_))
         ));
         assert!(matches!(
-            Pattern::builder("p")
-                .expr(PatternExpr::prim(t(0)))
-                .build(),
+            Pattern::builder("p").expr(PatternExpr::prim(t(0))).build(),
             Err(AcepError::InvalidConfig(_))
         ));
     }

@@ -214,12 +214,10 @@ impl Predicate {
     pub fn eval(&self, binding: &dyn EventBinding) -> bool {
         match self {
             Predicate::True => true,
-            Predicate::Cmp { lhs, op, rhs } => {
-                match (lhs.value(binding), rhs.value(binding)) {
-                    (Some(a), Some(b)) => a.compare(&b).is_some_and(|ord| op.test(ord)),
-                    _ => false,
-                }
-            }
+            Predicate::Cmp { lhs, op, rhs } => match (lhs.value(binding), rhs.value(binding)) {
+                (Some(a), Some(b)) => a.compare(&b).is_some_and(|ord| op.test(ord)),
+                _ => false,
+            },
             Predicate::And(ps) => ps.iter().all(|p| p.eval(binding)),
             Predicate::Or(ps) => ps.iter().any(|p| p.eval(binding)),
             Predicate::Not(p) => !p.eval(binding),

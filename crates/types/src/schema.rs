@@ -48,7 +48,11 @@ impl SchemaRegistry {
         if let Some(&id) = self.by_name.get(name) {
             let existing = &self.schemas[id.index()];
             assert!(
-                existing.attributes.iter().map(String::as_str).eq(attributes.iter().copied()),
+                existing
+                    .attributes
+                    .iter()
+                    .map(String::as_str)
+                    .eq(attributes.iter().copied()),
                 "event type {name} re-registered with different attributes"
             );
             return id;
@@ -86,15 +90,19 @@ impl SchemaRegistry {
     }
 
     /// Resolves `(type name, attribute name)` to `(type id, attr id)`.
-    pub fn resolve_attr(&self, type_name: &str, attr: &str) -> Result<(EventTypeId, AttrId), AcepError> {
+    pub fn resolve_attr(
+        &self,
+        type_name: &str,
+        attr: &str,
+    ) -> Result<(EventTypeId, AttrId), AcepError> {
         let id = self.type_id(type_name)?;
-        let attr_id =
-            self.schema(id)
-                .attr_id(attr)
-                .ok_or_else(|| AcepError::UnknownAttribute {
-                    event_type: type_name.to_string(),
-                    attribute: attr.to_string(),
-                })?;
+        let attr_id = self
+            .schema(id)
+            .attr_id(attr)
+            .ok_or_else(|| AcepError::UnknownAttribute {
+                event_type: type_name.to_string(),
+                attribute: attr.to_string(),
+            })?;
         Ok((id, attr_id))
     }
 

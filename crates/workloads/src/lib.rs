@@ -20,6 +20,7 @@
 //!   byte-identical input.
 
 pub mod model;
+pub mod partition;
 pub mod patterns;
 pub mod sampling;
 pub mod scenario;
@@ -27,6 +28,7 @@ pub mod stocks;
 pub mod traffic;
 
 pub use model::{empirical_rates, DatasetModel, StreamGenerator};
+pub use partition::{events_for_key, keyed_events, merge_streams, offset_types};
 pub use patterns::{build_pattern, pattern_set, DatasetKind, PatternSetKind, PATTERN_SIZES};
 pub use scenario::{Scenario, ScenarioConfig};
 pub use stocks::{StocksConfig, StocksModel};

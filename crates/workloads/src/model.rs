@@ -117,11 +117,8 @@ impl<M: DatasetModel> Iterator for StreamGenerator<M> {
         }
 
         let timestamp = ts as Timestamp;
-        self.next_arrival[type_idx] =
-            ts + exp_interarrival_ms(&mut self.rng, self.rates[type_idx]);
-        let attrs = self
-            .model
-            .attributes(&mut self.rng, type_idx, timestamp);
+        self.next_arrival[type_idx] = ts + exp_interarrival_ms(&mut self.rng, self.rates[type_idx]);
+        let attrs = self.model.attributes(&mut self.rng, type_idx, timestamp);
         let ev = Event::new(EventTypeId(type_idx as u32), timestamp, self.seq, attrs);
         self.seq += 1;
         Some(ev)

@@ -1,0 +1,202 @@
+//! Key-partitioned stream generation.
+//!
+//! A partitioned workload models many independent entities (stock
+//! symbols, road segments) emitting interleaved events: one
+//! [`StreamGenerator`] per key, each with its own derived RNG, merged
+//! into a single timestamp-ordered stream. Every merged event carries
+//! its partition key as a **trailing synthetic attribute**
+//! (`Value::Int(key)`), the convention consumed by
+//! `acep_types::LastAttrKeyExtractor` — so the same physical stream can
+//! be replayed through a sharded runtime at any worker count, or split
+//! back into per-key substreams with [`events_for_key`] for reference
+//! runs.
+//!
+//! Determinism: the merged stream is a pure function of
+//! `(keys, n_per_key, base_seed, model configs)`. Per-key RNGs are
+//! derived by mixing `base_seed` with the key, the merge breaks
+//! timestamp ties by key, and global sequence numbers are assigned in
+//! merge order — so per-key subsequences keep strictly increasing
+//! `seq`s and competing runtimes see byte-identical input.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use acep_types::{mix64, Event, EventTypeId, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::model::{DatasetModel, StreamGenerator};
+
+/// Mixes a key into a base seed so per-key RNG streams are
+/// decorrelated.
+fn mix_seed(base: u64, key: u64) -> u64 {
+    mix64(base ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Generates `n_per_key` events for every key in `keys` (each from its
+/// own model instance and derived RNG) and merges them into one
+/// timestamp-ordered stream with the key appended as a trailing
+/// attribute and globally renumbered `seq`s.
+pub fn keyed_events<M, F>(
+    keys: &[u64],
+    n_per_key: usize,
+    base_seed: u64,
+    mut make_model: F,
+) -> Vec<Arc<Event>>
+where
+    M: DatasetModel,
+    F: FnMut(u64) -> M,
+{
+    let per_key: Vec<Vec<Arc<Event>>> = keys
+        .iter()
+        .map(|&k| {
+            let rng = StdRng::seed_from_u64(mix_seed(base_seed, k));
+            let mut generator = StreamGenerator::new(make_model(k), rng);
+            generator
+                .take_events(n_per_key)
+                .into_iter()
+                .map(|ev| {
+                    let mut attrs = ev.attrs.clone();
+                    attrs.push(Value::Int(k as i64));
+                    Event::new(ev.type_id, ev.timestamp, ev.seq, attrs)
+                })
+                .collect()
+        })
+        .collect();
+    merge_streams(per_key)
+}
+
+/// Merges timestamp-sorted streams into one stream, breaking timestamp
+/// ties by stream index, and renumbers `seq` in merge order (so any
+/// subsequence keeps strictly increasing, globally unique `seq`s).
+pub fn merge_streams(streams: Vec<Vec<Arc<Event>>>) -> Vec<Arc<Event>> {
+    let total: usize = streams.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; streams.len()];
+    // K-way merge via a min-heap on (timestamp, stream index): O(N log K)
+    // with the same deterministic tie-break as a linear min-scan.
+    let mut heap: BinaryHeap<Reverse<(Timestamp, usize)>> = streams
+        .iter()
+        .enumerate()
+        .filter_map(|(si, s)| s.first().map(|ev| Reverse((ev.timestamp, si))))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse((_, si))) = heap.pop() {
+        let ev = &streams[si][cursors[si]];
+        cursors[si] += 1;
+        out.push(Event::new(
+            ev.type_id,
+            ev.timestamp,
+            out.len() as u64,
+            ev.attrs.clone(),
+        ));
+        if let Some(next) = streams[si].get(cursors[si]) {
+            heap.push(Reverse((next.timestamp, si)));
+        }
+    }
+    out
+}
+
+/// Rebuilds every event with its type id shifted by `offset` — used to
+/// pack several datasets into one disjoint type-id space (e.g. stocks
+/// types 0–9, traffic types 10–19) for multi-pattern hosting.
+pub fn offset_types(events: &[Arc<Event>], offset: u32) -> Vec<Arc<Event>> {
+    events
+        .iter()
+        .map(|ev| {
+            Event::new(
+                EventTypeId(ev.type_id.0 + offset),
+                ev.timestamp,
+                ev.seq,
+                ev.attrs.clone(),
+            )
+        })
+        .collect()
+}
+
+/// The substream of a keyed stream belonging to one partition key
+/// (trailing-attribute convention) — the reference input for comparing
+/// a sharded run against a direct per-key engine run.
+pub fn events_for_key(events: &[Arc<Event>], key: u64) -> Vec<Arc<Event>> {
+    events
+        .iter()
+        .filter(|ev| matches!(ev.attrs.last(), Some(Value::Int(k)) if *k as u64 == key))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stocks::{StocksConfig, StocksModel};
+
+    fn keyed(n_keys: u64, n_per_key: usize) -> Vec<Arc<Event>> {
+        let keys: Vec<u64> = (0..n_keys).collect();
+        keyed_events(&keys, n_per_key, 7, |_| {
+            StocksModel::new(StocksConfig::default())
+        })
+    }
+
+    #[test]
+    fn merged_stream_is_ordered_and_renumbered() {
+        let events = keyed(4, 500);
+        assert_eq!(events.len(), 2_000);
+        for (i, w) in events.windows(2).enumerate() {
+            assert!(w[0].timestamp <= w[1].timestamp, "at {i}");
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events.last().unwrap().seq, 1_999);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let a = keyed(3, 200);
+        let b = keyed(3, 200);
+        assert_eq!(a, b, "same inputs must reproduce the same stream");
+        let keys: Vec<u64> = (0..3).collect();
+        let c = keyed_events(&keys, 200, 8, |_| StocksModel::new(StocksConfig::default()));
+        assert_ne!(a, c, "different base seed must change the stream");
+    }
+
+    #[test]
+    fn per_key_substreams_partition_the_stream() {
+        let events = keyed(4, 300);
+        let mut total = 0;
+        for k in 0..4 {
+            let sub = events_for_key(&events, k);
+            assert_eq!(sub.len(), 300, "every key contributes n_per_key events");
+            total += sub.len();
+            for w in sub.windows(2) {
+                assert!(w[0].seq < w[1].seq, "per-key order preserved");
+            }
+        }
+        assert_eq!(total, events.len());
+    }
+
+    #[test]
+    fn distinct_keys_see_distinct_randomness() {
+        let events = keyed(2, 300);
+        let a = events_for_key(&events, 0);
+        let b = events_for_key(&events, 1);
+        let same_ts = a
+            .iter()
+            .zip(&b)
+            .filter(|(x, y)| x.timestamp == y.timestamp)
+            .count();
+        assert!(
+            same_ts < a.len() / 2,
+            "per-key streams must be decorrelated"
+        );
+    }
+
+    #[test]
+    fn offset_types_shifts_every_event() {
+        let events = keyed(2, 50);
+        let shifted = offset_types(&events, 10);
+        for (a, b) in events.iter().zip(&shifted) {
+            assert_eq!(a.type_id.0 + 10, b.type_id.0);
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+}

@@ -15,9 +15,7 @@
 //! (violations of normal driving behaviour); stock patterns require
 //! ascending price differences with a minimal gap.
 
-use acep_types::{
-    attr, attr_plus, EventTypeId, Pattern, PatternExpr, Predicate, Timestamp,
-};
+use acep_types::{attr, attr_plus, EventTypeId, Pattern, PatternExpr, Predicate, Timestamp};
 
 /// Which pattern set to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -238,7 +236,13 @@ mod tests {
     #[test]
     fn sequence_set_shapes() {
         for &n in &PATTERN_SIZES {
-            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Sequence, n, 1_000, &types(10));
+            let p = build_pattern(
+                DatasetKind::Traffic,
+                PatternSetKind::Sequence,
+                n,
+                1_000,
+                &types(10),
+            );
             let b = &p.canonical().branches[0];
             assert_eq!(b.kind, SubKind::Sequence);
             assert_eq!(b.n(), n);
@@ -250,7 +254,13 @@ mod tests {
 
     #[test]
     fn conjunction_set_shapes() {
-        let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Conjunction, 5, 1_000, &types(10));
+        let p = build_pattern(
+            DatasetKind::Stocks,
+            PatternSetKind::Conjunction,
+            5,
+            1_000,
+            &types(10),
+        );
         let b = &p.canonical().branches[0];
         assert_eq!(b.kind, SubKind::Conjunction);
         assert_eq!(b.n(), 5);
@@ -260,7 +270,13 @@ mod tests {
     #[test]
     fn negation_set_excludes_negated_from_size() {
         for &n in &PATTERN_SIZES {
-            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Negation, n, 1_000, &types(10));
+            let p = build_pattern(
+                DatasetKind::Traffic,
+                PatternSetKind::Negation,
+                n,
+                1_000,
+                &types(10),
+            );
             let b = &p.canonical().branches[0];
             assert_eq!(b.n(), n, "positives count as size");
             assert_eq!(b.negated.len(), 1);
@@ -274,7 +290,13 @@ mod tests {
 
     #[test]
     fn negation_condition_references_negated_var() {
-        let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Negation, 4, 1_000, &types(10));
+        let p = build_pattern(
+            DatasetKind::Stocks,
+            PatternSetKind::Negation,
+            4,
+            1_000,
+            &types(10),
+        );
         let b = &p.canonical().branches[0];
         let neg_var = b.negated[0].var;
         assert!(b.conditions_on_negated(neg_var).count() >= 1);
@@ -283,7 +305,13 @@ mod tests {
     #[test]
     fn kleene_set_marks_one_slot() {
         for &n in &PATTERN_SIZES {
-            let p = build_pattern(DatasetKind::Stocks, PatternSetKind::Kleene, n, 1_000, &types(10));
+            let p = build_pattern(
+                DatasetKind::Stocks,
+                PatternSetKind::Kleene,
+                n,
+                1_000,
+                &types(10),
+            );
             let b = &p.canonical().branches[0];
             assert_eq!(b.n(), n, "Kleene events count toward size");
             assert_eq!(b.slots.iter().filter(|s| s.kleene).count(), 1);
@@ -294,7 +322,13 @@ mod tests {
     #[test]
     fn composite_set_has_three_branches() {
         for &n in &PATTERN_SIZES {
-            let p = build_pattern(DatasetKind::Traffic, PatternSetKind::Composite, n, 1_000, &types(10));
+            let p = build_pattern(
+                DatasetKind::Traffic,
+                PatternSetKind::Composite,
+                n,
+                1_000,
+                &types(10),
+            );
             assert_eq!(p.canonical().branches.len(), 3);
             for b in &p.canonical().branches {
                 assert_eq!(b.n(), n);

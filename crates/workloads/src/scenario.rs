@@ -90,7 +90,8 @@ impl Scenario {
         let rng = StdRng::seed_from_u64(seed);
         match self.dataset {
             DatasetKind::Traffic => {
-                let mut g = StreamGenerator::new(TrafficModel::new(self.config.traffic.clone()), rng);
+                let mut g =
+                    StreamGenerator::new(TrafficModel::new(self.config.traffic.clone()), rng);
                 g.take_events(n)
             }
             DatasetKind::Stocks => {
@@ -103,6 +104,34 @@ impl Scenario {
     /// Builds a pattern of the given set and size for this scenario.
     pub fn pattern(&self, set: PatternSetKind, size: usize) -> Pattern {
         build_pattern(self.dataset, set, size, self.config.window_ms, &self.types)
+    }
+
+    /// Generates a deterministic key-partitioned stream: `num_keys`
+    /// independent instances of this scenario's dataset model (one per
+    /// symbol / road segment), each contributing `n_per_key` events,
+    /// merged by timestamp. The partition key rides as a trailing
+    /// synthetic attribute (see [`crate::partition`]).
+    pub fn keyed_events(&self, num_keys: u64, n_per_key: usize) -> Vec<Arc<Event>> {
+        let keys: Vec<u64> = (0..num_keys).collect();
+        self.keyed_events_for(&keys, n_per_key)
+    }
+
+    /// Like [`keyed_events`](Self::keyed_events) with explicit (not
+    /// necessarily contiguous) partition keys — e.g. to keep several
+    /// tenants' key spaces disjoint in one stream.
+    pub fn keyed_events_for(&self, keys: &[u64], n_per_key: usize) -> Vec<Arc<Event>> {
+        match self.dataset {
+            DatasetKind::Traffic => {
+                crate::partition::keyed_events(keys, n_per_key, self.config.seed, |_| {
+                    TrafficModel::new(self.config.traffic.clone())
+                })
+            }
+            DatasetKind::Stocks => {
+                crate::partition::keyed_events(keys, n_per_key, self.config.seed, |_| {
+                    StocksModel::new(self.config.stocks.clone())
+                })
+            }
+        }
     }
 }
 

@@ -128,7 +128,10 @@ mod tests {
         let rates = empirical_rates(&events, cfg.num_types);
         let max = rates.iter().cloned().fold(0.0, f64::max);
         let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min < 6.0, "stocks rates must stay low-skew: {rates:?}");
+        assert!(
+            max / min < 6.0,
+            "stocks rates must stay low-skew: {rates:?}"
+        );
     }
 
     #[test]

@@ -46,10 +46,7 @@ fn main() {
 
     // Day phase: A ≫ B ≫ C. Night phase: C ≫ B ≫ A.
     let mut rng = StdRng::seed_from_u64(7);
-    let phases = [
-        ("day", [50.0, 8.0, 0.5]),
-        ("night", [0.5, 8.0, 40.0]),
-    ];
+    let phases = [("day", [50.0, 8.0, 0.5]), ("night", [0.5, 8.0, 40.0])];
     let mut matches = Vec::new();
     let mut seq = 0u64;
     let mut now_ms = 0f64;

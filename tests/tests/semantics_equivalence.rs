@@ -5,9 +5,9 @@
 //! profiles — including through mid-run plan migrations.
 
 use acep_core::{DeviationMode, PolicyKind};
+use acep_integration_tests::{run_adaptive, run_static_reference};
 use acep_plan::PlannerKind;
 use acep_workloads::{DatasetKind, PatternSetKind, Scenario};
-use acep_integration_tests::{run_adaptive, run_static_reference};
 
 const EVENTS: usize = 12_000;
 

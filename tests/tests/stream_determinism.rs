@@ -1,0 +1,164 @@
+//! Shard-count invariance of the `acep-stream` runtime.
+//!
+//! The runtime's headline guarantee: on the same keyed input, the match
+//! multiset is identical for every worker count, and identical to what
+//! direct per-key [`AdaptiveCep`] runs produce. Parallelism must be an
+//! operational knob, never a semantic one.
+
+use std::sync::Arc;
+
+use acep_core::{AdaptiveCep, AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stats::StatsConfig;
+use acep_stream::{
+    CollectingSink, LastAttrKeyExtractor, PatternSet, QueryId, ShardedRuntime, StreamConfig,
+};
+use acep_types::Event;
+use acep_workloads::{events_for_key, DatasetKind, PatternSetKind, Scenario};
+
+const NUM_KEYS: u64 = 6;
+const EVENTS_PER_KEY: usize = 2_000;
+
+fn adaptive_config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
+    AdaptiveConfig {
+        planner,
+        policy,
+        control_interval: 32,
+        warmup_events: 128,
+        min_improvement: 0.0,
+        stats: StatsConfig {
+            window_ms: 2_000,
+            exact_rates: true,
+            sample_capacity: 16,
+            max_pairs: 100,
+            ..StatsConfig::default()
+        },
+    }
+}
+
+/// Two queries with deliberately different planners and policies, so
+/// per-query configuration is exercised end to end.
+fn queries(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3-greedy-invariant",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        adaptive_config(
+            PlannerKind::Greedy,
+            PolicyKind::invariant_with_distance(0.1),
+        ),
+    )
+    .unwrap();
+    set.register(
+        "stocks/seq4-zstream-unconditional",
+        scenario.pattern(PatternSetKind::Sequence, 4),
+        adaptive_config(PlannerKind::ZStream, PolicyKind::Unconditional),
+    )
+    .unwrap();
+    set
+}
+
+/// One canonical line per match: (query, key, match identity).
+fn run_sharded(
+    set: &PatternSet,
+    events: &[Arc<Event>],
+    shards: usize,
+) -> (Vec<(u32, u64, String)>, acep_stream::RuntimeStats) {
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards,
+            channel_capacity: 4,
+            max_batch: 512,
+        },
+    )
+    .unwrap();
+    // Push in several batches to exercise chunked ingestion.
+    for chunk in events.chunks(1_000) {
+        runtime.push_batch(chunk);
+    }
+    let stats = runtime.finish();
+    let mut lines: Vec<(u32, u64, String)> = sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.query.0, m.key, m.matched.key()))
+        .collect();
+    lines.sort();
+    (lines, stats)
+}
+
+#[test]
+fn sharded_runs_are_shard_count_invariant() {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+    let set = queries(&scenario);
+
+    let (w1, s1) = run_sharded(&set, &events, 1);
+    let (w2, s2) = run_sharded(&set, &events, 2);
+    let (w4, s4) = run_sharded(&set, &events, 4);
+
+    assert!(!w1.is_empty(), "the workload must produce matches");
+    assert_eq!(w1, w2, "W=2 must match W=1 exactly");
+    assert_eq!(w1, w4, "W=4 must match W=1 exactly");
+
+    for stats in [&s1, &s2, &s4] {
+        assert_eq!(stats.total_events(), events.len() as u64);
+        assert_eq!(stats.total_keys(), NUM_KEYS as usize);
+        assert_eq!(stats.total_matches(), w1.len() as u64);
+    }
+    assert_eq!(s1.shards.len(), 1);
+    assert_eq!(s4.shards.len(), 4);
+    // The hash spreads 6 keys over 4 shards: no shard may own all keys.
+    assert!(s4.shards.iter().all(|s| s.keys < NUM_KEYS as usize));
+}
+
+#[test]
+fn sharded_runs_equal_direct_per_key_engines() {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+    let set = queries(&scenario);
+
+    let (sharded, _) = run_sharded(&set, &events, 4);
+
+    // Reference: one plain AdaptiveCep per (key, query) over that key's
+    // substream, exactly as a user would run without acep-stream.
+    let mut direct: Vec<(u32, u64, String)> = Vec::new();
+    for key in 0..NUM_KEYS {
+        let substream = events_for_key(&events, key);
+        assert_eq!(substream.len(), EVENTS_PER_KEY);
+        for (qid, spec) in set.iter() {
+            let mut engine =
+                AdaptiveCep::new(&spec.pattern, set.num_types(), spec.config.clone()).unwrap();
+            let mut out = Vec::new();
+            for ev in &substream {
+                engine.on_event(ev, &mut out);
+            }
+            engine.finish(&mut out);
+            direct.extend(out.iter().map(|m| (qid.0, key, m.key())));
+        }
+    }
+    direct.sort();
+    assert_eq!(
+        sharded, direct,
+        "sharded multiset must equal direct per-key engine runs"
+    );
+}
+
+#[test]
+fn per_query_stats_are_shard_count_invariant() {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(3, 1_000);
+    let set = queries(&scenario);
+    let (_, s1) = run_sharded(&set, &events, 1);
+    let (_, s4) = run_sharded(&set, &events, 4);
+    for q in 0..set.len() as u32 {
+        let a = s1.query(QueryId(q));
+        let b = s4.query(QueryId(q));
+        // Engine-visible event counts, matches, and adaptation decisions
+        // depend only on per-key substreams, never on shard placement.
+        assert_eq!(a, b, "query {q} stats diverged between W=1 and W=4");
+    }
+}
