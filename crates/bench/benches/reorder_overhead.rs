@@ -1,0 +1,93 @@
+//! Cost of event-time reordering: sharded-runtime throughput at
+//! disorder bounds 0 / 16 / 256 on a key-partitioned stocks stream.
+//!
+//! Bound 0 ingests the in-order stream through the passthrough path —
+//! by construction the same code the PR-1 runtime ran, so its number
+//! must sit within noise of `scale_shards` at the same width. Positive
+//! bounds ingest a `bounded_shuffle` of matching displacement, paying
+//! the min-heap and watermark bookkeeping; the gap between bound-0 and
+//! bound-256 is the full price of tolerating that much disorder.
+
+#[path = "common.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stream::{
+    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, StreamConfig,
+};
+use acep_types::Event;
+use acep_workloads::{bounded_shuffle, DatasetKind, PatternSetKind, Scenario};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const NUM_KEYS: u64 = 16;
+const EVENTS_PER_KEY: usize = 1_500;
+const SHARDS: usize = 4;
+
+fn pattern_set(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        AdaptiveConfig {
+            planner: PlannerKind::Greedy,
+            policy: PolicyKind::invariant_with_distance(0.1),
+            ..AdaptiveConfig::default()
+        },
+    )
+    .unwrap();
+    set.register(
+        "stocks/seq4",
+        scenario.pattern(PatternSetKind::Sequence, 4),
+        AdaptiveConfig {
+            planner: PlannerKind::ZStream,
+            policy: PolicyKind::invariant_with_distance(0.2),
+            ..AdaptiveConfig::default()
+        },
+    )
+    .unwrap();
+    set
+}
+
+fn run_once(set: &PatternSet, events: &[Arc<Event>], disorder: DisorderConfig) -> u64 {
+    let sink = Arc::new(CountingSink::new(set.len()));
+    let runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: SHARDS,
+            disorder,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    for chunk in events.chunks(4_096) {
+        runtime.push_batch(chunk);
+    }
+    runtime.finish().total_matches()
+}
+
+fn bench(c: &mut Criterion) {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+    let set = pattern_set(&scenario);
+
+    let mut group = c.benchmark_group("reorder_overhead");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    for bound in [0u64, 16, 256] {
+        // Deliver with exactly the tolerated disorder (bound 0 = the
+        // in-order stream, passthrough ingestion).
+        let delivered = bounded_shuffle(&events, bound, 11);
+        let disorder = DisorderConfig::bounded(bound);
+        group.bench_function(BenchmarkId::from_parameter(bound), |b| {
+            b.iter(|| black_box(run_once(&set, &delivered, disorder)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

@@ -524,7 +524,7 @@ mod tests {
     #[test]
     fn all_policies_find_identical_matches() {
         let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
-        let mut reference: Option<Vec<String>> = None;
+        let mut reference: Option<Vec<acep_engine::MatchKey>> = None;
         for policy in [
             PolicyKind::Static,
             PolicyKind::Unconditional,
@@ -540,7 +540,7 @@ mod tests {
                 engine.on_event(&e, &mut out);
             }
             engine.finish(&mut out);
-            let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+            let mut keys: Vec<_> = out.iter().map(Match::key).collect();
             keys.sort();
             match &reference {
                 None => reference = Some(keys),

@@ -37,7 +37,7 @@ pub use composite::StaticEngine;
 pub use context::{ExecContext, NegGuard, PartialBinding};
 pub use executor::{build_executor, Executor};
 pub use finalize::{Finalizer, FinalizerHistory};
-pub use matches::Match;
+pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;
 pub use order_exec::OrderExecutor;
 pub use partial::Partial;

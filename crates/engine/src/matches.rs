@@ -1,8 +1,50 @@
 //! Complete pattern matches.
 
+use std::fmt;
 use std::sync::Arc;
 
 use acep_types::{Event, Timestamp, VarId};
+
+/// Canonical identity of a match: sorted `(var, [event seqs])` pairs.
+///
+/// Two matches are the same detection iff their keys are equal,
+/// regardless of which plan produced them — the comparison primitive of
+/// every oracle, determinism, and invariance test. Unlike a rendered
+/// string it is a plain `Ord + Hash` value: building one allocates only
+/// the vectors themselves, so multiset comparisons over millions of
+/// matches stay off the formatting machinery.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MatchKey(Vec<(u32, Vec<u64>)>);
+
+impl MatchKey {
+    /// Builds a key from raw `(var, event seqs)` pairs, normalizing
+    /// both levels (pairs sorted by variable, seqs sorted within each
+    /// binding) so equal detections compare equal however they were
+    /// assembled.
+    pub fn from_parts(mut parts: Vec<(u32, Vec<u64>)>) -> Self {
+        for (_, seqs) in &mut parts {
+            seqs.sort_unstable();
+        }
+        parts.sort();
+        MatchKey(parts)
+    }
+
+    /// The normalized `(var, [event seqs])` pairs.
+    pub fn parts(&self) -> &[(u32, Vec<u64>)] {
+        &self.0
+    }
+}
+
+impl fmt::Display for MatchKey {
+    /// Renders the legacy textual form (`v0:[1, 2];v1:[3];`) for
+    /// diagnostics.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (v, seqs) in &self.0 {
+            write!(f, "v{v}:{seqs:?};")?;
+        }
+        Ok(())
+    }
+}
 
 /// A complete match of one pattern branch.
 #[derive(Debug, Clone)]
@@ -20,25 +62,14 @@ pub struct Match {
 }
 
 impl Match {
-    /// A canonical identity key: sorted `(var, [event seqs])` pairs.
-    /// Two matches are the same detection iff their keys are equal,
-    /// regardless of which plan produced them.
-    pub fn key(&self) -> String {
-        let mut parts: Vec<(u32, Vec<u64>)> = self
-            .bindings
-            .iter()
-            .map(|(v, evs)| {
-                let mut seqs: Vec<u64> = evs.iter().map(|e| e.seq).collect();
-                seqs.sort_unstable();
-                (v.0, seqs)
-            })
-            .collect();
-        parts.sort();
-        let mut out = String::new();
-        for (v, seqs) in parts {
-            out.push_str(&format!("v{v}:{seqs:?};"));
-        }
-        out
+    /// The match's canonical identity (see [`MatchKey`]).
+    pub fn key(&self) -> MatchKey {
+        MatchKey::from_parts(
+            self.bindings
+                .iter()
+                .map(|(v, evs)| (v.0, evs.iter().map(|e| e.seq).collect()))
+                .collect(),
+        )
     }
 
     /// The single event bound to a non-Kleene variable.
@@ -108,6 +139,17 @@ mod tests {
             detected_at: 2,
         };
         assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn match_key_normalizes_and_renders() {
+        let a = MatchKey::from_parts(vec![(1, vec![30, 20]), (0, vec![10])]);
+        let b = MatchKey::from_parts(vec![(0, vec![10]), (1, vec![20, 30])]);
+        assert_eq!(a, b);
+        assert_eq!(a.parts(), &[(0, vec![10]), (1, vec![20, 30])]);
+        assert_eq!(a.to_string(), "v0:[10];v1:[20, 30];");
+        let c = MatchKey::from_parts(vec![(0, vec![11])]);
+        assert!(c > a, "keys order lexicographically by (var, seqs)");
     }
 
     #[test]

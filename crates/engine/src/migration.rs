@@ -220,7 +220,7 @@ mod tests {
         mig.finish(&mut out);
         // Matches: (A@10,B@25,C@30) old-gen + (A@20,B@25,C@30) new-gen.
         assert_eq!(out.len(), 2);
-        let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+        let mut keys: Vec<_> = out.iter().map(Match::key).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 2, "no duplicates across generations");
@@ -308,8 +308,8 @@ mod tests {
             }
         }
         reference.finish(&mut ref_out);
-        let mut a: Vec<String> = out.iter().map(Match::key).collect();
-        let mut b: Vec<String> = ref_out.iter().map(Match::key).collect();
+        let mut a: Vec<_> = out.iter().map(Match::key).collect();
+        let mut b: Vec<_> = ref_out.iter().map(Match::key).collect();
         a.sort();
         b.sort();
         assert_eq!(a, b);

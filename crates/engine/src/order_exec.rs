@@ -339,7 +339,7 @@ mod tests {
         );
         assert_eq!(matches.len(), 4);
         // All match keys distinct.
-        let mut keys: Vec<String> = matches.iter().map(Match::key).collect();
+        let mut keys: Vec<_> = matches.iter().map(Match::key).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 4);
@@ -418,8 +418,8 @@ mod tests {
         let mut lazy = OrderExecutor::new(Arc::clone(&ctx), &OrderPlan::new(vec![2, 1, 0]));
         let m1 = run(&mut eager, &events);
         let m2 = run(&mut lazy, &events);
-        let mut k1: Vec<String> = m1.iter().map(Match::key).collect();
-        let mut k2: Vec<String> = m2.iter().map(Match::key).collect();
+        let mut k1: Vec<_> = m1.iter().map(Match::key).collect();
+        let mut k2: Vec<_> = m2.iter().map(Match::key).collect();
         k1.sort();
         k2.sort();
         assert_eq!(k1, k2);

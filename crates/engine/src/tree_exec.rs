@@ -412,8 +412,8 @@ mod tests {
         }
         tree.finish(&mut mt);
         order.finish(&mut mo);
-        let mut kt: Vec<String> = mt.iter().map(Match::key).collect();
-        let mut ko: Vec<String> = mo.iter().map(Match::key).collect();
+        let mut kt: Vec<_> = mt.iter().map(Match::key).collect();
+        let mut ko: Vec<_> = mo.iter().map(Match::key).collect();
         kt.sort();
         ko.sort();
         assert_eq!(kt, ko);

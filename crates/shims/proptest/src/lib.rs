@@ -14,6 +14,21 @@
 //! dependency back to the registry `proptest` restores shrinking
 //! without touching any test code.
 //!
+//! ## Environment knobs
+//!
+//! Two environment variables pin the property suites for reproducible
+//! CI runs:
+//!
+//! * `PROPTEST_CASES` — overrides the number of cases of **every**
+//!   config (including explicit `with_cases` values; a deliberate
+//!   deviation from real proptest, where the variable only feeds
+//!   `Config::default`, so that CI has one knob for the whole
+//!   workspace).
+//! * `ACEP_PROPTEST_SEED` — a `u64` mixed into every per-case RNG
+//!   derivation. Unset is equivalent to `0`. Distinct values re-seed
+//!   the whole suite (e.g. a nightly job exploring fresh cases) while
+//!   any fixed value keeps runs byte-reproducible.
+//!
 //! [`proptest`]: https://docs.rs/proptest
 
 use std::ops::Range;
@@ -33,15 +48,30 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256 }
+        Self::with_cases(256)
     }
 }
 
 impl ProptestConfig {
-    /// A config running `cases` successful cases.
+    /// A config running `cases` successful cases — unless the
+    /// `PROPTEST_CASES` environment variable overrides it (see the
+    /// crate docs).
     pub fn with_cases(cases: u32) -> Self {
-        Self { cases }
+        Self {
+            cases: env_override().unwrap_or(cases),
+        }
     }
+}
+
+/// Parses a `PROPTEST_CASES`-style value; `None` leaves the source
+/// default in place (so does garbage — a typo must not silently turn
+/// the suite into a single-case run).
+fn parse_cases(raw: Option<&str>) -> Option<u32> {
+    raw?.trim().parse().ok().filter(|&n| n > 0)
+}
+
+fn env_override() -> Option<u32> {
+    parse_cases(std::env::var("PROPTEST_CASES").ok().as_deref())
 }
 
 /// Why a generated case did not complete.
@@ -170,18 +200,32 @@ pub mod prop {
 pub mod test_runner {
     //! Deterministic per-case RNG derivation.
 
+    use std::sync::OnceLock;
+
     use super::TestRng;
     use rand::SeedableRng;
 
+    /// The suite-wide seed from `ACEP_PROPTEST_SEED` (0 when unset or
+    /// unparsable), read once per process.
+    fn suite_seed() -> u64 {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        *SEED.get_or_init(|| {
+            std::env::var("ACEP_PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0)
+        })
+    }
+
     /// Derives the RNG for one case of one named test: FNV-1a over the
-    /// test name, mixed with the case index.
+    /// test name, mixed with the case index and the suite seed.
     pub fn case_rng(test_name: &str, case: u32) -> TestRng {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+        TestRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64) ^ suite_seed())
     }
 }
 
@@ -344,6 +388,16 @@ mod tests {
         let s = prop::collection::vec(0.0f64..1.0, 5usize);
         assert_eq!(s.generate(&mut rng).len(), 5);
         assert_eq!(Just(17u8).generate(&mut rng), 17);
+    }
+
+    #[test]
+    fn parse_cases_accepts_positive_integers_only() {
+        assert_eq!(crate::parse_cases(Some("64")), Some(64));
+        assert_eq!(crate::parse_cases(Some(" 8 ")), Some(8), "whitespace ok");
+        assert_eq!(crate::parse_cases(Some("0")), None, "zero cases is a typo");
+        assert_eq!(crate::parse_cases(Some("lots")), None);
+        assert_eq!(crate::parse_cases(Some("")), None);
+        assert_eq!(crate::parse_cases(None), None);
     }
 
     #[test]

@@ -47,6 +47,30 @@
 //!   [`ShardedRuntime::finish`] additionally flushes end-of-stream
 //!   state from every engine, exactly like [`AdaptiveCep::finish`].
 //!
+//! ## Event time and out-of-order ingestion
+//!
+//! By default the runtime is an **arrival-time** system: it trusts the
+//! input to be sorted by `(timestamp, seq)` and forwards events to the
+//! engines untouched. Setting a non-zero
+//! [`DisorderConfig::bound`](acep_types::DisorderConfig) `D` in
+//! [`StreamConfig`] switches ingestion to **event time**: each shard
+//! holds arriving events in a reordering buffer (a min-heap on
+//! `(timestamp, seq)`) and releases them to its engines only once the
+//! shard *watermark* — `max(max_seen_timestamp - D, punctuation)` — has
+//! strictly passed their timestamp. As long as the stream's disorder
+//! respects the bound (no event arrives after one more than `D` ms
+//! newer), the engines see exactly the sorted stream, so the match
+//! multiset is **delivery-order independent** — verified by the
+//! `order_invariance` integration test. Events that do arrive behind
+//! the watermark are *late*: [`LatenessPolicy::Drop`] counts them in
+//! [`ShardStats::late_dropped`], [`LatenessPolicy::Route`] hands them
+//! to [`MatchSink::on_late`]. Watermarks can also be advanced
+//! explicitly via [`ShardedRuntime::advance_watermark`] (punctuation);
+//! with `bound == u64::MAX` that is the *only* way they advance.
+//! `bound == 0` compiles to a strict passthrough — the in-order hot
+//! path pays nothing for the event-time machinery (the
+//! `reorder_overhead` bench checks this against `scale_shards`).
+//!
 //! ## Adaptation stays per key
 //!
 //! Each `(key, query)` engine runs the paper's detection-adaptation
@@ -98,6 +122,7 @@
 //! ```
 
 pub mod registry;
+mod reorder;
 pub mod runtime;
 mod shard;
 pub mod sink;
@@ -105,13 +130,15 @@ pub mod stats;
 
 pub use registry::{PatternSet, QueryId, QuerySpec};
 pub use runtime::{ShardedRuntime, StreamConfig};
-pub use sink::{CollectingSink, CountingSink, MatchSink, TaggedMatch};
+pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
 pub use stats::{QueryStats, RuntimeStats, ShardStats};
 
 // Re-exported so runtime users need not depend on `acep-types` for the
-// common extractors.
+// common extractors and the event-time configuration.
 pub use acep_core::AdaptiveCep;
-pub use acep_types::{AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor};
+pub use acep_types::{
+    AttrKeyExtractor, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy,
+};
 
 /// Compile-time guarantees: engines and templates cross thread
 /// boundaries, sinks and extractors are shared.

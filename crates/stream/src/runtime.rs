@@ -5,7 +5,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use acep_core::EngineTemplate;
-use acep_types::{AcepError, Event, KeyExtractor};
+use acep_types::{AcepError, DisorderConfig, Event, KeyExtractor, Timestamp};
 
 use crate::registry::PatternSet;
 use crate::shard::{ShardWorker, ToWorker};
@@ -25,6 +25,13 @@ pub struct StreamConfig {
     /// Largest per-shard event batch forwarded at once; one ingest call
     /// is split into chunks of at most this size.
     pub max_batch: usize,
+    /// Event-time disorder tolerated at ingestion. The default
+    /// (`bound == 0`) declares the stream in-order and compiles to a
+    /// strict passthrough — the reordering stage does not exist and the
+    /// hot path is unchanged. A positive bound `D` buffers events per
+    /// shard and releases them in `(timestamp, seq)` order behind the
+    /// shard watermark (see [`crate`] docs).
+    pub disorder: DisorderConfig,
 }
 
 impl Default for StreamConfig {
@@ -33,6 +40,7 @@ impl Default for StreamConfig {
             shards: 4,
             channel_capacity: 8,
             max_batch: 4_096,
+            disorder: DisorderConfig::in_order(),
         }
     }
 }
@@ -85,7 +93,12 @@ impl ShardedRuntime {
         let workers = (0..config.shards)
             .map(|shard| {
                 let (tx, rx) = mpsc::sync_channel(config.channel_capacity.max(1));
-                let worker = ShardWorker::new(shard, Arc::clone(&templates), Arc::clone(&sink));
+                let worker = ShardWorker::new(
+                    shard,
+                    Arc::clone(&templates),
+                    Arc::clone(&sink),
+                    config.disorder,
+                );
                 let handle = std::thread::Builder::new()
                     .name(format!("acep-shard-{shard}"))
                     .spawn(move || worker.run(rx))
@@ -148,9 +161,29 @@ impl ShardedRuntime {
         }
     }
 
+    /// Punctuation: advances the event-time watermark of every shard to
+    /// at least `ts`, releasing buffered events up to it. Use this when
+    /// the source *knows* completeness (e.g. a Kafka partition's
+    /// committed offset time) ahead of the heuristic
+    /// `max_seen - bound`: events arriving later with
+    /// `timestamp < ts` become late. Watermarks are monotone — a lower
+    /// `ts` than a previously announced one is a no-op, as is any
+    /// punctuation on an in-order (passthrough) runtime.
+    pub fn advance_watermark(&self, ts: Timestamp) {
+        for shard in 0..self.workers.len() {
+            self.send(shard, ToWorker::Watermark(ts));
+        }
+    }
+
     /// Barrier: returns once every worker has processed every event
     /// pushed before this call. After `flush`, all matches detectable
     /// from the ingested prefix have reached the sink.
+    ///
+    /// With a non-zero disorder bound, events still held by a shard's
+    /// reordering buffer are *not* forced out — they await their
+    /// watermark (or [`finish`](Self::finish), which releases
+    /// everything). Forcing them here would break delivery-order
+    /// independence for events the watermark has not yet cleared.
     pub fn flush(&self) {
         let acks: Vec<_> = self
             .workers
@@ -198,9 +231,10 @@ impl ShardedRuntime {
         }
     }
 
-    /// Ends the stream: drains every shard, flushes end-of-stream
-    /// matches from all engines to the sink, joins the workers, and
-    /// returns the final statistics.
+    /// Ends the stream: drains every shard (including events still held
+    /// by reordering buffers — the watermark jumps to infinity), flushes
+    /// end-of-stream matches from all engines to the sink, joins the
+    /// workers, and returns the final statistics.
     pub fn finish(mut self) -> RuntimeStats {
         let replies: Vec<_> = self
             .workers

@@ -8,6 +8,15 @@
 //! query. Events of types a query never references are not routed to
 //! that query's engine at all (they cannot affect its match set), so
 //! hosting many narrow queries over one wide stream stays cheap.
+//!
+//! With a non-zero disorder bound, an event-time [`ReorderBuffer`] sits
+//! between the channel and the engines: events are released to the
+//! per-(key, query) engines in `(timestamp, seq)` order once the shard
+//! watermark passes them, and late arrivals are dropped or routed to
+//! the sink per the configured
+//! [`LatenessPolicy`](acep_types::LatenessPolicy). With bound 0 the
+//! buffer is absent and ingestion is the same passthrough as before the
+//! event-time layer existed.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -15,10 +24,11 @@ use std::sync::Arc;
 
 use acep_core::{AdaptiveCep, EngineTemplate};
 use acep_engine::Match;
-use acep_types::Event;
+use acep_types::{DisorderConfig, Event, LatenessPolicy, Timestamp};
 
 use crate::registry::QueryId;
-use crate::sink::{MatchSink, TaggedMatch};
+use crate::reorder::{Offer, ReorderBuffer};
+use crate::sink::{LateEvent, MatchSink, TaggedMatch};
 use crate::stats::{QueryStats, ShardStats};
 
 /// Control messages from the runtime to one worker.
@@ -26,12 +36,15 @@ pub(crate) enum ToWorker {
     /// `(partition key, event)` pairs of this shard, in ingest order.
     /// Keys are extracted once, at ingest.
     Batch(Vec<(u64, Arc<Event>)>),
+    /// Punctuation: advance the shard's event-time watermark to at
+    /// least the given timestamp, releasing buffered events.
+    Watermark(Timestamp),
     /// Acknowledge once every prior message is processed.
     Flush(Sender<()>),
     /// Reply with a stats snapshot (processing continues).
     Stats(Sender<ShardStats>),
-    /// Flush engine state (end-of-stream matches), reply with final
-    /// stats, and exit.
+    /// Release the reorder buffer, flush engine state (end-of-stream
+    /// matches), reply with final stats, and exit.
     Finish(Sender<ShardStats>),
 }
 
@@ -43,8 +56,15 @@ pub(crate) struct ShardWorker {
     templates: Arc<[EngineTemplate]>,
     sink: Arc<dyn MatchSink>,
     keys: HashMap<u64, KeyEngines>,
+    /// Event-time reordering stage; `None` = in-order passthrough.
+    reorder: Option<ReorderBuffer>,
+    lateness: LatenessPolicy,
     events: u64,
     batches: u64,
+    late_dropped: u64,
+    late_routed: u64,
+    /// Reused buffer of watermark-released events awaiting processing.
+    released: Vec<(u64, Arc<Event>)>,
     /// Reused per-event match buffer.
     scratch: Vec<Match>,
     /// Matches of the batch in flight, delivered to the sink per batch.
@@ -56,14 +76,25 @@ impl ShardWorker {
         shard: usize,
         templates: Arc<[EngineTemplate]>,
         sink: Arc<dyn MatchSink>,
+        disorder: DisorderConfig,
     ) -> Self {
+        let reorder = if disorder.is_passthrough() {
+            None
+        } else {
+            Some(ReorderBuffer::new(disorder.bound))
+        };
         Self {
             shard,
             templates,
             sink,
             keys: HashMap::new(),
+            reorder,
+            lateness: disorder.lateness,
             events: 0,
             batches: 0,
+            late_dropped: 0,
+            late_routed: 0,
+            released: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
         }
@@ -75,6 +106,7 @@ impl ShardWorker {
         while let Ok(msg) = rx.recv() {
             match msg {
                 ToWorker::Batch(events) => self.on_batch(&events),
+                ToWorker::Watermark(ts) => self.on_watermark(ts),
                 ToWorker::Flush(ack) => {
                     let _ = ack.send(());
                 }
@@ -92,6 +124,63 @@ impl ShardWorker {
 
     fn on_batch(&mut self, events: &[(u64, Arc<Event>)]) {
         self.batches += 1;
+        // Hot path: in-order streams never touch the buffer.
+        if self.reorder.is_none() {
+            self.process(events);
+            return;
+        }
+        for (key, ev) in events {
+            let buffer = self.reorder.as_mut().expect("non-passthrough shard");
+            if buffer.offer(*key, ev) == Offer::Late {
+                let watermark = buffer.watermark();
+                self.on_late(*key, ev, watermark);
+            }
+        }
+        self.release(false);
+    }
+
+    fn on_watermark(&mut self, ts: Timestamp) {
+        // Punctuation on a passthrough shard is a no-op: the stream is
+        // already ordered and nothing is buffered.
+        if let Some(buffer) = &mut self.reorder {
+            buffer.advance_to(ts);
+            self.release(false);
+        }
+    }
+
+    fn on_late(&mut self, key: u64, ev: &Arc<Event>, watermark: Timestamp) {
+        match self.lateness {
+            LatenessPolicy::Drop => self.late_dropped += 1,
+            LatenessPolicy::Route => {
+                self.late_routed += 1;
+                self.sink.on_late(LateEvent {
+                    key,
+                    shard: self.shard,
+                    watermark,
+                    event: Arc::clone(ev),
+                });
+            }
+        }
+    }
+
+    /// Pops buffered events — those the watermark released, or (at end
+    /// of stream) everything — and runs them through the engines.
+    fn release(&mut self, all: bool) {
+        let mut released = std::mem::take(&mut self.released);
+        released.clear();
+        if let Some(buffer) = &mut self.reorder {
+            if all {
+                buffer.drain_all(&mut released);
+            } else {
+                buffer.drain_ready(&mut released);
+            }
+        }
+        self.process(&released);
+        self.released = released;
+    }
+
+    /// Runs in-order events through the per-(key, query) engines.
+    fn process(&mut self, events: &[(u64, Arc<Event>)]) {
         for (key, ev) in events {
             let key = *key;
             self.events += 1;
@@ -125,9 +214,12 @@ impl ShardWorker {
         }
     }
 
-    /// End-of-stream: flush pending partial state of every engine, in
-    /// deterministic (key, query) order.
+    /// End-of-stream: release everything still held by the reorder
+    /// buffer (the watermark jumps to infinity), then flush pending
+    /// partial state of every engine, in deterministic (key, query)
+    /// order.
     fn finish(&mut self) {
+        self.release(true);
         let mut keys: Vec<u64> = self.keys.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
@@ -164,6 +256,11 @@ impl ShardWorker {
             events: self.events,
             batches: self.batches,
             keys: self.keys.len(),
+            late_dropped: self.late_dropped,
+            late_routed: self.late_routed,
+            reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::depth),
+            max_reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::max_depth),
+            watermark: self.reorder.as_ref().map(ReorderBuffer::watermark),
             per_query,
         }
     }

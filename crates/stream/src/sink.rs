@@ -8,9 +8,11 @@
 //! independent of the shard count.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::sync::Mutex;
 
 use acep_engine::Match;
+use acep_types::Event;
 
 use crate::registry::QueryId;
 
@@ -27,6 +29,20 @@ pub struct TaggedMatch {
     pub matched: Match,
 }
 
+/// An event that arrived behind its shard's watermark, routed to the
+/// sink under [`LatenessPolicy::Route`](acep_types::LatenessPolicy).
+#[derive(Debug, Clone)]
+pub struct LateEvent {
+    /// The event's partition key.
+    pub key: u64,
+    /// The shard whose watermark it missed.
+    pub shard: usize,
+    /// The shard watermark at arrival time.
+    pub watermark: acep_types::Timestamp,
+    /// The late event itself.
+    pub event: Arc<Event>,
+}
+
 /// Thread-safe consumer of matches produced by worker shards.
 pub trait MatchSink: Send + Sync {
     /// Consumes one match.
@@ -40,12 +56,23 @@ pub trait MatchSink: Send + Sync {
             self.on_match(m);
         }
     }
+
+    /// Consumes a late event (only delivered under
+    /// [`LatenessPolicy::Route`](acep_types::LatenessPolicy::Route)).
+    /// The default discards it — sinks that don't opt into the late
+    /// channel behave exactly like `LatenessPolicy::Drop`, except that
+    /// the runtime still counts the event as routed, not dropped.
+    fn on_late(&self, late: LateEvent) {
+        let _ = late;
+    }
 }
 
-/// Collects every match into a mutex-guarded vector.
+/// Collects every match (and routed late event) into mutex-guarded
+/// vectors.
 #[derive(Debug, Default)]
 pub struct CollectingSink {
     matches: Mutex<Vec<TaggedMatch>>,
+    late: Mutex<Vec<LateEvent>>,
 }
 
 impl CollectingSink {
@@ -68,6 +95,11 @@ impl CollectingSink {
     pub fn drain(&self) -> Vec<TaggedMatch> {
         std::mem::take(&mut *self.matches.lock().unwrap())
     }
+
+    /// Removes and returns the late events routed so far.
+    pub fn drain_late(&self) -> Vec<LateEvent> {
+        std::mem::take(&mut *self.late.lock().unwrap())
+    }
 }
 
 impl MatchSink for CollectingSink {
@@ -78,6 +110,10 @@ impl MatchSink for CollectingSink {
     fn on_batch(&self, mut ms: Vec<TaggedMatch>) {
         self.matches.lock().unwrap().append(&mut ms);
     }
+
+    fn on_late(&self, late: LateEvent) {
+        self.late.lock().unwrap().push(late);
+    }
 }
 
 /// Counts matches per query without retaining them (constant memory —
@@ -86,6 +122,7 @@ impl MatchSink for CollectingSink {
 pub struct CountingSink {
     per_query: Vec<AtomicU64>,
     total: AtomicU64,
+    late: AtomicU64,
 }
 
 impl CountingSink {
@@ -94,6 +131,7 @@ impl CountingSink {
         Self {
             per_query: (0..num_queries).map(|_| AtomicU64::new(0)).collect(),
             total: AtomicU64::new(0),
+            late: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +147,11 @@ impl CountingSink {
     pub fn total(&self) -> u64 {
         self.total.load(Ordering::Relaxed)
     }
+
+    /// Late events routed to this sink.
+    pub fn late(&self) -> u64 {
+        self.late.load(Ordering::Relaxed)
+    }
 }
 
 impl MatchSink for CountingSink {
@@ -117,6 +160,10 @@ impl MatchSink for CountingSink {
             c.fetch_add(1, Ordering::Relaxed);
         }
         self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_late(&self, _late: LateEvent) {
+        self.late.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -150,6 +197,29 @@ mod tests {
         assert_eq!(drained.len(), 3);
         assert_eq!(drained[1].query, QueryId(1));
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn late_channel_collects_and_counts() {
+        let late = || LateEvent {
+            key: 9,
+            shard: 1,
+            watermark: 50,
+            event: acep_types::Event::new(acep_types::EventTypeId(0), 40, 7, vec![]),
+        };
+        let sink = CollectingSink::new();
+        sink.on_late(late());
+        assert!(sink.is_empty(), "late events are not matches");
+        let routed = sink.drain_late();
+        assert_eq!(routed.len(), 1);
+        assert_eq!(routed[0].event.seq, 7);
+        assert!(sink.drain_late().is_empty());
+
+        let counting = CountingSink::new(1);
+        counting.on_late(late());
+        counting.on_late(late());
+        assert_eq!(counting.late(), 2);
+        assert_eq!(counting.total(), 0);
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Observability snapshots of a running sharded runtime.
 //!
-//! Workers aggregate the [`AdaptiveMetrics`](acep_core::AdaptiveMetrics)
-//! of every per-key engine they own into per-query rollups; the runtime
+//! Workers aggregate the [`AdaptiveMetrics`] of every per-key engine
+//! they own into per-query rollups; the runtime
 //! stitches the per-shard snapshots into a [`RuntimeStats`]. Snapshots
 //! are taken *on* the worker thread (via a control message), so they are
 //! always internally consistent with the events processed so far.
 
 use acep_core::AdaptiveMetrics;
+use acep_types::Timestamp;
 
 use crate::registry::QueryId;
 
@@ -66,6 +67,20 @@ pub struct ShardStats {
     /// Distinct partition keys hosting at least one engine (keys whose
     /// events are relevant to no query are processed but not retained).
     pub keys: usize,
+    /// Events dropped as late (behind the shard watermark) under
+    /// [`LatenessPolicy::Drop`](acep_types::LatenessPolicy::Drop). Late
+    /// events are never counted in `events`.
+    pub late_dropped: u64,
+    /// Late events routed to the sink's late channel under
+    /// [`LatenessPolicy::Route`](acep_types::LatenessPolicy::Route).
+    pub late_routed: u64,
+    /// Events currently held in the reordering buffer (gauge; `0` both
+    /// in passthrough mode and after `finish`).
+    pub reorder_depth: usize,
+    /// High-water mark of the reordering buffer depth.
+    pub max_reorder_depth: usize,
+    /// The shard's event-time watermark (`None` in passthrough mode).
+    pub watermark: Option<Timestamp>,
     /// Per-query rollups, indexed by [`QueryId`].
     pub per_query: Vec<QueryStats>,
 }
@@ -96,6 +111,21 @@ impl RuntimeStats {
     /// shards, so the per-shard counts add up).
     pub fn total_keys(&self) -> usize {
         self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Late events dropped across all shards.
+    pub fn total_late_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.late_dropped).sum()
+    }
+
+    /// Late events routed to the sink across all shards.
+    pub fn total_late_routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.late_routed).sum()
+    }
+
+    /// Events currently held in reordering buffers across all shards.
+    pub fn total_reorder_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.reorder_depth).sum()
     }
 
     /// The rollup of one query merged across all shards.
@@ -158,6 +188,11 @@ mod tests {
                     events: 100,
                     batches: 2,
                     keys: 3,
+                    late_dropped: 4,
+                    late_routed: 1,
+                    reorder_depth: 2,
+                    max_reorder_depth: 8,
+                    watermark: Some(900),
                     per_query: vec![query_stats(5, 1), query_stats(2, 0)],
                 },
                 ShardStats {
@@ -165,6 +200,11 @@ mod tests {
                     events: 60,
                     batches: 1,
                     keys: 2,
+                    late_dropped: 1,
+                    late_routed: 0,
+                    reorder_depth: 3,
+                    max_reorder_depth: 3,
+                    watermark: Some(880),
                     per_query: vec![query_stats(1, 0), query_stats(4, 2)],
                 },
             ],
@@ -172,6 +212,9 @@ mod tests {
         assert_eq!(stats.total_events(), 160);
         assert_eq!(stats.total_matches(), 12);
         assert_eq!(stats.total_keys(), 5);
+        assert_eq!(stats.total_late_dropped(), 5);
+        assert_eq!(stats.total_late_routed(), 1);
+        assert_eq!(stats.total_reorder_depth(), 5);
         let q0 = stats.query(QueryId(0));
         assert_eq!(q0.matches, 6);
         assert_eq!(q0.engines, 2);

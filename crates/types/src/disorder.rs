@@ -1,0 +1,105 @@
+//! Event-time disorder handling: configuration shared by ingestion
+//! layers that accept out-of-order streams.
+//!
+//! The evaluation engines require every substream they see to be sorted
+//! by `(timestamp, seq)` — `SEQ` semantics and window expiry are defined
+//! on that order. Real deployments rarely deliver events perfectly
+//! sorted: network skew and parallel sources displace events by a
+//! *bounded* amount. A [`DisorderConfig`] declares that bound `D` so an
+//! ingestion layer can buffer arriving events and release them in event-
+//! time order once a **watermark** — a lower bound on the timestamps of
+//! all future arrivals — has passed them.
+//!
+//! The watermark `W` is maintained heuristically as
+//! `max_ingested_timestamp - D` and can additionally be advanced
+//! explicitly (punctuation). An event arriving with `timestamp < W` is
+//! **late**: its slot in the sorted order has already been released, so
+//! re-establishing order is impossible and the [`LatenessPolicy`]
+//! decides its fate instead.
+
+use crate::event::Timestamp;
+
+/// What to do with an event that arrives behind the watermark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatenessPolicy {
+    /// Discard the event, counting it in the runtime statistics.
+    #[default]
+    Drop,
+    /// Route the event to the sink's late-event channel instead of
+    /// silently discarding it (for dead-letter queues, replay, audit).
+    Route,
+}
+
+/// Bounded event-time disorder accepted at ingestion.
+///
+/// `bound` is the maximal tolerated displacement `D` in timestamp units
+/// (ms): the ingestion contract is that once an event with timestamp `t`
+/// has been ingested, no event with timestamp `< t - D` arrives anymore.
+/// Events violating the contract are *late* and handled per
+/// [`LatenessPolicy`].
+///
+/// `bound == 0` declares the stream already sorted; ingestion layers
+/// must treat it as a strict passthrough (no buffering, no per-event
+/// overhead). For purely punctuation-driven pipelines (no heuristic
+/// watermark at all), set `bound` to [`Timestamp::MAX`]: the heuristic
+/// `max_seen - D` then never advances and only explicit watermarks
+/// release events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DisorderConfig {
+    /// Maximal event-time displacement `D` (ms). `0` = in-order
+    /// passthrough.
+    pub bound: Timestamp,
+    /// Handling of events arriving behind the watermark.
+    pub lateness: LatenessPolicy,
+}
+
+impl DisorderConfig {
+    /// The stream is promised to be in `(timestamp, seq)` order;
+    /// ingestion is a strict passthrough.
+    pub fn in_order() -> Self {
+        Self::default()
+    }
+
+    /// Tolerates displacement up to `bound` ms, dropping late events.
+    pub fn bounded(bound: Timestamp) -> Self {
+        Self {
+            bound,
+            lateness: LatenessPolicy::Drop,
+        }
+    }
+
+    /// Replaces the lateness policy.
+    pub fn with_lateness(mut self, lateness: LatenessPolicy) -> Self {
+        self.lateness = lateness;
+        self
+    }
+
+    /// Whether ingestion may skip reordering entirely.
+    #[inline]
+    pub fn is_passthrough(&self) -> bool {
+        self.bound == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_in_order_drop() {
+        let d = DisorderConfig::default();
+        assert_eq!(d, DisorderConfig::in_order());
+        assert!(d.is_passthrough());
+        assert_eq!(d.lateness, LatenessPolicy::Drop);
+    }
+
+    #[test]
+    fn bounded_buffers_and_policy_is_replaceable() {
+        let d = DisorderConfig::bounded(250);
+        assert!(!d.is_passthrough());
+        assert_eq!(d.bound, 250);
+        let d = d.with_lateness(LatenessPolicy::Route);
+        assert_eq!(d.lateness, LatenessPolicy::Route);
+        assert_eq!(d.bound, 250, "policy change keeps the bound");
+    }
+}

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod canonical;
+pub mod disorder;
 pub mod error;
 pub mod event;
 pub mod partition;
@@ -57,6 +58,7 @@ pub mod value;
 pub use canonical::{
     CanonicalPattern, CompiledCondition, CondVars, NegatedSlot, Slot, SubKind, SubPattern,
 };
+pub use disorder::{DisorderConfig, LatenessPolicy};
 pub use error::AcepError;
 pub use event::{Event, EventTypeId, Timestamp};
 pub use partition::{
@@ -70,6 +72,7 @@ pub use value::Value;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::canonical::{CanonicalPattern, SubKind, SubPattern};
+    pub use crate::disorder::{DisorderConfig, LatenessPolicy};
     pub use crate::error::AcepError;
     pub use crate::event::{Event, EventTypeId, Timestamp};
     pub use crate::partition::{AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor};

@@ -1,0 +1,187 @@
+//! Disordered delivery-order generators.
+//!
+//! The partitioned generators of [`crate::partition`] produce streams
+//! sorted by `(timestamp, seq)` — the order the evaluation engines
+//! require. These helpers *re-deliver* such a stream the way a real
+//! network would: displaced by a bounded amount, without touching the
+//! events themselves (timestamps, seqs, and attributes are identity).
+//! Feeding the result into an event-time runtime
+//! (`acep_stream::StreamConfig { disorder, .. }`) with a disorder bound
+//! at least the generator's must reproduce the in-order match multiset
+//! exactly; that is the `order_invariance` integration test.
+//!
+//! Both generators guarantee the **bounded-disorder contract** for
+//! their `bound`/`max_skew` parameter `D`: whenever event `b` is
+//! delivered before event `a`, `b.timestamp <= a.timestamp + D`.
+//! Equivalently, once an event with timestamp `t` has been delivered,
+//! no event with timestamp `< t - D` is still outstanding — exactly
+//! what a `max_seen - D` watermark assumes.
+
+use std::sync::Arc;
+
+use acep_types::{mix64, Event, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delivers `events` in the order of `timestamp + jitter`, with an
+/// independent uniform jitter in `[0, bound]` per event — a model of
+/// per-event network delay. Deterministic in `(events, bound, seed)`;
+/// `bound == 0` returns the input order.
+///
+/// The delivered stream satisfies the bounded-disorder contract for
+/// `bound`: sorting is stable on the perturbed key, so `b` delivered
+/// before `a` implies `b.timestamp + j_b <= a.timestamp + j_a`, hence
+/// `b.timestamp <= a.timestamp + bound`.
+pub fn bounded_shuffle(events: &[Arc<Event>], bound: Timestamp, seed: u64) -> Vec<Arc<Event>> {
+    let mut rng = StdRng::seed_from_u64(mix64(seed ^ 0xD15_0DE2 ^ bound));
+    let mut keyed: Vec<(Timestamp, &Arc<Event>)> = events
+        .iter()
+        .map(|ev| {
+            let jitter = if bound == 0 {
+                0
+            } else {
+                // The shimmed `rand` supports half-open ranges only;
+                // saturating keeps `bound == u64::MAX` valid.
+                rng.gen_range(0..bound.saturating_add(1))
+            };
+            (ev.timestamp.saturating_add(jitter), ev)
+        })
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    keyed.into_iter().map(|(_, ev)| Arc::clone(ev)).collect()
+}
+
+/// Delivers `events` as if they came from `num_sources` independent
+/// sources, each lagging by a fixed skew drawn uniformly from
+/// `[0, max_skew]` — a model of clock/transport skew between producers
+/// (e.g. sensors or brokers). Events are assigned to sources
+/// round-robin by position; within a source the original order is
+/// preserved. Deterministic in `(events, num_sources, max_skew, seed)`.
+///
+/// Satisfies the bounded-disorder contract for `max_skew` (delivery is
+/// stably sorted on `timestamp + skew(source)`).
+pub fn source_skew(
+    events: &[Arc<Event>],
+    num_sources: usize,
+    max_skew: Timestamp,
+    seed: u64,
+) -> Vec<Arc<Event>> {
+    let num_sources = num_sources.max(1);
+    let mut rng = StdRng::seed_from_u64(mix64(seed ^ 0x5EED_5CE3));
+    let skews: Vec<Timestamp> = (0..num_sources)
+        .map(|_| {
+            if max_skew == 0 {
+                0
+            } else {
+                rng.gen_range(0..max_skew.saturating_add(1))
+            }
+        })
+        .collect();
+    let mut keyed: Vec<(Timestamp, &Arc<Event>)> = events
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| (ev.timestamp.saturating_add(skews[i % num_sources]), ev))
+        .collect();
+    keyed.sort_by_key(|(k, _)| *k);
+    keyed.into_iter().map(|(_, ev)| Arc::clone(ev)).collect()
+}
+
+/// Measures the actual disorder of a delivery order: the largest
+/// `prefix_max_timestamp - timestamp` over all events, i.e. the
+/// smallest bound `D` under which a `max_seen - D` watermark would
+/// declare no event late. `0` for an in-order stream.
+pub fn max_disorder(events: &[Arc<Event>]) -> Timestamp {
+    let mut max_seen: Timestamp = 0;
+    let mut disorder: Timestamp = 0;
+    for ev in events {
+        disorder = disorder.max(max_seen.saturating_sub(ev.timestamp));
+        max_seen = max_seen.max(ev.timestamp);
+    }
+    disorder
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::keyed_events;
+    use crate::stocks::{StocksConfig, StocksModel};
+
+    fn stream() -> Vec<Arc<Event>> {
+        let keys: Vec<u64> = (0..4).collect();
+        keyed_events(&keys, 400, 7, |_| StocksModel::new(StocksConfig::default()))
+    }
+
+    fn is_permutation(a: &[Arc<Event>], b: &[Arc<Event>]) -> bool {
+        let mut sa: Vec<u64> = a.iter().map(|e| e.seq).collect();
+        let mut sb: Vec<u64> = b.iter().map(|e| e.seq).collect();
+        sa.sort_unstable();
+        sb.sort_unstable();
+        sa == sb
+    }
+
+    #[test]
+    fn bounded_shuffle_disorders_within_bound() {
+        let events = stream();
+        for bound in [1u64, 16, 256] {
+            let shuffled = bounded_shuffle(&events, bound, 3);
+            assert!(is_permutation(&events, &shuffled));
+            assert!(
+                max_disorder(&shuffled) <= bound,
+                "bound {bound} violated: {}",
+                max_disorder(&shuffled)
+            );
+        }
+        // A generous bound on a long stream actually disorders it.
+        let shuffled = bounded_shuffle(&events, 256, 3);
+        assert!(max_disorder(&shuffled) > 0, "shuffle must disorder");
+    }
+
+    #[test]
+    fn bound_zero_is_identity_order() {
+        let events = stream();
+        let same = bounded_shuffle(&events, 0, 3);
+        let seqs: Vec<u64> = same.iter().map(|e| e.seq).collect();
+        let orig: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, orig);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_seed_sensitive() {
+        let events = stream();
+        let a = bounded_shuffle(&events, 64, 1);
+        let b = bounded_shuffle(&events, 64, 1);
+        let c = bounded_shuffle(&events, 64, 2);
+        let seqs = |v: &[Arc<Event>]| v.iter().map(|e| e.seq).collect::<Vec<_>>();
+        assert_eq!(seqs(&a), seqs(&b));
+        assert_ne!(seqs(&a), seqs(&c), "different seed, different order");
+    }
+
+    #[test]
+    fn source_skew_disorders_within_bound_and_keeps_source_order() {
+        let events = stream();
+        let skewed = source_skew(&events, 5, 128, 9);
+        assert!(is_permutation(&events, &skewed));
+        assert!(max_disorder(&skewed) <= 128);
+        // Events of one source (position mod 5) keep their relative
+        // order: their perturbed keys share one skew and sort stably.
+        let mut last_per_source: Vec<Option<usize>> = vec![None; 5];
+        let pos_of: std::collections::HashMap<u64, usize> =
+            events.iter().enumerate().map(|(i, e)| (e.seq, i)).collect();
+        for ev in &skewed {
+            let orig = pos_of[&ev.seq];
+            let src = orig % 5;
+            if let Some(prev) = last_per_source[src] {
+                assert!(prev < orig, "source {src} order broken");
+            }
+            last_per_source[src] = Some(orig);
+        }
+    }
+
+    #[test]
+    fn max_disorder_measures_displacement() {
+        let mk = |ts: u64, seq: u64| Event::new(acep_types::EventTypeId(0), ts, seq, vec![]);
+        assert_eq!(max_disorder(&[mk(10, 0), mk(20, 1), mk(30, 2)]), 0);
+        assert_eq!(max_disorder(&[mk(30, 2), mk(10, 0), mk(20, 1)]), 20);
+        assert_eq!(max_disorder(&[]), 0);
+    }
+}

@@ -17,8 +17,11 @@
 //!   negation, Kleene, composite) at sizes 3–8;
 //! * [`scenario`] — reproducible bundles of registry + stream +
 //!   patterns, keyed by an RNG seed so competing adaptation methods see
-//!   byte-identical input.
+//!   byte-identical input;
+//! * [`disorder`] — bounded out-of-order delivery generators (per-event
+//!   jitter, per-source skew) for exercising event-time ingestion.
 
+pub mod disorder;
 pub mod model;
 pub mod partition;
 pub mod patterns;
@@ -27,6 +30,7 @@ pub mod scenario;
 pub mod stocks;
 pub mod traffic;
 
+pub use disorder::{bounded_shuffle, max_disorder, source_skew};
 pub use model::{empirical_rates, DatasetModel, StreamGenerator};
 pub use partition::{events_for_key, keyed_events, merge_streams, offset_types};
 pub use patterns::{build_pattern, pattern_set, DatasetKind, PatternSetKind, PATTERN_SIZES};

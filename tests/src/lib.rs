@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use acep_core::{AdaptiveCep, AdaptiveConfig, PolicyKind};
-use acep_engine::Match;
+use acep_engine::{Match, MatchKey};
 use acep_plan::PlannerKind;
 use acep_stats::StatsConfig;
 use acep_types::{Event, Pattern};
@@ -17,7 +17,7 @@ pub fn run_adaptive(
     policy: PolicyKind,
     control_interval: u64,
     events: &[Arc<Event>],
-) -> (Vec<String>, acep_core::AdaptiveMetrics) {
+) -> (Vec<MatchKey>, acep_core::AdaptiveMetrics) {
     let cfg = AdaptiveConfig {
         planner,
         policy,
@@ -38,14 +38,14 @@ pub fn run_adaptive(
         engine.on_event(ev, &mut out);
     }
     engine.finish(&mut out);
-    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    let mut keys: Vec<MatchKey> = out.iter().map(Match::key).collect();
     keys.sort();
     (keys, engine.metrics().clone())
 }
 
 /// Runs the non-adaptive reference engine (identity plans) and returns
 /// sorted match keys.
-pub fn run_static_reference(pattern: &Pattern, events: &[Arc<Event>]) -> Vec<String> {
+pub fn run_static_reference(pattern: &Pattern, events: &[Arc<Event>]) -> Vec<MatchKey> {
     let mut engine =
         acep_engine::StaticEngine::with_identity_plans(pattern.canonical()).expect("valid pattern");
     let mut out = Vec::new();
@@ -53,7 +53,7 @@ pub fn run_static_reference(pattern: &Pattern, events: &[Arc<Event>]) -> Vec<Str
         engine.on_event(ev, &mut out);
     }
     engine.finish(&mut out);
-    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    let mut keys: Vec<MatchKey> = out.iter().map(Match::key).collect();
     keys.sort();
     keys
 }

@@ -1,15 +1,30 @@
 //! Brute-force oracle tests: on small random streams, both engines must
 //! produce exactly the match set of a naive enumerator that checks every
 //! event combination against the pattern semantics directly.
+//!
+//! Coverage spans the full operator language: `SEQ` and `AND` joins,
+//! top-level `OR` (evaluated branch-per-executor), negation (`~`) both
+//! interior and trailing (the trailing form exercises the finalizer's
+//! pending-deadline queue), and Kleene closure (`*`) with maximal-set
+//! semantics — each against order-based and tree-based plans.
 
 use std::sync::Arc;
 
-use acep_engine::{build_executor, ExecContext, Match};
+use acep_engine::{build_executor, ExecContext, Match, MatchKey, StaticEngine};
 use acep_plan::{EvalPlan, OrderPlan, TreePlan};
-use acep_types::{attr, Event, EventTypeId, Pattern, PatternExpr, Value};
+use acep_types::{attr, constant, Event, EventTypeId, Pattern, PatternExpr, Value};
 use proptest::prelude::*;
 
 const WINDOW: u64 = 50;
+
+/// The strict temporal order used by `SEQ` semantics.
+fn before(a: &Event, b: &Event) -> bool {
+    (a.timestamp, a.seq) < (b.timestamp, b.seq)
+}
+
+fn key2(v0: u32, a: &Event, v1: u32, b: &Event) -> MatchKey {
+    MatchKey::from_parts(vec![(v0, vec![a.seq]), (v1, vec![b.seq])])
+}
 
 /// SEQ(T0 a, T1 b, T2 c) WHERE a.x < c.x WITHIN 50.
 fn pattern() -> Pattern {
@@ -38,6 +53,68 @@ fn and_pattern() -> Pattern {
         .unwrap()
 }
 
+/// OR(SEQ(T0 a, T1 b) WHERE a.x < b.x, AND(T2 c, T0 d) WHERE c.x == d.x).
+fn or_pattern() -> Pattern {
+    Pattern::builder("oracle-or")
+        .expr(PatternExpr::or([
+            PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+            ]),
+            PatternExpr::and([
+                PatternExpr::prim(EventTypeId(2)),
+                PatternExpr::prim(EventTypeId(0)),
+            ]),
+        ]))
+        .condition(attr(0, 0).lt(attr(1, 0)))
+        .condition(attr(2, 0).eq(attr(3, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0 a, ~T1 b, T2 c) WHERE b.x == a.x WITHIN 50.
+fn interior_neg_pattern() -> Pattern {
+    Pattern::builder("oracle-neg")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(EventTypeId(0)),
+            PatternExpr::neg(PatternExpr::prim(EventTypeId(1))),
+            PatternExpr::prim(EventTypeId(2)),
+        ]))
+        .condition(attr(1, 0).eq(attr(0, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0 a, T1 b, ~T2 d) WITHIN 50 — the negation scope extends past
+/// the last positive event, so finalization is deadline-driven.
+fn trailing_neg_pattern() -> Pattern {
+    Pattern::builder("oracle-neg-trail")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(EventTypeId(0)),
+            PatternExpr::prim(EventTypeId(1)),
+            PatternExpr::neg(PatternExpr::prim(EventTypeId(2))),
+        ]))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0 a, T1* b, T2 c) WHERE b.x > 0 WITHIN 50.
+fn kleene_pattern() -> Pattern {
+    Pattern::builder("oracle-kleene")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(EventTypeId(0)),
+            PatternExpr::kleene(PatternExpr::prim(EventTypeId(1))),
+            PatternExpr::prim(EventTypeId(2)),
+        ]))
+        .condition(attr(1, 0).gt(constant(0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
 fn make_events(spec: &[(u8, u8, i8)]) -> Vec<Arc<Event>> {
     let mut ts = 0u64;
     spec.iter()
@@ -54,7 +131,14 @@ fn make_events(spec: &[(u8, u8, i8)]) -> Vec<Arc<Event>> {
         .collect()
 }
 
-fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<String> {
+fn sorted_keys(out: &[Match]) -> Vec<MatchKey> {
+    let mut keys: Vec<MatchKey> = out.iter().map(Match::key).collect();
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<MatchKey> {
     let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
     let mut exec = build_executor(ctx, plan);
     let mut out = Vec::new();
@@ -62,51 +146,184 @@ fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<
         exec.on_event(ev, &mut out);
     }
     exec.finish(&mut out);
-    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    sorted_keys(&out)
+}
+
+/// Evaluates every branch of a (possibly disjunctive) pattern with one
+/// plan per branch.
+fn run_branches(pattern: &Pattern, plans: &[EvalPlan], events: &[Arc<Event>]) -> Vec<MatchKey> {
+    let mut engine = StaticEngine::from_plans(pattern.canonical(), plans).unwrap();
+    let mut out = Vec::new();
+    for ev in events {
+        engine.on_event(ev, &mut out);
+    }
+    engine.finish(&mut out);
+    sorted_keys(&out)
+}
+
+fn sort_dedup(mut keys: Vec<MatchKey>) -> Vec<MatchKey> {
     keys.sort();
     keys.dedup();
     keys
+}
+
+fn x(e: &Event) -> i64 {
+    e.attrs[0].as_i64().unwrap()
+}
+
+fn of_type(events: &[Arc<Event>], ty: u32) -> impl Iterator<Item = &Arc<Event>> {
+    events.iter().filter(move |e| e.type_id == EventTypeId(ty))
 }
 
 /// Naive oracle for the 3-slot sequence pattern.
-fn oracle_seq(events: &[Arc<Event>]) -> Vec<String> {
+fn oracle_seq(events: &[Arc<Event>]) -> Vec<MatchKey> {
     let mut keys = Vec::new();
-    for a in events.iter().filter(|e| e.type_id == EventTypeId(0)) {
-        for b in events.iter().filter(|e| e.type_id == EventTypeId(1)) {
-            for c in events.iter().filter(|e| e.type_id == EventTypeId(2)) {
-                let order = (a.timestamp, a.seq) < (b.timestamp, b.seq)
-                    && (b.timestamp, b.seq) < (c.timestamp, c.seq);
-                if !order {
+    for a in of_type(events, 0) {
+        for b in of_type(events, 1) {
+            for c in of_type(events, 2) {
+                if !(before(a, b) && before(b, c)) {
                     continue;
                 }
                 let window = c.timestamp - a.timestamp <= WINDOW;
-                let cond = a.attrs[0].as_i64().unwrap() < c.attrs[0].as_i64().unwrap();
-                if window && cond {
-                    keys.push(format!("v0:[{}];v1:[{}];v2:[{}];", a.seq, b.seq, c.seq));
+                if window && x(a) < x(c) {
+                    keys.push(MatchKey::from_parts(vec![
+                        (0, vec![a.seq]),
+                        (1, vec![b.seq]),
+                        (2, vec![c.seq]),
+                    ]));
                 }
             }
         }
     }
-    keys.sort();
-    keys.dedup();
-    keys
+    sort_dedup(keys)
 }
 
 /// Naive oracle for the 2-slot conjunction pattern.
-fn oracle_and(events: &[Arc<Event>]) -> Vec<String> {
+fn oracle_and(events: &[Arc<Event>]) -> Vec<MatchKey> {
     let mut keys = Vec::new();
-    for a in events.iter().filter(|e| e.type_id == EventTypeId(0)) {
-        for b in events.iter().filter(|e| e.type_id == EventTypeId(1)) {
+    for a in of_type(events, 0) {
+        for b in of_type(events, 1) {
             let window = a.timestamp.abs_diff(b.timestamp) <= WINDOW;
-            let cond = a.attrs[0] == b.attrs[0];
-            if window && cond && a.seq != b.seq {
-                keys.push(format!("v0:[{}];v1:[{}];", a.seq, b.seq));
+            if window && a.attrs[0] == b.attrs[0] && a.seq != b.seq {
+                keys.push(key2(0, a, 1, b));
             }
         }
     }
-    keys.sort();
-    keys.dedup();
-    keys
+    sort_dedup(keys)
+}
+
+/// Naive oracle for the disjunctive pattern: the union of its branch
+/// oracles (branch variables are disjoint, so keys never collide).
+fn oracle_or(events: &[Arc<Event>]) -> Vec<MatchKey> {
+    let mut keys = Vec::new();
+    for a in of_type(events, 0) {
+        for b in of_type(events, 1) {
+            if before(a, b) && b.timestamp - a.timestamp <= WINDOW && x(a) < x(b) {
+                keys.push(key2(0, a, 1, b));
+            }
+        }
+    }
+    for c in of_type(events, 2) {
+        for d in of_type(events, 0) {
+            if c.timestamp.abs_diff(d.timestamp) <= WINDOW && x(c) == x(d) {
+                keys.push(key2(2, c, 3, d));
+            }
+        }
+    }
+    sort_dedup(keys)
+}
+
+/// Naive oracle for SEQ(A, ~B, C) WHERE b.x == a.x: a (a, c) pair
+/// matches unless an equal-`x` B lies strictly between them.
+fn oracle_interior_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
+    let mut keys = Vec::new();
+    for a in of_type(events, 0) {
+        for c in of_type(events, 2) {
+            if !(before(a, c) && c.timestamp - a.timestamp <= WINDOW) {
+                continue;
+            }
+            let violated = of_type(events, 1).any(|b| before(a, b) && before(b, c) && x(b) == x(a));
+            if !violated {
+                keys.push(key2(0, a, 2, c));
+            }
+        }
+    }
+    sort_dedup(keys)
+}
+
+/// Naive oracle for SEQ(A, B, ~D): the negation scope is `(B, window
+/// end]` — any D after B with `d.ts <= a.ts + WINDOW` invalidates.
+fn oracle_trailing_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
+    let mut keys = Vec::new();
+    for a in of_type(events, 0) {
+        for b in of_type(events, 1) {
+            if !(before(a, b) && b.timestamp - a.timestamp <= WINDOW) {
+                continue;
+            }
+            let violated =
+                of_type(events, 2).any(|d| before(b, d) && d.timestamp <= a.timestamp + WINDOW);
+            if !violated {
+                keys.push(key2(0, a, 1, b));
+            }
+        }
+    }
+    sort_dedup(keys)
+}
+
+/// Naive oracle for SEQ(A, B*, C) WHERE b.x > 0: one match per (a, c)
+/// pair binding the *maximal* set of qualifying B events (SASE+ "ALL"
+/// semantics); Kleene closure requires at least one occurrence.
+fn oracle_kleene(events: &[Arc<Event>]) -> Vec<MatchKey> {
+    let mut keys = Vec::new();
+    for a in of_type(events, 0) {
+        for c in of_type(events, 2) {
+            if !(before(a, c) && c.timestamp - a.timestamp <= WINDOW) {
+                continue;
+            }
+            let set: Vec<u64> = of_type(events, 1)
+                .filter(|b| before(a, b) && before(b, c) && x(b) > 0)
+                .map(|b| b.seq)
+                .collect();
+            if !set.is_empty() {
+                keys.push(MatchKey::from_parts(vec![
+                    (0, vec![a.seq]),
+                    (1, set),
+                    (2, vec![c.seq]),
+                ]));
+            }
+        }
+    }
+    sort_dedup(keys)
+}
+
+/// Order and tree plans covering both ends of a 2-positive-slot branch.
+fn two_slot_plans() -> [EvalPlan; 3] {
+    [
+        EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+        EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+        EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+    ]
+}
+
+/// Plans for a 3-slot branch (possibly with a Kleene slot the executors
+/// prune from the join order).
+fn three_slot_plans() -> [EvalPlan; 5] {
+    [
+        EvalPlan::Order(OrderPlan::new(vec![0, 1, 2])),
+        EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
+        EvalPlan::Order(OrderPlan::new(vec![1, 0, 2])),
+        EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2])),
+        EvalPlan::Tree(TreePlan {
+            nodes: vec![
+                acep_plan::TreeNode::Leaf { slot: 0 },
+                acep_plan::TreeNode::Leaf { slot: 1 },
+                acep_plan::TreeNode::Leaf { slot: 2 },
+                acep_plan::TreeNode::Internal { left: 1, right: 2 },
+                acep_plan::TreeNode::Internal { left: 0, right: 3 },
+            ],
+            root: 4,
+        }),
+    ]
 }
 
 proptest! {
@@ -121,23 +338,7 @@ proptest! {
         let p = pattern();
         let events = make_events(&spec);
         let expected = oracle_seq(&events);
-        let plans = [
-            EvalPlan::Order(OrderPlan::new(vec![0, 1, 2])),
-            EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
-            EvalPlan::Order(OrderPlan::new(vec![1, 0, 2])),
-            EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2])),
-            EvalPlan::Tree(TreePlan {
-                nodes: vec![
-                    acep_plan::TreeNode::Leaf { slot: 0 },
-                    acep_plan::TreeNode::Leaf { slot: 1 },
-                    acep_plan::TreeNode::Leaf { slot: 2 },
-                    acep_plan::TreeNode::Internal { left: 1, right: 2 },
-                    acep_plan::TreeNode::Internal { left: 0, right: 3 },
-                ],
-                root: 4,
-            }),
-        ];
-        for plan in &plans {
+        for plan in &three_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(
                 &got, &expected,
@@ -154,12 +355,87 @@ proptest! {
         let p = and_pattern();
         let events = make_events(&spec);
         let expected = oracle_and(&events);
-        for plan in [
-            EvalPlan::Order(OrderPlan::new(vec![0, 1])),
-            EvalPlan::Order(OrderPlan::new(vec![1, 0])),
-            EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
-        ] {
-            let got = run_engine(&p, &plan, &events);
+        for plan in &two_slot_plans() {
+            let got = run_engine(&p, plan, &events);
+            prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
+        }
+    }
+
+    /// Top-level disjunction: the branch-per-executor engine must emit
+    /// exactly the union of the branch oracles, under per-branch order
+    /// plans and per-branch tree plans alike.
+    #[test]
+    fn engines_match_oracle_on_disjunctions(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = or_pattern();
+        let events = make_events(&spec);
+        let expected = oracle_or(&events);
+        let plan_sets: [[EvalPlan; 2]; 3] = [
+            [
+                EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+                EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+            ],
+            [
+                EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+                EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+            ],
+            [
+                EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+                EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+            ],
+        ];
+        for plans in &plan_sets {
+            let got = run_branches(&p, plans, &events);
+            prop_assert_eq!(
+                &got, &expected,
+                "branch plans [{}, {}] diverged",
+                plans[0].describe(), plans[1].describe()
+            );
+        }
+    }
+
+    /// Interior negation (`SEQ(A, ~B, C)` with a predicate tying B to
+    /// A) against the oracle.
+    #[test]
+    fn engines_match_oracle_on_interior_negation(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = interior_neg_pattern();
+        let events = make_events(&spec);
+        let expected = oracle_interior_neg(&events);
+        for plan in &two_slot_plans() {
+            let got = run_engine(&p, plan, &events);
+            prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
+        }
+    }
+
+    /// Trailing negation (`SEQ(A, B, ~D)`) — matches are held pending
+    /// until the window closes; late D events must still invalidate.
+    #[test]
+    fn engines_match_oracle_on_trailing_negation(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = trailing_neg_pattern();
+        let events = make_events(&spec);
+        let expected = oracle_trailing_neg(&events);
+        for plan in &two_slot_plans() {
+            let got = run_engine(&p, plan, &events);
+            prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
+        }
+    }
+
+    /// Kleene closure (`SEQ(A, B*, C)` with a unary predicate on B)
+    /// against the maximal-set oracle.
+    #[test]
+    fn engines_match_oracle_on_kleene(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = kleene_pattern();
+        let events = make_events(&spec);
+        let expected = oracle_kleene(&events);
+        for plan in &three_slot_plans() {
+            let got = run_engine(&p, plan, &events);
             prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
         }
     }

@@ -1,0 +1,294 @@
+//! Delivery-order independence of the event-time runtime.
+//!
+//! The event-time analogue of `stream_determinism.rs`: with a disorder
+//! bound `D`, the tagged-match multiset must be *identical* between
+//! in-order delivery and **any** bounded-disorder shuffle (measured
+//! disorder ≤ D) of the same keyed stream, at every worker count — the
+//! reordering buffer makes delivery order an operational artifact, not
+//! a semantic one. Late events (disorder beyond `D`) are accounted for
+//! *exactly*: `late_dropped`/`late_routed` equal the count an
+//! independent per-shard watermark simulation predicts, and routed late
+//! events arrive on the sink's late channel event-for-event.
+
+use std::sync::Arc;
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_engine::MatchKey;
+use acep_plan::PlannerKind;
+use acep_stats::StatsConfig;
+use acep_stream::{
+    CollectingSink, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, PatternSet,
+    QueryId, ShardedRuntime, StreamConfig,
+};
+use acep_types::{mix64, Event};
+use acep_workloads::{
+    bounded_shuffle, max_disorder, source_skew, DatasetKind, PatternSetKind, Scenario,
+};
+use proptest::prelude::*;
+
+const NUM_KEYS: u64 = 5;
+const EVENTS_PER_KEY: usize = 700;
+/// The disorder bound `D` the runtime is configured with.
+const BOUND: u64 = 192;
+
+fn adaptive_config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
+    AdaptiveConfig {
+        planner,
+        policy,
+        control_interval: 32,
+        warmup_events: 128,
+        min_improvement: 0.0,
+        stats: StatsConfig {
+            window_ms: 2_000,
+            exact_rates: true,
+            sample_capacity: 16,
+            max_pairs: 100,
+            ..StatsConfig::default()
+        },
+    }
+}
+
+fn queries(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3-greedy-invariant",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        adaptive_config(
+            PlannerKind::Greedy,
+            PolicyKind::invariant_with_distance(0.1),
+        ),
+    )
+    .unwrap();
+    set.register(
+        "stocks/neg3-zstream-unconditional",
+        scenario.pattern(PatternSetKind::Negation, 3),
+        adaptive_config(PlannerKind::ZStream, PolicyKind::Unconditional),
+    )
+    .unwrap();
+    set
+}
+
+fn stream() -> Vec<Arc<Event>> {
+    Scenario::new(DatasetKind::Stocks).keyed_events(NUM_KEYS, EVENTS_PER_KEY)
+}
+
+/// One canonical line per match, plus the final stats.
+fn run(
+    set: &PatternSet,
+    events: &[Arc<Event>],
+    shards: usize,
+    disorder: DisorderConfig,
+) -> (
+    Vec<(u32, u64, MatchKey)>,
+    acep_stream::RuntimeStats,
+    Vec<u64>,
+) {
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards,
+            channel_capacity: 4,
+            max_batch: 512,
+            disorder,
+        },
+    )
+    .unwrap();
+    for chunk in events.chunks(1_000) {
+        runtime.push_batch(chunk);
+    }
+    let stats = runtime.finish();
+    let mut lines: Vec<(u32, u64, MatchKey)> = sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.query.0, m.key, m.matched.key()))
+        .collect();
+    lines.sort();
+    let mut late: Vec<u64> = sink.drain_late().into_iter().map(|l| l.event.seq).collect();
+    late.sort_unstable();
+    (lines, stats, late)
+}
+
+/// The shard an event lands on — mirrors `ShardedRuntime::shard_of`
+/// with the trailing-attribute key convention.
+fn shard_of(ev: &Event, shards: usize) -> usize {
+    let key = LastAttrKeyExtractor.shard_key(ev);
+    mix64(key) as usize % shards
+}
+
+/// Independent lateness model: replays the delivery order through
+/// per-shard `max_seen - D` watermarks and returns the seqs that a
+/// bound-`D` runtime must declare late.
+fn simulate_late(events: &[Arc<Event>], shards: usize, bound: u64) -> Vec<u64> {
+    let mut max_seen = vec![0u64; shards];
+    let mut late = Vec::new();
+    for ev in events {
+        let s = shard_of(ev, shards);
+        max_seen[s] = max_seen[s].max(ev.timestamp);
+        if ev.timestamp < max_seen[s].saturating_sub(bound) {
+            late.push(ev.seq);
+        }
+    }
+    late.sort_unstable();
+    late
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any bounded-disorder delivery (jitter or per-source skew)
+    /// within the configured bound, the match multiset and the
+    /// per-query stats equal the in-order run's, at W = 1, 2, and 4 —
+    /// and nothing is late.
+    #[test]
+    fn bounded_disorder_is_invisible(seed in 0u64..1_000_000, sources in 2usize..7) {
+        let events = stream();
+        let set = queries(&events_scenario());
+        let disorder = DisorderConfig::bounded(BOUND);
+
+        // Reference: in-order delivery through a passthrough runtime.
+        let (reference, ref_stats, _) =
+            run(&set, &events, 1, DisorderConfig::in_order());
+        prop_assert!(!reference.is_empty(), "workload must produce matches");
+
+        let jittered = bounded_shuffle(&events, BOUND, seed);
+        let skewed = source_skew(&events, sources, BOUND, seed);
+        prop_assert!(max_disorder(&jittered) <= BOUND);
+        prop_assert!(max_disorder(&skewed) <= BOUND);
+
+        for delivered in [&jittered, &skewed] {
+            for shards in [1usize, 2, 4] {
+                let (lines, stats, _) = run(&set, delivered, shards, disorder);
+                prop_assert_eq!(
+                    &lines, &reference,
+                    "disordered delivery diverged (W={}, seed={})", shards, seed
+                );
+                prop_assert_eq!(stats.total_late_dropped(), 0);
+                prop_assert_eq!(stats.total_late_routed(), 0);
+                prop_assert_eq!(stats.total_events(), events.len() as u64);
+                prop_assert_eq!(
+                    stats.total_reorder_depth(), 0,
+                    "finish must drain every reorder buffer"
+                );
+                for q in 0..set.len() as u32 {
+                    prop_assert_eq!(
+                        stats.query(QueryId(q)),
+                        ref_stats.query(QueryId(q)),
+                        "per-query stats diverged (W={})", shards
+                    );
+                }
+            }
+        }
+    }
+
+    /// Disorder *beyond* the bound: the runtime's late accounting must
+    /// agree exactly with an independent watermark simulation —
+    /// `late_dropped` under `Drop`, the routed seq set under `Route` —
+    /// and released + late must add up to the pushed count.
+    #[test]
+    fn late_events_are_accounted_exactly(seed in 0u64..1_000_000) {
+        let events = stream();
+        let set = queries(&events_scenario());
+        // Deliver with four times the tolerated displacement.
+        let delivered = bounded_shuffle(&events, 4 * BOUND, seed);
+        prop_assume!(max_disorder(&delivered) > BOUND);
+
+        for shards in [1usize, 2, 4] {
+            let expected = simulate_late(&delivered, shards, BOUND);
+            prop_assert!(!expected.is_empty(), "4×bound jitter must produce lates");
+
+            let (_, drop_stats, routed) = run(
+                &set, &delivered, shards, DisorderConfig::bounded(BOUND),
+            );
+            prop_assert_eq!(
+                drop_stats.total_late_dropped(), expected.len() as u64,
+                "Drop accounting diverged from the watermark model (W={})", shards
+            );
+            prop_assert_eq!(drop_stats.total_late_routed(), 0);
+            prop_assert!(routed.is_empty());
+            prop_assert_eq!(
+                drop_stats.total_events() + drop_stats.total_late_dropped(),
+                events.len() as u64,
+                "released + dropped must cover every pushed event"
+            );
+
+            let (_, route_stats, routed) = run(
+                &set, &delivered, shards,
+                DisorderConfig::bounded(BOUND).with_lateness(LatenessPolicy::Route),
+            );
+            prop_assert_eq!(route_stats.total_late_dropped(), 0);
+            prop_assert_eq!(
+                &routed, &expected,
+                "routed late events diverged from the watermark model (W={})", shards
+            );
+        }
+    }
+}
+
+fn events_scenario() -> Scenario {
+    Scenario::new(DatasetKind::Stocks)
+}
+
+/// Explicit punctuation: advancing the watermark past the heuristic
+/// releases buffered events early, and events arriving behind the
+/// punctuated watermark become late even if the heuristic alone would
+/// have accepted them.
+#[test]
+fn punctuation_advances_release_and_defines_lateness() {
+    let scenario = events_scenario();
+    let set = queries(&scenario);
+    let events = scenario.keyed_events(2, 200);
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        &set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: 2,
+            // Heuristic never advances: punctuation-only pipeline.
+            disorder: DisorderConfig::bounded(u64::MAX),
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+
+    runtime.push_batch(&events);
+    runtime.flush();
+    let held = runtime.stats();
+    assert_eq!(
+        held.total_reorder_depth(),
+        events.len(),
+        "without punctuation nothing is released"
+    );
+    assert_eq!(held.total_events(), 0);
+
+    let mid = events[events.len() / 2].timestamp;
+    runtime.advance_watermark(mid);
+    runtime.flush();
+    let after = runtime.stats();
+    let released_early: usize = events.iter().filter(|e| e.timestamp < mid).count();
+    assert_eq!(after.total_events(), released_early as u64);
+    assert!(
+        after.shards.iter().all(|s| s.watermark == Some(mid)),
+        "punctuation reaches every shard"
+    );
+
+    // An event behind the punctuated watermark is late now.
+    let straggler = Event::new(
+        events[0].type_id,
+        mid.saturating_sub(1),
+        9_999_999,
+        events[0].attrs.clone(),
+    );
+    runtime.push(&straggler);
+    let stats = runtime.finish();
+    assert_eq!(stats.total_late_dropped(), 1);
+    assert_eq!(
+        stats.total_events(),
+        events.len() as u64,
+        "finish releases everything buffered"
+    );
+    assert_eq!(stats.total_reorder_depth(), 0);
+}

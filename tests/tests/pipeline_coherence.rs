@@ -13,7 +13,7 @@ fn measure_plan(
     pattern: &acep_types::Pattern,
     plan: &EvalPlan,
     events: &[Arc<acep_types::Event>],
-) -> (u64, Vec<String>) {
+) -> (u64, Vec<acep_engine::MatchKey>) {
     let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
     let mut exec = build_executor(ctx, plan);
     let mut out = Vec::new();
@@ -21,7 +21,7 @@ fn measure_plan(
         exec.on_event(ev, &mut out);
     }
     exec.finish(&mut out);
-    let mut keys: Vec<String> = out.iter().map(Match::key).collect();
+    let mut keys: Vec<_> = out.iter().map(Match::key).collect();
     keys.sort();
     (exec.comparisons(), keys)
 }

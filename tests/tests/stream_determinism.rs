@@ -63,7 +63,10 @@ fn run_sharded(
     set: &PatternSet,
     events: &[Arc<Event>],
     shards: usize,
-) -> (Vec<(u32, u64, String)>, acep_stream::RuntimeStats) {
+) -> (
+    Vec<(u32, u64, acep_engine::MatchKey)>,
+    acep_stream::RuntimeStats,
+) {
     let sink = Arc::new(CollectingSink::new());
     let runtime = ShardedRuntime::new(
         set,
@@ -73,6 +76,7 @@ fn run_sharded(
             shards,
             channel_capacity: 4,
             max_batch: 512,
+            ..StreamConfig::default()
         },
     )
     .unwrap();
@@ -81,7 +85,7 @@ fn run_sharded(
         runtime.push_batch(chunk);
     }
     let stats = runtime.finish();
-    let mut lines: Vec<(u32, u64, String)> = sink
+    let mut lines: Vec<(u32, u64, acep_engine::MatchKey)> = sink
         .drain()
         .into_iter()
         .map(|m| (m.query.0, m.key, m.matched.key()))
@@ -125,7 +129,7 @@ fn sharded_runs_equal_direct_per_key_engines() {
 
     // Reference: one plain AdaptiveCep per (key, query) over that key's
     // substream, exactly as a user would run without acep-stream.
-    let mut direct: Vec<(u32, u64, String)> = Vec::new();
+    let mut direct: Vec<(u32, u64, acep_engine::MatchKey)> = Vec::new();
     for key in 0..NUM_KEYS {
         let substream = events_for_key(&events, key);
         assert_eq!(substream.len(), EVENTS_PER_KEY);
