@@ -1,12 +1,16 @@
 //! Cost of event-time reordering: sharded-runtime throughput at
-//! disorder bounds 0 / 16 / 256 on a key-partitioned stocks stream.
+//! disorder bounds 0 / 16 / 256 on a key-partitioned stocks stream,
+//! for both watermark strategies.
 //!
 //! Bound 0 ingests the in-order stream through the passthrough path —
 //! by construction the same code the PR-1 runtime ran, so its number
 //! must sit within noise of `scale_shards` at the same width. Positive
 //! bounds ingest a `bounded_shuffle` of matching displacement, paying
 //! the min-heap and watermark bookkeeping; the gap between bound-0 and
-//! bound-256 is the full price of tolerating that much disorder.
+//! bound-256 is the full price of tolerating that much disorder. The
+//! `per_source` rows ingest a source-skewed delivery (skew ≫ bound)
+//! through per-source watermarks — the same match set at much deeper
+//! buffering, plus the per-source tracking cost.
 
 #[path = "common.rs"]
 mod common;
@@ -16,10 +20,11 @@ use std::sync::Arc;
 use acep_core::{AdaptiveConfig, PolicyKind};
 use acep_plan::PlannerKind;
 use acep_stream::{
-    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, StreamConfig,
+    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, SourceId,
+    StreamConfig,
 };
 use acep_types::Event;
-use acep_workloads::{bounded_shuffle, DatasetKind, PatternSetKind, Scenario};
+use acep_workloads::{bounded_shuffle, source_skew_tagged, DatasetKind, PatternSetKind, Scenario};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const NUM_KEYS: u64 = 16;
@@ -51,7 +56,7 @@ fn pattern_set(scenario: &Scenario) -> PatternSet {
     set
 }
 
-fn run_once(set: &PatternSet, events: &[Arc<Event>], disorder: DisorderConfig) -> u64 {
+fn run_once(set: &PatternSet, events: &[(SourceId, Arc<Event>)], disorder: DisorderConfig) -> u64 {
     let sink = Arc::new(CountingSink::new(set.len()));
     let runtime = ShardedRuntime::new(
         set,
@@ -65,7 +70,7 @@ fn run_once(set: &PatternSet, events: &[Arc<Event>], disorder: DisorderConfig) -
     )
     .unwrap();
     for chunk in events.chunks(4_096) {
-        runtime.push_batch(chunk);
+        runtime.push_tagged(chunk);
     }
     runtime.finish().total_matches()
 }
@@ -80,9 +85,21 @@ fn bench(c: &mut Criterion) {
     for bound in [0u64, 16, 256] {
         // Deliver with exactly the tolerated disorder (bound 0 = the
         // in-order stream, passthrough ingestion).
-        let delivered = bounded_shuffle(&events, bound, 11);
+        let delivered: Vec<(SourceId, Arc<Event>)> = bounded_shuffle(&events, bound, 11)
+            .into_iter()
+            .map(|ev| (SourceId::MERGED, ev))
+            .collect();
         let disorder = DisorderConfig::bounded(bound);
-        group.bench_function(BenchmarkId::from_parameter(bound), |b| {
+        group.bench_function(BenchmarkId::new("merged", bound), |b| {
+            b.iter(|| black_box(run_once(&set, &delivered, disorder)))
+        });
+    }
+    // Inter-source skew far beyond the bound: only per-source
+    // watermarks ingest this without drops.
+    let delivered = source_skew_tagged(&events, 4, 4_096, 11);
+    for bound in [16u64, 256] {
+        let disorder = DisorderConfig::per_source(bound, 16_384);
+        group.bench_function(BenchmarkId::new("per_source", bound), |b| {
             b.iter(|| black_box(run_once(&set, &delivered, disorder)))
         });
     }

@@ -11,16 +11,21 @@
 //!   fig8       methods on stocks/greedy    (all pattern sets)
 //!   fig9       methods on stocks/zstream   (all pattern sets)
 //!   appendix <seq|and|neg|kleene|or>   figures 10–29 for one set
-//!   all        everything above
+//!   smoke [--json PATH]   reduced streaming-runtime probe; writes a
+//!                         machine-readable report (default
+//!                         BENCH_smoke.json) for the CI perf trajectory
+//!   all        everything above except smoke
 //! ```
 
-use acep_bench::{appendix, fig5, fig6to9, table1, HarnessConfig, Scale, COMBOS};
+use acep_bench::{
+    appendix, fig5, fig6to9, run_smoke, table1, HarnessConfig, Scale, SmokeConfig, COMBOS,
+};
 use acep_workloads::PatternSetKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|all> [--quick] [--events N]");
+        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|smoke [--json PATH]|all> [--quick] [--events N]");
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -68,6 +73,33 @@ fn main() {
         "appendix" => {
             let set = set_from(args.get(1).map(String::as_str).unwrap_or("seq"));
             appendix(set, &scale, &harness);
+        }
+        "smoke" => {
+            let path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|pos| args.get(pos + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_smoke.json");
+            let report = run_smoke(&SmokeConfig::default());
+            println!(
+                "smoke: {} events, baseline {:.0} events/s",
+                report.events, report.baseline_eps
+            );
+            for p in &report.points {
+                println!(
+                    "  {:<10} bound {:>4}: {:>9.0} events/s ({:>+6.1}% vs passthrough), {} matches, {} late, peak buffer {}",
+                    p.strategy,
+                    p.bound,
+                    p.throughput_eps,
+                    -p.overhead_pct,
+                    p.matches,
+                    p.late_dropped,
+                    p.max_reorder_depth,
+                );
+            }
+            std::fs::write(path, report.to_json()).expect("writing the smoke report");
+            println!("wrote {path}");
         }
         "all" => {
             fig5(&scale, &harness);

@@ -7,10 +7,13 @@
 //! * [`harness`] — run one configuration, scan `d`/`t` parameters,
 //!   estimate `d_avg`;
 //! * [`experiments`] — the figure/table drivers shared by the
-//!   `experiments` binary and the criterion benches.
+//!   `experiments` binary and the criterion benches;
+//! * [`smoke`] — the reduced per-commit performance probe CI runs and
+//!   uploads as `BENCH_smoke.json`.
 
 pub mod experiments;
 pub mod harness;
+pub mod smoke;
 
 pub use experiments::{
     appendix, fig5, fig6to9, method_comparison, methods, table1, Combo, ComboInputs, MethodRow,
@@ -19,3 +22,4 @@ pub use experiments::{
 pub use harness::{
     best_of, estimate_d_avg, run_one, scan_distance, scan_threshold, HarnessConfig, RunResult,
 };
+pub use smoke::{run_smoke, SmokeConfig, SmokePoint, SmokeReport};

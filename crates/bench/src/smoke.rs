@@ -1,0 +1,335 @@
+//! The CI bench-smoke suite: a reduced, machine-readable performance
+//! probe of the streaming runtime's event-time ingestion.
+//!
+//! CI historically only checked that the criterion benches *compile*;
+//! this module actually runs a small fixed workload per commit and
+//! emits `BENCH_smoke.json` so the repo's performance trajectory
+//! (throughput, reorder overhead, watermark-strategy cost) is recorded
+//! as a build artifact instead of anecdotes. The workload is
+//! deliberately tiny — a smoke signal, not a statistically rigorous
+//! benchmark: compare trends across commits on the same runner class,
+//! not absolute numbers across machines.
+//!
+//! Measured grid (fixed shard count, keyed stocks stream):
+//!
+//! * `merged` at disorder bound 0 — the passthrough baseline every
+//!   other point is normalized against;
+//! * `merged` at bounds 16 and 256 over a `bounded_shuffle` of exactly
+//!   that displacement — the price of min-heap + watermark upkeep;
+//! * `per_source` at the same bounds over a source-skewed delivery
+//!   (skew ≫ bound) — the price of per-source tracking plus
+//!   watermark-driven finalization under heavy buffering, with zero
+//!   late drops where the merged strategy would discard events.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stream::{
+    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, SourceId,
+    StreamConfig,
+};
+use acep_types::Event;
+use acep_workloads::{bounded_shuffle, source_skew_tagged, DatasetKind, PatternSetKind, Scenario};
+
+/// Shape of the smoke workload.
+#[derive(Debug, Clone)]
+pub struct SmokeConfig {
+    /// Partition keys in the stream.
+    pub keys: u64,
+    /// Events per key.
+    pub events_per_key: usize,
+    /// Worker shards.
+    pub shards: usize,
+    /// Measured runs per grid point (the best run is reported, damping
+    /// scheduler noise on shared CI runners).
+    pub repeats: usize,
+}
+
+impl Default for SmokeConfig {
+    fn default() -> Self {
+        Self {
+            keys: 8,
+            events_per_key: 1_200,
+            shards: 2,
+            repeats: 3,
+        }
+    }
+}
+
+/// One measured grid point.
+#[derive(Debug, Clone)]
+pub struct SmokePoint {
+    /// `"merged"` or `"per_source"`.
+    pub strategy: &'static str,
+    /// Disorder bound `D` (ms).
+    pub bound: u64,
+    /// Best observed throughput, events per wall-clock second.
+    pub throughput_eps: f64,
+    /// Slowdown vs. the passthrough baseline, in percent (negative =
+    /// faster, within noise).
+    pub overhead_pct: f64,
+    /// Matches detected (identical across points: disorder within the
+    /// contract is semantically invisible).
+    pub matches: u64,
+    /// Late drops (must be 0 on this grid — the deliveries respect
+    /// each strategy's contract).
+    pub late_dropped: u64,
+    /// Peak reorder-buffer depth across shards.
+    pub max_reorder_depth: usize,
+}
+
+/// The full smoke report.
+#[derive(Debug, Clone)]
+pub struct SmokeReport {
+    pub config: SmokeConfig,
+    /// Total events per run.
+    pub events: usize,
+    /// Passthrough throughput (events/s) all overheads are relative to.
+    pub baseline_eps: f64,
+    pub points: Vec<SmokePoint>,
+}
+
+fn pattern_set(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        AdaptiveConfig {
+            planner: PlannerKind::Greedy,
+            policy: PolicyKind::invariant_with_distance(0.1),
+            ..AdaptiveConfig::default()
+        },
+    )
+    .expect("smoke pattern is valid");
+    set
+}
+
+struct RunOutcome {
+    eps: f64,
+    matches: u64,
+    late_dropped: u64,
+    max_reorder_depth: usize,
+}
+
+fn run_once(
+    set: &PatternSet,
+    delivered: &[(SourceId, Arc<Event>)],
+    shards: usize,
+    disorder: DisorderConfig,
+) -> RunOutcome {
+    let sink = Arc::new(CountingSink::new(set.len()));
+    let runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards,
+            disorder,
+            ..StreamConfig::default()
+        },
+    )
+    .expect("smoke runtime configuration is valid");
+    let start = Instant::now();
+    for chunk in delivered.chunks(4_096) {
+        runtime.push_tagged(chunk);
+    }
+    let stats = runtime.finish();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    RunOutcome {
+        eps: delivered.len() as f64 / wall,
+        matches: stats.total_matches(),
+        late_dropped: stats.total_late_dropped(),
+        max_reorder_depth: stats
+            .shards
+            .iter()
+            .map(|s| s.max_reorder_depth)
+            .max()
+            .unwrap_or(0),
+    }
+}
+
+fn best_of(
+    set: &PatternSet,
+    delivered: &[(SourceId, Arc<Event>)],
+    shards: usize,
+    disorder: DisorderConfig,
+    repeats: usize,
+) -> RunOutcome {
+    let mut best: Option<RunOutcome> = None;
+    for _ in 0..repeats.max(1) {
+        let outcome = run_once(set, delivered, shards, disorder);
+        if best.as_ref().is_none_or(|b| outcome.eps > b.eps) {
+            best = Some(outcome);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Runs the smoke grid and assembles the report.
+pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
+    const BOUNDS: [u64; 2] = [16, 256];
+    /// Simulated producers for the per-source points.
+    const SOURCES: usize = 4;
+    /// Inter-source skew for the per-source points — far beyond either
+    /// bound, the case the merged strategy cannot absorb.
+    const SKEW: u64 = 4_096;
+
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(config.keys, config.events_per_key);
+    let set = pattern_set(&scenario);
+    let tag_merged = |evs: Vec<Arc<Event>>| -> Vec<(SourceId, Arc<Event>)> {
+        evs.into_iter().map(|ev| (SourceId::MERGED, ev)).collect()
+    };
+
+    let mut points = Vec::new();
+    let in_order = tag_merged(events.clone());
+    let baseline = best_of(
+        &set,
+        &in_order,
+        config.shards,
+        DisorderConfig::in_order(),
+        config.repeats,
+    );
+    let overhead = |eps: f64| 100.0 * (1.0 - eps / baseline.eps);
+    points.push(SmokePoint {
+        strategy: "merged",
+        bound: 0,
+        throughput_eps: baseline.eps,
+        overhead_pct: 0.0,
+        matches: baseline.matches,
+        late_dropped: baseline.late_dropped,
+        max_reorder_depth: baseline.max_reorder_depth,
+    });
+
+    for bound in BOUNDS {
+        let delivered = tag_merged(bounded_shuffle(&events, bound, 11));
+        let outcome = best_of(
+            &set,
+            &delivered,
+            config.shards,
+            DisorderConfig::bounded(bound),
+            config.repeats,
+        );
+        points.push(SmokePoint {
+            strategy: "merged",
+            bound,
+            throughput_eps: outcome.eps,
+            overhead_pct: overhead(outcome.eps),
+            matches: outcome.matches,
+            late_dropped: outcome.late_dropped,
+            max_reorder_depth: outcome.max_reorder_depth,
+        });
+    }
+
+    let delivered = source_skew_tagged(&events, SOURCES, SKEW, 11);
+    for bound in BOUNDS {
+        let outcome = best_of(
+            &set,
+            &delivered,
+            config.shards,
+            DisorderConfig::per_source(bound, 4 * SKEW),
+            config.repeats,
+        );
+        points.push(SmokePoint {
+            strategy: "per_source",
+            bound,
+            throughput_eps: outcome.eps,
+            overhead_pct: overhead(outcome.eps),
+            matches: outcome.matches,
+            late_dropped: outcome.late_dropped,
+            max_reorder_depth: outcome.max_reorder_depth,
+        });
+    }
+
+    SmokeReport {
+        config: config.clone(),
+        events: events.len(),
+        baseline_eps: baseline.eps,
+        points,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "null".into()
+    }
+}
+
+impl SmokeReport {
+    /// Serializes the report as JSON (hand-rolled: the workspace is
+    /// offline and every value is numeric or a fixed keyword, so no
+    /// escaping is needed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"acep-bench-smoke-v1\",\n");
+        out.push_str(&format!(
+            "  \"workload\": {{\"dataset\": \"stocks\", \"keys\": {}, \"events_per_key\": {}, \"events\": {}, \"shards\": {}, \"repeats\": {}}},\n",
+            self.config.keys, self.config.events_per_key, self.events, self.config.shards, self.config.repeats
+        ));
+        out.push_str(&format!(
+            "  \"baseline_eps\": {},\n  \"points\": [\n",
+            json_f64(self.baseline_eps)
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}}}{}\n",
+                p.strategy,
+                p.bound,
+                json_f64(p.throughput_eps),
+                json_f64(p.overhead_pct),
+                p.matches,
+                p.late_dropped,
+                p.max_reorder_depth,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_is_consistent_and_serializes() {
+        // Tiny instance: shape and invariants, not performance.
+        let report = run_smoke(&SmokeConfig {
+            keys: 2,
+            events_per_key: 150,
+            shards: 1,
+            repeats: 1,
+        });
+        assert_eq!(report.events, 300);
+        assert_eq!(report.points.len(), 5);
+        assert!(report.baseline_eps > 0.0);
+        let matches = report.points[0].matches;
+        for p in &report.points {
+            assert_eq!(
+                p.late_dropped, 0,
+                "{}@{}: contract-respecting delivery must not drop",
+                p.strategy, p.bound
+            );
+            assert_eq!(
+                p.matches, matches,
+                "{}@{}: disorder within the contract is invisible",
+                p.strategy, p.bound
+            );
+            assert!(p.throughput_eps > 0.0);
+        }
+        assert_eq!(
+            report.points[0].max_reorder_depth, 0,
+            "passthrough buffers nothing"
+        );
+
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
+        assert!(json.contains("\"strategy\": \"per_source\""));
+        assert_eq!(json.matches("\"bound\":").count(), 5);
+    }
+}

@@ -360,6 +360,22 @@ impl AdaptiveCep {
         }
     }
 
+    /// Advances stream time to `now` without an event: pending
+    /// finalizations (trailing negation / Kleene) whose deadline has
+    /// passed emit immediately instead of waiting for the next
+    /// engine-visible event. Driven by the shard watermark in
+    /// `acep-stream`, this tightens emission latency but never changes
+    /// the match set — the caller promises all future events carry
+    /// `timestamp >= now`. Does not count as an event: statistics and
+    /// the adaptation control loop are untouched.
+    pub fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        let before = out.len();
+        for b in &mut self.branches {
+            b.exec.advance_time(now, out);
+        }
+        self.metrics.matches += (out.len() - before) as u64;
+    }
+
     /// Flushes pending matches at end of stream.
     pub fn finish(&mut self, out: &mut Vec<Match>) {
         let before = out.len();

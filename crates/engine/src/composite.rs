@@ -54,6 +54,14 @@ impl StaticEngine {
         }
     }
 
+    /// Advances stream time to `now` in every branch (see
+    /// [`Executor::advance_time`]).
+    pub fn advance_time(&mut self, now: acep_types::Timestamp, out: &mut Vec<Match>) {
+        for b in &mut self.branches {
+            b.advance_time(now, out);
+        }
+    }
+
     /// Flushes pending matches at end of stream.
     pub fn finish(&mut self, out: &mut Vec<Match>) {
         for b in &mut self.branches {

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use acep_plan::EvalPlan;
-use acep_types::Event;
+use acep_types::{Event, Timestamp};
 
 use crate::context::ExecContext;
 use crate::finalize::FinalizerHistory;
@@ -19,6 +19,15 @@ use crate::tree_exec::TreeExecutor;
 pub trait Executor: Send {
     /// Processes one event, appending any completed matches to `out`.
     fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>);
+
+    /// Advances stream time to `now` without an event: pending
+    /// finalizations (trailing negation / Kleene) whose deadline
+    /// strictly precedes `now` are emitted. Driven by an external
+    /// completeness signal — an event-time watermark — this tightens
+    /// emission latency but never changes the match set: the caller
+    /// promises every future event carries `timestamp >= now`, exactly
+    /// the promise an event stamped `now` makes implicitly.
+    fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>);
 
     /// Flushes matches still pending at end of stream.
     fn finish(&mut self, out: &mut Vec<Match>);

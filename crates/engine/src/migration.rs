@@ -86,50 +86,60 @@ impl MigratingExecutor {
         self.gens.len()
     }
 
-    /// Processes one event through every live generation, keeping only
-    /// the matches each generation owns.
-    pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
-        let now = ev.timestamp;
-        let n = self.gens.len();
-        for i in 0..n {
-            self.scratch.clear();
-            self.gens[i].exec.on_event(ev, &mut self.scratch);
-            let lo = self.gens[i].start;
-            let hi = if i + 1 < n {
-                self.gens[i + 1].start
-            } else {
-                Timestamp::MAX
-            };
-            out.extend(
-                self.scratch
-                    .drain(..)
-                    .filter(|m| m.min_ts >= lo && m.min_ts < hi),
-            );
-        }
-        // Retire generations whose ownership range has fully expired.
+    /// Moves the matches of `scratch` that generation `i` owns (by
+    /// `min_ts` ownership range) into `out`, discarding the rest.
+    fn emit_owned(&mut self, i: usize, out: &mut Vec<Match>) {
+        let lo = self.gens[i].start;
+        let hi = if i + 1 < self.gens.len() {
+            self.gens[i + 1].start
+        } else {
+            Timestamp::MAX
+        };
+        out.extend(
+            self.scratch
+                .drain(..)
+                .filter(|m| m.min_ts >= lo && m.min_ts < hi),
+        );
+    }
+
+    /// Retires generations whose ownership range has fully expired.
+    fn retire(&mut self, now: Timestamp) {
         while self.gens.len() >= 2 && self.gens[1].start.saturating_add(self.window) < now {
             let retired = self.gens.remove(0);
             self.retired_comparisons += retired.exec.comparisons();
         }
     }
 
+    /// Processes one event through every live generation, keeping only
+    /// the matches each generation owns.
+    pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
+        let now = ev.timestamp;
+        for i in 0..self.gens.len() {
+            self.scratch.clear();
+            self.gens[i].exec.on_event(ev, &mut self.scratch);
+            self.emit_owned(i, out);
+        }
+        self.retire(now);
+    }
+
+    /// Advances stream time to `now` in every live generation (see
+    /// [`Executor::advance_time`]): pending finalizations past their
+    /// deadline emit without waiting for the next engine-visible event.
+    pub fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        for i in 0..self.gens.len() {
+            self.scratch.clear();
+            self.gens[i].exec.advance_time(now, &mut self.scratch);
+            self.emit_owned(i, out);
+        }
+        self.retire(now);
+    }
+
     /// Flushes all generations at end of stream.
     pub fn finish(&mut self, out: &mut Vec<Match>) {
-        let n = self.gens.len();
-        for i in 0..n {
+        for i in 0..self.gens.len() {
             self.scratch.clear();
             self.gens[i].exec.finish(&mut self.scratch);
-            let lo = self.gens[i].start;
-            let hi = if i + 1 < n {
-                self.gens[i + 1].start
-            } else {
-                Timestamp::MAX
-            };
-            out.extend(
-                self.scratch
-                    .drain(..)
-                    .filter(|m| m.min_ts >= lo && m.min_ts < hi),
-            );
+            self.emit_owned(i, out);
         }
     }
 

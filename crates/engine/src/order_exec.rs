@@ -157,6 +157,10 @@ impl Executor for OrderExecutor {
         }
     }
 
+    fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        self.finalizer.flush_ready(now, out);
+    }
+
     fn finish(&mut self, out: &mut Vec<Match>) {
         self.finalizer.finish(out);
     }

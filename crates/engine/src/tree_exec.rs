@@ -132,6 +132,10 @@ impl Executor for TreeExecutor {
         }
     }
 
+    fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        self.finalizer.flush_ready(now, out);
+    }
+
     fn finish(&mut self, out: &mut Vec<Match>) {
         self.finalizer.finish(out);
     }

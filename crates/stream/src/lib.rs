@@ -51,25 +51,41 @@
 //!
 //! By default the runtime is an **arrival-time** system: it trusts the
 //! input to be sorted by `(timestamp, seq)` and forwards events to the
-//! engines untouched. Setting a non-zero
-//! [`DisorderConfig::bound`](acep_types::DisorderConfig) `D` in
+//! engines untouched. A non-passthrough [`DisorderConfig`] in
 //! [`StreamConfig`] switches ingestion to **event time**: each shard
 //! holds arriving events in a reordering buffer (a min-heap on
 //! `(timestamp, seq)`) and releases them to its engines only once the
-//! shard *watermark* — `max(max_seen_timestamp - D, punctuation)` — has
-//! strictly passed their timestamp. As long as the stream's disorder
-//! respects the bound (no event arrives after one more than `D` ms
-//! newer), the engines see exactly the sorted stream, so the match
-//! multiset is **delivery-order independent** — verified by the
-//! `order_invariance` integration test. Events that do arrive behind
-//! the watermark are *late*: [`LatenessPolicy::Drop`] counts them in
-//! [`ShardStats::late_dropped`], [`LatenessPolicy::Route`] hands them
-//! to [`MatchSink::on_late`]. Watermarks can also be advanced
-//! explicitly via [`ShardedRuntime::advance_watermark`] (punctuation);
-//! with `bound == u64::MAX` that is the *only* way they advance.
-//! `bound == 0` compiles to a strict passthrough — the in-order hot
-//! path pays nothing for the event-time machinery (the
-//! `reorder_overhead` bench checks this against `scale_shards`).
+//! shard *watermark* has strictly passed their timestamp. The
+//! watermark follows the configured [`WatermarkStrategy`]:
+//! `Merged(D)` derives `max_seen - D` from the merged arrivals;
+//! `PerSource { bound, idle_timeout }` tracks `max_seen` per declared
+//! [`SourceId`] (see [`ShardedRuntime::push_batch_from`]) and follows
+//! the slowest
+//! non-idle source, so a small per-source bound tolerates arbitrarily
+//! large *inter*-source skew. As long as the delivery respects the
+//! strategy's contract, the engines see exactly the sorted stream, so
+//! the match multiset is **delivery-order independent** — verified by
+//! the `order_invariance` integration test. Events that do arrive
+//! behind the watermark are *late*: [`LatenessPolicy::Drop`] counts
+//! them in [`ShardStats::late_dropped`], [`LatenessPolicy::Route`]
+//! hands them to [`MatchSink::on_late`].
+//!
+//! The watermark does more than release buffered events: it **drives
+//! finalization**. Matches held for a trailing-negation or
+//! trailing-Kleene deadline emit as soon as the shard watermark proves
+//! the deadline passed, instead of waiting for the next engine-visible
+//! event of their own key. Watermarks can be advanced explicitly via
+//! [`ShardedRuntime::advance_watermark`] (punctuation) — with
+//! `bound == u64::MAX` that is the *only* way they advance — and
+//! [`ShardedRuntime::flush_until`] combines punctuation with a barrier
+//! for exactly-once window emission. A
+//! [`max_buffered`](acep_types::DisorderConfig::max_buffered) cap
+//! bounds the buffer, force-releasing the oldest events on overflow
+//! ([`ShardStats::reorder_overflow`]), so worst-case memory is
+//! explicit. A passthrough config (`Merged(0)`, the default) compiles
+//! to the unbuffered hot path — it pays nothing for the event-time
+//! machinery (the `reorder_overhead` bench checks this against
+//! `scale_shards`).
 //!
 //! ## Adaptation stays per key
 //!
@@ -137,7 +153,8 @@ pub use stats::{QueryStats, RuntimeStats, ShardStats};
 // common extractors and the event-time configuration.
 pub use acep_core::AdaptiveCep;
 pub use acep_types::{
-    AttrKeyExtractor, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy,
+    AttrKeyExtractor, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, SourceId,
+    WatermarkStrategy,
 };
 
 /// Compile-time guarantees: engines and templates cross thread

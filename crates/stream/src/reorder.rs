@@ -4,30 +4,73 @@
 //! per-(key, query) engines. Arriving events are held in a min-heap
 //! keyed by `(timestamp, seq)` and released — in event-time order — only
 //! once the shard **watermark** has strictly passed their timestamp.
-//! The watermark is the maximum of the heuristic bound
-//! `max_seen_timestamp - D` (advanced by ingest itself) and any
-//! explicitly broadcast punctuation ([`ReorderBuffer::advance_to`]).
+//! The watermark is monotone: the maximum ever reached by the heuristic
+//! derived from arriving timestamps per the configured
+//! [`WatermarkStrategy`], explicitly broadcast punctuation
+//! ([`ReorderBuffer::advance_to`]), and capacity-overflow evictions.
+//!
+//! * `Merged(D)` — heuristic `max_seen - D` over all arrivals,
+//!   regardless of source.
+//! * `PerSource { bound, idle_timeout }` — `max_seen` is tracked per
+//!   [`SourceId`] and the heuristic is the *minimum* over non-idle
+//!   sources of `max_seen(source) - bound`, so `bound` only has to
+//!   cover each source's own disorder, not the skew between sources. A
+//!   source whose `max_seen` trails the global maximum by more than
+//!   `idle_timeout` is **idle** and excluded (the source defining the
+//!   maximum is never idle, so the minimum exists once any event
+//!   arrived).
+//!
+//! Sources are discovered dynamically, which poses a bootstrap problem:
+//! the watermark must not run ahead of a source that simply has not
+//! spoken *yet*. The buffer therefore models one **phantom source**
+//! pinned at the first timestamp it ever ingested: until the phantom
+//! lapses (its anchor trails the global maximum by more than
+//! `idle_timeout`, like any idle source), the heuristic stays at
+//! `first_seen - bound` or below, giving every real source
+//! `idle_timeout` of event time to announce itself. A source whose
+//! first event is older than `first_seen - bound`, or that first speaks
+//! after the grace lapsed, may find its backlog late — the same
+//! explicit cost an idle source pays on resumption. With
+//! `idle_timeout = Timestamp::MAX` the phantom never lapses: "no
+//! source is ever idle" over an open source set means an unannounced
+//! source may always exist, so the heuristic freezes at
+//! `first_seen - bound` and only punctuation releases events (set a
+//! finite timeout for dynamically discovered sources, or pair `MAX`
+//! with `max_buffered`).
 //!
 //! Release discipline: an event with timestamp `t` is released once
 //! `t < watermark`, and an arriving event with `t < watermark` is
 //! **late** (its position in the sorted order has already been emitted).
 //! Using the same strict comparison on both sides makes the released
 //! sequence a pure function of the event *set*: for any delivery order
-//! whose displacement respects the bound `D`, no event is late, and the
-//! engines see exactly the `(timestamp, seq)`-sorted stream — the basis
-//! of the runtime's delivery-order-independence guarantee (see the
-//! `order_invariance` integration test).
+//! whose displacement respects the strategy's contract, no event is
+//! late, and the engines see exactly the `(timestamp, seq)`-sorted
+//! stream — the basis of the runtime's delivery-order-independence
+//! guarantee (see the `order_invariance` integration test).
+//!
+//! A `capacity` cap bounds the buffer: when exceeded,
+//! [`drain_ready`](ReorderBuffer::drain_ready) force-releases the
+//! oldest events, advancing the watermark just past each one so the
+//! lateness rule stays consistent (a straggler behind a force-released
+//! event is late, exactly as if the heuristic had advanced). Overflow
+//! is counted, never silent.
 //!
 //! The shard watermark is derived from shard-local arrivals only; no
 //! cross-shard coordination is needed, because the restriction of a
-//! bound-`D` disordered stream to one shard's keys is itself bound-`D`
-//! disordered.
+//! bounded-displacement stream to one shard's keys has the same
+//! displacement bound. One caveat: per-source **idleness** (and the
+//! discovery grace) is also judged shard-locally, so a source counts
+//! as idle on a shard its keys simply stopped routing to for
+//! `idle_timeout` of event time, even if it streams briskly elsewhere
+//! — its next event on that shard may then be late. Size
+//! `idle_timeout` for the longest per-shard gap a live source may
+//! leave, not just for real silence.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use acep_types::{Event, Timestamp};
+use acep_types::{Event, SourceId, Timestamp, WatermarkStrategy};
 
 /// A buffered `(partition key, event)` pair, ordered by event time.
 #[derive(Debug)]
@@ -65,26 +108,42 @@ pub(crate) enum Offer {
 /// Min-heap reordering stage with a bounded-lateness watermark.
 #[derive(Debug)]
 pub(crate) struct ReorderBuffer {
-    /// The disorder bound `D` (ms) of the heuristic watermark.
-    bound: Timestamp,
+    strategy: WatermarkStrategy,
+    /// Hard cap on held events (`usize::MAX` = unbounded).
+    capacity: usize,
     heap: BinaryHeap<Reverse<Held>>,
-    /// Largest event timestamp ingested so far.
+    /// The monotone shard watermark (see module docs).
+    watermark: Timestamp,
+    /// Largest event timestamp ingested so far, over all sources.
     max_seen: Timestamp,
-    /// Explicitly advanced (punctuation) watermark floor.
-    punctuated: Timestamp,
+    /// Timestamp of the first event ever ingested: anchor of the
+    /// phantom source covering not-yet-seen sources (`PerSource` only).
+    first_seen: Option<Timestamp>,
+    /// Per-source `max_seen`, linear-scanned (source counts are small
+    /// and the vec is touched once per event).
+    sources: Vec<(SourceId, Timestamp)>,
     /// High-water mark of the buffer depth.
     max_depth: usize,
+    /// Events force-released by the capacity cap.
+    overflow: u64,
 }
 
 impl ReorderBuffer {
-    pub(crate) fn new(bound: Timestamp) -> Self {
-        debug_assert!(bound > 0, "bound 0 must bypass the buffer entirely");
+    pub(crate) fn new(strategy: WatermarkStrategy, capacity: Option<usize>) -> Self {
+        debug_assert!(
+            strategy != WatermarkStrategy::Merged(0),
+            "a merged bound of 0 must bypass the buffer entirely"
+        );
         Self {
-            bound,
+            strategy,
+            capacity: capacity.unwrap_or(usize::MAX),
             heap: BinaryHeap::new(),
+            watermark: 0,
             max_seen: 0,
-            punctuated: 0,
+            first_seen: None,
+            sources: Vec::new(),
             max_depth: 0,
+            overflow: 0,
         }
     }
 
@@ -92,8 +151,7 @@ impl ReorderBuffer {
     /// `timestamp >= watermark`.
     #[inline]
     pub(crate) fn watermark(&self) -> Timestamp {
-        self.punctuated
-            .max(self.max_seen.saturating_sub(self.bound))
+        self.watermark
     }
 
     /// Events currently held.
@@ -108,12 +166,60 @@ impl ReorderBuffer {
         self.max_depth
     }
 
-    /// Ingests one event, advancing the heuristic watermark. Returns
-    /// whether the event was buffered or is late; late events are *not*
-    /// retained.
-    pub(crate) fn offer(&mut self, key: u64, ev: &Arc<Event>) -> Offer {
+    /// Events force-released because the buffer hit its capacity cap.
+    #[inline]
+    pub(crate) fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Whether the capacity cap is currently exceeded (the next
+    /// [`drain_ready`](Self::drain_ready) will force-release).
+    #[inline]
+    pub(crate) fn over_capacity(&self) -> bool {
+        self.heap.len() > self.capacity
+    }
+
+    /// Recomputes the strategy heuristic and folds it into the monotone
+    /// watermark.
+    fn refresh_watermark(&mut self) {
+        let heuristic = match self.strategy {
+            WatermarkStrategy::Merged(bound) => self.max_seen.saturating_sub(bound),
+            WatermarkStrategy::PerSource {
+                bound,
+                idle_timeout,
+            } => {
+                let active = |seen: Timestamp| seen.saturating_add(idle_timeout) >= self.max_seen;
+                let slowest = self
+                    .sources
+                    .iter()
+                    .map(|&(_, seen)| seen)
+                    .chain(self.first_seen)
+                    .filter(|&seen| active(seen))
+                    .min();
+                match slowest {
+                    Some(seen) => seen.saturating_sub(bound),
+                    None => 0,
+                }
+            }
+        };
+        self.watermark = self.watermark.max(heuristic);
+    }
+
+    /// Ingests one event from `source`, advancing the heuristic
+    /// watermark. Returns whether the event was buffered or is late;
+    /// late events are *not* retained. Under a `Merged` strategy the
+    /// source is ignored.
+    pub(crate) fn offer(&mut self, key: u64, source: SourceId, ev: &Arc<Event>) -> Offer {
+        self.first_seen.get_or_insert(ev.timestamp);
         self.max_seen = self.max_seen.max(ev.timestamp);
-        if ev.timestamp < self.watermark() {
+        if let WatermarkStrategy::PerSource { .. } = self.strategy {
+            match self.sources.iter_mut().find(|(s, _)| *s == source) {
+                Some((_, seen)) => *seen = (*seen).max(ev.timestamp),
+                None => self.sources.push((source, ev.timestamp)),
+            }
+        }
+        self.refresh_watermark();
+        if ev.timestamp < self.watermark {
             return Offer::Late;
         }
         self.heap.push(Reverse(Held {
@@ -127,18 +233,33 @@ impl ReorderBuffer {
     /// Explicitly advances the watermark to at least `to` (punctuation).
     /// Never moves it backwards.
     pub(crate) fn advance_to(&mut self, to: Timestamp) {
-        self.punctuated = self.punctuated.max(to);
+        self.watermark = self.watermark.max(to);
     }
 
-    /// Pops every event the watermark has strictly passed, in
-    /// `(timestamp, seq)` order, appending them to `out`.
+    /// Pops every event the watermark has strictly passed — plus, when
+    /// the capacity cap is exceeded, the oldest held events until the
+    /// cap holds again — in `(timestamp, seq)` order, appending them to
+    /// `out`. A force-released event advances the watermark just past
+    /// its timestamp, so stragglers behind it are late by the ordinary
+    /// rule.
     pub(crate) fn drain_ready(&mut self, out: &mut Vec<(u64, Arc<Event>)>) {
-        let watermark = self.watermark();
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.ev.timestamp >= watermark {
-                break;
+        loop {
+            while let Some(Reverse(top)) = self.heap.peek() {
+                if top.ev.timestamp >= self.watermark {
+                    break;
+                }
+                let Reverse(held) = self.heap.pop().expect("peeked entry");
+                out.push((held.key, held.ev));
             }
-            let Reverse(held) = self.heap.pop().expect("peeked entry");
+            if self.heap.len() <= self.capacity {
+                return;
+            }
+            // Overflow: evict the oldest event and advance the
+            // watermark past it, then re-run the release loop (events
+            // sharing its timestamp are now releasable too).
+            let Reverse(held) = self.heap.pop().expect("over-capacity heap is non-empty");
+            self.watermark = self.watermark.max(held.ev.timestamp.saturating_add(1));
+            self.overflow += 1;
             out.push((held.key, held.ev));
         }
     }
@@ -165,19 +286,36 @@ mod tests {
         out.iter().map(|(_, e)| e.seq).collect()
     }
 
+    fn merged(bound: u64) -> ReorderBuffer {
+        ReorderBuffer::new(WatermarkStrategy::Merged(bound), None)
+    }
+
+    fn per_source(bound: u64, idle_timeout: u64) -> ReorderBuffer {
+        ReorderBuffer::new(
+            WatermarkStrategy::PerSource {
+                bound,
+                idle_timeout,
+            },
+            None,
+        )
+    }
+
+    const S0: SourceId = SourceId(0);
+    const S1: SourceId = SourceId(1);
+    const S2: SourceId = SourceId(2);
+
     #[test]
     fn releases_in_event_time_order_behind_watermark() {
-        let mut rb = ReorderBuffer::new(10);
+        let mut rb = merged(10);
         let mut out = Vec::new();
-        // Arrival order 30, 10, 20 with bound 10.
-        assert_eq!(rb.offer(0, &ev(30, 2)), Offer::Buffered);
-        assert_eq!(rb.offer(0, &ev(21, 0)), Offer::Buffered);
-        assert_eq!(rb.offer(0, &ev(25, 1)), Offer::Buffered);
+        // Arrival order 30, 21, 25 with bound 10.
+        assert_eq!(rb.offer(0, S0, &ev(30, 2)), Offer::Buffered);
+        assert_eq!(rb.offer(0, S0, &ev(21, 0)), Offer::Buffered);
+        assert_eq!(rb.offer(0, S0, &ev(25, 1)), Offer::Buffered);
         rb.drain_ready(&mut out);
-        // Watermark = 30 - 10 = 20: nothing strictly below 20 buffered
-        // yet except none; 21 and 25 stay (>= 20? 21 >= 20 yes).
+        // Watermark = 30 - 10 = 20: nothing held is strictly below it.
         assert!(out.is_empty());
-        assert_eq!(rb.offer(0, &ev(40, 3)), Offer::Buffered);
+        assert_eq!(rb.offer(0, S0, &ev(40, 3)), Offer::Buffered);
         rb.drain_ready(&mut out);
         // Watermark 30: releases 21 and 25, sorted.
         assert_eq!(seqs(&out), vec![0, 1]);
@@ -187,11 +325,11 @@ mod tests {
 
     #[test]
     fn equal_timestamps_release_in_seq_order() {
-        let mut rb = ReorderBuffer::new(5);
+        let mut rb = merged(5);
         let mut out = Vec::new();
-        rb.offer(0, &ev(10, 7));
-        rb.offer(0, &ev(10, 3));
-        rb.offer(0, &ev(10, 5));
+        rb.offer(0, S0, &ev(10, 7));
+        rb.offer(0, S0, &ev(10, 3));
+        rb.offer(0, S0, &ev(10, 5));
         rb.advance_to(100);
         rb.drain_ready(&mut out);
         assert_eq!(seqs(&out), vec![3, 5, 7]);
@@ -199,19 +337,19 @@ mod tests {
 
     #[test]
     fn late_event_is_rejected_not_buffered() {
-        let mut rb = ReorderBuffer::new(10);
-        rb.offer(0, &ev(100, 0));
+        let mut rb = merged(10);
+        rb.offer(0, S0, &ev(100, 0));
         // Watermark = 90; an event at 89 is late, one at 90 is not.
-        assert_eq!(rb.offer(0, &ev(89, 1)), Offer::Late);
-        assert_eq!(rb.offer(0, &ev(90, 2)), Offer::Buffered);
+        assert_eq!(rb.offer(0, S0, &ev(89, 1)), Offer::Late);
+        assert_eq!(rb.offer(0, S0, &ev(90, 2)), Offer::Buffered);
         assert_eq!(rb.depth(), 2);
     }
 
     #[test]
     fn punctuation_advances_but_never_regresses() {
-        let mut rb = ReorderBuffer::new(1_000);
+        let mut rb = merged(1_000);
         let mut out = Vec::new();
-        rb.offer(0, &ev(50, 0));
+        rb.offer(0, S0, &ev(50, 0));
         assert_eq!(rb.watermark(), 0, "heuristic hasn't reached 50 - 1000");
         rb.advance_to(60);
         assert_eq!(rb.watermark(), 60);
@@ -219,20 +357,140 @@ mod tests {
         assert_eq!(rb.watermark(), 60, "watermarks are monotone");
         rb.drain_ready(&mut out);
         assert_eq!(seqs(&out), vec![0]);
-        assert_eq!(rb.offer(0, &ev(55, 1)), Offer::Late);
+        assert_eq!(rb.offer(0, S0, &ev(55, 1)), Offer::Late);
     }
 
     #[test]
     fn drain_all_empties_in_order() {
-        let mut rb = ReorderBuffer::new(u64::MAX);
+        let mut rb = merged(u64::MAX);
         let mut out = Vec::new();
-        rb.offer(0, &ev(30, 2));
-        rb.offer(1, &ev(10, 0));
-        rb.offer(2, &ev(20, 1));
+        rb.offer(0, S0, &ev(30, 2));
+        rb.offer(1, S0, &ev(10, 0));
+        rb.offer(2, S0, &ev(20, 1));
         rb.drain_ready(&mut out);
         assert!(out.is_empty(), "MAX bound: heuristic watermark stays 0");
         rb.drain_all(&mut out);
         assert_eq!(seqs(&out), vec![0, 1, 2]);
         assert_eq!(rb.depth(), 0);
+    }
+
+    #[test]
+    fn per_source_watermark_follows_the_slowest_active_source() {
+        let mut rb = per_source(5, 10_000);
+        rb.offer(0, S0, &ev(1_000, 0));
+        rb.offer(0, S1, &ev(1_002, 1));
+        // Phantom and both sources sit at ~1000: watermark 1000 - 5.
+        assert_eq!(rb.watermark(), 995);
+        // S0 races ahead; S1 (and the phantom anchor) hold the line.
+        rb.offer(0, S0, &ev(5_000, 2));
+        assert_eq!(rb.watermark(), 995);
+        // S1 catching up moves the minimum (phantom still active at
+        // 1000 until the gap exceeds idle_timeout).
+        rb.offer(0, S1, &ev(4_000, 3));
+        assert_eq!(rb.watermark(), 995, "phantom anchor still active");
+        rb.offer(0, S0, &ev(12_000, 4));
+        // Gap to the phantom (1000) exceeds 10_000: it lapses; S1 at
+        // 4000 is the slowest active source.
+        assert_eq!(rb.watermark(), 3_995);
+    }
+
+    #[test]
+    fn per_source_tolerates_skew_the_merged_bound_would_drop() {
+        // Two sources whose raw streams both start at 1000, S1 arriving
+        // 500 ms of event time behind S0; per-source bound 4 ≪ skew.
+        let mut rb = per_source(4, 600);
+        let mut out = Vec::new();
+        let mut late = 0;
+        let mut seq = 0u64;
+        for step in 0..200u64 {
+            let now = 1_000 + step * 10;
+            if rb.offer(0, S0, &ev(now, seq)) == Offer::Late {
+                late += 1;
+            }
+            seq += 1;
+            // S1's events trail delivery by 500 ms: its event stamped
+            // `now - 500` arrives alongside S0's event stamped `now`.
+            if now >= 1_500 {
+                if rb.offer(0, S1, &ev(now - 500, seq)) == Offer::Late {
+                    late += 1;
+                }
+                seq += 1;
+            }
+            rb.drain_ready(&mut out);
+        }
+        assert_eq!(late, 0, "per-source bound ignores inter-source skew");
+        // The merged heuristic at the same bound would have declared
+        // every S1 event late (displacement 500 ≫ 4).
+        assert!(out.len() > 250, "released {} of 350", out.len());
+        // Released order is sorted by (ts, seq).
+        let ts: Vec<u64> = out.iter().map(|(_, e)| e.timestamp).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn idle_source_stops_holding_the_watermark_back() {
+        let mut rb = per_source(10, 300);
+        rb.offer(0, S0, &ev(100, 0));
+        rb.offer(0, S1, &ev(100, 1));
+        assert_eq!(rb.watermark(), 90);
+        // S0 races ahead while S1 goes quiet. While the gap is within
+        // the idle timeout S1 still anchors the watermark …
+        rb.offer(0, S0, &ev(350, 2));
+        assert_eq!(rb.watermark(), 90, "gap 250 < idle_timeout 300");
+        // … but once max_seen - S1.max_seen exceeds it, S1 (and the
+        // phantom, anchored at the same 100) is idle.
+        rb.offer(0, S0, &ev(500, 3));
+        assert_eq!(rb.watermark(), 490, "idle S1 is excluded");
+        // A resuming idle source behind the watermark is late — the
+        // explicit cost of the timeout — and cannot drag it back.
+        assert_eq!(rb.offer(0, S1, &ev(200, 4)), Offer::Late);
+        assert_eq!(rb.watermark(), 490, "watermarks are monotone");
+        // But resuming *at* the watermark re-activates it.
+        assert_eq!(rb.offer(0, S1, &ev(495, 5)), Offer::Buffered);
+    }
+
+    #[test]
+    fn idle_timeout_zero_degenerates_to_the_merged_heuristic() {
+        let mut rb = per_source(10, 0);
+        // Every source strictly behind the maximum is idle, so only the
+        // leader counts.
+        rb.offer(0, S0, &ev(1_000, 0));
+        rb.offer(0, S1, &ev(400, 1));
+        rb.offer(0, S2, &ev(700, 2));
+        assert_eq!(rb.watermark(), 990);
+    }
+
+    #[test]
+    fn capacity_overflow_force_releases_oldest_and_counts() {
+        let mut rb = ReorderBuffer::new(WatermarkStrategy::Merged(u64::MAX), Some(3));
+        let mut out = Vec::new();
+        // Punctuation-only watermark: nothing releases heuristically.
+        for i in 0..3u64 {
+            rb.offer(0, S0, &ev(10 + i, i));
+            rb.drain_ready(&mut out);
+        }
+        assert!(out.is_empty());
+        assert_eq!(rb.depth(), 3);
+        // A fourth event exceeds the cap: the oldest is force-released
+        // and the watermark moves just past it.
+        rb.offer(0, S0, &ev(13, 3));
+        assert!(rb.over_capacity());
+        rb.drain_ready(&mut out);
+        assert_eq!(seqs(&out), vec![0]);
+        assert_eq!(rb.depth(), 3);
+        assert_eq!(rb.overflow(), 1);
+        assert_eq!(rb.watermark(), 11);
+        // A straggler behind the force-released event is late.
+        assert_eq!(rb.offer(0, S0, &ev(10, 4)), Offer::Late);
+        // Events sharing the evicted timestamp drain with it.
+        out.clear();
+        rb.offer(0, S0, &ev(11, 5));
+        assert_eq!(rb.depth(), 4);
+        rb.drain_ready(&mut out);
+        assert_eq!(rb.overflow(), 2);
+        assert_eq!(rb.depth(), 2, "same-timestamp events followed the evictee");
+        assert_eq!(seqs(&out), vec![1, 5]);
     }
 }

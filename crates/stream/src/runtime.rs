@@ -5,10 +5,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use acep_core::EngineTemplate;
-use acep_types::{AcepError, DisorderConfig, Event, KeyExtractor, Timestamp};
+use acep_types::{AcepError, DisorderConfig, Event, KeyExtractor, SourceId, Timestamp};
 
 use crate::registry::PatternSet;
-use crate::shard::{ShardWorker, ToWorker};
+use crate::shard::{Routed, ShardWorker, ToWorker};
 use crate::sink::MatchSink;
 use crate::stats::RuntimeStats;
 
@@ -137,19 +137,49 @@ impl ShardedRuntime {
         self.push_batch(std::slice::from_ref(ev));
     }
 
-    /// Ingests a batch: events are routed to their shards by partition
-    /// key and forwarded in per-shard sub-batches, preserving the input
-    /// order *within every key*. Blocks when a shard's channel is full
-    /// (backpressure).
+    /// Ingests one event from a declared source
+    /// (see [`push_batch_from`](Self::push_batch_from)).
+    pub fn push_from(&self, source: SourceId, ev: &Arc<Event>) {
+        self.push_batch_from(source, std::slice::from_ref(ev));
+    }
+
+    /// Ingests a batch attributed to [`SourceId::MERGED`]: events are
+    /// routed to their shards by partition key and forwarded in
+    /// per-shard sub-batches, preserving the input order *within every
+    /// key*. Blocks when a shard's channel is full (backpressure).
     pub fn push_batch(&self, events: &[Arc<Event>]) {
-        let mut per_shard: Vec<Vec<(u64, Arc<Event>)>> = vec![Vec::new(); self.workers.len()];
-        for ev in events {
+        self.route(events.iter().map(|ev| (SourceId::MERGED, ev)));
+    }
+
+    /// Ingests a batch attributed to one ingestion `source` — a
+    /// producer, broker partition, sensor… Under
+    /// [`WatermarkStrategy::PerSource`](acep_types::WatermarkStrategy)
+    /// each shard tracks the sources' high-water timestamps separately
+    /// and its watermark follows the slowest non-idle one, so a small
+    /// per-source disorder bound tolerates arbitrarily large skew
+    /// *between* sources. Under a `Merged` strategy the source is
+    /// ignored.
+    pub fn push_batch_from(&self, source: SourceId, events: &[Arc<Event>]) {
+        self.route(events.iter().map(|ev| (source, ev)));
+    }
+
+    /// Ingests an interleaving of several sources in one call, each
+    /// event tagged with its source.
+    pub fn push_tagged(&self, events: &[(SourceId, Arc<Event>)]) {
+        self.route(events.iter().map(|(s, ev)| (*s, ev)));
+    }
+
+    /// Routes source-tagged events to their shards (see
+    /// [`push_batch`](Self::push_batch) for the ordering contract).
+    fn route<'a>(&self, events: impl Iterator<Item = (SourceId, &'a Arc<Event>)>) {
+        let mut per_shard: Vec<Vec<Routed>> = vec![Vec::new(); self.workers.len()];
+        for (source, ev) in events {
             // The key travels with the event so workers never re-run
             // the extractor (it may hash string attributes).
             let key = self.extractor.shard_key(ev);
             let shard = self.shard_of(key);
             let batch = &mut per_shard[shard];
-            batch.push((key, Arc::clone(ev)));
+            batch.push((key, source, Arc::clone(ev)));
             if batch.len() >= self.config.max_batch {
                 self.send(shard, ToWorker::Batch(std::mem::take(batch)));
             }
@@ -167,8 +197,10 @@ impl ShardedRuntime {
     /// committed offset time) ahead of the heuristic
     /// `max_seen - bound`: events arriving later with
     /// `timestamp < ts` become late. Watermarks are monotone — a lower
-    /// `ts` than a previously announced one is a no-op, as is any
-    /// punctuation on an in-order (passthrough) runtime.
+    /// `ts` than a previously announced one is a no-op. On an in-order
+    /// (passthrough) runtime nothing is buffered, but the punctuation
+    /// still advances every engine's stream clock, releasing matches
+    /// pending a trailing-negation/Kleene deadline before `ts`.
     pub fn advance_watermark(&self, ts: Timestamp) {
         for shard in 0..self.workers.len() {
             self.send(shard, ToWorker::Watermark(ts));
@@ -182,8 +214,10 @@ impl ShardedRuntime {
     /// With a non-zero disorder bound, events still held by a shard's
     /// reordering buffer are *not* forced out — they await their
     /// watermark (or [`finish`](Self::finish), which releases
-    /// everything). Forcing them here would break delivery-order
-    /// independence for events the watermark has not yet cleared.
+    /// everything; or [`flush_until`](Self::flush_until), which
+    /// releases a watermark-proven prefix). Forcing them here would
+    /// break delivery-order independence for events the watermark has
+    /// not yet cleared.
     pub fn flush(&self) {
         let acks: Vec<_> = self
             .workers
@@ -202,6 +236,27 @@ impl ShardedRuntime {
                 panic!("shard worker {shard} died before acknowledging the flush");
             }
         }
+    }
+
+    /// Punctuation **and** barrier: advances every shard's watermark to
+    /// at least `ts` and returns once the effects are visible at the
+    /// sink. Afterwards every event with `timestamp < ts` pushed before
+    /// this call has been released in order and processed, and every
+    /// match whose finalization deadline precedes `ts` has been
+    /// emitted.
+    ///
+    /// With a heuristic-free config (`bounded(u64::MAX)` or
+    /// `per_source` with `idle_timeout == u64::MAX`) the converse also
+    /// holds — events at or after `ts` stay buffered, untouched —
+    /// making this the exactly-once window-emission hook: punctuate
+    /// the window boundary, then read the sink knowing the window's
+    /// match set is complete and nothing of the next window leaked
+    /// out. Under a heuristic strategy the watermark may already have
+    /// run past `ts` on its own, so `ts` is a lower bound on what has
+    /// emitted, not an upper one.
+    pub fn flush_until(&self, ts: Timestamp) {
+        self.advance_watermark(ts);
+        self.flush();
     }
 
     /// Consistent per-shard/per-query statistics snapshot. Implies a

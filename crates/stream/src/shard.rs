@@ -9,14 +9,23 @@
 //! that query's engine at all (they cannot affect its match set), so
 //! hosting many narrow queries over one wide stream stays cheap.
 //!
-//! With a non-zero disorder bound, an event-time [`ReorderBuffer`] sits
-//! between the channel and the engines: events are released to the
-//! per-(key, query) engines in `(timestamp, seq)` order once the shard
-//! watermark passes them, and late arrivals are dropped or routed to
-//! the sink per the configured
-//! [`LatenessPolicy`](acep_types::LatenessPolicy). With bound 0 the
-//! buffer is absent and ingestion is the same passthrough as before the
-//! event-time layer existed.
+//! With a non-passthrough [`DisorderConfig`], an event-time
+//! [`ReorderBuffer`] sits between the channel and the engines: events
+//! are released to the per-(key, query) engines in `(timestamp, seq)`
+//! order once the shard watermark passes them, and late arrivals are
+//! dropped or routed to the sink per the configured
+//! [`LatenessPolicy`](acep_types::LatenessPolicy). The shard watermark
+//! also *drives* the engines: whenever it advances, every live engine's
+//! stream clock is advanced to it
+//! ([`AdaptiveCep::advance_time`]), so matches pending a
+//! trailing-negation/Kleene deadline emit as soon as the watermark
+//! proves the deadline passed — up to `bound` ms of event time earlier
+//! than waiting for the next engine-visible event, and independent of
+//! whether the pending match's own key ever receives another event.
+//! With a passthrough config the buffer is absent and ingestion is the
+//! same hot path as before the event-time layer existed (punctuation
+//! still advances the engines' clocks — the promise "no event before
+//! `ts` remains" is meaningful in arrival time too).
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -24,20 +33,25 @@ use std::sync::Arc;
 
 use acep_core::{AdaptiveCep, EngineTemplate};
 use acep_engine::Match;
-use acep_types::{DisorderConfig, Event, LatenessPolicy, Timestamp};
+use acep_types::{DisorderConfig, Event, LatenessPolicy, SourceId, Timestamp};
 
 use crate::registry::QueryId;
 use crate::reorder::{Offer, ReorderBuffer};
 use crate::sink::{LateEvent, MatchSink, TaggedMatch};
 use crate::stats::{QueryStats, ShardStats};
 
+/// One routed event: `(partition key, ingestion source, event)`. Keys
+/// are extracted once at ingest; the source feeds per-source
+/// watermarks.
+pub(crate) type Routed = (u64, SourceId, Arc<Event>);
+
 /// Control messages from the runtime to one worker.
 pub(crate) enum ToWorker {
-    /// `(partition key, event)` pairs of this shard, in ingest order.
-    /// Keys are extracted once, at ingest.
-    Batch(Vec<(u64, Arc<Event>)>),
+    /// Routed events of this shard, in ingest order.
+    Batch(Vec<Routed>),
     /// Punctuation: advance the shard's event-time watermark to at
-    /// least the given timestamp, releasing buffered events.
+    /// least the given timestamp, releasing buffered events and
+    /// driving engine finalization deadlines.
     Watermark(Timestamp),
     /// Acknowledge once every prior message is processed.
     Flush(Sender<()>),
@@ -63,8 +77,13 @@ pub(crate) struct ShardWorker {
     batches: u64,
     late_dropped: u64,
     late_routed: u64,
+    /// Last stream time driven into the engines (watermark or
+    /// punctuation); engines are only advanced forward.
+    engine_time: Timestamp,
     /// Reused buffer of watermark-released events awaiting processing.
     released: Vec<(u64, Arc<Event>)>,
+    /// Reused sorted-key buffer for deterministic engine sweeps.
+    keys_scratch: Vec<u64>,
     /// Reused per-event match buffer.
     scratch: Vec<Match>,
     /// Matches of the batch in flight, delivered to the sink per batch.
@@ -81,7 +100,7 @@ impl ShardWorker {
         let reorder = if disorder.is_passthrough() {
             None
         } else {
-            Some(ReorderBuffer::new(disorder.bound))
+            Some(ReorderBuffer::new(disorder.strategy, disorder.max_buffered))
         };
         Self {
             shard,
@@ -94,7 +113,9 @@ impl ShardWorker {
             batches: 0,
             late_dropped: 0,
             late_routed: 0,
+            engine_time: 0,
             released: Vec::new(),
+            keys_scratch: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
         }
@@ -122,39 +143,58 @@ impl ShardWorker {
         }
     }
 
-    fn on_batch(&mut self, events: &[(u64, Arc<Event>)]) {
+    fn on_batch(&mut self, events: &[Routed]) {
         self.batches += 1;
         // Hot path: in-order streams never touch the buffer.
         if self.reorder.is_none() {
-            self.process(events);
+            for (key, _, ev) in events {
+                self.process_one(*key, ev);
+            }
+            self.deliver();
             return;
         }
-        for (key, ev) in events {
+        for (key, source, ev) in events {
             let buffer = self.reorder.as_mut().expect("non-passthrough shard");
-            if buffer.offer(*key, ev) == Offer::Late {
+            if buffer.offer(*key, *source, ev) == Offer::Late {
                 let watermark = buffer.watermark();
-                self.on_late(*key, ev, watermark);
+                self.on_late(*key, *source, ev, watermark);
+            } else if self
+                .reorder
+                .as_ref()
+                .expect("still buffered")
+                .over_capacity()
+            {
+                // Enforce the memory cap per event, not per batch, so
+                // the configured depth is a hard limit. Only the
+                // eviction drain runs here; the engine sweep and sink
+                // delivery are amortized over the batch.
+                self.drain_and_process(false);
             }
         }
         self.release(false);
     }
 
     fn on_watermark(&mut self, ts: Timestamp) {
-        // Punctuation on a passthrough shard is a no-op: the stream is
-        // already ordered and nothing is buffered.
-        if let Some(buffer) = &mut self.reorder {
-            buffer.advance_to(ts);
-            self.release(false);
+        match &mut self.reorder {
+            Some(buffer) => {
+                buffer.advance_to(ts);
+                self.release(false);
+            }
+            // Passthrough shards hold no buffer, but the punctuation
+            // promise — no event before `ts` remains — still lets
+            // pending finalizations emit.
+            None => self.advance_engines(ts),
         }
     }
 
-    fn on_late(&mut self, key: u64, ev: &Arc<Event>, watermark: Timestamp) {
+    fn on_late(&mut self, key: u64, source: SourceId, ev: &Arc<Event>, watermark: Timestamp) {
         match self.lateness {
             LatenessPolicy::Drop => self.late_dropped += 1,
             LatenessPolicy::Route => {
                 self.late_routed += 1;
                 self.sink.on_late(LateEvent {
                     key,
+                    source,
                     shard: self.shard,
                     watermark,
                     event: Arc::clone(ev),
@@ -164,51 +204,105 @@ impl ShardWorker {
     }
 
     /// Pops buffered events — those the watermark released, or (at end
-    /// of stream) everything — and runs them through the engines.
+    /// of stream) everything — runs them through the engines, and
+    /// drives the engines' stream clocks up to the watermark.
     fn release(&mut self, all: bool) {
+        let watermark = self.drain_and_process(all);
+        // Watermark-driven finalization: deadlines are evaluated
+        // against the shard watermark, not engine-visible event time.
+        // At end of stream `finish` flushes everything anyway.
+        if !all {
+            self.advance_engines(watermark);
+        }
+        self.deliver();
+    }
+
+    /// Drains the reorder buffer (watermark-released or everything)
+    /// through the engines, returning the buffer's watermark. Does not
+    /// advance engine clocks or deliver to the sink — callers on the
+    /// per-event path amortize those over the batch.
+    fn drain_and_process(&mut self, all: bool) -> Timestamp {
         let mut released = std::mem::take(&mut self.released);
         released.clear();
+        let mut watermark = 0;
         if let Some(buffer) = &mut self.reorder {
             if all {
                 buffer.drain_all(&mut released);
             } else {
                 buffer.drain_ready(&mut released);
             }
+            watermark = buffer.watermark();
         }
-        self.process(&released);
+        for (key, ev) in &released {
+            self.process_one(*key, ev);
+        }
         self.released = released;
+        watermark
     }
 
-    /// Runs in-order events through the per-(key, query) engines.
-    fn process(&mut self, events: &[(u64, Arc<Event>)]) {
-        for (key, ev) in events {
-            let key = *key;
-            self.events += 1;
-            // Keys whose events no query ever references must not pin a
-            // map entry: memory stays bounded by keys hosting engines.
-            if !self.templates.iter().any(|t| t.is_relevant(ev.type_id)) {
+    /// Runs one in-order event through the per-(key, query) engines.
+    fn process_one(&mut self, key: u64, ev: &Arc<Event>) {
+        self.events += 1;
+        // Keys whose events no query ever references must not pin a
+        // map entry: memory stays bounded by keys hosting engines.
+        if !self.templates.iter().any(|t| t.is_relevant(ev.type_id)) {
+            return;
+        }
+        let engines = self
+            .keys
+            .entry(key)
+            .or_insert_with(|| self.templates.iter().map(|_| None).collect());
+        for (qi, slot) in engines.iter_mut().enumerate() {
+            let template = &self.templates[qi];
+            if !template.is_relevant(ev.type_id) {
                 continue;
             }
-            let engines = self
-                .keys
-                .entry(key)
-                .or_insert_with(|| self.templates.iter().map(|_| None).collect());
+            let engine = slot.get_or_insert_with(|| template.instantiate());
+            engine.on_event(ev, &mut self.scratch);
+            drain_tagged(
+                &mut self.scratch,
+                &mut self.pending,
+                QueryId(qi as u32),
+                key,
+                self.shard,
+            );
+        }
+    }
+
+    /// Advances every live engine's stream clock to `to` (monotone),
+    /// emitting matches whose finalization deadline the watermark
+    /// proved passed. Keys are visited in sorted order so emission
+    /// order within the shard is deterministic.
+    fn advance_engines(&mut self, to: Timestamp) {
+        if to <= self.engine_time {
+            return;
+        }
+        self.engine_time = to;
+        let mut keys = std::mem::take(&mut self.keys_scratch);
+        keys.clear();
+        keys.extend(self.keys.keys().copied());
+        keys.sort_unstable();
+        for &key in &keys {
+            let engines = self.keys.get_mut(&key).expect("key just listed");
             for (qi, slot) in engines.iter_mut().enumerate() {
-                let template = &self.templates[qi];
-                if !template.is_relevant(ev.type_id) {
-                    continue;
+                if let Some(engine) = slot {
+                    engine.advance_time(to, &mut self.scratch);
+                    drain_tagged(
+                        &mut self.scratch,
+                        &mut self.pending,
+                        QueryId(qi as u32),
+                        key,
+                        self.shard,
+                    );
                 }
-                let engine = slot.get_or_insert_with(|| template.instantiate());
-                engine.on_event(ev, &mut self.scratch);
-                drain_tagged(
-                    &mut self.scratch,
-                    &mut self.pending,
-                    QueryId(qi as u32),
-                    key,
-                    self.shard,
-                );
             }
         }
+        self.keys_scratch = keys;
+        self.deliver();
+    }
+
+    /// Ships the pending matches of the message in flight to the sink.
+    fn deliver(&mut self) {
         if !self.pending.is_empty() {
             self.sink.on_batch(std::mem::take(&mut self.pending));
         }
@@ -237,9 +331,7 @@ impl ShardWorker {
                 }
             }
         }
-        if !self.pending.is_empty() {
-            self.sink.on_batch(std::mem::take(&mut self.pending));
-        }
+        self.deliver();
     }
 
     fn stats(&self) -> ShardStats {
@@ -260,6 +352,7 @@ impl ShardWorker {
             late_routed: self.late_routed,
             reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::depth),
             max_reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::max_depth),
+            reorder_overflow: self.reorder.as_ref().map_or(0, ReorderBuffer::overflow),
             watermark: self.reorder.as_ref().map(ReorderBuffer::watermark),
             per_query,
         }

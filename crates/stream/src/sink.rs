@@ -35,6 +35,11 @@ pub struct TaggedMatch {
 pub struct LateEvent {
     /// The event's partition key.
     pub key: u64,
+    /// The ingestion source that delivered it
+    /// ([`SourceId::MERGED`](acep_types::SourceId::MERGED) for
+    /// untagged pushes) — under per-source watermarks, the source to
+    /// blame for exceeding its bound or resuming from idleness.
+    pub source: acep_types::SourceId,
     /// The shard whose watermark it missed.
     pub shard: usize,
     /// The shard watermark at arrival time.
@@ -203,6 +208,7 @@ mod tests {
     fn late_channel_collects_and_counts() {
         let late = || LateEvent {
             key: 9,
+            source: acep_types::SourceId(3),
             shard: 1,
             watermark: 50,
             event: acep_types::Event::new(acep_types::EventTypeId(0), 40, 7, vec![]),

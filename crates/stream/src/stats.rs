@@ -77,8 +77,16 @@ pub struct ShardStats {
     /// Events currently held in the reordering buffer (gauge; `0` both
     /// in passthrough mode and after `finish`).
     pub reorder_depth: usize,
-    /// High-water mark of the reordering buffer depth.
+    /// High-water mark of the reordering buffer depth. With a
+    /// [`max_buffered`](acep_types::DisorderConfig::max_buffered) cap
+    /// this never exceeds the cap by more than one (the arriving event
+    /// that triggers eviction) — the explicit worst-case memory of
+    /// event-time ingestion.
     pub max_reorder_depth: usize,
+    /// Events force-released by the reordering buffer's capacity cap
+    /// before their watermark (each advances the watermark past its
+    /// timestamp; stragglers behind it count as late).
+    pub reorder_overflow: u64,
     /// The shard's event-time watermark (`None` in passthrough mode).
     pub watermark: Option<Timestamp>,
     /// Per-query rollups, indexed by [`QueryId`].
@@ -126,6 +134,12 @@ impl RuntimeStats {
     /// Events currently held in reordering buffers across all shards.
     pub fn total_reorder_depth(&self) -> usize {
         self.shards.iter().map(|s| s.reorder_depth).sum()
+    }
+
+    /// Events force-released by reorder capacity caps across all
+    /// shards.
+    pub fn total_reorder_overflow(&self) -> u64 {
+        self.shards.iter().map(|s| s.reorder_overflow).sum()
     }
 
     /// The rollup of one query merged across all shards.
@@ -192,6 +206,7 @@ mod tests {
                     late_routed: 1,
                     reorder_depth: 2,
                     max_reorder_depth: 8,
+                    reorder_overflow: 2,
                     watermark: Some(900),
                     per_query: vec![query_stats(5, 1), query_stats(2, 0)],
                 },
@@ -204,6 +219,7 @@ mod tests {
                     late_routed: 0,
                     reorder_depth: 3,
                     max_reorder_depth: 3,
+                    reorder_overflow: 1,
                     watermark: Some(880),
                     per_query: vec![query_stats(1, 0), query_stats(4, 2)],
                 },
@@ -215,6 +231,7 @@ mod tests {
         assert_eq!(stats.total_late_dropped(), 5);
         assert_eq!(stats.total_late_routed(), 1);
         assert_eq!(stats.total_reorder_depth(), 5);
+        assert_eq!(stats.total_reorder_overflow(), 3);
         let q0 = stats.query(QueryId(0));
         assert_eq!(q0.matches, 6);
         assert_eq!(q0.engines, 2);

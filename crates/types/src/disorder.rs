@@ -10,14 +10,106 @@
 //! time order once a **watermark** — a lower bound on the timestamps of
 //! all future arrivals — has passed them.
 //!
-//! The watermark `W` is maintained heuristically as
-//! `max_ingested_timestamp - D` and can additionally be advanced
-//! explicitly (punctuation). An event arriving with `timestamp < W` is
-//! **late**: its slot in the sorted order has already been released, so
+//! How the watermark is maintained is the [`WatermarkStrategy`]:
+//!
+//! * [`Merged`](WatermarkStrategy::Merged) derives one heuristic
+//!   watermark `max_ingested_timestamp - D` from the merged arrival
+//!   stream. Simple, but the bound must cover the *total* disorder of
+//!   the merge — including inter-source skew, which can dwarf any
+//!   per-source displacement.
+//! * [`PerSource`](WatermarkStrategy::PerSource) tracks
+//!   `max_ingested_timestamp` per [`SourceId`] and takes the minimum
+//!   across sources (Flink-style), so the bound only has to cover each
+//!   source's *own* disorder: a small `D` then tolerates arbitrarily
+//!   large skew *between* sources. A source that falls more than
+//!   `idle_timeout` of event time behind the fastest source is
+//!   considered **idle** and stops holding the watermark back (its
+//!   events become late if it resumes behind the advanced watermark).
+//!
+//! Either way the watermark can additionally be advanced explicitly
+//! (punctuation). An event arriving with `timestamp < W` is **late**:
+//! its slot in the sorted order has already been released, so
 //! re-establishing order is impossible and the [`LatenessPolicy`]
 //! decides its fate instead.
 
+use std::fmt;
+
 use crate::event::Timestamp;
+
+/// Identifier of an ingestion source (producer, broker partition,
+/// sensor …) for per-source watermark tracking.
+///
+/// Sources are an *ingestion-time* notion: events do not carry their
+/// source; the pushing call declares it (`push_batch_from` in
+/// `acep-stream`). Pushes that do not declare a source are attributed
+/// to [`SourceId::MERGED`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SourceId(pub u32);
+
+impl SourceId {
+    /// The implicit source of pushes that do not declare one.
+    pub const MERGED: SourceId = SourceId(0);
+}
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// How the ingestion watermark is derived from arriving timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatermarkStrategy {
+    /// One heuristic watermark over the merged arrival stream:
+    /// `max_seen - bound`. The bound must cover the total disorder of
+    /// the merge. `Merged(0)` declares the stream already sorted
+    /// (strict passthrough); `Merged(Timestamp::MAX)` disables the
+    /// heuristic so only punctuation advances the watermark.
+    Merged(Timestamp),
+    /// Flink-style per-source watermarks: `max_seen` is tracked per
+    /// [`SourceId`] and the watermark is
+    /// `min over non-idle sources of max_seen(source) - bound`, so
+    /// `bound` only has to cover each source's own disorder, not the
+    /// skew between sources.
+    PerSource {
+        /// Maximal event-time displacement `D` (ms) *within* one
+        /// source's stream.
+        bound: Timestamp,
+        /// A source whose `max_seen` trails the fastest source by more
+        /// than this much event time is idle: it no longer holds the
+        /// watermark back. The same window doubles as the **discovery
+        /// grace period** for sources that have not announced
+        /// themselves yet (ingestion cannot distinguish "not yet
+        /// started" from "lagging"), so `Timestamp::MAX` — never rule
+        /// a source out — freezes the heuristic at the stream's first
+        /// timestamp minus `bound`, leaving release to punctuation
+        /// alone. Pick a finite timeout for dynamically discovered
+        /// sources.
+        ///
+        /// Both idleness and the grace period are judged per shard,
+        /// against shard-local arrivals: a source only holds back (and
+        /// must keep warm) the shards its keys actually route to.
+        idle_timeout: Timestamp,
+    },
+}
+
+impl Default for WatermarkStrategy {
+    /// In-order merged passthrough.
+    fn default() -> Self {
+        WatermarkStrategy::Merged(0)
+    }
+}
+
+impl WatermarkStrategy {
+    /// The disorder bound `D` of the heuristic (either variant).
+    #[inline]
+    pub fn bound(&self) -> Timestamp {
+        match *self {
+            WatermarkStrategy::Merged(bound) => bound,
+            WatermarkStrategy::PerSource { bound, .. } => bound,
+        }
+    }
+}
 
 /// What to do with an event that arrives behind the watermark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -32,25 +124,29 @@ pub enum LatenessPolicy {
 
 /// Bounded event-time disorder accepted at ingestion.
 ///
-/// `bound` is the maximal tolerated displacement `D` in timestamp units
-/// (ms): the ingestion contract is that once an event with timestamp `t`
-/// has been ingested, no event with timestamp `< t - D` arrives anymore.
-/// Events violating the contract are *late* and handled per
-/// [`LatenessPolicy`].
+/// The ingestion contract is per [`WatermarkStrategy`]: under
+/// [`Merged`](WatermarkStrategy::Merged)`(D)`, once an event with
+/// timestamp `t` has been ingested no event with timestamp `< t - D`
+/// arrives anymore; under
+/// [`PerSource`](WatermarkStrategy::PerSource) the same promise holds
+/// *within each source's substream*. Events violating the contract are
+/// *late* and handled per [`LatenessPolicy`].
 ///
-/// `bound == 0` declares the stream already sorted; ingestion layers
-/// must treat it as a strict passthrough (no buffering, no per-event
-/// overhead). For purely punctuation-driven pipelines (no heuristic
-/// watermark at all), set `bound` to [`Timestamp::MAX`]: the heuristic
-/// `max_seen - D` then never advances and only explicit watermarks
-/// release events.
+/// `max_buffered` caps the reordering buffer: worst-case memory becomes
+/// explicit instead of `D × arrival rate`. When the cap is hit the
+/// buffer force-releases its oldest events (advancing the watermark
+/// past them), so overflow surfaces as counted early releases — and
+/// potential lateness for stragglers behind them — never as unbounded
+/// growth. `None` leaves the buffer unbounded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DisorderConfig {
-    /// Maximal event-time displacement `D` (ms). `0` = in-order
-    /// passthrough.
-    pub bound: Timestamp,
+    /// Watermark derivation (and with it the disorder bound `D`).
+    pub strategy: WatermarkStrategy,
     /// Handling of events arriving behind the watermark.
     pub lateness: LatenessPolicy,
+    /// Hard cap on events held in the reordering buffer (per shard).
+    /// `None` = unbounded.
+    pub max_buffered: Option<usize>,
 }
 
 impl DisorderConfig {
@@ -60,11 +156,29 @@ impl DisorderConfig {
         Self::default()
     }
 
-    /// Tolerates displacement up to `bound` ms, dropping late events.
+    /// Tolerates displacement up to `bound` ms of the merged arrival
+    /// stream, dropping late events.
     pub fn bounded(bound: Timestamp) -> Self {
         Self {
-            bound,
-            lateness: LatenessPolicy::Drop,
+            strategy: WatermarkStrategy::Merged(bound),
+            ..Self::default()
+        }
+    }
+
+    /// Per-source watermarks: tolerates displacement up to `bound` ms
+    /// within each source and arbitrary skew between sources; a source
+    /// trailing the fastest by more than `idle_timeout` ms of event
+    /// time stops holding the watermark back. `idle_timeout` also
+    /// bounds the discovery grace for sources that have not spoken yet
+    /// — see [`WatermarkStrategy::PerSource`] for why `Timestamp::MAX`
+    /// makes the pipeline punctuation-only.
+    pub fn per_source(bound: Timestamp, idle_timeout: Timestamp) -> Self {
+        Self {
+            strategy: WatermarkStrategy::PerSource {
+                bound,
+                idle_timeout,
+            },
+            ..Self::default()
         }
     }
 
@@ -74,10 +188,25 @@ impl DisorderConfig {
         self
     }
 
-    /// Whether ingestion may skip reordering entirely.
+    /// Caps the reordering buffer at `cap` events per shard (overflow
+    /// force-releases the oldest events).
+    pub fn with_max_buffered(mut self, cap: usize) -> Self {
+        self.max_buffered = Some(cap);
+        self
+    }
+
+    /// The disorder bound `D` of the configured strategy.
+    #[inline]
+    pub fn bound(&self) -> Timestamp {
+        self.strategy.bound()
+    }
+
+    /// Whether ingestion may skip reordering entirely. Only a merged
+    /// bound of 0 qualifies: per-source streams are individually sorted
+    /// but their *merge* is not, so `PerSource` always buffers.
     #[inline]
     pub fn is_passthrough(&self) -> bool {
-        self.bound == 0
+        self.strategy == WatermarkStrategy::Merged(0)
     }
 }
 
@@ -90,16 +219,48 @@ mod tests {
         let d = DisorderConfig::default();
         assert_eq!(d, DisorderConfig::in_order());
         assert!(d.is_passthrough());
+        assert_eq!(d.bound(), 0);
         assert_eq!(d.lateness, LatenessPolicy::Drop);
+        assert_eq!(d.max_buffered, None);
     }
 
     #[test]
     fn bounded_buffers_and_policy_is_replaceable() {
         let d = DisorderConfig::bounded(250);
         assert!(!d.is_passthrough());
-        assert_eq!(d.bound, 250);
+        assert_eq!(d.bound(), 250);
         let d = d.with_lateness(LatenessPolicy::Route);
         assert_eq!(d.lateness, LatenessPolicy::Route);
-        assert_eq!(d.bound, 250, "policy change keeps the bound");
+        assert_eq!(d.bound(), 250, "policy change keeps the bound");
+    }
+
+    #[test]
+    fn per_source_never_degrades_to_passthrough() {
+        let d = DisorderConfig::per_source(0, 1_000);
+        assert!(
+            !d.is_passthrough(),
+            "individually sorted sources still interleave in the merge"
+        );
+        assert_eq!(d.bound(), 0);
+        assert_eq!(
+            d.strategy,
+            WatermarkStrategy::PerSource {
+                bound: 0,
+                idle_timeout: 1_000
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_cap_is_opt_in() {
+        let d = DisorderConfig::bounded(100).with_max_buffered(64);
+        assert_eq!(d.max_buffered, Some(64));
+        assert_eq!(d.bound(), 100);
+    }
+
+    #[test]
+    fn source_id_display_and_default() {
+        assert_eq!(SourceId(7).to_string(), "S7");
+        assert_eq!(SourceId::default(), SourceId::MERGED);
     }
 }

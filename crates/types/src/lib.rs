@@ -58,7 +58,7 @@ pub mod value;
 pub use canonical::{
     CanonicalPattern, CompiledCondition, CondVars, NegatedSlot, Slot, SubKind, SubPattern,
 };
-pub use disorder::{DisorderConfig, LatenessPolicy};
+pub use disorder::{DisorderConfig, LatenessPolicy, SourceId, WatermarkStrategy};
 pub use error::AcepError;
 pub use event::{Event, EventTypeId, Timestamp};
 pub use partition::{
@@ -72,7 +72,7 @@ pub use value::Value;
 /// Commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use crate::canonical::{CanonicalPattern, SubKind, SubPattern};
-    pub use crate::disorder::{DisorderConfig, LatenessPolicy};
+    pub use crate::disorder::{DisorderConfig, LatenessPolicy, SourceId, WatermarkStrategy};
     pub use crate::error::AcepError;
     pub use crate::event::{Event, EventTypeId, Timestamp};
     pub use crate::partition::{AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor};

@@ -19,7 +19,7 @@
 
 use std::sync::Arc;
 
-use acep_types::{mix64, Event, Timestamp};
+use acep_types::{mix64, Event, SourceId, Timestamp};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,6 +66,27 @@ pub fn source_skew(
     max_skew: Timestamp,
     seed: u64,
 ) -> Vec<Arc<Event>> {
+    source_skew_tagged(events, num_sources, max_skew, seed)
+        .into_iter()
+        .map(|(_, ev)| ev)
+        .collect()
+}
+
+/// [`source_skew`] with each delivered event tagged by its simulated
+/// source, for feeding a per-source-watermark runtime
+/// (`acep_stream::ShardedRuntime::push_tagged`).
+///
+/// The key property of this delivery: within one source the disorder
+/// is **zero** (each source's substream stays `(timestamp, seq)`
+/// sorted), while the disorder of the *merge* is up to `max_skew`. A
+/// per-source watermark therefore tolerates it at any bound, where a
+/// merged watermark needs `bound >= max_skew` to avoid late drops.
+pub fn source_skew_tagged(
+    events: &[Arc<Event>],
+    num_sources: usize,
+    max_skew: Timestamp,
+    seed: u64,
+) -> Vec<(SourceId, Arc<Event>)> {
     let num_sources = num_sources.max(1);
     let mut rng = StdRng::seed_from_u64(mix64(seed ^ 0x5EED_5CE3));
     let skews: Vec<Timestamp> = (0..num_sources)
@@ -77,13 +98,23 @@ pub fn source_skew(
             }
         })
         .collect();
-    let mut keyed: Vec<(Timestamp, &Arc<Event>)> = events
+    let mut keyed: Vec<(Timestamp, SourceId, &Arc<Event>)> = events
         .iter()
         .enumerate()
-        .map(|(i, ev)| (ev.timestamp.saturating_add(skews[i % num_sources]), ev))
+        .map(|(i, ev)| {
+            let source = i % num_sources;
+            (
+                ev.timestamp.saturating_add(skews[source]),
+                SourceId(source as u32),
+                ev,
+            )
+        })
         .collect();
-    keyed.sort_by_key(|(k, _)| *k);
-    keyed.into_iter().map(|(_, ev)| Arc::clone(ev)).collect()
+    keyed.sort_by_key(|(k, _, _)| *k);
+    keyed
+        .into_iter()
+        .map(|(_, source, ev)| (source, Arc::clone(ev)))
+        .collect()
 }
 
 /// Measures the actual disorder of a delivery order: the largest

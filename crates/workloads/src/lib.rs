@@ -30,7 +30,7 @@ pub mod scenario;
 pub mod stocks;
 pub mod traffic;
 
-pub use disorder::{bounded_shuffle, max_disorder, source_skew};
+pub use disorder::{bounded_shuffle, max_disorder, source_skew, source_skew_tagged};
 pub use model::{empirical_rates, DatasetModel, StreamGenerator};
 pub use partition::{events_for_key, keyed_events, merge_streams, offset_types};
 pub use patterns::{build_pattern, pattern_set, DatasetKind, PatternSetKind, PATTERN_SIZES};

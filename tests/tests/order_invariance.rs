@@ -9,6 +9,14 @@
 //! *exactly*: `late_dropped`/`late_routed` equal the count an
 //! independent per-shard watermark simulation predicts, and routed late
 //! events arrive on the sink's late channel event-for-event.
+//!
+//! On top of the merged-watermark properties, this suite pins the
+//! per-source watermark contract (inter-source skew ≫ the per-source
+//! bound is invisible, while the merged strategy at the same bound
+//! provably drops), watermark-*driven* finalization (trailing-negation
+//! matches emit when the watermark passes `min_ts + W`, not when an
+//! engine-visible event does), `flush_until` exactness, and the reorder
+//! memory cap's eviction accounting.
 
 use std::sync::Arc;
 
@@ -18,11 +26,12 @@ use acep_plan::PlannerKind;
 use acep_stats::StatsConfig;
 use acep_stream::{
     CollectingSink, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, PatternSet,
-    QueryId, ShardedRuntime, StreamConfig,
+    QueryId, ShardedRuntime, SourceId, StreamConfig,
 };
-use acep_types::{mix64, Event};
+use acep_types::{mix64, Event, EventTypeId, Pattern, PatternExpr, Value};
 use acep_workloads::{
-    bounded_shuffle, max_disorder, source_skew, DatasetKind, PatternSetKind, Scenario,
+    bounded_shuffle, max_disorder, source_skew, source_skew_tagged, DatasetKind, PatternSetKind,
+    Scenario,
 };
 use proptest::prelude::*;
 
@@ -229,6 +238,318 @@ proptest! {
 
 fn events_scenario() -> Scenario {
     Scenario::new(DatasetKind::Stocks)
+}
+
+/// Like [`run`], but delivering a source-tagged stream through
+/// [`ShardedRuntime::push_tagged`].
+fn run_tagged(
+    set: &PatternSet,
+    events: &[(SourceId, Arc<Event>)],
+    shards: usize,
+    disorder: DisorderConfig,
+) -> (Vec<(u32, u64, MatchKey)>, acep_stream::RuntimeStats) {
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards,
+            channel_capacity: 4,
+            max_batch: 512,
+            disorder,
+        },
+    )
+    .unwrap();
+    for chunk in events.chunks(1_000) {
+        runtime.push_tagged(chunk);
+    }
+    let stats = runtime.finish();
+    let mut lines: Vec<(u32, u64, MatchKey)> = sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.query.0, m.key, m.matched.key()))
+        .collect();
+    lines.sort();
+    (lines, stats)
+}
+
+/// Inter-source skew far beyond the per-source bound: a
+/// `PerSource { bound }` runtime reproduces the in-order match multiset
+/// with **zero** late events, while a `Merged(bound)` runtime at the
+/// very same bound provably drops events of the lagging sources.
+#[test]
+fn per_source_watermarks_tolerate_skew_far_beyond_the_bound() {
+    /// Per-source disorder bound: each simulated source is internally
+    /// sorted, so any positive bound satisfies the contract.
+    const PS_BOUND: u64 = 192;
+    /// Inter-source skew, ~50× the bound.
+    const MAX_SKEW: u64 = 10_000;
+
+    let events = stream();
+    let set = queries(&events_scenario());
+    let (reference, ref_stats, _) = run(&set, &events, 1, DisorderConfig::in_order());
+    assert!(!reference.is_empty(), "workload must produce matches");
+
+    for (seed, sources) in [(11u64, 3usize), (29, 5)] {
+        let tagged = source_skew_tagged(&events, sources, MAX_SKEW, seed);
+        let untagged: Vec<Arc<Event>> = tagged.iter().map(|(_, ev)| Arc::clone(ev)).collect();
+        let skew = max_disorder(&untagged);
+        assert!(
+            skew > 4 * PS_BOUND,
+            "stress case must skew far beyond the bound (got {skew})"
+        );
+
+        // Sources never idle mid-stream: their lag (≤ MAX_SKEW) stays
+        // under the timeout, and so does the discovery grace period.
+        let disorder = DisorderConfig::per_source(PS_BOUND, 2 * MAX_SKEW);
+        for shards in [1usize, 2, 4] {
+            let (lines, stats) = run_tagged(&set, &tagged, shards, disorder);
+            assert_eq!(
+                lines, reference,
+                "per-source delivery diverged (W={shards}, seed={seed})"
+            );
+            assert_eq!(stats.total_late_dropped(), 0, "W={shards}, seed={seed}");
+            assert_eq!(stats.total_late_routed(), 0);
+            assert_eq!(stats.total_events(), events.len() as u64);
+            for q in 0..set.len() as u32 {
+                assert_eq!(
+                    stats.query(QueryId(q)),
+                    ref_stats.query(QueryId(q)),
+                    "per-query stats diverged (W={shards})"
+                );
+            }
+        }
+
+        // The merged strategy at the same bound cannot tell skew from
+        // lateness: with one shard its watermark trails the fastest
+        // source, so the laggards' events (displaced by ≫ bound) drop.
+        let (_, merged_stats) = run_tagged(&set, &tagged, 1, DisorderConfig::bounded(PS_BOUND));
+        assert!(
+            merged_stats.total_late_dropped() > 0,
+            "merged bound {PS_BOUND} must drop under skew {skew}"
+        );
+    }
+}
+
+/// Watermark-driven finalization: a match held for a trailing-negation
+/// deadline emits as soon as the shard *watermark* passes
+/// `min_ts + W` — even though no engine-visible event of its key ever
+/// does (the watermark here is advanced by events of a type the query
+/// does not reference at all).
+#[test]
+fn trailing_negation_emits_at_watermark_passage_not_event_passage() {
+    const WINDOW: u64 = 5_000;
+    const BOUND: u64 = 1_000;
+    let t = EventTypeId;
+    // SEQ(T0, T1, ~T2); T3 is registered but irrelevant to the query —
+    // its only effect is advancing the shard watermark.
+    let pattern = Pattern::builder("trailing-neg")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::neg(PatternExpr::prim(t(2))),
+        ]))
+        .window(WINDOW)
+        .build()
+        .unwrap();
+    let mut set = PatternSet::new(4);
+    let q = set
+        .register("trailing-neg", pattern, AdaptiveConfig::default())
+        .unwrap();
+
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        &set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: 1,
+            disorder: DisorderConfig::bounded(BOUND),
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+
+    let ev = |ty: u32, ts: u64, seq: u64| Event::new(t(ty), ts, seq, vec![Value::Int(7)]);
+    // A(1000), C(1100): a completed positive pair whose trailing
+    // negation scope runs to min_ts + W = 6000.
+    runtime.push_batch(&[ev(0, 1_000, 0), ev(1, 1_100, 1)]);
+    // An irrelevant event advances the watermark to 1200, releasing A
+    // and C into the engine; the pending match now awaits its deadline.
+    runtime.push(&ev(3, 2_200, 2));
+    runtime.flush();
+    assert!(
+        sink.is_empty(),
+        "deadline 6000 not reached: nothing may emit"
+    );
+
+    // Another irrelevant event lifts the watermark to 6100 > 6000. The
+    // engine has still never seen an event past 2200 — emission can
+    // only come from the watermark.
+    runtime.push(&ev(3, 7_100, 3));
+    runtime.flush();
+    let emitted = sink.drain();
+    assert_eq!(emitted.len(), 1, "watermark passage must emit");
+    assert_eq!(emitted[0].query, q);
+    assert_eq!(
+        emitted[0].matched.detected_at, 6_100,
+        "detected at the watermark, not at an event"
+    );
+    let released = runtime.stats();
+    assert_eq!(
+        released.total_events(),
+        3,
+        "the engine-visible stream ends at ts 2200 < deadline"
+    );
+
+    let stats = runtime.finish();
+    assert_eq!(stats.query(q).matches, 1, "no duplicate at end of stream");
+    assert!(sink.drain().is_empty());
+}
+
+/// `flush_until(ts)` is punctuation + barrier: afterwards the sink
+/// holds exactly the matches whose last event precedes `ts`, and the
+/// rest of the stream is untouched (end of stream completes it).
+#[test]
+fn flush_until_emits_exactly_the_watermark_passed_prefix() {
+    let t = EventTypeId;
+    let pattern = Pattern::builder("pair")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+        ]))
+        .window(1_000)
+        .build()
+        .unwrap();
+    let make_set = || {
+        let mut set = PatternSet::new(2);
+        set.register("pair", pattern.clone(), AdaptiveConfig::default())
+            .unwrap();
+        set
+    };
+
+    // Four keys, alternating T0/T1, strictly increasing timestamps.
+    let mut events = Vec::new();
+    for i in 0..200u64 {
+        for key in 0..4u64 {
+            events.push(Event::new(
+                t((i % 2) as u32),
+                40 * i + key,
+                i * 4 + key,
+                vec![Value::Int(key as i64)],
+            ));
+        }
+    }
+
+    // Reference: every match of the full stream, with its max_ts.
+    let ref_sink = Arc::new(CollectingSink::new());
+    let reference = ShardedRuntime::new(
+        &make_set(),
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&ref_sink) as _,
+        StreamConfig::default(),
+    )
+    .unwrap();
+    reference.push_batch(&events);
+    reference.finish();
+    let all: Vec<(u64, u64, MatchKey)> = ref_sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.key, m.matched.max_ts, m.matched.key()))
+        .collect();
+    assert!(!all.is_empty());
+
+    // Punctuation-only event-time runtime: the heuristic never
+    // advances, so `flush_until` alone controls emission.
+    let sink = Arc::new(CollectingSink::new());
+    let runtime = ShardedRuntime::new(
+        &make_set(),
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: 2,
+            disorder: DisorderConfig::bounded(u64::MAX),
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    runtime.push_batch(&events);
+
+    let sort = |mut v: Vec<(u64, u64, MatchKey)>| {
+        v.sort();
+        v
+    };
+    let cut = events[events.len() / 2].timestamp;
+    runtime.flush_until(cut);
+    let window: Vec<(u64, u64, MatchKey)> = sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.key, m.matched.max_ts, m.matched.key()))
+        .collect();
+    let expected: Vec<(u64, u64, MatchKey)> = all
+        .iter()
+        .filter(|(_, max_ts, _)| *max_ts < cut)
+        .cloned()
+        .collect();
+    assert!(!expected.is_empty() && expected.len() < all.len());
+    assert_eq!(
+        sort(window.clone()),
+        sort(expected),
+        "flush_until(ts) = exactly the matches with last_ts < ts"
+    );
+
+    // End of stream delivers the remainder, nothing twice.
+    runtime.finish();
+    let mut rest: Vec<(u64, u64, MatchKey)> = sink
+        .drain()
+        .into_iter()
+        .map(|m| (m.key, m.matched.max_ts, m.matched.key()))
+        .collect();
+    rest.extend(window);
+    assert_eq!(sort(rest), sort(all));
+}
+
+/// The reorder memory cap: an in-order stream through a
+/// punctuation-only buffer capped at C events keeps the match multiset
+/// intact (evictions release in order), bounds the observed depth by
+/// C + 1, and accounts every eviction in `reorder_overflow`.
+#[test]
+fn reorder_capacity_cap_bounds_memory_and_counts_overflow() {
+    const CAP: usize = 64;
+    let events = stream();
+    let set = queries(&events_scenario());
+    let (reference, _, _) = run(&set, &events, 1, DisorderConfig::in_order());
+
+    let disorder = DisorderConfig::bounded(u64::MAX).with_max_buffered(CAP);
+    for shards in [1usize, 2] {
+        let (lines, stats, _) = run(&set, &events, shards, disorder);
+        assert_eq!(
+            lines, reference,
+            "in-order overflow releases in order (W={shards})"
+        );
+        assert_eq!(stats.total_late_dropped(), 0);
+        assert_eq!(stats.total_events(), events.len() as u64);
+        for shard in &stats.shards {
+            assert!(
+                shard.max_reorder_depth <= CAP + 1,
+                "cap is a hard memory bound (depth {})",
+                shard.max_reorder_depth
+            );
+            // Each forced eviction also watermark-releases any events
+            // sharing its timestamp, so overflow is bounded by (not
+            // equal to) the events beyond the cap.
+            assert!(
+                shard.reorder_overflow > 0,
+                "a punctuation-only buffer past its cap must evict"
+            );
+            assert!(
+                shard.reorder_overflow <= shard.events.saturating_sub(CAP as u64),
+                "overflow {} exceeds arrivals beyond the cap",
+                shard.reorder_overflow
+            );
+        }
+    }
 }
 
 /// Explicit punctuation: advancing the watermark past the heuristic
