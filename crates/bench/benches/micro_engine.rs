@@ -48,6 +48,27 @@ fn bench(c: &mut Criterion) {
         });
     }
 
+    // Allocation-sensitive row: an 8-slot sequence under the *eager*
+    // plan stores deep partials at every level, so per-event cost is
+    // dominated by partial extension. The seed implementation cloned an
+    // 8-slot event vector per extension; the arena-backed store pushes
+    // one node, so this row moves when the hot path regresses on
+    // allocation churn even if the n5 rows stay flat.
+    let deep = scenario.pattern(PatternSetKind::Sequence, 8);
+    let deep_ctx = ExecContext::compile(&deep.canonical().branches[0]).unwrap();
+    let deep_plan = EvalPlan::Order(OrderPlan::identity(8));
+    c.bench_function("micro/engine/order_eager_alloc/n8", |b| {
+        b.iter(|| {
+            let mut exec = build_executor(Arc::clone(&deep_ctx), &deep_plan);
+            let mut out = Vec::new();
+            for ev in &events {
+                exec.on_event(ev, &mut out);
+                out.clear();
+            }
+            black_box(exec.comparisons())
+        })
+    });
+
     c.bench_function("micro/engine/migrating_with_replacement/n5", |b| {
         b.iter(|| {
             let mut mig =

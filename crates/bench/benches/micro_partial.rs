@@ -1,0 +1,89 @@
+//! Microbenchmarks of the partial-match primitives: seed/extend/merge/
+//! materialize at join depths 2, 4, and 8.
+//!
+//! These are the allocation-sensitive inner-loop operations the engine
+//! performs per candidate event. The seed implementation cloned an
+//! n-slot event vector per extension, so its cost grew linearly with
+//! the pattern size; with the arena-backed [`PartialStore`] every
+//! extension is a single node push, so the acceptance bar is extend
+//! cost at depth 8 staying within ~2× of depth 2 (amortized slab
+//! growth and deeper debug walks keep it above 1×).
+
+#[path = "common.rs"]
+mod common;
+
+use std::sync::Arc;
+
+use acep_engine::{Partial, PartialStore};
+use acep_types::{Event, EventTypeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn ev(ts: u64, seq: u64) -> Arc<Event> {
+    Event::new(EventTypeId(0), ts, seq, vec![])
+}
+
+fn bench(c: &mut Criterion) {
+    for &n in &[2usize, 4, 8] {
+        let events: Vec<Arc<Event>> = (0..n as u64).map(|i| ev(10 + i, i)).collect();
+
+        // Seed + chain of extends filling every slot (the per-candidate
+        // cost of the order executor's cascade).
+        let mut store = PartialStore::new();
+        c.bench_function(&format!("micro/partial/seed_extend/d{n}"), |b| {
+            b.iter(|| {
+                store.clear();
+                for _ in 0..1_000 {
+                    let mut p = Partial::seed(&mut store, 0, Arc::clone(&events[0]));
+                    for (slot, e) in events.iter().enumerate().skip(1) {
+                        p = p.extend(&mut store, slot, Arc::clone(e));
+                    }
+                    black_box(p.bound);
+                }
+            })
+        });
+
+        // Merge of two half-filled partials (the tree executor's join).
+        c.bench_function(&format!("micro/partial/merge/d{n}"), |b| {
+            b.iter(|| {
+                store.clear();
+                let mut a = Partial::seed(&mut store, 0, Arc::clone(&events[0]));
+                for (slot, e) in events.iter().enumerate().take(n / 2).skip(1) {
+                    a = a.extend(&mut store, slot, Arc::clone(e));
+                }
+                let mut bp = Partial::seed(&mut store, n / 2, Arc::clone(&events[n / 2]));
+                for (slot, e) in events.iter().enumerate().skip(n / 2 + 1) {
+                    bp = bp.extend(&mut store, slot, Arc::clone(e));
+                }
+                for _ in 0..1_000 {
+                    black_box(a.merge(&mut store, &bp).bound);
+                }
+            })
+        });
+
+        // Duplicate-event probe (runs per stored partial per candidate).
+        let mut probe_store = PartialStore::new();
+        let mut full = Partial::seed(&mut probe_store, 0, Arc::clone(&events[0]));
+        for (slot, e) in events.iter().enumerate().skip(1) {
+            full = full.extend(&mut probe_store, slot, Arc::clone(e));
+        }
+        c.bench_function(&format!("micro/partial/contains_seq/d{n}"), |b| {
+            b.iter(|| {
+                for i in 0..1_000u64 {
+                    black_box(full.contains_seq(&probe_store, i % (n as u64 * 2)));
+                }
+            })
+        });
+
+        // Materialization into per-slot bindings (once per emission).
+        c.bench_function(&format!("micro/partial/materialize/d{n}"), |b| {
+            b.iter(|| {
+                for _ in 0..1_000 {
+                    black_box(full.materialize(&probe_store, n).len());
+                }
+            })
+        });
+    }
+}
+
+criterion_group! { name = benches; config = common::cfg(); targets = bench }
+criterion_main!(benches);

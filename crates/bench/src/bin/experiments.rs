@@ -14,18 +14,24 @@
 //!   smoke [--json PATH]   reduced streaming-runtime probe; writes a
 //!                         machine-readable report (default
 //!                         BENCH_smoke.json) for the CI perf trajectory
+//!   smoke-diff CURRENT BASELINE [--tolerance PCT]
+//!              compares two smoke reports; prints a `::warning::`
+//!              annotation per grid point slower than the baseline by
+//!              more than PCT percent (default 20). Always exits 0 —
+//!              smoke numbers are trend data, not a gate.
 //!   all        everything above except smoke
 //! ```
 
 use acep_bench::{
-    appendix, fig5, fig6to9, run_smoke, table1, HarnessConfig, Scale, SmokeConfig, COMBOS,
+    appendix, diff_reports, fig5, fig6to9, run_smoke, table1, HarnessConfig, Scale, SmokeConfig,
+    COMBOS,
 };
 use acep_workloads::PatternSetKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|smoke [--json PATH]|all> [--quick] [--events N]");
+        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|smoke [--json PATH]|smoke-diff CURRENT BASELINE|all> [--quick] [--events N]");
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -100,6 +106,34 @@ fn main() {
             }
             std::fs::write(path, report.to_json()).expect("writing the smoke report");
             println!("wrote {path}");
+        }
+        "smoke-diff" => {
+            let positional: Vec<&String> = args[1..]
+                .iter()
+                .take_while(|a| !a.starts_with("--"))
+                .collect();
+            let [current_path, baseline_path] = positional[..] else {
+                eprintln!("usage: experiments smoke-diff CURRENT BASELINE [--tolerance PCT]");
+                std::process::exit(2);
+            };
+            let tolerance: f64 = args
+                .iter()
+                .position(|a| a == "--tolerance")
+                .and_then(|pos| args.get(pos + 1))
+                .map(|s| s.parse().expect("--tolerance takes a number"))
+                .unwrap_or(20.0);
+            let read = |path: &str| {
+                std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("reading smoke report {path}: {e}"))
+            };
+            let warnings = diff_reports(&read(current_path), &read(baseline_path), tolerance);
+            if warnings.is_empty() {
+                println!("smoke-diff: every grid point within {tolerance}% of {baseline_path}");
+            }
+            for w in &warnings {
+                // GitHub Actions annotation syntax; plain noise elsewhere.
+                println!("::warning::bench-smoke regression: {w}");
+            }
         }
         "all" => {
             fig5(&scale, &harness);

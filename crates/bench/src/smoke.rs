@@ -292,6 +292,70 @@ impl SmokeReport {
     }
 }
 
+/// Extracts the value of `"key": …` from one JSON line of a smoke
+/// report (the format is fixed and machine-written — see
+/// [`SmokeReport::to_json`] — so no general JSON parser is needed).
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Parses the `(strategy, bound, throughput_eps)` grid points back out
+/// of a serialized smoke report.
+pub fn parse_points(json: &str) -> Vec<(String, u64, f64)> {
+    json.lines()
+        .filter_map(|line| {
+            let strategy = json_field(line, "strategy")?.to_string();
+            let bound = json_field(line, "bound")?.parse().ok()?;
+            let eps = json_field(line, "throughput_eps")?.parse().ok()?;
+            Some((strategy, bound, eps))
+        })
+        .collect()
+}
+
+/// Diffs a current smoke report against a committed baseline: one
+/// warning line per grid point slower than the baseline by more than
+/// `tolerance_pct` percent (and per point missing from either side).
+/// Empty = within tolerance. The caller decides whether warnings fail
+/// the build; CI only annotates (smoke numbers are trend data from
+/// shared runners, not a stable gate).
+pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> Vec<String> {
+    let cur = parse_points(current);
+    let base = parse_points(baseline);
+    let mut warnings = Vec::new();
+    if base.is_empty() {
+        warnings.push("baseline report contains no grid points".into());
+        return warnings;
+    }
+    for (strategy, bound, base_eps) in &base {
+        match cur
+            .iter()
+            .find(|(s, b, _)| s == strategy && b == bound)
+            .map(|(_, _, eps)| *eps)
+        {
+            None => warnings.push(format!("{strategy}@{bound}: missing from current report")),
+            Some(cur_eps) if cur_eps < base_eps * (1.0 - tolerance_pct / 100.0) => {
+                warnings.push(format!(
+                    "{strategy}@{bound}: {cur_eps:.0} events/s is {:.1}% below baseline {base_eps:.0}",
+                    100.0 * (1.0 - cur_eps / base_eps)
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for (strategy, bound, _) in &cur {
+        if !base.iter().any(|(s, b, _)| s == strategy && b == bound) {
+            warnings.push(format!(
+                "{strategy}@{bound}: not in baseline (update BENCH_baseline.json)"
+            ));
+        }
+    }
+    warnings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +395,35 @@ mod tests {
         assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
         assert!(json.contains("\"strategy\": \"per_source\""));
         assert_eq!(json.matches("\"bound\":").count(), 5);
+
+        // The report round-trips through the baseline-diff parser.
+        let points = parse_points(&json);
+        assert_eq!(points.len(), 5);
+        assert_eq!(points[0].0, "merged");
+        assert_eq!(points[0].1, 0);
+        assert!((points[0].2 - report.points[0].throughput_eps).abs() < 1.0);
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_grid_drift() {
+        let base = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"overhead_pct\": 0.0}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"overhead_pct\": 10.0}\n";
+        // Within tolerance (10% drop < 20%) → clean.
+        let ok = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 900.0, \"overhead_pct\": 0.0}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 890.0, \"overhead_pct\": 1.1}\n";
+        assert!(diff_reports(ok, base, 20.0).is_empty());
+        // 30% drop at bound 0, a missing point, and a new point.
+        let bad = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 700.0, \"overhead_pct\": 0.0}\n\
+{\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1.0, \"overhead_pct\": 0.0}\n";
+        let warnings = diff_reports(bad, base, 20.0);
+        assert_eq!(warnings.len(), 3, "{warnings:?}");
+        assert!(warnings[0].contains("30.0% below baseline"));
+        assert!(warnings[1].contains("missing from current"));
+        assert!(warnings[2].contains("not in baseline"));
+        // An empty baseline is itself a warning, not a clean pass.
+        assert_eq!(diff_reports(ok, "", 20.0).len(), 1);
     }
 }

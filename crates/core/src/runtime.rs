@@ -419,6 +419,19 @@ impl AdaptiveCep {
     pub fn comparisons(&self) -> u64 {
         self.branches.iter().map(|b| b.exec.comparisons()).sum()
     }
+
+    /// Earliest finalization deadline among matches pending a
+    /// trailing-negation/Kleene scope across all branches and plan
+    /// generations, or `None` when [`advance_time`](Self::advance_time)
+    /// is guaranteed to emit nothing. The sharded runtime keeps a
+    /// per-shard min-heap over this value so watermark advances only
+    /// visit engines with something to emit.
+    pub fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.branches
+            .iter()
+            .filter_map(|b| b.exec.min_pending_deadline())
+            .min()
+    }
 }
 
 #[cfg(test)]

@@ -79,6 +79,15 @@ impl StaticEngine {
         self.branches.iter().map(|b| b.comparisons()).sum()
     }
 
+    /// Earliest pending finalization deadline across branches (see
+    /// [`Executor::min_pending_deadline`]).
+    pub fn min_pending_deadline(&self) -> Option<acep_types::Timestamp> {
+        self.branches
+            .iter()
+            .filter_map(|b| b.min_pending_deadline())
+            .min()
+    }
+
     /// Compiled contexts, one per branch.
     pub fn contexts(&self) -> &[Arc<ExecContext>] {
         &self.contexts

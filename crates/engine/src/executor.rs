@@ -45,6 +45,13 @@ pub trait Executor: Send {
     /// Total predicate/join comparisons performed (the paper's work
     /// metric).
     fn comparisons(&self) -> u64;
+
+    /// Earliest finalization deadline among matches pending a
+    /// trailing-negation/Kleene scope, or `None` when a bare
+    /// [`advance_time`](Self::advance_time) cannot emit anything. The
+    /// streaming layer indexes engines by this value so watermark
+    /// advances skip engines with nothing pending.
+    fn min_pending_deadline(&self) -> Option<Timestamp>;
 }
 
 /// Instantiates the matching executor for a plan.

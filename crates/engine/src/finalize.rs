@@ -12,6 +12,14 @@
 //!   (SASE+-style "ALL" semantics, see DESIGN.md);
 //! * evaluates conditions spanning three or more variables.
 //!
+//! Admission is where arena-backed partials are *materialized*: a
+//! [`Completed`] owns its per-slot event vector, so pending matches
+//! survive level sweeps, arena compaction, and plan migration without
+//! pinning executor state. The finalizer also tracks its minimum
+//! pending deadline ([`Finalizer::min_pending_deadline`]) so the
+//! streaming layer's watermark sweep can skip engines with nothing to
+//! emit.
+//!
 //! Because negated and Kleene events are plain history (not partial
 //! matches), their buffers can be exported and re-imported when a new
 //! evaluation plan is deployed, so mid-migration matches keep correct
@@ -24,7 +32,6 @@ use acep_types::{Event, SubKind, Timestamp};
 use crate::buffer::EventBuffer;
 use crate::context::{ExecContext, NegGuard, PartialBinding};
 use crate::matches::Match;
-use crate::partial::Partial;
 
 /// Event history needed by negation/Kleene finalization; transferable
 /// between plan generations.
@@ -36,10 +43,43 @@ pub struct FinalizerHistory {
     pub kleene: Vec<EventBuffer>,
 }
 
+/// A completed positive join combination, materialized out of the
+/// executor's arena (see module docs).
+#[derive(Debug, Clone)]
+pub struct Completed {
+    /// Bound events by slot index (`None` = Kleene slot).
+    pub events: Vec<Option<Arc<Event>>>,
+    /// Minimum timestamp over bound events.
+    pub min_ts: Timestamp,
+    /// Maximum timestamp over bound events.
+    pub max_ts: Timestamp,
+}
+
+impl Completed {
+    /// Materializes a completed arena-backed partial (`n` = slot count
+    /// of the sub-pattern).
+    pub fn from_partial(
+        store: &crate::partial::PartialStore,
+        p: &crate::partial::Partial,
+        n: usize,
+    ) -> Self {
+        Self {
+            events: p.materialize(store, n),
+            min_ts: p.min_ts,
+            max_ts: p.max_ts,
+        }
+    }
+
+    /// True if the given event instance is one of the bound join events.
+    fn contains_seq(&self, seq: u64) -> bool {
+        self.events.iter().flatten().any(|e| e.seq == seq)
+    }
+}
+
 /// A completed positive combination awaiting its finalization deadline.
 #[derive(Debug)]
 struct PendingMatch {
-    partial: Partial,
+    completed: Completed,
     /// Collected Kleene events, parallel to `ctx.kleene_slots`.
     kleene_sets: Vec<Vec<Arc<Event>>>,
     /// Last stream time at which an event may still affect this match.
@@ -52,6 +92,8 @@ pub struct Finalizer {
     ctx: Arc<ExecContext>,
     history: FinalizerHistory,
     pending: Vec<PendingMatch>,
+    /// Cached minimum over `pending[..].deadline` (`None` when empty).
+    min_deadline: Option<Timestamp>,
     comparisons: u64,
 }
 
@@ -75,6 +117,7 @@ impl Finalizer {
             ctx,
             history,
             pending: Vec::new(),
+            min_deadline: None,
             comparisons: 0,
         }
     }
@@ -87,6 +130,17 @@ impl Finalizer {
     /// Number of matches currently pending finalization.
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Earliest deadline among pending matches — the next stream time
+    /// at which advancing this engine's clock could emit something.
+    /// `None` means `advance_time` is a guaranteed no-op.
+    pub fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.min_deadline
+    }
+
+    fn recompute_min_deadline(&mut self) {
+        self.min_deadline = self.pending.iter().map(|pm| pm.deadline).min();
     }
 
     /// Exports the negation/Kleene history (for plan migration).
@@ -106,17 +160,23 @@ impl Finalizer {
     pub fn observe(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
         let now = ev.timestamp;
         // Negated events: record and test pending matches.
+        let mut invalidated = false;
         for (gi, guard) in self.ctx.negated.iter().enumerate() {
             if guard.event_type == ev.type_id {
                 self.history.neg[gi].push(Arc::clone(ev));
                 let ctx = &self.ctx;
                 let mut comparisons = 0u64;
+                let before = self.pending.len();
                 self.pending.retain(|pm| {
                     comparisons += 1;
-                    !neg_invalidates(ctx, guard, &pm.partial, ev)
+                    !neg_invalidates(ctx, guard, &pm.completed, ev)
                 });
                 self.comparisons += comparisons;
+                invalidated |= self.pending.len() != before;
             }
+        }
+        if invalidated {
+            self.recompute_min_deadline();
         }
         // Kleene events: record and extend pending matches.
         for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
@@ -125,7 +185,7 @@ impl Finalizer {
                 let ctx = Arc::clone(&self.ctx);
                 for pm in &mut self.pending {
                     self.comparisons += 1;
-                    if kleene_compatible(&ctx, slot, &pm.partial, ev) {
+                    if kleene_compatible(&ctx, slot, &pm.completed, ev) {
                         pm.kleene_sets[ki].push(Arc::clone(ev));
                     }
                 }
@@ -137,13 +197,13 @@ impl Finalizer {
     /// Admits a completed positive combination observed at stream time
     /// `now`. Emits immediately when possible, otherwise parks it in the
     /// pending queue.
-    pub fn admit(&mut self, partial: Partial, now: Timestamp, out: &mut Vec<Match>) {
+    pub fn admit(&mut self, completed: Completed, now: Timestamp, out: &mut Vec<Match>) {
         // Conditions over 3+ variables.
         for p in &self.ctx.general {
             self.comparisons += 1;
             let binding = PartialBinding {
                 ctx: &self.ctx,
-                events: &partial.events,
+                events: &completed.events,
                 extra: None,
             };
             if !p.eval(&binding) {
@@ -154,7 +214,7 @@ impl Finalizer {
         for (gi, guard) in self.ctx.negated.iter().enumerate() {
             for ev in self.history.neg[gi].iter() {
                 self.comparisons += 1;
-                if neg_invalidates(&self.ctx, guard, &partial, ev) {
+                if neg_invalidates(&self.ctx, guard, &completed, ev) {
                     return;
                 }
             }
@@ -165,7 +225,7 @@ impl Finalizer {
             let mut set = Vec::new();
             for ev in self.history.kleene[ki].iter() {
                 self.comparisons += 1;
-                if kleene_compatible(&self.ctx, slot, &partial, ev) {
+                if kleene_compatible(&self.ctx, slot, &completed, ev) {
                     set.push(Arc::clone(ev));
                 }
             }
@@ -173,12 +233,13 @@ impl Finalizer {
             kleene_sets.push(set);
         }
 
-        let deadline = self.finalization_deadline(&partial);
+        let deadline = self.finalization_deadline(&completed);
         if deadline <= now {
-            self.emit(partial, kleene_sets, now, out);
+            self.emit(completed, kleene_sets, deadline, now, out);
         } else {
+            self.min_deadline = Some(self.min_deadline.map_or(deadline, |m| m.min(deadline)));
             self.pending.push(PendingMatch {
-                partial,
+                completed,
                 kleene_sets,
                 deadline,
             });
@@ -189,33 +250,35 @@ impl Finalizer {
     /// (events carrying `ts == deadline` may still arrive while
     /// `now == deadline`).
     pub fn flush_ready(&mut self, now: Timestamp, out: &mut Vec<Match>) {
-        if self.pending.is_empty() {
+        if self.min_deadline.is_none_or(|m| m >= now) {
             return;
         }
         let mut i = 0;
         while i < self.pending.len() {
             if self.pending[i].deadline < now {
                 let pm = self.pending.swap_remove(i);
-                self.emit(pm.partial, pm.kleene_sets, now, out);
+                self.emit(pm.completed, pm.kleene_sets, pm.deadline, now, out);
             } else {
                 i += 1;
             }
         }
+        self.recompute_min_deadline();
     }
 
     /// Flushes everything at end of stream.
     pub fn finish(&mut self, out: &mut Vec<Match>) {
         let pending = std::mem::take(&mut self.pending);
+        self.min_deadline = None;
         for pm in pending {
             let at = pm.deadline;
-            self.emit(pm.partial, pm.kleene_sets, at, out);
+            self.emit(pm.completed, pm.kleene_sets, pm.deadline, at, out);
         }
     }
 
     /// Latest stream time at which an event may still invalidate or
-    /// extend a match built on `partial`.
-    fn finalization_deadline(&self, partial: &Partial) -> Timestamp {
-        let window_end = partial.min_ts + self.ctx.window;
+    /// extend a match built on `completed`.
+    fn finalization_deadline(&self, completed: &Completed) -> Timestamp {
+        let window_end = completed.min_ts + self.ctx.window;
         let mut deadline = 0;
         for guard in &self.ctx.negated {
             let open = !matches!(
@@ -240,8 +303,9 @@ impl Finalizer {
 
     fn emit(
         &mut self,
-        partial: Partial,
+        completed: Completed,
         kleene_sets: Vec<Vec<Arc<Event>>>,
+        deadline: Timestamp,
         now: Timestamp,
         out: &mut Vec<Match>,
     ) {
@@ -251,9 +315,9 @@ impl Finalizer {
         }
         let mut bindings = Vec::with_capacity(self.ctx.n);
         for &slot in &self.ctx.join_slots {
-            let ev = partial.events[slot]
+            let ev = completed.events[slot]
                 .as_ref()
-                .expect("admitted partial binds every join slot");
+                .expect("admitted combination binds every join slot");
             bindings.push((self.ctx.vars[slot], vec![Arc::clone(ev)]));
         }
         for (ki, &slot) in self.ctx.kleene_slots.iter().enumerate() {
@@ -261,43 +325,44 @@ impl Finalizer {
         }
         out.push(Match {
             bindings,
-            min_ts: partial.min_ts,
-            max_ts: partial.max_ts,
+            min_ts: completed.min_ts,
+            max_ts: completed.max_ts,
             detected_at: now,
+            deadline,
         });
     }
 }
 
-/// Does negated event `ev` invalidate a match built on `partial`?
+/// Does negated event `ev` invalidate a match built on `completed`?
 fn neg_invalidates(
     ctx: &ExecContext,
     guard: &NegGuard,
-    partial: &Partial,
+    completed: &Completed,
     ev: &Arc<Event>,
 ) -> bool {
     // Temporal scope.
     match guard.after_slot {
         Some(s) => {
-            let anchor = partial.events[s].as_ref().expect("bound join slot");
+            let anchor = completed.events[s].as_ref().expect("bound join slot");
             if !ExecContext::before(anchor, ev) {
                 return false;
             }
         }
         None => {
-            if ev.timestamp < partial.max_ts.saturating_sub(ctx.window) {
+            if ev.timestamp < completed.max_ts.saturating_sub(ctx.window) {
                 return false;
             }
         }
     }
     match guard.before_slot {
         Some(s) => {
-            let anchor = partial.events[s].as_ref().expect("bound join slot");
+            let anchor = completed.events[s].as_ref().expect("bound join slot");
             if !ExecContext::before(ev, anchor) {
                 return false;
             }
         }
         None => {
-            if ev.timestamp > partial.min_ts + ctx.window {
+            if ev.timestamp > completed.min_ts + ctx.window {
                 return false;
             }
         }
@@ -305,35 +370,40 @@ fn neg_invalidates(
     // Predicates involving the negated variable.
     let binding = PartialBinding {
         ctx,
-        events: &partial.events,
+        events: &completed.events,
         extra: Some((guard.var, ev)),
     };
     guard.conditions.iter().all(|p| p.eval(&binding))
 }
 
 /// Is `ev` a qualifying member of the Kleene set at `slot` for a match
-/// built on `partial`?
-fn kleene_compatible(ctx: &ExecContext, slot: usize, partial: &Partial, ev: &Arc<Event>) -> bool {
+/// built on `completed`?
+fn kleene_compatible(
+    ctx: &ExecContext,
+    slot: usize,
+    completed: &Completed,
+    ev: &Arc<Event>,
+) -> bool {
     // The same event instance cannot double as a join event.
-    if partial.contains_seq(ev.seq) {
+    if completed.contains_seq(ev.seq) {
         return false;
     }
     // Window span.
-    if ev.timestamp > partial.min_ts + ctx.window
-        || ev.timestamp < partial.max_ts.saturating_sub(ctx.window)
+    if ev.timestamp > completed.min_ts + ctx.window
+        || ev.timestamp < completed.max_ts.saturating_sub(ctx.window)
     {
         return false;
     }
     // Temporal position for sequences.
     if ctx.kind == SubKind::Sequence {
         if let Some(prev) = ctx.prev_join_slot(slot) {
-            let anchor = partial.events[prev].as_ref().expect("bound join slot");
+            let anchor = completed.events[prev].as_ref().expect("bound join slot");
             if !ExecContext::before(anchor, ev) {
                 return false;
             }
         }
         if let Some(next) = ctx.next_join_slot(slot) {
-            let anchor = partial.events[next].as_ref().expect("bound join slot");
+            let anchor = completed.events[next].as_ref().expect("bound join slot");
             if !ExecContext::before(ev, anchor) {
                 return false;
             }
@@ -342,7 +412,7 @@ fn kleene_compatible(ctx: &ExecContext, slot: usize, partial: &Partial, ev: &Arc
     // Unary predicates on the Kleene slot.
     let binding = PartialBinding {
         ctx,
-        events: &partial.events,
+        events: &completed.events,
         extra: Some((ctx.vars[slot], ev)),
     };
     for p in &ctx.unary[slot] {
@@ -364,6 +434,7 @@ fn kleene_compatible(ctx: &ExecContext, slot: usize, partial: &Partial, ev: &Arc
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::partial::{Partial, PartialStore};
     use acep_types::{attr, EventTypeId, Pattern, PatternExpr, Value};
 
     fn t(i: u32) -> EventTypeId {
@@ -376,6 +447,17 @@ mod tests {
 
     fn ctx_for(p: &Pattern) -> Arc<ExecContext> {
         ExecContext::compile(&p.canonical().branches[0]).unwrap()
+    }
+
+    /// Builds a materialized combination binding `(slot, event)` pairs.
+    fn completed(ctx: &ExecContext, bindings: &[(usize, Arc<Event>)]) -> Completed {
+        let mut store = PartialStore::new();
+        let (slot0, ev0) = bindings.first().expect("at least one binding");
+        let mut p = Partial::seed(&mut store, *slot0, Arc::clone(ev0));
+        for (slot, ev) in &bindings[1..] {
+            p = p.extend(&mut store, *slot, Arc::clone(ev));
+        }
+        Completed::from_partial(&store, &p, ctx.n)
     }
 
     /// SEQ(A, ~B, C) with B.x = A.x.
@@ -392,8 +474,8 @@ mod tests {
             .unwrap()
     }
 
-    fn positive_partial(ctx: &ExecContext, a: Arc<Event>, c: Arc<Event>) -> Partial {
-        Partial::seed(ctx.n, 0, a).extend(1, c)
+    fn positive_completed(ctx: &ExecContext, a: Arc<Event>, c: Arc<Event>) -> Completed {
+        completed(ctx, &[(0, a), (1, c)])
     }
 
     #[test]
@@ -406,7 +488,7 @@ mod tests {
         // Matching B (same x) between A and C.
         f.observe(&ev(1, 20, 1, 7), &mut out);
         let c = ev(2, 30, 2, 0);
-        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        f.admit(positive_completed(&ctx, a, c), 30, &mut out);
         assert!(out.is_empty());
     }
 
@@ -422,7 +504,7 @@ mod tests {
         // B outside the (A, C) span does not invalidate.
         f.observe(&ev(1, 5, 3, 7), &mut out);
         let c = ev(2, 30, 2, 0);
-        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        f.admit(positive_completed(&ctx, a, c), 30, &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].min_ts, 10);
     }
@@ -448,13 +530,18 @@ mod tests {
         let mut out = Vec::new();
         let a = ev(0, 10, 0, 0);
         let c = ev(2, 30, 1, 0);
-        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        f.admit(positive_completed(&ctx, a, c), 30, &mut out);
         assert!(out.is_empty(), "must wait until min_ts + W = 110");
         assert_eq!(f.pending_count(), 1);
+        assert_eq!(f.min_pending_deadline(), Some(110));
         // An unrelated event at ts 111 releases the match.
         f.observe(&ev(5, 111, 2, 0), &mut out);
         assert_eq!(out.len(), 1);
         assert_eq!(f.pending_count(), 0);
+        assert_eq!(f.min_pending_deadline(), None);
+        // The released match records its finalization deadline.
+        assert_eq!(out[0].deadline, 110);
+        assert_eq!(out[0].detected_at, 111);
     }
 
     #[test]
@@ -465,9 +552,11 @@ mod tests {
         let mut out = Vec::new();
         let a = ev(0, 10, 0, 0);
         let c = ev(2, 30, 1, 0);
-        f.admit(positive_partial(&ctx, a, c), 30, &mut out);
+        f.admit(positive_completed(&ctx, a, c), 30, &mut out);
+        assert_eq!(f.min_pending_deadline(), Some(110));
         // D arrives after C within the window → invalidates.
         f.observe(&ev(3, 50, 2, 0), &mut out);
+        assert_eq!(f.min_pending_deadline(), None);
         f.observe(&ev(5, 200, 3, 0), &mut out);
         assert!(out.is_empty());
         assert_eq!(f.pending_count(), 0);
@@ -480,7 +569,7 @@ mod tests {
         let mut f = Finalizer::new(Arc::clone(&ctx));
         let mut out = Vec::new();
         f.admit(
-            positive_partial(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
+            positive_completed(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
             30,
             &mut out,
         );
@@ -514,8 +603,8 @@ mod tests {
         f.observe(&ev(1, 20, 11, -1), &mut out); // fails unary pred
         f.observe(&ev(1, 25, 12, 3), &mut out); // qualifies
         f.observe(&ev(1, 5, 13, 9), &mut out); // before A → out of scope
-        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(2, ev(2, 30, 1, 0));
-        f.admit(partial, 30, &mut out);
+        let c = completed(&ctx, &[(0, ev(0, 10, 0, 0)), (2, ev(2, 30, 1, 0))]);
+        f.admit(c, 30, &mut out);
         assert_eq!(out.len(), 1);
         let kleene_binding = out[0]
             .bindings
@@ -533,8 +622,8 @@ mod tests {
         let ctx = ctx_for(&p);
         let mut f = Finalizer::new(Arc::clone(&ctx));
         let mut out = Vec::new();
-        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(2, ev(2, 30, 1, 0));
-        f.admit(partial, 30, &mut out);
+        let c = completed(&ctx, &[(0, ev(0, 10, 0, 0)), (2, ev(2, 30, 1, 0))]);
+        f.admit(c, 30, &mut out);
         assert!(out.is_empty(), "Kleene closure means one *or more*");
     }
 
@@ -553,8 +642,8 @@ mod tests {
         let ctx = ctx_for(&p);
         let mut f = Finalizer::new(Arc::clone(&ctx));
         let mut out = Vec::new();
-        let partial = Partial::seed(ctx.n, 0, ev(0, 10, 0, 0)).extend(1, ev(2, 30, 1, 0));
-        f.admit(partial, 30, &mut out);
+        let c = completed(&ctx, &[(0, ev(0, 10, 0, 0)), (1, ev(2, 30, 1, 0))]);
+        f.admit(c, 30, &mut out);
         assert_eq!(f.pending_count(), 1);
         f.observe(&ev(1, 50, 2, 0), &mut out); // collected
         f.observe(&ev(1, 90, 3, 0), &mut out); // collected
@@ -571,13 +660,14 @@ mod tests {
         let mut f = Finalizer::new(Arc::clone(&ctx));
         let mut out = Vec::new();
         f.admit(
-            positive_partial(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
+            positive_completed(&ctx, ev(0, 10, 0, 0), ev(2, 30, 1, 0)),
             30,
             &mut out,
         );
         assert!(out.is_empty());
         f.finish(&mut out);
         assert_eq!(out.len(), 1);
+        assert_eq!(f.min_pending_deadline(), None);
     }
 
     #[test]
@@ -591,10 +681,33 @@ mod tests {
         let mut f2 = Finalizer::new(Arc::clone(&ctx));
         f2.import_history(f1.export_history());
         f2.admit(
-            positive_partial(&ctx, ev(0, 10, 0, 7), ev(2, 30, 2, 0)),
+            positive_completed(&ctx, ev(0, 10, 0, 7), ev(2, 30, 2, 0)),
             30,
             &mut out,
         );
         assert!(out.is_empty(), "imported history must carry the negation");
+    }
+
+    #[test]
+    fn min_deadline_tracks_earliest_pending() {
+        let p = trailing_neg_pattern();
+        let ctx = ctx_for(&p);
+        let mut f = Finalizer::new(Arc::clone(&ctx));
+        let mut out = Vec::new();
+        f.admit(
+            positive_completed(&ctx, ev(0, 40, 0, 0), ev(2, 50, 1, 0)),
+            50,
+            &mut out,
+        );
+        f.admit(
+            positive_completed(&ctx, ev(0, 10, 2, 0), ev(2, 55, 3, 0)),
+            55,
+            &mut out,
+        );
+        assert_eq!(f.min_pending_deadline(), Some(110));
+        // Flushing past the earliest leaves the later one.
+        f.flush_ready(120, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(f.min_pending_deadline(), Some(140));
     }
 }

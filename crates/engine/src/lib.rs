@@ -17,6 +17,12 @@
 //!   disjunction branch), which is also the semantic reference for the
 //!   adaptive runtime.
 //!
+//! * [`partial`] — arena-backed partial matches: a per-executor
+//!   [`PartialStore`] slab of `(slot, event, parent)` binding nodes, so
+//!   extending or merging a partial is O(1)/O(shorter chain) node
+//!   pushes with shared suffixes instead of per-partial event vectors
+//!   (SASE+-style shared match buffer).
+//!
 //! Both executors expose their stored-partial-match counts and
 //! comparison counters — the quantities the paper's cost model predicts —
 //! so benchmarks can verify that plan quality translates into work.
@@ -36,9 +42,9 @@ pub use buffer::EventBuffer;
 pub use composite::StaticEngine;
 pub use context::{ExecContext, NegGuard, PartialBinding};
 pub use executor::{build_executor, Executor};
-pub use finalize::{Finalizer, FinalizerHistory};
+pub use finalize::{Completed, Finalizer, FinalizerHistory};
 pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;
 pub use order_exec::OrderExecutor;
-pub use partial::Partial;
+pub use partial::{ChainBinding, Partial, PartialStore};
 pub use tree_exec::TreeExecutor;

@@ -59,6 +59,13 @@ pub struct Match {
     pub max_ts: Timestamp,
     /// Stream time at which the match was emitted.
     pub detected_at: Timestamp,
+    /// Finalization deadline: the last stream time at which an event
+    /// could still have invalidated or extended this match (`0` when
+    /// the match had no open trailing-negation/Kleene scope and emitted
+    /// immediately). For deadline-held matches released by a watermark,
+    /// `detected_at - deadline` is the emission latency the streaming
+    /// layer aggregates in its stats.
+    pub deadline: Timestamp,
 }
 
 impl Match {
@@ -97,12 +104,14 @@ mod tests {
             min_ts: 1,
             max_ts: 2,
             detected_at: 2,
+            deadline: 0,
         };
         let b = Match {
             bindings: vec![(VarId(1), vec![ev(2, 20)]), (VarId(0), vec![ev(1, 10)])],
             min_ts: 1,
             max_ts: 2,
             detected_at: 5,
+            deadline: 0,
         };
         assert_eq!(a.key(), b.key());
     }
@@ -114,12 +123,14 @@ mod tests {
             min_ts: 1,
             max_ts: 1,
             detected_at: 1,
+            deadline: 0,
         };
         let b = Match {
             bindings: vec![(VarId(0), vec![ev(1, 11)])],
             min_ts: 1,
             max_ts: 1,
             detected_at: 1,
+            deadline: 0,
         };
         assert_ne!(a.key(), b.key());
     }
@@ -131,12 +142,14 @@ mod tests {
             min_ts: 1,
             max_ts: 2,
             detected_at: 2,
+            deadline: 0,
         };
         let b = Match {
             bindings: vec![(VarId(0), vec![ev(2, 11), ev(1, 10)])],
             min_ts: 1,
             max_ts: 2,
             detected_at: 2,
+            deadline: 0,
         };
         assert_eq!(a.key(), b.key());
     }
@@ -159,6 +172,7 @@ mod tests {
             min_ts: 5,
             max_ts: 5,
             detected_at: 5,
+            deadline: 0,
         };
         assert_eq!(m.event_of(VarId(3)).unwrap().seq, 50);
         assert!(m.event_of(VarId(9)).is_none());

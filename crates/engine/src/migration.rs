@@ -153,6 +153,17 @@ impl MigratingExecutor {
     pub fn comparisons(&self) -> u64 {
         self.retired_comparisons + self.gens.iter().map(|g| g.exec.comparisons()).sum::<u64>()
     }
+
+    /// Earliest pending finalization deadline across live generations
+    /// (see [`Executor::min_pending_deadline`]). A pending match whose
+    /// generation does not own it still counts: `advance_time` must
+    /// visit the executor to discard it.
+    pub fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.gens
+            .iter()
+            .filter_map(|g| g.exec.min_pending_deadline())
+            .min()
+    }
 }
 
 #[cfg(test)]

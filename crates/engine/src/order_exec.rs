@@ -8,6 +8,13 @@
 //! partials). The number of stored partials per level is exactly what the
 //! paper's order cost model counts, so plan quality directly drives
 //! per-event work.
+//!
+//! Partials live in a per-executor [`PartialStore`] arena: extending a
+//! stored partial pushes one binding node instead of cloning an n-slot
+//! vector, and sibling extensions of the same partial share its chain.
+//! The cascade runs on an explicit reusable stack (depth-first, in
+//! buffer order — the same order the recursive seed implementation
+//! produced), so the per-event hot path performs no `Vec` allocations.
 
 use std::sync::Arc;
 
@@ -15,11 +22,11 @@ use acep_plan::OrderPlan;
 use acep_types::{Event, SubKind, Timestamp};
 
 use crate::buffer::EventBuffer;
-use crate::context::{ExecContext, PartialBinding};
+use crate::context::ExecContext;
 use crate::executor::Executor;
-use crate::finalize::{Finalizer, FinalizerHistory};
+use crate::finalize::{Completed, Finalizer, FinalizerHistory};
 use crate::matches::Match;
-use crate::partial::Partial;
+use crate::partial::{ChainBinding, Partial, PartialStore};
 
 /// How many events between full expiry sweeps of untouched levels.
 const SWEEP_INTERVAL: u32 = 256;
@@ -35,6 +42,12 @@ pub struct OrderExecutor {
     /// `levels[d]` holds partials with positions `0..=d` bound.
     /// The final depth is not stored (completions go to the finalizer).
     levels: Vec<Vec<Partial>>,
+    /// Shared match buffer backing every stored partial.
+    store: PartialStore,
+    /// Reused depth-first work stack of `(partial, depth)` items.
+    cascade_stack: Vec<(Partial, usize)>,
+    /// Reused scratch of join positions served by the current event.
+    positions_scratch: Vec<usize>,
     finalizer: Finalizer,
     comparisons: u64,
     events_since_sweep: u32,
@@ -59,6 +72,9 @@ impl OrderExecutor {
             ctx,
             buffers: (0..m).map(|_| EventBuffer::new(window)).collect(),
             levels: vec![Vec::new(); m.saturating_sub(1)],
+            store: PartialStore::new(),
+            cascade_stack: Vec::new(),
+            positions_scratch: Vec::new(),
             join_order,
             comparisons: 0,
             events_since_sweep: 0,
@@ -78,6 +94,16 @@ impl OrderExecutor {
         for buf in &mut self.buffers {
             buf.expire(now);
         }
+        if self.store.should_compact() {
+            let levels = &mut self.levels;
+            self.store.compact(|mark| {
+                for level in levels.iter_mut() {
+                    for p in level.iter_mut() {
+                        mark(p);
+                    }
+                }
+            });
+        }
     }
 
     /// Handles `ev` arriving at join position `pos`.
@@ -85,46 +111,54 @@ impl OrderExecutor {
         let slot = self.join_order[pos];
         if pos == 0 {
             self.comparisons += 1;
-            if unary_ok(&self.ctx, slot, ev) {
-                let seed = Partial::seed(self.ctx.n, slot, Arc::clone(ev));
-                self.cascade(seed, 1, now, out);
+            if unary_ok(&self.ctx, &self.store, slot, ev) {
+                let seed = Partial::seed(&mut self.store, slot, Arc::clone(ev));
+                self.cascade_stack.push((seed, 1));
+                self.run_cascade(now, out);
             }
         } else {
             let window = self.ctx.window;
-            let level = &mut self.levels[pos - 1];
-            level.retain(|p| !p.expired(now, window));
-            let mut extended = Vec::new();
-            for pm in level.iter() {
+            self.levels[pos - 1].retain(|p| !p.expired(now, window));
+            // Extensions go straight onto the cascade stack (reversed, so
+            // the depth-first drain visits them in stored-partial order).
+            let depth_before = self.cascade_stack.len();
+            for i in 0..self.levels[pos - 1].len() {
+                let pm = self.levels[pos - 1][i];
                 self.comparisons += 1;
-                if compatible(&self.ctx, pm, slot, ev) {
-                    extended.push(pm.extend(slot, Arc::clone(ev)));
+                if compatible(&self.ctx, &self.store, &pm, slot, ev) {
+                    let ext = pm.extend(&mut self.store, slot, Arc::clone(ev));
+                    self.cascade_stack.push((ext, pos + 1));
                 }
             }
-            for pm in extended {
-                self.cascade(pm, pos + 1, now, out);
-            }
+            self.cascade_stack[depth_before..].reverse();
+            self.run_cascade(now, out);
         }
     }
 
-    /// Stores a partial of depth `depth` and greedily extends it with
-    /// already-buffered events of the deeper positions.
-    fn cascade(&mut self, partial: Partial, depth: usize, now: Timestamp, out: &mut Vec<Match>) {
+    /// Drains the cascade stack: each popped partial of depth `d` is
+    /// stored at its level and greedily extended with already-buffered
+    /// events of position `d` (complete combinations go to the
+    /// finalizer). Equivalent to the recursive cascade, without the
+    /// per-call extension vectors.
+    fn run_cascade(&mut self, now: Timestamp, out: &mut Vec<Match>) {
         let m = self.join_order.len();
-        if depth == m {
-            self.finalizer.admit(partial, now, out);
-            return;
-        }
-        let slot = self.join_order[depth];
-        let mut extensions = Vec::new();
-        for ev in self.buffers[depth].iter() {
-            self.comparisons += 1;
-            if compatible(&self.ctx, &partial, slot, ev) {
-                extensions.push(partial.extend(slot, Arc::clone(ev)));
+        while let Some((partial, depth)) = self.cascade_stack.pop() {
+            if depth == m {
+                let completed = Completed::from_partial(&self.store, &partial, self.ctx.n);
+                self.finalizer.admit(completed, now, out);
+                continue;
             }
-        }
-        self.levels[depth - 1].push(partial);
-        for ext in extensions {
-            self.cascade(ext, depth + 1, now, out);
+            let slot = self.join_order[depth];
+            let depth_before = self.cascade_stack.len();
+            for ev in self.buffers[depth].iter() {
+                self.comparisons += 1;
+                if compatible(&self.ctx, &self.store, &partial, slot, ev) {
+                    let ext = partial.extend(&mut self.store, slot, Arc::clone(ev));
+                    self.cascade_stack.push((ext, depth + 1));
+                }
+            }
+            self.cascade_stack[depth_before..].reverse();
+            self.levels[depth - 1].push(partial);
         }
     }
 }
@@ -138,23 +172,23 @@ impl Executor for OrderExecutor {
             self.events_since_sweep = 0;
             self.sweep(now);
         }
-        // An event type may serve several join positions.
-        let mut matched_positions: Vec<usize> = Vec::new();
+        // An event type may serve several join positions (reusable
+        // scratch — no per-event allocation).
+        let mut positions = std::mem::take(&mut self.positions_scratch);
+        positions.clear();
         for (pos, &slot) in self.join_order.iter().enumerate() {
             if self.ctx.slot_types[slot] == ev.type_id {
-                matched_positions.push(pos);
+                positions.push(pos);
             }
         }
-        if matched_positions.is_empty() {
-            return;
-        }
-        for &pos in &matched_positions {
+        for &pos in &positions {
             self.process_at(pos, ev, now, out);
         }
         // Buffer only after processing so an event never joins itself.
-        for &pos in &matched_positions {
+        for &pos in &positions {
             self.buffers[pos].push(Arc::clone(ev));
         }
+        self.positions_scratch = positions;
     }
 
     fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
@@ -180,25 +214,30 @@ impl Executor for OrderExecutor {
     fn comparisons(&self) -> u64 {
         self.comparisons + self.finalizer.comparisons()
     }
+
+    fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.finalizer.min_pending_deadline()
+    }
 }
 
 /// Unary predicates on `slot` hold for `ev`.
-fn unary_ok(ctx: &ExecContext, slot: usize, ev: &Arc<Event>) -> bool {
+fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event>) -> bool {
     if ctx.unary[slot].is_empty() {
         return true;
     }
-    let events = vec![None; ctx.n];
-    let binding = PartialBinding {
-        ctx,
-        events: &events,
-        extra: Some((ctx.vars[slot], ev)),
-    };
+    let binding = ChainBinding::empty(ctx, store, Some((ctx.vars[slot], ev)));
     ctx.unary[slot].iter().all(|p| p.eval(&binding))
 }
 
 /// Full compatibility check for extending `partial` with `ev` at `slot`.
-fn compatible(ctx: &ExecContext, partial: &Partial, slot: usize, ev: &Arc<Event>) -> bool {
-    if partial.contains_seq(ev.seq) {
+fn compatible(
+    ctx: &ExecContext,
+    store: &PartialStore,
+    partial: &Partial,
+    slot: usize,
+    ev: &Arc<Event>,
+) -> bool {
+    if partial.contains_seq(store, ev.seq) {
         return false;
     }
     // Window span.
@@ -209,37 +248,29 @@ fn compatible(ctx: &ExecContext, partial: &Partial, slot: usize, ev: &Arc<Event>
     }
     // Temporal order for sequences.
     if ctx.kind == SubKind::Sequence {
-        for (s, bound) in partial.events.iter().enumerate() {
-            if let Some(b) = bound {
-                let ok = if s < slot {
-                    ExecContext::before(b, ev)
-                } else {
-                    ExecContext::before(ev, b)
-                };
-                if !ok {
-                    return false;
-                }
+        for (s, b) in partial.chain(store) {
+            let ok = if s < slot {
+                ExecContext::before(b, ev)
+            } else {
+                ExecContext::before(ev, b)
+            };
+            if !ok {
+                return false;
             }
         }
     }
     // Unary predicates on the new slot.
-    let binding = PartialBinding {
-        ctx,
-        events: &partial.events,
-        extra: Some((ctx.vars[slot], ev)),
-    };
+    let binding = ChainBinding::new(ctx, store, partial, Some((ctx.vars[slot], ev)));
     for p in &ctx.unary[slot] {
         if !p.eval(&binding) {
             return false;
         }
     }
     // Pairwise predicates with every bound slot.
-    for (s, bound) in partial.events.iter().enumerate() {
-        if bound.is_some() {
-            for p in ctx.pair_preds(slot, s) {
-                if !p.eval(&binding) {
-                    return false;
-                }
+    for (s, _) in partial.chain(store) {
+        for p in ctx.pair_preds(slot, s) {
+            if !p.eval(&binding) {
+                return false;
             }
         }
     }
@@ -506,5 +537,21 @@ mod tests {
         exec.on_event(&ev(1, 20, 2, 0), &mut out);
         // Two (A,B) partials joined the two As.
         assert_eq!(exec.partial_count(), 4);
+    }
+
+    #[test]
+    fn deep_extension_shares_chains_in_the_arena() {
+        // One A followed by many Bs: every (A,B) partial shares the A
+        // seed node, so the slab holds 1 + k nodes, not 2k.
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = OrderExecutor::new(ctx, &OrderPlan::identity(3));
+        let mut out = Vec::new();
+        exec.on_event(&ev(0, 10, 0, 0), &mut out);
+        for i in 0..10u64 {
+            exec.on_event(&ev(1, 11 + i, 1 + i, 0), &mut out);
+        }
+        assert_eq!(exec.partial_count(), 11, "1 seed + 10 (A,B) partials");
+        assert_eq!(exec.store.len(), 11, "chains share the seed node");
     }
 }

@@ -6,17 +6,23 @@
 //! sibling subtree's stored results at every level, so the work per event
 //! is proportional to the intermediate cardinalities the ZStream cost
 //! model counts.
+//!
+//! Node result sets hold arena-backed [`Partial`] handles: a join pushes
+//! only the smaller side's chain onto the shared [`PartialStore`]
+//! instead of cloning an n-slot vector per merged result, and the
+//! leaf-to-root propagation ping-pongs between two reusable scratch
+//! vectors, so the per-event hot path performs no `Vec` allocations.
 
 use std::sync::Arc;
 
 use acep_plan::{TreeNode, TreePlan};
 use acep_types::{Event, SubKind, Timestamp};
 
-use crate::context::{ExecContext, PartialBinding};
+use crate::context::ExecContext;
 use crate::executor::Executor;
-use crate::finalize::{Finalizer, FinalizerHistory};
+use crate::finalize::{Completed, Finalizer, FinalizerHistory};
 use crate::matches::Match;
-use crate::partial::Partial;
+use crate::partial::{ChainBinding, Partial, PartialStore};
 
 const SWEEP_INTERVAL: u32 = 256;
 
@@ -31,6 +37,12 @@ pub struct TreeExecutor {
     sibling: Vec<Option<usize>>,
     /// Result partials per node (single-event partials at leaves).
     store: Vec<Vec<Partial>>,
+    /// Shared match buffer backing every stored partial.
+    pstore: PartialStore,
+    /// Reusable propagation scratch: partials new at the current node.
+    prop_new: Vec<Partial>,
+    /// Reusable propagation scratch: joins produced for the parent.
+    prop_joined: Vec<Partial>,
     finalizer: Finalizer,
     comparisons: u64,
     events_since_sweep: u32,
@@ -55,6 +67,9 @@ impl TreeExecutor {
         Self {
             finalizer: Finalizer::new(Arc::clone(&ctx)),
             store: vec![Vec::new(); nodes.len()],
+            pstore: PartialStore::new(),
+            prop_new: Vec::new(),
+            prop_joined: Vec::new(),
             ctx,
             nodes,
             root,
@@ -70,42 +85,53 @@ impl TreeExecutor {
         for s in &mut self.store {
             s.retain(|p| !p.expired(now, window));
         }
+        if self.pstore.should_compact() {
+            let store = &mut self.store;
+            self.pstore.compact(|mark| {
+                for level in store.iter_mut() {
+                    for p in level.iter_mut() {
+                        mark(p);
+                    }
+                }
+            });
+        }
     }
 
-    /// Pushes new partials produced at `node` upward toward the root.
-    fn propagate(
-        &mut self,
-        node: usize,
-        new_partials: Vec<Partial>,
-        now: Timestamp,
-        out: &mut Vec<Match>,
-    ) {
-        if new_partials.is_empty() {
-            return;
-        }
-        if node == self.root {
-            for p in new_partials {
-                self.finalizer.admit(p, now, out);
+    /// Pushes the partials in `prop_new` (new at `node`) upward toward
+    /// the root, joining against each sibling's stored results.
+    fn propagate(&mut self, mut node: usize, now: Timestamp, out: &mut Vec<Match>) {
+        loop {
+            if self.prop_new.is_empty() {
+                return;
             }
-            return;
-        }
-        let parent = self.parent[node].expect("non-root has a parent");
-        let sibling = self.sibling[node].expect("non-root has a sibling");
-        // Join new partials against the sibling's stored results.
-        let window = self.ctx.window;
-        self.store[sibling].retain(|p| !p.expired(now, window));
-        let mut joined = Vec::new();
-        for a in &new_partials {
-            for b in &self.store[sibling] {
-                self.comparisons += 1;
-                if join_compatible(&self.ctx, a, b) {
-                    joined.push(a.merge(b));
+            if node == self.root {
+                for i in 0..self.prop_new.len() {
+                    let p = self.prop_new[i];
+                    let completed = Completed::from_partial(&self.pstore, &p, self.ctx.n);
+                    self.finalizer.admit(completed, now, out);
+                }
+                self.prop_new.clear();
+                return;
+            }
+            let parent = self.parent[node].expect("non-root has a parent");
+            let sibling = self.sibling[node].expect("non-root has a sibling");
+            // Join new partials against the sibling's stored results.
+            let window = self.ctx.window;
+            self.store[sibling].retain(|p| !p.expired(now, window));
+            self.prop_joined.clear();
+            for a in &self.prop_new {
+                for b in &self.store[sibling] {
+                    self.comparisons += 1;
+                    if join_compatible(&self.ctx, &self.pstore, a, b) {
+                        self.prop_joined.push(a.merge(&mut self.pstore, b));
+                    }
                 }
             }
+            // Store for future joins from the sibling side.
+            self.store[node].extend_from_slice(&self.prop_new);
+            std::mem::swap(&mut self.prop_new, &mut self.prop_joined);
+            node = parent;
         }
-        // Store for future joins from the sibling side.
-        self.store[node].extend(new_partials);
-        self.propagate(parent, joined, now, out);
     }
 }
 
@@ -123,9 +149,11 @@ impl Executor for TreeExecutor {
             if let TreeNode::Leaf { slot } = self.nodes[i] {
                 if self.ctx.slot_types[slot] == ev.type_id {
                     self.comparisons += 1;
-                    if unary_ok(&self.ctx, slot, ev) {
-                        let seed = Partial::seed(self.ctx.n, slot, Arc::clone(ev));
-                        self.propagate(i, vec![seed], now, out);
+                    if unary_ok(&self.ctx, &self.pstore, slot, ev) {
+                        let seed = Partial::seed(&mut self.pstore, slot, Arc::clone(ev));
+                        self.prop_new.clear();
+                        self.prop_new.push(seed);
+                        self.propagate(i, now, out);
                     }
                 }
             }
@@ -154,6 +182,10 @@ impl Executor for TreeExecutor {
 
     fn comparisons(&self) -> u64 {
         self.comparisons + self.finalizer.comparisons()
+    }
+
+    fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.finalizer.min_pending_deadline()
     }
 }
 
@@ -197,21 +229,16 @@ fn prune_rec(
 }
 
 /// Unary predicates on `slot` hold for `ev`.
-fn unary_ok(ctx: &ExecContext, slot: usize, ev: &Arc<Event>) -> bool {
+fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event>) -> bool {
     if ctx.unary[slot].is_empty() {
         return true;
     }
-    let events = vec![None; ctx.n];
-    let binding = PartialBinding {
-        ctx,
-        events: &events,
-        extra: Some((ctx.vars[slot], ev)),
-    };
+    let binding = ChainBinding::empty(ctx, store, Some((ctx.vars[slot], ev)));
     ctx.unary[slot].iter().all(|p| p.eval(&binding))
 }
 
 /// Can two partials with disjoint slot sets merge into one?
-fn join_compatible(ctx: &ExecContext, a: &Partial, b: &Partial) -> bool {
+fn join_compatible(ctx: &ExecContext, store: &PartialStore, a: &Partial, b: &Partial) -> bool {
     // Window span.
     let min_ts = a.min_ts.min(b.min_ts);
     let max_ts = a.max_ts.max(b.max_ts);
@@ -219,17 +246,15 @@ fn join_compatible(ctx: &ExecContext, a: &Partial, b: &Partial) -> bool {
         return false;
     }
     // Event-instance disjointness (types may repeat across slots).
-    for ev in b.events.iter().flatten() {
-        if a.contains_seq(ev.seq) {
+    for (_, ev) in b.chain(store) {
+        if a.contains_seq(store, ev.seq) {
             return false;
         }
     }
     // Temporal order for sequences: check all cross pairs.
     if ctx.kind == SubKind::Sequence {
-        for (s, ea) in a.events.iter().enumerate() {
-            let Some(ea) = ea else { continue };
-            for (t, eb) in b.events.iter().enumerate() {
-                let Some(eb) = eb else { continue };
+        for (s, ea) in a.chain(store) {
+            for (t, eb) in b.chain(store) {
                 let ok = if s < t {
                     ExecContext::before(ea, eb)
                 } else {
@@ -242,15 +267,9 @@ fn join_compatible(ctx: &ExecContext, a: &Partial, b: &Partial) -> bool {
         }
     }
     // Cross predicates between the two sides.
-    let merged = MergedBinding { ctx, a, b };
-    for (s, ea) in a.events.iter().enumerate() {
-        if ea.is_none() {
-            continue;
-        }
-        for (t, eb) in b.events.iter().enumerate() {
-            if eb.is_none() {
-                continue;
-            }
+    let merged = ChainBinding::merged(ctx, store, a, b);
+    for (s, _) in a.chain(store) {
+        for (t, _) in b.chain(store) {
             for p in ctx.pair_preds(s, t) {
                 if !p.eval(&merged) {
                     return false;
@@ -259,22 +278,6 @@ fn join_compatible(ctx: &ExecContext, a: &Partial, b: &Partial) -> bool {
         }
     }
     true
-}
-
-/// Binding over the union of two partials, without merging them first.
-struct MergedBinding<'a> {
-    ctx: &'a ExecContext,
-    a: &'a Partial,
-    b: &'a Partial,
-}
-
-impl acep_types::EventBinding for MergedBinding<'_> {
-    fn resolve(&self, var: acep_types::VarId) -> Option<&Event> {
-        let slot = self.ctx.vars.iter().position(|v| *v == var)?;
-        self.a.events[slot]
-            .as_deref()
-            .or(self.b.events[slot].as_deref())
-    }
 }
 
 #[cfg(test)]
@@ -470,5 +473,19 @@ mod tests {
         exec.on_event(&ev(1, 20, 1, 0), &mut out);
         // Stored: leaf A (1), leaf B (1), internal (A,B) (1).
         assert_eq!(exec.partial_count(), 3);
+    }
+
+    #[test]
+    fn joins_share_the_longer_chain() {
+        // Joining (A,B) with leaf C re-links only C's single node, so
+        // the arena grows by 1 per join, not by the merged width.
+        let p = seq_abc();
+        let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
+        let mut exec = TreeExecutor::new(ctx, &TreePlan::left_deep(&[0, 1, 2]));
+        let mut out = Vec::new();
+        exec.on_event(&ev(0, 10, 0, 0), &mut out);
+        exec.on_event(&ev(1, 20, 1, 0), &mut out);
+        // Nodes: A seed, B seed, B-relinked-onto-A = 3.
+        assert_eq!(exec.pstore.len(), 3);
     }
 }

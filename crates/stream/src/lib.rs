@@ -147,7 +147,7 @@ pub mod stats;
 pub use registry::{PatternSet, QueryId, QuerySpec};
 pub use runtime::{ShardedRuntime, StreamConfig};
 pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
-pub use stats::{QueryStats, RuntimeStats, ShardStats};
+pub use stats::{LatencyStats, QueryStats, RuntimeStats, ShardStats};
 
 // Re-exported so runtime users need not depend on `acep-types` for the
 // common extractors and the event-time configuration.

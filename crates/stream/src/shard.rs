@@ -15,19 +15,26 @@
 //! order once the shard watermark passes them, and late arrivals are
 //! dropped or routed to the sink per the configured
 //! [`LatenessPolicy`](acep_types::LatenessPolicy). The shard watermark
-//! also *drives* the engines: whenever it advances, every live engine's
-//! stream clock is advanced to it
-//! ([`AdaptiveCep::advance_time`]), so matches pending a
-//! trailing-negation/Kleene deadline emit as soon as the watermark
-//! proves the deadline passed — up to `bound` ms of event time earlier
+//! also *drives* the engines: the worker keeps a min-heap of
+//! `(deadline, key, query)` over engines whose finalizer holds a match
+//! pending a trailing-negation/Kleene deadline, and whenever the
+//! watermark advances it pops exactly the due entries and advances
+//! those engines' stream clocks ([`AdaptiveCep::advance_time`]). A
+//! watermark advance over a shard with nothing pending is O(1) — no
+//! per-engine sweep — and matches still emit as soon as the watermark
+//! proves their deadline passed: up to `bound` ms of event time earlier
 //! than waiting for the next engine-visible event, and independent of
 //! whether the pending match's own key ever receives another event.
+//! (Generation retirement inside a [`MigratingExecutor`] that used to
+//! piggy-back on the sweep now waits for the key's next event — a
+//! bounded-memory deferral, never a semantic one.)
 //! With a passthrough config the buffer is absent and ingestion is the
 //! same hot path as before the event-time layer existed (punctuation
 //! still advances the engines' clocks — the promise "no event before
 //! `ts` remains" is meaningful in arrival time too).
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
@@ -38,7 +45,7 @@ use acep_types::{DisorderConfig, Event, LatenessPolicy, SourceId, Timestamp};
 use crate::registry::QueryId;
 use crate::reorder::{Offer, ReorderBuffer};
 use crate::sink::{LateEvent, MatchSink, TaggedMatch};
-use crate::stats::{QueryStats, ShardStats};
+use crate::stats::{LatencyStats, QueryStats, ShardStats};
 
 /// One routed event: `(partition key, ingestion source, event)`. Keys
 /// are extracted once at ingest; the source feeds per-source
@@ -62,8 +69,19 @@ pub(crate) enum ToWorker {
     Finish(Sender<ShardStats>),
 }
 
+/// One live engine plus the deadline currently representing it in the
+/// shard's pending-deadline heap (`None` = not enqueued).
+pub(crate) struct EngineSlot {
+    engine: AdaptiveCep,
+    queued_deadline: Option<Timestamp>,
+}
+
 /// Per-key engine instances, one slot per registered query.
-type KeyEngines = Vec<Option<AdaptiveCep>>;
+type KeyEngines = Vec<Option<EngineSlot>>;
+
+/// Heap entry: `Reverse((deadline, key, query))` — a min-heap ordered
+/// by deadline, tie-broken by (key, query) for deterministic sweeps.
+type DeadlineEntry = Reverse<(Timestamp, u64, u32)>;
 
 pub(crate) struct ShardWorker {
     shard: usize,
@@ -80,10 +98,19 @@ pub(crate) struct ShardWorker {
     /// Last stream time driven into the engines (watermark or
     /// punctuation); engines are only advanced forward.
     engine_time: Timestamp,
+    /// Min-heap of `(deadline, key, query)` over engines with matches
+    /// pending a trailing-negation/Kleene deadline. A watermark advance
+    /// pops only the entries it proves due — with nothing pending it is
+    /// O(1) instead of a sweep over every live engine. Entries may be
+    /// stale (the pending match emitted or was invalidated by an
+    /// event); `EngineSlot::queued_deadline` arbitrates on pop.
+    deadlines: BinaryHeap<DeadlineEntry>,
+    /// Engines visited by watermark-driven finalization (stats).
+    finalize_visits: u64,
+    /// Watermark-driven emission latency aggregate (stats).
+    emission_latency: LatencyStats,
     /// Reused buffer of watermark-released events awaiting processing.
     released: Vec<(u64, Arc<Event>)>,
-    /// Reused sorted-key buffer for deterministic engine sweeps.
-    keys_scratch: Vec<u64>,
     /// Reused per-event match buffer.
     scratch: Vec<Match>,
     /// Matches of the batch in flight, delivered to the sink per batch.
@@ -114,8 +141,10 @@ impl ShardWorker {
             late_dropped: 0,
             late_routed: 0,
             engine_time: 0,
+            deadlines: BinaryHeap::new(),
+            finalize_visits: 0,
+            emission_latency: LatencyStats::default(),
             released: Vec::new(),
-            keys_scratch: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
         }
@@ -257,8 +286,19 @@ impl ShardWorker {
             if !template.is_relevant(ev.type_id) {
                 continue;
             }
-            let engine = slot.get_or_insert_with(|| template.instantiate());
-            engine.on_event(ev, &mut self.scratch);
+            let slot = slot.get_or_insert_with(|| EngineSlot {
+                engine: template.instantiate(),
+                queued_deadline: None,
+            });
+            slot.engine.on_event(ev, &mut self.scratch);
+            // Index the engine by its earliest pending deadline so the
+            // watermark sweep can find it without visiting every key.
+            if let Some(d) = slot.engine.min_pending_deadline() {
+                if slot.queued_deadline.is_none_or(|q| d < q) {
+                    slot.queued_deadline = Some(d);
+                    self.deadlines.push(Reverse((d, key, qi as u32)));
+                }
+            }
             drain_tagged(
                 &mut self.scratch,
                 &mut self.pending,
@@ -269,35 +309,51 @@ impl ShardWorker {
         }
     }
 
-    /// Advances every live engine's stream clock to `to` (monotone),
-    /// emitting matches whose finalization deadline the watermark
-    /// proved passed. Keys are visited in sorted order so emission
-    /// order within the shard is deterministic.
+    /// Advances the shard's engine clock to `to` (monotone), emitting
+    /// matches whose finalization deadline the watermark proved passed.
+    /// Only engines indexed in the pending-deadline heap with a due
+    /// deadline are visited — with nothing pending this is O(1) — and
+    /// pops come in `(deadline, key, query)` order, so emission order
+    /// within the shard is deterministic.
     fn advance_engines(&mut self, to: Timestamp) {
         if to <= self.engine_time {
             return;
         }
         self.engine_time = to;
-        let mut keys = std::mem::take(&mut self.keys_scratch);
-        keys.clear();
-        keys.extend(self.keys.keys().copied());
-        keys.sort_unstable();
-        for &key in &keys {
-            let engines = self.keys.get_mut(&key).expect("key just listed");
-            for (qi, slot) in engines.iter_mut().enumerate() {
-                if let Some(engine) = slot {
-                    engine.advance_time(to, &mut self.scratch);
-                    drain_tagged(
-                        &mut self.scratch,
-                        &mut self.pending,
-                        QueryId(qi as u32),
-                        key,
-                        self.shard,
-                    );
-                }
+        // `flush_ready` emits deadlines strictly below the clock, so an
+        // entry at `to` stays queued for a later advance.
+        while let Some(&Reverse((deadline, key, qi))) = self.deadlines.peek() {
+            if deadline >= to {
+                break;
             }
+            self.deadlines.pop();
+            let Some(Some(slot)) = self.keys.get_mut(&key).map(|e| &mut e[qi as usize]) else {
+                continue;
+            };
+            if slot.queued_deadline != Some(deadline) {
+                // Stale entry: the engine was re-indexed under a newer
+                // (smaller) deadline; that entry will visit it.
+                continue;
+            }
+            slot.engine.advance_time(to, &mut self.scratch);
+            self.finalize_visits += 1;
+            for m in &self.scratch {
+                self.emission_latency
+                    .record(m.detected_at.saturating_sub(m.deadline));
+            }
+            // Re-index under the next pending deadline, if any.
+            slot.queued_deadline = slot.engine.min_pending_deadline();
+            if let Some(d) = slot.queued_deadline {
+                self.deadlines.push(Reverse((d, key, qi)));
+            }
+            drain_tagged(
+                &mut self.scratch,
+                &mut self.pending,
+                QueryId(qi),
+                key,
+                self.shard,
+            );
         }
-        self.keys_scratch = keys;
         self.deliver();
     }
 
@@ -319,8 +375,8 @@ impl ShardWorker {
         for key in keys {
             let engines = self.keys.get_mut(&key).expect("key just listed");
             for (qi, slot) in engines.iter_mut().enumerate() {
-                if let Some(engine) = slot {
-                    engine.finish(&mut self.scratch);
+                if let Some(slot) = slot {
+                    slot.engine.finish(&mut self.scratch);
                     drain_tagged(
                         &mut self.scratch,
                         &mut self.pending,
@@ -338,8 +394,8 @@ impl ShardWorker {
         let mut per_query = vec![QueryStats::default(); self.templates.len()];
         for engines in self.keys.values() {
             for (qi, slot) in engines.iter().enumerate() {
-                if let Some(engine) = slot {
-                    per_query[qi].absorb(engine.metrics());
+                if let Some(slot) = slot {
+                    per_query[qi].absorb(slot.engine.metrics());
                 }
             }
         }
@@ -354,6 +410,8 @@ impl ShardWorker {
             max_reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::max_depth),
             reorder_overflow: self.reorder.as_ref().map_or(0, ReorderBuffer::overflow),
             watermark: self.reorder.as_ref().map(ReorderBuffer::watermark),
+            finalize_visits: self.finalize_visits,
+            emission_latency: self.emission_latency,
             per_query,
         }
     }

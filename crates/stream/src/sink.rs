@@ -187,6 +187,7 @@ mod tests {
                 min_ts: 0,
                 max_ts: 0,
                 detected_at: 0,
+                deadline: 0,
             },
         }
     }

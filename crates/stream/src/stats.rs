@@ -55,6 +55,57 @@ impl QueryStats {
     }
 }
 
+/// Aggregate of watermark-driven emission latencies
+/// (`detected_at - deadline` per match released by a watermark advance
+/// rather than by an engine-visible event): how far behind the
+/// provable deadline matches actually emit. Lower = tighter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Matches measured.
+    pub count: u64,
+    /// Smallest observed latency (ms of event time).
+    pub min: Timestamp,
+    /// Largest observed latency.
+    pub max: Timestamp,
+    /// Sum of latencies (for [`mean`](Self::mean)).
+    pub sum: u128,
+}
+
+impl LatencyStats {
+    /// Records one emission latency.
+    pub fn record(&mut self, latency: Timestamp) {
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        self.sum += latency as u128;
+    }
+
+    /// Merges another aggregate (e.g. from another shard).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean latency, or `None` when nothing was measured.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
 /// Snapshot of one worker shard.
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
@@ -89,6 +140,15 @@ pub struct ShardStats {
     pub reorder_overflow: u64,
     /// The shard's event-time watermark (`None` in passthrough mode).
     pub watermark: Option<Timestamp>,
+    /// Engines visited by watermark-driven finalization sweeps. The
+    /// shard indexes engines by their minimum pending deadline, so this
+    /// counts only engines that had (or recently had) a match pending —
+    /// a watermark advance over a shard with nothing pending does zero
+    /// per-engine work and leaves this untouched.
+    pub finalize_visits: u64,
+    /// Emission latency of watermark-driven finalizations
+    /// (`detected_at - deadline`).
+    pub emission_latency: LatencyStats,
     /// Per-query rollups, indexed by [`QueryId`].
     pub per_query: Vec<QueryStats>,
 }
@@ -142,6 +202,21 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.reorder_overflow).sum()
     }
 
+    /// Engines visited by watermark-driven finalization sweeps across
+    /// all shards.
+    pub fn total_finalize_visits(&self) -> u64 {
+        self.shards.iter().map(|s| s.finalize_visits).sum()
+    }
+
+    /// Watermark-driven emission latency merged across all shards.
+    pub fn emission_latency(&self) -> LatencyStats {
+        let mut merged = LatencyStats::default();
+        for s in &self.shards {
+            merged.merge(&s.emission_latency);
+        }
+        merged
+    }
+
     /// The rollup of one query merged across all shards.
     pub fn query(&self, id: QueryId) -> QueryStats {
         let mut merged = QueryStats::default();
@@ -157,6 +232,14 @@ impl RuntimeStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn latency(samples: &[Timestamp]) -> LatencyStats {
+        let mut l = LatencyStats::default();
+        for &s in samples {
+            l.record(s);
+        }
+        l
+    }
 
     fn query_stats(matches: u64, replacements: u64) -> QueryStats {
         QueryStats {
@@ -208,6 +291,8 @@ mod tests {
                     max_reorder_depth: 8,
                     reorder_overflow: 2,
                     watermark: Some(900),
+                    finalize_visits: 3,
+                    emission_latency: latency(&[5, 9]),
                     per_query: vec![query_stats(5, 1), query_stats(2, 0)],
                 },
                 ShardStats {
@@ -221,6 +306,8 @@ mod tests {
                     max_reorder_depth: 3,
                     reorder_overflow: 1,
                     watermark: Some(880),
+                    finalize_visits: 1,
+                    emission_latency: latency(&[1]),
                     per_query: vec![query_stats(1, 0), query_stats(4, 2)],
                 },
             ],
@@ -232,6 +319,10 @@ mod tests {
         assert_eq!(stats.total_late_routed(), 1);
         assert_eq!(stats.total_reorder_depth(), 5);
         assert_eq!(stats.total_reorder_overflow(), 3);
+        assert_eq!(stats.total_finalize_visits(), 4);
+        let lat = stats.emission_latency();
+        assert_eq!((lat.count, lat.min, lat.max), (3, 1, 9));
+        assert!((lat.mean().unwrap() - 5.0).abs() < 1e-9);
         let q0 = stats.query(QueryId(0));
         assert_eq!(q0.matches, 6);
         assert_eq!(q0.engines, 2);
@@ -240,5 +331,23 @@ mod tests {
         assert_eq!(q1.matches, 6);
         assert_eq!(q1.plan_replacements, 2);
         assert_eq!(stats.query(QueryId(9)), QueryStats::default());
+    }
+
+    #[test]
+    fn latency_stats_record_and_merge() {
+        let mut a = latency(&[10, 2]);
+        assert_eq!((a.count, a.min, a.max), (2, 2, 10));
+        assert!((a.mean().unwrap() - 6.0).abs() < 1e-9);
+        // Merging an empty aggregate is a no-op; merging into an empty
+        // one copies.
+        let empty = LatencyStats::default();
+        assert!(empty.mean().is_none());
+        a.merge(&empty);
+        assert_eq!(a.count, 2);
+        let mut b = LatencyStats::default();
+        b.merge(&a);
+        assert_eq!(b, a);
+        b.merge(&latency(&[100]));
+        assert_eq!((b.count, b.min, b.max), (3, 2, 100));
     }
 }

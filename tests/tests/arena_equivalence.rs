@@ -1,0 +1,329 @@
+//! Equivalence of the arena-backed executors with the seed semantics.
+//!
+//! The engine PR that replaced per-`Partial` event vectors with an
+//! arena-backed shared match buffer must be a pure representation
+//! change: the match multiset *and* the `comparisons()` work metric
+//! have to be bit-identical to the seed implementation. The golden
+//! table below was captured by running the **pre-arena** (seed)
+//! executors over deterministic pseudo-random streams; the arena
+//! executors must keep reproducing it forever.
+//!
+//! Complementing the golden pins, a property test re-runs every
+//! oracle-scenario pattern on random streams through both executors
+//! twice, asserting runs are deterministic and that Order and Tree
+//! plans agree on the match multiset (the existing `oracle.rs` suite
+//! separately ties that multiset to naive enumerators).
+
+use std::sync::Arc;
+
+use acep_engine::{build_executor, ExecContext, Match, MatchKey, StaticEngine};
+use acep_plan::{EvalPlan, OrderPlan, TreeNode, TreePlan};
+use acep_types::{attr, constant, Event, EventTypeId, Pattern, PatternExpr, Value};
+use proptest::prelude::*;
+
+const WINDOW: u64 = 50;
+
+fn t(i: u32) -> EventTypeId {
+    EventTypeId(i)
+}
+
+/// SEQ(T0, T1, T2) WHERE a.x < c.x WITHIN 50.
+fn seq_pattern() -> Pattern {
+    Pattern::builder("eq-seq")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::prim(t(2)),
+        ]))
+        .condition(attr(0, 0).lt(attr(2, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// AND(T0, T1, T2) WHERE a.x == b.x WITHIN 50.
+fn and_pattern() -> Pattern {
+    Pattern::builder("eq-and")
+        .expr(PatternExpr::and([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::prim(t(2)),
+        ]))
+        .condition(attr(0, 0).eq(attr(1, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// OR(SEQ(T0, T1) WHERE a.x < b.x, AND(T2, T0) WHERE c.x == d.x).
+fn or_pattern() -> Pattern {
+    Pattern::builder("eq-or")
+        .expr(PatternExpr::or([
+            PatternExpr::seq([PatternExpr::prim(t(0)), PatternExpr::prim(t(1))]),
+            PatternExpr::and([PatternExpr::prim(t(2)), PatternExpr::prim(t(0))]),
+        ]))
+        .condition(attr(0, 0).lt(attr(1, 0)))
+        .condition(attr(2, 0).eq(attr(3, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0, ~T1, T2) WHERE b.x == a.x WITHIN 50.
+fn interior_neg_pattern() -> Pattern {
+    Pattern::builder("eq-neg")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::neg(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+        ]))
+        .condition(attr(1, 0).eq(attr(0, 0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0, T1, ~T2) WITHIN 50 — trailing negation, deadline-driven.
+fn trailing_neg_pattern() -> Pattern {
+    Pattern::builder("eq-neg-trail")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::neg(PatternExpr::prim(t(2))),
+        ]))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// SEQ(T0, T1* b, T2) WHERE b.x > 0 WITHIN 50.
+fn kleene_pattern() -> Pattern {
+    Pattern::builder("eq-kleene")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::kleene(PatternExpr::prim(t(1))),
+            PatternExpr::prim(t(2)),
+        ]))
+        .condition(attr(1, 0).gt(constant(0)))
+        .window(WINDOW)
+        .build()
+        .unwrap()
+}
+
+/// Deterministic pseudo-random stream: `n` events over `types` event
+/// types, timestamp gaps in `1..=8`, one integer attribute in `-5..5`.
+fn lcg_events(n: usize, types: u32, seed: u64) -> Vec<Arc<Event>> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut ts = 0u64;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let tid = ((state >> 33) % types as u64) as u32;
+            ts += 1 + (state >> 45) % 8;
+            let x = ((state >> 20) % 10) as i64 - 5;
+            Event::new(t(tid), ts, i as u64, vec![Value::Int(x)])
+        })
+        .collect()
+}
+
+fn plans3() -> Vec<(&'static str, EvalPlan)> {
+    vec![
+        ("order-012", EvalPlan::Order(OrderPlan::new(vec![0, 1, 2]))),
+        ("order-210", EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]))),
+        ("tree-left", EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2]))),
+        (
+            "tree-right",
+            EvalPlan::Tree(TreePlan {
+                nodes: vec![
+                    TreeNode::Leaf { slot: 0 },
+                    TreeNode::Leaf { slot: 1 },
+                    TreeNode::Leaf { slot: 2 },
+                    TreeNode::Internal { left: 1, right: 2 },
+                    TreeNode::Internal { left: 0, right: 3 },
+                ],
+                root: 4,
+            }),
+        ),
+    ]
+}
+
+/// Runs one branch pattern under `plan`, returning the sorted match
+/// keys and the executor's total comparison count.
+fn run_one(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> (Vec<MatchKey>, u64) {
+    let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+    let mut exec = build_executor(ctx, plan);
+    let mut out = Vec::new();
+    for ev in events {
+        exec.on_event(ev, &mut out);
+    }
+    exec.finish(&mut out);
+    let comparisons = exec.comparisons();
+    let mut keys: Vec<MatchKey> = out.iter().map(Match::key).collect();
+    keys.sort();
+    (keys, comparisons)
+}
+
+/// Runs the disjunctive pattern through a [`StaticEngine`].
+fn run_or(pattern: &Pattern, plans: &[EvalPlan], events: &[Arc<Event>]) -> (Vec<MatchKey>, u64) {
+    let mut engine = StaticEngine::from_plans(pattern.canonical(), plans).unwrap();
+    let mut out = Vec::new();
+    for ev in events {
+        engine.on_event(ev, &mut out);
+    }
+    engine.finish(&mut out);
+    let comparisons = engine.comparisons();
+    let mut keys: Vec<MatchKey> = out.iter().map(Match::key).collect();
+    keys.sort();
+    (keys, comparisons)
+}
+
+/// Golden `(pattern, plan, seed) -> (matches, comparisons)` rows,
+/// captured from the seed (pre-arena) implementation. See module docs.
+const GOLDEN: &[(&str, &str, u64, usize, u64)] = &[
+    ("seq", "order-012", 1, 384, 4040),
+    ("seq", "order-210", 1, 384, 4025),
+    ("seq", "tree-left", 1, 384, 3763),
+    ("seq", "tree-right", 1, 384, 3755),
+    ("and", "order-012", 1, 454, 1708),
+    ("and", "order-210", 1, 454, 6831),
+    ("and", "tree-left", 1, 454, 1772),
+    ("and", "tree-right", 1, 454, 6197),
+    ("or", "order", 1, 334, 2427),
+    ("or", "tree", 1, 334, 2492),
+    ("neg", "order-01", 1, 431, 3268),
+    ("neg", "tree", 1, 431, 3285),
+    ("neg-trail", "order-01", 1, 109, 3619),
+    ("neg-trail", "tree", 1, 109, 3616),
+    ("kleene", "order-01", 1, 260, 3370),
+    ("kleene", "tree", 1, 260, 3387),
+    ("seq", "order-012", 2, 463, 4594),
+    ("seq", "order-210", 2, 463, 4329),
+    ("seq", "tree-left", 2, 463, 4237),
+    ("seq", "tree-right", 2, 463, 4053),
+    ("and", "order-012", 2, 526, 2045),
+    ("and", "order-210", 2, 526, 7349),
+    ("and", "tree-left", 2, 526, 2071),
+    ("and", "tree-right", 2, 526, 6620),
+    ("or", "order", 2, 373, 2580),
+    ("or", "tree", 2, 373, 2631),
+    ("neg", "order-01", 2, 406, 3420),
+    ("neg", "tree", 2, 406, 3413),
+    ("neg-trail", "order-01", 2, 139, 4119),
+    ("neg-trail", "tree", 2, 139, 4128),
+    ("kleene", "order-01", 2, 261, 3476),
+    ("kleene", "tree", 2, 261, 3469),
+];
+
+/// Computes every golden row from the current implementation.
+fn compute_rows() -> Vec<(&'static str, String, u64, usize, u64)> {
+    let mut rows = Vec::new();
+    for seed in [1u64, 2u64] {
+        let events = lcg_events(400, 3, seed);
+
+        for (name, plan) in plans3() {
+            let (keys, comps) = run_one(&seq_pattern(), &plan, &events);
+            rows.push(("seq", name.to_string(), seed, keys.len(), comps));
+        }
+        for (name, plan) in plans3() {
+            let (keys, comps) = run_one(&and_pattern(), &plan, &events);
+            rows.push(("and", name.to_string(), seed, keys.len(), comps));
+        }
+
+        let or_order = [
+            EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+            EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+        ];
+        let (keys, comps) = run_or(&or_pattern(), &or_order, &events);
+        rows.push(("or", "order".into(), seed, keys.len(), comps));
+        let or_tree = [
+            EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+            EvalPlan::Tree(TreePlan::left_deep(&[1, 0])),
+        ];
+        let (keys, comps) = run_or(&or_pattern(), &or_tree, &events);
+        rows.push(("or", "tree".into(), seed, keys.len(), comps));
+
+        for (pat, label) in [
+            (interior_neg_pattern(), "neg"),
+            (trailing_neg_pattern(), "neg-trail"),
+            (kleene_pattern(), "kleene"),
+        ] {
+            let n = pat.canonical().branches[0].n();
+            let slots: Vec<usize> = (0..n).collect();
+            let (keys, comps) = run_one(&pat, &EvalPlan::Order(OrderPlan::identity(n)), &events);
+            rows.push((label, "order-01".into(), seed, keys.len(), comps));
+            let (keys, comps) =
+                run_one(&pat, &EvalPlan::Tree(TreePlan::left_deep(&slots)), &events);
+            rows.push((label, "tree".into(), seed, keys.len(), comps));
+        }
+    }
+    rows
+}
+
+/// The golden equivalence pin: run `ACEP_PRINT_GOLDEN=1 cargo test -p
+/// acep-integration-tests golden -- --nocapture` to regenerate the
+/// table after an *intentional* semantics change.
+#[test]
+fn golden_match_counts_and_comparisons_match_seed_semantics() {
+    let rows = compute_rows();
+    if std::env::var("ACEP_PRINT_GOLDEN").is_ok() {
+        for (pat, plan, seed, matches, comps) in &rows {
+            println!("    (\"{pat}\", \"{plan}\", {seed}, {matches}, {comps}),");
+        }
+        return;
+    }
+    // Group by (pattern, seed) for the comparison: sort both sides.
+    let mut got: Vec<(String, String, u64, usize, u64)> = rows
+        .into_iter()
+        .map(|(a, b, c, d, e)| (a.to_string(), b, c, d, e))
+        .collect();
+    let mut want: Vec<(String, String, u64, usize, u64)> = GOLDEN
+        .iter()
+        .map(|(a, b, c, d, e)| (a.to_string(), b.to_string(), *c, *d, *e))
+        .collect();
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "arena-backed executors diverged from the seed semantics"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On random streams, (a) repeated runs of the same executor are
+    /// bit-identical in both match multiset and comparisons (the arena
+    /// introduces no nondeterminism), and (b) Order and Tree plans
+    /// agree on the match multiset for every oracle-scenario pattern.
+    #[test]
+    fn arena_runs_are_deterministic_and_plan_invariant(
+        seed in 0u64..1u64 << 32,
+        n in 20usize..200,
+    ) {
+        let events = lcg_events(n, 3, seed | 1);
+        for pattern in [
+            seq_pattern(),
+            and_pattern(),
+            interior_neg_pattern(),
+            trailing_neg_pattern(),
+            kleene_pattern(),
+        ] {
+            let order = EvalPlan::Order(OrderPlan::identity(
+                pattern.canonical().branches[0].n(),
+            ));
+            let slots: Vec<usize> = (0..pattern.canonical().branches[0].n()).collect();
+            let tree = EvalPlan::Tree(TreePlan::left_deep(&slots));
+            let (k1, c1) = run_one(&pattern, &order, &events);
+            let (k2, c2) = run_one(&pattern, &order, &events);
+            prop_assert_eq!(&k1, &k2, "order run not deterministic");
+            prop_assert_eq!(c1, c2, "order comparisons not deterministic");
+            let (k3, c3) = run_one(&pattern, &tree, &events);
+            let (k4, c4) = run_one(&pattern, &tree, &events);
+            prop_assert_eq!(&k3, &k4, "tree run not deterministic");
+            prop_assert_eq!(c3, c4, "tree comparisons not deterministic");
+            prop_assert_eq!(&k1, &k3, "order and tree multisets diverged");
+        }
+    }
+}

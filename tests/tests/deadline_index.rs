@@ -1,0 +1,192 @@
+//! The per-shard pending-deadline index.
+//!
+//! Watermark-driven finalization used to sweep every live engine
+//! (sorted keys, O(K log K)) on each watermark advance even when no
+//! engine held a pending match. The shard now keeps a min-heap of
+//! `(deadline, key, query)` over engines whose finalizer reports a
+//! minimum pending deadline, so:
+//!
+//! * a watermark advance with nothing pending performs **zero**
+//!   per-engine work (pinned via `ShardStats::finalize_visits`);
+//! * only engines with a due deadline are visited, and the emitted
+//!   matches carry `detected_at == watermark` with their finalization
+//!   `deadline`, aggregated as emission latency in `ShardStats`.
+
+use std::sync::Arc;
+
+use acep_core::AdaptiveConfig;
+use acep_stream::{
+    CollectingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, StreamConfig,
+};
+use acep_types::{Event, EventTypeId, Pattern, PatternExpr, Value};
+
+const WINDOW: u64 = 1_000;
+
+fn t(i: u32) -> EventTypeId {
+    EventTypeId(i)
+}
+
+/// Keyed event; the last attribute is the partition key.
+fn ev(tid: u32, ts: u64, seq: u64, key: i64) -> Arc<Event> {
+    Event::new(t(tid), ts, seq, vec![Value::Int(key)])
+}
+
+/// SEQ(T0, T1): no trailing negation/Kleene scope, so completed
+/// matches emit immediately and nothing is ever pending.
+fn immediate_set() -> PatternSet {
+    let pattern = Pattern::builder("pair")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+        ]))
+        .window(WINDOW)
+        .build()
+        .unwrap();
+    let mut set = PatternSet::new(3);
+    set.register("pair", pattern, AdaptiveConfig::default())
+        .unwrap();
+    set
+}
+
+/// SEQ(T0, T1, ~T2): the trailing negation holds every match pending
+/// until the watermark passes `min_ts + WINDOW`.
+fn trailing_neg_set() -> PatternSet {
+    let pattern = Pattern::builder("neg-trail")
+        .expr(PatternExpr::seq([
+            PatternExpr::prim(t(0)),
+            PatternExpr::prim(t(1)),
+            PatternExpr::neg(PatternExpr::prim(t(2))),
+        ]))
+        .window(WINDOW)
+        .build()
+        .unwrap();
+    let mut set = PatternSet::new(3);
+    set.register("neg-trail", pattern, AdaptiveConfig::default())
+        .unwrap();
+    set
+}
+
+fn runtime(set: &PatternSet, sink: &Arc<CollectingSink>) -> ShardedRuntime {
+    ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(sink) as _,
+        StreamConfig {
+            shards: 2,
+            // Punctuation-only watermark: advances exactly when the
+            // test says so.
+            disorder: DisorderConfig::bounded(u64::MAX),
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// With no pending deadlines, watermark advances must not visit any
+/// engine — the sweep counter stays at zero across many keys and many
+/// punctuations.
+#[test]
+fn watermark_advance_with_nothing_pending_visits_no_engine() {
+    let sink = Arc::new(CollectingSink::new());
+    let set = immediate_set();
+    let rt = runtime(&set, &sink);
+    // 32 keys × 20 (T0, T1) pairs: plenty of live engines.
+    let mut seq = 0;
+    let mut events = Vec::new();
+    for i in 0..20u64 {
+        for key in 0..32i64 {
+            events.push(ev(0, 100 * i + 1, seq, key));
+            seq += 1;
+            events.push(ev(1, 100 * i + 2, seq + 1_000_000, key));
+            seq += 1;
+        }
+    }
+    rt.push_batch(&events);
+    // Hammer the watermark: every advance would have swept all 32
+    // engines per shard under the old sorted-key sweep.
+    for w in 1..100u64 {
+        rt.advance_watermark(w * 50);
+    }
+    let stats = rt.finish();
+    assert!(stats.total_matches() > 0, "the pattern does match");
+    assert_eq!(
+        stats.total_finalize_visits(),
+        0,
+        "no pending deadline → zero per-engine work on watermark advances"
+    );
+    assert_eq!(stats.emission_latency().count, 0);
+}
+
+/// With trailing negation, exactly the engines holding pending matches
+/// are visited; released matches carry `detected_at == watermark` and
+/// their emission latency (`detected_at - deadline`) is aggregated.
+#[test]
+fn pending_deadlines_are_visited_and_latency_recorded() {
+    let sink = Arc::new(CollectingSink::new());
+    let set = trailing_neg_set();
+    let rt = runtime(&set, &sink);
+    // 4 keys: a (T0@10, T1@20) pair each → deadline = 10 + WINDOW.
+    let mut events = Vec::new();
+    for key in 0..4i64 {
+        events.push(ev(0, 10, key as u64 * 2, key));
+        events.push(ev(1, 20, key as u64 * 2 + 1, key));
+    }
+    rt.push_batch(&events);
+    rt.flush();
+    assert!(sink.drain().is_empty(), "held until the deadline passes");
+
+    // A watermark short of the deadline releases nothing…
+    rt.flush_until(WINDOW);
+    assert!(sink.drain().is_empty());
+
+    // …and one past it releases every key's match at the watermark.
+    let watermark = WINDOW + 75;
+    rt.flush_until(watermark);
+    let released = sink.drain();
+    assert_eq!(released.len(), 4);
+    for m in &released {
+        assert_eq!(m.matched.detected_at, watermark);
+        assert_eq!(m.matched.deadline, 10 + WINDOW);
+    }
+
+    let stats = rt.finish();
+    assert_eq!(
+        stats.total_finalize_visits(),
+        4,
+        "exactly the four engines with a due deadline are visited"
+    );
+    let latency = stats.emission_latency();
+    assert_eq!(latency.count, 4);
+    assert_eq!(latency.min, watermark - (10 + WINDOW));
+    assert_eq!(latency.max, latency.min);
+    assert_eq!(latency.mean(), Some(latency.min as f64));
+}
+
+/// An invalidated pending match leaves a stale heap entry; the sweep
+/// must skip it gracefully (visit at most, emit nothing) and the
+/// index must keep working for later pendings of the same engine.
+#[test]
+fn invalidated_pending_does_not_emit_and_index_recovers() {
+    let sink = Arc::new(CollectingSink::new());
+    let set = trailing_neg_set();
+    let rt = runtime(&set, &sink);
+    // Key 0: pair at (10, 20), then the negated T2 at 30 kills it.
+    rt.push_batch(&[
+        ev(0, 10, 0, 0),
+        ev(1, 20, 1, 0),
+        ev(2, 30, 2, 0),
+        // Key 1: a clean pair later in the stream.
+        ev(0, 2_000, 3, 1),
+        ev(1, 2_010, 4, 1),
+    ]);
+    rt.flush_until(10 + WINDOW + 1);
+    assert!(sink.drain().is_empty(), "invalidated match must not emit");
+
+    rt.flush_until(2_000 + WINDOW + 1);
+    let released = sink.drain();
+    assert_eq!(released.len(), 1, "the clean pair emits at its deadline");
+    assert_eq!(released[0].matched.deadline, 2_000 + WINDOW);
+    let stats = rt.finish();
+    assert_eq!(stats.emission_latency().count, 1);
+    assert_eq!(stats.query(acep_stream::QueryId(0)).matches, 1);
+}
