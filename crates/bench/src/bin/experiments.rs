@@ -93,15 +93,21 @@ fn main() {
                 report.events, report.baseline_eps
             );
             for p in &report.points {
+                let vs = if p.overhead_pct.is_finite() {
+                    format!("{:>+6.1}% vs passthrough", -p.overhead_pct)
+                } else {
+                    "separate workload".into()
+                };
                 println!(
-                    "  {:<10} bound {:>4}: {:>9.0} events/s ({:>+6.1}% vs passthrough), {} matches, {} late, peak buffer {}",
+                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials",
                     p.strategy,
                     p.bound,
                     p.throughput_eps,
-                    -p.overhead_pct,
                     p.matches,
                     p.late_dropped,
                     p.max_reorder_depth,
+                    p.engines_live,
+                    p.partials_live,
                 );
             }
             std::fs::write(path, report.to_json()).expect("writing the smoke report");

@@ -19,7 +19,13 @@
 //! * `per_source` at the same bounds over a source-skewed delivery
 //!   (skew ≫ bound) — the price of per-source tracking plus
 //!   watermark-driven finalization under heavy buffering, with zero
-//!   late drops where the merged strategy would discard events.
+//!   late drops where the merged strategy would discard events;
+//! * `scale_keys` — a high-cardinality adaptation stress point: 10k
+//!   partition keys × 2 queries with a mid-stream skew shift, in-order
+//!   delivery. Exercises the shared adaptation plane (one controller
+//!   per shard × query, lazy epoch migration) and reports the per-key
+//!   memory proxy — live keyed engines plus stored partial-match nodes
+//!   — alongside throughput.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,7 +36,7 @@ use acep_stream::{
     CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, SourceId,
     StreamConfig,
 };
-use acep_types::Event;
+use acep_types::{Event, EventTypeId, Pattern, PatternExpr, Value};
 use acep_workloads::{bounded_shuffle, source_skew_tagged, DatasetKind, PatternSetKind, Scenario};
 
 /// Shape of the smoke workload.
@@ -45,6 +51,10 @@ pub struct SmokeConfig {
     /// Measured runs per grid point (the best run is reported, damping
     /// scheduler noise on shared CI runners).
     pub repeats: usize,
+    /// Partition keys of the `scale_keys` adaptation point.
+    pub scale_keys: u64,
+    /// Events per key of the `scale_keys` point.
+    pub scale_events_per_key: usize,
 }
 
 impl Default for SmokeConfig {
@@ -54,6 +64,8 @@ impl Default for SmokeConfig {
             events_per_key: 1_200,
             shards: 2,
             repeats: 3,
+            scale_keys: 10_000,
+            scale_events_per_key: 12,
         }
     }
 }
@@ -61,23 +73,29 @@ impl Default for SmokeConfig {
 /// One measured grid point.
 #[derive(Debug, Clone)]
 pub struct SmokePoint {
-    /// `"merged"` or `"per_source"`.
+    /// `"merged"`, `"per_source"`, or `"scale_keys"`.
     pub strategy: &'static str,
-    /// Disorder bound `D` (ms).
+    /// Disorder bound `D` (ms); 0 for the in-order points.
     pub bound: u64,
     /// Best observed throughput, events per wall-clock second.
     pub throughput_eps: f64,
     /// Slowdown vs. the passthrough baseline, in percent (negative =
-    /// faster, within noise).
+    /// faster, within noise). `NaN` (serialized `null`) for
+    /// `scale_keys`, which measures a different workload.
     pub overhead_pct: f64,
-    /// Matches detected (identical across points: disorder within the
-    /// contract is semantically invisible).
+    /// Matches detected (identical across the disorder points: disorder
+    /// within the contract is semantically invisible).
     pub matches: u64,
     /// Late drops (must be 0 on this grid — the deliveries respect
     /// each strategy's contract).
     pub late_dropped: u64,
     /// Peak reorder-buffer depth across shards.
     pub max_reorder_depth: usize,
+    /// Live keyed-engine instances at end of run (per-key memory
+    /// proxy, together with `partials_live`).
+    pub engines_live: usize,
+    /// Stored partial-match nodes at end of run.
+    pub partials_live: usize,
 }
 
 /// The full smoke report.
@@ -111,6 +129,8 @@ struct RunOutcome {
     matches: u64,
     late_dropped: u64,
     max_reorder_depth: usize,
+    engines_live: usize,
+    partials_live: usize,
 }
 
 fn run_once(
@@ -147,7 +167,92 @@ fn run_once(
             .map(|s| s.max_reorder_depth)
             .max()
             .unwrap_or(0),
+        engines_live: stats.total_engines_live(),
+        partials_live: stats.total_partials_live(),
     }
+}
+
+/// The `scale_keys` workload: `keys` round-robin partition keys whose
+/// global type skew (T0 frequent / T2 rare over 3 types) flips halfway
+/// through — the minimal stream that forces every shard controller
+/// through warmup, initial optimization, and one skew-shift re-plan
+/// while key cardinality stresses per-key instantiation. The type
+/// cycle modulus (53) is prime so it never divides a round-robin key
+/// count: every key's subsequence walks all residues, sees all three
+/// types, and — within [`SCALE_WINDOW_MS`] — completes real matches,
+/// keeping the partial/finalizer machinery honestly loaded.
+fn skew_shift_keyed(keys: u64, events_per_key: usize) -> Vec<Arc<Event>> {
+    let total = keys as usize * events_per_key;
+    let mut events = Vec::with_capacity(total);
+    let mut ts = 0u64;
+    for i in 0..total {
+        let key = i as u64 % keys;
+        ts += 3;
+        let phase2 = i >= total / 2;
+        let r = i % 53;
+        let tid = if r == 0 {
+            if phase2 {
+                0
+            } else {
+                2
+            }
+        } else if r % 5 == 0 {
+            1
+        } else if phase2 {
+            2
+        } else {
+            0
+        };
+        events.push(Event::new(
+            EventTypeId(tid),
+            ts,
+            i as u64,
+            vec![Value::Int((i % 7) as i64 - 3), Value::Int(key as i64)],
+        ));
+    }
+    events
+}
+
+/// Match window of the `scale_keys` queries. Consecutive events of one
+/// key are `3 × scale_keys` ms apart (round-robin at 3 ms/event), so
+/// the window must span several per-key gaps for joins to happen at
+/// all; at the default 10k keys it covers ~6 events per key.
+const SCALE_WINDOW_MS: u64 = 200_000;
+
+/// Two 3-type queries for the `scale_keys` point, so every key hosts
+/// two engines from one shared controller pair per shard.
+fn scale_pattern_set() -> PatternSet {
+    let adaptive = AdaptiveConfig {
+        planner: PlannerKind::Greedy,
+        policy: PolicyKind::invariant_with_distance(0.1),
+        ..AdaptiveConfig::default()
+    };
+    let mut set = PatternSet::new(3);
+    set.register(
+        "scale/seq3",
+        Pattern::sequence(
+            "seq3",
+            &[EventTypeId(0), EventTypeId(1), EventTypeId(2)],
+            SCALE_WINDOW_MS,
+        ),
+        adaptive.clone(),
+    )
+    .expect("scale seq pattern is valid");
+    set.register(
+        "scale/and3",
+        Pattern::builder("and3")
+            .expr(PatternExpr::and([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+                PatternExpr::prim(EventTypeId(2)),
+            ]))
+            .window(SCALE_WINDOW_MS)
+            .build()
+            .expect("scale and pattern is valid"),
+        adaptive,
+    )
+    .expect("scale and pattern is valid");
+    set
 }
 
 fn best_of(
@@ -183,6 +288,19 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         evs.into_iter().map(|ev| (SourceId::MERGED, ev)).collect()
     };
 
+    let point =
+        |strategy: &'static str, bound: u64, overhead_pct: f64, o: &RunOutcome| SmokePoint {
+            strategy,
+            bound,
+            throughput_eps: o.eps,
+            overhead_pct,
+            matches: o.matches,
+            late_dropped: o.late_dropped,
+            max_reorder_depth: o.max_reorder_depth,
+            engines_live: o.engines_live,
+            partials_live: o.partials_live,
+        };
+
     let mut points = Vec::new();
     let in_order = tag_merged(events.clone());
     let baseline = best_of(
@@ -193,15 +311,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.repeats,
     );
     let overhead = |eps: f64| 100.0 * (1.0 - eps / baseline.eps);
-    points.push(SmokePoint {
-        strategy: "merged",
-        bound: 0,
-        throughput_eps: baseline.eps,
-        overhead_pct: 0.0,
-        matches: baseline.matches,
-        late_dropped: baseline.late_dropped,
-        max_reorder_depth: baseline.max_reorder_depth,
-    });
+    points.push(point("merged", 0, 0.0, &baseline));
 
     for bound in BOUNDS {
         let delivered = tag_merged(bounded_shuffle(&events, bound, 11));
@@ -212,15 +322,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             DisorderConfig::bounded(bound),
             config.repeats,
         );
-        points.push(SmokePoint {
-            strategy: "merged",
-            bound,
-            throughput_eps: outcome.eps,
-            overhead_pct: overhead(outcome.eps),
-            matches: outcome.matches,
-            late_dropped: outcome.late_dropped,
-            max_reorder_depth: outcome.max_reorder_depth,
-        });
+        points.push(point("merged", bound, overhead(outcome.eps), &outcome));
     }
 
     let delivered = source_skew_tagged(&events, SOURCES, SKEW, 11);
@@ -232,16 +334,25 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             DisorderConfig::per_source(bound, 4 * SKEW),
             config.repeats,
         );
-        points.push(SmokePoint {
-            strategy: "per_source",
-            bound,
-            throughput_eps: outcome.eps,
-            overhead_pct: overhead(outcome.eps),
-            matches: outcome.matches,
-            late_dropped: outcome.late_dropped,
-            max_reorder_depth: outcome.max_reorder_depth,
-        });
+        points.push(point("per_source", bound, overhead(outcome.eps), &outcome));
     }
+
+    // The high-cardinality shared-adaptation point: a different
+    // workload, so its overhead slot is null rather than a percentage
+    // against the stocks baseline.
+    let delivered = tag_merged(skew_shift_keyed(
+        config.scale_keys,
+        config.scale_events_per_key,
+    ));
+    let scale_set = scale_pattern_set();
+    let outcome = best_of(
+        &scale_set,
+        &delivered,
+        config.shards,
+        DisorderConfig::in_order(),
+        config.repeats,
+    );
+    points.push(point("scale_keys", 0, f64::NAN, &outcome));
 
     SmokeReport {
         config: config.clone(),
@@ -276,7 +387,7 @@ impl SmokeReport {
         ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}}}{}\n",
+                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}}}{}\n",
                 p.strategy,
                 p.bound,
                 json_f64(p.throughput_eps),
@@ -284,6 +395,8 @@ impl SmokeReport {
                 p.matches,
                 p.late_dropped,
                 p.max_reorder_depth,
+                p.engines_live,
+                p.partials_live,
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
@@ -368,9 +481,11 @@ mod tests {
             events_per_key: 150,
             shards: 1,
             repeats: 1,
+            scale_keys: 40,
+            scale_events_per_key: 10,
         });
         assert_eq!(report.events, 300);
-        assert_eq!(report.points.len(), 5);
+        assert_eq!(report.points.len(), 6);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -379,29 +494,45 @@ mod tests {
                 "{}@{}: contract-respecting delivery must not drop",
                 p.strategy, p.bound
             );
-            assert_eq!(
-                p.matches, matches,
-                "{}@{}: disorder within the contract is invisible",
-                p.strategy, p.bound
-            );
+            if p.strategy != "scale_keys" {
+                assert_eq!(
+                    p.matches, matches,
+                    "{}@{}: disorder within the contract is invisible",
+                    p.strategy, p.bound
+                );
+            }
             assert!(p.throughput_eps > 0.0);
         }
         assert_eq!(
             report.points[0].max_reorder_depth, 0,
             "passthrough buffers nothing"
         );
+        let scale = report.points.last().expect("scale point present");
+        assert_eq!(scale.strategy, "scale_keys");
+        assert!(
+            scale.overhead_pct.is_nan(),
+            "different workload → null overhead"
+        );
+        assert_eq!(
+            scale.engines_live,
+            2 * 40,
+            "both queries host one engine per key"
+        );
 
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
         assert!(json.contains("\"strategy\": \"per_source\""));
-        assert_eq!(json.matches("\"bound\":").count(), 5);
+        assert!(json.contains("\"strategy\": \"scale_keys\""));
+        assert!(json.contains("\"partials_live\""));
+        assert_eq!(json.matches("\"bound\":").count(), 6);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 5);
+        assert_eq!(points.len(), 6);
         assert_eq!(points[0].0, "merged");
         assert_eq!(points[0].1, 0);
         assert!((points[0].2 - report.points[0].throughput_eps).abs() < 1.0);
+        assert_eq!(points[5].0, "scale_keys");
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! The shared adaptation plane: [`QueryController`].
+//!
+//! The paper's detection–adaptation loop (Algorithm 1, Fig. 2) adapts
+//! *per pattern*, not per partition key. A controller is that loop's
+//! control half for one query — the statistics collector, the
+//! reoptimizing decision function `D`, and the plan generation
+//! algorithm `A` — hoisted out of the per-key engines so a sharded
+//! runtime keeps exactly one per (shard, query) instead of one per
+//! (key, query):
+//!
+//! * the controller [`observe`](QueryController::observe)s every event
+//!   relevant to its query on the shard **once**, so its statistics are
+//!   cross-key — a cold key inherits what the hot keys taught the
+//!   estimators instead of starting from uniform statistics and never
+//!   reaching warmup;
+//! * the control loop (snapshot → `D` → maybe `A` → maybe deploy) runs
+//!   at shard scope: a skew shift costs at most one planner invocation
+//!   per branch per control step, independent of how many keys are
+//!   live;
+//! * a deployment does **not** touch any engine. It updates the
+//!   controller's current plan and bumps the branch's **plan epoch**;
+//!   [`KeyedEngine`]s carry the epoch of the
+//!   plan they run and lazily rebuild + migrate (the lossless protocol
+//!   of `acep_engine::MigratingExecutor`) on their next event, so a
+//!   re-plan is O(keys that actually receive events) spread over the
+//!   stream, not O(live keys) at the decision point. Keys instantiated
+//!   *after* a deployment start directly on the adapted plan with no
+//!   migration debt.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acep_engine::{build_executor, ExecContext, Executor};
+use acep_plan::{CollectingRecorder, EvalPlan, Planner};
+use acep_stats::{SharedSnapshot, StatisticsCollector};
+use acep_types::{CanonicalPattern, Event, SubPattern, Timestamp};
+
+use crate::keyed::KeyedEngine;
+use crate::policy::{ReoptOutcome, ReoptPolicy};
+use crate::runtime::{AdaptiveConfig, EngineTemplate};
+
+/// Counters and timers of one controller's adaptation loop — the
+/// per-(shard, query) analogue of what `AdaptiveMetrics` tracked per
+/// engine before the adaptation plane was shared.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdaptationStats {
+    /// Events observed by the controller (relevant events on its shard).
+    pub events: u64,
+    /// Decision-function evaluations.
+    pub decision_evals: u64,
+    /// Times `D` returned `true` (reoptimization attempts).
+    pub reopt_triggers: u64,
+    /// Plan-generation (`A`) invocations, excluding the initial ones.
+    pub planner_invocations: u64,
+    /// Plans actually replaced (the paper's "total number of plan
+    /// reoptimizations"), excluding the one-off initial optimization.
+    pub plan_replacements: u64,
+    /// Total plan deployments across branches — initial optimizations
+    /// *and* replacements; the sum of the per-branch epochs engines
+    /// migrate towards.
+    pub plan_epoch: u64,
+    /// Wall time spent evaluating `D`.
+    pub decision_time: Duration,
+    /// Wall time spent in `A`, invariant construction and deployment.
+    pub planning_time: Duration,
+}
+
+impl AdaptationStats {
+    /// Accumulates another controller's counters (e.g. the same query's
+    /// controller on another shard).
+    pub fn merge(&mut self, other: &Self) {
+        self.events += other.events;
+        self.decision_evals += other.decision_evals;
+        self.reopt_triggers += other.reopt_triggers;
+        self.planner_invocations += other.planner_invocations;
+        self.plan_replacements += other.plan_replacements;
+        self.plan_epoch += other.plan_epoch;
+        self.decision_time += other.decision_time;
+        self.planning_time += other.planning_time;
+    }
+}
+
+/// Control-side state of one pattern branch.
+struct BranchControl {
+    sub: SubPattern,
+    ctx: Arc<ExecContext>,
+    policy: Box<dyn ReoptPolicy>,
+    /// The currently deployed plan (what new and re-syncing engines
+    /// build their executors from).
+    plan: EvalPlan,
+    /// Bumped on every deployment; engines compare their executor's
+    /// epoch tag against this to detect a pending migration.
+    epoch: u64,
+    /// Whether the one-off initial optimization has run.
+    initialized: bool,
+    /// The snapshot of the last control step (shareable observability
+    /// surface; `None` before the first step).
+    last_snapshot: Option<SharedSnapshot>,
+}
+
+/// Statistics + decision function `D` + planner `A` for one query — one
+/// instance per (shard, query), shared by every keyed engine of that
+/// query on the shard. See the [module docs](self).
+pub struct QueryController {
+    pattern: Arc<CanonicalPattern>,
+    config: AdaptiveConfig,
+    planner: Planner,
+    collector: StatisticsCollector,
+    branches: Vec<BranchControl>,
+    stats: AdaptationStats,
+}
+
+impl QueryController {
+    /// Builds the controller of a compiled template: uniform-statistics
+    /// plans deployed at epoch 0, policies armed on the uniform
+    /// deciding-condition sets.
+    pub(crate) fn from_template(t: &EngineTemplate) -> Self {
+        let branches = t
+            .branches
+            .iter()
+            .map(|bt| {
+                let mut policy = t.config.policy.build();
+                policy.on_plan_installed(
+                    &bt.uniform_sets,
+                    &bt.uniform_snapshot,
+                    ReoptOutcome::Deployed,
+                );
+                BranchControl {
+                    sub: bt.sub.clone(),
+                    ctx: Arc::clone(&bt.ctx),
+                    policy,
+                    plan: bt.uniform_plan.clone(),
+                    epoch: 0,
+                    initialized: false,
+                    last_snapshot: None,
+                }
+            })
+            .collect();
+        Self {
+            pattern: Arc::clone(&t.pattern),
+            config: t.config.clone(),
+            planner: Planner::new(t.config.planner),
+            collector: StatisticsCollector::new(t.num_types, &t.pattern, &t.config.stats),
+            branches,
+            stats: AdaptationStats::default(),
+        }
+    }
+
+    /// Feeds one relevant event into the statistics estimators and,
+    /// every `control_interval` events past warmup, runs one control
+    /// step. Returns whether a control step ran — hosts piggy-back
+    /// bounded housekeeping (idle-key generation retirement) on that
+    /// cadence.
+    #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.82 MSRV
+    pub fn observe(&mut self, ev: &Arc<Event>) -> bool {
+        self.collector.observe(ev);
+        self.stats.events += 1;
+        if self.stats.events >= self.config.warmup_events
+            && self.stats.events % self.config.control_interval == 0
+        {
+            self.control_step(ev.timestamp);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One decision point: snapshot → `D` → (maybe) `A` → (maybe)
+    /// deployment, per branch. Deployment only moves the controller's
+    /// plan and epoch; engines migrate lazily on their next event.
+    fn control_step(&mut self, now: Timestamp) {
+        for bi in 0..self.branches.len() {
+            let snapshot = self.collector.shared_snapshot_branch(bi, now);
+            let b = &mut self.branches[bi];
+
+            if !b.initialized {
+                // One-off initial optimization from real statistics.
+                b.initialized = true;
+                let mut rec = CollectingRecorder::new();
+                let plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
+                // The initial optimization replaces unconditionally on
+                // any improvement — the uniform-stats plan is a
+                // placeholder, not a tuned incumbent.
+                b.policy.on_plan_installed(
+                    &rec.into_condition_sets(),
+                    &snapshot,
+                    ReoptOutcome::Deployed,
+                );
+                if plan != b.plan && plan.cost(&snapshot) < b.plan.cost(&snapshot) {
+                    b.plan = plan;
+                    b.epoch += 1;
+                    self.stats.plan_epoch += 1;
+                }
+                b.last_snapshot = Some(snapshot);
+                continue;
+            }
+
+            let t0 = Instant::now();
+            let fire = b.policy.should_reoptimize(&snapshot);
+            self.stats.decision_time += t0.elapsed();
+            self.stats.decision_evals += 1;
+            if !fire {
+                b.last_snapshot = Some(snapshot);
+                continue;
+            }
+            self.stats.reopt_triggers += 1;
+
+            let t1 = Instant::now();
+            let mut rec = CollectingRecorder::new();
+            let new_plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
+            self.stats.planner_invocations += 1;
+            // Algorithm 1: "if new_plan is better than curr_plan".
+            let new_cost = new_plan.cost(&snapshot);
+            let cur_cost = b.plan.cost(&snapshot);
+            let better = new_cost < cur_cost * (1.0 - self.config.min_improvement);
+            // A rejected candidate within this relative band of the
+            // current plan's cost is a tie: monitoring its conditions is
+            // as good as monitoring the deployed plan's, so install
+            // instead of re-arming D every decision point.
+            const TIE_BAND: f64 = 0.05;
+            let outcome = if new_plan == b.plan {
+                ReoptOutcome::Unchanged
+            } else if better {
+                b.plan = new_plan;
+                b.epoch += 1;
+                self.stats.plan_epoch += 1;
+                self.stats.plan_replacements += 1;
+                ReoptOutcome::Deployed
+            } else if new_cost <= cur_cost * (1.0 + TIE_BAND) {
+                ReoptOutcome::Unchanged
+            } else {
+                ReoptOutcome::RejectedCandidate
+            };
+            b.policy
+                .on_plan_installed(&rec.into_condition_sets(), &snapshot, outcome);
+            self.stats.planning_time += t1.elapsed();
+            b.last_snapshot = Some(snapshot);
+        }
+    }
+
+    /// Stamps out a keyed engine running the controller's *current*
+    /// plans at the current epochs — a key appearing after a re-plan
+    /// starts directly on the adapted plan, with no per-key warmup and
+    /// no migration debt.
+    pub fn new_engine(&self) -> KeyedEngine {
+        KeyedEngine::from_controller(self)
+    }
+
+    /// Builds a fresh executor for branch `b`'s current plan (the
+    /// target of a lazy migration).
+    pub fn build_branch_executor(&self, b: usize) -> Box<dyn Executor> {
+        let branch = &self.branches[b];
+        build_executor(Arc::clone(&branch.ctx), &branch.plan)
+    }
+
+    /// The currently deployed plan of a branch.
+    pub fn plan(&self, b: usize) -> &EvalPlan {
+        &self.branches[b].plan
+    }
+
+    /// The deployment epoch of a branch (0 = uniform-statistics plan).
+    pub fn epoch(&self, b: usize) -> u64 {
+        self.branches[b].epoch
+    }
+
+    /// The match window of branch `b` (for engine construction).
+    pub(crate) fn branch_window(&self, b: usize) -> Timestamp {
+        self.branches[b].sub.window
+    }
+
+    /// Number of pattern branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Adaptation counters so far.
+    pub fn stats(&self) -> &AdaptationStats {
+        &self.stats
+    }
+
+    /// The statistics snapshot of the last control step for branch `b`
+    /// (shareable; `None` before the first step).
+    pub fn snapshot(&self, b: usize) -> Option<&SharedSnapshot> {
+        self.branches[b].last_snapshot.as_ref()
+    }
+
+    /// The canonical pattern this controller adapts.
+    pub fn pattern(&self) -> &CanonicalPattern {
+        &self.pattern
+    }
+
+    /// The adaptation configuration.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use acep_stats::StatsConfig;
+    use acep_types::{EventTypeId, Pattern, Value};
+
+    fn t(i: u32) -> EventTypeId {
+        EventTypeId(i)
+    }
+
+    fn ev(tid: u32, ts: u64, seq: u64) -> Arc<Event> {
+        Event::new(t(tid), ts, seq, vec![Value::Int(0)])
+    }
+
+    fn config() -> AdaptiveConfig {
+        AdaptiveConfig {
+            policy: PolicyKind::invariant_with_distance(0.0),
+            control_interval: 50,
+            warmup_events: 200,
+            stats: StatsConfig {
+                exact_rates: true,
+                window_ms: 2_000,
+                ..StatsConfig::default()
+            },
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    /// Type 0 frequent, type 1 medium, type 2 rare.
+    fn skewed_stream(n: u64) -> Vec<Arc<Event>> {
+        let mut events = Vec::new();
+        let mut seq = 0;
+        for i in 0..n {
+            events.push(ev(0, i * 10, seq));
+            seq += 1;
+            if i % 5 == 0 {
+                events.push(ev(1, i * 10 + 1, seq));
+                seq += 1;
+            }
+            if i % 25 == 0 {
+                events.push(ev(2, i * 10 + 2, seq));
+                seq += 1;
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn deployment_bumps_epoch_without_touching_engines() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let template = EngineTemplate::new(&p, 3, config()).unwrap();
+        let mut ctl = template.controller();
+        let mut engine = ctl.new_engine();
+        assert_eq!(ctl.epoch(0), 0);
+        let mut out = Vec::new();
+        for e in skewed_stream(500) {
+            ctl.observe(&e);
+        }
+        // The skew moved the plan off uniform: epoch advanced, stats
+        // recorded the deployments, and the last snapshot is published.
+        assert!(ctl.epoch(0) > 0, "skew must deploy a non-uniform plan");
+        assert_eq!(ctl.stats().plan_epoch, ctl.epoch(0));
+        assert!(ctl.snapshot(0).is_some());
+        // The engine never saw an event, so it still runs epoch 0 —
+        // deployments are epoch bumps, not engine walks.
+        assert_eq!(engine.plan_epoch(0), 0);
+        // Its next event migrates it straight to the current epoch.
+        engine.on_event(&ctl, &ev(0, 10_000, 999_999), &mut out);
+        assert_eq!(engine.plan_epoch(0), ctl.epoch(0));
+    }
+
+    #[test]
+    fn cold_engine_adopts_current_plan_at_birth() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let template = EngineTemplate::new(&p, 3, config()).unwrap();
+        let mut ctl = template.controller();
+        for e in skewed_stream(500) {
+            ctl.observe(&e);
+        }
+        assert!(ctl.epoch(0) > 0);
+        let engine = ctl.new_engine();
+        assert_eq!(
+            engine.plan_epoch(0),
+            ctl.epoch(0),
+            "a cold key starts on the adapted plan, not the uniform one"
+        );
+        assert_eq!(engine.generations(), 1, "no migration debt at birth");
+    }
+}

@@ -1,0 +1,166 @@
+//! The per-key evaluation half: [`KeyedEngine`].
+//!
+//! A keyed engine is everything a partition key actually needs of the
+//! adaptive runtime: one `MigratingExecutor` chain per pattern branch,
+//! plus the epoch tags that tie each chain to its
+//! [`QueryController`]'s deployed
+//! plan. There is **no** statistics collector, no planner and no policy
+//! in here — per-key memory is the executors' partial-match state, and
+//! nothing else scales with key cardinality.
+//!
+//! Migration is lazy: when the controller has deployed a newer plan
+//! (its branch epoch is ahead of the executor's tag), the engine
+//! rebuilds the branch executor from the controller's current plan on
+//! its next event and splices it in through the lossless generation
+//! protocol — ownership of in-flight matches stays with the plan that
+//! saw their first event. A key that never receives another event never
+//! pays for the re-plan; a key created after it starts directly on the
+//! new plan.
+
+use std::sync::Arc;
+
+use acep_engine::{Match, MigratingExecutor};
+use acep_types::{Event, Timestamp};
+
+use crate::controller::QueryController;
+
+/// Per-key evaluation state of one query: branch executors only. See
+/// the [module docs](self).
+pub struct KeyedEngine {
+    branches: Vec<MigratingExecutor>,
+    /// Timestamp of the last event this engine processed — the
+    /// ownership boundary for lazy migrations: the previous generation
+    /// saw every event up to and including `last_ts`, so it keeps every
+    /// match starting there.
+    last_ts: Timestamp,
+    events: u64,
+    matches: u64,
+}
+
+impl KeyedEngine {
+    /// Builds an engine running `controller`'s current plans at the
+    /// current epochs (no migration debt).
+    pub(crate) fn from_controller(controller: &QueryController) -> Self {
+        let branches = (0..controller.num_branches())
+            .map(|b| {
+                MigratingExecutor::with_epoch(
+                    controller.branch_window(b),
+                    controller.build_branch_executor(b),
+                    controller.epoch(b),
+                )
+            })
+            .collect();
+        Self {
+            branches,
+            last_ts: 0,
+            events: 0,
+            matches: 0,
+        }
+    }
+
+    /// Processes one event, appending matches to `out`. First settles
+    /// any pending plan migration: branches whose epoch tag trails the
+    /// controller's are rebuilt on the controller's current plan —
+    /// skipping intermediate epochs — and spliced in with ownership
+    /// starting after `last_ts`, so the retiring generation keeps every
+    /// match it alone saw the start of.
+    pub fn on_event(
+        &mut self,
+        controller: &QueryController,
+        ev: &Arc<Event>,
+        out: &mut Vec<Match>,
+    ) {
+        debug_assert_eq!(self.branches.len(), controller.num_branches());
+        let before = out.len();
+        for (b, exec) in self.branches.iter_mut().enumerate() {
+            let target = controller.epoch(b);
+            if exec.plan_epoch() != target {
+                exec.replace_epoch(controller.build_branch_executor(b), self.last_ts, target);
+            }
+            exec.on_event(ev, out);
+        }
+        self.last_ts = ev.timestamp;
+        self.events += 1;
+        self.matches += (out.len() - before) as u64;
+    }
+
+    /// Advances stream time to `now` without an event (see
+    /// `Executor::advance_time`): pending finalizations past their
+    /// deadline emit, and generations whose ownership range has fully
+    /// expired retire. Does not migrate plans — migration waits for the
+    /// next event, keeping watermark sweeps O(pending work).
+    pub fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
+        let before = out.len();
+        for exec in &mut self.branches {
+            exec.advance_time(now, out);
+        }
+        self.matches += (out.len() - before) as u64;
+    }
+
+    /// Flushes pending matches at end of stream.
+    pub fn finish(&mut self, out: &mut Vec<Match>) {
+        let before = out.len();
+        for exec in &mut self.branches {
+            exec.finish(out);
+        }
+        self.matches += (out.len() - before) as u64;
+    }
+
+    /// Events processed by this engine.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Matches emitted by this engine.
+    pub fn matches(&self) -> u64 {
+        self.matches
+    }
+
+    /// The plan epoch branch `b`'s executor chain currently runs.
+    pub fn plan_epoch(&self, b: usize) -> u64 {
+        self.branches[b].plan_epoch()
+    }
+
+    /// Live executor generations across branches (`num_branches` = no
+    /// migration in progress anywhere).
+    pub fn generations(&self) -> usize {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::active_generations)
+            .sum()
+    }
+
+    /// Plan replacements performed by this engine so far.
+    pub fn replacements(&self) -> u64 {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::replacements)
+            .sum()
+    }
+
+    /// Stored partial matches across branches and generations.
+    pub fn partial_count(&self) -> usize {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::partial_count)
+            .sum()
+    }
+
+    /// Join/predicate comparisons across branches.
+    pub fn comparisons(&self) -> u64 {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::comparisons)
+            .sum()
+    }
+
+    /// Earliest pending finalization deadline across branches, or
+    /// `None` when [`advance_time`](Self::advance_time) is guaranteed
+    /// to emit nothing (see `MigratingExecutor::min_pending_deadline`).
+    pub fn min_pending_deadline(&self) -> Option<Timestamp> {
+        self.branches
+            .iter()
+            .filter_map(MigratingExecutor::min_pending_deadline)
+            .min()
+    }
+}

@@ -17,16 +17,22 @@
 //!   constant-threshold baselines it is evaluated against;
 //! * [`distance`] — the `d_avg` average-relative-difference distance
 //!   estimator of §3.4;
+//! * [`controller`] — [`QueryController`], the *shared adaptation
+//!   plane*: statistics + `D` + `A` + plan epochs for one query,
+//!   shareable across every partition key of a shard;
+//! * [`keyed`] — [`KeyedEngine`], the lean per-key evaluation half
+//!   (branch executors only) with lazy epoch-tagged plan migration;
 //! * [`runtime`] — [`AdaptiveCep`], the detection-adaptation loop of
-//!   Algorithm 1, and [`EngineTemplate`] for stamping out many engine
-//!   instances of one pattern cheaply;
+//!   Algorithm 1 as the single-key controller + engine composition,
+//!   and [`EngineTemplate`] for stamping out controllers and engines
+//!   of one pattern cheaply;
 //! * [`concurrent`] — background statistics estimation.
 //!
 //! To run *many* patterns over a *partitioned* stream across parallel
 //! worker shards, layer the `acep-stream` crate on top: it hosts one
-//! `AdaptiveCep` per (partition key, query), instantiated from
-//! [`EngineTemplate`]s, with batched ingestion and aggregated
-//! observability.
+//! [`QueryController`] per (shard, query) and one [`KeyedEngine`] per
+//! (partition key, query), instantiated from [`EngineTemplate`]s, with
+//! batched ingestion and aggregated observability.
 //!
 //! ## Quickstart
 //!
@@ -64,14 +70,18 @@
 //! ```
 
 pub mod concurrent;
+pub mod controller;
 pub mod distance;
 pub mod invariant;
+pub mod keyed;
 pub mod policy;
 pub mod runtime;
 
 pub use concurrent::BackgroundStats;
+pub use controller::{AdaptationStats, QueryController};
 pub use distance::{average_invariant_relative_difference, average_relative_difference};
 pub use invariant::{Invariant, InvariantSet, SelectionStrategy};
+pub use keyed::KeyedEngine;
 pub use policy::{
     ConstantThresholdPolicy, DeviationMode, InvariantPolicy, InvariantPolicyConfig, PolicyKind,
     ReoptOutcome, ReoptPolicy, StaticPolicy, UnconditionalPolicy,
@@ -80,7 +90,9 @@ pub use runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics, EngineTemplate};
 
 /// Commonly used items across the whole stack.
 pub mod prelude {
+    pub use crate::controller::{AdaptationStats, QueryController};
     pub use crate::invariant::SelectionStrategy;
+    pub use crate::keyed::KeyedEngine;
     pub use crate::policy::{DeviationMode, InvariantPolicyConfig, PolicyKind};
     pub use crate::runtime::{AdaptiveCep, AdaptiveConfig, AdaptiveMetrics, EngineTemplate};
     pub use acep_engine::{Match, StaticEngine};

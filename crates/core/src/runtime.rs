@@ -1,22 +1,31 @@
 //! The detection-adaptation loop (paper Algorithm 1).
 //!
-//! [`AdaptiveCep`] wires everything together: events flow through the
-//! statistics collector and the per-branch evaluation executors; every
-//! `control_interval` events a fresh statistics snapshot is handed to the
-//! branch's decision function `D`; when `D` fires, the plan generation
-//! algorithm `A` is re-invoked, and the new plan is deployed — through
-//! the lossless migration protocol — only if it is better than the
-//! current one under the current statistics.
+//! [`AdaptiveCep`] runs the loop for one pattern over one stream: a
+//! [`QueryController`] (statistics collector + decision function `D` +
+//! plan generation algorithm `A`) paired with a single
+//! [`KeyedEngine`] (the per-branch
+//! evaluation executors). Every `control_interval` events a fresh
+//! statistics snapshot is handed to each branch's `D`; when `D` fires,
+//! `A` is re-invoked, and a better plan is *deployed* by bumping the
+//! branch's plan epoch — the engine rebuilds and migrates (lossless
+//! protocol) on its next event. At scale, `acep-stream` keeps one
+//! controller per (shard, query) shared by many keyed engines; this
+//! type is the single-key composition of the same two halves, so its
+//! behavior — match multiset and plan trajectory — is identical to the
+//! historical per-key engine (pinned by the `controller_equivalence`
+//! golden tests).
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use acep_engine::{build_executor, ExecContext, Match, MigratingExecutor};
+use acep_engine::{ExecContext, Match};
 use acep_plan::{CollectingRecorder, DecidingConditionSet, EvalPlan, Planner, PlannerKind};
-use acep_stats::{StatSnapshot, StatisticsCollector, StatsConfig};
+use acep_stats::{StatSnapshot, StatsConfig};
 use acep_types::{AcepError, CanonicalPattern, Event, EventTypeId, Pattern, SubPattern, Timestamp};
 
-use crate::policy::{PolicyKind, ReoptOutcome, ReoptPolicy};
+use crate::controller::QueryController;
+use crate::keyed::KeyedEngine;
+use crate::policy::PolicyKind;
 
 /// Configuration of the adaptive runtime.
 #[derive(Debug, Clone)]
@@ -26,10 +35,18 @@ pub struct AdaptiveConfig {
     /// Which reoptimizing decision function `D` to use.
     pub policy: PolicyKind,
     /// Events between decision points (snapshot + `D` evaluation).
+    ///
+    /// Counted per [`QueryController`]: in the sharded runtime that is
+    /// the *shard-scope* relevant-event stream (all keys merged), so a
+    /// hot shard decides more often in wall-clock terms than a single
+    /// engine would — and pays the snapshot/decision cost at that rate.
+    /// Hosts with high-volume shards can scale this up accordingly.
     pub control_interval: u64,
     /// Events before the one-off *initial optimization*: every policy —
     /// including `static` — gets one plan built from the first real
-    /// statistics, modeling the paper's initially-tuned plans.
+    /// statistics, modeling the paper's initially-tuned plans. Also
+    /// counted per controller, so in the sharded runtime sparse keys no
+    /// longer starve behind a per-key warmup.
     pub warmup_events: u64,
     /// Deployment hysteresis for Algorithm 1's "if new_plan is better
     /// than curr_plan" check: the new plan must be cheaper by this
@@ -88,42 +105,36 @@ impl AdaptiveMetrics {
     }
 }
 
-struct BranchRuntime {
-    sub: SubPattern,
-    ctx: Arc<ExecContext>,
-    policy: Box<dyn ReoptPolicy>,
-    plan: EvalPlan,
-    exec: MigratingExecutor,
-    initialized: bool,
-}
-
 /// Pre-compiled construction state of one branch: everything that is
-/// identical across engine instances of the same pattern.
-struct BranchTemplate {
-    sub: SubPattern,
-    ctx: Arc<ExecContext>,
+/// identical across controllers and engine instances of the same
+/// pattern.
+pub(crate) struct BranchTemplate {
+    pub(crate) sub: SubPattern,
+    pub(crate) ctx: Arc<ExecContext>,
     /// Initial plan from the "default, empty Stat" (§2.1).
-    uniform_plan: EvalPlan,
+    pub(crate) uniform_plan: EvalPlan,
     /// Deciding-condition sets recorded while building `uniform_plan`.
-    uniform_sets: Vec<DecidingConditionSet>,
-    uniform_snapshot: StatSnapshot,
+    pub(crate) uniform_sets: Vec<DecidingConditionSet>,
+    pub(crate) uniform_snapshot: StatSnapshot,
 }
 
-/// Shareable, pre-compiled construction state for stamping out many
-/// [`AdaptiveCep`] instances of the same pattern cheaply.
+/// Shareable, pre-compiled construction state for stamping out the two
+/// halves of the adaptive runtime cheaply: [`QueryController`]s (one
+/// per shard × query in `acep-stream`) and, through them,
+/// [`KeyedEngine`]s (one per partition key).
 ///
 /// Compiling a pattern into an [`ExecContext`] and generating the
 /// initial uniform-statistics plan is the expensive part of
 /// [`AdaptiveCep::new`]; a template does both exactly once and shares
-/// the compiled context (behind `Arc`) between every instance. The
-/// sharded runtime in `acep-stream` keeps one engine per
-/// (partition key, query) and instantiates them lazily from templates
-/// as keys first appear in the stream.
+/// the compiled context (behind `Arc`) between every controller and
+/// engine. Per-key state instantiated from a controller contains *no*
+/// statistics collector and *no* planner — only executors — so per-key
+/// memory does not scale with the adaptation machinery.
 pub struct EngineTemplate {
-    pattern: Arc<CanonicalPattern>,
-    num_types: usize,
-    config: AdaptiveConfig,
-    branches: Vec<BranchTemplate>,
+    pub(crate) pattern: Arc<CanonicalPattern>,
+    pub(crate) num_types: usize,
+    pub(crate) config: AdaptiveConfig,
+    pub(crate) branches: Vec<BranchTemplate>,
     /// `relevant[t]` is true iff some slot (positive or negated) of some
     /// branch accepts event type `t`.
     relevant: Vec<bool>,
@@ -188,40 +199,24 @@ impl EngineTemplate {
         })
     }
 
-    /// Stamps out a fresh engine instance. Cheap relative to
+    /// Builds a [`QueryController`] for this pattern: the shared
+    /// adaptation half (statistics + `D` + `A` + plan epochs). A
+    /// sharded host keeps one per (shard, query) and stamps per-key
+    /// engines from it with [`QueryController::new_engine`].
+    pub fn controller(&self) -> QueryController {
+        QueryController::from_template(self)
+    }
+
+    /// Stamps out a self-contained single-key instance: a fresh
+    /// controller paired with one keyed engine. Cheap relative to
     /// [`AdaptiveCep::new`]: no pattern compilation or plan generation,
-    /// only per-instance state (statistics collector, policy, executor).
+    /// only per-instance state.
     pub fn instantiate(&self) -> AdaptiveCep {
-        let branches = self
-            .branches
-            .iter()
-            .map(|bt| {
-                let mut policy = self.config.policy.build();
-                policy.on_plan_installed(
-                    &bt.uniform_sets,
-                    &bt.uniform_snapshot,
-                    ReoptOutcome::Deployed,
-                );
-                let exec = MigratingExecutor::new(
-                    bt.sub.window,
-                    build_executor(Arc::clone(&bt.ctx), &bt.uniform_plan),
-                );
-                BranchRuntime {
-                    sub: bt.sub.clone(),
-                    ctx: Arc::clone(&bt.ctx),
-                    policy,
-                    plan: bt.uniform_plan.clone(),
-                    exec,
-                    initialized: false,
-                }
-            })
-            .collect();
+        let controller = self.controller();
+        let engine = controller.new_engine();
         AdaptiveCep {
-            pattern: Arc::clone(&self.pattern),
-            config: self.config.clone(),
-            planner: Planner::new(self.config.planner),
-            collector: StatisticsCollector::new(self.num_types, &self.pattern, &self.config.stats),
-            branches,
+            controller,
+            engine,
             metrics: AdaptiveMetrics::default(),
         }
     }
@@ -249,13 +244,19 @@ impl EngineTemplate {
     }
 }
 
-/// An adaptive CEP engine instance for one pattern (paper Fig. 2).
+/// An adaptive CEP engine instance for one pattern (paper Fig. 2): one
+/// [`QueryController`] driving one single-key
+/// [`KeyedEngine`].
+///
+/// The sharded runtime in `acep-stream` composes the same two halves at
+/// scale — one controller per (shard, query), many keyed engines — so
+/// this type is both the convenient single-stream API and the
+/// executable specification the sharded path is tested against.
 pub struct AdaptiveCep {
-    pattern: Arc<CanonicalPattern>,
-    config: AdaptiveConfig,
-    planner: Planner,
-    collector: StatisticsCollector,
-    branches: Vec<BranchRuntime>,
+    controller: QueryController,
+    engine: KeyedEngine,
+    /// Flat copy of the controller + engine counters, refreshed after
+    /// every mutating call so `metrics()` can hand out a reference.
     metrics: AdaptiveMetrics,
 }
 
@@ -265,7 +266,8 @@ impl AdaptiveCep {
     ///
     /// To build many instances of the same pattern (e.g. one per
     /// partition key), compile an [`EngineTemplate`] once and
-    /// [`instantiate`](EngineTemplate::instantiate) from it instead.
+    /// [`instantiate`](EngineTemplate::instantiate) from it instead —
+    /// or share one [`QueryController`] across keys.
     pub fn new(
         pattern: &Pattern,
         num_types: usize,
@@ -274,90 +276,14 @@ impl AdaptiveCep {
         EngineTemplate::new(pattern, num_types, config).map(|t| t.instantiate())
     }
 
-    /// Processes one event, appending matches to `out`.
-    #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.82 MSRV
+    /// Processes one event, appending matches to `out`: the controller
+    /// observes it (running a control step when one is due — a deploy
+    /// bumps the plan epoch), then the engine settles any pending
+    /// migration and evaluates the event.
     pub fn on_event(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
-        self.collector.observe(ev);
-        let before = out.len();
-        for b in &mut self.branches {
-            b.exec.on_event(ev, out);
-        }
-        self.metrics.matches += (out.len() - before) as u64;
-        self.metrics.events += 1;
-        if self.metrics.events >= self.config.warmup_events
-            && self.metrics.events % self.config.control_interval == 0
-        {
-            self.control_step(ev.timestamp);
-        }
-    }
-
-    /// One decision point: snapshot → `D` → (maybe) `A` → (maybe)
-    /// deployment, per branch.
-    fn control_step(&mut self, now: Timestamp) {
-        for bi in 0..self.branches.len() {
-            let snapshot = self.collector.snapshot_branch(bi, now);
-            let b = &mut self.branches[bi];
-
-            if !b.initialized {
-                // One-off initial optimization from real statistics.
-                b.initialized = true;
-                let mut rec = CollectingRecorder::new();
-                let plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
-                // The initial optimization replaces unconditionally on
-                // any improvement — the uniform-stats plan is a
-                // placeholder, not a tuned incumbent.
-                b.policy.on_plan_installed(
-                    &rec.into_condition_sets(),
-                    &snapshot,
-                    ReoptOutcome::Deployed,
-                );
-                if plan != b.plan && plan.cost(&snapshot) < b.plan.cost(&snapshot) {
-                    b.exec
-                        .replace(build_executor(Arc::clone(&b.ctx), &plan), now);
-                    b.plan = plan;
-                }
-                continue;
-            }
-
-            let t0 = Instant::now();
-            let fire = b.policy.should_reoptimize(&snapshot);
-            self.metrics.decision_time += t0.elapsed();
-            self.metrics.decision_evals += 1;
-            if !fire {
-                continue;
-            }
-            self.metrics.reopt_triggers += 1;
-
-            let t1 = Instant::now();
-            let mut rec = CollectingRecorder::new();
-            let new_plan = self.planner.generate(&b.sub, &snapshot, &mut rec);
-            self.metrics.planner_invocations += 1;
-            // Algorithm 1: "if new_plan is better than curr_plan".
-            let new_cost = new_plan.cost(&snapshot);
-            let cur_cost = b.plan.cost(&snapshot);
-            let better = new_cost < cur_cost * (1.0 - self.config.min_improvement);
-            // A rejected candidate within this relative band of the
-            // current plan's cost is a tie: monitoring its conditions is
-            // as good as monitoring the deployed plan's, so install
-            // instead of re-arming D every decision point.
-            const TIE_BAND: f64 = 0.05;
-            let outcome = if new_plan == b.plan {
-                ReoptOutcome::Unchanged
-            } else if better {
-                b.exec
-                    .replace(build_executor(Arc::clone(&b.ctx), &new_plan), now);
-                b.plan = new_plan;
-                self.metrics.plan_replacements += 1;
-                ReoptOutcome::Deployed
-            } else if new_cost <= cur_cost * (1.0 + TIE_BAND) {
-                ReoptOutcome::Unchanged
-            } else {
-                ReoptOutcome::RejectedCandidate
-            };
-            b.policy
-                .on_plan_installed(&rec.into_condition_sets(), &snapshot, outcome);
-            self.metrics.planning_time += t1.elapsed();
-        }
+        self.controller.observe(ev);
+        self.engine.on_event(&self.controller, ev, out);
+        self.refresh_metrics();
     }
 
     /// Advances stream time to `now` without an event: pending
@@ -369,20 +295,28 @@ impl AdaptiveCep {
     /// `timestamp >= now`. Does not count as an event: statistics and
     /// the adaptation control loop are untouched.
     pub fn advance_time(&mut self, now: Timestamp, out: &mut Vec<Match>) {
-        let before = out.len();
-        for b in &mut self.branches {
-            b.exec.advance_time(now, out);
-        }
-        self.metrics.matches += (out.len() - before) as u64;
+        self.engine.advance_time(now, out);
+        self.refresh_metrics();
     }
 
     /// Flushes pending matches at end of stream.
     pub fn finish(&mut self, out: &mut Vec<Match>) {
-        let before = out.len();
-        for b in &mut self.branches {
-            b.exec.finish(out);
-        }
-        self.metrics.matches += (out.len() - before) as u64;
+        self.engine.finish(out);
+        self.refresh_metrics();
+    }
+
+    fn refresh_metrics(&mut self) {
+        let s = self.controller.stats();
+        self.metrics = AdaptiveMetrics {
+            events: s.events,
+            matches: self.engine.matches(),
+            decision_evals: s.decision_evals,
+            reopt_triggers: s.reopt_triggers,
+            planner_invocations: s.planner_invocations,
+            plan_replacements: s.plan_replacements,
+            decision_time: s.decision_time,
+            planning_time: s.planning_time,
+        };
     }
 
     /// Run metrics so far.
@@ -390,34 +324,39 @@ impl AdaptiveCep {
         &self.metrics
     }
 
+    /// The adaptation half (plans, epochs, statistics snapshots).
+    pub fn controller(&self) -> &QueryController {
+        &self.controller
+    }
+
     /// The currently deployed plan of a branch.
     pub fn plan(&self, branch: usize) -> &EvalPlan {
-        &self.branches[branch].plan
+        self.controller.plan(branch)
     }
 
     /// Number of pattern branches.
     pub fn num_branches(&self) -> usize {
-        self.branches.len()
+        self.controller.num_branches()
     }
 
     /// The canonical pattern being evaluated.
     pub fn pattern(&self) -> &CanonicalPattern {
-        &self.pattern
+        self.controller.pattern()
     }
 
     /// The engine configuration.
     pub fn config(&self) -> &AdaptiveConfig {
-        &self.config
+        self.controller.config()
     }
 
     /// Stored partial matches across branches and plan generations.
     pub fn partial_count(&self) -> usize {
-        self.branches.iter().map(|b| b.exec.partial_count()).sum()
+        self.engine.partial_count()
     }
 
     /// Join/predicate comparisons across branches.
     pub fn comparisons(&self) -> u64 {
-        self.branches.iter().map(|b| b.exec.comparisons()).sum()
+        self.engine.comparisons()
     }
 
     /// Earliest finalization deadline among matches pending a
@@ -427,10 +366,7 @@ impl AdaptiveCep {
     /// per-shard min-heap over this value so watermark advances only
     /// visit engines with something to emit.
     pub fn min_pending_deadline(&self) -> Option<Timestamp> {
-        self.branches
-            .iter()
-            .filter_map(|b| b.exec.min_pending_deadline())
-            .min()
+        self.engine.min_pending_deadline()
     }
 }
 

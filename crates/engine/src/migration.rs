@@ -35,19 +35,33 @@ pub struct MigratingExecutor {
     gens: Vec<Generation>,
     scratch: Vec<Match>,
     replacements: u64,
+    /// Plan epoch of the newest generation (see [`plan_epoch`]).
+    ///
+    /// [`plan_epoch`]: Self::plan_epoch
+    plan_epoch: u64,
     /// Comparisons accumulated by generations that have retired, so the
     /// total stays monotonic.
     retired_comparisons: u64,
 }
 
 impl MigratingExecutor {
-    /// Wraps the initial executor (deployed at stream time 0).
+    /// Wraps the initial executor (deployed at stream time 0, plan
+    /// epoch 0).
     pub fn new(window: Timestamp, exec: Box<dyn Executor>) -> Self {
+        Self::with_epoch(window, exec, 0)
+    }
+
+    /// Wraps the initial executor, tagging it with the plan `epoch` it
+    /// was built from — the constructor for engines instantiated *after*
+    /// a shared controller has already adapted, which start directly on
+    /// the adapted plan with no migration debt.
+    pub fn with_epoch(window: Timestamp, exec: Box<dyn Executor>, epoch: u64) -> Self {
         Self {
             window,
             gens: vec![Generation { exec, start: 0 }],
             scratch: Vec::new(),
             replacements: 0,
+            plan_epoch: epoch,
             retired_comparisons: 0,
         }
     }
@@ -60,7 +74,16 @@ impl MigratingExecutor {
     /// processed (deployment happens after the triggering event), so
     /// matches beginning at `now` still belong to the previous
     /// generation — which saw those events.
-    pub fn replace(&mut self, mut exec: Box<dyn Executor>, now: Timestamp) {
+    pub fn replace(&mut self, exec: Box<dyn Executor>, now: Timestamp) {
+        self.replace_epoch(exec, now, self.plan_epoch + 1);
+    }
+
+    /// [`replace`](Self::replace) with an explicit plan-epoch tag. A
+    /// lazily migrating engine replaces straight to its controller's
+    /// *current* epoch — skipping any intermediate plans the controller
+    /// deployed while this key was idle — so the tag jumps rather than
+    /// increments.
+    pub fn replace_epoch(&mut self, mut exec: Box<dyn Executor>, now: Timestamp, epoch: u64) {
         let history = self
             .gens
             .last()
@@ -73,11 +96,20 @@ impl MigratingExecutor {
             start: now.saturating_add(1),
         });
         self.replacements += 1;
+        self.plan_epoch = epoch;
     }
 
     /// Number of plan replacements performed so far.
     pub fn replacements(&self) -> u64 {
         self.replacements
+    }
+
+    /// Plan epoch of the newest generation: which of its controller's
+    /// deployments this executor chain has migrated up to. Compared
+    /// against the controller's branch epoch to decide whether a lazy
+    /// rebuild is due.
+    pub fn plan_epoch(&self) -> u64 {
+        self.plan_epoch
     }
 
     /// Number of generations currently processing events (1 = no
@@ -290,6 +322,22 @@ mod tests {
             );
         }
         assert!(last > 0);
+    }
+
+    #[test]
+    fn plan_epochs_tag_generations() {
+        let (ctx, mut mig) = setup();
+        assert_eq!(mig.plan_epoch(), 0);
+        let plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+        mig.replace(build_executor(Arc::clone(&ctx), &plan), 10);
+        assert_eq!(mig.plan_epoch(), 1, "untagged replace increments");
+        mig.replace_epoch(build_executor(Arc::clone(&ctx), &plan), 20, 7);
+        assert_eq!(mig.plan_epoch(), 7, "tagged replace jumps to the tag");
+        let fresh =
+            MigratingExecutor::with_epoch(ctx.window, build_executor(Arc::clone(&ctx), &plan), 5);
+        assert_eq!(fresh.plan_epoch(), 5);
+        assert_eq!(fresh.active_generations(), 1, "no migration debt at birth");
+        assert_eq!(fresh.replacements(), 0);
     }
 
     #[test]

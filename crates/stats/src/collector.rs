@@ -194,6 +194,16 @@ impl StatisticsCollector {
         snap
     }
 
+    /// Produces the current snapshot for branch `b` behind an `Arc`, so
+    /// one estimation pass can be handed to several consumers — the
+    /// decision function `D`, the invariant recorder, and observability
+    /// surfaces — without cloning the rate/selectivity matrices. A
+    /// shard-scoped collector shared by many keyed engines publishes its
+    /// snapshots this way.
+    pub fn shared_snapshot_branch(&mut self, b: usize, now: Timestamp) -> SharedSnapshot {
+        Arc::new(self.snapshot_branch(b, now))
+    }
+
     /// Produces snapshots for all branches.
     pub fn snapshots(&mut self, now: Timestamp) -> Vec<StatSnapshot> {
         (0..self.branches.len())
@@ -201,6 +211,11 @@ impl StatisticsCollector {
             .collect()
     }
 }
+
+/// A [`StatSnapshot`] behind an `Arc`: the shareable form produced by
+/// [`StatisticsCollector::shared_snapshot_branch`]. Snapshots are
+/// immutable once taken, so sharing is always safe.
+pub type SharedSnapshot = Arc<StatSnapshot>;
 
 #[cfg(test)]
 mod tests {

@@ -9,21 +9,24 @@
 //!
 //! Incoming events are mapped to a 64-bit *partition key* by a
 //! user-supplied [`KeyExtractor`] (stock symbol, road segment, user id,
-//! …). Keys are hashed onto `W` worker threads; each worker owns every
-//! engine instance for its keys — one lazily-instantiated
-//! [`AdaptiveCep`] per `(key, query)` pair, stamped from a per-query
-//! [`EngineTemplate`](acep_core::EngineTemplate) that compiles the
-//! pattern exactly once. Patterns are registered up front in a
-//! [`PatternSet`], each under its own [`QueryId`] and with its own
-//! [`AdaptiveConfig`](acep_core::AdaptiveConfig).
+//! …). Keys are hashed onto `W` worker threads; each worker owns one
+//! [`QueryController`](acep_core::QueryController) per query — the
+//! shard's shared adaptation plane — and one lazily-instantiated
+//! [`KeyedEngine`](acep_core::KeyedEngine) per `(key, query)` pair,
+//! stamped from the controller so new keys start on the currently
+//! adapted plan. Patterns are compiled exactly once into per-query
+//! [`EngineTemplate`](acep_core::EngineTemplate)s and registered up
+//! front in a [`PatternSet`], each under its own [`QueryId`] and with
+//! its own [`AdaptiveConfig`](acep_core::AdaptiveConfig).
 //!
 //! ```text
-//!                    ┌────────────────────── ShardedRuntime ─┐
-//!  push_batch(&[e])  │   ┌─ shard 0: { key ↦ [engine Q0,    │
-//!  ── key = extract ─┼──▶│             engine Q1, …] }      │──▶ MatchSink
-//!     hash(key) % W  │   ├─ shard 1: …                      │    (tagged
-//!                    │   └─ shard W-1: …                    │     matches)
-//!                    └───────────────────────────────────────┘
+//!                    ┌────────────────────── ShardedRuntime ──┐
+//!  push_batch(&[e])  │   ┌─ shard 0: controllers [Q0, Q1, …] │
+//!  ── key = extract ─┼──▶│            { key ↦ [engine Q0,    │──▶ MatchSink
+//!     hash(key) % W  │   │                     engine Q1] }  │    (tagged
+//!                    │   ├─ shard 1: …                       │     matches)
+//!                    │   └─ shard W-1: …                     │
+//!                    └────────────────────────────────────────┘
 //! ```
 //!
 //! ## Ordering and determinism guarantees
@@ -87,15 +90,26 @@
 //! machinery (the `reorder_overhead` bench checks this against
 //! `scale_shards`).
 //!
-//! ## Adaptation stays per key
+//! ## Adaptation is per (shard, query), evaluation is per key
 //!
-//! Each `(key, query)` engine runs the paper's detection-adaptation
-//! loop on its *own* statistics: a hot symbol can deploy a different
-//! evaluation plan than a quiet one, and plan migration happens
-//! independently per key — there is no shared optimizer state and hence
-//! no cross-shard synchronization on the hot path. Events whose type a
-//! query never references are not routed to that query's engines at
-//! all; they cannot affect its match set.
+//! The paper's detection-adaptation loop adapts *per pattern*, and so
+//! does this runtime: each shard hosts one
+//! [`QueryController`](acep_core::QueryController) per query —
+//! statistics collector, decision function `D`, planner `A` — observing
+//! every relevant event of the shard once. Per-key state is a lean
+//! [`KeyedEngine`](acep_core::KeyedEngine): branch executors only, no
+//! collector, no planner, no policy, so per-key memory is the
+//! partial-match state and nothing else. A deployment bumps the
+//! controller's *plan epoch*; engines rebuild and migrate losslessly on
+//! their next event (cold keys instantiate directly on the adapted
+//! plan), making the cost of a re-plan independent of key cardinality.
+//! Controllers are shard-local — there is still no cross-shard
+//! synchronization on the hot path. Events whose type a query never
+//! references are not routed to that query (or its controller) at all;
+//! they cannot affect its match set. Per-shard controllers mean
+//! adaptation *statistics* (unlike the match multiset and the
+//! evaluation stats) depend on the shard count — see
+//! [`ShardStats::adaptation`].
 //!
 //! ## Quickstart
 //!
@@ -149,21 +163,24 @@ pub use runtime::{ShardedRuntime, StreamConfig};
 pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
 pub use stats::{LatencyStats, QueryStats, RuntimeStats, ShardStats};
 
-// Re-exported so runtime users need not depend on `acep-types` for the
-// common extractors and the event-time configuration.
-pub use acep_core::AdaptiveCep;
+// Re-exported so runtime users need not depend on `acep-types` or
+// `acep-core` for the common extractors, the event-time configuration,
+// and the adaptation-stats rollups.
+pub use acep_core::{AdaptationStats, AdaptiveCep};
 pub use acep_types::{
     AttrKeyExtractor, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, SourceId,
     WatermarkStrategy,
 };
 
-/// Compile-time guarantees: engines and templates cross thread
-/// boundaries, sinks and extractors are shared.
+/// Compile-time guarantees: controllers, engines and templates cross
+/// thread boundaries, sinks and extractors are shared.
 #[allow(dead_code)]
 fn assert_thread_bounds() {
     fn send<T: Send>() {}
     fn send_sync<T: Send + Sync>() {}
     send::<acep_core::AdaptiveCep>();
+    send::<acep_core::QueryController>();
+    send::<acep_core::KeyedEngine>();
     send_sync::<acep_core::EngineTemplate>();
     send_sync::<CollectingSink>();
     send_sync::<CountingSink>();

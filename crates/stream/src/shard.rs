@@ -1,13 +1,22 @@
 //! The worker owning one shard of the key space.
 //!
 //! A worker is a plain thread draining a bounded control channel. It
-//! owns every engine instance for the keys hashed to its shard — a
-//! `HashMap<key, Vec<Option<AdaptiveCep>>>` with one slot per
-//! registered query — and instantiates engines lazily from the shared
-//! [`EngineTemplate`]s when a key first receives an event relevant to a
-//! query. Events of types a query never references are not routed to
-//! that query's engine at all (they cannot affect its match set), so
-//! hosting many narrow queries over one wide stream stays cheap.
+//! owns the shard's **adaptation plane** — one
+//! [`QueryController`] per registered query (statistics collector,
+//! decision function `D`, planner `A`, plan epochs) — and its
+//! **evaluation plane**: a `HashMap<key, Vec<Option<KeyedEngine>>>`
+//! with one slot per query, instantiated lazily from the query's
+//! controller when a key first receives a relevant event. Every
+//! relevant event is observed by its query's controller exactly once
+//! (cross-key statistics: cold keys inherit what hot keys taught the
+//! estimators), then evaluated by the one engine of its (key, query).
+//! A control step that deploys a new plan only bumps the controller's
+//! plan epoch; engines rebuild + migrate lazily on their next event, so
+//! a re-plan costs at most one planner invocation per query per control
+//! step — independent of how many keys are live. Events of types a
+//! query never references are not routed to that query at all (they
+//! cannot affect its match set), so hosting many narrow queries over
+//! one wide stream stays cheap.
 //!
 //! With a non-passthrough [`DisorderConfig`], an event-time
 //! [`ReorderBuffer`] sits between the channel and the engines: events
@@ -19,15 +28,22 @@
 //! `(deadline, key, query)` over engines whose finalizer holds a match
 //! pending a trailing-negation/Kleene deadline, and whenever the
 //! watermark advances it pops exactly the due entries and advances
-//! those engines' stream clocks ([`AdaptiveCep::advance_time`]). A
+//! those engines' stream clocks ([`KeyedEngine::advance_time`]). A
 //! watermark advance over a shard with nothing pending is O(1) — no
 //! per-engine sweep — and matches still emit as soon as the watermark
 //! proves their deadline passed: up to `bound` ms of event time earlier
 //! than waiting for the next engine-visible event, and independent of
 //! whether the pending match's own key ever receives another event.
-//! (Generation retirement inside a [`MigratingExecutor`] that used to
-//! piggy-back on the sweep now waits for the key's next event — a
-//! bounded-memory deferral, never a semantic one.)
+//!
+//! Superseded executor generations of keys that stopped receiving
+//! events are reclaimed by an **idle-retirement sweep** piggy-backed on
+//! the controllers' control steps: each step advances a bounded cursor
+//! over the shard's keys (budgeted, so the hot path never stalls on key
+//! cardinality) and retires any generation whose ownership range the
+//! stream has provably left behind — an idle key's memory returns to
+//! one generation per branch without the key ever receiving another
+//! event.
+//!
 //! With a passthrough config the buffer is absent and ingestion is the
 //! same hot path as before the event-time layer existed (punctuation
 //! still advances the engines' clocks — the promise "no event before
@@ -38,7 +54,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use acep_core::{AdaptiveCep, EngineTemplate};
+use acep_core::{EngineTemplate, KeyedEngine, QueryController};
 use acep_engine::Match;
 use acep_types::{DisorderConfig, Event, LatenessPolicy, SourceId, Timestamp};
 
@@ -46,6 +62,11 @@ use crate::registry::QueryId;
 use crate::reorder::{Offer, ReorderBuffer};
 use crate::sink::{LateEvent, MatchSink, TaggedMatch};
 use crate::stats::{LatencyStats, QueryStats, ShardStats};
+
+/// Keys visited per control step by the idle-retirement sweep. Bounds
+/// the housekeeping piggy-backed on the hot path; the cursor wraps, so
+/// every key is reached within `live_keys / BUDGET` control steps.
+const RETIRE_BUDGET: usize = 32;
 
 /// One routed event: `(partition key, ingestion source, event)`. Keys
 /// are extracted once at ingest; the source feeds per-source
@@ -72,7 +93,7 @@ pub(crate) enum ToWorker {
 /// One live engine plus the deadline currently representing it in the
 /// shard's pending-deadline heap (`None` = not enqueued).
 pub(crate) struct EngineSlot {
-    engine: AdaptiveCep,
+    engine: KeyedEngine,
     queued_deadline: Option<Timestamp>,
 }
 
@@ -86,8 +107,16 @@ type DeadlineEntry = Reverse<(Timestamp, u64, u32)>;
 pub(crate) struct ShardWorker {
     shard: usize,
     templates: Arc<[EngineTemplate]>,
+    /// The shard's adaptation plane: one controller per query, shared
+    /// by every keyed engine of that query on this shard.
+    controllers: Vec<QueryController>,
     sink: Arc<dyn MatchSink>,
     keys: HashMap<u64, KeyEngines>,
+    /// Keys in first-seen order — the deterministic iteration domain of
+    /// the idle-retirement cursor (keys are never removed).
+    key_order: Vec<u64>,
+    /// Next position of the idle-retirement sweep in `key_order`.
+    retire_cursor: usize,
     /// Event-time reordering stage; `None` = in-order passthrough.
     reorder: Option<ReorderBuffer>,
     lateness: LatenessPolicy,
@@ -98,6 +127,12 @@ pub(crate) struct ShardWorker {
     /// Last stream time driven into the engines (watermark or
     /// punctuation); engines are only advanced forward.
     engine_time: Timestamp,
+    /// Largest event timestamp processed so far. Events reach the
+    /// engines in `(timestamp, seq)` order (trusted input in
+    /// passthrough mode, watermark-released otherwise), so this is a
+    /// valid "no earlier event remains" horizon for the retirement
+    /// sweep even on shards that never see a watermark.
+    max_event_ts: Timestamp,
     /// Min-heap of `(deadline, key, query)` over engines with matches
     /// pending a trailing-negation/Kleene deadline. A watermark advance
     /// pops only the entries it proves due — with nothing pending it is
@@ -129,11 +164,15 @@ impl ShardWorker {
         } else {
             Some(ReorderBuffer::new(disorder.strategy, disorder.max_buffered))
         };
+        let controllers = templates.iter().map(EngineTemplate::controller).collect();
         Self {
             shard,
             templates,
+            controllers,
             sink,
             keys: HashMap::new(),
+            key_order: Vec::new(),
+            retire_cursor: 0,
             reorder,
             lateness: disorder.lateness,
             events: 0,
@@ -141,6 +180,7 @@ impl ShardWorker {
             late_dropped: 0,
             late_routed: 0,
             engine_time: 0,
+            max_event_ts: 0,
             deadlines: BinaryHeap::new(),
             finalize_visits: 0,
             emission_latency: LatencyStats::default(),
@@ -269,7 +309,8 @@ impl ShardWorker {
         watermark
     }
 
-    /// Runs one in-order event through the per-(key, query) engines.
+    /// Runs one in-order event through the shard's controllers and the
+    /// per-(key, query) engines.
     fn process_one(&mut self, key: u64, ev: &Arc<Event>) {
         self.events += 1;
         // Keys whose events no query ever references must not pin a
@@ -277,20 +318,27 @@ impl ShardWorker {
         if !self.templates.iter().any(|t| t.is_relevant(ev.type_id)) {
             return;
         }
-        let engines = self
-            .keys
-            .entry(key)
-            .or_insert_with(|| self.templates.iter().map(|_| None).collect());
+        self.max_event_ts = self.max_event_ts.max(ev.timestamp);
+        let engines = self.keys.entry(key).or_insert_with(|| {
+            self.key_order.push(key);
+            self.templates.iter().map(|_| None).collect()
+        });
+        let mut stepped = false;
         for (qi, slot) in engines.iter_mut().enumerate() {
-            let template = &self.templates[qi];
-            if !template.is_relevant(ev.type_id) {
+            if !self.templates[qi].is_relevant(ev.type_id) {
                 continue;
             }
+            // The controller sees every relevant event of the shard
+            // exactly once — cross-key statistics — and may run a
+            // control step (deployments bump its plan epoch; no engine
+            // is touched here).
+            let controller = &mut self.controllers[qi];
+            stepped |= controller.observe(ev);
             let slot = slot.get_or_insert_with(|| EngineSlot {
-                engine: template.instantiate(),
+                engine: controller.new_engine(),
                 queued_deadline: None,
             });
-            slot.engine.on_event(ev, &mut self.scratch);
+            slot.engine.on_event(controller, ev, &mut self.scratch);
             // Index the engine by its earliest pending deadline so the
             // watermark sweep can find it without visiting every key.
             if let Some(d) = slot.engine.min_pending_deadline() {
@@ -306,6 +354,59 @@ impl ShardWorker {
                 key,
                 self.shard,
             );
+        }
+        if stepped {
+            self.retire_idle();
+        }
+    }
+
+    /// Bounded idle-key housekeeping, piggy-backed on control steps:
+    /// advances a wrapping cursor over the shard's keys and, for every
+    /// visited engine still carrying a superseded generation, advances
+    /// its stream clock to the shard's proven horizon — emitting any
+    /// overdue pending matches and retiring generations whose ownership
+    /// range has fully expired. A key that stopped receiving events
+    /// thus returns to one generation per branch without a new event.
+    fn retire_idle(&mut self) {
+        if self.key_order.is_empty() {
+            return;
+        }
+        let now = self.max_event_ts.max(self.engine_time);
+        let budget = RETIRE_BUDGET.min(self.key_order.len());
+        for _ in 0..budget {
+            let key = self.key_order[self.retire_cursor % self.key_order.len()];
+            self.retire_cursor = (self.retire_cursor + 1) % self.key_order.len();
+            let engines = self.keys.get_mut(&key).expect("key_order tracks keys");
+            for (qi, slot) in engines.iter_mut().enumerate() {
+                let Some(slot) = slot else { continue };
+                if slot.engine.generations() <= self.controllers[qi].num_branches() {
+                    continue;
+                }
+                slot.engine.advance_time(now, &mut self.scratch);
+                for m in &self.scratch {
+                    self.emission_latency
+                        .record(m.detected_at.saturating_sub(m.deadline));
+                }
+                // Re-index only if the advance moved the pending
+                // deadline (emitted or discarded what the live heap
+                // entry stood for) — an unchanged deadline keeps its
+                // existing entry, else every sweep revolution would
+                // push a duplicate.
+                let next = slot.engine.min_pending_deadline();
+                if next != slot.queued_deadline {
+                    slot.queued_deadline = next;
+                    if let Some(d) = next {
+                        self.deadlines.push(Reverse((d, key, qi as u32)));
+                    }
+                }
+                drain_tagged(
+                    &mut self.scratch,
+                    &mut self.pending,
+                    QueryId(qi as u32),
+                    key,
+                    self.shard,
+                );
+            }
         }
     }
 
@@ -392,10 +493,14 @@ impl ShardWorker {
 
     fn stats(&self) -> ShardStats {
         let mut per_query = vec![QueryStats::default(); self.templates.len()];
+        let mut generations_live = 0;
+        let mut partials_live = 0;
         for engines in self.keys.values() {
             for (qi, slot) in engines.iter().enumerate() {
                 if let Some(slot) = slot {
-                    per_query[qi].absorb(slot.engine.metrics());
+                    per_query[qi].absorb(&slot.engine);
+                    generations_live += slot.engine.generations();
+                    partials_live += slot.engine.partial_count();
                 }
             }
         }
@@ -404,6 +509,9 @@ impl ShardWorker {
             events: self.events,
             batches: self.batches,
             keys: self.keys.len(),
+            engines_live: per_query.iter().map(|q| q.engines).sum(),
+            generations_live,
+            partials_live,
             late_dropped: self.late_dropped,
             late_routed: self.late_routed,
             reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::depth),
@@ -413,6 +521,7 @@ impl ShardWorker {
             finalize_visits: self.finalize_visits,
             emission_latency: self.emission_latency,
             per_query,
+            adaptation: self.controllers.iter().map(|c| c.stats().clone()).collect(),
         }
     }
 }

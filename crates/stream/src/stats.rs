@@ -1,18 +1,29 @@
 //! Observability snapshots of a running sharded runtime.
 //!
-//! Workers aggregate the [`AdaptiveMetrics`] of every per-key engine
-//! they own into per-query rollups; the runtime
-//! stitches the per-shard snapshots into a [`RuntimeStats`]. Snapshots
-//! are taken *on* the worker thread (via a control message), so they are
-//! always internally consistent with the events processed so far.
+//! Two planes roll up separately, mirroring the runtime's split:
+//!
+//! * **Evaluation** ([`QueryStats`]) — per-key [`KeyedEngine`] counters
+//!   (instances, events, matches), aggregated per query. These depend
+//!   only on each key's substream, so they are invariant under the
+//!   shard count and the delivery order (within the disorder contract).
+//! * **Adaptation** ([`AdaptationStats`]) —
+//!   the per-(shard, query) controllers' decision/planning counters and
+//!   plan epochs. These are a property of *shard-scoped* statistics:
+//!   re-sharding moves events between controllers, so adaptation
+//!   counters are reported per shard and summed, never expected to be
+//!   shard-count invariant.
+//!
+//! Snapshots are taken *on* the worker thread (via a control message),
+//! so they are always internally consistent with the events processed
+//! so far.
 
-use acep_core::AdaptiveMetrics;
+use acep_core::{AdaptationStats, KeyedEngine};
 use acep_types::Timestamp;
 
 use crate::registry::QueryId;
 
-/// Rollup of every engine instance of one query (within one shard, or
-/// merged across shards).
+/// Rollup of every keyed engine instance of one query (within one
+/// shard, or merged across shards).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct QueryStats {
     /// Engine instances (= partition keys with ≥ 1 relevant event).
@@ -21,26 +32,14 @@ pub struct QueryStats {
     pub events: u64,
     /// Matches emitted.
     pub matches: u64,
-    /// Decision-function evaluations.
-    pub decision_evals: u64,
-    /// Times the decision function fired.
-    pub reopt_triggers: u64,
-    /// Plan-generation invocations (excluding initial optimization).
-    pub planner_invocations: u64,
-    /// Plans actually replaced.
-    pub plan_replacements: u64,
 }
 
 impl QueryStats {
-    /// Folds one engine's metrics into the rollup.
-    pub fn absorb(&mut self, m: &AdaptiveMetrics) {
+    /// Folds one keyed engine's counters into the rollup.
+    pub fn absorb(&mut self, engine: &KeyedEngine) {
         self.engines += 1;
-        self.events += m.events;
-        self.matches += m.matches;
-        self.decision_evals += m.decision_evals;
-        self.reopt_triggers += m.reopt_triggers;
-        self.planner_invocations += m.planner_invocations;
-        self.plan_replacements += m.plan_replacements;
+        self.events += engine.events();
+        self.matches += engine.matches();
     }
 
     /// Merges another rollup (e.g. the same query from another shard).
@@ -48,10 +47,6 @@ impl QueryStats {
         self.engines += other.engines;
         self.events += other.events;
         self.matches += other.matches;
-        self.decision_evals += other.decision_evals;
-        self.reopt_triggers += other.reopt_triggers;
-        self.planner_invocations += other.planner_invocations;
-        self.plan_replacements += other.plan_replacements;
     }
 }
 
@@ -118,6 +113,19 @@ pub struct ShardStats {
     /// Distinct partition keys hosting at least one engine (keys whose
     /// events are relevant to no query are processed but not retained).
     pub keys: usize,
+    /// Live keyed-engine instances across all queries — the shard's
+    /// per-key footprint is `engines_live` engines plus
+    /// `partials_live` partial-match nodes; adaptation state does not
+    /// scale with it.
+    pub engines_live: usize,
+    /// Live executor generations across all engines. Equal to the live
+    /// branch count when no migration is in flight; the excess is
+    /// superseded generations awaiting retirement (next event of their
+    /// key, or the idle-retirement sweep).
+    pub generations_live: usize,
+    /// Stored partial matches across all engines and generations (the
+    /// bytes-ish memory proxy reported by the `scale_keys` bench).
+    pub partials_live: usize,
     /// Events dropped as late (behind the shard watermark) under
     /// [`LatenessPolicy::Drop`](acep_types::LatenessPolicy::Drop). Late
     /// events are never counted in `events`.
@@ -149,8 +157,14 @@ pub struct ShardStats {
     /// Emission latency of watermark-driven finalizations
     /// (`detected_at - deadline`).
     pub emission_latency: LatencyStats,
-    /// Per-query rollups, indexed by [`QueryId`].
+    /// Per-query evaluation rollups, indexed by [`QueryId`]
+    /// (shard-count invariant; see module docs).
     pub per_query: Vec<QueryStats>,
+    /// Per-query adaptation counters of this shard's controllers,
+    /// indexed by [`QueryId`]. `adaptation[q].plan_epoch` is the
+    /// controller's current total deployment count — the epoch lazily
+    /// migrating engines converge to.
+    pub adaptation: Vec<AdaptationStats>,
 }
 
 /// Snapshot of the whole runtime: one [`ShardStats`] per worker.
@@ -179,6 +193,21 @@ impl RuntimeStats {
     /// shards, so the per-shard counts add up).
     pub fn total_keys(&self) -> usize {
         self.shards.iter().map(|s| s.keys).sum()
+    }
+
+    /// Live keyed-engine instances across all shards.
+    pub fn total_engines_live(&self) -> usize {
+        self.shards.iter().map(|s| s.engines_live).sum()
+    }
+
+    /// Live executor generations across all shards.
+    pub fn total_generations_live(&self) -> usize {
+        self.shards.iter().map(|s| s.generations_live).sum()
+    }
+
+    /// Stored partial matches across all shards.
+    pub fn total_partials_live(&self) -> usize {
+        self.shards.iter().map(|s| s.partials_live).sum()
     }
 
     /// Late events dropped across all shards.
@@ -217,13 +246,35 @@ impl RuntimeStats {
         merged
     }
 
-    /// The rollup of one query merged across all shards.
+    /// The evaluation rollup of one query merged across all shards.
     pub fn query(&self, id: QueryId) -> QueryStats {
         let mut merged = QueryStats::default();
         for shard in &self.shards {
             if let Some(q) = shard.per_query.get(id.index()) {
                 merged.merge(q);
             }
+        }
+        merged
+    }
+
+    /// The adaptation counters of one query summed across its per-shard
+    /// controllers. `plan_epoch` sums too: it is the total number of
+    /// deployments runtime-wide, not a single controller's epoch.
+    pub fn adaptation(&self, id: QueryId) -> AdaptationStats {
+        let mut merged = AdaptationStats::default();
+        for shard in &self.shards {
+            if let Some(a) = shard.adaptation.get(id.index()) {
+                merged.merge(a);
+            }
+        }
+        merged
+    }
+
+    /// Adaptation counters summed across every query and shard.
+    pub fn total_adaptation(&self) -> AdaptationStats {
+        let mut merged = AdaptationStats::default();
+        for a in self.shards.iter().flat_map(|s| &s.adaptation) {
+            merged.merge(a);
         }
         merged
     }
@@ -241,39 +292,24 @@ mod tests {
         l
     }
 
-    fn query_stats(matches: u64, replacements: u64) -> QueryStats {
+    fn query_stats(matches: u64) -> QueryStats {
         QueryStats {
             engines: 1,
             events: 10 * matches,
             matches,
+        }
+    }
+
+    fn adaptation(replacements: u64, epoch: u64) -> AdaptationStats {
+        AdaptationStats {
+            events: 100,
             decision_evals: 4,
             reopt_triggers: 2,
             planner_invocations: 2,
             plan_replacements: replacements,
+            plan_epoch: epoch,
+            ..AdaptationStats::default()
         }
-    }
-
-    #[test]
-    fn absorb_folds_engine_metrics() {
-        let mut q = QueryStats::default();
-        q.absorb(&AdaptiveMetrics {
-            events: 100,
-            matches: 3,
-            decision_evals: 5,
-            reopt_triggers: 2,
-            planner_invocations: 2,
-            plan_replacements: 1,
-            ..AdaptiveMetrics::default()
-        });
-        q.absorb(&AdaptiveMetrics {
-            events: 50,
-            matches: 1,
-            ..AdaptiveMetrics::default()
-        });
-        assert_eq!(q.engines, 2);
-        assert_eq!(q.events, 150);
-        assert_eq!(q.matches, 4);
-        assert_eq!(q.plan_replacements, 1);
     }
 
     #[test]
@@ -285,6 +321,9 @@ mod tests {
                     events: 100,
                     batches: 2,
                     keys: 3,
+                    engines_live: 6,
+                    generations_live: 7,
+                    partials_live: 40,
                     late_dropped: 4,
                     late_routed: 1,
                     reorder_depth: 2,
@@ -293,13 +332,17 @@ mod tests {
                     watermark: Some(900),
                     finalize_visits: 3,
                     emission_latency: latency(&[5, 9]),
-                    per_query: vec![query_stats(5, 1), query_stats(2, 0)],
+                    per_query: vec![query_stats(5), query_stats(2)],
+                    adaptation: vec![adaptation(1, 2), adaptation(0, 1)],
                 },
                 ShardStats {
                     shard: 1,
                     events: 60,
                     batches: 1,
                     keys: 2,
+                    engines_live: 4,
+                    generations_live: 4,
+                    partials_live: 10,
                     late_dropped: 1,
                     late_routed: 0,
                     reorder_depth: 3,
@@ -308,13 +351,17 @@ mod tests {
                     watermark: Some(880),
                     finalize_visits: 1,
                     emission_latency: latency(&[1]),
-                    per_query: vec![query_stats(1, 0), query_stats(4, 2)],
+                    per_query: vec![query_stats(1), query_stats(4)],
+                    adaptation: vec![adaptation(0, 1), adaptation(2, 3)],
                 },
             ],
         };
         assert_eq!(stats.total_events(), 160);
         assert_eq!(stats.total_matches(), 12);
         assert_eq!(stats.total_keys(), 5);
+        assert_eq!(stats.total_engines_live(), 10);
+        assert_eq!(stats.total_generations_live(), 11);
+        assert_eq!(stats.total_partials_live(), 50);
         assert_eq!(stats.total_late_dropped(), 5);
         assert_eq!(stats.total_late_routed(), 1);
         assert_eq!(stats.total_reorder_depth(), 5);
@@ -326,11 +373,15 @@ mod tests {
         let q0 = stats.query(QueryId(0));
         assert_eq!(q0.matches, 6);
         assert_eq!(q0.engines, 2);
-        assert_eq!(q0.plan_replacements, 1);
-        let q1 = stats.query(QueryId(1));
-        assert_eq!(q1.matches, 6);
-        assert_eq!(q1.plan_replacements, 2);
+        let a0 = stats.adaptation(QueryId(0));
+        assert_eq!(a0.plan_replacements, 1);
+        assert_eq!(a0.plan_epoch, 3, "epochs sum across controllers");
+        let a1 = stats.adaptation(QueryId(1));
+        assert_eq!(a1.plan_replacements, 2);
+        assert_eq!(stats.total_adaptation().plan_epoch, 7);
+        assert_eq!(stats.total_adaptation().events, 400);
         assert_eq!(stats.query(QueryId(9)), QueryStats::default());
+        assert_eq!(stats.adaptation(QueryId(9)), AdaptationStats::default());
     }
 
     #[test]

@@ -123,9 +123,14 @@ fn main() {
             q.engines,
             q.events
         );
+        let a = stats.adaptation(qid);
         println!(
-            "  adaptation: {} decisions, {} fired, {} replans, {} plans deployed",
-            q.decision_evals, q.reopt_triggers, q.planner_invocations, q.plan_replacements
+            "  adaptation: {} decisions, {} fired, {} replans, {} deployments (epoch sum), across {} controllers",
+            a.decision_evals,
+            a.reopt_triggers,
+            a.planner_invocations,
+            a.plan_epoch,
+            stats.shards.len(),
         );
         assert_eq!(q.matches, sink.count(qid), "stats must agree with the sink");
     }
