@@ -98,8 +98,13 @@ fn main() {
                 } else {
                     "separate workload".into()
                 };
+                let p99 = if p.p99_emission_ms.is_finite() {
+                    format!(", p99 emission {:.0} ms", p.p99_emission_ms)
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials",
+                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials{p99}",
                     p.strategy,
                     p.bound,
                     p.throughput_eps,
@@ -112,6 +117,16 @@ fn main() {
             }
             std::fs::write(path, report.to_json()).expect("writing the smoke report");
             println!("wrote {path}");
+            // Telemetry-point metrics snapshot, in both exposition
+            // formats, next to the report (CI uploads all three).
+            let stem = path.strip_suffix(".json").unwrap_or(path);
+            let prom_path = format!("{stem}_prometheus.txt");
+            let telem_path = format!("{stem}_telemetry.json");
+            std::fs::write(&prom_path, &report.prometheus)
+                .expect("writing the Prometheus snapshot");
+            std::fs::write(&telem_path, &report.telemetry_json)
+                .expect("writing the telemetry JSON snapshot");
+            println!("wrote {prom_path}\nwrote {telem_path}");
         }
         "smoke-diff" => {
             let positional: Vec<&String> = args[1..]

@@ -10,10 +10,18 @@
 //! benchmark: compare trends across commits on the same runner class,
 //! not absolute numbers across machines.
 //!
-//! Measured grid (fixed shard count, keyed stocks stream):
+//! Measured grid (fixed shard count, keyed stocks stream, two queries:
+//! an adaptive `SEQ` and a trailing negation whose matches are held to
+//! their deadline — so emission latency is a real distribution, not a
+//! constant zero):
 //!
 //! * `merged` at disorder bound 0 — the passthrough baseline every
 //!   other point is normalized against;
+//! * `telemetry` at bound 0 — the same workload with the telemetry
+//!   plane on (event recording + per-stage spans sampled every 16th
+//!   batch): its overhead column is the documented cost of observing,
+//!   and its metrics snapshot is exported as the Prometheus/JSON
+//!   artifacts;
 //! * `merged` at bounds 16 and 256 over a `bounded_shuffle` of exactly
 //!   that displacement — the price of min-heap + watermark upkeep;
 //! * `per_source` at the same bounds over a source-skewed delivery
@@ -33,8 +41,8 @@ use std::time::Instant;
 use acep_core::{AdaptiveConfig, PolicyKind};
 use acep_plan::PlannerKind;
 use acep_stream::{
-    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, ShardedRuntime, SourceId,
-    StreamConfig,
+    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, RuntimeStats, ShardedRuntime,
+    SourceId, StreamConfig, TelemetryConfig,
 };
 use acep_types::{Event, EventTypeId, Pattern, PatternExpr, Value};
 use acep_workloads::{bounded_shuffle, source_skew_tagged, DatasetKind, PatternSetKind, Scenario};
@@ -96,6 +104,11 @@ pub struct SmokePoint {
     pub engines_live: usize,
     /// Stored partial-match nodes at end of run.
     pub partials_live: usize,
+    /// p99 of the watermark-driven emission latency (ms): how long
+    /// deadline-held matches (the trailing-negation query) waited past
+    /// their deadline before the watermark released them. `NaN`
+    /// (serialized `null`) when the point held no matches.
+    pub p99_emission_ms: f64,
 }
 
 /// The full smoke report.
@@ -107,20 +120,46 @@ pub struct SmokeReport {
     /// Passthrough throughput (events/s) all overheads are relative to.
     pub baseline_eps: f64,
     pub points: Vec<SmokePoint>,
+    /// Prometheus text exposition of the `telemetry` point's metrics
+    /// snapshot — written by CI as a build artifact.
+    pub prometheus: String,
+    /// JSON metrics snapshot of the `telemetry` point (schema
+    /// `acep-telemetry-v1`) — written by CI as a build artifact.
+    pub telemetry_json: String,
 }
 
 fn pattern_set(scenario: &Scenario) -> PatternSet {
+    let adaptive = AdaptiveConfig {
+        planner: PlannerKind::Greedy,
+        policy: PolicyKind::invariant_with_distance(0.1),
+        ..AdaptiveConfig::default()
+    };
     let mut set = PatternSet::new(scenario.num_types());
     set.register(
         "stocks/seq3",
         scenario.pattern(PatternSetKind::Sequence, 3),
-        AdaptiveConfig {
-            planner: PlannerKind::Greedy,
-            policy: PolicyKind::invariant_with_distance(0.1),
-            ..AdaptiveConfig::default()
-        },
+        adaptive.clone(),
     )
     .expect("smoke pattern is valid");
+    // A trailing-negation query rides along so the grid exercises
+    // deadline-driven finalization: its matches are *held* until the
+    // watermark proves no T2 can arrive, which is exactly what the
+    // emission-latency histogram measures (the stocks scenario window
+    // is 1 000 ms).
+    set.register(
+        "stocks/negt3",
+        Pattern::builder("negt3")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+                PatternExpr::neg(PatternExpr::prim(EventTypeId(2))),
+            ]))
+            .window(1_000)
+            .build()
+            .expect("smoke negation pattern is valid"),
+        adaptive,
+    )
+    .expect("smoke negation pattern is valid");
     set
 }
 
@@ -131,6 +170,18 @@ struct RunOutcome {
     max_reorder_depth: usize,
     engines_live: usize,
     partials_live: usize,
+    /// Full stats snapshot of the run (p99 emission latency, telemetry
+    /// exporters).
+    stats: RuntimeStats,
+}
+
+impl RunOutcome {
+    fn p99_emission_ms(&self) -> f64 {
+        self.stats
+            .emission_latency()
+            .quantile(0.99)
+            .map_or(f64::NAN, |q| q as f64)
+    }
 }
 
 fn run_once(
@@ -138,6 +189,7 @@ fn run_once(
     delivered: &[(SourceId, Arc<Event>)],
     shards: usize,
     disorder: DisorderConfig,
+    telemetry: Option<TelemetryConfig>,
 ) -> RunOutcome {
     let sink = Arc::new(CountingSink::new(set.len()));
     let runtime = ShardedRuntime::new(
@@ -147,6 +199,7 @@ fn run_once(
         StreamConfig {
             shards,
             disorder,
+            telemetry,
             ..StreamConfig::default()
         },
     )
@@ -169,6 +222,7 @@ fn run_once(
             .unwrap_or(0),
         engines_live: stats.total_engines_live(),
         partials_live: stats.total_partials_live(),
+        stats,
     }
 }
 
@@ -260,11 +314,12 @@ fn best_of(
     delivered: &[(SourceId, Arc<Event>)],
     shards: usize,
     disorder: DisorderConfig,
+    telemetry: Option<TelemetryConfig>,
     repeats: usize,
 ) -> RunOutcome {
     let mut best: Option<RunOutcome> = None;
     for _ in 0..repeats.max(1) {
-        let outcome = run_once(set, delivered, shards, disorder);
+        let outcome = run_once(set, delivered, shards, disorder, telemetry.clone());
         if best.as_ref().is_none_or(|b| outcome.eps > b.eps) {
             best = Some(outcome);
         }
@@ -299,6 +354,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             max_reorder_depth: o.max_reorder_depth,
             engines_live: o.engines_live,
             partials_live: o.partials_live,
+            p99_emission_ms: o.p99_emission_ms(),
         };
 
     let mut points = Vec::new();
@@ -308,10 +364,29 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         &in_order,
         config.shards,
         DisorderConfig::in_order(),
+        None,
         config.repeats,
     );
     let overhead = |eps: f64| 100.0 * (1.0 - eps / baseline.eps);
     points.push(point("merged", 0, 0.0, &baseline));
+
+    // The observability cost probe: the same passthrough workload with
+    // the full telemetry plane on — event recording plus per-stage
+    // spans sampled every 16th batch. Its `overhead_pct` against the
+    // telemetry-off baseline *is* the documented cost of observing.
+    let outcome = best_of(
+        &set,
+        &in_order,
+        config.shards,
+        DisorderConfig::in_order(),
+        Some(TelemetryConfig::with_profiling(16)),
+        config.repeats,
+    );
+    let (prometheus, telemetry_json) = {
+        let reg = outcome.stats.telemetry_snapshot();
+        (reg.to_prometheus(), reg.to_json())
+    };
+    points.push(point("telemetry", 0, overhead(outcome.eps), &outcome));
 
     for bound in BOUNDS {
         let delivered = tag_merged(bounded_shuffle(&events, bound, 11));
@@ -320,6 +395,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             &delivered,
             config.shards,
             DisorderConfig::bounded(bound),
+            None,
             config.repeats,
         );
         points.push(point("merged", bound, overhead(outcome.eps), &outcome));
@@ -332,6 +408,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             &delivered,
             config.shards,
             DisorderConfig::per_source(bound, 4 * SKEW),
+            None,
             config.repeats,
         );
         points.push(point("per_source", bound, overhead(outcome.eps), &outcome));
@@ -350,6 +427,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         &delivered,
         config.shards,
         DisorderConfig::in_order(),
+        None,
         config.repeats,
     );
     points.push(point("scale_keys", 0, f64::NAN, &outcome));
@@ -359,6 +437,8 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         events: events.len(),
         baseline_eps: baseline.eps,
         points,
+        prometheus,
+        telemetry_json,
     }
 }
 
@@ -387,7 +467,7 @@ impl SmokeReport {
         ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}}}{}\n",
+                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}, \"p99_emission_ms\": {}}}{}\n",
                 p.strategy,
                 p.bound,
                 json_f64(p.throughput_eps),
@@ -397,6 +477,7 @@ impl SmokeReport {
                 p.max_reorder_depth,
                 p.engines_live,
                 p.partials_live,
+                json_f64(p.p99_emission_ms),
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
@@ -416,25 +497,33 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Parses the `(strategy, bound, throughput_eps)` grid points back out
-/// of a serialized smoke report.
-pub fn parse_points(json: &str) -> Vec<(String, u64, f64)> {
+/// Parses the `(strategy, bound, throughput_eps, p99_emission_ms)`
+/// grid points back out of a serialized smoke report. The p99 slot is
+/// `NaN` when the point recorded no emission latency (`null`), or for
+/// reports predating the field.
+pub fn parse_points(json: &str) -> Vec<(String, u64, f64, f64)> {
     json.lines()
         .filter_map(|line| {
             let strategy = json_field(line, "strategy")?.to_string();
             let bound = json_field(line, "bound")?.parse().ok()?;
             let eps = json_field(line, "throughput_eps")?.parse().ok()?;
-            Some((strategy, bound, eps))
+            let p99 = json_field(line, "p99_emission_ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(f64::NAN);
+            Some((strategy, bound, eps, p99))
         })
         .collect()
 }
 
 /// Diffs a current smoke report against a committed baseline: one
 /// warning line per grid point slower than the baseline by more than
-/// `tolerance_pct` percent (and per point missing from either side).
-/// Empty = within tolerance. The caller decides whether warnings fail
-/// the build; CI only annotates (smoke numbers are trend data from
-/// shared runners, not a stable gate).
+/// `tolerance_pct` percent, per point whose p99 emission latency
+/// regressed by the same relative margin (and by more than one
+/// histogram bucket's worth of ms, to dodge log₂ quantization noise),
+/// and per point missing from either side. Empty = within tolerance.
+/// The caller decides whether warnings fail the build; CI only
+/// annotates (smoke numbers are trend data from shared runners, not a
+/// stable gate).
 pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> Vec<String> {
     let cur = parse_points(current);
     let base = parse_points(baseline);
@@ -443,24 +532,34 @@ pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> Vec<St
         warnings.push("baseline report contains no grid points".into());
         return warnings;
     }
-    for (strategy, bound, base_eps) in &base {
+    for (strategy, bound, base_eps, base_p99) in &base {
         match cur
             .iter()
-            .find(|(s, b, _)| s == strategy && b == bound)
-            .map(|(_, _, eps)| *eps)
+            .find(|(s, b, _, _)| s == strategy && b == bound)
+            .map(|(_, _, eps, p99)| (*eps, *p99))
         {
             None => warnings.push(format!("{strategy}@{bound}: missing from current report")),
-            Some(cur_eps) if cur_eps < base_eps * (1.0 - tolerance_pct / 100.0) => {
-                warnings.push(format!(
-                    "{strategy}@{bound}: {cur_eps:.0} events/s is {:.1}% below baseline {base_eps:.0}",
-                    100.0 * (1.0 - cur_eps / base_eps)
-                ));
+            Some((cur_eps, cur_p99)) => {
+                if cur_eps < base_eps * (1.0 - tolerance_pct / 100.0) {
+                    warnings.push(format!(
+                        "{strategy}@{bound}: {cur_eps:.0} events/s is {:.1}% below baseline {base_eps:.0}",
+                        100.0 * (1.0 - cur_eps / base_eps)
+                    ));
+                }
+                if base_p99.is_finite()
+                    && cur_p99.is_finite()
+                    && cur_p99 > base_p99 * (1.0 + tolerance_pct / 100.0)
+                    && cur_p99 - base_p99 > base_p99.max(1.0)
+                {
+                    warnings.push(format!(
+                        "{strategy}@{bound}: p99 emission latency {cur_p99:.0} ms is above baseline {base_p99:.0} ms"
+                    ));
+                }
             }
-            Some(_) => {}
         }
     }
-    for (strategy, bound, _) in &cur {
-        if !base.iter().any(|(s, b, _)| s == strategy && b == bound) {
+    for (strategy, bound, _, _) in &cur {
+        if !base.iter().any(|(s, b, _, _)| s == strategy && b == bound) {
             warnings.push(format!(
                 "{strategy}@{bound}: not in baseline (update BENCH_baseline.json)"
             ));
@@ -475,17 +574,20 @@ mod tests {
 
     #[test]
     fn smoke_report_is_consistent_and_serializes() {
-        // Tiny instance: shape and invariants, not performance.
+        // Tiny instance: shape and invariants, not performance. The
+        // per-key span must exceed the 1 000 ms stocks window a few
+        // times over (~5 ms/event) or no trailing-negation deadline
+        // ever passes in-stream and the latency histogram stays empty.
         let report = run_smoke(&SmokeConfig {
             keys: 2,
-            events_per_key: 150,
+            events_per_key: 500,
             shards: 1,
             repeats: 1,
             scale_keys: 40,
             scale_events_per_key: 10,
         });
-        assert_eq!(report.events, 300);
-        assert_eq!(report.points.len(), 6);
+        assert_eq!(report.events, 1_000);
+        assert_eq!(report.points.len(), 7);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -497,7 +599,8 @@ mod tests {
             if p.strategy != "scale_keys" {
                 assert_eq!(
                     p.matches, matches,
-                    "{}@{}: disorder within the contract is invisible",
+                    "{}@{}: neither disorder within the contract nor \
+                     telemetry may change the match multiset",
                     p.strategy, p.bound
                 );
             }
@@ -506,6 +609,28 @@ mod tests {
         assert_eq!(
             report.points[0].max_reorder_depth, 0,
             "passthrough buffers nothing"
+        );
+        let telemetry = &report.points[1];
+        assert_eq!(telemetry.strategy, "telemetry");
+        assert!(
+            telemetry.overhead_pct.is_finite(),
+            "the telemetry point is measured against the baseline"
+        );
+        assert!(
+            report.prometheus.contains("acep_events_total"),
+            "telemetry run exports Prometheus text"
+        );
+        assert!(
+            report
+                .telemetry_json
+                .contains("\"schema\":\"acep-telemetry-v1\""),
+            "telemetry run exports a JSON snapshot"
+        );
+        // The trailing-negation query holds matches to their deadline,
+        // so the disorder points measure a real emission latency.
+        assert!(
+            report.points.iter().any(|p| p.p99_emission_ms.is_finite()),
+            "no grid point recorded emission latency"
         );
         let scale = report.points.last().expect("scale point present");
         assert_eq!(scale.strategy, "scale_keys");
@@ -523,16 +648,26 @@ mod tests {
         assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
         assert!(json.contains("\"strategy\": \"per_source\""));
         assert!(json.contains("\"strategy\": \"scale_keys\""));
+        assert!(json.contains("\"strategy\": \"telemetry\""));
         assert!(json.contains("\"partials_live\""));
-        assert_eq!(json.matches("\"bound\":").count(), 6);
+        assert!(json.contains("\"p99_emission_ms\""));
+        assert_eq!(json.matches("\"bound\":").count(), 7);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 6);
+        assert_eq!(points.len(), 7);
         assert_eq!(points[0].0, "merged");
         assert_eq!(points[0].1, 0);
         assert!((points[0].2 - report.points[0].throughput_eps).abs() < 1.0);
-        assert_eq!(points[5].0, "scale_keys");
+        assert_eq!(points[1].0, "telemetry");
+        assert_eq!(points[6].0, "scale_keys");
+        for (i, (_, _, _, p99)) in points.iter().enumerate() {
+            let want = report.points[i].p99_emission_ms;
+            assert!(
+                (p99.is_nan() && want.is_nan()) || (p99 - want).abs() < 1.0,
+                "p99 round-trip at point {i}: {p99} vs {want}"
+            );
+        }
     }
 
     #[test]
@@ -556,5 +691,34 @@ mod tests {
         assert!(warnings[2].contains("not in baseline"));
         // An empty baseline is itself a warning, not a clean pass.
         assert_eq!(diff_reports(ok, "", 20.0).len(), 1);
+    }
+
+    #[test]
+    fn diff_flags_p99_emission_regressions() {
+        let base = "\
+{\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 32}\n\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"p99_emission_ms\": null}\n";
+        // Same throughput, p99 within a bucket step (one log₂ bucket
+        // doubles) → clean; null on either side is never compared.
+        let ok = "\
+{\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 64}\n\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 512}\n";
+        assert!(
+            diff_reports(ok, base, 20.0).is_empty(),
+            "bucket noise tolerated"
+        );
+        // More than doubled → one p99 warning, throughput untouched.
+        let bad = "\
+{\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 128}\n\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"p99_emission_ms\": null}\n";
+        let warnings = diff_reports(bad, base, 20.0);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("p99 emission latency 128 ms"));
+        // Old-format baselines (no p99 field) stay comparable.
+        let old = "\
+{\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0}\n";
+        assert!(diff_reports(bad, old, 20.0)
+            .iter()
+            .all(|w| w.contains("not in baseline")));
     }
 }

@@ -33,6 +33,9 @@ use std::time::{Duration, Instant};
 use acep_engine::{build_executor, ExecContext, Executor};
 use acep_plan::{CollectingRecorder, EvalPlan, Planner};
 use acep_stats::{SharedSnapshot, StatisticsCollector};
+use acep_telemetry::{
+    snapshot_hash, Histogram, Record, ReplanOutcome as ReplanVerdict, ShardRecorder, TelemetryEvent,
+};
 use acep_types::{CanonicalPattern, Event, SubPattern, Timestamp};
 
 use crate::keyed::KeyedEngine;
@@ -63,6 +66,10 @@ pub struct AdaptationStats {
     pub decision_time: Duration,
     /// Wall time spent in `A`, invariant construction and deployment.
     pub planning_time: Duration,
+    /// Distribution of whole-control-step wall times (µs): snapshot +
+    /// `D` + any planning/deployment across branches. The log-bucketed
+    /// replacement for eyeballing `decision_time / decision_evals`.
+    pub control_step_us: Histogram,
 }
 
 impl AdaptationStats {
@@ -77,6 +84,7 @@ impl AdaptationStats {
         self.plan_epoch += other.plan_epoch;
         self.decision_time += other.decision_time;
         self.planning_time += other.planning_time;
+        self.control_step_us.merge(&other.control_step_us);
     }
 }
 
@@ -108,6 +116,11 @@ pub struct QueryController {
     collector: StatisticsCollector,
     branches: Vec<BranchControl>,
     stats: AdaptationStats,
+    /// Telemetry producer handle (`None` = not recording) and the
+    /// query tag stamped on records. Only touched at control-step
+    /// cadence — the per-event path never sees it.
+    recorder: Option<ShardRecorder>,
+    query_tag: u32,
 }
 
 impl QueryController {
@@ -143,7 +156,20 @@ impl QueryController {
             collector: StatisticsCollector::new(t.num_types, &t.pattern, &t.config.stats),
             branches,
             stats: AdaptationStats::default(),
+            recorder: None,
+            query_tag: 0,
         }
+    }
+
+    /// Attaches a telemetry recorder: every subsequent control step
+    /// emits [`TelemetryEvent::ControlStep`] plus per-branch
+    /// [`Replan`](TelemetryEvent::Replan) /
+    /// [`Deployment`](TelemetryEvent::Deployment) records tagged with
+    /// `query`. Recording happens only at control-step cadence and
+    /// never blocks (the ring drops with accounting when full).
+    pub fn set_recorder(&mut self, recorder: ShardRecorder, query: u32) {
+        self.recorder = Some(recorder);
+        self.query_tag = query;
     }
 
     /// Feeds one relevant event into the statistics estimators and,
@@ -169,8 +195,14 @@ impl QueryController {
     /// deployment, per branch. Deployment only moves the controller's
     /// plan and epoch; engines migrate lazily on their next event.
     fn control_step(&mut self, now: Timestamp) {
+        let step_start = Instant::now();
+        let at_event = self.stats.events;
+        let recording = self.recorder.enabled();
         for bi in 0..self.branches.len() {
             let snapshot = self.collector.shared_snapshot_branch(bi, now);
+            // The audit evidence: a digest of exactly the statistics
+            // this decision saw. Hashed only when someone listens.
+            let evidence = recording.then(|| snapshot_hash(&snapshot.values()));
             let b = &mut self.branches[bi];
 
             if !b.initialized {
@@ -187,9 +219,23 @@ impl QueryController {
                     ReoptOutcome::Deployed,
                 );
                 if plan != b.plan && plan.cost(&snapshot) < b.plan.cost(&snapshot) {
+                    let (cost_before, cost_after) = (b.plan.cost(&snapshot), plan.cost(&snapshot));
                     b.plan = plan;
                     b.epoch += 1;
                     self.stats.plan_epoch += 1;
+                    if let Some(snapshot_hash) = evidence {
+                        self.recorder.record(TelemetryEvent::Deployment {
+                            query: self.query_tag,
+                            branch: bi as u32,
+                            at_event,
+                            epoch: b.epoch,
+                            plan_epoch: self.stats.plan_epoch,
+                            snapshot_hash,
+                            cost_before,
+                            cost_after,
+                            plan: Arc::from(format!("{:?}", b.plan)),
+                        });
+                    }
                 }
                 b.last_snapshot = Some(snapshot);
                 continue;
@@ -234,7 +280,46 @@ impl QueryController {
             b.policy
                 .on_plan_installed(&rec.into_condition_sets(), &snapshot, outcome);
             self.stats.planning_time += t1.elapsed();
+            if let Some(snapshot_hash) = evidence {
+                let verdict = match outcome {
+                    ReoptOutcome::Deployed => ReplanVerdict::Deployed,
+                    ReoptOutcome::Unchanged => ReplanVerdict::Unchanged,
+                    ReoptOutcome::RejectedCandidate => ReplanVerdict::Rejected,
+                };
+                self.recorder.record(TelemetryEvent::Replan {
+                    query: self.query_tag,
+                    branch: bi as u32,
+                    at_event,
+                    snapshot_hash,
+                    cost_current: cur_cost,
+                    cost_candidate: new_cost,
+                    outcome: verdict,
+                });
+                if outcome == ReoptOutcome::Deployed {
+                    self.recorder.record(TelemetryEvent::Deployment {
+                        query: self.query_tag,
+                        branch: bi as u32,
+                        at_event,
+                        epoch: b.epoch,
+                        plan_epoch: self.stats.plan_epoch,
+                        snapshot_hash,
+                        cost_before: cur_cost,
+                        cost_after: new_cost,
+                        plan: Arc::from(format!("{:?}", b.plan)),
+                    });
+                }
+            }
             b.last_snapshot = Some(snapshot);
+        }
+        let duration_us = step_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.stats.control_step_us.record(duration_us);
+        if recording {
+            self.recorder.record(TelemetryEvent::ControlStep {
+                query: self.query_tag,
+                at_event,
+                now,
+                duration_us,
+            });
         }
     }
 

@@ -146,6 +146,15 @@ impl KeyedEngine {
             .sum()
     }
 
+    /// Allocated arena binding nodes across branches and generations
+    /// (live + garbage awaiting compaction).
+    pub fn arena_nodes(&self) -> usize {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::arena_nodes)
+            .sum()
+    }
+
     /// Join/predicate comparisons across branches.
     pub fn comparisons(&self) -> u64 {
         self.branches

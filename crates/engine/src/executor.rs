@@ -42,6 +42,16 @@ pub trait Executor: Send {
     /// metric).
     fn partial_count(&self) -> usize;
 
+    /// Binding nodes currently allocated in the executor's
+    /// partial-match arena, live *and* garbage awaiting compaction —
+    /// the actual memory footprint behind
+    /// [`partial_count`](Self::partial_count) (telemetry's
+    /// live/allocated arena ratio). Defaults to 0 for executors
+    /// without an arena.
+    fn arena_nodes(&self) -> usize {
+        0
+    }
+
     /// Total predicate/join comparisons performed (the paper's work
     /// metric).
     fn comparisons(&self) -> u64;

@@ -180,6 +180,12 @@ impl MigratingExecutor {
         self.gens.iter().map(|g| g.exec.partial_count()).sum()
     }
 
+    /// Total allocated arena binding nodes across generations (see
+    /// [`Executor::arena_nodes`]).
+    pub fn arena_nodes(&self) -> usize {
+        self.gens.iter().map(|g| g.exec.arena_nodes()).sum()
+    }
+
     /// Total comparisons across generations (monotonic: retired
     /// generations' work is accumulated, not dropped).
     pub fn comparisons(&self) -> u64 {

@@ -211,6 +211,10 @@ impl Executor for OrderExecutor {
         self.levels.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
     }
 
+    fn arena_nodes(&self) -> usize {
+        self.store.len()
+    }
+
     fn comparisons(&self) -> u64 {
         self.comparisons + self.finalizer.comparisons()
     }

@@ -180,6 +180,10 @@ impl Executor for TreeExecutor {
         self.store.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
     }
 
+    fn arena_nodes(&self) -> usize {
+        self.pstore.len()
+    }
+
     fn comparisons(&self) -> u64 {
         self.comparisons + self.finalizer.comparisons()
     }

@@ -157,16 +157,22 @@ pub mod runtime;
 mod shard;
 pub mod sink;
 pub mod stats;
+pub mod telemetry;
 
 pub use registry::{PatternSet, QueryId, QuerySpec};
 pub use runtime::{ShardedRuntime, StreamConfig};
 pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
-pub use stats::{LatencyStats, QueryStats, RuntimeStats, ShardStats};
+pub use stats::{QueryStats, RuntimeStats, ShardProfile, ShardStats, SourceWatermark};
+pub use telemetry::{TelemetryConfig, TelemetryHub};
 
 // Re-exported so runtime users need not depend on `acep-types` or
 // `acep-core` for the common extractors, the event-time configuration,
-// and the adaptation-stats rollups.
+// and the adaptation-stats rollups — or on `acep-telemetry` for the
+// histogram / audit / exporter surface the stats snapshot exposes.
 pub use acep_core::{AdaptationStats, AdaptiveCep};
+pub use acep_telemetry::{
+    AuditLog, Histogram, MetricsRegistry, PlanTransition, QueryTrajectory, TelemetryEvent,
+};
 pub use acep_types::{
     AttrKeyExtractor, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, SourceId,
     WatermarkStrategy,

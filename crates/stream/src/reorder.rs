@@ -72,10 +72,13 @@ use std::sync::Arc;
 
 use acep_types::{Event, SourceId, Timestamp, WatermarkStrategy};
 
+use crate::stats::SourceWatermark;
+
 /// A buffered `(partition key, event)` pair, ordered by event time.
 #[derive(Debug)]
 struct Held {
     key: u64,
+    source: SourceId,
     ev: Arc<Event>,
 }
 
@@ -126,6 +129,15 @@ pub(crate) struct ReorderBuffer {
     max_depth: usize,
     /// Events force-released by the capacity cap.
     overflow: u64,
+    /// Force-released events attributed to the source that sent them,
+    /// linear-scanned like `sources`.
+    overflow_by_source: Vec<(SourceId, u64)>,
+    /// When set, each force-release is also logged into `evictions`
+    /// for the telemetry plane (cleared by the caller per batch).
+    track_evictions: bool,
+    /// `(source, timestamp)` of force-released events since the last
+    /// [`clear_evictions`](Self::clear_evictions).
+    evictions: Vec<(SourceId, Timestamp)>,
 }
 
 impl ReorderBuffer {
@@ -144,6 +156,9 @@ impl ReorderBuffer {
             sources: Vec::new(),
             max_depth: 0,
             overflow: 0,
+            overflow_by_source: Vec::new(),
+            track_evictions: false,
+            evictions: Vec::new(),
         }
     }
 
@@ -170,6 +185,82 @@ impl ReorderBuffer {
     #[inline]
     pub(crate) fn overflow(&self) -> u64 {
         self.overflow
+    }
+
+    /// Force-released events attributed per source (empty until the
+    /// first overflow).
+    pub(crate) fn overflow_by_source(&self) -> &[(SourceId, u64)] {
+        &self.overflow_by_source
+    }
+
+    /// Enables per-eviction logging for the telemetry plane (off by
+    /// default; counters above are always maintained).
+    pub(crate) fn set_eviction_tracking(&mut self, on: bool) {
+        self.track_evictions = on;
+    }
+
+    /// `(source, timestamp)` of force-releases logged since the last
+    /// [`clear_evictions`](Self::clear_evictions) (requires
+    /// [`set_eviction_tracking`](Self::set_eviction_tracking)).
+    pub(crate) fn evictions(&self) -> &[(SourceId, Timestamp)] {
+        &self.evictions
+    }
+
+    pub(crate) fn clear_evictions(&mut self) {
+        self.evictions.clear();
+    }
+
+    /// Per-source progress under a `PerSource` strategy: each
+    /// discovered source's `max_seen` and whether it currently counts
+    /// as idle. Empty under `Merged` (sources are not tracked).
+    pub(crate) fn source_watermarks(&self) -> Vec<SourceWatermark> {
+        match self.strategy {
+            WatermarkStrategy::Merged(_) => Vec::new(),
+            WatermarkStrategy::PerSource { idle_timeout, .. } => self
+                .sources
+                .iter()
+                .map(|&(source, seen)| SourceWatermark {
+                    source,
+                    max_seen: seen,
+                    idle: seen.saturating_add(idle_timeout) < self.max_seen,
+                })
+                .collect(),
+        }
+    }
+
+    /// The phantom source's anchor: timestamp of the first event ever
+    /// ingested (`None` before any event).
+    pub(crate) fn phantom_anchor(&self) -> Option<Timestamp> {
+        self.first_seen
+    }
+
+    /// Whether the phantom source still anchors the watermark (its
+    /// discovery grace has not lapsed). Always `false` under `Merged`.
+    pub(crate) fn phantom_active(&self) -> bool {
+        match self.strategy {
+            WatermarkStrategy::Merged(_) => false,
+            WatermarkStrategy::PerSource { idle_timeout, .. } => self
+                .first_seen
+                .is_some_and(|anchor| anchor.saturating_add(idle_timeout) >= self.max_seen),
+        }
+    }
+
+    /// The non-idle source currently holding the heuristic back (the
+    /// slowest active one), when a `PerSource` strategy tracks any.
+    /// `None` under `Merged`, before any event, or when only the
+    /// phantom anchors the watermark.
+    pub(crate) fn blocking_source(&self) -> Option<SourceId> {
+        match self.strategy {
+            WatermarkStrategy::Merged(_) => None,
+            WatermarkStrategy::PerSource { idle_timeout, .. } => {
+                let active = |seen: Timestamp| seen.saturating_add(idle_timeout) >= self.max_seen;
+                self.sources
+                    .iter()
+                    .filter(|&&(_, seen)| active(seen))
+                    .min_by_key(|&&(_, seen)| seen)
+                    .map(|&(source, _)| source)
+            }
+        }
     }
 
     /// Whether the capacity cap is currently exceeded (the next
@@ -224,6 +315,7 @@ impl ReorderBuffer {
         }
         self.heap.push(Reverse(Held {
             key,
+            source,
             ev: Arc::clone(ev),
         }));
         self.max_depth = self.max_depth.max(self.heap.len());
@@ -260,6 +352,17 @@ impl ReorderBuffer {
             let Reverse(held) = self.heap.pop().expect("over-capacity heap is non-empty");
             self.watermark = self.watermark.max(held.ev.timestamp.saturating_add(1));
             self.overflow += 1;
+            match self
+                .overflow_by_source
+                .iter_mut()
+                .find(|(s, _)| *s == held.source)
+            {
+                Some((_, n)) => *n += 1,
+                None => self.overflow_by_source.push((held.source, 1)),
+            }
+            if self.track_evictions {
+                self.evictions.push((held.source, held.ev.timestamp));
+            }
             out.push((held.key, held.ev));
         }
     }
@@ -492,5 +595,54 @@ mod tests {
         assert_eq!(rb.overflow(), 2);
         assert_eq!(rb.depth(), 2, "same-timestamp events followed the evictee");
         assert_eq!(seqs(&out), vec![1, 5]);
+    }
+
+    #[test]
+    fn overflow_is_attributed_to_the_evicted_events_source() {
+        let mut rb = ReorderBuffer::new(WatermarkStrategy::Merged(u64::MAX), Some(2));
+        rb.set_eviction_tracking(true);
+        let mut out = Vec::new();
+        rb.offer(0, S0, &ev(10, 0));
+        rb.offer(0, S1, &ev(11, 1));
+        rb.offer(0, S1, &ev(12, 2));
+        rb.offer(0, S0, &ev(13, 3));
+        rb.drain_ready(&mut out);
+        // Cap 2 with 4 held: the two oldest (S0@10, S1@11) are evicted.
+        assert_eq!(rb.overflow(), 2);
+        let mut by_source = rb.overflow_by_source().to_vec();
+        by_source.sort_unstable();
+        assert_eq!(by_source, vec![(S0, 1), (S1, 1)]);
+        assert_eq!(rb.evictions(), &[(S0, 10), (S1, 11)]);
+        rb.clear_evictions();
+        assert!(rb.evictions().is_empty());
+    }
+
+    #[test]
+    fn source_watermarks_report_progress_and_idleness() {
+        let mut rb = per_source(10, 300);
+        assert!(rb.source_watermarks().is_empty());
+        assert!(rb.phantom_anchor().is_none());
+        rb.offer(0, S0, &ev(100, 0));
+        rb.offer(0, S1, &ev(120, 1));
+        assert!(rb.phantom_active());
+        assert_eq!(rb.phantom_anchor(), Some(100));
+        assert_eq!(rb.blocking_source(), Some(S0));
+        rb.offer(0, S0, &ev(900, 2));
+        // S1 now trails by 780 > 300: idle; the phantom lapsed too.
+        let wm = rb.source_watermarks();
+        assert_eq!(wm.len(), 2);
+        assert!(!wm.iter().find(|w| w.source == S0).unwrap().idle);
+        assert!(wm.iter().find(|w| w.source == S1).unwrap().idle);
+        assert!(!rb.phantom_active());
+        assert_eq!(rb.blocking_source(), Some(S0));
+    }
+
+    #[test]
+    fn merged_strategy_tracks_no_sources() {
+        let mut rb = merged(10);
+        rb.offer(0, S0, &ev(100, 0));
+        assert!(rb.source_watermarks().is_empty());
+        assert!(!rb.phantom_active());
+        assert!(rb.blocking_source().is_none());
     }
 }

@@ -11,6 +11,7 @@ use crate::registry::PatternSet;
 use crate::shard::{Routed, ShardWorker, ToWorker};
 use crate::sink::MatchSink;
 use crate::stats::RuntimeStats;
+use crate::telemetry::{build_plane, TelemetryConfig, TelemetryHub};
 
 /// Configuration of a [`ShardedRuntime`].
 #[derive(Debug, Clone)]
@@ -32,6 +33,14 @@ pub struct StreamConfig {
     /// shard and releases them in `(timestamp, seq)` order behind the
     /// shard watermark (see [`crate`] docs).
     pub disorder: DisorderConfig,
+    /// Telemetry plane: `None` (the default) spawns no event rings and
+    /// no recorders — the hot path only ever tests a `None`. `Some`
+    /// enables structured adaptation/event-time records (drained via
+    /// [`ShardedRuntime::telemetry`]) and, when
+    /// [`TelemetryConfig::profile_every`] > 0, sampled per-stage
+    /// profiling. Requires the crate's `telemetry` feature (default
+    /// on); with the feature compiled out this field is ignored.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for StreamConfig {
@@ -41,6 +50,7 @@ impl Default for StreamConfig {
             channel_capacity: 8,
             max_batch: 4_096,
             disorder: DisorderConfig::in_order(),
+            telemetry: None,
         }
     }
 }
@@ -61,6 +71,7 @@ pub struct ShardedRuntime {
     extractor: Arc<dyn KeyExtractor>,
     config: StreamConfig,
     num_queries: usize,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl ShardedRuntime {
@@ -90,14 +101,18 @@ impl ShardedRuntime {
             .collect::<Result<_, _>>()?;
         let templates: Arc<[EngineTemplate]> = templates.into();
 
-        let workers = (0..config.shards)
-            .map(|shard| {
+        let (hub, worker_telemetry) = build_plane(config.telemetry.as_ref(), config.shards);
+        let workers = worker_telemetry
+            .into_iter()
+            .enumerate()
+            .map(|(shard, telemetry)| {
                 let (tx, rx) = mpsc::sync_channel(config.channel_capacity.max(1));
                 let worker = ShardWorker::new(
                     shard,
                     Arc::clone(&templates),
                     Arc::clone(&sink),
                     config.disorder,
+                    telemetry,
                 );
                 let handle = std::thread::Builder::new()
                     .name(format!("acep-shard-{shard}"))
@@ -111,7 +126,16 @@ impl ShardedRuntime {
             extractor,
             config,
             num_queries: set.len(),
+            telemetry: hub,
         })
+    }
+
+    /// The telemetry collector hub, when `config.telemetry` enabled it
+    /// (and the crate's `telemetry` feature is compiled in). Clone the
+    /// `Arc` to keep polling — or reconstruct the audit log — after
+    /// [`finish`](Self::finish) consumed the runtime.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.as_ref()
     }
 
     /// Number of worker shards.

@@ -56,12 +56,14 @@ use std::sync::Arc;
 
 use acep_core::{EngineTemplate, KeyedEngine, QueryController};
 use acep_engine::Match;
+use acep_telemetry::{Histogram, TelemetryEvent};
 use acep_types::{DisorderConfig, Event, LatenessPolicy, SourceId, Timestamp};
 
 use crate::registry::QueryId;
 use crate::reorder::{Offer, ReorderBuffer};
 use crate::sink::{LateEvent, MatchSink, TaggedMatch};
-use crate::stats::{LatencyStats, QueryStats, ShardStats};
+use crate::stats::{QueryStats, ShardStats};
+use crate::telemetry::WorkerTelemetry;
 
 /// Keys visited per control step by the idle-retirement sweep. Bounds
 /// the housekeeping piggy-backed on the hot path; the cursor wraps, so
@@ -142,8 +144,21 @@ pub(crate) struct ShardWorker {
     deadlines: BinaryHeap<DeadlineEntry>,
     /// Engines visited by watermark-driven finalization (stats).
     finalize_visits: u64,
-    /// Watermark-driven emission latency aggregate (stats).
-    emission_latency: LatencyStats,
+    /// Emission-latency distribution of deadline-held matches (ms past
+    /// the finalization deadline, whether the proof was the key's next
+    /// event or a watermark advance). End-of-stream flushes are
+    /// excluded — they force matches out regardless of time.
+    emission_latency: Histogram,
+    /// Per-shard telemetry state: event recorder + sampled profiling
+    /// (no-op unless `StreamConfig::telemetry` enabled it).
+    telemetry: WorkerTelemetry,
+    /// Consecutive batches that ended with events buffered but the
+    /// watermark unmoved — a stall: something (an idle-but-not-yet-idle
+    /// source, a phantom grace) is holding the release back. Reported
+    /// at power-of-two counts so a long stall logs O(log n) records.
+    stall_batches: u64,
+    /// Watermark at the end of the previous batch (stall detection).
+    prev_watermark: Timestamp,
     /// Reused buffer of watermark-released events awaiting processing.
     released: Vec<(u64, Arc<Event>)>,
     /// Reused per-event match buffer.
@@ -158,13 +173,23 @@ impl ShardWorker {
         templates: Arc<[EngineTemplate]>,
         sink: Arc<dyn MatchSink>,
         disorder: DisorderConfig,
+        telemetry: WorkerTelemetry,
     ) -> Self {
-        let reorder = if disorder.is_passthrough() {
+        let mut reorder = if disorder.is_passthrough() {
             None
         } else {
             Some(ReorderBuffer::new(disorder.strategy, disorder.max_buffered))
         };
-        let controllers = templates.iter().map(EngineTemplate::controller).collect();
+        let mut controllers: Vec<QueryController> =
+            templates.iter().map(EngineTemplate::controller).collect();
+        if let Some(rec) = telemetry.recorder() {
+            for (qi, controller) in controllers.iter_mut().enumerate() {
+                controller.set_recorder(rec.clone(), qi as u32);
+            }
+            if let Some(buffer) = &mut reorder {
+                buffer.set_eviction_tracking(true);
+            }
+        }
         Self {
             shard,
             templates,
@@ -183,7 +208,10 @@ impl ShardWorker {
             max_event_ts: 0,
             deadlines: BinaryHeap::new(),
             finalize_visits: 0,
-            emission_latency: LatencyStats::default(),
+            emission_latency: Histogram::new(),
+            telemetry,
+            stall_batches: 0,
+            prev_watermark: 0,
             released: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
@@ -214,14 +242,21 @@ impl ShardWorker {
 
     fn on_batch(&mut self, events: &[Routed]) {
         self.batches += 1;
+        self.telemetry.begin_batch();
         // Hot path: in-order streams never touch the buffer.
         if self.reorder.is_none() {
+            let t = self.telemetry.timer();
             for (key, _, ev) in events {
                 self.process_one(*key, ev);
             }
+            self.telemetry.stage_evaluate(t);
+            let t = self.telemetry.timer();
             self.deliver();
+            self.telemetry.stage_finalize(t);
+            self.finish_batch_profile(events.len());
             return;
         }
+        let t = self.telemetry.timer();
         for (key, source, ev) in events {
             let buffer = self.reorder.as_mut().expect("non-passthrough shard");
             if buffer.offer(*key, *source, ev) == Offer::Late {
@@ -240,7 +275,52 @@ impl ShardWorker {
                 self.drain_and_process(false);
             }
         }
+        self.telemetry.stage_ingest(t);
         self.release(false);
+        self.observe_stall();
+        self.finish_batch_profile(events.len());
+    }
+
+    /// Watermark-stall detection, run at the end of each buffered
+    /// batch: events held but the watermark unmoved means releases are
+    /// blocked on some source's progress. Reported at power-of-two
+    /// streak lengths.
+    fn observe_stall(&mut self) {
+        let Some(buffer) = &self.reorder else { return };
+        let depth = buffer.depth();
+        let watermark = buffer.watermark();
+        if depth > 0 && watermark == self.prev_watermark {
+            self.stall_batches += 1;
+            if self.telemetry.enabled() && self.stall_batches.is_power_of_two() {
+                self.telemetry.record(TelemetryEvent::WatermarkStall {
+                    watermark,
+                    depth,
+                    blocking: buffer.blocking_source(),
+                });
+            }
+        } else {
+            self.stall_batches = 0;
+        }
+        self.prev_watermark = watermark;
+    }
+
+    /// On profiled batches, records the batch shape and samples the
+    /// shard's arena occupancy (live partials vs allocated nodes).
+    fn finish_batch_profile(&mut self, events: usize) {
+        if !self.telemetry.profiling() {
+            return;
+        }
+        let depth = self.reorder.as_ref().map_or(0, ReorderBuffer::depth);
+        self.telemetry.batch_shape(events, depth);
+        let mut live = 0;
+        let mut nodes = 0;
+        for engines in self.keys.values() {
+            for slot in engines.iter().flatten() {
+                live += slot.engine.partial_count();
+                nodes += slot.engine.arena_nodes();
+            }
+        }
+        self.telemetry.sample_arena(live, nodes);
     }
 
     fn on_watermark(&mut self, ts: Timestamp) {
@@ -277,6 +357,7 @@ impl ShardWorker {
     /// drives the engines' stream clocks up to the watermark.
     fn release(&mut self, all: bool) {
         let watermark = self.drain_and_process(all);
+        let t = self.telemetry.timer();
         // Watermark-driven finalization: deadlines are evaluated
         // against the shard watermark, not engine-visible event time.
         // At end of stream `finish` flushes everything anyway.
@@ -284,6 +365,7 @@ impl ShardWorker {
             self.advance_engines(watermark);
         }
         self.deliver();
+        self.telemetry.stage_finalize(t);
     }
 
     /// Drains the reorder buffer (watermark-released or everything)
@@ -294,6 +376,7 @@ impl ShardWorker {
         let mut released = std::mem::take(&mut self.released);
         released.clear();
         let mut watermark = 0;
+        let t = self.telemetry.timer();
         if let Some(buffer) = &mut self.reorder {
             if all {
                 buffer.drain_all(&mut released);
@@ -302,9 +385,24 @@ impl ShardWorker {
             }
             watermark = buffer.watermark();
         }
+        self.telemetry.stage_reorder(t);
+        if self.telemetry.enabled() {
+            if let Some(buffer) = &mut self.reorder {
+                for &(source, timestamp) in buffer.evictions() {
+                    self.telemetry.record(TelemetryEvent::ReorderEviction {
+                        source,
+                        timestamp,
+                        watermark,
+                    });
+                }
+                buffer.clear_evictions();
+            }
+        }
+        let t = self.telemetry.timer();
         for (key, ev) in &released {
             self.process_one(*key, ev);
         }
+        self.telemetry.stage_evaluate(t);
         self.released = released;
         watermark
     }
@@ -338,7 +436,35 @@ impl ShardWorker {
                 engine: controller.new_engine(),
                 queued_deadline: None,
             });
+            let recording = self.telemetry.enabled();
+            let reps_before = if recording {
+                slot.engine.replacements()
+            } else {
+                0
+            };
             slot.engine.on_event(controller, ev, &mut self.scratch);
+            if recording {
+                let replaced = slot.engine.replacements() - reps_before;
+                if replaced > 0 {
+                    // The engine just chased the controller's deployed
+                    // epoch: a lazy per-key migration.
+                    self.telemetry.record(TelemetryEvent::KeyMigration {
+                        query: qi as u32,
+                        key,
+                        replaced: replaced as u32,
+                        plan_epoch: controller.stats().plan_epoch,
+                    });
+                }
+            }
+            // Deadline-held matches proven by this event (the key's
+            // own stream passed the deadline): their wait is emission
+            // latency just as much as a watermark release is.
+            for m in &self.scratch {
+                if m.deadline > 0 {
+                    self.emission_latency
+                        .record(m.detected_at.saturating_sub(m.deadline));
+                }
+            }
             // Index the engine by its earliest pending deadline so the
             // watermark sweep can find it without visiting every key.
             if let Some(d) = slot.engine.min_pending_deadline() {
@@ -379,10 +505,19 @@ impl ShardWorker {
             let engines = self.keys.get_mut(&key).expect("key_order tracks keys");
             for (qi, slot) in engines.iter_mut().enumerate() {
                 let Some(slot) = slot else { continue };
-                if slot.engine.generations() <= self.controllers[qi].num_branches() {
+                let gens_before = slot.engine.generations();
+                if gens_before <= self.controllers[qi].num_branches() {
                     continue;
                 }
                 slot.engine.advance_time(now, &mut self.scratch);
+                let gens_after = slot.engine.generations();
+                if self.telemetry.enabled() && gens_after < gens_before {
+                    self.telemetry.record(TelemetryEvent::GenerationRetirement {
+                        query: qi as u32,
+                        key,
+                        retired: (gens_before - gens_after) as u32,
+                    });
+                }
                 for m in &self.scratch {
                     self.emission_latency
                         .record(m.detected_at.saturating_sub(m.deadline));
@@ -436,8 +571,19 @@ impl ShardWorker {
                 // (smaller) deadline; that entry will visit it.
                 continue;
             }
+            let gens_before = self.telemetry.enabled().then(|| slot.engine.generations());
             slot.engine.advance_time(to, &mut self.scratch);
             self.finalize_visits += 1;
+            if let Some(before) = gens_before {
+                let after = slot.engine.generations();
+                if after < before {
+                    self.telemetry.record(TelemetryEvent::GenerationRetirement {
+                        query: qi,
+                        key,
+                        retired: (before - after) as u32,
+                    });
+                }
+            }
             for m in &self.scratch {
                 self.emission_latency
                     .record(m.detected_at.saturating_sub(m.deadline));
@@ -493,12 +639,14 @@ impl ShardWorker {
 
     fn stats(&self) -> ShardStats {
         let mut per_query = vec![QueryStats::default(); self.templates.len()];
+        let mut key_migrations = vec![0u64; self.templates.len()];
         let mut generations_live = 0;
         let mut partials_live = 0;
         for engines in self.keys.values() {
             for (qi, slot) in engines.iter().enumerate() {
                 if let Some(slot) = slot {
                     per_query[qi].absorb(&slot.engine);
+                    key_migrations[qi] += slot.engine.replacements();
                     generations_live += slot.engine.generations();
                     partials_live += slot.engine.partial_count();
                 }
@@ -517,11 +665,30 @@ impl ShardWorker {
             reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::depth),
             max_reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::max_depth),
             reorder_overflow: self.reorder.as_ref().map_or(0, ReorderBuffer::overflow),
+            reorder_overflow_by_source: self
+                .reorder
+                .as_ref()
+                .map_or_else(Vec::new, |b| b.overflow_by_source().to_vec()),
             watermark: self.reorder.as_ref().map(ReorderBuffer::watermark),
+            source_watermarks: self
+                .reorder
+                .as_ref()
+                .map_or_else(Vec::new, ReorderBuffer::source_watermarks),
+            phantom_anchor: self
+                .reorder
+                .as_ref()
+                .and_then(ReorderBuffer::phantom_anchor),
+            phantom_active: self
+                .reorder
+                .as_ref()
+                .is_some_and(ReorderBuffer::phantom_active),
             finalize_visits: self.finalize_visits,
-            emission_latency: self.emission_latency,
+            emission_latency: self.emission_latency.clone(),
             per_query,
             adaptation: self.controllers.iter().map(|c| c.stats().clone()).collect(),
+            key_migrations,
+            telemetry_dropped: self.telemetry.dropped(),
+            profile: self.telemetry.profile_snapshot(),
         }
     }
 }

@@ -16,9 +16,17 @@
 //! Snapshots are taken *on* the worker thread (via a control message),
 //! so they are always internally consistent with the events processed
 //! so far.
+//!
+//! Distributions (emission latency, control-step wall time, the sampled
+//! [`ShardProfile`] stage spans) are log₂-bucketed
+//! [`Histogram`]s — p50/p90/p99/max at power-of-two resolution, exact
+//! count/min/max/sum. [`RuntimeStats::telemetry_snapshot`] flattens a
+//! whole snapshot into a [`MetricsRegistry`] with stable,
+//! golden-tested metric names for the Prometheus / JSON exporters.
 
 use acep_core::{AdaptationStats, KeyedEngine};
-use acep_types::Timestamp;
+use acep_telemetry::{Histogram, MetricsRegistry};
+use acep_types::{SourceId, Timestamp};
 
 use crate::registry::QueryId;
 
@@ -50,54 +58,63 @@ impl QueryStats {
     }
 }
 
-/// Aggregate of watermark-driven emission latencies
-/// (`detected_at - deadline` per match released by a watermark advance
-/// rather than by an engine-visible event): how far behind the
-/// provable deadline matches actually emit. Lower = tighter.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyStats {
-    /// Matches measured.
-    pub count: u64,
-    /// Smallest observed latency (ms of event time).
-    pub min: Timestamp,
-    /// Largest observed latency.
-    pub max: Timestamp,
-    /// Sum of latencies (for [`mean`](Self::mean)).
-    pub sum: u128,
+/// Progress of one ingestion source on one shard, under a
+/// [`PerSource`](acep_types::WatermarkStrategy::PerSource) watermark
+/// strategy (empty under `Merged`, where sources are not tracked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceWatermark {
+    /// The source.
+    pub source: SourceId,
+    /// Largest event timestamp this source ingested on this shard.
+    pub max_seen: Timestamp,
+    /// Whether the source currently counts as idle (trails the shard's
+    /// global maximum by more than `idle_timeout`) and is therefore
+    /// excluded from the watermark minimum.
+    pub idle: bool,
 }
 
-impl LatencyStats {
-    /// Records one emission latency.
-    pub fn record(&mut self, latency: Timestamp) {
-        if self.count == 0 {
-            self.min = latency;
-            self.max = latency;
-        } else {
-            self.min = self.min.min(latency);
-            self.max = self.max.max(latency);
-        }
-        self.count += 1;
-        self.sum += latency as u128;
-    }
+/// Sampled per-stage profile of one shard (or merged across shards):
+/// wall-time spans of the worker's four pipeline stages plus
+/// batch-shape and arena-occupancy distributions, measured on every Nth
+/// batch per [`TelemetryConfig::profile_every`](crate::TelemetryConfig).
+///
+/// All values are from *sampled* batches only — distributions, not
+/// totals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardProfile {
+    /// Events routed into the shard per sampled batch.
+    pub batch_events: Histogram,
+    /// Reorder-buffer depth after each sampled batch's release.
+    pub reorder_depth: Histogram,
+    /// Live partial matches across the shard's engines at sample time.
+    pub arena_live: Histogram,
+    /// Allocated arena binding nodes (live + garbage awaiting
+    /// compaction) at sample time.
+    pub arena_nodes: Histogram,
+    /// Ingest span (routing + reorder offers / passthrough evaluation),
+    /// µs per sampled batch.
+    pub stage_ingest_us: Histogram,
+    /// Reorder span (watermark-release drain), µs per sampled batch.
+    pub stage_reorder_us: Histogram,
+    /// Evaluate span (controllers + engines over released events), µs
+    /// per sampled batch.
+    pub stage_evaluate_us: Histogram,
+    /// Finalize span (deadline sweep + sink delivery), µs per sampled
+    /// batch.
+    pub stage_finalize_us: Histogram,
+}
 
-    /// Merges another aggregate (e.g. from another shard).
-    pub fn merge(&mut self, other: &LatencyStats) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = *other;
-            return;
-        }
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
-        self.count += other.count;
-        self.sum += other.sum;
-    }
-
-    /// Mean latency, or `None` when nothing was measured.
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+impl ShardProfile {
+    /// Merges another profile (e.g. from another shard).
+    pub fn merge(&mut self, other: &ShardProfile) {
+        self.batch_events.merge(&other.batch_events);
+        self.reorder_depth.merge(&other.reorder_depth);
+        self.arena_live.merge(&other.arena_live);
+        self.arena_nodes.merge(&other.arena_nodes);
+        self.stage_ingest_us.merge(&other.stage_ingest_us);
+        self.stage_reorder_us.merge(&other.stage_reorder_us);
+        self.stage_evaluate_us.merge(&other.stage_evaluate_us);
+        self.stage_finalize_us.merge(&other.stage_finalize_us);
     }
 }
 
@@ -146,17 +163,33 @@ pub struct ShardStats {
     /// before their watermark (each advances the watermark past its
     /// timestamp; stragglers behind it count as late).
     pub reorder_overflow: u64,
+    /// `reorder_overflow` attributed to the source that sent each
+    /// force-released event (empty until the first overflow).
+    pub reorder_overflow_by_source: Vec<(SourceId, u64)>,
     /// The shard's event-time watermark (`None` in passthrough mode).
     pub watermark: Option<Timestamp>,
+    /// Per-source progress under a `PerSource` watermark strategy:
+    /// each discovered source's `max_seen` and idle verdict. Empty
+    /// under `Merged` and in passthrough mode.
+    pub source_watermarks: Vec<SourceWatermark>,
+    /// Anchor of the phantom source covering not-yet-discovered
+    /// sources: the first timestamp this shard ever ingested (`None`
+    /// before any event or in passthrough mode).
+    pub phantom_anchor: Option<Timestamp>,
+    /// Whether the phantom source still holds the watermark back (its
+    /// discovery grace has not lapsed; `PerSource` only).
+    pub phantom_active: bool,
     /// Engines visited by watermark-driven finalization sweeps. The
     /// shard indexes engines by their minimum pending deadline, so this
     /// counts only engines that had (or recently had) a match pending —
     /// a watermark advance over a shard with nothing pending does zero
     /// per-engine work and leaves this untouched.
     pub finalize_visits: u64,
-    /// Emission latency of watermark-driven finalizations
-    /// (`detected_at - deadline`).
-    pub emission_latency: LatencyStats,
+    /// Emission latency of deadline-held matches (`detected_at -
+    /// deadline`, ms of event time), log₂-bucketed. Covers matches
+    /// proven by the key's own later events as well as watermark-driven
+    /// finalizations; end-of-stream flushes are excluded.
+    pub emission_latency: Histogram,
     /// Per-query evaluation rollups, indexed by [`QueryId`]
     /// (shard-count invariant; see module docs).
     pub per_query: Vec<QueryStats>,
@@ -165,6 +198,17 @@ pub struct ShardStats {
     /// controller's current total deployment count — the epoch lazily
     /// migrating engines converge to.
     pub adaptation: Vec<AdaptationStats>,
+    /// Per-query count of lazy per-key plan migrations
+    /// (`replace_epoch` splices) performed by this shard's engines,
+    /// indexed by [`QueryId`]. Shard-scoped like `adaptation`: where
+    /// keys land decides which controller's deployments they chase.
+    pub key_migrations: Vec<u64>,
+    /// Telemetry records dropped by this shard's event ring (full ring
+    /// = bounded loss; the hot path never blocks on observability).
+    pub telemetry_dropped: u64,
+    /// Sampled per-stage profile, when
+    /// [`TelemetryConfig::profile_every`](crate::TelemetryConfig) > 0.
+    pub profile: Option<Box<ShardProfile>>,
 }
 
 /// Snapshot of the whole runtime: one [`ShardStats`] per worker.
@@ -231,17 +275,64 @@ impl RuntimeStats {
         self.shards.iter().map(|s| s.reorder_overflow).sum()
     }
 
+    /// Reorder-overflow evictions attributed per source, merged across
+    /// shards and sorted by source.
+    pub fn total_reorder_overflow_by_source(&self) -> Vec<(SourceId, u64)> {
+        let mut merged: Vec<(SourceId, u64)> = Vec::new();
+        for &(source, n) in self
+            .shards
+            .iter()
+            .flat_map(|s| &s.reorder_overflow_by_source)
+        {
+            match merged.iter_mut().find(|(s, _)| *s == source) {
+                Some((_, total)) => *total += n,
+                None => merged.push((source, n)),
+            }
+        }
+        merged.sort_unstable();
+        merged
+    }
+
     /// Engines visited by watermark-driven finalization sweeps across
     /// all shards.
     pub fn total_finalize_visits(&self) -> u64 {
         self.shards.iter().map(|s| s.finalize_visits).sum()
     }
 
-    /// Watermark-driven emission latency merged across all shards.
-    pub fn emission_latency(&self) -> LatencyStats {
-        let mut merged = LatencyStats::default();
+    /// Lazy per-key plan migrations across all shards and queries.
+    pub fn total_key_migrations(&self) -> u64 {
+        self.shards.iter().flat_map(|s| &s.key_migrations).sum()
+    }
+
+    /// Lazy per-key plan migrations of one query summed across shards.
+    pub fn key_migrations(&self, id: QueryId) -> u64 {
+        self.shards
+            .iter()
+            .filter_map(|s| s.key_migrations.get(id.index()))
+            .sum()
+    }
+
+    /// Telemetry records dropped by ring overflow across all shards.
+    pub fn total_telemetry_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.telemetry_dropped).sum()
+    }
+
+    /// Emission latency of deadline-held matches, merged across all
+    /// shards.
+    pub fn emission_latency(&self) -> Histogram {
+        let mut merged = Histogram::new();
         for s in &self.shards {
             merged.merge(&s.emission_latency);
+        }
+        merged
+    }
+
+    /// The sampled per-stage profile merged across all shards, or
+    /// `None` when profiling was off everywhere.
+    pub fn profile(&self) -> Option<ShardProfile> {
+        let mut merged: Option<ShardProfile> = None;
+        for p in self.shards.iter().filter_map(|s| s.profile.as_deref()) {
+            merged.get_or_insert_with(ShardProfile::default).merge(p);
         }
         merged
     }
@@ -278,14 +369,297 @@ impl RuntimeStats {
         }
         merged
     }
+
+    /// Queries the snapshot covers (maximum per-query vector length
+    /// over shards; normally identical on every shard).
+    fn num_queries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.per_query.len().max(s.adaptation.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Flattens the snapshot into a [`MetricsRegistry`] — the export
+    /// surface for the Prometheus text format
+    /// ([`MetricsRegistry::to_prometheus`]) and the JSON snapshot
+    /// ([`MetricsRegistry::to_json`]). Metric names and label sets are
+    /// stable and golden-tested:
+    ///
+    /// * per shard (`{shard=…}`): `acep_events_total`,
+    ///   `acep_batches_total`, `acep_keys`, `acep_engines_live`,
+    ///   `acep_generations_live`, `acep_partials_live`,
+    ///   `acep_late_dropped_total`, `acep_late_routed_total`,
+    ///   `acep_reorder_depth`, `acep_reorder_depth_max`,
+    ///   `acep_reorder_overflow_total`, `acep_watermark_ms`,
+    ///   `acep_finalize_visits_total`, `acep_telemetry_dropped_total`
+    /// * per (shard, source): `acep_reorder_overflow_by_source_total`,
+    ///   `acep_source_watermark_ms`, `acep_source_idle`
+    /// * merged: `acep_emission_latency_ms` (histogram), and when
+    ///   profiling was sampled the `acep_batch_events`,
+    ///   `acep_profile_reorder_depth`, `acep_arena_live`,
+    ///   `acep_arena_nodes` and `acep_stage_{ingest,reorder,evaluate,
+    ///   finalize}_us` histograms
+    /// * per query (`{query=…}`): `acep_query_events_total`,
+    ///   `acep_query_matches_total`, `acep_query_engines`,
+    ///   `acep_key_migrations_total`, `acep_decision_evals_total`,
+    ///   `acep_reopt_triggers_total`, `acep_planner_invocations_total`,
+    ///   `acep_plan_replacements_total`, `acep_plan_epoch`,
+    ///   `acep_control_step_us` (histogram)
+    pub fn telemetry_snapshot(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for s in &self.shards {
+            let l = |v: &ShardStats| vec![("shard", v.shard.to_string())];
+            reg.counter(
+                "acep_events_total",
+                "Events routed to the shard",
+                l(s),
+                s.events,
+            );
+            reg.counter(
+                "acep_batches_total",
+                "Ingest batches processed",
+                l(s),
+                s.batches,
+            );
+            reg.gauge(
+                "acep_keys",
+                "Distinct partition keys hosting engines",
+                l(s),
+                s.keys as f64,
+            );
+            reg.gauge(
+                "acep_engines_live",
+                "Live keyed-engine instances",
+                l(s),
+                s.engines_live as f64,
+            );
+            reg.gauge(
+                "acep_generations_live",
+                "Live executor generations (excess over branches = pending retirements)",
+                l(s),
+                s.generations_live as f64,
+            );
+            reg.gauge(
+                "acep_partials_live",
+                "Stored partial matches",
+                l(s),
+                s.partials_live as f64,
+            );
+            reg.counter(
+                "acep_late_dropped_total",
+                "Late events dropped",
+                l(s),
+                s.late_dropped,
+            );
+            reg.counter(
+                "acep_late_routed_total",
+                "Late events routed to the sink's late channel",
+                l(s),
+                s.late_routed,
+            );
+            reg.gauge(
+                "acep_reorder_depth",
+                "Events held in the reorder buffer",
+                l(s),
+                s.reorder_depth as f64,
+            );
+            reg.gauge(
+                "acep_reorder_depth_max",
+                "High-water mark of the reorder buffer depth",
+                l(s),
+                s.max_reorder_depth as f64,
+            );
+            reg.counter(
+                "acep_reorder_overflow_total",
+                "Events force-released by the reorder capacity cap",
+                l(s),
+                s.reorder_overflow,
+            );
+            for &(source, n) in &s.reorder_overflow_by_source {
+                reg.counter(
+                    "acep_reorder_overflow_by_source_total",
+                    "Reorder capacity evictions attributed to the sending source",
+                    vec![
+                        ("shard", s.shard.to_string()),
+                        ("source", source.0.to_string()),
+                    ],
+                    n,
+                );
+            }
+            if let Some(wm) = s.watermark {
+                reg.gauge(
+                    "acep_watermark_ms",
+                    "Shard event-time watermark",
+                    l(s),
+                    wm as f64,
+                );
+            }
+            for sw in &s.source_watermarks {
+                let sl = || {
+                    vec![
+                        ("shard", s.shard.to_string()),
+                        ("source", sw.source.0.to_string()),
+                    ]
+                };
+                reg.gauge(
+                    "acep_source_watermark_ms",
+                    "Largest event timestamp ingested from the source",
+                    sl(),
+                    sw.max_seen as f64,
+                );
+                reg.gauge(
+                    "acep_source_idle",
+                    "Whether the source is idle (1) and excluded from the watermark",
+                    sl(),
+                    u64::from(sw.idle) as f64,
+                );
+            }
+            reg.counter(
+                "acep_finalize_visits_total",
+                "Engines visited by watermark finalization sweeps",
+                l(s),
+                s.finalize_visits,
+            );
+            reg.counter(
+                "acep_telemetry_dropped_total",
+                "Telemetry records dropped by ring overflow",
+                l(s),
+                s.telemetry_dropped,
+            );
+        }
+        reg.histogram(
+            "acep_emission_latency_ms",
+            "Emission latency of deadline-held matches (detected_at - deadline)",
+            vec![],
+            self.emission_latency(),
+        );
+        for q in 0..self.num_queries() {
+            let id = QueryId(q as u32);
+            let ql = || vec![("query", q.to_string())];
+            let qs = self.query(id);
+            let a = self.adaptation(id);
+            reg.counter(
+                "acep_query_events_total",
+                "Events routed into the query's engines",
+                ql(),
+                qs.events,
+            );
+            reg.counter(
+                "acep_query_matches_total",
+                "Matches emitted by the query",
+                ql(),
+                qs.matches,
+            );
+            reg.gauge(
+                "acep_query_engines",
+                "Live engine instances of the query",
+                ql(),
+                qs.engines as f64,
+            );
+            reg.counter(
+                "acep_key_migrations_total",
+                "Lazy per-key plan migrations (replace_epoch splices)",
+                ql(),
+                self.key_migrations(id),
+            );
+            reg.counter(
+                "acep_decision_evals_total",
+                "Decision-function evaluations",
+                ql(),
+                a.decision_evals,
+            );
+            reg.counter(
+                "acep_reopt_triggers_total",
+                "Times the decision function fired",
+                ql(),
+                a.reopt_triggers,
+            );
+            reg.counter(
+                "acep_planner_invocations_total",
+                "Re-planning invocations",
+                ql(),
+                a.planner_invocations,
+            );
+            reg.counter(
+                "acep_plan_replacements_total",
+                "Plans actually replaced",
+                ql(),
+                a.plan_replacements,
+            );
+            reg.gauge(
+                "acep_plan_epoch",
+                "Total plan deployments summed across the query's controllers",
+                ql(),
+                a.plan_epoch as f64,
+            );
+            reg.histogram(
+                "acep_control_step_us",
+                "Whole-control-step wall time (snapshot + decision + planning)",
+                ql(),
+                a.control_step_us.clone(),
+            );
+        }
+        if let Some(p) = self.profile() {
+            reg.histogram(
+                "acep_batch_events",
+                "Events per sampled batch",
+                vec![],
+                p.batch_events,
+            );
+            reg.histogram(
+                "acep_profile_reorder_depth",
+                "Reorder depth after each sampled batch",
+                vec![],
+                p.reorder_depth,
+            );
+            reg.histogram(
+                "acep_arena_live",
+                "Live partial matches at sample time",
+                vec![],
+                p.arena_live,
+            );
+            reg.histogram(
+                "acep_arena_nodes",
+                "Allocated arena binding nodes at sample time",
+                vec![],
+                p.arena_nodes,
+            );
+            reg.histogram(
+                "acep_stage_ingest_us",
+                "Ingest span per sampled batch",
+                vec![],
+                p.stage_ingest_us,
+            );
+            reg.histogram(
+                "acep_stage_reorder_us",
+                "Reorder span per sampled batch",
+                vec![],
+                p.stage_reorder_us,
+            );
+            reg.histogram(
+                "acep_stage_evaluate_us",
+                "Evaluate span per sampled batch",
+                vec![],
+                p.stage_evaluate_us,
+            );
+            reg.histogram(
+                "acep_stage_finalize_us",
+                "Finalize span per sampled batch",
+                vec![],
+                p.stage_finalize_us,
+            );
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn latency(samples: &[Timestamp]) -> LatencyStats {
-        let mut l = LatencyStats::default();
+    fn latency(samples: &[Timestamp]) -> Histogram {
+        let mut l = Histogram::new();
         for &s in samples {
             l.record(s);
         }
@@ -312,9 +686,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn runtime_rollups_sum_across_shards() {
-        let stats = RuntimeStats {
+    fn sample_stats() -> RuntimeStats {
+        RuntimeStats {
             shards: vec![
                 ShardStats {
                     shard: 0,
@@ -329,11 +702,25 @@ mod tests {
                     reorder_depth: 2,
                     max_reorder_depth: 8,
                     reorder_overflow: 2,
+                    reorder_overflow_by_source: vec![(SourceId(1), 2)],
                     watermark: Some(900),
+                    source_watermarks: vec![SourceWatermark {
+                        source: SourceId(1),
+                        max_seen: 950,
+                        idle: false,
+                    }],
+                    phantom_anchor: Some(10),
+                    phantom_active: false,
                     finalize_visits: 3,
                     emission_latency: latency(&[5, 9]),
                     per_query: vec![query_stats(5), query_stats(2)],
                     adaptation: vec![adaptation(1, 2), adaptation(0, 1)],
+                    key_migrations: vec![3, 0],
+                    telemetry_dropped: 1,
+                    profile: Some(Box::new(ShardProfile {
+                        batch_events: latency(&[50]),
+                        ..ShardProfile::default()
+                    })),
                 },
                 ShardStats {
                     shard: 1,
@@ -348,14 +735,29 @@ mod tests {
                     reorder_depth: 3,
                     max_reorder_depth: 3,
                     reorder_overflow: 1,
+                    reorder_overflow_by_source: vec![(SourceId(0), 1), (SourceId(1), 0)],
                     watermark: Some(880),
+                    source_watermarks: Vec::new(),
+                    phantom_anchor: Some(12),
+                    phantom_active: true,
                     finalize_visits: 1,
                     emission_latency: latency(&[1]),
                     per_query: vec![query_stats(1), query_stats(4)],
                     adaptation: vec![adaptation(0, 1), adaptation(2, 3)],
+                    key_migrations: vec![1, 2],
+                    telemetry_dropped: 0,
+                    profile: Some(Box::new(ShardProfile {
+                        batch_events: latency(&[60]),
+                        ..ShardProfile::default()
+                    })),
                 },
             ],
-        };
+        }
+    }
+
+    #[test]
+    fn runtime_rollups_sum_across_shards() {
+        let stats = sample_stats();
         assert_eq!(stats.total_events(), 160);
         assert_eq!(stats.total_matches(), 12);
         assert_eq!(stats.total_keys(), 5);
@@ -366,10 +768,21 @@ mod tests {
         assert_eq!(stats.total_late_routed(), 1);
         assert_eq!(stats.total_reorder_depth(), 5);
         assert_eq!(stats.total_reorder_overflow(), 3);
+        assert_eq!(
+            stats.total_reorder_overflow_by_source(),
+            vec![(SourceId(0), 1), (SourceId(1), 2)]
+        );
         assert_eq!(stats.total_finalize_visits(), 4);
+        assert_eq!(stats.total_key_migrations(), 6);
+        assert_eq!(stats.key_migrations(QueryId(0)), 4);
+        assert_eq!(stats.key_migrations(QueryId(1)), 2);
+        assert_eq!(stats.total_telemetry_dropped(), 1);
         let lat = stats.emission_latency();
         assert_eq!((lat.count, lat.min, lat.max), (3, 1, 9));
         assert!((lat.mean().unwrap() - 5.0).abs() < 1e-9);
+        let prof = stats.profile().expect("both shards profiled");
+        assert_eq!(prof.batch_events.count, 2);
+        assert_eq!((prof.batch_events.min, prof.batch_events.max), (50, 60));
         let q0 = stats.query(QueryId(0));
         assert_eq!(q0.matches, 6);
         assert_eq!(q0.engines, 2);
@@ -385,20 +798,56 @@ mod tests {
     }
 
     #[test]
-    fn latency_stats_record_and_merge() {
-        let mut a = latency(&[10, 2]);
-        assert_eq!((a.count, a.min, a.max), (2, 2, 10));
-        assert!((a.mean().unwrap() - 6.0).abs() < 1e-9);
-        // Merging an empty aggregate is a no-op; merging into an empty
-        // one copies.
-        let empty = LatencyStats::default();
-        assert!(empty.mean().is_none());
-        a.merge(&empty);
-        assert_eq!(a.count, 2);
-        let mut b = LatencyStats::default();
-        b.merge(&a);
-        assert_eq!(b, a);
-        b.merge(&latency(&[100]));
-        assert_eq!((b.count, b.min, b.max), (3, 2, 100));
+    fn profile_is_none_when_no_shard_sampled() {
+        let mut stats = sample_stats();
+        for s in &mut stats.shards {
+            s.profile = None;
+        }
+        assert!(stats.profile().is_none());
+    }
+
+    #[test]
+    fn telemetry_snapshot_uses_the_stable_metric_names() {
+        let stats = sample_stats();
+        let reg = stats.telemetry_snapshot();
+        let text = reg.to_prometheus();
+        for name in [
+            "acep_events_total{shard=\"0\"} 100",
+            "acep_events_total{shard=\"1\"} 60",
+            "acep_batches_total{shard=\"0\"} 2",
+            "acep_keys{shard=\"0\"} 3",
+            "acep_engines_live{shard=\"1\"} 4",
+            "acep_generations_live{shard=\"0\"} 7",
+            "acep_partials_live{shard=\"0\"} 40",
+            "acep_late_dropped_total{shard=\"0\"} 4",
+            "acep_late_routed_total{shard=\"0\"} 1",
+            "acep_reorder_depth{shard=\"1\"} 3",
+            "acep_reorder_depth_max{shard=\"0\"} 8",
+            "acep_reorder_overflow_total{shard=\"0\"} 2",
+            "acep_reorder_overflow_by_source_total{shard=\"0\",source=\"1\"} 2",
+            "acep_watermark_ms{shard=\"0\"} 900",
+            "acep_source_watermark_ms{shard=\"0\",source=\"1\"} 950",
+            "acep_source_idle{shard=\"0\",source=\"1\"} 0",
+            "acep_finalize_visits_total{shard=\"0\"} 3",
+            "acep_telemetry_dropped_total{shard=\"0\"} 1",
+            "acep_emission_latency_ms_count 3",
+            "acep_query_events_total{query=\"0\"} 60",
+            "acep_query_matches_total{query=\"0\"} 6",
+            "acep_query_engines{query=\"1\"} 2",
+            "acep_key_migrations_total{query=\"0\"} 4",
+            "acep_decision_evals_total{query=\"0\"} 8",
+            "acep_reopt_triggers_total{query=\"0\"} 4",
+            "acep_planner_invocations_total{query=\"0\"} 4",
+            "acep_plan_replacements_total{query=\"1\"} 2",
+            "acep_plan_epoch{query=\"0\"} 3",
+            "acep_control_step_us_count{query=\"0\"} 0",
+            "acep_batch_events_count 2",
+        ] {
+            assert!(text.contains(name), "missing {name:?} in:\n{text}");
+        }
+        // JSON carries the same samples under the versioned schema.
+        let json = reg.to_json();
+        assert!(json.starts_with("{\"schema\":\"acep-telemetry-v1\""));
+        assert!(json.contains("\"name\":\"acep_emission_latency_ms\""));
     }
 }

@@ -1,0 +1,341 @@
+//! The adaptation audit trail.
+//!
+//! An [`AuditLog`] folds a drained stream of `(shard, TelemetryEvent)`
+//! records into per-(shard, query) [`QueryTrajectory`]s: the ordered
+//! [`PlanTransition`]s the controller deployed, each carrying its
+//! *evidence* — the statistics-snapshot hash the decision saw, the
+//! before/after cost estimates, the rendered plan — plus the per-key
+//! migration burst the deployment rippled into. This is the "why did
+//! it adapt" answer the raw counters in `AdaptationStats` cannot give.
+//!
+//! Attribution: a `KeyMigration` record carries the controller's total
+//! plan epoch the engine converged to; it is attributed to the newest
+//! transition at or below that epoch. An engine catching up across
+//! several missed deployments in one event is attributed wholly to the
+//! newest one (lazy migration skips intermediate epochs, so that is
+//! also what the engine actually built).
+
+use std::sync::Arc;
+
+use crate::event::{ReplanOutcome, TelemetryEvent};
+use crate::hist::Histogram;
+
+/// One deployed plan change, with the evidence that triggered it.
+#[derive(Debug, Clone)]
+pub struct PlanTransition {
+    /// Pattern branch within the query.
+    pub branch: u32,
+    /// The branch's epoch after this deployment.
+    pub epoch: u64,
+    /// The controller's total epoch after this deployment (what
+    /// migrating engines converge to).
+    pub plan_epoch: u64,
+    /// Controller event count when the deployment happened.
+    pub at_event: u64,
+    /// Hash of the statistics snapshot that justified it.
+    pub snapshot_hash: u64,
+    /// Incumbent plan's cost under that snapshot.
+    pub cost_before: f64,
+    /// Deployed plan's cost under that snapshot.
+    pub cost_after: f64,
+    /// Debug rendering of the deployed plan.
+    pub plan: Arc<str>,
+    /// Per-key `replace_epoch` calls attributed to this deployment.
+    pub migrations: u64,
+}
+
+/// The reconstructed adaptation history of one (shard, query).
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrajectory {
+    /// Shard hosting the controller.
+    pub shard: usize,
+    /// The query.
+    pub query: u32,
+    /// Control steps the controller ran.
+    pub control_steps: u64,
+    /// Re-plan decisions (`D` fired, planner ran), including rejected
+    /// candidates.
+    pub replans: u64,
+    /// Re-plan decisions whose candidate was rejected as worse.
+    pub rejected: u64,
+    /// Deployments, in order.
+    pub transitions: Vec<PlanTransition>,
+    /// Generations retired (idle sweep + migration completions).
+    pub retirements: u64,
+    /// Per-key `replace_epoch` calls observed for this query.
+    pub migrations: u64,
+    /// Migrations that predate every recorded transition (possible
+    /// when the ring dropped the deployment record).
+    pub unattributed_migrations: u64,
+}
+
+/// Audit log over a full telemetry capture: folds drained
+/// `(shard, TelemetryEvent)` records into per-(shard, query)
+/// [`QueryTrajectory`]s plus the cross-query eviction/stall counters.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    trajectories: Vec<QueryTrajectory>,
+    evictions: u64,
+    stalls: u64,
+}
+
+impl AuditLog {
+    /// Folds drained records (in drain order per shard) into
+    /// trajectories.
+    pub fn from_events(events: &[(usize, TelemetryEvent)]) -> Self {
+        let mut log = AuditLog::default();
+        for (shard, ev) in events {
+            match ev {
+                TelemetryEvent::ControlStep { query, .. } => {
+                    log.entry(*shard, *query).control_steps += 1;
+                }
+                TelemetryEvent::Replan { query, outcome, .. } => {
+                    let t = log.entry(*shard, *query);
+                    t.replans += 1;
+                    if *outcome == ReplanOutcome::Rejected {
+                        t.rejected += 1;
+                    }
+                }
+                TelemetryEvent::Deployment {
+                    query,
+                    branch,
+                    at_event,
+                    epoch,
+                    plan_epoch,
+                    snapshot_hash,
+                    cost_before,
+                    cost_after,
+                    plan,
+                } => {
+                    log.entry(*shard, *query).transitions.push(PlanTransition {
+                        branch: *branch,
+                        epoch: *epoch,
+                        plan_epoch: *plan_epoch,
+                        at_event: *at_event,
+                        snapshot_hash: *snapshot_hash,
+                        cost_before: *cost_before,
+                        cost_after: *cost_after,
+                        plan: Arc::clone(plan),
+                        migrations: 0,
+                    });
+                }
+                TelemetryEvent::KeyMigration {
+                    query,
+                    replaced,
+                    plan_epoch,
+                    ..
+                } => {
+                    let t = log.entry(*shard, *query);
+                    t.migrations += *replaced as u64;
+                    match t
+                        .transitions
+                        .iter_mut()
+                        .rev()
+                        .find(|tr| tr.plan_epoch <= *plan_epoch)
+                    {
+                        Some(tr) => tr.migrations += *replaced as u64,
+                        None => t.unattributed_migrations += *replaced as u64,
+                    }
+                }
+                TelemetryEvent::GenerationRetirement { query, retired, .. } => {
+                    log.entry(*shard, *query).retirements += *retired as u64;
+                }
+                TelemetryEvent::ReorderEviction { .. } => log.evictions += 1,
+                TelemetryEvent::WatermarkStall { .. } => log.stalls += 1,
+            }
+        }
+        log
+    }
+
+    fn entry(&mut self, shard: usize, query: u32) -> &mut QueryTrajectory {
+        if let Some(i) = self
+            .trajectories
+            .iter()
+            .position(|t| t.shard == shard && t.query == query)
+        {
+            return &mut self.trajectories[i];
+        }
+        self.trajectories.push(QueryTrajectory {
+            shard,
+            query,
+            ..QueryTrajectory::default()
+        });
+        self.trajectories.sort_by_key(|t| (t.shard, t.query));
+        let i = self
+            .trajectories
+            .iter()
+            .position(|t| t.shard == shard && t.query == query)
+            .expect("just inserted");
+        &mut self.trajectories[i]
+    }
+
+    /// All trajectories, sorted by `(shard, query)`.
+    pub fn trajectories(&self) -> &[QueryTrajectory] {
+        &self.trajectories
+    }
+
+    /// The trajectory of one (shard, query), if it ever adapted or
+    /// stepped.
+    pub fn trajectory(&self, shard: usize, query: u32) -> Option<&QueryTrajectory> {
+        self.trajectories
+            .iter()
+            .find(|t| t.shard == shard && t.query == query)
+    }
+
+    /// Total per-key `replace_epoch` calls across every trajectory.
+    pub fn total_migrations(&self) -> u64 {
+        self.trajectories.iter().map(|t| t.migrations).sum()
+    }
+
+    /// Histogram of migration-burst sizes: one sample per recorded
+    /// deployment (how many per-key `replace_epoch` calls it rippled
+    /// into — including zero for deployments no live key ever caught
+    /// up with), plus one sample per trajectory with unattributed
+    /// migrations. Its `sum` equals
+    /// [`total_migrations`](Self::total_migrations).
+    pub fn migration_bursts(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for t in &self.trajectories {
+            for tr in &t.transitions {
+                h.record(tr.migrations);
+            }
+            if t.unattributed_migrations > 0 {
+                h.record(t.unattributed_migrations);
+            }
+        }
+        h
+    }
+
+    /// Reorder-buffer capacity evictions recorded.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Watermark-stall records.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment(query: u32, plan_epoch: u64, at_event: u64) -> TelemetryEvent {
+        TelemetryEvent::Deployment {
+            query,
+            branch: 0,
+            at_event,
+            epoch: plan_epoch,
+            plan_epoch,
+            snapshot_hash: 0xABC + plan_epoch,
+            cost_before: 10.0,
+            cost_after: 4.0,
+            plan: Arc::from(format!("plan-{plan_epoch}")),
+        }
+    }
+
+    fn migration(query: u32, key: u64, replaced: u32, plan_epoch: u64) -> TelemetryEvent {
+        TelemetryEvent::KeyMigration {
+            query,
+            key,
+            replaced,
+            plan_epoch,
+        }
+    }
+
+    #[test]
+    fn reconstructs_trajectory_and_attributes_migrations() {
+        let events = vec![
+            (
+                0usize,
+                TelemetryEvent::ControlStep {
+                    query: 0,
+                    at_event: 64,
+                    now: 640,
+                    duration_us: 12,
+                },
+            ),
+            (0, deployment(0, 1, 64)),
+            (0, migration(0, 1, 1, 1)),
+            (0, migration(0, 2, 1, 1)),
+            (0, deployment(0, 2, 128)),
+            (0, migration(0, 1, 1, 2)),
+            // A different shard's controller: separate trajectory.
+            (1, deployment(0, 1, 64)),
+            (1, migration(0, 9, 2, 1)),
+        ];
+        let log = AuditLog::from_events(&events);
+        assert_eq!(log.trajectories().len(), 2);
+        let t0 = log.trajectory(0, 0).unwrap();
+        assert_eq!(t0.control_steps, 1);
+        assert_eq!(t0.transitions.len(), 2);
+        assert_eq!(t0.transitions[0].migrations, 2);
+        assert_eq!(t0.transitions[1].migrations, 1);
+        assert_eq!(t0.migrations, 3);
+        assert_eq!(&*t0.transitions[1].plan, "plan-2");
+        assert_eq!(log.trajectory(1, 0).unwrap().migrations, 2);
+        assert!(log.trajectory(2, 0).is_none());
+        assert_eq!(log.total_migrations(), 5);
+        let bursts = log.migration_bursts();
+        assert_eq!(bursts.count, 3, "one sample per deployment");
+        assert_eq!(bursts.sum, 5, "burst sum = total replace_epoch calls");
+    }
+
+    #[test]
+    fn migrations_without_a_transition_are_unattributed() {
+        let events = vec![(0usize, migration(3, 7, 2, 1))];
+        let log = AuditLog::from_events(&events);
+        let t = log.trajectory(0, 3).unwrap();
+        assert_eq!(t.unattributed_migrations, 2);
+        assert_eq!(log.total_migrations(), 2);
+        assert_eq!(log.migration_bursts().sum, 2);
+    }
+
+    #[test]
+    fn counts_replans_stalls_and_evictions() {
+        let events = vec![
+            (
+                0usize,
+                TelemetryEvent::Replan {
+                    query: 1,
+                    branch: 0,
+                    at_event: 96,
+                    snapshot_hash: 1,
+                    cost_current: 5.0,
+                    cost_candidate: 9.0,
+                    outcome: ReplanOutcome::Rejected,
+                },
+            ),
+            (
+                0,
+                TelemetryEvent::ReorderEviction {
+                    source: acep_types::SourceId(2),
+                    timestamp: 100,
+                    watermark: 101,
+                },
+            ),
+            (
+                0,
+                TelemetryEvent::WatermarkStall {
+                    watermark: 50,
+                    depth: 12,
+                    blocking: Some(acep_types::SourceId(1)),
+                },
+            ),
+            (
+                0,
+                TelemetryEvent::GenerationRetirement {
+                    query: 1,
+                    key: 4,
+                    retired: 3,
+                },
+            ),
+        ];
+        let log = AuditLog::from_events(&events);
+        let t = log.trajectory(0, 1).unwrap();
+        assert_eq!((t.replans, t.rejected, t.retirements), (1, 1, 3));
+        assert_eq!(log.evictions(), 1);
+        assert_eq!(log.stalls(), 1);
+    }
+}

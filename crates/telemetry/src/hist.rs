@@ -1,0 +1,258 @@
+//! Log₂-bucketed histograms.
+//!
+//! A [`Histogram`] records unsigned samples into 65 power-of-two
+//! buckets (bucket *k* holds values whose bit length is *k*, i.e.
+//! `2^(k-1) ≤ v < 2^k`; bucket 0 holds the value 0). Recording is a
+//! handful of integer ops and never allocates, so the histogram is
+//! cheap enough to live on hot paths; quantiles come back with
+//! power-of-two resolution, which is exactly the fidelity latency
+//! dashboards need (p99 = "somewhere in [512, 1024)") without the
+//! memory or merge cost of exact reservoirs.
+//!
+//! Histograms are plain values: [`merge`](Histogram::merge) them across
+//! shards, compare them with `==` in tests, and snapshot them by
+//! `clone`.
+
+/// Number of buckets: one per possible bit length of a `u64`, plus the
+/// zero bucket.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A mergeable log₂-bucketed histogram of `u64` samples with exact
+/// count/min/max/sum and approximate (power-of-two resolution)
+/// quantiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Sum of samples (for [`mean`](Self::mean)).
+    pub sum: u128,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    // Manual: `Default` is not derivable for arrays longer than 32.
+    fn default() -> Self {
+        Self {
+            count: 0,
+            min: 0,
+            max: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+/// The bucket index of a value: its bit length (0 for 0).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The exclusive upper bound of bucket `k` (`2^k`), saturated at
+/// `u64::MAX` for the top bucket.
+#[inline]
+pub fn bucket_bound(k: usize) -> u64 {
+    if k >= 64 {
+        u64::MAX
+    } else {
+        1u64 << k
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value as u128;
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Merges another histogram (e.g. the same metric from another
+    /// shard).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += *o;
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The quantile `q ∈ [0, 1]` with power-of-two resolution: the
+    /// smallest bucket upper bound whose cumulative count reaches
+    /// `q * count`, clamped into `[min, max]` so degenerate
+    /// distributions answer exactly. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Upper bound of the bucket, exclusive → inclusive
+                // (the zero bucket's inclusive bound is 0; the top
+                // bucket's saturates and the clamp restores `max`).
+                return Some(bucket_bound(k).saturating_sub(1).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (power-of-two resolution).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (power-of-two resolution).
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (power-of-two resolution).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Raw bucket counts (`buckets[k]` = samples with bit length `k`).
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Cumulative count of samples `< 2^k` — the Prometheus `le`
+    /// semantics of bucket `k`.
+    pub fn cumulative(&self, k: usize) -> u64 {
+        self.buckets.iter().take(k + 1).sum()
+    }
+
+    /// The occupied bucket range `(lowest, highest)` (`None` when
+    /// empty) — exporters only print this span.
+    pub fn occupied(&self) -> Option<(usize, usize)> {
+        if self.count == 0 {
+            return None;
+        }
+        Some((bucket_of(self.min), bucket_of(self.max)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(samples: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    #[test]
+    fn bucket_boundaries_follow_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 1);
+        assert_eq!(bucket_bound(10), 1024);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_exact_aggregates() {
+        let h = hist(&[10, 2, 700]);
+        assert_eq!((h.count, h.min, h.max, h.sum), (3, 2, 700, 712));
+        assert!((h.mean().unwrap() - 712.0 / 3.0).abs() < 1e-9);
+        assert!(!h.is_empty());
+        assert!(Histogram::new().is_empty());
+        assert!(Histogram::new().mean().is_none());
+        assert!(Histogram::new().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn quantiles_have_power_of_two_resolution() {
+        // 100 samples: 1..=100. p50 falls in bucket of 50 (bit length
+        // 6, bound 63); p99 in bucket of 99 (bit length 7, bound 127 →
+        // clamped to max 100).
+        let h = hist(&(1..=100u64).collect::<Vec<_>>());
+        assert_eq!(h.p50(), Some(63));
+        assert_eq!(h.p90(), Some(100));
+        assert_eq!(h.p99(), Some(100));
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(100));
+        // A single sample answers itself at every quantile.
+        let one = hist(&[42]);
+        assert_eq!(one.p50(), Some(42));
+        assert_eq!(one.p99(), Some(42));
+        // Zeroes land in the zero bucket.
+        let z = hist(&[0, 0, 0, 8]);
+        assert_eq!(z.p50(), Some(0));
+        assert_eq!(z.quantile(1.0), Some(8));
+    }
+
+    #[test]
+    fn merge_matches_recording_the_union() {
+        let mut a = hist(&[1, 5, 9000]);
+        let b = hist(&[0, 77]);
+        a.merge(&b);
+        assert_eq!(a, hist(&[1, 5, 9000, 0, 77]));
+        // Merging empty is a no-op; merging into empty copies.
+        let mut e = Histogram::new();
+        e.merge(&a);
+        assert_eq!(e, a);
+        a.merge(&Histogram::new());
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn cumulative_counts_are_prometheus_le() {
+        let h = hist(&[0, 1, 3, 700]);
+        assert_eq!(h.cumulative(0), 1, "v < 1");
+        assert_eq!(h.cumulative(1), 2, "v < 2");
+        assert_eq!(h.cumulative(2), 3, "v < 4");
+        assert_eq!(h.cumulative(9), 3, "v < 512");
+        assert_eq!(h.cumulative(10), 4, "v < 1024");
+        assert_eq!(h.occupied(), Some((0, 10)));
+    }
+}

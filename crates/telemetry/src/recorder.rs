@@ -1,0 +1,156 @@
+//! Producer-side handles over the event ring.
+//!
+//! Hot paths hold a [`ShardRecorder`] (or nothing) and call
+//! [`record`](ShardRecorder::record); the recorder forwards to its
+//! shard's [`EventRing`] and never blocks. [`NoopRecorder`] is the
+//! compile-time-disabled shape: a zero-sized type whose `record` is an
+//! empty inline function, so instrumentation behind it folds away
+//! entirely.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::event::TelemetryEvent;
+use crate::ring::EventRing;
+
+/// The minimal surface instrumented code needs from a recorder, so
+/// call sites can be generic over "really recording"
+/// ([`ShardRecorder`]) vs "compiled out" ([`NoopRecorder`]).
+pub trait Record {
+    /// Submits one record (may be dropped with accounting; never
+    /// blocks).
+    fn record(&self, ev: TelemetryEvent);
+
+    /// Whether records go anywhere — lets call sites skip building
+    /// expensive payloads (plan renderings, hashes) up front.
+    fn enabled(&self) -> bool;
+}
+
+/// Producer handle of one shard's [`EventRing`].
+///
+/// `Send + !Sync`: the handle (and every clone of it) is meant to live
+/// on the owning worker thread, which upholds the ring's
+/// single-producer contract. Cloning is cheap (an `Arc` bump) so a
+/// worker can hand one to each of its controllers.
+#[derive(Debug, Clone)]
+pub struct ShardRecorder {
+    ring: Arc<EventRing>,
+    /// `Cell` is `!Sync`: keeps the recorder off shared references
+    /// across threads without a runtime cost.
+    _single_thread: PhantomData<Cell<()>>,
+}
+
+impl ShardRecorder {
+    /// Wraps a ring's producer side.
+    pub fn new(ring: Arc<EventRing>) -> Self {
+        Self {
+            ring,
+            _single_thread: PhantomData,
+        }
+    }
+
+    /// Records dropped by the underlying ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+impl Record for ShardRecorder {
+    #[inline]
+    fn record(&self, ev: TelemetryEvent) {
+        let _ = self.ring.push(ev);
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The disabled recorder: a ZST whose methods compile to nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Record for NoopRecorder {
+    #[inline(always)]
+    fn record(&self, _ev: TelemetryEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// `Option<R>`: absent = disabled, present = forward. This is the
+/// runtime-toggle shape (`Option<ShardRecorder>`) used by the stream
+/// workers.
+impl<R: Record> Record for Option<R> {
+    #[inline]
+    fn record(&self, ev: TelemetryEvent) {
+        if let Some(r) = self {
+            r.record(ev);
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.as_ref().is_some_and(Record::enabled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+
+    #[test]
+    fn recorder_is_send_and_forwards() {
+        assert_send::<ShardRecorder>();
+        let ring = Arc::new(EventRing::new(4));
+        let rec = ShardRecorder::new(Arc::clone(&ring));
+        let rec2 = rec.clone();
+        assert!(rec.enabled());
+        rec.record(TelemetryEvent::ControlStep {
+            query: 1,
+            at_event: 10,
+            now: 5,
+            duration_us: 2,
+        });
+        rec2.record(TelemetryEvent::GenerationRetirement {
+            query: 0,
+            key: 7,
+            retired: 2,
+        });
+        assert_eq!(ring.len(), 2);
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn noop_and_option_shapes() {
+        let noop = NoopRecorder;
+        assert!(!noop.enabled());
+        noop.record(TelemetryEvent::WatermarkStall {
+            watermark: 0,
+            depth: 1,
+            blocking: None,
+        });
+        let none: Option<ShardRecorder> = None;
+        assert!(!none.enabled());
+        none.record(TelemetryEvent::WatermarkStall {
+            watermark: 0,
+            depth: 1,
+            blocking: None,
+        });
+        let ring = Arc::new(EventRing::new(4));
+        let some = Some(ShardRecorder::new(Arc::clone(&ring)));
+        assert!(some.enabled());
+        some.record(TelemetryEvent::WatermarkStall {
+            watermark: 3,
+            depth: 9,
+            blocking: None,
+        });
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Metrics registry and the Prometheus / JSON exporters.
+//!
+//! A [`MetricsRegistry`] is a *snapshot*, not a live store: the runtime
+//! builds one on demand from its own counters (see
+//! `RuntimeStats::telemetry_snapshot` in `acep-stream`), so there is no
+//! shared-memory registry on the hot path and nothing to synchronize.
+//! Metric names and label sets are part of the public contract —
+//! golden-tested, so dashboards can rely on them.
+//!
+//! Export formats:
+//! * [`to_prometheus`](MetricsRegistry::to_prometheus) — the Prometheus
+//!   text exposition format (`# HELP`/`# TYPE` headers, histograms as
+//!   cumulative `_bucket{le="2^k"}` series plus `_sum`/`_count`).
+//! * [`to_json`](MetricsRegistry::to_json) — a self-describing JSON
+//!   snapshot (schema `acep-telemetry-v1`) with exact aggregates and
+//!   the p50/p90/p99 the log-bucketed histogram resolves.
+
+use crate::hist::{bucket_bound, Histogram};
+
+/// The value of one metric sample.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone count.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(f64),
+    /// Log₂-bucketed distribution. Boxed: a [`Histogram`] is two
+    /// orders of magnitude larger than the scalar variants, and
+    /// registries hold mostly scalars.
+    Histogram(Box<Histogram>),
+}
+
+/// One metric sample: name + help + label set + value.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name (Prometheus conventions: `snake_case`, unit
+    /// suffixed).
+    pub name: &'static str,
+    /// One-line description (the `# HELP` text).
+    pub help: &'static str,
+    /// Label pairs, in emission order.
+    pub labels: Vec<(&'static str, String)>,
+    /// The sample itself.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metric samples. Samples sharing a name
+/// (different label sets) are grouped under one header by the
+/// exporters; insertion order is preserved everywhere, so output is
+/// deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a counter sample.
+    pub fn counter(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: u64,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            help,
+            labels,
+            value: MetricValue::Counter(value),
+        });
+    }
+
+    /// Adds a gauge sample.
+    pub fn gauge(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: f64,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            help,
+            labels,
+            value: MetricValue::Gauge(value),
+        });
+    }
+
+    /// Adds a histogram sample.
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: Histogram,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            help,
+            labels,
+            value: MetricValue::Histogram(Box::new(value)),
+        });
+    }
+
+    /// The samples, in insertion order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders the Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut emitted: Vec<&'static str> = Vec::new();
+        for m in &self.metrics {
+            if emitted.contains(&m.name) {
+                continue;
+            }
+            emitted.push(m.name);
+            let kind = match &m.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", m.name, m.help));
+            out.push_str(&format!("# TYPE {} {}\n", m.name, kind));
+            for s in self.metrics.iter().filter(|s| s.name == m.name) {
+                render_prometheus_sample(&mut out, s);
+            }
+        }
+        out
+    }
+
+    /// Renders the JSON snapshot (schema `acep-telemetry-v1`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"acep-telemetry-v1\",\"metrics\":[");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            out.push_str(m.name);
+            out.push_str("\",\"labels\":{");
+            for (j, (k, v)) in m.labels.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":\"{}\"", k, json_escape(v)));
+            }
+            out.push_str("},");
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("\"type\":\"counter\",\"value\":{v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("\"type\":\"gauge\",\"value\":{}", json_num(*v)));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"type\":\"histogram\",\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\
+                         \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}",
+                        h.count,
+                        h.min,
+                        h.max,
+                        h.sum,
+                        h.mean().map_or("null".into(), json_num),
+                        opt_u64(h.p50()),
+                        opt_u64(h.p90()),
+                        opt_u64(h.p99()),
+                    ));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn render_prometheus_sample(out: &mut String, m: &Metric) {
+    match &m.value {
+        MetricValue::Counter(v) => {
+            out.push_str(&format!("{}{} {}\n", m.name, label_str(&m.labels), v));
+        }
+        MetricValue::Gauge(v) => {
+            out.push_str(&format!(
+                "{}{} {}\n",
+                m.name,
+                label_str(&m.labels),
+                prom_num(*v)
+            ));
+        }
+        MetricValue::Histogram(h) => {
+            if let Some((lo, hi)) = h.occupied() {
+                for k in lo..=hi {
+                    out.push_str(&format!(
+                        "{}_bucket{} {}\n",
+                        m.name,
+                        label_str_with(&m.labels, "le", &bucket_bound(k).to_string()),
+                        h.cumulative(k)
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "{}_bucket{} {}\n",
+                m.name,
+                label_str_with(&m.labels, "le", "+Inf"),
+                h.count
+            ));
+            out.push_str(&format!(
+                "{}_sum{} {}\n",
+                m.name,
+                label_str(&m.labels),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{}_count{} {}\n",
+                m.name,
+                label_str(&m.labels),
+                h.count
+            ));
+        }
+    }
+}
+
+fn label_str(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn label_str_with(labels: &[(&'static str, String)], key: &str, value: &str) -> String {
+    let mut inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    inner.push(format!("{key}=\"{value}\""));
+    format!("{{{}}}", inner.join(","))
+}
+
+/// Prometheus float rendering: integral values print without a
+/// fraction.
+fn prom_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// JSON-safe float rendering (`NaN`/infinite become `null`).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        prom_num(v)
+    } else {
+        "null".into()
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map_or("null".into(), |v| v.to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "acep_events_total",
+            "Events ingested",
+            vec![("shard", "0".into())],
+            120,
+        );
+        reg.counter(
+            "acep_events_total",
+            "Events ingested",
+            vec![("shard", "1".into())],
+            80,
+        );
+        reg.gauge(
+            "acep_reorder_depth",
+            "Events held in the reorder buffer",
+            vec![("shard", "0".into())],
+            3.0,
+        );
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 700] {
+            h.record(v);
+        }
+        reg.histogram(
+            "acep_emission_latency_ms",
+            "Watermark-driven emission latency",
+            vec![],
+            h,
+        );
+        reg
+    }
+
+    #[test]
+    fn prometheus_text_is_stable() {
+        let expected = "\
+# HELP acep_events_total Events ingested
+# TYPE acep_events_total counter
+acep_events_total{shard=\"0\"} 120
+acep_events_total{shard=\"1\"} 80
+# HELP acep_reorder_depth Events held in the reorder buffer
+# TYPE acep_reorder_depth gauge
+acep_reorder_depth{shard=\"0\"} 3
+# HELP acep_emission_latency_ms Watermark-driven emission latency
+# TYPE acep_emission_latency_ms histogram
+acep_emission_latency_ms_bucket{le=\"2\"} 1
+acep_emission_latency_ms_bucket{le=\"4\"} 3
+acep_emission_latency_ms_bucket{le=\"8\"} 3
+acep_emission_latency_ms_bucket{le=\"16\"} 3
+acep_emission_latency_ms_bucket{le=\"32\"} 3
+acep_emission_latency_ms_bucket{le=\"64\"} 3
+acep_emission_latency_ms_bucket{le=\"128\"} 3
+acep_emission_latency_ms_bucket{le=\"256\"} 3
+acep_emission_latency_ms_bucket{le=\"512\"} 3
+acep_emission_latency_ms_bucket{le=\"1024\"} 4
+acep_emission_latency_ms_bucket{le=\"+Inf\"} 4
+acep_emission_latency_ms_sum 706
+acep_emission_latency_ms_count 4
+";
+        assert_eq!(sample_registry().to_prometheus(), expected);
+    }
+
+    #[test]
+    fn json_snapshot_is_stable() {
+        let expected = "{\"schema\":\"acep-telemetry-v1\",\"metrics\":[\
+{\"name\":\"acep_events_total\",\"labels\":{\"shard\":\"0\"},\"type\":\"counter\",\"value\":120},\
+{\"name\":\"acep_events_total\",\"labels\":{\"shard\":\"1\"},\"type\":\"counter\",\"value\":80},\
+{\"name\":\"acep_reorder_depth\",\"labels\":{\"shard\":\"0\"},\"type\":\"gauge\",\"value\":3},\
+{\"name\":\"acep_emission_latency_ms\",\"labels\":{},\"type\":\"histogram\",\
+\"count\":4,\"min\":1,\"max\":700,\"sum\":706,\"mean\":176.5,\"p50\":3,\"p90\":700,\"p99\":700}]}";
+        assert_eq!(sample_registry().to_json(), expected);
+    }
+
+    #[test]
+    fn empty_histogram_exports_without_buckets() {
+        let mut reg = MetricsRegistry::new();
+        reg.histogram("acep_empty", "nothing", vec![], Histogram::new());
+        let text = reg.to_prometheus();
+        assert!(text.contains("acep_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("acep_empty_count 0\n"));
+        assert!(!text.contains("le=\"1\""));
+        assert!(reg.to_json().contains("\"mean\":null,\"p50\":null"));
+    }
+
+    #[test]
+    fn escaping_and_float_rendering() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(prom_num(2.0), "2");
+        assert_eq!(prom_num(2.5), "2.5");
+        assert_eq!(json_num(f64::NAN), "null");
+    }
+}

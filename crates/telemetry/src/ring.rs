@@ -1,0 +1,229 @@
+//! Lock-free single-producer/single-consumer event ring.
+//!
+//! One [`EventRing`] per shard carries [`TelemetryEvent`] records from
+//! the worker thread (producer) to the collector (consumer). The
+//! design optimizes the producer side — the shard's hot path — to a
+//! bounds check, one slot write and one `Release` store; when the ring
+//! is full the record is *dropped and counted*, never blocking the
+//! worker. Loss is therefore bounded and observable
+//! ([`dropped`](EventRing::dropped)), matching the crate's "telemetry
+//! must never change the system it observes" rule.
+//!
+//! # Safety discipline
+//!
+//! The ring is SPSC by contract, not by type: [`push`](EventRing::push)
+//! must only ever be called from one thread at a time, and
+//! [`pop`](EventRing::pop) from one thread at a time (a different one
+//! is fine). The safe wrappers uphold this — producers go through
+//! [`ShardRecorder`](crate::ShardRecorder) (`Send + !Sync`, all clones
+//! kept on the worker thread) and the stream collector serializes
+//! consumers behind a mutex.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::TelemetryEvent;
+
+/// A bounded SPSC ring of telemetry records with drop-on-full loss
+/// accounting: one producer (the shard's [`ShardRecorder`]) pushes,
+/// one consumer drains; a full ring drops the record and counts it
+/// rather than ever blocking the worker.
+///
+/// [`ShardRecorder`]: crate::ShardRecorder
+#[derive(Debug)]
+pub struct EventRing {
+    slots: Box<[UnsafeCell<Option<TelemetryEvent>>]>,
+    mask: usize,
+    /// Next slot the consumer reads (monotone, wraps via `mask`).
+    head: AtomicUsize,
+    /// Next slot the producer writes (monotone, wraps via `mask`).
+    tail: AtomicUsize,
+    /// Records dropped because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots are only touched through `push` (producer) and `pop`
+// (consumer); the head/tail protocol gives each slot index to exactly
+// one side at a time, with `Release`/`Acquire` pairs ordering the slot
+// write before its publication. Callers uphold the single-producer /
+// single-consumer contract (see module docs).
+unsafe impl Sync for EventRing {}
+
+impl EventRing {
+    /// Creates a ring holding at least `capacity` records (rounded up
+    /// to a power of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Vec<UnsafeCell<Option<TelemetryEvent>>> =
+            (0..cap).map(|_| UnsafeCell::new(None)).collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records currently queued (racy estimate — exact only when
+    /// producer or consumer is quiescent).
+    pub fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+
+    /// Whether nothing is queued (same caveat as [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: enqueues one record, or drops it (counting) when
+    /// the ring is full. Never blocks. Must only be called from one
+    /// thread at a time (see module docs).
+    pub fn push(&self, ev: TelemetryEvent) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        // SAFETY: `tail` is unpublished, so the consumer does not read
+        // this slot until the `Release` store below; no other producer
+        // exists (SPSC contract).
+        unsafe {
+            *self.slots[tail & self.mask].get() = Some(ev);
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: dequeues the oldest record, if any. Must only be
+    /// called from one thread at a time (see module docs).
+    pub fn pop(&self) -> Option<TelemetryEvent> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: `head < tail`, so the producer published this slot
+        // (Acquire above pairs with its Release) and will not touch it
+        // again until the `Release` store below frees it.
+        let ev = unsafe { (*self.slots[head & self.mask].get()).take() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        debug_assert!(ev.is_some(), "published slot holds a record");
+        ev
+    }
+
+    /// Drains everything currently queued into `out`, returning the
+    /// number of records moved (consumer side).
+    pub fn drain_into(&self, out: &mut Vec<TelemetryEvent>) -> usize {
+        let before = out.len();
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn step(q: u32, at: u64) -> TelemetryEvent {
+        TelemetryEvent::ControlStep {
+            query: q,
+            at_event: at,
+            now: 0,
+            duration_us: 1,
+        }
+    }
+
+    fn at_event(ev: &TelemetryEvent) -> u64 {
+        match ev {
+            TelemetryEvent::ControlStep { at_event, .. } => *at_event,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fifo_within_capacity() {
+        let ring = EventRing::new(4);
+        assert_eq!(ring.capacity(), 4);
+        assert!(ring.is_empty());
+        for i in 0..4 {
+            assert!(ring.push(step(0, i)));
+        }
+        assert_eq!(ring.len(), 4);
+        for i in 0..4 {
+            assert_eq!(at_event(&ring.pop().unwrap()), i);
+        }
+        assert!(ring.pop().is_none());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_and_counts_without_blocking() {
+        let ring = EventRing::new(2);
+        assert!(ring.push(step(0, 0)));
+        assert!(ring.push(step(0, 1)));
+        assert!(!ring.push(step(0, 2)), "full ring rejects");
+        assert!(!ring.push(step(0, 3)));
+        assert_eq!(ring.dropped(), 2);
+        // Consuming frees slots; pushes work again and FIFO held.
+        assert_eq!(at_event(&ring.pop().unwrap()), 0);
+        assert!(ring.push(step(0, 4)));
+        let mut out = Vec::new();
+        assert_eq!(ring.drain_into(&mut out), 2);
+        assert_eq!(
+            out.iter().map(at_event).collect::<Vec<_>>(),
+            vec![1, 4],
+            "dropped records leave no gap-fillers"
+        );
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::new(0).capacity(), 2);
+        assert_eq!(EventRing::new(3).capacity(), 4);
+        assert_eq!(EventRing::new(8).capacity(), 8);
+        assert_eq!(EventRing::new(1000).capacity(), 1024);
+    }
+
+    #[test]
+    fn cross_thread_producer_consumer() {
+        let ring = Arc::new(EventRing::new(64));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    while !ring.push(step(0, i)) {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let mut seen = 0u64;
+        while seen < 10_000 {
+            if let Some(ev) = ring.pop() {
+                assert_eq!(at_event(&ev), seen, "FIFO across threads");
+                seen += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+        assert!(ring.is_empty());
+    }
+}

@@ -1,0 +1,211 @@
+//! The telemetry plane end to end: a keyed stocks-style stream whose
+//! type skew flips mid-run, observed through the adaptation audit
+//! trail — every shard controller's reconstructed plan trajectory with
+//! the *evidence* per transition (statistics-snapshot hash, cost
+//! before/after, migration burst) — plus the metrics snapshot in both
+//! exposition formats.
+//!
+//! ```sh
+//! cargo run --release -p acep-examples --bin observability
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_plan::PlannerKind;
+use acep_stream::{
+    AttrKeyExtractor, CountingSink, DisorderConfig, PatternSet, ShardedRuntime, StreamConfig,
+    TelemetryConfig,
+};
+use acep_types::{Event, EventTypeId, Pattern, PatternExpr, Value};
+
+const KEYS: u64 = 64;
+const EVENTS_PER_KEY: usize = 400;
+/// Consecutive events of one key are `3 × KEYS` ms apart, so this
+/// window spans ~10 per-key events — enough for real joins.
+const WINDOW_MS: u64 = 2_000;
+
+/// Round-robin keyed stream over 3 types whose global skew (T0
+/// frequent / T2 rare) flips halfway through: the minimal stream that
+/// drives every shard controller through warmup, an initial
+/// optimization, and a mid-stream re-plan. The cycle modulus (53) is
+/// prime, so every key's subsequence sees all three types.
+fn skew_shift_stream() -> Vec<Arc<Event>> {
+    let total = KEYS as usize * EVENTS_PER_KEY;
+    let mut events = Vec::with_capacity(total);
+    let mut ts = 0u64;
+    for i in 0..total {
+        let key = i as u64 % KEYS;
+        ts += 3;
+        let phase2 = i >= total / 2;
+        let r = i % 53;
+        let tid = if r == 0 {
+            if phase2 {
+                0
+            } else {
+                2
+            }
+        } else if r % 5 == 0 {
+            1
+        } else if phase2 {
+            2
+        } else {
+            0
+        };
+        events.push(Event::new(
+            EventTypeId(tid),
+            ts,
+            i as u64,
+            vec![Value::Int(key as i64), Value::Int((i % 7) as i64 - 3)],
+        ));
+    }
+    events
+}
+
+fn main() {
+    let events = skew_shift_stream();
+    println!(
+        "workload: {} events, {KEYS} keys, T0/T2 skew flips at event {}\n",
+        events.len(),
+        events.len() / 2
+    );
+
+    let adaptive = AdaptiveConfig {
+        planner: PlannerKind::Greedy,
+        policy: PolicyKind::invariant_with_distance(0.1),
+        ..AdaptiveConfig::default()
+    };
+    let mut set = PatternSet::new(3);
+    set.register(
+        "stocks/seq3",
+        Pattern::sequence(
+            "seq3",
+            &[EventTypeId(0), EventTypeId(1), EventTypeId(2)],
+            WINDOW_MS,
+        ),
+        adaptive.clone(),
+    )
+    .expect("example pattern is valid");
+    // A trailing negation holds its matches until the deadline passes,
+    // so the emission-latency histogram below has a real distribution.
+    set.register(
+        "stocks/negt3",
+        Pattern::builder("negt3")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+                PatternExpr::neg(PatternExpr::prim(EventTypeId(2))),
+            ]))
+            .window(WINDOW_MS)
+            .build()
+            .expect("example negation pattern is valid"),
+        adaptive,
+    )
+    .expect("example negation pattern is valid");
+
+    let sink = Arc::new(CountingSink::new(set.len()));
+    let runtime = ShardedRuntime::new(
+        &set,
+        Arc::new(AttrKeyExtractor { attr: 0 }),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: 2,
+            disorder: DisorderConfig::in_order(),
+            // The whole point of this example: record adaptation
+            // events and sample per-stage spans every 16th batch.
+            telemetry: Some(TelemetryConfig::with_profiling(16)),
+            ..StreamConfig::default()
+        },
+    )
+    .expect("example runtime configuration is valid");
+
+    // Clone the hub handle before `finish` consumes the runtime, so
+    // the completed run can still be audited.
+    let hub = Arc::clone(runtime.telemetry().expect("telemetry is enabled"));
+
+    let start = Instant::now();
+    for chunk in events.chunks(1_024) {
+        runtime.push_batch(chunk);
+    }
+    let stats = runtime.finish();
+    let wall = start.elapsed();
+    println!(
+        "processed {:.0} events/s, {} matches, {} telemetry records dropped\n",
+        events.len() as f64 / wall.as_secs_f64(),
+        stats.total_matches(),
+        hub.dropped(),
+    );
+
+    // ── The adaptation audit trail ──────────────────────────────────
+    // Raw counters say *how often* the runtime adapted; the audit log
+    // reconstructs *what happened and why*: per (shard, query), the
+    // ordered plan transitions with the statistics snapshot that
+    // justified each one.
+    let audit = hub.audit();
+    for t in audit.trajectories() {
+        println!(
+            "shard {} query {}: {} control steps, {} re-plans ({} rejected), \
+             {} deployments, {} key migrations",
+            t.shard,
+            t.query,
+            t.control_steps,
+            t.replans,
+            t.rejected,
+            t.transitions.len(),
+            t.migrations,
+        );
+        for (i, tr) in t.transitions.iter().enumerate() {
+            println!(
+                "  #{i} at event {:>5}, branch {}: cost {:>7.1} -> {:>7.1} \
+                 (stats snapshot {:#018x})",
+                tr.at_event, tr.branch, tr.cost_before, tr.cost_after, tr.snapshot_hash,
+            );
+            println!("     deployed plan  {}", tr.plan);
+            println!("     migration burst {} keyed engines", tr.migrations);
+        }
+    }
+    let bursts = audit.migration_bursts();
+    if let (Some(p50), Some(p99)) = (bursts.quantile(0.5), bursts.quantile(0.99)) {
+        println!(
+            "\nmigration bursts: p50 {p50}, p99 {p99}, max {} keys",
+            bursts.max
+        );
+    }
+
+    // ── The metrics snapshot ────────────────────────────────────────
+    // The same stats feed two exporters: Prometheus text exposition
+    // and a versioned JSON schema (`acep-telemetry-v1`).
+    let lat = stats.emission_latency();
+    if let Some(p99) = lat.quantile(0.99) {
+        println!(
+            "emission latency of deadline-held matches: p50 {} ms, p99 {p99} ms",
+            lat.quantile(0.5).unwrap_or(0),
+        );
+    }
+    if let Some(profile) = stats.profile() {
+        println!(
+            "sampled stage spans (µs): evaluate p90 {:?}, finalize p90 {:?}",
+            profile.stage_evaluate_us.quantile(0.9),
+            profile.stage_finalize_us.quantile(0.9),
+        );
+    }
+    let reg = stats.telemetry_snapshot();
+    let prom = reg.to_prometheus();
+    println!(
+        "\nPrometheus exposition (first lines of {} total):",
+        prom.lines().count()
+    );
+    for line in prom.lines().take(8) {
+        println!("  {line}");
+    }
+    let json = reg.to_json();
+    println!(
+        "JSON snapshot: {} bytes, schema {}",
+        json.len(),
+        &json["{\"schema\":\"".len()..]
+            .split('"')
+            .next()
+            .unwrap_or("?"),
+    );
+}

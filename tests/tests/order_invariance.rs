@@ -102,6 +102,7 @@ fn run(
             channel_capacity: 4,
             max_batch: 512,
             disorder,
+            telemetry: None,
         },
     )
     .unwrap();
@@ -258,6 +259,7 @@ fn run_tagged(
             channel_capacity: 4,
             max_batch: 512,
             disorder,
+            telemetry: None,
         },
     )
     .unwrap();
