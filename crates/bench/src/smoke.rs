@@ -33,7 +33,20 @@
 //!   delivery. Exercises the shared adaptation plane (one controller
 //!   per shard × query, lazy epoch migration) and reports the per-key
 //!   memory proxy — live keyed engines plus stored partial-match nodes
-//!   — alongside throughput.
+//!   — alongside throughput;
+//! * `scale_iot_{any,next,strict}` — the adversarial IoT-fleet scenario
+//!   ([`acep_workloads::iot`]: 100k partition keys, Zipf traffic,
+//!   correlated bursts), swept across the selection-policy matrix via
+//!   [`StreamConfig::policy_override`]. The three rows share one stream
+//!   and one pattern, so their `matches`/`partials_live` columns track
+//!   how much state each policy's pruning actually collapses;
+//! * `scale_click_{any,next,strict}` — the adversarial
+//!   clickstream-funnel scenario ([`mod@acep_workloads::clickstream`]: deep
+//!   `SEQ` with two negations, pathological per-source lateness under
+//!   per-source watermarks), same per-policy sweep.
+//!
+//! Scenario rows measure different workloads than the stocks baseline,
+//! so — like `scale_keys` — their overhead slot is `null`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,8 +57,11 @@ use acep_stream::{
     CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, RuntimeStats, ShardedRuntime,
     SourceId, StreamConfig, TelemetryConfig,
 };
-use acep_types::{Event, EventTypeId, Pattern, PatternExpr, Value};
-use acep_workloads::{bounded_shuffle, source_skew_tagged, DatasetKind, PatternSetKind, Scenario};
+use acep_types::{Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value};
+use acep_workloads::{
+    bounded_shuffle, clickstream_tagged, iot_fleet, source_skew_tagged, ClickstreamConfig,
+    DatasetKind, IotConfig, PatternSetKind, Scenario,
+};
 
 /// Shape of the smoke workload.
 #[derive(Debug, Clone)]
@@ -63,6 +79,12 @@ pub struct SmokeConfig {
     pub scale_keys: u64,
     /// Events per key of the `scale_keys` point.
     pub scale_events_per_key: usize,
+    /// Fleet size (partition keys) of the `scale_iot_*` scenario rows.
+    pub iot_devices: u64,
+    /// Stream length of the `scale_iot_*` scenario rows.
+    pub iot_events: usize,
+    /// Users (partition keys) of the `scale_click_*` scenario rows.
+    pub click_users: u64,
 }
 
 impl Default for SmokeConfig {
@@ -74,6 +96,9 @@ impl Default for SmokeConfig {
             repeats: 3,
             scale_keys: 10_000,
             scale_events_per_key: 12,
+            iot_devices: 100_000,
+            iot_events: 400_000,
+            click_users: 20_000,
         }
     }
 }
@@ -81,7 +106,8 @@ impl Default for SmokeConfig {
 /// One measured grid point.
 #[derive(Debug, Clone)]
 pub struct SmokePoint {
-    /// `"merged"`, `"per_source"`, or `"scale_keys"`.
+    /// `"merged"`, `"per_source"`, `"scale_keys"`, or a per-policy
+    /// scenario row (`"scale_iot_*"` / `"scale_click_*"`).
     pub strategy: &'static str,
     /// Disorder bound `D` (ms); 0 for the in-order points.
     pub bound: u64,
@@ -190,6 +216,7 @@ fn run_once(
     shards: usize,
     disorder: DisorderConfig,
     telemetry: Option<TelemetryConfig>,
+    policy_override: Option<SelectionPolicy>,
 ) -> RunOutcome {
     let sink = Arc::new(CountingSink::new(set.len()));
     let runtime = ShardedRuntime::new(
@@ -200,6 +227,7 @@ fn run_once(
             shards,
             disorder,
             telemetry,
+            policy_override,
             ..StreamConfig::default()
         },
     )
@@ -309,17 +337,61 @@ fn scale_pattern_set() -> PatternSet {
     set
 }
 
+/// Per-source watermark bound reported for the `scale_click_*` rows
+/// (per-source substreams are perfectly ordered, so any positive bound
+/// satisfies the contract; the staircase skew between sources is what
+/// the per-source strategy absorbs).
+const CLICK_BOUND: u64 = 256;
+
+/// The policy sweep of the IoT-fleet scenario rows.
+const IOT_ROWS: [(SelectionPolicy, &str); 3] = [
+    (SelectionPolicy::SkipTillAny, "scale_iot_any"),
+    (SelectionPolicy::SkipTillNext, "scale_iot_next"),
+    (SelectionPolicy::StrictContiguity, "scale_iot_strict"),
+];
+
+/// The policy sweep of the clickstream-funnel scenario rows.
+const CLICK_ROWS: [(SelectionPolicy, &str); 3] = [
+    (SelectionPolicy::SkipTillAny, "scale_click_any"),
+    (SelectionPolicy::SkipTillNext, "scale_click_next"),
+    (SelectionPolicy::StrictContiguity, "scale_click_strict"),
+];
+
+/// One-query pattern set for an adversarial scenario row. The policy
+/// itself is *not* baked in here — the sweep applies it through
+/// [`StreamConfig::policy_override`], so all three rows of a scenario
+/// share one registration and one compiled canonical form.
+fn scenario_pattern_set(name: &str, pattern: Pattern, num_types: usize) -> PatternSet {
+    let adaptive = AdaptiveConfig {
+        planner: PlannerKind::Greedy,
+        policy: PolicyKind::invariant_with_distance(0.1),
+        ..AdaptiveConfig::default()
+    };
+    let mut set = PatternSet::new(num_types);
+    set.register(name, pattern, adaptive)
+        .expect("scenario pattern is valid");
+    set
+}
+
 fn best_of(
     set: &PatternSet,
     delivered: &[(SourceId, Arc<Event>)],
     shards: usize,
     disorder: DisorderConfig,
     telemetry: Option<TelemetryConfig>,
+    policy_override: Option<SelectionPolicy>,
     repeats: usize,
 ) -> RunOutcome {
     let mut best: Option<RunOutcome> = None;
     for _ in 0..repeats.max(1) {
-        let outcome = run_once(set, delivered, shards, disorder, telemetry.clone());
+        let outcome = run_once(
+            set,
+            delivered,
+            shards,
+            disorder,
+            telemetry.clone(),
+            policy_override,
+        );
         if best.as_ref().is_none_or(|b| outcome.eps > b.eps) {
             best = Some(outcome);
         }
@@ -365,6 +437,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.shards,
         DisorderConfig::in_order(),
         None,
+        None,
         config.repeats,
     );
     let overhead = |eps: f64| 100.0 * (1.0 - eps / baseline.eps);
@@ -380,6 +453,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.shards,
         DisorderConfig::in_order(),
         Some(TelemetryConfig::with_profiling(16)),
+        None,
         config.repeats,
     );
     let (prometheus, telemetry_json) = {
@@ -396,6 +470,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             config.shards,
             DisorderConfig::bounded(bound),
             None,
+            None,
             config.repeats,
         );
         points.push(point("merged", bound, overhead(outcome.eps), &outcome));
@@ -408,6 +483,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             &delivered,
             config.shards,
             DisorderConfig::per_source(bound, 4 * SKEW),
+            None,
             None,
             config.repeats,
         );
@@ -428,9 +504,61 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.shards,
         DisorderConfig::in_order(),
         None,
+        None,
         config.repeats,
     );
     points.push(point("scale_keys", 0, f64::NAN, &outcome));
+
+    // The adversarial scenario rows: each workload runs once per
+    // selection policy over the *same* delivered stream and pattern,
+    // so the per-policy columns isolate what the policy itself costs
+    // and collapses. IoT is delivered in order (its stress is key
+    // cardinality + Zipf fan-out); the clickstream is delivered with
+    // the pathological per-source staircase under per-source
+    // watermarks, whose idle timeout must out-wait the slowest
+    // source's constant lag.
+    let iot_cfg = IotConfig {
+        devices: config.iot_devices,
+        events: config.iot_events,
+        ..IotConfig::default()
+    };
+    let delivered = tag_merged(iot_fleet(&iot_cfg));
+    let iot_set = scenario_pattern_set("iot/seq3", iot_cfg.pattern(), IotConfig::NUM_TYPES);
+    for (policy, name) in IOT_ROWS {
+        let outcome = best_of(
+            &iot_set,
+            &delivered,
+            config.shards,
+            DisorderConfig::in_order(),
+            None,
+            Some(policy),
+            config.repeats,
+        );
+        points.push(point(name, 0, f64::NAN, &outcome));
+    }
+
+    let click_cfg = ClickstreamConfig {
+        users: config.click_users,
+        ..ClickstreamConfig::default()
+    };
+    let delivered = clickstream_tagged(&click_cfg);
+    let click_set = scenario_pattern_set(
+        "click/funnel5",
+        click_cfg.pattern(),
+        ClickstreamConfig::NUM_TYPES,
+    );
+    for (policy, name) in CLICK_ROWS {
+        let outcome = best_of(
+            &click_set,
+            &delivered,
+            config.shards,
+            DisorderConfig::per_source(CLICK_BOUND, 2 * click_cfg.max_lateness),
+            None,
+            Some(policy),
+            config.repeats,
+        );
+        points.push(point(name, CLICK_BOUND, f64::NAN, &outcome));
+    }
 
     SmokeReport {
         config: config.clone(),
@@ -585,9 +713,12 @@ mod tests {
             repeats: 1,
             scale_keys: 40,
             scale_events_per_key: 10,
+            iot_devices: 50,
+            iot_events: 2_000,
+            click_users: 40,
         });
         assert_eq!(report.events, 1_000);
-        assert_eq!(report.points.len(), 7);
+        assert_eq!(report.points.len(), 13);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -596,7 +727,7 @@ mod tests {
                 "{}@{}: contract-respecting delivery must not drop",
                 p.strategy, p.bound
             );
-            if p.strategy != "scale_keys" {
+            if !p.strategy.starts_with("scale") {
                 assert_eq!(
                     p.matches, matches,
                     "{}@{}: neither disorder within the contract nor \
@@ -632,7 +763,7 @@ mod tests {
             report.points.iter().any(|p| p.p99_emission_ms.is_finite()),
             "no grid point recorded emission latency"
         );
-        let scale = report.points.last().expect("scale point present");
+        let scale = &report.points[6];
         assert_eq!(scale.strategy, "scale_keys");
         assert!(
             scale.overhead_pct.is_nan(),
@@ -644,23 +775,55 @@ mod tests {
             "both queries host one engine per key"
         );
 
+        // The per-policy scenario rows: each triple shares one stream
+        // and pattern, so the match counts must respect the policy
+        // lattice (strict ⊆ next ⊆ any — the policies are pure filters
+        // on the skip-till-any match set).
+        for (scenario, base) in [("scale_iot", 7usize), ("scale_click", 10usize)] {
+            let [any, next, strict] = [
+                &report.points[base],
+                &report.points[base + 1],
+                &report.points[base + 2],
+            ];
+            assert_eq!(any.strategy, format!("{scenario}_any"));
+            assert_eq!(next.strategy, format!("{scenario}_next"));
+            assert_eq!(strict.strategy, format!("{scenario}_strict"));
+            assert!(
+                strict.matches <= next.matches && next.matches <= any.matches,
+                "{scenario}: policy lattice violated ({} / {} / {})",
+                any.matches,
+                next.matches,
+                strict.matches
+            );
+            assert!(
+                any.matches > 0,
+                "{scenario}: adversarial stream must complete matches"
+            );
+            for p in [any, next, strict] {
+                assert!(p.overhead_pct.is_nan(), "scenario rows have null overhead");
+            }
+        }
+
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
         assert!(json.contains("\"strategy\": \"per_source\""));
         assert!(json.contains("\"strategy\": \"scale_keys\""));
         assert!(json.contains("\"strategy\": \"telemetry\""));
+        assert!(json.contains("\"strategy\": \"scale_iot_next\""));
+        assert!(json.contains("\"strategy\": \"scale_click_strict\""));
         assert!(json.contains("\"partials_live\""));
         assert!(json.contains("\"p99_emission_ms\""));
-        assert_eq!(json.matches("\"bound\":").count(), 7);
+        assert_eq!(json.matches("\"bound\":").count(), 13);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 7);
+        assert_eq!(points.len(), 13);
         assert_eq!(points[0].0, "merged");
         assert_eq!(points[0].1, 0);
         assert!((points[0].2 - report.points[0].throughput_eps).abs() < 1.0);
         assert_eq!(points[1].0, "telemetry");
         assert_eq!(points[6].0, "scale_keys");
+        assert_eq!(points[12].0, "scale_click_strict");
         for (i, (_, _, _, p99)) in points.iter().enumerate() {
             let want = report.points[i].p99_emission_ms;
             assert!(

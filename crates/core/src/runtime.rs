@@ -178,7 +178,9 @@ impl EngineTemplate {
             for neg in &sub.negated {
                 mark(neg.event_type)?;
             }
-            let ctx = ExecContext::compile(sub)?;
+            // The pattern's selection policy rides the shared exec
+            // context into every executor stamped from this template.
+            let ctx = ExecContext::compile_with_policy(sub, pattern.policy)?;
             let uniform_snapshot = StatSnapshot::uniform(sub.n());
             let mut rec = CollectingRecorder::new();
             let uniform_plan = planner.generate(sub, &uniform_snapshot, &mut rec);

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use acep_plan::{EvalPlan, OrderPlan};
-use acep_types::{AcepError, CanonicalPattern, Event};
+use acep_types::{AcepError, CanonicalPattern, Event, SelectionPolicy};
 
 use crate::context::ExecContext;
 use crate::executor::{build_executor, Executor};
@@ -18,8 +18,20 @@ pub struct StaticEngine {
 }
 
 impl StaticEngine {
-    /// Builds an engine with one explicit plan per branch.
+    /// Builds an engine with one explicit plan per branch, under the
+    /// default skip-till-any selection policy.
     pub fn from_plans(pattern: &CanonicalPattern, plans: &[EvalPlan]) -> Result<Self, AcepError> {
+        Self::from_plans_with_policy(pattern, plans, SelectionPolicy::default())
+    }
+
+    /// Builds an engine with one explicit plan per branch, enforcing
+    /// `policy` on every branch (the canonical form is
+    /// policy-independent, so the policy rides alongside it).
+    pub fn from_plans_with_policy(
+        pattern: &CanonicalPattern,
+        plans: &[EvalPlan],
+        policy: SelectionPolicy,
+    ) -> Result<Self, AcepError> {
         if plans.len() != pattern.branches.len() {
             return Err(AcepError::InvalidConfig(format!(
                 "{} plans for {} branches",
@@ -30,7 +42,7 @@ impl StaticEngine {
         let mut branches = Vec::with_capacity(plans.len());
         let mut contexts = Vec::with_capacity(plans.len());
         for (sub, plan) in pattern.branches.iter().zip(plans) {
-            let ctx = ExecContext::compile(sub)?;
+            let ctx = ExecContext::compile_with_policy(sub, policy)?;
             branches.push(build_executor(Arc::clone(&ctx), plan));
             contexts.push(ctx);
         }

@@ -4,8 +4,8 @@
 use std::sync::Arc;
 
 use acep_types::{
-    AcepError, CondVars, Event, EventBinding, EventTypeId, Predicate, SubKind, SubPattern,
-    Timestamp, VarId,
+    AcepError, CondVars, Event, EventBinding, EventTypeId, Predicate, SelectionPolicy, SubKind,
+    SubPattern, Timestamp, VarId,
 };
 
 /// A negated-event guard compiled for execution.
@@ -54,13 +54,26 @@ pub struct ExecContext {
     pub join_slots: Vec<usize>,
     /// Slot indices under Kleene closure.
     pub kleene_slots: Vec<usize>,
+    /// Selection policy (match semantics). Restrictive policies are
+    /// enforced at finalization (see [`crate::selection`]); the default
+    /// `SkipTillAny` adds no bookkeeping.
+    pub policy: SelectionPolicy,
 }
 
 impl ExecContext {
-    /// Compiles a sub-pattern. Fails when the sub-pattern uses features
-    /// outside the engine's scope (every slot under Kleene closure, or
-    /// predicates between two Kleene variables).
+    /// Compiles a sub-pattern under the default skip-till-any-match
+    /// policy. Fails when the sub-pattern uses features outside the
+    /// engine's scope (every slot under Kleene closure, or predicates
+    /// between two Kleene variables).
     pub fn compile(sub: &SubPattern) -> Result<Arc<Self>, AcepError> {
+        Self::compile_with_policy(sub, SelectionPolicy::SkipTillAny)
+    }
+
+    /// Compiles a sub-pattern under an explicit selection policy.
+    pub fn compile_with_policy(
+        sub: &SubPattern,
+        policy: SelectionPolicy,
+    ) -> Result<Arc<Self>, AcepError> {
         let n = sub.n();
         let slot_types: Vec<EventTypeId> = sub.slots.iter().map(|s| s.event_type).collect();
         let kleene: Vec<bool> = sub.slots.iter().map(|s| s.kleene).collect();
@@ -137,6 +150,7 @@ impl ExecContext {
             negated,
             join_slots,
             kleene_slots,
+            policy,
         }))
     }
 

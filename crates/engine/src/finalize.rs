@@ -32,6 +32,7 @@ use acep_types::{Event, SubKind, Timestamp};
 use crate::buffer::EventBuffer;
 use crate::context::{ExecContext, NegGuard, PartialBinding};
 use crate::matches::Match;
+use crate::selection::{self, SeenLog};
 
 /// Event history needed by negation/Kleene finalization; transferable
 /// between plan generations.
@@ -41,6 +42,11 @@ pub struct FinalizerHistory {
     pub neg: Vec<EventBuffer>,
     /// One buffer per Kleene slot.
     pub kleene: Vec<EventBuffer>,
+    /// Engine-delivered event log for restrictive selection policies
+    /// (`None` under the default skip-till-any). Transfers on plan
+    /// migration so a fresh generation can validate matches whose
+    /// leading members (e.g. a leading Kleene set) predate deployment.
+    pub seen: Option<SeenLog>,
 }
 
 /// A completed positive join combination, materialized out of the
@@ -112,6 +118,7 @@ impl Finalizer {
                 .iter()
                 .map(|_| EventBuffer::new(window))
                 .collect(),
+            seen: ctx.policy.is_restrictive().then(SeenLog::new),
         };
         Self {
             ctx,
@@ -152,13 +159,32 @@ impl Finalizer {
     pub fn import_history(&mut self, history: FinalizerHistory) {
         debug_assert_eq!(history.neg.len(), self.history.neg.len());
         debug_assert_eq!(history.kleene.len(), self.history.kleene.len());
+        debug_assert_eq!(history.seen.is_some(), self.history.seen.is_some());
         self.history = history;
+    }
+
+    /// The engine-delivered event log (restrictive policies only).
+    pub fn seen(&self) -> Option<&SeenLog> {
+        self.history.seen.as_ref()
     }
 
     /// Feeds one event: updates history, invalidates/extends pending
     /// matches, and emits matches whose deadline has passed.
     pub fn observe(&mut self, ev: &Arc<Event>, out: &mut Vec<Match>) {
         let now = ev.timestamp;
+        // Restrictive policies log every delivered event. Retention must
+        // keep anything a pending or future match could inspect: future
+        // admissions have `min_ts ≥ now − W` and members (including
+        // leading Kleene events) reach at most `W` before a match's
+        // `min_ts`, hence the two cutoff terms.
+        if let Some(seen) = self.history.seen.as_mut() {
+            seen.push(Arc::clone(ev));
+            let mut cutoff = now.saturating_sub(self.ctx.window.saturating_mul(2));
+            if let Some(floor) = self.pending.iter().map(|pm| pm.completed.min_ts).min() {
+                cutoff = cutoff.min(floor.saturating_sub(self.ctx.window));
+            }
+            seen.prune(cutoff);
+        }
         // Negated events: record and test pending matches.
         let mut invalidated = false;
         for (gi, guard) in self.ctx.negated.iter().enumerate() {
@@ -312,6 +338,13 @@ impl Finalizer {
         // Kleene closure requires at least one occurrence.
         if kleene_sets.iter().any(|s| s.is_empty()) {
             return;
+        }
+        // Restrictive selection policies filter here — emit-time is the
+        // single point of truth, so every plan emits the same multiset.
+        if let Some(seen) = self.history.seen.as_ref() {
+            if !selection::validate(&self.ctx, &completed, &kleene_sets, seen) {
+                return;
+            }
         }
         let mut bindings = Vec::with_capacity(self.ctx.n);
         for &slot in &self.ctx.join_slots {

@@ -17,6 +17,10 @@
 //!   disjunction branch), which is also the semantic reference for the
 //!   adaptive runtime.
 //!
+//! * [`selection`] — selection-policy semantics (skip-till-any /
+//!   skip-till-next / strict contiguity): the emit-time validation the
+//!   per-policy oracles pin, plus conservative cascade/join pruning.
+//!
 //! * [`partial`] — arena-backed partial matches: a per-executor
 //!   [`PartialStore`] slab of `(slot, event, parent)` binding nodes, so
 //!   extending or merging a partial is O(1)/O(shorter chain) node
@@ -36,6 +40,7 @@ pub mod matches;
 pub mod migration;
 pub mod order_exec;
 pub mod partial;
+pub mod selection;
 pub mod tree_exec;
 
 pub use buffer::EventBuffer;
@@ -47,4 +52,5 @@ pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;
 pub use order_exec::OrderExecutor;
 pub use partial::{ChainBinding, Partial, PartialStore};
+pub use selection::SeenLog;
 pub use tree_exec::TreeExecutor;

@@ -27,6 +27,7 @@ use crate::executor::Executor;
 use crate::finalize::{Completed, Finalizer, FinalizerHistory};
 use crate::matches::Match;
 use crate::partial::{ChainBinding, Partial, PartialStore};
+use crate::selection::{prune_extension, SeenLog};
 
 /// How many events between full expiry sweeps of untouched levels.
 const SWEEP_INTERVAL: u32 = 256;
@@ -125,7 +126,7 @@ impl OrderExecutor {
             for i in 0..self.levels[pos - 1].len() {
                 let pm = self.levels[pos - 1][i];
                 self.comparisons += 1;
-                if compatible(&self.ctx, &self.store, &pm, slot, ev) {
+                if compatible(&self.ctx, &self.store, &pm, slot, ev, self.finalizer.seen()) {
                     let ext = pm.extend(&mut self.store, slot, Arc::clone(ev));
                     self.cascade_stack.push((ext, pos + 1));
                 }
@@ -152,7 +153,14 @@ impl OrderExecutor {
             let depth_before = self.cascade_stack.len();
             for ev in self.buffers[depth].iter() {
                 self.comparisons += 1;
-                if compatible(&self.ctx, &self.store, &partial, slot, ev) {
+                if compatible(
+                    &self.ctx,
+                    &self.store,
+                    &partial,
+                    slot,
+                    ev,
+                    self.finalizer.seen(),
+                ) {
                     let ext = partial.extend(&mut self.store, slot, Arc::clone(ev));
                     self.cascade_stack.push((ext, depth + 1));
                 }
@@ -234,12 +242,15 @@ fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event
 }
 
 /// Full compatibility check for extending `partial` with `ev` at `slot`.
+/// `seen` (present only under restrictive selection policies) enables
+/// conservative policy pruning of the extension cascade.
 fn compatible(
     ctx: &ExecContext,
     store: &PartialStore,
     partial: &Partial,
     slot: usize,
     ev: &Arc<Event>,
+    seen: Option<&SeenLog>,
 ) -> bool {
     if partial.contains_seq(store, ev.seq) {
         return false;
@@ -276,6 +287,13 @@ fn compatible(
             if !p.eval(&binding) {
                 return false;
             }
+        }
+    }
+    // Selection-policy pruning: drop extensions every completion of
+    // which would fail emit-time validation.
+    if let Some(seen) = seen {
+        if prune_extension(ctx, seen, store, partial, slot, ev) {
+            return false;
         }
     }
     true

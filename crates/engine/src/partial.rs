@@ -167,9 +167,27 @@ impl<'a> Iterator for Chain<'a> {
 /// A partial match: events bound to a subset of the join slots, stored
 /// as a handle into a [`PartialStore`].
 ///
-/// Kleene slots are never bound here — they are resolved at
-/// finalization time (see `finalize`) — so the chain holds exactly the
-/// `bound` join events.
+/// # Pinned contract: Kleene slots are never in the arena
+///
+/// Both executors bind **join slots only** (`ExecContext::join_slots`,
+/// the non-Kleene positive slots); Kleene collection lives in the
+/// finalizer's candidate buffers and is resolved per completed
+/// combination at emission time. Downstream code relies on each
+/// consequence, so none of them may be weakened independently:
+///
+/// * a chain holds exactly the `bound` join events, so every chain walk
+///   — [`Partial::event_at`], [`Partial::contains_seq`],
+///   [`ChainBinding`]'s `resolve` — is O(join slots), independent of
+///   how many events a Kleene slot has collected;
+/// * [`Partial::contains_seq`] answers membership of *join* events
+///   only. Duplicate suppression for Kleene-collected events is the
+///   finalizer's job, not the arena's;
+/// * [`Partial::materialize`] leaves Kleene slots `None`; the finalizer
+///   fills them from its own buffers;
+/// * stored-partial counts (`partial_count`, the adaptation plane's
+///   cost signal, and the smoke grid's `partials_live` column) do not
+///   scale with Kleene collection sizes — see
+///   `kleene_collection_never_allocates_arena_nodes`.
 #[derive(Debug, Clone, Copy)]
 pub struct Partial {
     /// Newest binding node (chain walks toward the seed).
@@ -457,6 +475,62 @@ mod tests {
         assert_eq!(shared.event_at(&s, 0).unwrap().seq, 0);
         assert_eq!(shared.event_at(&s, 2).unwrap().seq, 4);
         assert!(shared.contains_seq(&s, 1));
+    }
+
+    /// Pins the contract documented on [`Partial`]: Kleene slots are
+    /// never bound into the arena. The compiled context exposes only
+    /// non-Kleene slots as join slots, and the number of stored
+    /// partials is *independent* of how many events the Kleene slot
+    /// collects — if an executor ever started seeding/extending on the
+    /// Kleene slot, the K=12 run would store more partials than the
+    /// K=3 run and this test would fail.
+    #[test]
+    fn kleene_collection_never_allocates_arena_nodes() {
+        use crate::composite::StaticEngine;
+        use acep_types::{Pattern, PatternExpr};
+
+        let pattern = Pattern::builder("k3")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::kleene(PatternExpr::prim(EventTypeId(1))),
+                PatternExpr::prim(EventTypeId(2)),
+            ]))
+            .window(1_000)
+            .build()
+            .unwrap();
+        let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+        assert_eq!(
+            ctx.join_slots,
+            vec![0, 2],
+            "Kleene slot 1 is not a join slot"
+        );
+        assert_eq!(ctx.kleene_slots, vec![1]);
+
+        let stored_after = |kleene_events: u64| {
+            let mut engine = StaticEngine::with_identity_plans(pattern.canonical()).unwrap();
+            let mut out = Vec::new();
+            let mut seq = 0;
+            let next = |tid: u32, ts: u64, seq: &mut u64| {
+                *seq += 1;
+                Event::new(EventTypeId(tid), ts, *seq, vec![])
+            };
+            engine.on_event(&next(0, 1, &mut seq), &mut out);
+            for i in 0..kleene_events {
+                engine.on_event(&next(1, 2 + i, &mut seq), &mut out);
+            }
+            let stored = engine.partial_count();
+            engine.on_event(&next(2, 500, &mut seq), &mut out);
+            engine.finish(&mut out);
+            (stored, out.len())
+        };
+        let (stored_small, matches_small) = stored_after(3);
+        let (stored_large, matches_large) = stored_after(12);
+        assert_eq!(
+            stored_small, stored_large,
+            "stored partials must not scale with the Kleene collection"
+        );
+        assert_eq!(matches_small, 1, "greedy maximal collection: one match");
+        assert_eq!(matches_large, 1);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::executor::Executor;
 use crate::finalize::{Completed, Finalizer, FinalizerHistory};
 use crate::matches::Match;
 use crate::partial::{ChainBinding, Partial, PartialStore};
+use crate::selection::{prune_join, SeenLog};
 
 const SWEEP_INTERVAL: u32 = 256;
 
@@ -122,7 +123,7 @@ impl TreeExecutor {
             for a in &self.prop_new {
                 for b in &self.store[sibling] {
                     self.comparisons += 1;
-                    if join_compatible(&self.ctx, &self.pstore, a, b) {
+                    if join_compatible(&self.ctx, &self.pstore, a, b, self.finalizer.seen()) {
                         self.prop_joined.push(a.merge(&mut self.pstore, b));
                     }
                 }
@@ -241,8 +242,16 @@ fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event
     ctx.unary[slot].iter().all(|p| p.eval(&binding))
 }
 
-/// Can two partials with disjoint slot sets merge into one?
-fn join_compatible(ctx: &ExecContext, store: &PartialStore, a: &Partial, b: &Partial) -> bool {
+/// Can two partials with disjoint slot sets merge into one? `seen`
+/// (present only under restrictive selection policies) enables
+/// conservative policy pruning of the join.
+fn join_compatible(
+    ctx: &ExecContext,
+    store: &PartialStore,
+    a: &Partial,
+    b: &Partial,
+    seen: Option<&SeenLog>,
+) -> bool {
     // Window span.
     let min_ts = a.min_ts.min(b.min_ts);
     let max_ts = a.max_ts.max(b.max_ts);
@@ -279,6 +288,13 @@ fn join_compatible(ctx: &ExecContext, store: &PartialStore, a: &Partial, b: &Par
                     return false;
                 }
             }
+        }
+    }
+    // Selection-policy pruning: drop joins every completion of which
+    // would fail emit-time validation.
+    if let Some(seen) = seen {
+        if prune_join(ctx, seen, store, a, b) {
+            return false;
         }
     }
     true

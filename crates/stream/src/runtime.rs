@@ -5,7 +5,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use acep_core::EngineTemplate;
-use acep_types::{AcepError, DisorderConfig, Event, KeyExtractor, SourceId, Timestamp};
+use acep_types::{
+    AcepError, DisorderConfig, Event, KeyExtractor, SelectionPolicy, SourceId, Timestamp,
+};
 
 use crate::registry::PatternSet;
 use crate::shard::{Routed, ShardWorker, ToWorker};
@@ -41,6 +43,12 @@ pub struct StreamConfig {
     /// profiling. Requires the crate's `telemetry` feature (default
     /// on); with the feature compiled out this field is ignored.
     pub telemetry: Option<TelemetryConfig>,
+    /// When set, every registered query runs under this selection
+    /// policy instead of its pattern's own — the knob benchmarks and
+    /// policy-matrix tests use to sweep one pattern set across
+    /// semantics. `None` (the default) respects each
+    /// [`Pattern::policy`](acep_types::Pattern::policy).
+    pub policy_override: Option<SelectionPolicy>,
 }
 
 impl Default for StreamConfig {
@@ -51,6 +59,7 @@ impl Default for StreamConfig {
             max_batch: 4_096,
             disorder: DisorderConfig::in_order(),
             telemetry: None,
+            policy_override: None,
         }
     }
 }
@@ -97,7 +106,14 @@ impl ShardedRuntime {
         }
         let templates: Vec<EngineTemplate> = set
             .iter()
-            .map(|(_, q)| EngineTemplate::new(&q.pattern, set.num_types(), q.config.clone()))
+            .map(|(_, q)| match config.policy_override {
+                Some(policy) => EngineTemplate::new(
+                    &q.pattern.clone().with_policy(policy),
+                    set.num_types(),
+                    q.config.clone(),
+                ),
+                None => EngineTemplate::new(&q.pattern, set.num_types(), q.config.clone()),
+            })
             .collect::<Result<_, _>>()?;
         let templates: Arc<[EngineTemplate]> = templates.into();
 

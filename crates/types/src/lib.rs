@@ -53,6 +53,7 @@ pub mod partition;
 pub mod pattern;
 pub mod predicate;
 pub mod schema;
+pub mod selection;
 pub mod value;
 
 pub use canonical::{
@@ -67,6 +68,7 @@ pub use partition::{
 pub use pattern::{Pattern, PatternBuilder, PatternExpr};
 pub use predicate::{attr, attr_plus, constant, CmpOp, EventBinding, Operand, Predicate, VarId};
 pub use schema::{AttrId, EventSchema, SchemaRegistry};
+pub use selection::SelectionPolicy;
 pub use value::Value;
 
 /// Commonly used items, for glob import in examples and tests.
@@ -79,5 +81,6 @@ pub mod prelude {
     pub use crate::pattern::{Pattern, PatternExpr};
     pub use crate::predicate::{attr, attr_plus, constant, CmpOp, Operand, Predicate, VarId};
     pub use crate::schema::{AttrId, EventSchema, SchemaRegistry};
+    pub use crate::selection::SelectionPolicy;
     pub use crate::value::Value;
 }

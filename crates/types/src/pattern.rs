@@ -4,6 +4,7 @@ use crate::canonical::{canonicalize, CanonicalPattern};
 use crate::error::AcepError;
 use crate::event::{EventTypeId, Timestamp};
 use crate::predicate::Predicate;
+use crate::selection::SelectionPolicy;
 
 /// Operator tree of a pattern.
 ///
@@ -91,6 +92,9 @@ pub struct Pattern {
     /// Time window (ms): all events of a match fit in a window of this
     /// length.
     pub window: Timestamp,
+    /// Selection policy (match semantics). The canonical form is
+    /// policy-independent; engines read this at compile time.
+    pub policy: SelectionPolicy,
     canonical: CanonicalPattern,
 }
 
@@ -102,12 +106,23 @@ impl Pattern {
             expr: None,
             conditions: Vec::new(),
             window: 0,
+            policy: SelectionPolicy::default(),
         }
     }
 
     /// The canonical (normalized) form.
     pub fn canonical(&self) -> &CanonicalPattern {
         &self.canonical
+    }
+
+    /// Returns the same pattern under a different selection policy.
+    ///
+    /// The canonical form is policy-independent, so no re-canonicalization
+    /// happens; this is the cheap way to run one pattern definition under
+    /// the whole policy matrix.
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Pattern {
+        self.policy = policy;
+        self
     }
 
     /// Convenience: a predicate-free `SEQ` over the given event types.
@@ -144,6 +159,7 @@ pub struct PatternBuilder {
     expr: Option<PatternExpr>,
     conditions: Vec<Predicate>,
     window: Timestamp,
+    policy: SelectionPolicy,
 }
 
 impl PatternBuilder {
@@ -165,6 +181,13 @@ impl PatternBuilder {
         self
     }
 
+    /// Sets the selection policy (defaults to
+    /// [`SelectionPolicy::SkipTillAny`]).
+    pub fn policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Validates and canonicalizes the pattern.
     pub fn build(self) -> Result<Pattern, AcepError> {
         let expr = self
@@ -181,6 +204,7 @@ impl PatternBuilder {
             expr,
             conditions: self.conditions,
             window: self.window,
+            policy: self.policy,
             canonical,
         })
     }
@@ -225,6 +249,24 @@ mod tests {
         assert_eq!(p.canonical().branches.len(), 1);
         assert_eq!(p.canonical().branches[0].slots.len(), 3);
         assert_eq!(p.window, 100);
+    }
+
+    #[test]
+    fn policy_defaults_and_override() {
+        let p = Pattern::sequence("s", &[t(0), t(1)], 100);
+        assert_eq!(p.policy, SelectionPolicy::SkipTillAny);
+        let canon = p.canonical().clone();
+        let q = p.with_policy(SelectionPolicy::StrictContiguity);
+        assert_eq!(q.policy, SelectionPolicy::StrictContiguity);
+        // Canonical form is policy-independent.
+        assert_eq!(q.canonical().branches.len(), canon.branches.len());
+        let b = Pattern::builder("b")
+            .expr(PatternExpr::prim(t(0)))
+            .window(10)
+            .policy(SelectionPolicy::SkipTillNext)
+            .build()
+            .unwrap();
+        assert_eq!(b.policy, SelectionPolicy::SkipTillNext);
     }
 
     #[test]

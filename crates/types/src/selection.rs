@@ -1,0 +1,111 @@
+//! Selection policies: which subsets of a pattern's qualifying event
+//! combinations count as matches.
+//!
+//! The adaptation framework of the source paper is semantics-agnostic —
+//! statistics collection and re-planning sit *above* the executors — so
+//! the selection policy is a per-query dimension orthogonal to the plan.
+//! The policy space follows "Foundations of Complex Event Processing"
+//! (see PAPERS.md): every policy here is a *restriction* of
+//! skip-till-any-match, which makes the containment lattice
+//!
+//! ```text
+//! StrictContiguity ⊆ SkipTillNext ⊆ SkipTillAny
+//! ```
+//!
+//! hold by construction (pinned by the `policy_lattice` property tests).
+//!
+//! Kleene closure keeps SASE+-style maximal-set collection under every
+//! policy; the policy constrains the *join* events and which foreign
+//! events may interpose (match members, including collected Kleene
+//! events, never break their own match). See the engine's `selection`
+//! module for the executable definitions and README "Match semantics"
+//! for how to pick one per query.
+
+/// Per-query selection policy (match semantics).
+///
+/// Attached to a [`Pattern`](crate::Pattern) via
+/// [`PatternBuilder::policy`](crate::PatternBuilder::policy) or
+/// [`Pattern::with_policy`](crate::Pattern::with_policy); the default is
+/// [`SkipTillAny`](SelectionPolicy::SkipTillAny), the semantics this
+/// engine has always implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionPolicy {
+    /// Skip-till-any-match: every qualifying combination within the
+    /// window is a match, irrespective of the events between its
+    /// members. The engine's native (and default) semantics.
+    #[default]
+    SkipTillAny,
+    /// Skip-till-next-match: between two consecutive joined events the
+    /// engine must not have skipped an event that *could* have taken
+    /// the later position — an interposing event of the same type that
+    /// satisfies the slot's unary predicates and its pairwise
+    /// predicates with the already-bound prefix invalidates the
+    /// combination (unless that event is itself a member of the match,
+    /// e.g. a collected Kleene occurrence).
+    SkipTillNext,
+    /// Strict contiguity: the match's events must be adjacent in the
+    /// stream as delivered to the engine — no engine-visible event of
+    /// *any* type may interpose strictly between the first and last
+    /// member. (In the sharded runtime each query only sees events of
+    /// types relevant to it, so contiguity is relative to that
+    /// filtered per-key stream.)
+    StrictContiguity,
+}
+
+impl SelectionPolicy {
+    /// All policies, from least to most restrictive.
+    pub const ALL: [SelectionPolicy; 3] = [
+        SelectionPolicy::SkipTillAny,
+        SelectionPolicy::SkipTillNext,
+        SelectionPolicy::StrictContiguity,
+    ];
+
+    /// Short label used in reports and bench rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectionPolicy::SkipTillAny => "any",
+            SelectionPolicy::SkipTillNext => "next",
+            SelectionPolicy::StrictContiguity => "strict",
+        }
+    }
+
+    /// Whether this policy restricts the match set at all. `false` only
+    /// for [`SkipTillAny`](SelectionPolicy::SkipTillAny) — the engines
+    /// use this to skip policy bookkeeping entirely on the default
+    /// path.
+    pub fn is_restrictive(&self) -> bool {
+        !matches!(self, SelectionPolicy::SkipTillAny)
+    }
+}
+
+impl std::fmt::Display for SelectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_skip_till_any() {
+        assert_eq!(SelectionPolicy::default(), SelectionPolicy::SkipTillAny);
+        assert!(!SelectionPolicy::default().is_restrictive());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        // Bench rows and report keys embed these strings; renaming one
+        // silently breaks baseline diffs.
+        let labels: Vec<_> = SelectionPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, ["any", "next", "strict"]);
+        assert_eq!(SelectionPolicy::SkipTillNext.to_string(), "next");
+    }
+
+    #[test]
+    fn restrictive_policies_are_marked() {
+        assert!(SelectionPolicy::SkipTillNext.is_restrictive());
+        assert!(SelectionPolicy::StrictContiguity.is_restrictive());
+    }
+}

@@ -1,0 +1,243 @@
+//! IoT-fleet adversarial workload: very high key cardinality with
+//! Zipf-skewed per-device traffic and correlated cross-device bursts.
+//!
+//! The profile is the worst case for a per-key sharded runtime:
+//!
+//! * **cardinality** — `devices` (default 100 000) distinct partition
+//!   keys force one keyed engine instantiation per touched device;
+//! * **Zipf traffic** — a handful of hot devices receive events every
+//!   few milliseconds (deep per-key partial-match state inside the
+//!   window), while the long tail exists mostly to inflate the live
+//!   engine count;
+//! * **correlated bursts** — every [`IotConfig::burst_every`] events a
+//!   cluster of devices emits a dense `T0 T1 T2` volley within ~1 ms,
+//!   the "everyone alarms at once" pattern of fleet telemetry. Bursts
+//!   complete matches *and* interleave foreign events between a hot
+//!   device's own readings, which is exactly what separates the
+//!   selection policies: skip-till-any fans out across the burst,
+//!   skip-till-next and strict contiguity prune it.
+//!
+//! Events carry `[Value::Int(reading), Value::Int(device)]` — the
+//! trailing-attribute key convention of [`crate::partition`] — and the
+//! stream is `(timestamp, seq)` ordered, ready for in-order delivery.
+
+use std::sync::Arc;
+
+use acep_types::{attr, constant, Event, EventTypeId, Pattern, PatternExpr, Timestamp, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::sampling::zipf_weights;
+
+/// Shape of the IoT-fleet workload.
+#[derive(Debug, Clone)]
+pub struct IotConfig {
+    /// Distinct devices (partition keys).
+    pub devices: u64,
+    /// Total events in the stream.
+    pub events: usize,
+    /// Zipf exponent of the device-traffic distribution (≈ 1 is the
+    /// classic heavy head + long tail).
+    pub zipf_s: f64,
+    /// A correlated burst fires after every this many events
+    /// (0 disables bursts).
+    pub burst_every: usize,
+    /// Devices participating in each burst.
+    pub burst_devices: u64,
+    /// Match window (ms) of [`IotConfig::pattern`].
+    pub window_ms: Timestamp,
+    /// RNG seed — the stream is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for IotConfig {
+    fn default() -> Self {
+        Self {
+            devices: 100_000,
+            events: 400_000,
+            zipf_s: 1.05,
+            burst_every: 4_096,
+            burst_devices: 48,
+            // ~10% of default traffic lands on the hottest device, so
+            // the window is kept short enough that its in-window event
+            // count stays in the dozens — deeply adversarial for
+            // skip-till-any fan-out without going quadratic on the
+            // whole stream.
+            window_ms: 1_000,
+            seed: 42,
+        }
+    }
+}
+
+impl IotConfig {
+    /// Event types used by the generator.
+    pub const NUM_TYPES: usize = 3;
+
+    /// The fleet query: `SEQ(T0 reading, T1 spike, T2 reset)` where the
+    /// spike's value is positive, within the window. On a hot device
+    /// the window holds dozens of candidate readings, so the policy
+    /// choice directly controls the stored-partial fan-out.
+    pub fn pattern(&self) -> Pattern {
+        Pattern::builder("iot/seq3")
+            .expr(PatternExpr::seq([
+                PatternExpr::prim(EventTypeId(0)),
+                PatternExpr::prim(EventTypeId(1)),
+                PatternExpr::prim(EventTypeId(2)),
+            ]))
+            .condition(attr(1, 0).gt(constant(0)))
+            .window(self.window_ms)
+            .build()
+            .expect("iot pattern is valid")
+    }
+}
+
+/// Samples a device index from the precomputed Zipf CDF.
+fn sample_device(cdf: &[f64], rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    cdf.partition_point(|&c| c < u) as u64
+}
+
+/// Generates the IoT-fleet stream described by `config`.
+pub fn iot_fleet(config: &IotConfig) -> Vec<Arc<Event>> {
+    let devices = config.devices.max(1);
+    let cdf: Vec<f64> = zipf_weights(devices as usize, config.zipf_s)
+        .into_iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out: Vec<Arc<Event>> = Vec::with_capacity(config.events);
+    let mut ts: Timestamp = 1;
+    let mut since_burst = 0usize;
+    while out.len() < config.events {
+        if config.burst_every > 0 && since_burst >= config.burst_every {
+            since_burst = 0;
+            // Correlated burst: a cluster of (mostly hot) devices each
+            // fires a full T0 T1 T2 volley inside ~1 ms.
+            for _ in 0..config.burst_devices {
+                let dev = sample_device(&cdf, &mut rng);
+                for tid in 0..IotConfig::NUM_TYPES as u32 {
+                    if out.len() >= config.events {
+                        break;
+                    }
+                    let reading = (out.len() % 11) as i64 - 5;
+                    out.push(Event::new(
+                        EventTypeId(tid),
+                        ts,
+                        out.len() as u64,
+                        vec![Value::Int(reading), Value::Int(dev as i64)],
+                    ));
+                }
+                ts += 1;
+            }
+        } else {
+            since_burst += 1;
+            let dev = sample_device(&cdf, &mut rng);
+            // Background traffic: readings dominate, resets are rare.
+            let roll: u32 = rng.gen_range(0..10);
+            let tid = match roll {
+                0..=5 => 0,
+                6..=8 => 1,
+                _ => 2,
+            };
+            let reading = (out.len() % 11) as i64 - 5;
+            out.push(Event::new(
+                EventTypeId(tid),
+                ts,
+                out.len() as u64,
+                vec![Value::Int(reading), Value::Int(dev as i64)],
+            ));
+            ts += rng.gen_range(1..4);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn key_of(ev: &Event) -> u64 {
+        match ev.attrs.last() {
+            Some(Value::Int(k)) => *k as u64,
+            _ => panic!("trailing key attribute missing"),
+        }
+    }
+
+    #[test]
+    fn stream_is_ordered_deterministic_and_keyed() {
+        let cfg = IotConfig {
+            devices: 500,
+            events: 5_000,
+            ..IotConfig::default()
+        };
+        let a = iot_fleet(&cfg);
+        let b = iot_fleet(&cfg);
+        assert_eq!(a.len(), 5_000);
+        assert_eq!(a, b, "same config must reproduce the same stream");
+        for (i, w) in a.windows(2).enumerate() {
+            assert!(w[0].timestamp <= w[1].timestamp, "ts order broken at {i}");
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert!(a.iter().all(|ev| key_of(ev) < 500));
+    }
+
+    #[test]
+    fn traffic_is_zipf_skewed_across_many_devices() {
+        let cfg = IotConfig {
+            devices: 2_000,
+            events: 40_000,
+            ..IotConfig::default()
+        };
+        let events = iot_fleet(&cfg);
+        let mut per_device: HashMap<u64, usize> = HashMap::new();
+        for ev in &events {
+            *per_device.entry(key_of(ev)).or_default() += 1;
+        }
+        // The head dominates …
+        let hottest = per_device.values().copied().max().unwrap();
+        assert!(
+            hottest > events.len() / 100,
+            "hottest device holds {hottest} of {} events",
+            events.len()
+        );
+        // … while the tail still spreads over a large share of the fleet.
+        assert!(
+            per_device.len() > 500,
+            "only {} devices touched",
+            per_device.len()
+        );
+    }
+
+    #[test]
+    fn bursts_produce_dense_same_timestamp_volleys() {
+        let cfg = IotConfig {
+            devices: 200,
+            events: 10_000,
+            burst_every: 1_000,
+            burst_devices: 16,
+            ..IotConfig::default()
+        };
+        let events = iot_fleet(&cfg);
+        // A burst writes a device's full T0 T1 T2 volley at one
+        // timestamp; background traffic never repeats a timestamp for
+        // one device three times.
+        let mut per_ts_key: HashMap<(u64, u64), usize> = HashMap::new();
+        for ev in &events {
+            *per_ts_key.entry((ev.timestamp, key_of(ev))).or_default() += 1;
+        }
+        assert!(
+            per_ts_key.values().any(|&n| n >= 3),
+            "no burst volley found"
+        );
+    }
+
+    #[test]
+    fn pattern_compiles_with_three_types() {
+        let p = IotConfig::default().pattern();
+        assert_eq!(p.canonical().branches.len(), 1);
+    }
+}

@@ -19,9 +19,15 @@
 //!   patterns, keyed by an RNG seed so competing adaptation methods see
 //!   byte-identical input;
 //! * [`disorder`] — bounded out-of-order delivery generators (per-event
-//!   jitter, per-source skew) for exercising event-time ingestion.
+//!   jitter, per-source skew) for exercising event-time ingestion;
+//! * [`iot`] — adversarial IoT-fleet scenario: 100k+ partition keys,
+//!   Zipf-skewed device traffic, correlated cross-device bursts;
+//! * [`mod@clickstream`] — adversarial clickstream-funnel scenario: deep
+//!   `SEQ` with heavy negation and pathological per-source lateness.
 
+pub mod clickstream;
 pub mod disorder;
+pub mod iot;
 pub mod model;
 pub mod partition;
 pub mod patterns;
@@ -30,7 +36,9 @@ pub mod scenario;
 pub mod stocks;
 pub mod traffic;
 
+pub use clickstream::{clickstream, clickstream_tagged, ClickstreamConfig};
 pub use disorder::{bounded_shuffle, max_disorder, source_skew, source_skew_tagged};
+pub use iot::{iot_fleet, IotConfig};
 pub use model::{empirical_rates, DatasetModel, StreamGenerator};
 pub use partition::{events_for_key, keyed_events, merge_streams, offset_types};
 pub use patterns::{build_pattern, pattern_set, DatasetKind, PatternSetKind, PATTERN_SIZES};

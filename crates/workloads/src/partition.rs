@@ -30,7 +30,7 @@ use crate::model::{DatasetModel, StreamGenerator};
 
 /// Mixes a key into a base seed so per-key RNG streams are
 /// decorrelated.
-fn mix_seed(base: u64, key: u64) -> u64 {
+pub(crate) fn mix_seed(base: u64, key: u64) -> u64 {
     mix64(base ^ key.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 

@@ -7,12 +7,21 @@
 //! interior and trailing (the trailing form exercises the finalizer's
 //! pending-deadline queue), and Kleene closure (`*`) with maximal-set
 //! semantics — each against order-based and tree-based plans.
+//!
+//! Every oracle takes a [`SelectionPolicy`]: the naive enumerator first
+//! finds the skip-till-any combinations, then applies [`policy_ok`] — an
+//! independent implementation of the policy filter over the raw event
+//! list — so the `policy_matrix_*` property tests pin each policy's
+//! semantics differentially against both executor families, and the
+//! containment lattice strict ⊆ next ⊆ any on top.
 
 use std::sync::Arc;
 
 use acep_engine::{build_executor, ExecContext, Match, MatchKey, StaticEngine};
 use acep_plan::{EvalPlan, OrderPlan, TreePlan};
-use acep_types::{attr, constant, Event, EventTypeId, Pattern, PatternExpr, Value};
+use acep_types::{
+    attr, constant, Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value,
+};
 use proptest::prelude::*;
 
 const WINDOW: u64 = 50;
@@ -139,7 +148,18 @@ fn sorted_keys(out: &[Match]) -> Vec<MatchKey> {
 }
 
 fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<MatchKey> {
-    let ctx = ExecContext::compile(&pattern.canonical().branches[0]).unwrap();
+    run_engine_policy(pattern, SelectionPolicy::SkipTillAny, plan, events)
+}
+
+/// Like [`run_engine`], but compiling the branch under an explicit
+/// selection policy.
+fn run_engine_policy(
+    pattern: &Pattern,
+    policy: SelectionPolicy,
+    plan: &EvalPlan,
+    events: &[Arc<Event>],
+) -> Vec<MatchKey> {
+    let ctx = ExecContext::compile_with_policy(&pattern.canonical().branches[0], policy).unwrap();
     let mut exec = build_executor(ctx, plan);
     let mut out = Vec::new();
     for ev in events {
@@ -152,7 +172,18 @@ fn run_engine(pattern: &Pattern, plan: &EvalPlan, events: &[Arc<Event>]) -> Vec<
 /// Evaluates every branch of a (possibly disjunctive) pattern with one
 /// plan per branch.
 fn run_branches(pattern: &Pattern, plans: &[EvalPlan], events: &[Arc<Event>]) -> Vec<MatchKey> {
-    let mut engine = StaticEngine::from_plans(pattern.canonical(), plans).unwrap();
+    run_branches_policy(pattern, SelectionPolicy::SkipTillAny, plans, events)
+}
+
+/// Like [`run_branches`], but enforcing `policy` on every branch.
+fn run_branches_policy(
+    pattern: &Pattern,
+    policy: SelectionPolicy,
+    plans: &[EvalPlan],
+    events: &[Arc<Event>],
+) -> Vec<MatchKey> {
+    let mut engine =
+        StaticEngine::from_plans_with_policy(pattern.canonical(), plans, policy).unwrap();
     let mut out = Vec::new();
     for ev in events {
         engine.on_event(ev, &mut out);
@@ -175,8 +206,90 @@ fn of_type(events: &[Arc<Event>], ty: u32) -> impl Iterator<Item = &Arc<Event>> 
     events.iter().filter(move |e| e.type_id == EventTypeId(ty))
 }
 
+/// Stream-order key: the `(timestamp, seq)` order the engines use.
+fn skey(e: &Event) -> (u64, u64) {
+    (e.timestamp, e.seq)
+}
+
+/// Events strictly between two stream positions (both exclusive).
+fn strictly_between(
+    events: &[Arc<Event>],
+    lo: (u64, u64),
+    hi: (u64, u64),
+) -> impl Iterator<Item = &Arc<Event>> {
+    events.iter().filter(move |e| skey(e) > lo && skey(e) < hi)
+}
+
+/// Naive selection-policy filter — an independent implementation of the
+/// documented semantics, applied to one skip-till-any candidate match.
+///
+/// `joins` holds the bound join events in pattern-slot order, `kleene`
+/// the collected Kleene members. `qualify(j, g, bound)` answers whether
+/// foreign event `g` could have filled the `j`-th join position given
+/// that only the join positions in `bound` may be consulted by its
+/// pairwise predicates — each pattern shape supplies its own hand-coded
+/// predicate logic, so nothing here leans on the engine's evaluator.
+fn policy_ok(
+    policy: SelectionPolicy,
+    events: &[Arc<Event>],
+    is_seq: bool,
+    joins: &[&Arc<Event>],
+    kleene: &[&Arc<Event>],
+    qualify: &dyn Fn(usize, &Event, &[usize]) -> bool,
+) -> bool {
+    let members: Vec<u64> = {
+        let mut seqs: Vec<u64> = joins.iter().chain(kleene.iter()).map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs
+    };
+    let is_member = |g: &Event| members.binary_search(&g.seq).is_ok();
+    match policy {
+        SelectionPolicy::SkipTillAny => true,
+        SelectionPolicy::StrictContiguity => {
+            // No non-member may fall strictly between the first and the
+            // last member (join and Kleene events alike).
+            let lo = joins.iter().chain(kleene.iter()).map(|e| skey(e)).min();
+            let hi = joins.iter().chain(kleene.iter()).map(|e| skey(e)).max();
+            let (Some(lo), Some(hi)) = (lo, hi) else {
+                return true;
+            };
+            strictly_between(events, lo, hi).all(|g| is_member(g))
+        }
+        SelectionPolicy::SkipTillNext if is_seq => {
+            // Between each consecutive pair of pattern-order join
+            // events, no skipped non-member may qualify for the later
+            // position; earlier join positions are all bound.
+            (1..joins.len()).all(|j| {
+                let bound: Vec<usize> = (0..j).collect();
+                strictly_between(events, skey(joins[j - 1]), skey(joins[j]))
+                    .filter(|g| !is_member(g))
+                    .all(|g| !qualify(j, g, &bound))
+            })
+        }
+        SelectionPolicy::SkipTillNext => {
+            // Conjunction: order join events by arrival; in each gap no
+            // non-member may qualify for a still-unarrived position,
+            // with predicates checked against the arrived prefix only.
+            let mut order: Vec<usize> = (0..joins.len()).collect();
+            order.sort_by_key(|&i| skey(joins[i]));
+            (0..order.len().saturating_sub(1)).all(|j| {
+                let lo = skey(joins[order[j]]);
+                let hi = skey(joins[order[j + 1]]);
+                strictly_between(events, lo, hi)
+                    .filter(|g| !is_member(g))
+                    .all(|g| order[j + 1..].iter().all(|&s| !qualify(s, g, &order[..=j])))
+            })
+        }
+    }
+}
+
+/// Sorted-key subset check for the policy lattice assertions.
+fn is_subset(sub: &[MatchKey], sup: &[MatchKey]) -> bool {
+    sub.iter().all(|k| sup.binary_search(k).is_ok())
+}
+
 /// Naive oracle for the 3-slot sequence pattern.
-fn oracle_seq(events: &[Arc<Event>]) -> Vec<MatchKey> {
+fn oracle_seq(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for b in of_type(events, 1) {
@@ -185,7 +298,17 @@ fn oracle_seq(events: &[Arc<Event>]) -> Vec<MatchKey> {
                     continue;
                 }
                 let window = c.timestamp - a.timestamp <= WINDOW;
-                if window && x(a) < x(c) {
+                if !(window && x(a) < x(c)) {
+                    continue;
+                }
+                // Positions: 0 → T0, 1 → T1, 2 → T2 (a.x < c.x ties
+                // position 2 to position 0).
+                let qualify = |j: usize, g: &Event, _: &[usize]| match j {
+                    1 => g.type_id == EventTypeId(1),
+                    2 => g.type_id == EventTypeId(2) && x(a) < x(g),
+                    _ => false,
+                };
+                if policy_ok(policy, events, true, &[a, b, c], &[], &qualify) {
                     keys.push(MatchKey::from_parts(vec![
                         (0, vec![a.seq]),
                         (1, vec![b.seq]),
@@ -199,12 +322,23 @@ fn oracle_seq(events: &[Arc<Event>]) -> Vec<MatchKey> {
 }
 
 /// Naive oracle for the 2-slot conjunction pattern.
-fn oracle_and(events: &[Arc<Event>]) -> Vec<MatchKey> {
+fn oracle_and(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for b in of_type(events, 1) {
             let window = a.timestamp.abs_diff(b.timestamp) <= WINDOW;
-            if window && a.attrs[0] == b.attrs[0] && a.seq != b.seq {
+            if !(window && a.attrs[0] == b.attrs[0] && a.seq != b.seq) {
+                continue;
+            }
+            // Positions: 0 → T0, 1 → T1, tied by x-equality; the
+            // equality is only checkable once the other side arrived.
+            let joins = [a, b];
+            let qualify = |j: usize, g: &Event, bound: &[usize]| {
+                let types = [0u32, 1u32];
+                g.type_id == EventTypeId(types[j])
+                    && (!bound.contains(&(1 - j)) || x(g) == x(joins[1 - j]))
+            };
+            if policy_ok(policy, events, false, &joins, &[], &qualify) {
                 keys.push(key2(0, a, 1, b));
             }
         }
@@ -213,19 +347,36 @@ fn oracle_and(events: &[Arc<Event>]) -> Vec<MatchKey> {
 }
 
 /// Naive oracle for the disjunctive pattern: the union of its branch
-/// oracles (branch variables are disjoint, so keys never collide).
-fn oracle_or(events: &[Arc<Event>]) -> Vec<MatchKey> {
+/// oracles (branch variables are disjoint, so keys never collide). The
+/// policy applies to each branch independently — exactly as the
+/// branch-per-executor engine enforces it.
+fn oracle_or(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for b in of_type(events, 1) {
-            if before(a, b) && b.timestamp - a.timestamp <= WINDOW && x(a) < x(b) {
+            if !(before(a, b) && b.timestamp - a.timestamp <= WINDOW && x(a) < x(b)) {
+                continue;
+            }
+            let qualify = |j: usize, g: &Event, _: &[usize]| {
+                j == 1 && g.type_id == EventTypeId(1) && x(a) < x(g)
+            };
+            if policy_ok(policy, events, true, &[a, b], &[], &qualify) {
                 keys.push(key2(0, a, 1, b));
             }
         }
     }
     for c in of_type(events, 2) {
         for d in of_type(events, 0) {
-            if c.timestamp.abs_diff(d.timestamp) <= WINDOW && x(c) == x(d) {
+            if !(c.timestamp.abs_diff(d.timestamp) <= WINDOW && x(c) == x(d)) {
+                continue;
+            }
+            let joins = [c, d];
+            let qualify = |j: usize, g: &Event, bound: &[usize]| {
+                let types = [2u32, 0u32];
+                g.type_id == EventTypeId(types[j])
+                    && (!bound.contains(&(1 - j)) || x(g) == x(joins[1 - j]))
+            };
+            if policy_ok(policy, events, false, &joins, &[], &qualify) {
                 keys.push(key2(2, c, 3, d));
             }
         }
@@ -235,7 +386,11 @@ fn oracle_or(events: &[Arc<Event>]) -> Vec<MatchKey> {
 
 /// Naive oracle for SEQ(A, ~B, C) WHERE b.x == a.x: a (a, c) pair
 /// matches unless an equal-`x` B lies strictly between them.
-fn oracle_interior_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
+///
+/// The negated slot is hoisted into a guard, so the canonical branch
+/// has two join positions (T0, T2); the guard condition never reaches
+/// the positive pair, leaving position 1 predicate-free.
+fn oracle_interior_neg(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for c in of_type(events, 2) {
@@ -243,7 +398,11 @@ fn oracle_interior_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
                 continue;
             }
             let violated = of_type(events, 1).any(|b| before(a, b) && before(b, c) && x(b) == x(a));
-            if !violated {
+            if violated {
+                continue;
+            }
+            let qualify = |j: usize, g: &Event, _: &[usize]| j == 1 && g.type_id == EventTypeId(2);
+            if policy_ok(policy, events, true, &[a, c], &[], &qualify) {
                 keys.push(key2(0, a, 2, c));
             }
         }
@@ -253,7 +412,7 @@ fn oracle_interior_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
 
 /// Naive oracle for SEQ(A, B, ~D): the negation scope is `(B, window
 /// end]` — any D after B with `d.ts <= a.ts + WINDOW` invalidates.
-fn oracle_trailing_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
+fn oracle_trailing_neg(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for b in of_type(events, 1) {
@@ -262,7 +421,11 @@ fn oracle_trailing_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
             }
             let violated =
                 of_type(events, 2).any(|d| before(b, d) && d.timestamp <= a.timestamp + WINDOW);
-            if !violated {
+            if violated {
+                continue;
+            }
+            let qualify = |j: usize, g: &Event, _: &[usize]| j == 1 && g.type_id == EventTypeId(1);
+            if policy_ok(policy, events, true, &[a, b], &[], &qualify) {
                 keys.push(key2(0, a, 1, b));
             }
         }
@@ -273,21 +436,29 @@ fn oracle_trailing_neg(events: &[Arc<Event>]) -> Vec<MatchKey> {
 /// Naive oracle for SEQ(A, B*, C) WHERE b.x > 0: one match per (a, c)
 /// pair binding the *maximal* set of qualifying B events (SASE+ "ALL"
 /// semantics); Kleene closure requires at least one occurrence.
-fn oracle_kleene(events: &[Arc<Event>]) -> Vec<MatchKey> {
+///
+/// The Kleene collection stays maximal under every policy — collected
+/// Bs are members, so they never interpose — while non-qualifying Bs
+/// (and foreign types) break strict contiguity, and a skipped
+/// qualifying C breaks skip-till-next across the (a, c) join gap.
+fn oracle_kleene(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey> {
     let mut keys = Vec::new();
     for a in of_type(events, 0) {
         for c in of_type(events, 2) {
             if !(before(a, c) && c.timestamp - a.timestamp <= WINDOW) {
                 continue;
             }
-            let set: Vec<u64> = of_type(events, 1)
+            let set: Vec<&Arc<Event>> = of_type(events, 1)
                 .filter(|b| before(a, b) && before(b, c) && x(b) > 0)
-                .map(|b| b.seq)
                 .collect();
-            if !set.is_empty() {
+            if set.is_empty() {
+                continue;
+            }
+            let qualify = |j: usize, g: &Event, _: &[usize]| j == 1 && g.type_id == EventTypeId(2);
+            if policy_ok(policy, events, true, &[a, c], &set, &qualify) {
                 keys.push(MatchKey::from_parts(vec![
                     (0, vec![a.seq]),
-                    (1, set),
+                    (1, set.iter().map(|b| b.seq).collect()),
                     (2, vec![c.seq]),
                 ]));
             }
@@ -337,7 +508,7 @@ proptest! {
     ) {
         let p = pattern();
         let events = make_events(&spec);
-        let expected = oracle_seq(&events);
+        let expected = oracle_seq(&events, SelectionPolicy::SkipTillAny);
         for plan in &three_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(
@@ -354,7 +525,7 @@ proptest! {
     ) {
         let p = and_pattern();
         let events = make_events(&spec);
-        let expected = oracle_and(&events);
+        let expected = oracle_and(&events, SelectionPolicy::SkipTillAny);
         for plan in &two_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
@@ -370,7 +541,7 @@ proptest! {
     ) {
         let p = or_pattern();
         let events = make_events(&spec);
-        let expected = oracle_or(&events);
+        let expected = oracle_or(&events, SelectionPolicy::SkipTillAny);
         let plan_sets: [[EvalPlan; 2]; 3] = [
             [
                 EvalPlan::Order(OrderPlan::new(vec![0, 1])),
@@ -403,7 +574,7 @@ proptest! {
     ) {
         let p = interior_neg_pattern();
         let events = make_events(&spec);
-        let expected = oracle_interior_neg(&events);
+        let expected = oracle_interior_neg(&events, SelectionPolicy::SkipTillAny);
         for plan in &two_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
@@ -418,7 +589,7 @@ proptest! {
     ) {
         let p = trailing_neg_pattern();
         let events = make_events(&spec);
-        let expected = oracle_trailing_neg(&events);
+        let expected = oracle_trailing_neg(&events, SelectionPolicy::SkipTillAny);
         for plan in &two_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
@@ -433,10 +604,138 @@ proptest! {
     ) {
         let p = kleene_pattern();
         let events = make_events(&spec);
-        let expected = oracle_kleene(&events);
+        let expected = oracle_kleene(&events, SelectionPolicy::SkipTillAny);
         for plan in &three_slot_plans() {
             let got = run_engine(&p, plan, &events);
             prop_assert_eq!(&got, &expected, "plan {} diverged", plan.describe());
         }
+    }
+}
+
+/// Runs the full selection-policy matrix for a single-branch pattern:
+/// every policy × every plan against the per-policy oracle, then the
+/// containment lattice strict ⊆ next ⊆ any on the oracle-confirmed
+/// match sets.
+fn assert_policy_matrix(
+    p: &Pattern,
+    plans: &[EvalPlan],
+    events: &[Arc<Event>],
+    oracle: impl Fn(&[Arc<Event>], SelectionPolicy) -> Vec<MatchKey>,
+) -> Result<(), TestCaseError> {
+    let mut per_policy = Vec::new();
+    for policy in SelectionPolicy::ALL {
+        let expected = oracle(events, policy);
+        for plan in plans {
+            let got = run_engine_policy(p, policy, plan, events);
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "policy {} plan {} diverged from oracle",
+                policy,
+                plan.describe()
+            );
+        }
+        per_policy.push(expected);
+    }
+    let [any, next, strict] = per_policy.try_into().expect("three policies");
+    prop_assert!(is_subset(&strict, &next), "strict ⊄ next");
+    prop_assert!(is_subset(&next, &any), "next ⊄ any");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Policy matrix on the 3-slot sequence: each policy agrees with
+    /// its naive filter under every order and tree plan, and the
+    /// lattice holds.
+    #[test]
+    fn policy_matrix_on_sequences(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -5i8..5), 1..30)
+    ) {
+        let events = make_events(&spec);
+        assert_policy_matrix(&pattern(), &three_slot_plans(), &events, oracle_seq)?;
+    }
+
+    /// Policy matrix on the conjunction: skip-till-next uses the
+    /// arrival-order gap rule, strict contiguity the uniform span rule.
+    #[test]
+    fn policy_matrix_on_conjunctions(
+        spec in prop::collection::vec((0u8..2, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let events = make_events(&spec);
+        assert_policy_matrix(&and_pattern(), &two_slot_plans(), &events, oracle_and)?;
+    }
+
+    /// Policy matrix on interior negation: the hoisted guard stays
+    /// policy-independent while the (A, C) join pair obeys the policy.
+    #[test]
+    fn policy_matrix_on_interior_negation(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let events = make_events(&spec);
+        assert_policy_matrix(
+            &interior_neg_pattern(), &two_slot_plans(), &events, oracle_interior_neg,
+        )?;
+    }
+
+    /// Policy matrix on trailing negation: deadline-driven emission
+    /// must validate against the events seen *before* the deadline.
+    #[test]
+    fn policy_matrix_on_trailing_negation(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let events = make_events(&spec);
+        assert_policy_matrix(
+            &trailing_neg_pattern(), &two_slot_plans(), &events, oracle_trailing_neg,
+        )?;
+    }
+
+    /// Policy matrix on Kleene closure: collection stays maximal under
+    /// every policy (members never interpose), which is exactly what
+    /// keeps strict ⊆ next on Kleene patterns.
+    #[test]
+    fn policy_matrix_on_kleene(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let events = make_events(&spec);
+        assert_policy_matrix(&kleene_pattern(), &three_slot_plans(), &events, oracle_kleene)?;
+    }
+
+    /// Policy matrix on the disjunction: the policy is enforced per
+    /// branch, so the engine's union equals the union of per-branch
+    /// filtered oracles.
+    #[test]
+    fn policy_matrix_on_disjunctions(
+        spec in prop::collection::vec((0u8..3, 1u8..20, -3i8..3), 1..30)
+    ) {
+        let p = or_pattern();
+        let events = make_events(&spec);
+        let plan_sets: [[EvalPlan; 2]; 2] = [
+            [
+                EvalPlan::Order(OrderPlan::new(vec![1, 0])),
+                EvalPlan::Order(OrderPlan::new(vec![0, 1])),
+            ],
+            [
+                EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+                EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+            ],
+        ];
+        let mut per_policy = Vec::new();
+        for policy in SelectionPolicy::ALL {
+            let expected = oracle_or(&events, policy);
+            for plans in &plan_sets {
+                let got = run_branches_policy(&p, policy, plans, &events);
+                prop_assert_eq!(
+                    &got, &expected,
+                    "policy {} branch plans [{}, {}] diverged",
+                    policy, plans[0].describe(), plans[1].describe()
+                );
+            }
+            per_policy.push(expected);
+        }
+        let [any, next, strict] = per_policy.try_into().expect("three policies");
+        prop_assert!(is_subset(&strict, &next), "strict ⊄ next");
+        prop_assert!(is_subset(&next, &any), "next ⊄ any");
     }
 }

@@ -28,7 +28,7 @@ use acep_stream::{
     CollectingSink, DisorderConfig, KeyExtractor, LastAttrKeyExtractor, LatenessPolicy, PatternSet,
     QueryId, ShardedRuntime, SourceId, StreamConfig,
 };
-use acep_types::{mix64, Event, EventTypeId, Pattern, PatternExpr, Value};
+use acep_types::{mix64, Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value};
 use acep_workloads::{
     bounded_shuffle, max_disorder, source_skew, source_skew_tagged, DatasetKind, PatternSetKind,
     Scenario,
@@ -92,6 +92,21 @@ fn run(
     acep_stream::RuntimeStats,
     Vec<u64>,
 ) {
+    run_policy(set, events, shards, disorder, None)
+}
+
+/// Same, with every query forced under one selection policy.
+fn run_policy(
+    set: &PatternSet,
+    events: &[Arc<Event>],
+    shards: usize,
+    disorder: DisorderConfig,
+    policy_override: Option<SelectionPolicy>,
+) -> (
+    Vec<(u32, u64, MatchKey)>,
+    acep_stream::RuntimeStats,
+    Vec<u64>,
+) {
     let sink = Arc::new(CollectingSink::new());
     let runtime = ShardedRuntime::new(
         set,
@@ -103,6 +118,7 @@ fn run(
             max_batch: 512,
             disorder,
             telemetry: None,
+            policy_override,
         },
     )
     .unwrap();
@@ -143,6 +159,46 @@ fn simulate_late(events: &[Arc<Event>], shards: usize, bound: u64) -> Vec<u64> {
     }
     late.sort_unstable();
     late
+}
+
+/// The selection-policy matrix under bounded disorder: for every
+/// policy, a bounded-disorder shuffle is invisible — the match multiset
+/// equals the in-order run's at W = 1, 2, and 4 with nothing late.
+/// This is the event-time half of the policy contract: the restrictive
+/// policies judge gaps against the *released* (timestamp, seq) order
+/// behind the watermark, never against arrival order. Across policies
+/// the multisets respect the lattice strict ⊆ next ⊆ any.
+#[test]
+fn policy_matrix_survives_bounded_disorder_at_every_worker_count() {
+    let events = stream();
+    let set = queries(&events_scenario());
+    let disorder = DisorderConfig::bounded(BOUND);
+    let shuffled = bounded_shuffle(&events, BOUND, 97);
+    assert!(max_disorder(&shuffled) <= BOUND);
+
+    let mut per_policy = Vec::new();
+    for policy in SelectionPolicy::ALL {
+        let (reference, stats, late) = run_policy(&set, &events, 2, disorder, Some(policy));
+        assert_eq!(stats.total_late_dropped(), 0, "{policy}: in-order run");
+        assert!(late.is_empty());
+        for shards in [1, 2, 4] {
+            let (lines, stats, late) = run_policy(&set, &shuffled, shards, disorder, Some(policy));
+            assert_eq!(
+                lines, reference,
+                "{policy}: shuffled delivery diverged at W={shards}"
+            );
+            assert_eq!(stats.total_late_dropped(), 0, "{policy}: W={shards}");
+            assert!(late.is_empty());
+        }
+        per_policy.push(reference);
+    }
+    let [any, next, strict]: [Vec<_>; 3] = per_policy.try_into().expect("three policies");
+    assert!(!any.is_empty(), "the workload must produce matches");
+    let is_subset = |sub: &[(u32, u64, MatchKey)], sup: &[(u32, u64, MatchKey)]| {
+        sub.iter().all(|line| sup.binary_search(line).is_ok())
+    };
+    assert!(is_subset(&strict, &next), "strict ⊄ next");
+    assert!(is_subset(&next, &any), "next ⊄ any");
 }
 
 proptest! {
@@ -260,6 +316,7 @@ fn run_tagged(
             max_batch: 512,
             disorder,
             telemetry: None,
+            policy_override: None,
         },
     )
     .unwrap();

@@ -13,7 +13,7 @@ use acep_stats::StatsConfig;
 use acep_stream::{
     CollectingSink, LastAttrKeyExtractor, PatternSet, QueryId, ShardedRuntime, StreamConfig,
 };
-use acep_types::Event;
+use acep_types::{Event, SelectionPolicy};
 use acep_workloads::{events_for_key, DatasetKind, PatternSetKind, Scenario};
 
 const NUM_KEYS: u64 = 6;
@@ -67,6 +67,19 @@ fn run_sharded(
     Vec<(u32, u64, acep_engine::MatchKey)>,
     acep_stream::RuntimeStats,
 ) {
+    run_sharded_policy(set, events, shards, None)
+}
+
+/// Same, with every query forced under one selection policy.
+fn run_sharded_policy(
+    set: &PatternSet,
+    events: &[Arc<Event>],
+    shards: usize,
+    policy_override: Option<SelectionPolicy>,
+) -> (
+    Vec<(u32, u64, acep_engine::MatchKey)>,
+    acep_stream::RuntimeStats,
+) {
     let sink = Arc::new(CollectingSink::new());
     let runtime = ShardedRuntime::new(
         set,
@@ -76,6 +89,7 @@ fn run_sharded(
             shards,
             channel_capacity: 4,
             max_batch: 512,
+            policy_override,
             ..StreamConfig::default()
         },
     )
@@ -117,6 +131,44 @@ fn sharded_runs_are_shard_count_invariant() {
     assert_eq!(s4.shards.len(), 4);
     // The hash spreads 6 keys over 4 shards: no shard may own all keys.
     assert!(s4.shards.iter().all(|s| s.keys < NUM_KEYS as usize));
+}
+
+/// The selection-policy matrix rides the same invariants: under every
+/// policy the match multiset is identical for W = 1/2/4, the default
+/// (no override) equals an explicit skip-till-any override, and across
+/// policies the multisets respect the containment lattice
+/// strict ⊆ next ⊆ any (each policy is a pure filter on the
+/// skip-till-any match set).
+#[test]
+fn policy_matrix_is_shard_count_invariant_and_nested() {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+    let set = queries(&scenario);
+
+    let mut per_policy = Vec::new();
+    for policy in SelectionPolicy::ALL {
+        let (w1, _) = run_sharded_policy(&set, &events, 1, Some(policy));
+        let (w2, _) = run_sharded_policy(&set, &events, 2, Some(policy));
+        let (w4, _) = run_sharded_policy(&set, &events, 4, Some(policy));
+        assert_eq!(w1, w2, "{policy}: W=2 must match W=1 exactly");
+        assert_eq!(w1, w4, "{policy}: W=4 must match W=1 exactly");
+        per_policy.push(w1);
+    }
+    let [any, next, strict]: [Vec<_>; 3] = per_policy.try_into().expect("three policies");
+
+    let (default_run, _) = run_sharded(&set, &events, 2);
+    assert_eq!(
+        any, default_run,
+        "skip-till-any override must be bit-identical to the default"
+    );
+    assert!(!any.is_empty(), "the workload must produce matches");
+
+    let is_subset = |sub: &[(u32, u64, acep_engine::MatchKey)],
+                     sup: &[(u32, u64, acep_engine::MatchKey)]| {
+        sub.iter().all(|line| sup.binary_search(line).is_ok())
+    };
+    assert!(is_subset(&strict, &next), "strict ⊄ next");
+    assert!(is_subset(&next, &any), "next ⊄ any");
 }
 
 #[test]
