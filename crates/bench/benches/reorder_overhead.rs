@@ -58,7 +58,7 @@ fn pattern_set(scenario: &Scenario) -> PatternSet {
 
 fn run_once(set: &PatternSet, events: &[(SourceId, Arc<Event>)], disorder: DisorderConfig) -> u64 {
     let sink = Arc::new(CountingSink::new(set.len()));
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,

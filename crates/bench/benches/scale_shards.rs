@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(shards), |b| {
             b.iter(|| {
                 let sink = Arc::new(CountingSink::new(set.len()));
-                let runtime = ShardedRuntime::new(
+                let mut runtime = ShardedRuntime::new(
                     &set,
                     Arc::new(LastAttrKeyExtractor),
                     Arc::clone(&sink) as _,

@@ -15,23 +15,34 @@
 //!                         machine-readable report (default
 //!                         BENCH_smoke.json) for the CI perf trajectory
 //!   smoke-diff CURRENT BASELINE [--tolerance PCT]
-//!              compares two smoke reports; prints a `::warning::`
-//!              annotation per grid point slower than the baseline by
-//!              more than PCT percent (default 20). Always exits 0 —
-//!              smoke numbers are trend data, not a gate.
+//!              compares two smoke reports. Semantic drift — match
+//!              counts or partials_live differing from the baseline, a
+//!              baseline grid point disappearing, an empty baseline —
+//!              prints `::error::` and exits 1. Throughput/p99
+//!              regressions beyond PCT percent (default 20) stay
+//!              `::warning::` annotations: timing is trend data from
+//!              shared runners, semantics are a gate.
+//!   scale-cores [--min-speedup X] [--json PATH]
+//!              the multicore data-plane gate: runs the scale_cores
+//!              workload at W=1/2/4 and exits 1 if the match multisets
+//!              differ across worker counts or the W=4 speedup over
+//!              W=1 falls below X (no floor by default — local dev
+//!              boxes may be single-core; CI passes its runner's
+//!              documented floor). Writes the per-W report (default
+//!              BENCH_scale_cores.json).
 //!   all        everything above except smoke
 //! ```
 
 use acep_bench::{
-    appendix, diff_reports, fig5, fig6to9, run_smoke, table1, HarnessConfig, Scale, SmokeConfig,
-    COMBOS,
+    appendix, diff_reports, fig5, fig6to9, run_scale_cores, run_smoke, table1, HarnessConfig,
+    Scale, SmokeConfig, COMBOS,
 };
 use acep_workloads::PatternSetKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
-        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|smoke [--json PATH]|smoke-diff CURRENT BASELINE|all> [--quick] [--events N]");
+        eprintln!("usage: experiments <fig5|table1|fig6|fig7|fig8|fig9|appendix <set>|smoke [--json PATH]|smoke-diff CURRENT BASELINE|scale-cores [--min-speedup X]|all> [--quick] [--events N]");
         std::process::exit(2);
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -147,13 +158,76 @@ fn main() {
                 std::fs::read_to_string(path)
                     .unwrap_or_else(|e| panic!("reading smoke report {path}: {e}"))
             };
-            let warnings = diff_reports(&read(current_path), &read(baseline_path), tolerance);
-            if warnings.is_empty() {
+            let diff = diff_reports(&read(current_path), &read(baseline_path), tolerance);
+            if diff.is_clean() {
                 println!("smoke-diff: every grid point within {tolerance}% of {baseline_path}");
             }
-            for w in &warnings {
-                // GitHub Actions annotation syntax; plain noise elsewhere.
+            // GitHub Actions annotation syntax; plain noise elsewhere.
+            for w in &diff.warnings {
                 println!("::warning::bench-smoke regression: {w}");
+            }
+            for e in &diff.errors {
+                println!("::error::bench-smoke drift: {e}");
+            }
+            if !diff.errors.is_empty() {
+                eprintln!(
+                    "smoke-diff: {} semantic drift error(s) against {baseline_path} — \
+                     match counts and partials_live are deterministic on this grid, so \
+                     a drift is a behavior change, not runner noise. If intentional, \
+                     regenerate the baseline (`experiments smoke --json BENCH_baseline.json`) \
+                     and commit it.",
+                    diff.errors.len()
+                );
+                std::process::exit(1);
+            }
+        }
+        "scale-cores" => {
+            let min_speedup: Option<f64> = args
+                .iter()
+                .position(|a| a == "--min-speedup")
+                .and_then(|pos| args.get(pos + 1))
+                .map(|s| s.parse().expect("--min-speedup takes a number"));
+            let path = args
+                .iter()
+                .position(|a| a == "--json")
+                .and_then(|pos| args.get(pos + 1))
+                .map(String::as_str)
+                .unwrap_or("BENCH_scale_cores.json");
+            let report = run_scale_cores(&SmokeConfig::default());
+            println!(
+                "scale-cores: {} events ({} repeats per worker count)",
+                report.events, report.repeats
+            );
+            for p in &report.points {
+                println!(
+                    "  W={}: {:>9.0} events/s  ({:.2}x vs W=1), {} matches, multiset {:#018x}",
+                    p.workers, p.throughput_eps, p.speedup, p.matches, p.match_hash
+                );
+            }
+            std::fs::write(path, report.to_json()).expect("writing the scale-cores report");
+            println!("wrote {path}");
+            let mut failed = false;
+            if !report.multisets_agree() {
+                println!(
+                    "::error::scale-cores: match multisets differ across worker counts — \
+                     parallelism changed what was detected"
+                );
+                failed = true;
+            }
+            if let Some(floor) = min_speedup {
+                let peak = report.peak_speedup();
+                if peak.is_nan() || peak < floor {
+                    println!(
+                        "::error::scale-cores: W=4 speedup {peak:.2}x is below the floor \
+                         {floor:.2}x — the data plane stopped scaling"
+                    );
+                    failed = true;
+                } else {
+                    println!("scale-cores: W=4 speedup {peak:.2}x clears the {floor:.2}x floor");
+                }
+            }
+            if failed {
+                std::process::exit(1);
             }
         }
         "all" => {

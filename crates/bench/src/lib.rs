@@ -22,4 +22,7 @@ pub use experiments::{
 pub use harness::{
     best_of, estimate_d_avg, run_one, scan_distance, scan_threshold, HarnessConfig, RunResult,
 };
-pub use smoke::{diff_reports, parse_points, run_smoke, SmokeConfig, SmokePoint, SmokeReport};
+pub use smoke::{
+    diff_reports, parse_points, run_scale_cores, run_smoke, ParsedPoint, ScaleCoresPoint,
+    ScaleCoresReport, SmokeConfig, SmokeDiff, SmokePoint, SmokeReport, SCALE_CORES_WORKERS,
+};

@@ -43,19 +43,28 @@
 //! * `scale_click_{any,next,strict}` — the adversarial
 //!   clickstream-funnel scenario ([`mod@acep_workloads::clickstream`]: deep
 //!   `SEQ` with two negations, pathological per-source lateness under
-//!   per-source watermarks), same per-policy sweep.
+//!   per-source watermarks), same per-policy sweep;
+//! * `scale_cores_w{1,2,4}` — the multicore data-plane rows: the
+//!   stocks queries over a stream scaled to `cores_keys` partition
+//!   keys, delivered in order and measured at 1, 2 and 4 worker
+//!   shards over the lock-free ingestion rings. Their relative
+//!   throughput is the scaling signal the CI `scale-cores` gate
+//!   enforces (see [`run_scale_cores`] and `experiments scale-cores`);
+//!   their match counts must be identical across worker counts.
 //!
 //! Scenario rows measure different workloads than the stocks baseline,
 //! so — like `scale_keys` — their overhead slot is `null`.
 
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
 use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_engine::MatchKey;
 use acep_plan::PlannerKind;
 use acep_stream::{
-    CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, RuntimeStats, ShardedRuntime,
-    SourceId, StreamConfig, TelemetryConfig,
+    CollectingSink, CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, RuntimeStats,
+    ShardedRuntime, SourceId, StreamConfig, TelemetryConfig,
 };
 use acep_types::{Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value};
 use acep_workloads::{
@@ -85,6 +94,12 @@ pub struct SmokeConfig {
     pub iot_events: usize,
     /// Users (partition keys) of the `scale_click_*` scenario rows.
     pub click_users: u64,
+    /// Partition keys of the `scale_cores_w*` rows and the
+    /// `scale-cores` gate — high enough that the key hash spreads work
+    /// evenly over four shards.
+    pub cores_keys: u64,
+    /// Events per key of the `scale_cores_w*` rows.
+    pub cores_events_per_key: usize,
 }
 
 impl Default for SmokeConfig {
@@ -99,6 +114,8 @@ impl Default for SmokeConfig {
             iot_devices: 100_000,
             iot_events: 400_000,
             click_users: 20_000,
+            cores_keys: 64,
+            cores_events_per_key: 6_000,
         }
     }
 }
@@ -219,7 +236,7 @@ fn run_once(
     policy_override: Option<SelectionPolicy>,
 ) -> RunOutcome {
     let sink = Arc::new(CountingSink::new(set.len()));
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -356,6 +373,34 @@ const CLICK_ROWS: [(SelectionPolicy, &str); 3] = [
     (SelectionPolicy::SkipTillNext, "scale_click_next"),
     (SelectionPolicy::StrictContiguity, "scale_click_strict"),
 ];
+
+/// The worker-count sweep of the multicore data-plane rows and the
+/// `scale-cores` gate. W = 1 is the scaling denominator.
+pub const SCALE_CORES_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// Grid-row names of the worker-count sweep.
+const SCALE_CORES_ROWS: [(usize, &str); 3] = [
+    (1, "scale_cores_w1"),
+    (2, "scale_cores_w2"),
+    (4, "scale_cores_w4"),
+];
+
+/// The multicore-gate workload: the stocks smoke queries over a stream
+/// scaled to `cores_keys` partition keys, delivered in order. The key
+/// cardinality is the point — the shard hash must have enough keys to
+/// balance four workers, and the per-event engine work (two queries,
+/// one with a deadline-held negation) must dominate the ring hand-off
+/// for the scaling signal to be about the data plane, not the ring.
+fn scale_cores_workload(config: &SmokeConfig) -> (PatternSet, Vec<(SourceId, Arc<Event>)>) {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(config.cores_keys, config.cores_events_per_key);
+    let set = pattern_set(&scenario);
+    let delivered = events
+        .into_iter()
+        .map(|ev| (SourceId::MERGED, ev))
+        .collect();
+    (set, delivered)
+}
 
 /// One-query pattern set for an adversarial scenario row. The policy
 /// itself is *not* baked in here — the sweep applies it through
@@ -560,6 +605,24 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         points.push(point(name, CLICK_BOUND, f64::NAN, &outcome));
     }
 
+    // The multicore data-plane rows: one workload, three worker
+    // counts. On a multicore runner the throughput ratio across these
+    // rows is the scaling trajectory; the `scale-cores` gate enforces
+    // a floor on it (with match-multiset identity) as a hard CI check.
+    let (cores_set, delivered) = scale_cores_workload(config);
+    for (workers, name) in SCALE_CORES_ROWS {
+        let outcome = best_of(
+            &cores_set,
+            &delivered,
+            workers,
+            DisorderConfig::in_order(),
+            None,
+            None,
+            config.repeats,
+        );
+        points.push(point(name, 0, f64::NAN, &outcome));
+    }
+
     SmokeReport {
         config: config.clone(),
         events: events.len(),
@@ -567,6 +630,147 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         points,
         prometheus,
         telemetry_json,
+    }
+}
+
+/// One worker-count measurement of the `scale-cores` gate.
+#[derive(Debug, Clone)]
+pub struct ScaleCoresPoint {
+    /// Worker shards the run used.
+    pub workers: usize,
+    /// Best observed throughput, events per wall-clock second.
+    pub throughput_eps: f64,
+    /// Throughput relative to this report's W = 1 row.
+    pub speedup: f64,
+    /// Matches detected — must be identical across worker counts.
+    pub matches: u64,
+    /// Order-insensitive hash of the full `(query, key, match
+    /// identity)` multiset. Bit-identical hashes across worker counts
+    /// are the gate's semantic check: parallelism is an operational
+    /// knob, never a semantic one.
+    pub match_hash: u64,
+}
+
+/// The `scale-cores` gate report: the same workload at W = 1/2/4 with
+/// throughput, scaling, and match-multiset identity per worker count.
+#[derive(Debug, Clone)]
+pub struct ScaleCoresReport {
+    /// Events per run.
+    pub events: usize,
+    /// Measured runs per worker count (best run reported).
+    pub repeats: usize,
+    pub points: Vec<ScaleCoresPoint>,
+}
+
+impl ScaleCoresReport {
+    /// True iff every worker count produced the identical match
+    /// multiset (count and hash).
+    pub fn multisets_agree(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[0].match_hash == w[1].match_hash && w[0].matches == w[1].matches)
+    }
+
+    /// The speedup of the highest worker count over W = 1 — the number
+    /// the CI floor applies to.
+    pub fn peak_speedup(&self) -> f64 {
+        self.points.last().map_or(f64::NAN, |p| p.speedup)
+    }
+
+    /// Serializes the gate report as JSON (hand-rolled, like
+    /// [`SmokeReport::to_json`]). The hash is emitted as a hex string:
+    /// u64 does not survive a round-trip through JSON doubles.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"acep-scale-cores-v1\",\n");
+        out.push_str(&format!(
+            "  \"events\": {}, \"repeats\": {},\n  \"points\": [\n",
+            self.events, self.repeats
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workers\": {}, \"throughput_eps\": {}, \"speedup\": {}, \"matches\": {}, \"match_hash\": \"{:#018x}\"}}{}\n",
+                p.workers,
+                json_f64(p.throughput_eps),
+                if p.speedup.is_finite() { format!("{:.3}", p.speedup) } else { "null".into() },
+                p.matches,
+                p.match_hash,
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the multicore scaling gate: the `scale_cores` workload (the
+/// same one the `scale_cores_w*` grid rows measure) at every worker
+/// count in [`SCALE_CORES_WORKERS`], collecting the full
+/// match multiset of each run. Throughput takes the best of
+/// `config.repeats` runs; the multiset must be bit-identical across
+/// repeats (panics otherwise — that is a determinism bug, not noise).
+/// The caller (the `experiments scale-cores` subcommand) decides
+/// whether the resulting speedup clears its floor.
+pub fn run_scale_cores(config: &SmokeConfig) -> ScaleCoresReport {
+    let (set, delivered) = scale_cores_workload(config);
+    let mut points: Vec<ScaleCoresPoint> = Vec::new();
+    let mut base_eps = f64::NAN;
+    for workers in SCALE_CORES_WORKERS {
+        let mut best_eps = 0.0f64;
+        let mut matches = 0u64;
+        let mut match_hash: Option<u64> = None;
+        for _ in 0..config.repeats.max(1) {
+            let sink = Arc::new(CollectingSink::new());
+            let mut runtime = ShardedRuntime::new(
+                &set,
+                Arc::new(LastAttrKeyExtractor),
+                Arc::clone(&sink) as _,
+                StreamConfig {
+                    shards: workers,
+                    ..StreamConfig::default()
+                },
+            )
+            .expect("scale-cores runtime configuration is valid");
+            let start = Instant::now();
+            for chunk in delivered.chunks(4_096) {
+                runtime.push_tagged(chunk);
+            }
+            let stats = runtime.finish();
+            let wall = start.elapsed().as_secs_f64().max(1e-9);
+
+            let mut lines: Vec<(u32, u64, MatchKey)> = sink
+                .drain()
+                .into_iter()
+                .map(|m| (m.query.0, m.key, m.matched.key()))
+                .collect();
+            lines.sort();
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            lines.hash(&mut hasher);
+            let hash = hasher.finish();
+            assert_eq!(
+                *match_hash.get_or_insert(hash),
+                hash,
+                "W={workers}: the match multiset must be identical across repeats"
+            );
+            matches = lines.len() as u64;
+            assert_eq!(matches, stats.total_matches(), "sink and stats disagree");
+            best_eps = best_eps.max(delivered.len() as f64 / wall);
+        }
+        if workers == SCALE_CORES_WORKERS[0] {
+            base_eps = best_eps;
+        }
+        points.push(ScaleCoresPoint {
+            workers,
+            throughput_eps: best_eps,
+            speedup: best_eps / base_eps,
+            matches,
+            match_hash: match_hash.expect("at least one repeat"),
+        });
+    }
+    ScaleCoresReport {
+        events: delivered.len(),
+        repeats: config.repeats,
+        points,
     }
 }
 
@@ -625,75 +829,141 @@ fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     Some(rest[..end].trim().trim_matches('"'))
 }
 
-/// Parses the `(strategy, bound, throughput_eps, p99_emission_ms)`
-/// grid points back out of a serialized smoke report. The p99 slot is
-/// `NaN` when the point recorded no emission latency (`null`), or for
-/// reports predating the field.
-pub fn parse_points(json: &str) -> Vec<(String, u64, f64, f64)> {
+/// One grid point parsed back out of a serialized smoke report.
+#[derive(Debug, Clone)]
+pub struct ParsedPoint {
+    pub strategy: String,
+    pub bound: u64,
+    pub throughput_eps: f64,
+    /// `NaN` when the point recorded no emission latency (`null`), or
+    /// for reports predating the field.
+    pub p99_emission_ms: f64,
+    /// `None` for reports predating the field.
+    pub matches: Option<u64>,
+    /// `None` for reports predating the field.
+    pub partials_live: Option<u64>,
+}
+
+/// Parses the grid points back out of a serialized smoke report.
+pub fn parse_points(json: &str) -> Vec<ParsedPoint> {
     json.lines()
         .filter_map(|line| {
-            let strategy = json_field(line, "strategy")?.to_string();
-            let bound = json_field(line, "bound")?.parse().ok()?;
-            let eps = json_field(line, "throughput_eps")?.parse().ok()?;
-            let p99 = json_field(line, "p99_emission_ms")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(f64::NAN);
-            Some((strategy, bound, eps, p99))
+            Some(ParsedPoint {
+                strategy: json_field(line, "strategy")?.to_string(),
+                bound: json_field(line, "bound")?.parse().ok()?,
+                throughput_eps: json_field(line, "throughput_eps")?.parse().ok()?,
+                p99_emission_ms: json_field(line, "p99_emission_ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(f64::NAN),
+                matches: json_field(line, "matches").and_then(|v| v.parse().ok()),
+                partials_live: json_field(line, "partials_live").and_then(|v| v.parse().ok()),
+            })
         })
         .collect()
 }
 
-/// Diffs a current smoke report against a committed baseline: one
-/// warning line per grid point slower than the baseline by more than
-/// `tolerance_pct` percent, per point whose p99 emission latency
-/// regressed by the same relative margin (and by more than one
-/// histogram bucket's worth of ms, to dodge log₂ quantization noise),
-/// and per point missing from either side. Empty = within tolerance.
-/// The caller decides whether warnings fail the build; CI only
-/// annotates (smoke numbers are trend data from shared runners, not a
-/// stable gate).
-pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> Vec<String> {
+/// A severity-split smoke diff. `errors` fail the build, `warnings`
+/// only annotate — see [`diff_reports`] for the classification.
+#[derive(Debug, Clone, Default)]
+pub struct SmokeDiff {
+    pub errors: Vec<String>,
+    pub warnings: Vec<String>,
+}
+
+impl SmokeDiff {
+    pub fn is_clean(&self) -> bool {
+        self.errors.is_empty() && self.warnings.is_empty()
+    }
+}
+
+/// Diffs a current smoke report against a committed baseline.
+///
+/// **Errors** (CI exits nonzero on any): semantic drift that no amount
+/// of runner noise explains — a grid point's match count or
+/// `partials_live` differing from the baseline (both are deterministic
+/// on this grid: every point runs a fixed workload on a fixed shard
+/// count, and batch boundaries are assembled producer-side), a
+/// baseline grid point missing from the current report (a silently
+/// shrunk grid is how coverage rots), or a baseline with no points at
+/// all.
+///
+/// **Warnings** (annotate only): a point slower than the baseline by
+/// more than `tolerance_pct` percent, a p99 emission latency regressed
+/// by the same relative margin (and by more than one histogram
+/// bucket's worth of ms, to dodge log₂ quantization noise), and
+/// current points not yet in the baseline. Timing stays advisory —
+/// smoke numbers are trend data from shared runners, not a stable
+/// gate; the dedicated `scale-cores` job owns the hard perf floor.
+pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> SmokeDiff {
     let cur = parse_points(current);
     let base = parse_points(baseline);
-    let mut warnings = Vec::new();
+    let mut diff = SmokeDiff::default();
     if base.is_empty() {
-        warnings.push("baseline report contains no grid points".into());
-        return warnings;
+        diff.errors
+            .push("baseline report contains no grid points".into());
+        return diff;
     }
-    for (strategy, bound, base_eps, base_p99) in &base {
+    for b in &base {
         match cur
             .iter()
-            .find(|(s, b, _, _)| s == strategy && b == bound)
-            .map(|(_, _, eps, p99)| (*eps, *p99))
+            .find(|c| c.strategy == b.strategy && c.bound == b.bound)
         {
-            None => warnings.push(format!("{strategy}@{bound}: missing from current report")),
-            Some((cur_eps, cur_p99)) => {
-                if cur_eps < base_eps * (1.0 - tolerance_pct / 100.0) {
-                    warnings.push(format!(
-                        "{strategy}@{bound}: {cur_eps:.0} events/s is {:.1}% below baseline {base_eps:.0}",
-                        100.0 * (1.0 - cur_eps / base_eps)
+            None => diff.errors.push(format!(
+                "{}@{}: baseline grid point missing from current report",
+                b.strategy, b.bound
+            )),
+            Some(c) => {
+                if let (Some(cur_m), Some(base_m)) = (c.matches, b.matches) {
+                    if cur_m != base_m {
+                        diff.errors.push(format!(
+                            "{}@{}: match count drifted from baseline ({cur_m} vs {base_m})",
+                            b.strategy, b.bound
+                        ));
+                    }
+                }
+                if let (Some(cur_p), Some(base_p)) = (c.partials_live, b.partials_live) {
+                    if cur_p != base_p {
+                        diff.errors.push(format!(
+                            "{}@{}: partials_live drifted from baseline ({cur_p} vs {base_p})",
+                            b.strategy, b.bound
+                        ));
+                    }
+                }
+                if c.throughput_eps < b.throughput_eps * (1.0 - tolerance_pct / 100.0) {
+                    diff.warnings.push(format!(
+                        "{}@{}: {:.0} events/s is {:.1}% below baseline {:.0}",
+                        b.strategy,
+                        b.bound,
+                        c.throughput_eps,
+                        100.0 * (1.0 - c.throughput_eps / b.throughput_eps),
+                        b.throughput_eps
                     ));
                 }
-                if base_p99.is_finite()
-                    && cur_p99.is_finite()
-                    && cur_p99 > base_p99 * (1.0 + tolerance_pct / 100.0)
-                    && cur_p99 - base_p99 > base_p99.max(1.0)
+                if b.p99_emission_ms.is_finite()
+                    && c.p99_emission_ms.is_finite()
+                    && c.p99_emission_ms > b.p99_emission_ms * (1.0 + tolerance_pct / 100.0)
+                    && c.p99_emission_ms - b.p99_emission_ms > b.p99_emission_ms.max(1.0)
                 {
-                    warnings.push(format!(
-                        "{strategy}@{bound}: p99 emission latency {cur_p99:.0} ms is above baseline {base_p99:.0} ms"
+                    diff.warnings.push(format!(
+                        "{}@{}: p99 emission latency {:.0} ms is above baseline {:.0} ms",
+                        b.strategy, b.bound, c.p99_emission_ms, b.p99_emission_ms
                     ));
                 }
             }
         }
     }
-    for (strategy, bound, _, _) in &cur {
-        if !base.iter().any(|(s, b, _, _)| s == strategy && b == bound) {
-            warnings.push(format!(
-                "{strategy}@{bound}: not in baseline (update BENCH_baseline.json)"
+    for c in &cur {
+        if !base
+            .iter()
+            .any(|b| b.strategy == c.strategy && b.bound == c.bound)
+        {
+            diff.warnings.push(format!(
+                "{}@{}: not in baseline (update BENCH_baseline.json)",
+                c.strategy, c.bound
             ));
         }
     }
-    warnings
+    diff
 }
 
 #[cfg(test)]
@@ -716,9 +986,11 @@ mod tests {
             iot_devices: 50,
             iot_events: 2_000,
             click_users: 40,
+            cores_keys: 8,
+            cores_events_per_key: 250,
         });
         assert_eq!(report.events, 1_000);
-        assert_eq!(report.points.len(), 13);
+        assert_eq!(report.points.len(), 16);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -804,6 +1076,22 @@ mod tests {
             }
         }
 
+        // The multicore rows: one workload at W = 1/2/4, so parallelism
+        // must not change what is detected.
+        let [w1, w2, w4] = [&report.points[13], &report.points[14], &report.points[15]];
+        assert_eq!(w1.strategy, "scale_cores_w1");
+        assert_eq!(w2.strategy, "scale_cores_w2");
+        assert_eq!(w4.strategy, "scale_cores_w4");
+        assert!(w1.matches > 0, "the scaled workload must produce matches");
+        assert_eq!(
+            w1.matches, w2.matches,
+            "W=2 must detect exactly W=1's matches"
+        );
+        assert_eq!(
+            w1.matches, w4.matches,
+            "W=4 must detect exactly W=1's matches"
+        );
+
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"acep-bench-smoke-v1\""));
         assert!(json.contains("\"strategy\": \"per_source\""));
@@ -811,25 +1099,31 @@ mod tests {
         assert!(json.contains("\"strategy\": \"telemetry\""));
         assert!(json.contains("\"strategy\": \"scale_iot_next\""));
         assert!(json.contains("\"strategy\": \"scale_click_strict\""));
+        assert!(json.contains("\"strategy\": \"scale_cores_w4\""));
         assert!(json.contains("\"partials_live\""));
         assert!(json.contains("\"p99_emission_ms\""));
-        assert_eq!(json.matches("\"bound\":").count(), 13);
+        assert_eq!(json.matches("\"bound\":").count(), 16);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 13);
-        assert_eq!(points[0].0, "merged");
-        assert_eq!(points[0].1, 0);
-        assert!((points[0].2 - report.points[0].throughput_eps).abs() < 1.0);
-        assert_eq!(points[1].0, "telemetry");
-        assert_eq!(points[6].0, "scale_keys");
-        assert_eq!(points[12].0, "scale_click_strict");
-        for (i, (_, _, _, p99)) in points.iter().enumerate() {
+        assert_eq!(points.len(), 16);
+        assert_eq!(points[0].strategy, "merged");
+        assert_eq!(points[0].bound, 0);
+        assert!((points[0].throughput_eps - report.points[0].throughput_eps).abs() < 1.0);
+        assert_eq!(points[1].strategy, "telemetry");
+        assert_eq!(points[6].strategy, "scale_keys");
+        assert_eq!(points[12].strategy, "scale_click_strict");
+        assert_eq!(points[15].strategy, "scale_cores_w4");
+        for (i, p) in points.iter().enumerate() {
             let want = report.points[i].p99_emission_ms;
             assert!(
-                (p99.is_nan() && want.is_nan()) || (p99 - want).abs() < 1.0,
-                "p99 round-trip at point {i}: {p99} vs {want}"
+                (p.p99_emission_ms.is_nan() && want.is_nan())
+                    || (p.p99_emission_ms - want).abs() < 1.0,
+                "p99 round-trip at point {i}: {} vs {want}",
+                p.p99_emission_ms
             );
+            assert_eq!(p.matches, Some(report.points[i].matches));
+            assert_eq!(p.partials_live, Some(report.points[i].partials_live as u64));
         }
     }
 
@@ -842,18 +1136,83 @@ mod tests {
         let ok = "\
 {\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 900.0, \"overhead_pct\": 0.0}\n\
 {\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 890.0, \"overhead_pct\": 1.1}\n";
-        assert!(diff_reports(ok, base, 20.0).is_empty());
-        // 30% drop at bound 0, a missing point, and a new point.
+        assert!(diff_reports(ok, base, 20.0).is_clean());
+        // 30% drop at bound 0 (warning), a disappeared baseline point
+        // (error), and a new point (warning).
         let bad = "\
 {\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 700.0, \"overhead_pct\": 0.0}\n\
 {\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1.0, \"overhead_pct\": 0.0}\n";
-        let warnings = diff_reports(bad, base, 20.0);
-        assert_eq!(warnings.len(), 3, "{warnings:?}");
-        assert!(warnings[0].contains("30.0% below baseline"));
-        assert!(warnings[1].contains("missing from current"));
-        assert!(warnings[2].contains("not in baseline"));
-        // An empty baseline is itself a warning, not a clean pass.
-        assert_eq!(diff_reports(ok, "", 20.0).len(), 1);
+        let diff = diff_reports(bad, base, 20.0);
+        assert_eq!(diff.errors.len(), 1, "{diff:?}");
+        assert!(diff.errors[0].contains("missing from current"));
+        assert_eq!(diff.warnings.len(), 2, "{diff:?}");
+        assert!(diff.warnings[0].contains("30.0% below baseline"));
+        assert!(diff.warnings[1].contains("not in baseline"));
+        // An empty baseline is itself an error, never a clean pass.
+        assert_eq!(diff_reports(ok, "", 20.0).errors.len(), 1);
+    }
+
+    #[test]
+    fn diff_semantic_drift_is_an_error_not_a_warning() {
+        let base = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 50, \"partials_live\": 7}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 7}\n";
+        // Identical semantics, slower within tolerance → clean.
+        let ok = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 950.0, \"matches\": 50, \"partials_live\": 7}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 880.0, \"matches\": 50, \"partials_live\": 7}\n";
+        assert!(diff_reports(ok, base, 20.0).is_clean());
+        // Match drift on one point, partials drift on the other: two
+        // errors even though every throughput is within tolerance.
+        let drifted = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 49, \"partials_live\": 7}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 8}\n";
+        let diff = diff_reports(drifted, base, 20.0);
+        assert!(diff.warnings.is_empty(), "{diff:?}");
+        assert_eq!(diff.errors.len(), 2, "{diff:?}");
+        assert!(diff.errors[0].contains("match count drifted"));
+        assert!(diff.errors[0].contains("49 vs 50"));
+        assert!(diff.errors[1].contains("partials_live drifted"));
+        // Old-format baselines without the fields stay comparable:
+        // nothing to check semantically, so no error.
+        let old = "\
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0}\n";
+        assert!(diff_reports(drifted, old, 20.0).is_clean());
+    }
+
+    #[test]
+    fn scale_cores_gate_reports_speedup_and_multiset_identity() {
+        // Tiny instance: shape and invariants, not scaling — this
+        // container may be single-core, so only the CI runner asserts
+        // a speedup floor (see `experiments scale-cores`).
+        let report = run_scale_cores(&SmokeConfig {
+            repeats: 2,
+            cores_keys: 8,
+            cores_events_per_key: 250,
+            ..SmokeConfig::default()
+        });
+        assert_eq!(report.events, 2_000);
+        assert_eq!(report.points.len(), SCALE_CORES_WORKERS.len());
+        for (p, want) in report.points.iter().zip(SCALE_CORES_WORKERS) {
+            assert_eq!(p.workers, want);
+            assert!(p.throughput_eps > 0.0);
+            assert!(p.speedup.is_finite() && p.speedup > 0.0);
+            assert!(p.matches > 0, "the workload must produce matches");
+        }
+        assert!(
+            (report.points[0].speedup - 1.0).abs() < 1e-9,
+            "W=1 is the denominator"
+        );
+        assert!(
+            report.multisets_agree(),
+            "worker counts must agree on the match multiset: {report:?}"
+        );
+        assert!(report.peak_speedup().is_finite());
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"acep-scale-cores-v1\""));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("\"match_hash\": \"0x"));
     }
 
     #[test]
@@ -867,21 +1226,22 @@ mod tests {
 {\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 64}\n\
 {\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 512}\n";
         assert!(
-            diff_reports(ok, base, 20.0).is_empty(),
+            diff_reports(ok, base, 20.0).is_clean(),
             "bucket noise tolerated"
         );
         // More than doubled → one p99 warning, throughput untouched.
         let bad = "\
 {\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0, \"p99_emission_ms\": 128}\n\
 {\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"p99_emission_ms\": null}\n";
-        let warnings = diff_reports(bad, base, 20.0);
-        assert_eq!(warnings.len(), 1, "{warnings:?}");
-        assert!(warnings[0].contains("p99 emission latency 128 ms"));
+        let diff = diff_reports(bad, base, 20.0);
+        assert!(diff.errors.is_empty(), "{diff:?}");
+        assert_eq!(diff.warnings.len(), 1, "{diff:?}");
+        assert!(diff.warnings[0].contains("p99 emission latency 128 ms"));
         // Old-format baselines (no p99 field) stay comparable.
         let old = "\
 {\"strategy\": \"per_source\", \"bound\": 16, \"throughput_eps\": 1000.0}\n";
-        assert!(diff_reports(bad, old, 20.0)
-            .iter()
-            .all(|w| w.contains("not in baseline")));
+        let diff = diff_reports(bad, old, 20.0);
+        assert!(diff.errors.is_empty(), "{diff:?}");
+        assert!(diff.warnings.iter().all(|w| w.contains("not in baseline")));
     }
 }

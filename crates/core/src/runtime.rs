@@ -230,6 +230,14 @@ impl EngineTemplate {
         self.relevant.get(ty.index()).copied().unwrap_or(false)
     }
 
+    /// The per-type relevance bitmap behind
+    /// [`is_relevant`](Self::is_relevant), indexed by
+    /// [`EventTypeId`]. Multi-query hosts pack these into an
+    /// `acep_engine::RelevanceIndex` for batched pre-filtering.
+    pub fn relevance(&self) -> &[bool] {
+        &self.relevant
+    }
+
     /// The canonical pattern this template compiles.
     pub fn pattern(&self) -> &CanonicalPattern {
         &self.pattern

@@ -21,6 +21,11 @@
 //!   skip-till-next / strict contiguity): the emit-time validation the
 //!   per-policy oracles pin, plus conservative cascade/join pruning.
 //!
+//! * [`relevance`] — batched type-relevance pre-filtering for
+//!   multi-query hosts: per-type query bitmasks packed into one table,
+//!   so a host classifies a whole batch's events in one columnar pass
+//!   and dispatches only to the queries whose bit is set.
+//!
 //! * [`partial`] — arena-backed partial matches: a per-executor
 //!   [`PartialStore`] slab of `(slot, event, parent)` binding nodes, so
 //!   extending or merging a partial is O(1)/O(shorter chain) node
@@ -40,6 +45,7 @@ pub mod matches;
 pub mod migration;
 pub mod order_exec;
 pub mod partial;
+pub mod relevance;
 pub mod selection;
 pub mod tree_exec;
 
@@ -52,5 +58,6 @@ pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;
 pub use order_exec::OrderExecutor;
 pub use partial::{ChainBinding, Partial, PartialStore};
+pub use relevance::{QueryMask, RelevanceIndex};
 pub use selection::SeenLog;
 pub use tree_exec::TreeExecutor;

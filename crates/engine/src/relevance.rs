@@ -1,0 +1,248 @@
+//! Batched type-relevance pre-filtering for multi-query hosts.
+//!
+//! A host evaluating `Q` queries over one stream must decide, per
+//! event, which queries can possibly care about it — an event whose
+//! type no slot (positive or negated) of a query references cannot
+//! affect that query's match set. Doing that decision per `(event,
+//! query)` pair with a method call is the kind of per-event dispatch
+//! that dominates once the engines themselves are fast; the
+//! [`RelevanceIndex`] turns it into columnar batch work instead:
+//!
+//! 1. At host construction, the per-query relevance bitmaps are packed
+//!    into one table of `u64` words indexed by event type — a
+//!    [`QueryMask`] row per type.
+//! 2. Per batch, the host extracts the hot attribute column (the event
+//!    type discriminators) and runs [`RelevanceIndex::prefilter`] over
+//!    it, producing one mask per event in a single tight loop.
+//! 3. Per event, `mask.any()` gates all per-key work (irrelevant
+//!    events never touch the key map), and `mask.iter()` yields
+//!    exactly the relevant query indices — engine dispatch iterates
+//!    set bits, never scanning queries that cannot match.
+//!
+//! The index is evaluation-plan agnostic (it sees only the canonical
+//! patterns' type sets), so pre-filtering commutes with adaptation:
+//! re-planning never changes which events a query observes.
+
+use acep_types::EventTypeId;
+
+/// A bitmask of query indices, one bit per query, in `u64` words.
+///
+/// Masks borrow their words from the [`RelevanceIndex`]'s table — the
+/// common case (≤ 64 queries) is a single-word slice, and a mask is
+/// only ever read, never stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryMask<'a> {
+    words: &'a [u64],
+}
+
+impl QueryMask<'_> {
+    /// Whether any query is relevant.
+    #[inline]
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|&w| w != 0)
+    }
+
+    /// Whether query `q` is relevant.
+    #[inline]
+    pub fn contains(&self, q: usize) -> bool {
+        self.words
+            .get(q / 64)
+            .is_some_and(|w| w & (1u64 << (q % 64)) != 0)
+    }
+
+    /// Iterates the relevant query indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// Number of relevant queries.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Packed type → query-set relevance table: the batched pre-filter
+/// entry point of a multi-query host (see module docs).
+#[derive(Debug, Clone)]
+pub struct RelevanceIndex {
+    /// `table[ty * words_per_type ..][w]`: bit `q % 64` of word
+    /// `q / 64` set iff query `q` references event type `ty`.
+    table: Vec<u64>,
+    words_per_type: usize,
+    num_types: usize,
+    num_queries: usize,
+    /// Types with no relevant query — `u64::MAX` sentinel rows would
+    /// also work, but an explicit empty row keeps `prefilter` branch-
+    /// free.
+    empty: Vec<u64>,
+}
+
+impl RelevanceIndex {
+    /// Builds the index from each query's per-type relevance bitmap
+    /// (`queries[q][ty]` = query `q` references type `ty`, as exposed
+    /// by `EngineTemplate::relevance`). Bitmaps shorter than
+    /// `num_types` are padded with `false`.
+    pub fn build<'a>(num_types: usize, queries: impl IntoIterator<Item = &'a [bool]>) -> Self {
+        let queries: Vec<&[bool]> = queries.into_iter().collect();
+        let num_queries = queries.len();
+        let words_per_type = num_queries.div_ceil(64).max(1);
+        let mut table = vec![0u64; num_types * words_per_type];
+        for (q, relevant) in queries.iter().enumerate() {
+            for (ty, _) in relevant.iter().enumerate().filter(|(_, &r)| r) {
+                debug_assert!(ty < num_types, "relevance bitmap wider than the type space");
+                if ty < num_types {
+                    table[ty * words_per_type + q / 64] |= 1u64 << (q % 64);
+                }
+            }
+        }
+        Self {
+            table,
+            words_per_type,
+            num_types,
+            num_queries,
+            empty: vec![0u64; words_per_type],
+        }
+    }
+
+    /// Queries indexed.
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// Event types indexed; types at or beyond this bound map to the
+    /// empty mask (consistent with `EngineTemplate::is_relevant`).
+    pub fn num_types(&self) -> usize {
+        self.num_types
+    }
+
+    /// The query mask of one event type.
+    #[inline]
+    pub fn mask(&self, ty: EventTypeId) -> QueryMask<'_> {
+        let row = ty.index();
+        let words = if row < self.num_types {
+            let start = row * self.words_per_type;
+            &self.table[start..start + self.words_per_type]
+        } else {
+            &self.empty
+        };
+        QueryMask { words }
+    }
+
+    /// The batched entry point: given a batch's extracted type column,
+    /// appends each event's relevance verdict — `(any relevant,
+    /// single-word fast mask)` — to `out`. The fast mask is the first
+    /// word of the full mask (exact for hosts with ≤ 64 queries — all
+    /// current ones); wider hosts must re-derive the full mask via
+    /// [`mask`](Self::mask) for events whose verdict is relevant.
+    ///
+    /// `out` is a reusable scratch column: cleared here, filled in one
+    /// tight pass, no per-event allocation.
+    pub fn prefilter(&self, types: &[EventTypeId], out: &mut Vec<(bool, u64)>) {
+        out.clear();
+        out.reserve(types.len());
+        if self.words_per_type == 1 {
+            for &ty in types {
+                let row = ty.index();
+                let w = if row < self.num_types {
+                    self.table[row]
+                } else {
+                    0
+                };
+                out.push((w != 0, w));
+            }
+        } else {
+            for &ty in types {
+                let m = self.mask(ty);
+                out.push((m.any(), m.words[0]));
+            }
+        }
+    }
+
+    /// Whether the host needs the wide-mask path (> 64 queries): the
+    /// `prefilter` fast mask is then only the first word.
+    pub fn wide(&self) -> bool {
+        self.words_per_type > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ty(i: usize) -> EventTypeId {
+        EventTypeId(i as u32)
+    }
+
+    #[test]
+    fn masks_match_the_input_bitmaps() {
+        // 3 types; q0 references {0, 2}, q1 references {1}, q2 nothing.
+        let q0 = [true, false, true];
+        let q1 = [false, true, false];
+        let q2 = [false, false, false];
+        let idx = RelevanceIndex::build(3, [&q0[..], &q1[..], &q2[..]]);
+        assert_eq!(idx.num_queries(), 3);
+        assert_eq!(idx.num_types(), 3);
+        assert!(!idx.wide());
+        assert!(idx.mask(ty(0)).contains(0));
+        assert!(!idx.mask(ty(0)).contains(1));
+        assert_eq!(idx.mask(ty(0)).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(idx.mask(ty(1)).iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(idx.mask(ty(2)).iter().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(idx.mask(ty(2)).count(), 1);
+        assert!(idx.mask(ty(0)).any());
+        // Out-of-range types (and types nobody references) are empty.
+        assert!(!idx.mask(ty(7)).any());
+        assert!(!idx.mask(ty(7)).contains(0));
+    }
+
+    #[test]
+    fn prefilter_matches_per_event_masks() {
+        let q0 = [true, false, true, false];
+        let q1 = [false, true, true, false];
+        let idx = RelevanceIndex::build(4, [&q0[..], &q1[..]]);
+        let types: Vec<EventTypeId> = [0, 1, 2, 3, 9, 2].iter().map(|&i| ty(i)).collect();
+        let mut col = Vec::new();
+        idx.prefilter(&types, &mut col);
+        assert_eq!(col.len(), types.len());
+        for (i, &(any, word)) in col.iter().enumerate() {
+            let m = idx.mask(types[i]);
+            assert_eq!(any, m.any(), "event {i}");
+            assert_eq!(word != 0, m.any(), "event {i}");
+            for q in 0..2 {
+                assert_eq!(word & (1 << q) != 0, m.contains(q), "event {i} query {q}");
+            }
+        }
+        // The scratch column is reusable: a second pass overwrites.
+        idx.prefilter(&types[..2], &mut col);
+        assert_eq!(col.len(), 2);
+    }
+
+    #[test]
+    fn wide_hosts_pack_beyond_one_word() {
+        // 70 queries, each referencing exactly type (q % 3).
+        let bitmaps: Vec<Vec<bool>> = (0..70)
+            .map(|q| (0..3).map(|t| t == q % 3).collect())
+            .collect();
+        let idx = RelevanceIndex::build(3, bitmaps.iter().map(Vec::as_slice));
+        assert!(idx.wide());
+        let m = idx.mask(ty(1));
+        let expect: Vec<usize> = (0..70).filter(|q| q % 3 == 1).collect();
+        assert_eq!(m.iter().collect::<Vec<_>>(), expect);
+        assert!(m.contains(67), "67 % 3 == 1 lands in the second word");
+        assert!(!m.contains(66));
+        assert_eq!(m.count(), expect.len());
+        let mut col = Vec::new();
+        idx.prefilter(&[ty(0), ty(1), ty(2)], &mut col);
+        assert!(col.iter().all(|&(any, _)| any));
+    }
+}

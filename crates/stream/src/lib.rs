@@ -3,13 +3,21 @@
 //! Scales the single-pattern, single-threaded [`AdaptiveCep`] loop of
 //! `acep-core` to a production-shaped deployment: **many patterns**,
 //! evaluated **per partition key**, across **W parallel worker shards**,
-//! fed by **batched, bounded-channel ingestion**.
+//! fed by **producer-partitioned batches over lock-free SPSC rings**.
 //!
 //! ## Sharding model
 //!
 //! Incoming events are mapped to a 64-bit *partition key* by a
 //! user-supplied [`KeyExtractor`] (stock symbol, road segment, user id,
-//! …). Keys are hashed onto `W` worker threads; each worker owns one
+//! …) **on the ingesting thread**, which also tags sources and
+//! assembles per-shard [`ShardBatch`](acep_types::ShardBatch)es —
+//! workers receive ready-to-run shard-local batches over one bounded
+//! lock-free [`SpscRing`] per shard (spin-then-park backpressure; see
+//! [`ring`] and [`ShardStats::ring`]), so the only cross-thread
+//! hand-off on the hot path is the ring's head/tail publication.
+//! Ingestion entry points take `&mut self` — the single-producer half
+//! of the rings' SPSC contract is a compile-time fact, not a runtime
+//! check. Keys are hashed onto `W` worker threads; each worker owns one
 //! [`QueryController`](acep_core::QueryController) per query — the
 //! shard's shared adaptation plane — and one lazily-instantiated
 //! [`KeyedEngine`](acep_core::KeyedEngine) per `(key, query)` pair,
@@ -125,7 +133,7 @@
 //! let q = set.register("pair", seq, AdaptiveConfig::default()).unwrap();
 //!
 //! let sink = Arc::new(CollectingSink::new());
-//! let runtime = ShardedRuntime::new(
+//! let mut runtime = ShardedRuntime::new(
 //!     &set,
 //!     Arc::new(AttrKeyExtractor { attr: 0 }),
 //!     Arc::clone(&sink) as _,
@@ -153,6 +161,7 @@
 
 pub mod registry;
 mod reorder;
+pub mod ring;
 pub mod runtime;
 mod shard;
 pub mod sink;
@@ -160,6 +169,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use registry::{PatternSet, QueryId, QuerySpec};
+pub use ring::{RingStats, SpscRing};
 pub use runtime::{ShardedRuntime, StreamConfig};
 pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
 pub use stats::{QueryStats, RuntimeStats, ShardProfile, ShardStats, SourceWatermark};

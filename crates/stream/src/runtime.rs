@@ -1,16 +1,33 @@
 //! The sharded runtime: ingestion, routing, and lifecycle.
+//!
+//! Ingestion is a true multicore data plane: the ingesting thread does
+//! all routing work — key extraction, source tagging, shard hashing,
+//! batch assembly ([`ShardBatch`]) — and hands each worker ready-to-run
+//! shard-local batches over a lock-free SPSC ring
+//! ([`crate::ring::SpscRing`]), one per shard. Workers never
+//! contend with the producer (or each other) on a lock; backpressure is
+//! the ring's spin-then-park protocol, whose park/wake accounting
+//! surfaces in [`ShardStats::ring`](crate::stats::ShardStats::ring).
+//!
+//! Every ingestion entry point takes `&mut self`: the single-producer
+//! half of each ring's SPSC contract is enforced statically. To ingest
+//! from several threads, partition upstream and give each thread its
+//! own runtime — or funnel through one ingest thread (the design point:
+//! one fast producer feeding W workers).
 
-use std::sync::mpsc::{self, SyncSender};
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use acep_core::EngineTemplate;
 use acep_types::{
-    AcepError, DisorderConfig, Event, KeyExtractor, SelectionPolicy, SourceId, Timestamp,
+    AcepError, DisorderConfig, Event, KeyExtractor, SelectionPolicy, ShardBatch, SourceId,
+    Timestamp,
 };
 
 use crate::registry::PatternSet;
-use crate::shard::{Routed, ShardWorker, ToWorker};
+use crate::ring::SpscRing;
+use crate::shard::{ShardWorker, ToWorker};
 use crate::sink::MatchSink;
 use crate::stats::RuntimeStats;
 use crate::telemetry::{build_plane, TelemetryConfig, TelemetryHub};
@@ -21,12 +38,17 @@ pub struct StreamConfig {
     /// Number of worker shards (W). Partition keys are hashed across
     /// shards; the match multiset is identical for every W.
     pub shards: usize,
-    /// Control messages buffered per shard channel. When a shard falls
-    /// behind, `push_batch` blocks on its full channel — bounded-memory
-    /// backpressure rather than unbounded queueing.
+    /// Control messages buffered per shard ring (rounded up to a power
+    /// of two, minimum 2). When a shard falls behind, ingestion blocks
+    /// on its full ring — bounded-memory backpressure (spin-then-park;
+    /// see [`ShardStats::ring`](crate::stats::ShardStats::ring)) rather
+    /// than unbounded queueing.
     pub channel_capacity: usize,
-    /// Largest per-shard event batch forwarded at once; one ingest call
-    /// is split into chunks of at most this size.
+    /// Producer-side batch target: a shard's in-flight [`ShardBatch`]
+    /// ships to its worker when it reaches this many events. Barriers
+    /// ([`flush`](ShardedRuntime::flush), watermarks, stats, finish)
+    /// ship partial batches early, so batching never delays a barrier's
+    /// contract.
     pub max_batch: usize,
     /// Event-time disorder tolerated at ingestion. The default
     /// (`bound == 0`) declares the stream in-order and compiles to a
@@ -65,7 +87,7 @@ impl Default for StreamConfig {
 }
 
 struct WorkerHandle {
-    tx: SyncSender<ToWorker>,
+    ring: Arc<SpscRing<ToWorker>>,
     handle: JoinHandle<()>,
 }
 
@@ -75,10 +97,18 @@ struct WorkerHandle {
 /// and determinism guarantees. Construction compiles every registered
 /// query once ([`EngineTemplate`]); per-key engines are instantiated
 /// lazily inside the workers as keys appear.
+///
+/// Ingestion (`push*`, watermarks, barriers) takes `&mut self`: the
+/// runtime is a **single-producer** front-end to its workers' SPSC
+/// rings, enforced statically (see module docs).
 pub struct ShardedRuntime {
     workers: Vec<WorkerHandle>,
+    /// Per-shard batches under producer-side assembly. Events persist
+    /// here across `push*` calls until the batch reaches `max_batch`
+    /// (or a barrier drains it), so small pushes still ship in full
+    /// batches.
+    pending: Vec<ShardBatch>,
     extractor: Arc<dyn KeyExtractor>,
-    config: StreamConfig,
     num_queries: usize,
     telemetry: Option<Arc<TelemetryHub>>,
 }
@@ -118,29 +148,33 @@ impl ShardedRuntime {
         let templates: Arc<[EngineTemplate]> = templates.into();
 
         let (hub, worker_telemetry) = build_plane(config.telemetry.as_ref(), config.shards);
-        let workers = worker_telemetry
+        let workers: Vec<WorkerHandle> = worker_telemetry
             .into_iter()
             .enumerate()
             .map(|(shard, telemetry)| {
-                let (tx, rx) = mpsc::sync_channel(config.channel_capacity.max(1));
+                let ring = Arc::new(SpscRing::new(config.channel_capacity.max(2)));
                 let worker = ShardWorker::new(
                     shard,
                     Arc::clone(&templates),
                     Arc::clone(&sink),
                     config.disorder,
                     telemetry,
+                    Arc::clone(&ring),
                 );
                 let handle = std::thread::Builder::new()
                     .name(format!("acep-shard-{shard}"))
-                    .spawn(move || worker.run(rx))
+                    .spawn(move || worker.run())
                     .expect("spawning a shard worker thread");
-                WorkerHandle { tx, handle }
+                WorkerHandle { ring, handle }
             })
+            .collect();
+        let pending = (0..workers.len())
+            .map(|_| ShardBatch::with_target(config.max_batch))
             .collect();
         Ok(Self {
             workers,
+            pending,
             extractor,
-            config,
             num_queries: set.len(),
             telemetry: hub,
         })
@@ -173,21 +207,24 @@ impl ShardedRuntime {
     /// Ingests one event (convenience wrapper over [`push_batch`]).
     ///
     /// [`push_batch`]: Self::push_batch
-    pub fn push(&self, ev: &Arc<Event>) {
+    pub fn push(&mut self, ev: &Arc<Event>) {
         self.push_batch(std::slice::from_ref(ev));
     }
 
     /// Ingests one event from a declared source
     /// (see [`push_batch_from`](Self::push_batch_from)).
-    pub fn push_from(&self, source: SourceId, ev: &Arc<Event>) {
+    pub fn push_from(&mut self, source: SourceId, ev: &Arc<Event>) {
         self.push_batch_from(source, std::slice::from_ref(ev));
     }
 
     /// Ingests a batch attributed to [`SourceId::MERGED`]: events are
-    /// routed to their shards by partition key and forwarded in
-    /// per-shard sub-batches, preserving the input order *within every
-    /// key*. Blocks when a shard's channel is full (backpressure).
-    pub fn push_batch(&self, events: &[Arc<Event>]) {
+    /// routed into their shards' in-flight batches by partition key
+    /// (extracted here, on the producer side) and shipped as each batch
+    /// reaches `max_batch`, preserving the input order *within every
+    /// key*. Blocks when a shard's ring is full (backpressure). Events
+    /// below the batch target stay assembled until a later push fills
+    /// the batch or a barrier ships it.
+    pub fn push_batch(&mut self, events: &[Arc<Event>]) {
         self.route(events.iter().map(|ev| (SourceId::MERGED, ev)));
     }
 
@@ -199,35 +236,49 @@ impl ShardedRuntime {
     /// per-source disorder bound tolerates arbitrarily large skew
     /// *between* sources. Under a `Merged` strategy the source is
     /// ignored.
-    pub fn push_batch_from(&self, source: SourceId, events: &[Arc<Event>]) {
+    pub fn push_batch_from(&mut self, source: SourceId, events: &[Arc<Event>]) {
         self.route(events.iter().map(|ev| (source, ev)));
     }
 
     /// Ingests an interleaving of several sources in one call, each
     /// event tagged with its source.
-    pub fn push_tagged(&self, events: &[(SourceId, Arc<Event>)]) {
+    pub fn push_tagged(&mut self, events: &[(SourceId, Arc<Event>)]) {
         self.route(events.iter().map(|(s, ev)| (*s, ev)));
     }
 
-    /// Routes source-tagged events to their shards (see
-    /// [`push_batch`](Self::push_batch) for the ordering contract).
-    fn route<'a>(&self, events: impl Iterator<Item = (SourceId, &'a Arc<Event>)>) {
-        let mut per_shard: Vec<Vec<Routed>> = vec![Vec::new(); self.workers.len()];
+    /// Routes source-tagged events into the per-shard in-flight batches
+    /// (see [`push_batch`](Self::push_batch) for the ordering
+    /// contract), shipping each batch as it fills.
+    fn route<'a>(&mut self, events: impl Iterator<Item = (SourceId, &'a Arc<Event>)>) {
         for (source, ev) in events {
             // The key travels with the event so workers never re-run
             // the extractor (it may hash string attributes).
             let key = self.extractor.shard_key(ev);
             let shard = self.shard_of(key);
-            let batch = &mut per_shard[shard];
-            batch.push((key, source, Arc::clone(ev)));
-            if batch.len() >= self.config.max_batch {
-                self.send(shard, ToWorker::Batch(std::mem::take(batch)));
+            if self.pending[shard].push(key, source, Arc::clone(ev)) {
+                self.ship(shard);
             }
         }
-        for (shard, batch) in per_shard.into_iter().enumerate() {
-            if !batch.is_empty() {
-                self.send(shard, ToWorker::Batch(batch));
-            }
+    }
+
+    /// Ships shard `shard`'s in-flight batch to its worker (no-op when
+    /// empty).
+    fn ship(&mut self, shard: usize) {
+        if self.pending[shard].is_empty() {
+            return;
+        }
+        let events = self.pending[shard].take();
+        self.send(shard, ToWorker::Batch(events));
+    }
+
+    /// Ships every shard's in-flight batch. Every control message
+    /// (watermark, flush, stats, finish) must be preceded by this:
+    /// events pushed before a barrier must reach their worker before
+    /// the barrier's message, or the barrier would acknowledge a prefix
+    /// it never saw.
+    fn drain_pending(&mut self) {
+        for shard in 0..self.workers.len() {
+            self.ship(shard);
         }
     }
 
@@ -241,15 +292,18 @@ impl ShardedRuntime {
     /// (passthrough) runtime nothing is buffered, but the punctuation
     /// still advances every engine's stream clock, releasing matches
     /// pending a trailing-negation/Kleene deadline before `ts`.
-    pub fn advance_watermark(&self, ts: Timestamp) {
+    pub fn advance_watermark(&mut self, ts: Timestamp) {
+        self.drain_pending();
         for shard in 0..self.workers.len() {
             self.send(shard, ToWorker::Watermark(ts));
         }
     }
 
     /// Barrier: returns once every worker has processed every event
-    /// pushed before this call. After `flush`, all matches detectable
-    /// from the ingested prefix have reached the sink.
+    /// pushed before this call — including events still assembling in
+    /// producer-side batches, which are shipped first. After `flush`,
+    /// all matches detectable from the ingested prefix have reached the
+    /// sink.
     ///
     /// With a non-zero disorder bound, events still held by a shard's
     /// reordering buffer are *not* forced out — they await their
@@ -258,12 +312,10 @@ impl ShardedRuntime {
     /// releases a watermark-proven prefix). Forcing them here would
     /// break delivery-order independence for events the watermark has
     /// not yet cleared.
-    pub fn flush(&self) {
-        let acks: Vec<_> = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(shard, _)| {
+    pub fn flush(&mut self) {
+        self.drain_pending();
+        let acks: Vec<_> = (0..self.workers.len())
+            .map(|shard| {
                 let (ack_tx, ack_rx) = mpsc::channel();
                 self.send(shard, ToWorker::Flush(ack_tx));
                 ack_rx
@@ -294,20 +346,19 @@ impl ShardedRuntime {
     /// out. Under a heuristic strategy the watermark may already have
     /// run past `ts` on its own, so `ts` is a lower bound on what has
     /// emitted, not an upper one.
-    pub fn flush_until(&self, ts: Timestamp) {
+    pub fn flush_until(&mut self, ts: Timestamp) {
         self.advance_watermark(ts);
         self.flush();
     }
 
     /// Consistent per-shard/per-query statistics snapshot. Implies a
     /// [`flush`](Self::flush)-equivalent barrier (the snapshot is taken
-    /// after all previously pushed events).
-    pub fn stats(&self) -> RuntimeStats {
-        let replies: Vec<_> = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(shard, _)| {
+    /// after all previously pushed events, including any still
+    /// assembling in producer-side batches).
+    pub fn stats(&mut self) -> RuntimeStats {
+        self.drain_pending();
+        let replies: Vec<_> = (0..self.workers.len())
+            .map(|shard| {
                 let (tx, rx) = mpsc::channel();
                 self.send(shard, ToWorker::Stats(tx));
                 rx
@@ -326,16 +377,15 @@ impl ShardedRuntime {
         }
     }
 
-    /// Ends the stream: drains every shard (including events still held
-    /// by reordering buffers — the watermark jumps to infinity), flushes
-    /// end-of-stream matches from all engines to the sink, joins the
-    /// workers, and returns the final statistics.
+    /// Ends the stream: ships the in-flight producer batches, drains
+    /// every shard (including events still held by reordering buffers —
+    /// the watermark jumps to infinity), flushes end-of-stream matches
+    /// from all engines to the sink, joins the workers, and returns the
+    /// final statistics.
     pub fn finish(mut self) -> RuntimeStats {
-        let replies: Vec<_> = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(shard, _)| {
+        self.drain_pending();
+        let replies: Vec<_> = (0..self.workers.len())
+            .map(|shard| {
                 let (tx, rx) = mpsc::channel();
                 self.send(shard, ToWorker::Finish(tx));
                 rx
@@ -354,7 +404,7 @@ impl ShardedRuntime {
             })
             .collect();
         for (shard, w) in self.workers.drain(..).enumerate() {
-            drop(w.tx);
+            w.ring.close();
             if w.handle.join().is_err() {
                 panic!("shard worker {shard} panicked during shutdown");
             }
@@ -363,20 +413,24 @@ impl ShardedRuntime {
     }
 
     fn send(&self, shard: usize, msg: ToWorker) {
-        // A send failure means the worker thread died (it panicked);
-        // surface that on the runtime thread instead of hanging.
-        if self.workers[shard].tx.send(msg).is_err() {
+        // A dead consumer means the worker thread panicked; surface
+        // that on the runtime thread instead of parking forever on a
+        // ring nobody drains.
+        let ring = &self.workers[shard].ring;
+        if ring.is_consumer_gone() {
             panic!("shard worker {shard} terminated unexpectedly");
         }
+        ring.push(msg);
     }
 }
 
 impl Drop for ShardedRuntime {
     /// Dropping without [`finish`](Self::finish) tears the workers down
-    /// without flushing end-of-stream matches.
+    /// without flushing end-of-stream matches (or the in-flight
+    /// producer batches).
     fn drop(&mut self) {
         for w in self.workers.drain(..) {
-            drop(w.tx);
+            w.ring.close();
             let _ = w.handle.join();
         }
     }

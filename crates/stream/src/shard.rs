@@ -1,7 +1,10 @@
 //! The worker owning one shard of the key space.
 //!
-//! A worker is a plain thread draining a bounded control channel. It
-//! owns the shard's **adaptation plane** — one
+//! A worker is a plain thread draining its lock-free SPSC ring (see
+//! [`crate::ring`]): the producer side already extracted partition
+//! keys, tagged sources, and assembled shard-local batches, so the
+//! worker's loop starts at evaluation, not routing. It owns the
+//! shard's **adaptation plane** — one
 //! [`QueryController`] per registered query (statistics collector,
 //! decision function `D`, planner `A`, plan epochs) — and its
 //! **evaluation plane**: a `HashMap<key, Vec<Option<KeyedEngine>>>`
@@ -13,13 +16,22 @@
 //! A control step that deploys a new plan only bumps the controller's
 //! plan epoch; engines rebuild + migrate lazily on their next event, so
 //! a re-plan costs at most one planner invocation per query per control
-//! step — independent of how many keys are live. Events of types a
-//! query never references are not routed to that query at all (they
-//! cannot affect its match set), so hosting many narrow queries over
-//! one wide stream stays cheap.
+//! step — independent of how many keys are live.
+//!
+//! **Batched relevance pre-filtering.** Events of types no query
+//! references cannot affect any match set, and events relevant to only
+//! some queries must not touch the others. Instead of consulting every
+//! template per event, the worker extracts each batch's hot attribute
+//! column (the type discriminators) and classifies the whole batch in
+//! one pass over the packed [`RelevanceIndex`] — per event it then has
+//! a precomputed query bitmask: `mask == 0` skips the key map entirely,
+//! and engine dispatch iterates set bits rather than scanning
+//! templates. Hosting many narrow queries over one wide stream stays
+//! cheap, and the per-event cost of irrelevant events is one table
+//! load.
 //!
 //! With a non-passthrough [`DisorderConfig`], an event-time
-//! [`ReorderBuffer`] sits between the channel and the engines: events
+//! [`ReorderBuffer`] sits between the ring and the engines: events
 //! are released to the per-(key, query) engines in `(timestamp, seq)`
 //! order once the shard watermark passes them, and late arrivals are
 //! dropped or routed to the sink per the configured
@@ -51,16 +63,19 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
 
 use acep_core::{EngineTemplate, KeyedEngine, QueryController};
-use acep_engine::Match;
+use acep_engine::{Match, RelevanceIndex};
 use acep_telemetry::{Histogram, TelemetryEvent};
-use acep_types::{DisorderConfig, Event, LatenessPolicy, SourceId, Timestamp};
+use acep_types::{
+    DisorderConfig, Event, EventTypeId, LatenessPolicy, RoutedEvent, SourceId, Timestamp,
+};
 
 use crate::registry::QueryId;
 use crate::reorder::{Offer, ReorderBuffer};
+use crate::ring::SpscRing;
 use crate::sink::{LateEvent, MatchSink, TaggedMatch};
 use crate::stats::{QueryStats, ShardStats};
 use crate::telemetry::WorkerTelemetry;
@@ -70,15 +85,10 @@ use crate::telemetry::WorkerTelemetry;
 /// every key is reached within `live_keys / BUDGET` control steps.
 const RETIRE_BUDGET: usize = 32;
 
-/// One routed event: `(partition key, ingestion source, event)`. Keys
-/// are extracted once at ingest; the source feeds per-source
-/// watermarks.
-pub(crate) type Routed = (u64, SourceId, Arc<Event>);
-
 /// Control messages from the runtime to one worker.
 pub(crate) enum ToWorker {
-    /// Routed events of this shard, in ingest order.
-    Batch(Vec<Routed>),
+    /// A producer-assembled shard-local batch, in ingest order.
+    Batch(Vec<RoutedEvent>),
     /// Punctuation: advance the shard's event-time watermark to at
     /// least the given timestamp, releasing buffered events and
     /// driving engine finalization deadlines.
@@ -106,13 +116,29 @@ type KeyEngines = Vec<Option<EngineSlot>>;
 /// by deadline, tie-broken by (key, query) for deterministic sweeps.
 type DeadlineEntry = Reverse<(Timestamp, u64, u32)>;
 
+/// Marks the ring's consumer as gone on *any* worker exit — clean
+/// `Finish`, channel close, or panic — so a producer parked on a full
+/// ring fails loudly instead of sleeping forever.
+struct ConsumerExit(Arc<SpscRing<ToWorker>>);
+
+impl Drop for ConsumerExit {
+    fn drop(&mut self) {
+        self.0.consumer_exited();
+    }
+}
+
 pub(crate) struct ShardWorker {
     shard: usize,
     templates: Arc<[EngineTemplate]>,
     /// The shard's adaptation plane: one controller per query, shared
     /// by every keyed engine of that query on this shard.
     controllers: Vec<QueryController>,
+    /// Packed per-type query bitmasks: the batched relevance
+    /// pre-filter (see module docs).
+    relevance: RelevanceIndex,
     sink: Arc<dyn MatchSink>,
+    /// The worker's end of the shard's SPSC ring.
+    ring: Arc<SpscRing<ToWorker>>,
     keys: HashMap<u64, KeyEngines>,
     /// Keys in first-seen order — the deterministic iteration domain of
     /// the idle-retirement cursor (keys are never removed).
@@ -161,6 +187,12 @@ pub(crate) struct ShardWorker {
     prev_watermark: Timestamp,
     /// Reused buffer of watermark-released events awaiting processing.
     released: Vec<(u64, Arc<Event>)>,
+    /// Reused type-discriminator column of the batch in flight (the
+    /// pre-filter's input).
+    type_col: Vec<EventTypeId>,
+    /// Reused per-event relevance verdicts `(any, mask)` of the batch
+    /// in flight (the pre-filter's output).
+    mask_col: Vec<(bool, u64)>,
     /// Reused per-event match buffer.
     scratch: Vec<Match>,
     /// Matches of the batch in flight, delivered to the sink per batch.
@@ -174,6 +206,7 @@ impl ShardWorker {
         sink: Arc<dyn MatchSink>,
         disorder: DisorderConfig,
         telemetry: WorkerTelemetry,
+        ring: Arc<SpscRing<ToWorker>>,
     ) -> Self {
         let mut reorder = if disorder.is_passthrough() {
             None
@@ -190,11 +223,15 @@ impl ShardWorker {
                 buffer.set_eviction_tracking(true);
             }
         }
+        let num_types = templates.first().map_or(0, |t| t.relevance().len());
+        let relevance = RelevanceIndex::build(num_types, templates.iter().map(|t| t.relevance()));
         Self {
             shard,
             templates,
             controllers,
+            relevance,
             sink,
+            ring,
             keys: HashMap::new(),
             key_order: Vec::new(),
             retire_cursor: 0,
@@ -213,15 +250,19 @@ impl ShardWorker {
             stall_batches: 0,
             prev_watermark: 0,
             released: Vec::new(),
+            type_col: Vec::new(),
+            mask_col: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
         }
     }
 
-    /// The worker loop: drain messages until `Finish` (or until the
-    /// runtime is dropped and the channel closes).
-    pub(crate) fn run(mut self, rx: Receiver<ToWorker>) {
-        while let Ok(msg) = rx.recv() {
+    /// The worker loop: drain ring messages until `Finish` (or until
+    /// the runtime is dropped and the ring closes).
+    pub(crate) fn run(mut self) {
+        let ring = Arc::clone(&self.ring);
+        let _exit = ConsumerExit(Arc::clone(&ring));
+        while let Some(msg) = ring.recv() {
             match msg {
                 ToWorker::Batch(events) => self.on_batch(&events),
                 ToWorker::Watermark(ts) => self.on_watermark(ts),
@@ -240,14 +281,25 @@ impl ShardWorker {
         }
     }
 
-    fn on_batch(&mut self, events: &[Routed]) {
+    /// Classifies a column of type discriminators into per-event
+    /// relevance verdicts (`mask_col`), one packed-table pass.
+    fn prefilter(&mut self) {
+        self.relevance.prefilter(&self.type_col, &mut self.mask_col);
+    }
+
+    fn on_batch(&mut self, events: &[RoutedEvent]) {
         self.batches += 1;
         self.telemetry.begin_batch();
-        // Hot path: in-order streams never touch the buffer.
+        // Hot path: in-order streams never touch the buffer. The batch
+        // is classified in one columnar pass, then dispatched.
         if self.reorder.is_none() {
             let t = self.telemetry.timer();
-            for (key, _, ev) in events {
-                self.process_one(*key, ev);
+            self.type_col.clear();
+            self.type_col.extend(events.iter().map(|r| r.event.type_id));
+            self.prefilter();
+            for (i, r) in events.iter().enumerate() {
+                let (any, mask) = self.mask_col[i];
+                self.process_one(r.key, &r.event, any, mask);
             }
             self.telemetry.stage_evaluate(t);
             let t = self.telemetry.timer();
@@ -257,11 +309,11 @@ impl ShardWorker {
             return;
         }
         let t = self.telemetry.timer();
-        for (key, source, ev) in events {
+        for r in events {
             let buffer = self.reorder.as_mut().expect("non-passthrough shard");
-            if buffer.offer(*key, *source, ev) == Offer::Late {
+            if buffer.offer(r.key, r.source, &r.event) == Offer::Late {
                 let watermark = buffer.watermark();
-                self.on_late(*key, *source, ev, watermark);
+                self.on_late(r.key, r.source, &r.event, watermark);
             } else if self
                 .reorder
                 .as_ref()
@@ -371,7 +423,9 @@ impl ShardWorker {
     /// Drains the reorder buffer (watermark-released or everything)
     /// through the engines, returning the buffer's watermark. Does not
     /// advance engine clocks or deliver to the sink — callers on the
-    /// per-event path amortize those over the batch.
+    /// per-event path amortize those over the batch. Released events
+    /// are classified in the same columnar pass as the passthrough
+    /// path before dispatch.
     fn drain_and_process(&mut self, all: bool) -> Timestamp {
         let mut released = std::mem::take(&mut self.released);
         released.clear();
@@ -399,8 +453,13 @@ impl ShardWorker {
             }
         }
         let t = self.telemetry.timer();
-        for (key, ev) in &released {
-            self.process_one(*key, ev);
+        self.type_col.clear();
+        self.type_col
+            .extend(released.iter().map(|(_, ev)| ev.type_id));
+        self.prefilter();
+        for (i, (key, ev)) in released.iter().enumerate() {
+            let (any, mask) = self.mask_col[i];
+            self.process_one(*key, ev, any, mask);
         }
         self.telemetry.stage_evaluate(t);
         self.released = released;
@@ -408,22 +467,33 @@ impl ShardWorker {
     }
 
     /// Runs one in-order event through the shard's controllers and the
-    /// per-(key, query) engines.
-    fn process_one(&mut self, key: u64, ev: &Arc<Event>) {
+    /// per-(key, query) engines. `any`/`mask` are the event's
+    /// precomputed relevance verdict (see [`RelevanceIndex`]): `!any`
+    /// events cost nothing past this check, and dispatch consults the
+    /// mask bit instead of the templates. Wide hosts (> 64 queries)
+    /// fall back to the template scan — the mask word only covers the
+    /// first 64.
+    fn process_one(&mut self, key: u64, ev: &Arc<Event>, any: bool, mask: u64) {
         self.events += 1;
         // Keys whose events no query ever references must not pin a
         // map entry: memory stays bounded by keys hosting engines.
-        if !self.templates.iter().any(|t| t.is_relevant(ev.type_id)) {
+        if !any {
             return;
         }
         self.max_event_ts = self.max_event_ts.max(ev.timestamp);
+        let wide = self.relevance.wide();
         let engines = self.keys.entry(key).or_insert_with(|| {
             self.key_order.push(key);
             self.templates.iter().map(|_| None).collect()
         });
         let mut stepped = false;
         for (qi, slot) in engines.iter_mut().enumerate() {
-            if !self.templates[qi].is_relevant(ev.type_id) {
+            let relevant = if wide {
+                self.templates[qi].is_relevant(ev.type_id)
+            } else {
+                mask & (1u64 << qi) != 0
+            };
+            if !relevant {
                 continue;
             }
             // The controller sees every relevant event of the shard
@@ -688,6 +758,7 @@ impl ShardWorker {
             adaptation: self.controllers.iter().map(|c| c.stats().clone()).collect(),
             key_migrations,
             telemetry_dropped: self.telemetry.dropped(),
+            ring: self.ring.stats(),
             profile: self.telemetry.profile_snapshot(),
         }
     }

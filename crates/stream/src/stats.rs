@@ -29,6 +29,7 @@ use acep_telemetry::{Histogram, MetricsRegistry};
 use acep_types::{SourceId, Timestamp};
 
 use crate::registry::QueryId;
+use crate::ring::RingStats;
 
 /// Rollup of every keyed engine instance of one query (within one
 /// shard, or merged across shards).
@@ -206,6 +207,12 @@ pub struct ShardStats {
     /// Telemetry records dropped by this shard's event ring (full ring
     /// = bounded loss; the hot path never blocks on observability).
     pub telemetry_dropped: u64,
+    /// The shard's ingestion-ring accounting: capacity, park/wake
+    /// counts of the backpressure protocol, and the occupancy
+    /// high-water mark. Invariants (`wakes ≤ parks + 1` per side,
+    /// `occupancy_high_water ≤ capacity`) are pinned by the
+    /// `stream_determinism` integration test.
+    pub ring: RingStats,
     /// Sampled per-stage profile, when
     /// [`TelemetryConfig::profile_every`](crate::TelemetryConfig) > 0.
     pub profile: Option<Box<ShardProfile>>,
@@ -392,7 +399,12 @@ impl RuntimeStats {
     ///   `acep_late_dropped_total`, `acep_late_routed_total`,
     ///   `acep_reorder_depth`, `acep_reorder_depth_max`,
     ///   `acep_reorder_overflow_total`, `acep_watermark_ms`,
-    ///   `acep_finalize_visits_total`, `acep_telemetry_dropped_total`
+    ///   `acep_finalize_visits_total`, `acep_telemetry_dropped_total`,
+    ///   `acep_ring_capacity`, `acep_ring_producer_parks_total`,
+    ///   `acep_ring_producer_wakes_total`,
+    ///   `acep_ring_consumer_parks_total`,
+    ///   `acep_ring_consumer_wakes_total`,
+    ///   `acep_ring_occupancy_high_water`
     /// * per (shard, source): `acep_reorder_overflow_by_source_total`,
     ///   `acep_source_watermark_ms`, `acep_source_idle`
     /// * merged: `acep_emission_latency_ms` (histogram), and when
@@ -526,6 +538,42 @@ impl RuntimeStats {
                 "Telemetry records dropped by ring overflow",
                 l(s),
                 s.telemetry_dropped,
+            );
+            reg.gauge(
+                "acep_ring_capacity",
+                "Ingestion-ring capacity in messages",
+                l(s),
+                s.ring.capacity as f64,
+            );
+            reg.counter(
+                "acep_ring_producer_parks_total",
+                "Times ingestion published park intent on a full ring",
+                l(s),
+                s.ring.producer_parks,
+            );
+            reg.counter(
+                "acep_ring_producer_wakes_total",
+                "Times the worker claimed a producer park intent",
+                l(s),
+                s.ring.producer_wakes,
+            );
+            reg.counter(
+                "acep_ring_consumer_parks_total",
+                "Times the worker published park intent on an empty ring",
+                l(s),
+                s.ring.consumer_parks,
+            );
+            reg.counter(
+                "acep_ring_consumer_wakes_total",
+                "Times ingestion claimed a worker park intent",
+                l(s),
+                s.ring.consumer_wakes,
+            );
+            reg.gauge(
+                "acep_ring_occupancy_high_water",
+                "Most ring messages ever queued at once",
+                l(s),
+                s.ring.occupancy_high_water as f64,
             );
         }
         reg.histogram(
@@ -717,6 +765,14 @@ mod tests {
                     adaptation: vec![adaptation(1, 2), adaptation(0, 1)],
                     key_migrations: vec![3, 0],
                     telemetry_dropped: 1,
+                    ring: RingStats {
+                        capacity: 8,
+                        producer_parks: 5,
+                        producer_wakes: 4,
+                        consumer_parks: 7,
+                        consumer_wakes: 7,
+                        occupancy_high_water: 6,
+                    },
                     profile: Some(Box::new(ShardProfile {
                         batch_events: latency(&[50]),
                         ..ShardProfile::default()
@@ -746,6 +802,14 @@ mod tests {
                     adaptation: vec![adaptation(0, 1), adaptation(2, 3)],
                     key_migrations: vec![1, 2],
                     telemetry_dropped: 0,
+                    ring: RingStats {
+                        capacity: 8,
+                        producer_parks: 0,
+                        producer_wakes: 0,
+                        consumer_parks: 2,
+                        consumer_wakes: 1,
+                        occupancy_high_water: 3,
+                    },
                     profile: Some(Box::new(ShardProfile {
                         batch_events: latency(&[60]),
                         ..ShardProfile::default()
@@ -830,6 +894,12 @@ mod tests {
             "acep_source_idle{shard=\"0\",source=\"1\"} 0",
             "acep_finalize_visits_total{shard=\"0\"} 3",
             "acep_telemetry_dropped_total{shard=\"0\"} 1",
+            "acep_ring_capacity{shard=\"0\"} 8",
+            "acep_ring_producer_parks_total{shard=\"0\"} 5",
+            "acep_ring_producer_wakes_total{shard=\"0\"} 4",
+            "acep_ring_consumer_parks_total{shard=\"1\"} 2",
+            "acep_ring_consumer_wakes_total{shard=\"1\"} 1",
+            "acep_ring_occupancy_high_water{shard=\"0\"} 6",
             "acep_emission_latency_ms_count 3",
             "acep_query_events_total{query=\"0\"} 60",
             "acep_query_matches_total{query=\"0\"} 6",

@@ -1,0 +1,127 @@
+//! Shard-local batch layout of the ingestion data plane.
+//!
+//! The sharded runtime partitions events on the **producer** side: the
+//! ingesting thread extracts each event's partition key, tags it with
+//! its [`SourceId`], and appends it to the destination shard's
+//! in-flight [`ShardBatch`]. Workers therefore receive ready-to-run
+//! shard-local batches — no key extraction, no re-partitioning, no
+//! cross-thread contention on the hot path — and the batch is the unit
+//! both of channel transfer and of the workers' columnar pre-filtering
+//! (see `acep-engine`'s relevance index).
+//!
+//! A [`RoutedEvent`] is deliberately flat (key and source travel
+//! *next to* the `Arc<Event>`, not inside it): the worker's type/mask
+//! extraction walks the batch once, and events themselves stay
+//! immutable and shareable after ingest.
+
+use std::sync::Arc;
+
+use crate::disorder::SourceId;
+use crate::event::Event;
+
+/// One event routed to its shard: the partition key (extracted exactly
+/// once, at ingest — extractors may hash string attributes), the
+/// ingestion source feeding per-source watermarks, and the shared
+/// event.
+#[derive(Debug, Clone)]
+pub struct RoutedEvent {
+    /// Partition key; all events of one key land on one shard.
+    pub key: u64,
+    /// Ingestion source ([`SourceId::MERGED`] for untagged pushes).
+    pub source: SourceId,
+    /// The event itself, immutable post-ingest.
+    pub event: Arc<Event>,
+}
+
+/// A shard-local batch under producer-side assembly: events routed to
+/// one shard, in ingest order, forwarded to the worker as a unit once
+/// the batch fills (or a barrier drains it early).
+///
+/// The capacity is a *target*, not a hard cap — `push` reports
+/// fullness rather than refusing, so the producer decides when to ship
+/// (normally exactly at `target`).
+#[derive(Debug)]
+pub struct ShardBatch {
+    events: Vec<RoutedEvent>,
+    target: usize,
+}
+
+impl ShardBatch {
+    /// An empty batch that reports full at `target` events. `target`
+    /// must be positive.
+    pub fn with_target(target: usize) -> Self {
+        assert!(target > 0, "batch target must be positive");
+        Self {
+            events: Vec::new(),
+            target,
+        }
+    }
+
+    /// Appends one routed event, returning `true` when the batch has
+    /// reached its target and should be shipped.
+    pub fn push(&mut self, key: u64, source: SourceId, event: Arc<Event>) -> bool {
+        self.events.push(RoutedEvent { key, source, event });
+        self.events.len() >= self.target
+    }
+
+    /// Events currently assembled.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is assembled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The fill target this batch ships at.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Takes the assembled events, leaving the batch empty (the
+    /// allocation moves out with the events — the next assembly starts
+    /// fresh, so shipped batches own exactly their contents).
+    pub fn take(&mut self) -> Vec<RoutedEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The assembled events, in ingest order.
+    pub fn events(&self) -> &[RoutedEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventTypeId;
+
+    fn ev(ts: u64) -> Arc<Event> {
+        Event::new(EventTypeId(0), ts, ts, vec![])
+    }
+
+    #[test]
+    fn batch_reports_full_at_target() {
+        let mut b = ShardBatch::with_target(3);
+        assert!(b.is_empty());
+        assert!(!b.push(1, SourceId::MERGED, ev(1)));
+        assert!(!b.push(2, SourceId(4), ev(2)));
+        assert!(b.push(1, SourceId::MERGED, ev(3)), "full at target");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.target(), 3);
+        let taken = b.take();
+        assert_eq!(taken.len(), 3);
+        assert_eq!(taken[1].key, 2);
+        assert_eq!(taken[1].source, SourceId(4));
+        assert_eq!(taken[2].event.timestamp, 3);
+        assert!(b.is_empty(), "take leaves the batch empty");
+        assert!(!b.push(9, SourceId::MERGED, ev(4)), "assembly restarts");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch target must be positive")]
+    fn zero_target_is_rejected() {
+        let _ = ShardBatch::with_target(0);
+    }
+}

@@ -45,6 +45,7 @@
 //! assert_eq!(pattern.canonical().branches.len(), 1);
 //! ```
 
+pub mod batch;
 pub mod canonical;
 pub mod disorder;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod schema;
 pub mod selection;
 pub mod value;
 
+pub use batch::{RoutedEvent, ShardBatch};
 pub use canonical::{
     CanonicalPattern, CompiledCondition, CondVars, NegatedSlot, Slot, SubKind, SubPattern,
 };

@@ -82,7 +82,7 @@ fn main() {
 
     // ── 3. Run everything through the sharded runtime. ───────────────
     let sink = Arc::new(CountingSink::new(set.len()));
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,

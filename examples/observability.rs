@@ -105,7 +105,7 @@ fn main() {
     .expect("example negation pattern is valid");
 
     let sink = Arc::new(CountingSink::new(set.len()));
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(AttrKeyExtractor { attr: 0 }),
         Arc::clone(&sink) as _,

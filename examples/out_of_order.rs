@@ -51,7 +51,7 @@ fn run_tagged(
     disorder: DisorderConfig,
 ) -> (Vec<(u32, u64, MatchKey)>, RuntimeStats, usize) {
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,

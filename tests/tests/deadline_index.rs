@@ -89,7 +89,7 @@ fn runtime(set: &PatternSet, sink: &Arc<CollectingSink>) -> ShardedRuntime {
 fn watermark_advance_with_nothing_pending_visits_no_engine() {
     let sink = Arc::new(CollectingSink::new());
     let set = immediate_set();
-    let rt = runtime(&set, &sink);
+    let mut rt = runtime(&set, &sink);
     // 32 keys × 20 (T0, T1) pairs: plenty of live engines.
     let mut seq = 0;
     let mut events = Vec::new();
@@ -124,7 +124,7 @@ fn watermark_advance_with_nothing_pending_visits_no_engine() {
 fn pending_deadlines_are_visited_and_latency_recorded() {
     let sink = Arc::new(CollectingSink::new());
     let set = trailing_neg_set();
-    let rt = runtime(&set, &sink);
+    let mut rt = runtime(&set, &sink);
     // 4 keys: a (T0@10, T1@20) pair each → deadline = 10 + WINDOW.
     let mut events = Vec::new();
     for key in 0..4i64 {
@@ -169,7 +169,7 @@ fn pending_deadlines_are_visited_and_latency_recorded() {
 fn invalidated_pending_does_not_emit_and_index_recovers() {
     let sink = Arc::new(CollectingSink::new());
     let set = trailing_neg_set();
-    let rt = runtime(&set, &sink);
+    let mut rt = runtime(&set, &sink);
     // Key 0: pair at (10, 20), then the negated T2 at 30 kills it.
     rt.push_batch(&[
         ev(0, 10, 0, 0),

@@ -108,7 +108,7 @@ fn run_policy(
     Vec<u64>,
 ) {
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -306,7 +306,7 @@ fn run_tagged(
     disorder: DisorderConfig,
 ) -> (Vec<(u32, u64, MatchKey)>, acep_stream::RuntimeStats) {
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -418,7 +418,7 @@ fn trailing_negation_emits_at_watermark_passage_not_event_passage() {
         .unwrap();
 
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -503,7 +503,7 @@ fn flush_until_emits_exactly_the_watermark_passed_prefix() {
 
     // Reference: every match of the full stream, with its max_ts.
     let ref_sink = Arc::new(CollectingSink::new());
-    let reference = ShardedRuntime::new(
+    let mut reference = ShardedRuntime::new(
         &make_set(),
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&ref_sink) as _,
@@ -522,7 +522,7 @@ fn flush_until_emits_exactly_the_watermark_passed_prefix() {
     // Punctuation-only event-time runtime: the heuristic never
     // advances, so `flush_until` alone controls emission.
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &make_set(),
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -621,7 +621,7 @@ fn punctuation_advances_release_and_defines_lateness() {
     let set = queries(&scenario);
     let events = scenario.keyed_events(2, 200);
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,

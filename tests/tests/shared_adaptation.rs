@@ -91,7 +91,7 @@ fn single_shard_seq2(window: u64) -> (PatternSet, ShardedRuntime, Arc<Collecting
 fn idle_key_generation_retires_without_a_new_event() {
     // Window far larger than phase 1's event-time span: key A's own
     // events can never retire its superseded generation.
-    let (_, runtime, _) = single_shard_seq2(100_000);
+    let (_, mut runtime, _) = single_shard_seq2(100_000);
 
     // Phase 1: key A only. The skew moves the plan off uniform at the
     // first control step past warmup; A's next event migrates its
@@ -135,7 +135,7 @@ fn idle_key_generation_retires_without_a_new_event() {
 /// does not move.
 #[test]
 fn cold_key_adopts_adapted_plan_at_first_event() {
-    let (_, runtime, _) = single_shard_seq2(1_000);
+    let (_, mut runtime, _) = single_shard_seq2(1_000);
 
     // Hot key drives the controller past warmup and off uniform.
     runtime.push_batch(&skewed_key_stream(1, 200, 0, 0));
@@ -231,7 +231,7 @@ fn skew_shift_replans_per_controller_not_per_key() {
         .unwrap();
 
     let sink = Arc::new(CountingSink::new(set.len()));
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,

@@ -81,7 +81,7 @@ fn run_sharded_policy(
     acep_stream::RuntimeStats,
 ) {
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         set,
         Arc::new(LastAttrKeyExtractor),
         Arc::clone(&sink) as _,
@@ -131,6 +131,84 @@ fn sharded_runs_are_shard_count_invariant() {
     assert_eq!(s4.shards.len(), 4);
     // The hash spreads 6 keys over 4 shards: no shard may own all keys.
     assert!(s4.shards.iter().all(|s| s.keys < NUM_KEYS as usize));
+
+    // The ingestion rings' protocol accounting must be consistent at
+    // every worker count: a side is only ever woken by a claim of an
+    // intent it published (+1 covers the close handshake's final
+    // claim), and the occupancy high-water can never exceed the ring.
+    for stats in [&s1, &s2, &s4] {
+        for s in &stats.shards {
+            let r = &s.ring;
+            assert!(r.capacity.is_power_of_two(), "shard {}: {r:?}", s.shard);
+            assert!(
+                r.producer_wakes <= r.producer_parks + 1,
+                "shard {}: producer wakes without parks: {r:?}",
+                s.shard
+            );
+            assert!(
+                r.consumer_wakes <= r.consumer_parks + 1,
+                "shard {}: consumer wakes without parks: {r:?}",
+                s.shard
+            );
+            assert!(
+                r.occupancy_high_water <= r.capacity,
+                "shard {}: occupancy above capacity: {r:?}",
+                s.shard
+            );
+            assert!(
+                s.batches == 0 || r.occupancy_high_water > 0,
+                "shard {}: batches flowed but occupancy never rose: {r:?}",
+                s.shard
+            );
+        }
+    }
+}
+
+/// Regression test for the producer-side batching barrier contract:
+/// events below the `max_batch` target stay assembled on the producer
+/// side, so `flush()` (and `stats()`, and watermarks) must ship those
+/// in-flight batches *before* signalling the barrier — otherwise the
+/// barrier acknowledges a prefix the workers never saw.
+#[test]
+fn flush_ships_producer_side_pending_batches() {
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let events = scenario.keyed_events(NUM_KEYS, 200);
+    let set = queries(&scenario);
+    let sink = Arc::new(CollectingSink::new());
+    let mut runtime = ShardedRuntime::new(
+        &set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards: 2,
+            // Far above the event count: nothing ever fills a batch,
+            // so only barrier drains can ship them.
+            max_batch: 1 << 20,
+            ..StreamConfig::default()
+        },
+    )
+    .unwrap();
+    runtime.push_batch(&events);
+    runtime.flush();
+    let after_flush = runtime.stats();
+    assert_eq!(
+        after_flush.total_events(),
+        events.len() as u64,
+        "flush must drain producer-side pending batches before the barrier"
+    );
+    let flushed_matches = sink.drain().len() as u64;
+    assert_eq!(
+        flushed_matches,
+        after_flush.total_matches(),
+        "every match detectable from the flushed prefix reaches the sink"
+    );
+    assert!(flushed_matches > 0, "the workload must produce matches");
+
+    // A stats() barrier alone must also ship pending batches.
+    runtime.push_batch(&events[..100]);
+    let after_stats = runtime.stats();
+    assert_eq!(after_stats.total_events(), events.len() as u64 + 100);
+    runtime.finish();
 }
 
 /// The selection-policy matrix rides the same invariants: under every

@@ -339,7 +339,7 @@ fn run_storm(telemetry: Option<TelemetryConfig>) -> StormRun {
     set.register("storm-kleene", storm_kleene_pattern(), config())
         .unwrap();
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(AttrKeyExtractor { attr: 0 }),
         Arc::clone(&sink) as _,
@@ -500,7 +500,7 @@ fn evictions_and_stalls_are_attributed_per_source() {
     set.register("pair", pair, AdaptiveConfig::default())
         .unwrap();
     let sink = Arc::new(CollectingSink::new());
-    let runtime = ShardedRuntime::new(
+    let mut runtime = ShardedRuntime::new(
         &set,
         Arc::new(AttrKeyExtractor { attr: 0 }),
         Arc::clone(&sink) as _,
@@ -518,7 +518,12 @@ fn evictions_and_stalls_are_attributed_per_source() {
 
     // Register the silent source, then flood from the fast one in
     // many small batches so the stalled watermark spans whole batches.
+    // The flush forces the registration out as its own worker batch
+    // (producer-side assembly would otherwise merge it into the first
+    // flood batch): the worker must observe at least one batch that
+    // ends with events held and the watermark unmoved.
     runtime.push_batch_from(silent, &[Event::new(t(0), 1, 0, vec![Value::Int(0)])]);
+    runtime.flush();
     let mut seq = 1u64;
     for i in 0..12u64 {
         let batch: Vec<_> = (0..4)
