@@ -71,8 +71,11 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("micro/engine/migrating_with_replacement/n5", |b| {
         b.iter(|| {
-            let mut mig =
-                MigratingExecutor::new(ctx.window, build_executor(Arc::clone(&ctx), &plans[0].1));
+            let mut mig = MigratingExecutor::new(
+                ctx.window,
+                build_executor(Arc::clone(&ctx), &plans[0].1),
+                plans[0].1.clone(),
+            );
             let mut out = Vec::new();
             let mid = events.len() / 2;
             for ev in &events[..mid] {
@@ -82,6 +85,7 @@ fn bench(c: &mut Criterion) {
             mig.replace(
                 build_executor(Arc::clone(&ctx), &plans[1].1),
                 events[mid].timestamp,
+                plans[1].1.clone(),
             );
             for ev in &events[mid..] {
                 mig.on_event(ev, &mut out);

@@ -114,8 +114,17 @@ fn main() {
                 } else {
                     String::new()
                 };
+                let durability = if p.restore_ms.is_finite() {
+                    format!(
+                        ", log {} KiB, restore {:.1} ms",
+                        p.checkpoint_bytes / 1024,
+                        p.restore_ms
+                    )
+                } else {
+                    String::new()
+                };
                 println!(
-                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials{p99}",
+                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials{p99}{durability}",
                     p.strategy,
                     p.bound,
                     p.throughput_eps,

@@ -44,6 +44,7 @@ impl HarnessConfig {
             control_interval: self.control_interval,
             warmup_events: self.warmup_events,
             min_improvement: self.min_improvement,
+            migration_stagger: 0,
             stats: self.stats_config(),
         }
     }

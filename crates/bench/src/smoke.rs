@@ -22,6 +22,12 @@
 //!   batch): its overhead column is the documented cost of observing,
 //!   and its metrics snapshot is exported as the Prometheus/JSON
 //!   artifacts;
+//! * `checkpoint` at bound 0 — the same workload again, taking an
+//!   incremental [`CheckpointLog`] checkpoint barrier after every
+//!   ingest chunk: its overhead column is the documented cost of
+//!   durability at that cadence, its `checkpoint_bytes` column the
+//!   final log size, and its `restore_ms` column the measured
+//!   [`ShardedRuntime::recover`] latency from that log;
 //! * `merged` at bounds 16 and 256 over a `bounded_shuffle` of exactly
 //!   that displacement — the price of min-heap + watermark upkeep;
 //! * `per_source` at the same bounds over a source-skewed delivery
@@ -63,8 +69,8 @@ use acep_core::{AdaptiveConfig, PolicyKind};
 use acep_engine::MatchKey;
 use acep_plan::PlannerKind;
 use acep_stream::{
-    CollectingSink, CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet, RuntimeStats,
-    ShardedRuntime, SourceId, StreamConfig, TelemetryConfig,
+    CheckpointLog, CollectingSink, CountingSink, DisorderConfig, LastAttrKeyExtractor, PatternSet,
+    RuntimeStats, ShardedRuntime, SourceId, StreamConfig, TelemetryConfig,
 };
 use acep_types::{Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value};
 use acep_workloads::{
@@ -152,6 +158,13 @@ pub struct SmokePoint {
     /// their deadline before the watermark released them. `NaN`
     /// (serialized `null`) when the point held no matches.
     pub p99_emission_ms: f64,
+    /// Total checkpoint-log bytes the run appended; 0 for every row
+    /// but `checkpoint`.
+    pub checkpoint_bytes: u64,
+    /// Wall-clock latency of recovering a runtime from the run's
+    /// checkpoint log (ms). `NaN` (serialized `null`) for rows that
+    /// take no checkpoints.
+    pub restore_ms: f64,
 }
 
 /// The full smoke report.
@@ -444,6 +457,91 @@ fn best_of(
     best.expect("at least one repeat")
 }
 
+/// One measured run of the `checkpoint` grid row: the in-order stocks
+/// workload with a checkpoint barrier sealed after every ingest chunk,
+/// then a timed [`ShardedRuntime::recover`] from the log it wrote.
+/// Returns the outcome, the final log size, and the restore latency.
+fn run_checkpoint_once(
+    set: &PatternSet,
+    delivered: &[(SourceId, Arc<Event>)],
+    shards: usize,
+) -> (RunOutcome, u64, f64) {
+    let sink = Arc::new(CountingSink::new(set.len()));
+    let mut runtime = ShardedRuntime::new(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&sink) as _,
+        StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        },
+    )
+    .expect("smoke runtime configuration is valid");
+    let mut log = CheckpointLog::new();
+    let start = Instant::now();
+    for chunk in delivered.chunks(4_096) {
+        runtime.push_tagged(chunk);
+        runtime
+            .checkpoint(&mut log)
+            .expect("healthy workers checkpoint");
+    }
+    let stats = runtime.finish();
+    let wall = start.elapsed().as_secs_f64().max(1e-9);
+    let outcome = RunOutcome {
+        eps: delivered.len() as f64 / wall,
+        matches: stats.total_matches(),
+        late_dropped: stats.total_late_dropped(),
+        max_reorder_depth: stats
+            .shards
+            .iter()
+            .map(|s| s.max_reorder_depth)
+            .max()
+            .unwrap_or(0),
+        engines_live: stats.total_engines_live(),
+        partials_live: stats.total_partials_live(),
+        stats,
+    };
+
+    let restore_sink = Arc::new(CountingSink::new(set.len()));
+    let t = Instant::now();
+    let (recovered, _report) = ShardedRuntime::recover(
+        set,
+        Arc::new(LastAttrKeyExtractor),
+        restore_sink as _,
+        StreamConfig {
+            shards,
+            ..StreamConfig::default()
+        },
+        &log,
+    )
+    .expect("the log the run just wrote is recoverable");
+    let restore_ms = t.elapsed().as_secs_f64() * 1e3;
+    drop(recovered);
+    (outcome, log.len_bytes() as u64, restore_ms)
+}
+
+/// [`best_of`] for the `checkpoint` row: best throughput and best
+/// (lowest) restore latency across repeats; the log size comes from
+/// the best-throughput run.
+fn best_of_checkpoint(
+    set: &PatternSet,
+    delivered: &[(SourceId, Arc<Event>)],
+    shards: usize,
+    repeats: usize,
+) -> (RunOutcome, u64, f64) {
+    let mut best: Option<(RunOutcome, u64)> = None;
+    let mut best_restore = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let (outcome, bytes, restore_ms) = run_checkpoint_once(set, delivered, shards);
+        best_restore = best_restore.min(restore_ms);
+        if best.as_ref().is_none_or(|(b, _)| outcome.eps > b.eps) {
+            best = Some((outcome, bytes));
+        }
+    }
+    let (outcome, bytes) = best.expect("at least one repeat");
+    (outcome, bytes, best_restore)
+}
+
 /// Runs the smoke grid and assembles the report.
 pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
     const BOUNDS: [u64; 2] = [16, 256];
@@ -472,6 +570,8 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             engines_live: o.engines_live,
             partials_live: o.partials_live,
             p99_emission_ms: o.p99_emission_ms(),
+            checkpoint_bytes: 0,
+            restore_ms: f64::NAN,
         };
 
     let mut points = Vec::new();
@@ -506,6 +606,18 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         (reg.to_prometheus(), reg.to_json())
     };
     points.push(point("telemetry", 0, overhead(outcome.eps), &outcome));
+
+    // The durability cost probe: the passthrough workload once more,
+    // sealing an incremental checkpoint after every ingest chunk. Its
+    // overhead column is the throughput price of that cadence (the
+    // acceptance bar is < 10%); the recovery latency is measured by
+    // actually rebuilding a runtime from the log it wrote.
+    let (outcome, checkpoint_bytes, restore_ms) =
+        best_of_checkpoint(&set, &in_order, config.shards, config.repeats);
+    let mut cp = point("checkpoint", 0, overhead(outcome.eps), &outcome);
+    cp.checkpoint_bytes = checkpoint_bytes;
+    cp.restore_ms = restore_ms;
+    points.push(cp);
 
     for bound in BOUNDS {
         let delivered = tag_merged(bounded_shuffle(&events, bound, 11));
@@ -799,7 +911,7 @@ impl SmokeReport {
         ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}, \"p99_emission_ms\": {}}}{}\n",
+                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}, \"p99_emission_ms\": {}, \"checkpoint_bytes\": {}, \"restore_ms\": {}}}{}\n",
                 p.strategy,
                 p.bound,
                 json_f64(p.throughput_eps),
@@ -810,6 +922,8 @@ impl SmokeReport {
                 p.engines_live,
                 p.partials_live,
                 json_f64(p.p99_emission_ms),
+                p.checkpoint_bytes,
+                json_f64(p.restore_ms),
                 if i + 1 < self.points.len() { "," } else { "" }
             ));
         }
@@ -842,6 +956,12 @@ pub struct ParsedPoint {
     pub matches: Option<u64>,
     /// `None` for reports predating the field.
     pub partials_live: Option<u64>,
+    /// `None` for reports predating the field (0 on rows that take no
+    /// checkpoints).
+    pub checkpoint_bytes: Option<u64>,
+    /// `NaN` when the row takes no checkpoints (`null`), or for
+    /// reports predating the field.
+    pub restore_ms: f64,
 }
 
 /// Parses the grid points back out of a serialized smoke report.
@@ -857,6 +977,10 @@ pub fn parse_points(json: &str) -> Vec<ParsedPoint> {
                     .unwrap_or(f64::NAN),
                 matches: json_field(line, "matches").and_then(|v| v.parse().ok()),
                 partials_live: json_field(line, "partials_live").and_then(|v| v.parse().ok()),
+                checkpoint_bytes: json_field(line, "checkpoint_bytes").and_then(|v| v.parse().ok()),
+                restore_ms: json_field(line, "restore_ms")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(f64::NAN),
             })
         })
         .collect()
@@ -890,7 +1014,10 @@ impl SmokeDiff {
 /// **Warnings** (annotate only): a point slower than the baseline by
 /// more than `tolerance_pct` percent, a p99 emission latency regressed
 /// by the same relative margin (and by more than one histogram
-/// bucket's worth of ms, to dodge log₂ quantization noise), and
+/// bucket's worth of ms, to dodge log₂ quantization noise), a
+/// checkpoint log grown past the same relative margin (its size holds
+/// a few wall-clock-valued statistics fields, so it is trend data,
+/// not bit-deterministic), a restore latency regressed likewise, and
 /// current points not yet in the baseline. Timing stays advisory —
 /// smoke numbers are trend data from shared runners, not a stable
 /// gate; the dedicated `scale-cores` job owns the hard perf floor.
@@ -949,6 +1076,24 @@ pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> SmokeD
                         b.strategy, b.bound, c.p99_emission_ms, b.p99_emission_ms
                     ));
                 }
+                if let (Some(cur_b), Some(base_b)) = (c.checkpoint_bytes, b.checkpoint_bytes) {
+                    if base_b > 0 && cur_b as f64 > base_b as f64 * (1.0 + tolerance_pct / 100.0) {
+                        diff.warnings.push(format!(
+                            "{}@{}: checkpoint log grew to {cur_b} bytes from baseline {base_b}",
+                            b.strategy, b.bound
+                        ));
+                    }
+                }
+                if b.restore_ms.is_finite()
+                    && c.restore_ms.is_finite()
+                    && c.restore_ms > b.restore_ms * (1.0 + tolerance_pct / 100.0)
+                    && c.restore_ms - b.restore_ms > 1.0
+                {
+                    diff.warnings.push(format!(
+                        "{}@{}: restore latency {:.1} ms is above baseline {:.1} ms",
+                        b.strategy, b.bound, c.restore_ms, b.restore_ms
+                    ));
+                }
             }
         }
     }
@@ -990,7 +1135,7 @@ mod tests {
             cores_events_per_key: 250,
         });
         assert_eq!(report.events, 1_000);
-        assert_eq!(report.points.len(), 16);
+        assert_eq!(report.points.len(), 17);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -1029,13 +1174,37 @@ mod tests {
                 .contains("\"schema\":\"acep-telemetry-v1\""),
             "telemetry run exports a JSON snapshot"
         );
+        let checkpoint = &report.points[2];
+        assert_eq!(checkpoint.strategy, "checkpoint");
+        assert!(
+            checkpoint.overhead_pct.is_finite(),
+            "the checkpoint point is measured against the baseline"
+        );
+        assert!(
+            checkpoint.checkpoint_bytes > 0,
+            "the run sealed at least one checkpoint"
+        );
+        assert!(
+            checkpoint.restore_ms.is_finite() && checkpoint.restore_ms >= 0.0,
+            "recovery from the run's log was measured"
+        );
+        for p in &report.points {
+            if p.strategy != "checkpoint" {
+                assert_eq!(
+                    p.checkpoint_bytes, 0,
+                    "{}: no checkpoints taken",
+                    p.strategy
+                );
+                assert!(p.restore_ms.is_nan(), "{}: no restore measured", p.strategy);
+            }
+        }
         // The trailing-negation query holds matches to their deadline,
         // so the disorder points measure a real emission latency.
         assert!(
             report.points.iter().any(|p| p.p99_emission_ms.is_finite()),
             "no grid point recorded emission latency"
         );
-        let scale = &report.points[6];
+        let scale = &report.points[7];
         assert_eq!(scale.strategy, "scale_keys");
         assert!(
             scale.overhead_pct.is_nan(),
@@ -1051,7 +1220,7 @@ mod tests {
         // and pattern, so the match counts must respect the policy
         // lattice (strict ⊆ next ⊆ any — the policies are pure filters
         // on the skip-till-any match set).
-        for (scenario, base) in [("scale_iot", 7usize), ("scale_click", 10usize)] {
+        for (scenario, base) in [("scale_iot", 8usize), ("scale_click", 11usize)] {
             let [any, next, strict] = [
                 &report.points[base],
                 &report.points[base + 1],
@@ -1078,7 +1247,7 @@ mod tests {
 
         // The multicore rows: one workload at W = 1/2/4, so parallelism
         // must not change what is detected.
-        let [w1, w2, w4] = [&report.points[13], &report.points[14], &report.points[15]];
+        let [w1, w2, w4] = [&report.points[14], &report.points[15], &report.points[16]];
         assert_eq!(w1.strategy, "scale_cores_w1");
         assert_eq!(w2.strategy, "scale_cores_w2");
         assert_eq!(w4.strategy, "scale_cores_w4");
@@ -1100,20 +1269,24 @@ mod tests {
         assert!(json.contains("\"strategy\": \"scale_iot_next\""));
         assert!(json.contains("\"strategy\": \"scale_click_strict\""));
         assert!(json.contains("\"strategy\": \"scale_cores_w4\""));
+        assert!(json.contains("\"strategy\": \"checkpoint\""));
         assert!(json.contains("\"partials_live\""));
         assert!(json.contains("\"p99_emission_ms\""));
-        assert_eq!(json.matches("\"bound\":").count(), 16);
+        assert!(json.contains("\"checkpoint_bytes\""));
+        assert!(json.contains("\"restore_ms\""));
+        assert_eq!(json.matches("\"bound\":").count(), 17);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 16);
+        assert_eq!(points.len(), 17);
         assert_eq!(points[0].strategy, "merged");
         assert_eq!(points[0].bound, 0);
         assert!((points[0].throughput_eps - report.points[0].throughput_eps).abs() < 1.0);
         assert_eq!(points[1].strategy, "telemetry");
-        assert_eq!(points[6].strategy, "scale_keys");
-        assert_eq!(points[12].strategy, "scale_click_strict");
-        assert_eq!(points[15].strategy, "scale_cores_w4");
+        assert_eq!(points[2].strategy, "checkpoint");
+        assert_eq!(points[7].strategy, "scale_keys");
+        assert_eq!(points[13].strategy, "scale_click_strict");
+        assert_eq!(points[16].strategy, "scale_cores_w4");
         for (i, p) in points.iter().enumerate() {
             let want = report.points[i].p99_emission_ms;
             assert!(
@@ -1124,6 +1297,13 @@ mod tests {
             );
             assert_eq!(p.matches, Some(report.points[i].matches));
             assert_eq!(p.partials_live, Some(report.points[i].partials_live as u64));
+            assert_eq!(p.checkpoint_bytes, Some(report.points[i].checkpoint_bytes));
+            let want = report.points[i].restore_ms;
+            assert!(
+                (p.restore_ms.is_nan() && want.is_nan()) || (p.restore_ms - want).abs() < 1.0,
+                "restore_ms round-trip at point {i}: {} vs {want}",
+                p.restore_ms
+            );
         }
     }
 
@@ -1213,6 +1393,29 @@ mod tests {
         assert!(json.contains("\"schema\": \"acep-scale-cores-v1\""));
         assert!(json.contains("\"workers\": 4"));
         assert!(json.contains("\"match_hash\": \"0x"));
+    }
+
+    #[test]
+    fn diff_flags_checkpoint_growth_and_restore_regressions() {
+        let base = "\
+{\"strategy\": \"checkpoint\", \"bound\": 0, \"throughput_eps\": 1000.0, \"checkpoint_bytes\": 10000, \"restore_ms\": 10.0}\n";
+        // Within tolerance on both columns → clean.
+        let ok = "\
+{\"strategy\": \"checkpoint\", \"bound\": 0, \"throughput_eps\": 1000.0, \"checkpoint_bytes\": 11000, \"restore_ms\": 11.5}\n";
+        assert!(diff_reports(ok, base, 20.0).is_clean());
+        // A log 50% larger and a restore 3x slower → two warnings, no
+        // errors (both columns are trend data, not semantics).
+        let bad = "\
+{\"strategy\": \"checkpoint\", \"bound\": 0, \"throughput_eps\": 1000.0, \"checkpoint_bytes\": 15000, \"restore_ms\": 30.0}\n";
+        let diff = diff_reports(bad, base, 20.0);
+        assert!(diff.errors.is_empty(), "{diff:?}");
+        assert_eq!(diff.warnings.len(), 2, "{diff:?}");
+        assert!(diff.warnings[0].contains("checkpoint log grew to 15000 bytes"));
+        assert!(diff.warnings[1].contains("restore latency 30.0 ms"));
+        // Old-format baselines (no checkpoint columns) stay comparable.
+        let old = "\
+{\"strategy\": \"checkpoint\", \"bound\": 0, \"throughput_eps\": 1000.0}\n";
+        assert!(diff_reports(bad, old, 20.0).is_clean());
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acep_checkpoint::{BranchCtlRec, CheckpointError, ControllerRec, StatsRec};
 use acep_engine::{build_executor, ExecContext, Executor};
 use acep_plan::{CollectingRecorder, EvalPlan, Planner};
 use acep_stats::{SharedSnapshot, StatisticsCollector};
@@ -116,6 +117,10 @@ pub struct QueryController {
     collector: StatisticsCollector,
     branches: Vec<BranchControl>,
     stats: AdaptationStats,
+    /// `stats.events` value at the most recent deployment (any branch).
+    /// Drives [`events_since_deployment`](Self::events_since_deployment)
+    /// for migration staggering; `0` until the first deployment.
+    last_deploy_event: u64,
     /// Telemetry producer handle (`None` = not recording) and the
     /// query tag stamped on records. Only touched at control-step
     /// cadence — the per-event path never sees it.
@@ -156,6 +161,7 @@ impl QueryController {
             collector: StatisticsCollector::new(t.num_types, &t.pattern, &t.config.stats),
             branches,
             stats: AdaptationStats::default(),
+            last_deploy_event: 0,
             recorder: None,
             query_tag: 0,
         }
@@ -223,6 +229,7 @@ impl QueryController {
                     b.plan = plan;
                     b.epoch += 1;
                     self.stats.plan_epoch += 1;
+                    self.last_deploy_event = at_event;
                     if let Some(snapshot_hash) = evidence {
                         self.recorder.record(TelemetryEvent::Deployment {
                             query: self.query_tag,
@@ -271,6 +278,7 @@ impl QueryController {
                 b.epoch += 1;
                 self.stats.plan_epoch += 1;
                 self.stats.plan_replacements += 1;
+                self.last_deploy_event = at_event;
                 ReoptOutcome::Deployed
             } else if new_cost <= cur_cost * (1.0 + TIE_BAND) {
                 ReoptOutcome::Unchanged
@@ -331,6 +339,21 @@ impl QueryController {
         KeyedEngine::from_controller(self)
     }
 
+    /// Like [`new_engine`](Self::new_engine), tagging the engine with
+    /// its partition `key` so migration staggering
+    /// ([`AdaptiveConfig::migration_stagger`]) can spread per-key
+    /// rebuilds deterministically by key hash.
+    pub fn new_engine_for(&self, key: u64) -> KeyedEngine {
+        KeyedEngine::from_controller_keyed(self, key)
+    }
+
+    /// Controller events observed since the most recent deployment
+    /// (any branch); `stats.events` before the first deployment. The
+    /// yardstick keyed engines compare their stagger offset against.
+    pub fn events_since_deployment(&self) -> u64 {
+        self.stats.events.saturating_sub(self.last_deploy_event)
+    }
+
     /// Builds a fresh executor for branch `b`'s current plan (the
     /// target of a lazy migration).
     pub fn build_branch_executor(&self, b: usize) -> Box<dyn Executor> {
@@ -351,6 +374,12 @@ impl QueryController {
     /// The match window of branch `b` (for engine construction).
     pub(crate) fn branch_window(&self, b: usize) -> Timestamp {
         self.branches[b].sub.window
+    }
+
+    /// The compiled execution context of branch `b` (for engine
+    /// restore).
+    pub(crate) fn branch_ctx(&self, b: usize) -> &Arc<ExecContext> {
+        &self.branches[b].ctx
     }
 
     /// Number of pattern branches.
@@ -377,6 +406,70 @@ impl QueryController {
     /// The adaptation configuration.
     pub fn config(&self) -> &AdaptiveConfig {
         &self.config
+    }
+
+    /// Serializes the controller's recoverable state: deployed plans,
+    /// epochs, and adaptation counters.
+    ///
+    /// The statistics collector, the armed decision-function state, and
+    /// the timing histograms are deliberately **not** captured — they
+    /// restart fresh after recovery. This is sound because the emitted
+    /// match multiset is plan-trajectory-invariant (pinned by the
+    /// `controller_equivalence` goldens): a recovered run may adapt
+    /// along a different plan trajectory than the uninterrupted run,
+    /// but it detects exactly the same matches.
+    pub fn export_rec(&self) -> ControllerRec {
+        ControllerRec {
+            branches: self
+                .branches
+                .iter()
+                .map(|b| BranchCtlRec {
+                    plan: b.plan.clone(),
+                    epoch: b.epoch,
+                    initialized: b.initialized,
+                })
+                .collect(),
+            stats: StatsRec {
+                events: self.stats.events,
+                decision_evals: self.stats.decision_evals,
+                reopt_triggers: self.stats.reopt_triggers,
+                planner_invocations: self.stats.planner_invocations,
+                plan_replacements: self.stats.plan_replacements,
+                plan_epoch: self.stats.plan_epoch,
+                decision_time_us: self.stats.decision_time.as_micros().min(u64::MAX as u128) as u64,
+                planning_time_us: self.stats.planning_time.as_micros().min(u64::MAX as u128) as u64,
+            },
+            last_deploy_event: self.last_deploy_event,
+        }
+    }
+
+    /// Restores the state captured by [`export_rec`](Self::export_rec)
+    /// into a freshly templated controller. Plans, epochs, and counters
+    /// come back exactly; the statistics collector and policy state
+    /// restart fresh (see `export_rec` for why that is sound).
+    pub fn import_rec(&mut self, rec: &ControllerRec) -> Result<(), CheckpointError> {
+        if rec.branches.len() != self.branches.len() {
+            return Err(CheckpointError::BadValue("controller branch count"));
+        }
+        for (b, br) in self.branches.iter_mut().zip(&rec.branches) {
+            b.plan = br.plan.clone();
+            b.epoch = br.epoch;
+            b.initialized = br.initialized;
+            b.last_snapshot = None;
+        }
+        self.stats = AdaptationStats {
+            events: rec.stats.events,
+            decision_evals: rec.stats.decision_evals,
+            reopt_triggers: rec.stats.reopt_triggers,
+            planner_invocations: rec.stats.planner_invocations,
+            plan_replacements: rec.stats.plan_replacements,
+            plan_epoch: rec.stats.plan_epoch,
+            decision_time: Duration::from_micros(rec.stats.decision_time_us),
+            planning_time: Duration::from_micros(rec.stats.planning_time_us),
+            control_step_us: Histogram::default(),
+        };
+        self.last_deploy_event = rec.last_deploy_event;
+        Ok(())
     }
 }
 
@@ -468,5 +561,118 @@ mod tests {
             "a cold key starts on the adapted plan, not the uniform one"
         );
         assert_eq!(engine.generations(), 1, "no migration debt at birth");
+    }
+
+    #[test]
+    fn migration_stagger_defers_per_key_and_eventually_settles() {
+        use acep_types::mix64;
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let stagger = 600;
+        let cfg = AdaptiveConfig {
+            migration_stagger: stagger,
+            ..config()
+        };
+        let template = EngineTemplate::new(&p, 3, cfg).unwrap();
+        let mut ctl = template.controller();
+        // Engines created *before* the deployment, so each carries
+        // migration debt afterwards.
+        let keys: Vec<u64> = (0..64u64).map(|k| k.wrapping_mul(2_654_435_761)).collect();
+        let mut engines: Vec<_> = keys.iter().map(|&k| ctl.new_engine_for(k)).collect();
+        let stream = skewed_stream(2_000);
+        let split = stream.len() / 4;
+        for e in &stream[..split] {
+            ctl.observe(e);
+        }
+        let target = ctl.epoch(0);
+        assert!(target > 0, "skew must deploy a non-uniform plan");
+        let mut out = Vec::new();
+        let probe = ev(0, 50_000, 900_000);
+        for (eng, &k) in engines.iter_mut().zip(&keys) {
+            eng.on_event(&ctl, &probe, &mut out);
+            let due = ctl.events_since_deployment() >= mix64(k ^ target) % stagger;
+            assert_eq!(
+                eng.plan_epoch(0) == target,
+                due,
+                "key {k}: stagger gate must match the deterministic offset"
+            );
+        }
+        assert!(
+            engines.iter().any(|e| e.plan_epoch(0) != target),
+            "stagger window must defer at least one key (events since deployment: {})",
+            ctl.events_since_deployment()
+        );
+        // The stream is stationary, so no further deployment resets the
+        // clock; once the stagger window passes, every key is due.
+        for e in &stream[split..] {
+            ctl.observe(e);
+        }
+        assert_eq!(ctl.epoch(0), target, "stationary stream must not redeploy");
+        assert!(ctl.events_since_deployment() >= stagger);
+        let probe2 = ev(0, 51_000, 900_001);
+        for eng in engines.iter_mut() {
+            eng.on_event(&ctl, &probe2, &mut out);
+            assert_eq!(
+                eng.plan_epoch(0),
+                target,
+                "all keys settle after the window"
+            );
+        }
+    }
+
+    #[test]
+    fn controller_and_engine_checkpoint_round_trip() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let template = EngineTemplate::new(&p, 3, config()).unwrap();
+        let mut ctl = template.controller();
+        let mut eng = ctl.new_engine_for(42);
+        let mut out = Vec::new();
+        let full = skewed_stream(700);
+        let prefix_len = skewed_stream(600).len();
+        for e in &full[..prefix_len] {
+            ctl.observe(e);
+            eng.on_event(&ctl, e, &mut out);
+        }
+        assert!(ctl.epoch(0) > 0, "skew must deploy before the checkpoint");
+
+        let crec = ctl.export_rec();
+        let mut table = acep_checkpoint::EventTable::new();
+        let erec = eng.export_rec(&mut table);
+        let mut map = acep_checkpoint::EventMap::new();
+        for r in table.into_records() {
+            map.insert(&r);
+        }
+
+        let mut ctl2 = template.controller();
+        ctl2.import_rec(&crec).unwrap();
+        let mut eng2 = KeyedEngine::restore(&ctl2, 42, &erec, &map).unwrap();
+        assert_eq!(ctl2.epoch(0), ctl.epoch(0));
+        assert_eq!(ctl2.stats().plan_epoch, ctl.stats().plan_epoch);
+        assert_eq!(ctl2.stats().events, ctl.stats().events);
+        assert_eq!(eng2.plan_epoch(0), eng.plan_epoch(0));
+        assert_eq!(eng2.partial_count(), eng.partial_count());
+        assert_eq!(eng2.comparisons(), eng.comparisons());
+
+        // The restored pair must emit the same matches on the same
+        // suffix — even though the restored controller re-learns
+        // statistics from scratch (the match multiset is
+        // plan-trajectory-invariant).
+        let (mut o1, mut o2) = (Vec::new(), Vec::new());
+        for e in &full[prefix_len..] {
+            ctl.observe(e);
+            ctl2.observe(e);
+            eng.on_event(&ctl, e, &mut o1);
+            eng2.on_event(&ctl2, e, &mut o2);
+        }
+        eng.finish(&mut o1);
+        eng2.finish(&mut o2);
+        let mut k1: Vec<_> = o1.iter().map(acep_engine::Match::key).collect();
+        let mut k2: Vec<_> = o2.iter().map(acep_engine::Match::key).collect();
+        k1.sort();
+        k2.sort();
+        assert_eq!(
+            k1, k2,
+            "restored engine must detect the identical suffix matches"
+        );
+        assert!(!k1.is_empty(), "suffix must exercise the match path");
     }
 }

@@ -19,8 +19,9 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{CheckpointError, EventMap, EventTable, KeyedEngineRec};
 use acep_engine::{Match, MigratingExecutor};
-use acep_types::{Event, Timestamp};
+use acep_types::{mix64, Event, Timestamp};
 
 use crate::controller::QueryController;
 
@@ -28,6 +29,10 @@ use crate::controller::QueryController;
 /// the [module docs](self).
 pub struct KeyedEngine {
     branches: Vec<MigratingExecutor>,
+    /// The partition key this engine evaluates, as routed by the host.
+    /// Only used to derive the deterministic per-key migration-stagger
+    /// offset — a single-key host passes `0`.
+    key: u64,
     /// Timestamp of the last event this engine processed — the
     /// ownership boundary for lazy migrations: the previous generation
     /// saw every event up to and including `last_ts`, so it keeps every
@@ -39,19 +44,29 @@ pub struct KeyedEngine {
 
 impl KeyedEngine {
     /// Builds an engine running `controller`'s current plans at the
-    /// current epochs (no migration debt).
+    /// current epochs (no migration debt). Single-key convenience for
+    /// [`from_controller_keyed`](Self::from_controller_keyed) with
+    /// key 0.
     pub(crate) fn from_controller(controller: &QueryController) -> Self {
+        Self::from_controller_keyed(controller, 0)
+    }
+
+    /// Builds the engine for partition `key` running `controller`'s
+    /// current plans at the current epochs (no migration debt).
+    pub(crate) fn from_controller_keyed(controller: &QueryController, key: u64) -> Self {
         let branches = (0..controller.num_branches())
             .map(|b| {
                 MigratingExecutor::with_epoch(
                     controller.branch_window(b),
                     controller.build_branch_executor(b),
                     controller.epoch(b),
+                    controller.plan(b).clone(),
                 )
             })
             .collect();
         Self {
             branches,
+            key,
             last_ts: 0,
             events: 0,
             matches: 0,
@@ -64,6 +79,15 @@ impl KeyedEngine {
     /// skipping intermediate epochs — and spliced in with ownership
     /// starting after `last_ts`, so the retiring generation keeps every
     /// match it alone saw the start of.
+    ///
+    /// With [`migration_stagger`](crate::AdaptiveConfig::migration_stagger)
+    /// set, a trailing branch additionally waits until the controller
+    /// has observed this key's deterministic share of the stagger
+    /// window since the deployment — spreading the rebuild burst of a
+    /// deployment over the next `migration_stagger` events instead of
+    /// the next event per key. Deferral never changes the match set:
+    /// the old plan keeps evaluating, and the migration protocol is
+    /// lossless whenever it finally runs.
     pub fn on_event(
         &mut self,
         controller: &QueryController,
@@ -72,10 +96,20 @@ impl KeyedEngine {
     ) {
         debug_assert_eq!(self.branches.len(), controller.num_branches());
         let before = out.len();
+        let stagger = controller.config().migration_stagger;
         for (b, exec) in self.branches.iter_mut().enumerate() {
             let target = controller.epoch(b);
             if exec.plan_epoch() != target {
-                exec.replace_epoch(controller.build_branch_executor(b), self.last_ts, target);
+                let due = stagger == 0
+                    || controller.events_since_deployment() >= mix64(self.key ^ target) % stagger;
+                if due {
+                    exec.replace_epoch(
+                        controller.build_branch_executor(b),
+                        self.last_ts,
+                        target,
+                        controller.plan(b).clone(),
+                    );
+                }
             }
             exec.on_event(ev, out);
         }
@@ -171,5 +205,48 @@ impl KeyedEngine {
             .iter()
             .filter_map(MigratingExecutor::min_pending_deadline)
             .min()
+    }
+
+    /// Serializes this engine's full recoverable state — every branch's
+    /// migrating-executor chain plus the stream clock and counters —
+    /// interning referenced events into `table`.
+    /// [`restore`](Self::restore) inverts this.
+    pub fn export_rec(&self, table: &mut EventTable) -> KeyedEngineRec {
+        KeyedEngineRec {
+            branches: self.branches.iter().map(|b| b.export_rec(table)).collect(),
+            last_ts: self.last_ts,
+            events: self.events,
+            matches: self.matches,
+        }
+    }
+
+    /// Rebuilds the engine for partition `key` from a checkpoint
+    /// record. `controller` must be templated from the same pattern the
+    /// exporting engine ran (branch contexts are taken from it; plans
+    /// ride in the record, one per surviving generation).
+    pub fn restore(
+        controller: &QueryController,
+        key: u64,
+        rec: &KeyedEngineRec,
+        events: &EventMap,
+    ) -> Result<Self, CheckpointError> {
+        if rec.branches.len() != controller.num_branches() {
+            return Err(CheckpointError::BadValue("keyed engine branch count"));
+        }
+        let mut branches = Vec::with_capacity(rec.branches.len());
+        for (b, br) in rec.branches.iter().enumerate() {
+            branches.push(MigratingExecutor::restore(
+                controller.branch_ctx(b),
+                br,
+                events,
+            )?);
+        }
+        Ok(Self {
+            branches,
+            key,
+            last_ts: rec.last_ts,
+            events: rec.events,
+            matches: rec.matches,
+        })
     }
 }

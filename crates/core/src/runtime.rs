@@ -55,6 +55,16 @@ pub struct AdaptiveConfig {
     /// distance-based invariants. A positive value is an engineering
     /// alternative explored by the `ablation_hysteresis` bench.
     pub min_improvement: f64,
+    /// Deployment-storm shaping: stagger lazy per-key migrations across
+    /// this many controller events after a deployment. Each key draws a
+    /// deterministic offset in `[0, migration_stagger)` from its hash
+    /// and the target epoch; its executor rebuild waits until that many
+    /// events have passed since the deployment. `0` (the default)
+    /// migrates on the key's next event, exactly the pre-stagger
+    /// behavior. Match output is unaffected either way — a not-yet-due
+    /// key keeps evaluating on its old plan, and the migration protocol
+    /// is lossless whenever it runs.
+    pub migration_stagger: u64,
     /// Statistics-maintenance configuration.
     pub stats: StatsConfig,
 }
@@ -67,6 +77,7 @@ impl Default for AdaptiveConfig {
             control_interval: 64,
             warmup_events: 512,
             min_improvement: 0.0,
+            migration_stagger: 0,
             stats: StatsConfig::default(),
         }
     }

@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{CheckpointError, EventMap, EventTable, ExecutorRec};
 use acep_plan::EvalPlan;
 use acep_types::{Event, Timestamp};
 
@@ -62,6 +63,11 @@ pub trait Executor: Send {
     /// streaming layer indexes engines by this value so watermark
     /// advances skip engines with nothing pending.
     fn min_pending_deadline(&self) -> Option<Timestamp>;
+
+    /// Serializes the executor's full recoverable state into a
+    /// checkpoint record, interning referenced events into `table`.
+    /// [`restore_executor`] inverts this given the same plan.
+    fn export_rec(&self, table: &mut EventTable) -> ExecutorRec;
 }
 
 /// Instantiates the matching executor for a plan.
@@ -69,6 +75,27 @@ pub fn build_executor(ctx: Arc<ExecContext>, plan: &EvalPlan) -> Box<dyn Executo
     match plan {
         EvalPlan::Order(p) => Box::new(OrderExecutor::new(ctx, p)),
         EvalPlan::Tree(p) => Box::new(TreeExecutor::new(ctx, p)),
+    }
+}
+
+/// Rebuilds an executor from a checkpoint record. `plan` must be the
+/// plan the exporting executor was built from (the record only holds
+/// state, not structure — structure is rebuilt deterministically from
+/// the plan, so indices in the record line up).
+pub fn restore_executor(
+    ctx: Arc<ExecContext>,
+    plan: &EvalPlan,
+    rec: &ExecutorRec,
+    events: &EventMap,
+) -> Result<Box<dyn Executor>, CheckpointError> {
+    match (plan, rec) {
+        (EvalPlan::Order(p), ExecutorRec::Order(r)) => {
+            Ok(Box::new(OrderExecutor::restore(ctx, p, r, events)?))
+        }
+        (EvalPlan::Tree(p), ExecutorRec::Tree(r)) => {
+            Ok(Box::new(TreeExecutor::restore(ctx, p, r, events)?))
+        }
+        _ => Err(CheckpointError::BadValue("plan/executor kind mismatch")),
     }
 }
 

@@ -27,6 +27,7 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{BufferRec, CheckpointError, EventMap, EventTable, FinalizerRec, PendingRec};
 use acep_types::{Event, SubKind, Timestamp};
 
 use crate::buffer::EventBuffer;
@@ -166,6 +167,125 @@ impl Finalizer {
     /// The engine-delivered event log (restrictive policies only).
     pub fn seen(&self) -> Option<&SeenLog> {
         self.history.seen.as_ref()
+    }
+
+    /// Serializes the full finalizer state (history buffers, seen log,
+    /// pending matches) into a checkpoint record, interning every
+    /// referenced event into `table`.
+    pub fn export_rec(&self, table: &mut EventTable) -> FinalizerRec {
+        fn buf_rec(buf: &EventBuffer, table: &mut EventTable) -> BufferRec {
+            BufferRec {
+                seqs: buf.iter().map(|e| table.intern(e)).collect(),
+            }
+        }
+        let mut pending = Vec::with_capacity(self.pending.len());
+        for pm in &self.pending {
+            pending.push(PendingRec {
+                events: pm
+                    .completed
+                    .events
+                    .iter()
+                    .map(|o| o.as_ref().map(|e| table.intern(e)))
+                    .collect(),
+                min_ts: pm.completed.min_ts,
+                max_ts: pm.completed.max_ts,
+                kleene_sets: pm
+                    .kleene_sets
+                    .iter()
+                    .map(|set| set.iter().map(|e| table.intern(e)).collect())
+                    .collect(),
+                deadline: pm.deadline,
+            });
+        }
+        FinalizerRec {
+            neg: self.history.neg.iter().map(|b| buf_rec(b, table)).collect(),
+            kleene: self
+                .history
+                .kleene
+                .iter()
+                .map(|b| buf_rec(b, table))
+                .collect(),
+            seen: self
+                .history
+                .seen
+                .as_ref()
+                .map(|s| s.iter().map(|e| table.intern(e)).collect()),
+            pending,
+            comparisons: self.comparisons,
+        }
+    }
+
+    /// Restores state exported by [`export_rec`](Self::export_rec) into
+    /// a freshly constructed finalizer for the same compiled
+    /// sub-pattern. Buffers are rebuilt by replaying pushes in stream
+    /// order — the same operations that built the originals — so
+    /// retention is reproduced exactly.
+    pub fn import_rec(
+        &mut self,
+        rec: &FinalizerRec,
+        events: &EventMap,
+    ) -> Result<(), CheckpointError> {
+        if rec.neg.len() != self.history.neg.len()
+            || rec.kleene.len() != self.history.kleene.len()
+            || rec.seen.is_some() != self.history.seen.is_some()
+        {
+            return Err(CheckpointError::BadValue("finalizer shape"));
+        }
+        let window = self.ctx.window;
+        let restore_buf = |seqs: &[u64]| -> Result<EventBuffer, CheckpointError> {
+            let mut buf = EventBuffer::new(window);
+            for &seq in seqs {
+                buf.push(events.get(seq)?);
+            }
+            Ok(buf)
+        };
+        for (buf, rec) in self.history.neg.iter_mut().zip(&rec.neg) {
+            *buf = restore_buf(&rec.seqs)?;
+        }
+        for (buf, rec) in self.history.kleene.iter_mut().zip(&rec.kleene) {
+            *buf = restore_buf(&rec.seqs)?;
+        }
+        if let (Some(log), Some(seqs)) = (self.history.seen.as_mut(), rec.seen.as_ref()) {
+            let mut fresh = SeenLog::new();
+            for &seq in seqs {
+                fresh.push(events.get(seq)?);
+            }
+            *log = fresh;
+        }
+        self.pending.clear();
+        for pm in &rec.pending {
+            if pm.events.len() != self.ctx.n || pm.kleene_sets.len() != self.ctx.kleene_slots.len()
+            {
+                return Err(CheckpointError::BadValue("pending match shape"));
+            }
+            let mut bound = Vec::with_capacity(pm.events.len());
+            for slot in &pm.events {
+                bound.push(match slot {
+                    Some(seq) => Some(events.get(*seq)?),
+                    None => None,
+                });
+            }
+            let mut kleene_sets = Vec::with_capacity(pm.kleene_sets.len());
+            for set in &pm.kleene_sets {
+                let mut restored = Vec::with_capacity(set.len());
+                for &seq in set {
+                    restored.push(events.get(seq)?);
+                }
+                kleene_sets.push(restored);
+            }
+            self.pending.push(PendingMatch {
+                completed: Completed {
+                    events: bound,
+                    min_ts: pm.min_ts,
+                    max_ts: pm.max_ts,
+                },
+                kleene_sets,
+                deadline: pm.deadline,
+            });
+        }
+        self.comparisons = rec.comparisons;
+        self.recompute_min_deadline();
+        Ok(())
     }
 
     /// Feeds one event: updates history, invalidates/extends pending

@@ -52,7 +52,7 @@ pub mod tree_exec;
 pub use buffer::EventBuffer;
 pub use composite::StaticEngine;
 pub use context::{ExecContext, NegGuard, PartialBinding};
-pub use executor::{build_executor, Executor};
+pub use executor::{build_executor, restore_executor, Executor};
 pub use finalize::{Completed, Finalizer, FinalizerHistory};
 pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;

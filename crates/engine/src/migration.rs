@@ -16,13 +16,20 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{CheckpointError, EventMap, EventTable, GenerationRec, MigratingRec};
+use acep_plan::EvalPlan;
+use acep_types::faultpoint::{self, FaultPoint};
 use acep_types::{Event, Timestamp};
 
-use crate::executor::Executor;
+use crate::context::ExecContext;
+use crate::executor::{restore_executor, Executor};
 use crate::matches::Match;
 
 struct Generation {
     exec: Box<dyn Executor>,
+    /// The plan `exec` was built from — recorded so a checkpoint can
+    /// rebuild the executor's structure deterministically on restore.
+    plan: EvalPlan,
     /// Deployment time: this generation owns matches with
     /// `min_ts >= start` (up to the next generation's start).
     start: Timestamp,
@@ -46,24 +53,81 @@ pub struct MigratingExecutor {
 
 impl MigratingExecutor {
     /// Wraps the initial executor (deployed at stream time 0, plan
-    /// epoch 0).
-    pub fn new(window: Timestamp, exec: Box<dyn Executor>) -> Self {
-        Self::with_epoch(window, exec, 0)
+    /// epoch 0). `plan` must be the plan `exec` was built from.
+    pub fn new(window: Timestamp, exec: Box<dyn Executor>, plan: EvalPlan) -> Self {
+        Self::with_epoch(window, exec, 0, plan)
     }
 
     /// Wraps the initial executor, tagging it with the plan `epoch` it
     /// was built from — the constructor for engines instantiated *after*
     /// a shared controller has already adapted, which start directly on
     /// the adapted plan with no migration debt.
-    pub fn with_epoch(window: Timestamp, exec: Box<dyn Executor>, epoch: u64) -> Self {
+    pub fn with_epoch(
+        window: Timestamp,
+        exec: Box<dyn Executor>,
+        epoch: u64,
+        plan: EvalPlan,
+    ) -> Self {
         Self {
             window,
-            gens: vec![Generation { exec, start: 0 }],
+            gens: vec![Generation {
+                exec,
+                plan,
+                start: 0,
+            }],
             scratch: Vec::new(),
             replacements: 0,
             plan_epoch: epoch,
             retired_comparisons: 0,
         }
+    }
+
+    /// Serializes the generation chain and migration accounting into a
+    /// checkpoint record, interning referenced events into `table`.
+    pub fn export_rec(&self, table: &mut EventTable) -> MigratingRec {
+        MigratingRec {
+            gens: self
+                .gens
+                .iter()
+                .map(|g| GenerationRec {
+                    plan: g.plan.clone(),
+                    start: g.start,
+                    exec: g.exec.export_rec(table),
+                })
+                .collect(),
+            replacements: self.replacements,
+            plan_epoch: self.plan_epoch,
+            retired_comparisons: self.retired_comparisons,
+        }
+    }
+
+    /// Rebuilds a migrating executor from a checkpoint record: each
+    /// generation's executor is reconstructed from its recorded plan
+    /// and refilled from its recorded state.
+    pub fn restore(
+        ctx: &Arc<ExecContext>,
+        rec: &MigratingRec,
+        events: &EventMap,
+    ) -> Result<Self, CheckpointError> {
+        if rec.gens.is_empty() {
+            return Err(CheckpointError::BadValue("generation chain"));
+        }
+        let mut gens = Vec::with_capacity(rec.gens.len());
+        for g in &rec.gens {
+            gens.push(Generation {
+                exec: restore_executor(Arc::clone(ctx), &g.plan, &g.exec, events)?,
+                plan: g.plan.clone(),
+                start: g.start,
+            });
+        }
+        Ok(Self {
+            window: ctx.window,
+            gens,
+            scratch: Vec::new(),
+            replacements: rec.replacements,
+            plan_epoch: rec.plan_epoch,
+            retired_comparisons: rec.retired_comparisons,
+        })
     }
 
     /// Deploys a new plan's executor at stream time `now`. The new
@@ -74,8 +138,8 @@ impl MigratingExecutor {
     /// processed (deployment happens after the triggering event), so
     /// matches beginning at `now` still belong to the previous
     /// generation — which saw those events.
-    pub fn replace(&mut self, exec: Box<dyn Executor>, now: Timestamp) {
-        self.replace_epoch(exec, now, self.plan_epoch + 1);
+    pub fn replace(&mut self, exec: Box<dyn Executor>, now: Timestamp, plan: EvalPlan) {
+        self.replace_epoch(exec, now, self.plan_epoch + 1, plan);
     }
 
     /// [`replace`](Self::replace) with an explicit plan-epoch tag. A
@@ -83,7 +147,14 @@ impl MigratingExecutor {
     /// *current* epoch — skipping any intermediate plans the controller
     /// deployed while this key was idle — so the tag jumps rather than
     /// increments.
-    pub fn replace_epoch(&mut self, mut exec: Box<dyn Executor>, now: Timestamp, epoch: u64) {
+    pub fn replace_epoch(
+        &mut self,
+        mut exec: Box<dyn Executor>,
+        now: Timestamp,
+        epoch: u64,
+        plan: EvalPlan,
+    ) {
+        faultpoint::hit(FaultPoint::MidMigration);
         let history = self
             .gens
             .last()
@@ -93,6 +164,7 @@ impl MigratingExecutor {
         exec.import_history(history);
         self.gens.push(Generation {
             exec,
+            plan,
             start: now.saturating_add(1),
         });
         self.replacements += 1;
@@ -223,8 +295,9 @@ mod tests {
     fn setup() -> (Arc<ExecContext>, MigratingExecutor) {
         let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 100);
         let ctx = ExecContext::compile(&p.canonical().branches[0]).unwrap();
-        let exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::identity(3)));
-        let mig = MigratingExecutor::new(ctx.window, exec);
+        let plan = EvalPlan::Order(OrderPlan::identity(3));
+        let exec = build_executor(Arc::clone(&ctx), &plan);
+        let mig = MigratingExecutor::new(ctx.window, exec, plan);
         (ctx, mig)
     }
 
@@ -247,11 +320,9 @@ mod tests {
         let mut out = Vec::new();
         // A arrives before the switch; B, C after.
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(
-            Arc::clone(&ctx),
-            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
-        );
-        mig.replace(new_exec, 15);
+        let new_plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+        let new_exec = build_executor(Arc::clone(&ctx), &new_plan);
+        mig.replace(new_exec, 15, new_plan);
         assert_eq!(mig.active_generations(), 2);
         mig.on_event(&ev(1, 20, 1), &mut out);
         mig.on_event(&ev(2, 30, 2), &mut out);
@@ -265,11 +336,9 @@ mod tests {
         let (ctx, mut mig) = setup();
         let mut out = Vec::new();
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(
-            Arc::clone(&ctx),
-            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
-        );
-        mig.replace(new_exec, 15);
+        let new_plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+        let new_exec = build_executor(Arc::clone(&ctx), &new_plan);
+        mig.replace(new_exec, 15, new_plan);
         // Full match entirely after the switch: owned by the new
         // generation; the old one also sees it internally but its
         // emission is filtered out.
@@ -290,11 +359,9 @@ mod tests {
         let (ctx, mut mig) = setup();
         let mut out = Vec::new();
         mig.on_event(&ev(0, 10, 0), &mut out);
-        let new_exec = build_executor(
-            Arc::clone(&ctx),
-            &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
-        );
-        mig.replace(new_exec, 15);
+        let new_plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+        let new_exec = build_executor(Arc::clone(&ctx), &new_plan);
+        mig.replace(new_exec, 15, new_plan);
         assert_eq!(mig.active_generations(), 2);
         // Ownership starts at 16; window = 100 → the old generation
         // retires once now > 116.
@@ -319,13 +386,8 @@ mod tests {
                 assert!(c >= last, "comparisons must never decrease");
                 last = c;
             }
-            mig.replace(
-                build_executor(
-                    Arc::clone(&ctx),
-                    &EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
-                ),
-                base + 4,
-            );
+            let plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+            mig.replace(build_executor(Arc::clone(&ctx), &plan), base + 4, plan);
         }
         assert!(last > 0);
     }
@@ -335,15 +397,63 @@ mod tests {
         let (ctx, mut mig) = setup();
         assert_eq!(mig.plan_epoch(), 0);
         let plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
-        mig.replace(build_executor(Arc::clone(&ctx), &plan), 10);
+        mig.replace(build_executor(Arc::clone(&ctx), &plan), 10, plan.clone());
         assert_eq!(mig.plan_epoch(), 1, "untagged replace increments");
-        mig.replace_epoch(build_executor(Arc::clone(&ctx), &plan), 20, 7);
+        mig.replace_epoch(build_executor(Arc::clone(&ctx), &plan), 20, 7, plan.clone());
         assert_eq!(mig.plan_epoch(), 7, "tagged replace jumps to the tag");
-        let fresh =
-            MigratingExecutor::with_epoch(ctx.window, build_executor(Arc::clone(&ctx), &plan), 5);
+        let fresh = MigratingExecutor::with_epoch(
+            ctx.window,
+            build_executor(Arc::clone(&ctx), &plan),
+            5,
+            plan.clone(),
+        );
         assert_eq!(fresh.plan_epoch(), 5);
         assert_eq!(fresh.active_generations(), 1, "no migration debt at birth");
         assert_eq!(fresh.replacements(), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_identically() {
+        let (ctx, mut mig) = setup();
+        let mut out = Vec::new();
+        let mut seq = 0u64;
+        for round in 0..4u64 {
+            let base = round * 50;
+            mig.on_event(&ev(0, base + 1, seq), &mut out);
+            seq += 1;
+            mig.on_event(&ev(1, base + 2, seq), &mut out);
+            seq += 1;
+            let plan = EvalPlan::Order(OrderPlan::new(vec![2, 1, 0]));
+            mig.replace(build_executor(Arc::clone(&ctx), &plan), base + 3, plan);
+        }
+        // Snapshot while a migration is in flight.
+        assert!(mig.active_generations() >= 2);
+        let mut table = acep_checkpoint::EventTable::new();
+        let rec = mig.export_rec(&mut table);
+        let mut map = acep_checkpoint::EventMap::new();
+        for r in table.into_records() {
+            map.insert(&r);
+        }
+        let mut restored = MigratingExecutor::restore(&ctx, &rec, &map).unwrap();
+        assert_eq!(restored.active_generations(), mig.active_generations());
+        assert_eq!(restored.comparisons(), mig.comparisons());
+        assert_eq!(restored.partial_count(), mig.partial_count());
+        assert_eq!(restored.plan_epoch(), mig.plan_epoch());
+        // Both halves continue on the same suffix with identical output.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..6u64 {
+            let e = ev((i % 3) as u32, 200 + i * 5, seq);
+            seq += 1;
+            mig.on_event(&e, &mut a);
+            restored.on_event(&e, &mut b);
+        }
+        mig.finish(&mut a);
+        restored.finish(&mut b);
+        let ka: Vec<_> = a.iter().map(Match::key).collect();
+        let kb: Vec<_> = b.iter().map(Match::key).collect();
+        assert_eq!(ka, kb, "restored engine must emit the original's matches");
+        assert!(!ka.is_empty());
+        assert_eq!(restored.comparisons(), mig.comparisons());
     }
 
     #[test]
@@ -359,20 +469,18 @@ mod tests {
             seq += 1;
             mig.on_event(&ev(2, base + 3, seq), &mut out);
             seq += 1;
-            let plan = if round % 2 == 0 {
+            let plan = EvalPlan::Order(if round % 2 == 0 {
                 OrderPlan::new(vec![2, 1, 0])
             } else {
                 OrderPlan::identity(3)
-            };
-            mig.replace(
-                build_executor(Arc::clone(&ctx), &EvalPlan::Order(plan)),
-                base + 4,
-            );
+            });
+            mig.replace(build_executor(Arc::clone(&ctx), &plan), base + 4, plan);
         }
         mig.finish(&mut out);
         // Count matches of a replacement-free run on the same stream.
-        let exec = build_executor(Arc::clone(&ctx), &EvalPlan::Order(OrderPlan::identity(3)));
-        let mut reference = MigratingExecutor::new(ctx.window, exec);
+        let plan = EvalPlan::Order(OrderPlan::identity(3));
+        let exec = build_executor(Arc::clone(&ctx), &plan);
+        let mut reference = MigratingExecutor::new(ctx.window, exec, plan);
         let mut ref_out = Vec::new();
         let mut seq = 0;
         for round in 0..10u64 {

@@ -18,7 +18,11 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{
+    BufferRec, CheckpointError, EventMap, EventTable, ExecutorRec, OrderExecRec,
+};
 use acep_plan::OrderPlan;
+use acep_types::faultpoint::{self, FaultPoint};
 use acep_types::{Event, SubKind, Timestamp};
 
 use crate::buffer::EventBuffer;
@@ -87,7 +91,37 @@ impl OrderExecutor {
         self.join_order.len()
     }
 
+    /// Rebuilds an executor from a checkpoint record. The plan must be
+    /// the one the exporting executor ran: buffer/level indices in the
+    /// record are positions in the plan's join order.
+    pub fn restore(
+        ctx: Arc<ExecContext>,
+        plan: &OrderPlan,
+        rec: &OrderExecRec,
+        events: &EventMap,
+    ) -> Result<Self, CheckpointError> {
+        let mut exec = Self::new(ctx, plan);
+        if rec.buffers.len() != exec.buffers.len() || rec.levels.len() != exec.levels.len() {
+            return Err(CheckpointError::BadValue("order executor shape"));
+        }
+        for (buf, rec) in exec.buffers.iter_mut().zip(&rec.buffers) {
+            for &seq in &rec.seqs {
+                buf.push(events.get(seq)?);
+            }
+        }
+        for (level, recs) in exec.levels.iter_mut().zip(&rec.levels) {
+            for p in recs {
+                level.push(Partial::restore_rec(&mut exec.store, p, events)?);
+            }
+        }
+        exec.finalizer.import_rec(&rec.finalizer, events)?;
+        exec.comparisons = rec.comparisons;
+        exec.events_since_sweep = rec.events_since_sweep as u32;
+        Ok(exec)
+    }
+
     fn sweep(&mut self, now: Timestamp) {
+        faultpoint::hit(FaultPoint::MidCompaction);
         let window = self.ctx.window;
         for level in &mut self.levels {
             level.retain(|p| !p.expired(now, window));
@@ -229,6 +263,31 @@ impl Executor for OrderExecutor {
 
     fn min_pending_deadline(&self) -> Option<Timestamp> {
         self.finalizer.min_pending_deadline()
+    }
+
+    fn export_rec(&self, table: &mut EventTable) -> ExecutorRec {
+        ExecutorRec::Order(OrderExecRec {
+            buffers: self
+                .buffers
+                .iter()
+                .map(|b| BufferRec {
+                    seqs: b.iter().map(|e| table.intern(e)).collect(),
+                })
+                .collect(),
+            levels: self
+                .levels
+                .iter()
+                .map(|level| {
+                    level
+                        .iter()
+                        .map(|p| p.export_rec(&self.store, table))
+                        .collect()
+                })
+                .collect(),
+            finalizer: self.finalizer.export_rec(table),
+            comparisons: self.comparisons,
+            events_since_sweep: self.events_since_sweep as u64,
+        })
     }
 }
 

@@ -283,6 +283,54 @@ impl Partial {
         now.saturating_sub(self.min_ts) > window
     }
 
+    /// Serializes this partial's bindings into a checkpoint record,
+    /// interning each bound event into `table`. Bindings are written
+    /// oldest-first (the chain iterates newest-first) so
+    /// [`restore_rec`](Self::restore_rec) can replay them as
+    /// `seed` + `extend` calls.
+    pub fn export_rec(
+        &self,
+        store: &PartialStore,
+        table: &mut acep_checkpoint::EventTable,
+    ) -> acep_checkpoint::PartialRec {
+        let mut slots: Vec<(u32, u64)> = self
+            .chain(store)
+            .map(|(slot, ev)| (slot as u32, table.intern(ev)))
+            .collect();
+        slots.reverse();
+        acep_checkpoint::PartialRec {
+            slots,
+            min_ts: self.min_ts,
+            max_ts: self.max_ts,
+            bound: self.bound,
+        }
+    }
+
+    /// Rebuilds a partial from a checkpoint record, pushing its chain
+    /// into `store`. Restored chains are not shared across partials
+    /// (sharing is a memory optimization, not part of the state); the
+    /// recorded bounds are authoritative.
+    pub fn restore_rec(
+        store: &mut PartialStore,
+        rec: &acep_checkpoint::PartialRec,
+        events: &acep_checkpoint::EventMap,
+    ) -> Result<Self, acep_checkpoint::CheckpointError> {
+        let mut iter = rec.slots.iter();
+        let &(slot0, seq0) = iter
+            .next()
+            .ok_or(acep_checkpoint::CheckpointError::BadValue("empty partial"))?;
+        let mut p = Partial::seed(store, slot0 as usize, events.get(seq0)?);
+        for &(slot, seq) in iter {
+            p = p.extend(store, slot as usize, events.get(seq)?);
+        }
+        if p.bound != rec.bound {
+            return Err(acep_checkpoint::CheckpointError::BadValue("partial bound"));
+        }
+        p.min_ts = rec.min_ts;
+        p.max_ts = rec.max_ts;
+        Ok(p)
+    }
+
     /// Materializes the per-slot event vector (`None` = unbound or
     /// Kleene slot) for handoff to the finalizer. The only O(n)
     /// operation on a partial; runs once per completed combination.

@@ -104,6 +104,12 @@ impl SeenLog {
         }
     }
 
+    /// Iterates retained events in stream order (oldest first) — the
+    /// order a checkpoint serializes and [`push`](Self::push) replays.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Event>> {
+        self.buf.iter()
+    }
+
     /// Drops events with `timestamp < cutoff`.
     pub fn prune(&mut self, cutoff: Timestamp) {
         while self.buf.front().is_some_and(|e| e.timestamp < cutoff) {

@@ -15,7 +15,9 @@
 
 use std::sync::Arc;
 
+use acep_checkpoint::{CheckpointError, EventMap, EventTable, ExecutorRec, TreeExecRec};
 use acep_plan::{TreeNode, TreePlan};
+use acep_types::faultpoint::{self, FaultPoint};
 use acep_types::{Event, SubKind, Timestamp};
 
 use crate::context::ExecContext;
@@ -81,7 +83,33 @@ impl TreeExecutor {
         }
     }
 
+    /// Rebuilds an executor from a checkpoint record. The plan must be
+    /// the one the exporting executor ran: Kleene pruning is
+    /// deterministic, so the rebuilt node arena lines up with the
+    /// record's per-node result sets.
+    pub fn restore(
+        ctx: Arc<ExecContext>,
+        plan: &TreePlan,
+        rec: &TreeExecRec,
+        events: &EventMap,
+    ) -> Result<Self, CheckpointError> {
+        let mut exec = Self::new(ctx, plan);
+        if rec.store.len() != exec.store.len() {
+            return Err(CheckpointError::BadValue("tree executor shape"));
+        }
+        for (node, recs) in exec.store.iter_mut().zip(&rec.store) {
+            for p in recs {
+                node.push(Partial::restore_rec(&mut exec.pstore, p, events)?);
+            }
+        }
+        exec.finalizer.import_rec(&rec.finalizer, events)?;
+        exec.comparisons = rec.comparisons;
+        exec.events_since_sweep = rec.events_since_sweep as u32;
+        Ok(exec)
+    }
+
     fn sweep(&mut self, now: Timestamp) {
+        faultpoint::hit(FaultPoint::MidCompaction);
         let window = self.ctx.window;
         for s in &mut self.store {
             s.retain(|p| !p.expired(now, window));
@@ -191,6 +219,23 @@ impl Executor for TreeExecutor {
 
     fn min_pending_deadline(&self) -> Option<Timestamp> {
         self.finalizer.min_pending_deadline()
+    }
+
+    fn export_rec(&self, table: &mut EventTable) -> ExecutorRec {
+        ExecutorRec::Tree(TreeExecRec {
+            store: self
+                .store
+                .iter()
+                .map(|node| {
+                    node.iter()
+                        .map(|p| p.export_rec(&self.pstore, table))
+                        .collect()
+                })
+                .collect(),
+            finalizer: self.finalizer.export_rec(table),
+            comparisons: self.comparisons,
+            events_since_sweep: self.events_since_sweep as u64,
+        })
     }
 }
 

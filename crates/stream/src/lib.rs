@@ -170,8 +170,19 @@ pub mod telemetry;
 
 pub use registry::{PatternSet, QueryId, QuerySpec};
 pub use ring::{RingStats, SpscRing};
-pub use runtime::{ShardedRuntime, StreamConfig};
-pub use sink::{CollectingSink, CountingSink, LateEvent, MatchSink, TaggedMatch};
+pub use runtime::{CheckpointStats, RecoveryReport, ShardFailed, ShardedRuntime, StreamConfig};
+pub use sink::{CollectingSink, CountingSink, DedupSink, LateEvent, MatchSink, TaggedMatch};
+
+/// Checkpoint/recovery plumbing, re-exported so hosts can drive
+/// [`ShardedRuntime::checkpoint`]/[`ShardedRuntime::recover`] without
+/// naming the `acep-checkpoint` crate.
+pub use acep_checkpoint::{CheckpointError, CheckpointLog, Manifest};
+
+/// Fault-injection registry (test builds only): arm a named
+/// [`FaultPoint`](acep_types::faultpoint::FaultPoint) to kill a worker
+/// mid-operation and exercise the recovery path.
+#[cfg(feature = "fault-injection")]
+pub use acep_types::faultpoint;
 pub use stats::{QueryStats, RuntimeStats, ShardProfile, ShardStats, SourceWatermark};
 pub use telemetry::{TelemetryConfig, TelemetryHub};
 

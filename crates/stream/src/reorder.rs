@@ -70,6 +70,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
+use acep_checkpoint::{CheckpointError, EventMap, EventTable, ReorderRec};
 use acep_types::{Event, SourceId, Timestamp, WatermarkStrategy};
 
 use crate::stats::SourceWatermark;
@@ -374,6 +375,79 @@ impl ReorderBuffer {
             out.push((held.key, held.ev));
         }
     }
+
+    /// Serializes the buffer's recoverable state — held events (interned
+    /// into `table` by seq), watermark, per-source progress and overflow
+    /// accounting. The strategy and capacity are configuration, not
+    /// state: [`restore`](Self::restore) takes them from the host's
+    /// config, which must match the checkpointing run's.
+    pub(crate) fn export_rec(&self, table: &mut EventTable) -> ReorderRec {
+        ReorderRec {
+            watermark: self.watermark,
+            max_seen: self.max_seen,
+            first_seen: self.first_seen,
+            sources: self.sources.iter().map(|&(s, seen)| (s.0, seen)).collect(),
+            heap: self
+                .heap
+                .iter()
+                .map(|Reverse(h)| (h.key, h.source.0, table.intern(&h.ev)))
+                .collect(),
+            max_depth: self.max_depth as u64,
+            overflow: self.overflow,
+            overflow_by_source: self
+                .overflow_by_source
+                .iter()
+                .map(|&(s, n)| (s.0, n))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a buffer from a checkpoint record, resolving held
+    /// events through `events`. Eviction tracking restarts off (the
+    /// host re-enables it with its telemetry wiring).
+    ///
+    /// Asserts watermark monotonicity: recomputing the strategy
+    /// heuristic from the restored per-source state must not advance
+    /// past the checkpointed watermark — if it did, a post-recovery
+    /// `advance_watermark`/`flush_until` could release events the
+    /// original run still held, changing the match multiset.
+    pub(crate) fn restore(
+        strategy: WatermarkStrategy,
+        capacity: Option<usize>,
+        rec: &ReorderRec,
+        events: &EventMap,
+    ) -> Result<Self, CheckpointError> {
+        let mut buf = Self::new(strategy, capacity);
+        buf.watermark = rec.watermark;
+        buf.max_seen = rec.max_seen;
+        buf.first_seen = rec.first_seen;
+        buf.sources = rec
+            .sources
+            .iter()
+            .map(|&(s, seen)| (SourceId(s), seen))
+            .collect();
+        for &(key, source, seq) in &rec.heap {
+            buf.heap.push(Reverse(Held {
+                key,
+                source: SourceId(source),
+                ev: events.get(seq)?,
+            }));
+        }
+        buf.max_depth = rec.max_depth as usize;
+        buf.overflow = rec.overflow;
+        buf.overflow_by_source = rec
+            .overflow_by_source
+            .iter()
+            .map(|&(s, n)| (SourceId(s), n))
+            .collect();
+        let checkpointed = buf.watermark;
+        buf.refresh_watermark();
+        assert_eq!(
+            buf.watermark, checkpointed,
+            "restored source state must not outrun the checkpointed watermark"
+        );
+        Ok(buf)
+    }
 }
 
 #[cfg(test)]
@@ -644,5 +718,48 @@ mod tests {
         assert!(rb.source_watermarks().is_empty());
         assert!(!rb.phantom_active());
         assert!(rb.blocking_source().is_none());
+    }
+
+    #[test]
+    fn restore_round_trips_with_an_idle_source_held() {
+        let strategy = WatermarkStrategy::PerSource {
+            bound: 5,
+            idle_timeout: 20,
+        };
+        let mut rb = ReorderBuffer::new(strategy, None);
+        let mut out = Vec::new();
+        // Source 2 speaks once and goes idle; source 1 streams on far
+        // enough that source 2 no longer anchors the watermark.
+        assert_eq!(rb.offer(7, S2, &ev(12, 0)), Offer::Buffered);
+        for (i, ts) in [14u64, 40, 55, 70].into_iter().enumerate() {
+            assert_eq!(rb.offer(7, S1, &ev(ts, 1 + i as u64)), Offer::Buffered);
+        }
+        rb.drain_ready(&mut out);
+        assert!(rb.depth() > 0, "some events must still be held");
+
+        let mut table = EventTable::new();
+        let rec = rb.export_rec(&mut table);
+        let mut map = EventMap::new();
+        for r in table.into_records() {
+            map.insert(&r);
+        }
+        // Restore runs the monotonicity assertion internally: the
+        // heuristic recomputed from the restored (partly idle) source
+        // state must reproduce, not outrun, the checkpointed watermark.
+        let mut restored = ReorderBuffer::restore(strategy, None, &rec, &map).unwrap();
+        assert_eq!(restored.watermark(), rb.watermark());
+        assert_eq!(restored.depth(), rb.depth());
+        assert_eq!(restored.source_watermarks(), rb.source_watermarks());
+        assert_eq!(restored.phantom_anchor(), rb.phantom_anchor());
+
+        // Identical futures: the same punctuation releases the same
+        // events in the same order from both buffers.
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        rb.advance_to(1_000);
+        restored.advance_to(1_000);
+        rb.drain_ready(&mut a);
+        restored.drain_ready(&mut b);
+        assert_eq!(seqs(&a), seqs(&b));
+        assert!(!a.is_empty());
     }
 }

@@ -15,10 +15,12 @@
 //! own runtime — or funnel through one ingest thread (the design point:
 //! one fast producer feeding W workers).
 
+use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use acep_checkpoint::{CheckpointLog, EventMap, Manifest, ShardCheckpoint};
 use acep_core::EngineTemplate;
 use acep_types::{
     AcepError, DisorderConfig, Event, KeyExtractor, SelectionPolicy, ShardBatch, SourceId,
@@ -29,8 +31,66 @@ use crate::registry::PatternSet;
 use crate::ring::SpscRing;
 use crate::shard::{ShardWorker, ToWorker};
 use crate::sink::MatchSink;
-use crate::stats::RuntimeStats;
+use crate::stats::{RuntimeStats, ShardStats};
 use crate::telemetry::{build_plane, TelemetryConfig, TelemetryHub};
+
+/// Reply a barrier records for a worker that died without sending its
+/// panic payload (thread killed, reply channel dropped mid-handling).
+const DIED_SILENTLY: &str = "worker exited without reporting a panic";
+
+/// A shard worker's evaluation code panicked: the failed shard is
+/// poisoned (its data is discarded, its barriers answer with the panic
+/// payload) while the remaining shards keep running — their statistics
+/// and matches stay retrievable, and `partial` carries whatever the
+/// failing barrier already collected from them.
+#[derive(Debug)]
+pub struct ShardFailed {
+    /// The first failed shard the barrier encountered.
+    pub shard: usize,
+    /// The panic payload (armed faultpoints panic with
+    /// `"faultpoint: <name>"`).
+    pub payload: String,
+    /// Stats the barrier collected from healthy shards before
+    /// returning, when the barrier collects stats (empty for flush and
+    /// checkpoint barriers).
+    pub partial: Vec<ShardStats>,
+}
+
+impl fmt::Display for ShardFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard worker {} failed: {}", self.shard, self.payload)
+    }
+}
+
+impl std::error::Error for ShardFailed {}
+
+/// What [`ShardedRuntime::checkpoint`] wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// The sealed checkpoint's id in the log.
+    pub checkpoint_id: u64,
+    /// Total payload bytes of the shard frames appended (excluding
+    /// framing and the manifest).
+    pub bytes: u64,
+}
+
+/// What [`ShardedRuntime::recover`] restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint the runtime resumed from (the log's newest sealed
+    /// one).
+    pub checkpoint_id: u64,
+    /// Events the checkpointed run had ingested when the barrier fired.
+    /// The caller owns replay: re-ingest its event sequence starting at
+    /// this offset — matches the original run already delivered are
+    /// suppressed by seeding a [`DedupSink`](crate::DedupSink) with
+    /// `emit_frontier`.
+    pub events_ingested: u64,
+    /// Per-shard emit frontier at the checkpoint (the manifest's):
+    /// matches with [`emit`](crate::TaggedMatch::emit) at or below this
+    /// were already delivered pre-crash.
+    pub emit_frontier: Vec<u64>,
+}
 
 /// Configuration of a [`ShardedRuntime`].
 #[derive(Debug, Clone)]
@@ -111,6 +171,10 @@ pub struct ShardedRuntime {
     extractor: Arc<dyn KeyExtractor>,
     num_queries: usize,
     telemetry: Option<Arc<TelemetryHub>>,
+    /// Events routed so far (all sources). Recorded in each
+    /// checkpoint's manifest so recovery can tell the caller where its
+    /// replay suffix starts.
+    events_ingested: u64,
 }
 
 impl ShardedRuntime {
@@ -120,6 +184,65 @@ impl ShardedRuntime {
         extractor: Arc<dyn KeyExtractor>,
         sink: Arc<dyn MatchSink>,
         config: StreamConfig,
+    ) -> Result<Self, AcepError> {
+        Self::build(set, extractor, sink, config, None)
+    }
+
+    /// Rebuilds a runtime from the newest sealed checkpoint in `log`,
+    /// returning it with a [`RecoveryReport`].
+    ///
+    /// The caller must pass the same pattern set and an equivalent
+    /// config as the checkpointing run — `shards` in particular is
+    /// load-bearing (the shard hash pins keys to W) and is validated
+    /// against the manifest. Recovery restores runtime state only; the
+    /// event stream itself is the caller's durable input, so to resume,
+    /// re-ingest the event sequence from
+    /// [`events_ingested`](RecoveryReport::events_ingested) onward.
+    /// With the sink wrapped in a
+    /// [`DedupSink`](crate::DedupSink) seeded from
+    /// [`emit_frontier`](RecoveryReport::emit_frontier), the recovered
+    /// run's total delivered match multiset is exactly the
+    /// uninterrupted run's.
+    pub fn recover(
+        set: &PatternSet,
+        extractor: Arc<dyn KeyExtractor>,
+        sink: Arc<dyn MatchSink>,
+        config: StreamConfig,
+        log: &CheckpointLog,
+    ) -> Result<(Self, RecoveryReport), AcepError> {
+        let manifest = log
+            .latest_manifest()
+            .map_err(|e| AcepError::Recovery(e.to_string()))?
+            .ok_or_else(|| AcepError::Recovery("the log holds no sealed checkpoint".into()))?;
+        if manifest.shards as usize != config.shards {
+            return Err(AcepError::Recovery(format!(
+                "checkpoint was taken with {} shards but the config requests {}",
+                manifest.shards, config.shards
+            )));
+        }
+        let mut frames = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            frames.push(
+                log.recover_shard(manifest.checkpoint_id, shard as u32)
+                    .map_err(|e| AcepError::Recovery(format!("shard {shard}: {e}")))?,
+            );
+        }
+        let mut runtime = Self::build(set, extractor, sink, config, Some(&frames))?;
+        runtime.events_ingested = manifest.events_ingested;
+        let report = RecoveryReport {
+            checkpoint_id: manifest.checkpoint_id,
+            events_ingested: manifest.events_ingested,
+            emit_frontier: manifest.emit_frontier,
+        };
+        Ok((runtime, report))
+    }
+
+    fn build(
+        set: &PatternSet,
+        extractor: Arc<dyn KeyExtractor>,
+        sink: Arc<dyn MatchSink>,
+        config: StreamConfig,
+        restore: Option<&[(ShardCheckpoint, EventMap, u64)]>,
     ) -> Result<Self, AcepError> {
         if config.shards == 0 {
             return Err(AcepError::InvalidConfig("shards must be positive".into()));
@@ -148,26 +271,50 @@ impl ShardedRuntime {
         let templates: Arc<[EngineTemplate]> = templates.into();
 
         let (hub, worker_telemetry) = build_plane(config.telemetry.as_ref(), config.shards);
-        let workers: Vec<WorkerHandle> = worker_telemetry
-            .into_iter()
-            .enumerate()
-            .map(|(shard, telemetry)| {
-                let ring = Arc::new(SpscRing::new(config.channel_capacity.max(2)));
-                let worker = ShardWorker::new(
+        let mut workers: Vec<WorkerHandle> = Vec::with_capacity(config.shards);
+        for (shard, telemetry) in worker_telemetry.into_iter().enumerate() {
+            let ring = Arc::new(SpscRing::new(config.channel_capacity.max(2)));
+            let worker = match restore {
+                None => ShardWorker::new(
                     shard,
                     Arc::clone(&templates),
                     Arc::clone(&sink),
                     config.disorder,
                     telemetry,
                     Arc::clone(&ring),
-                );
-                let handle = std::thread::Builder::new()
-                    .name(format!("acep-shard-{shard}"))
-                    .spawn(move || worker.run())
-                    .expect("spawning a shard worker thread");
-                WorkerHandle { ring, handle }
-            })
-            .collect();
+                ),
+                Some(frames) => {
+                    let (rec, events, bytes) = &frames[shard];
+                    match ShardWorker::from_checkpoint(
+                        shard,
+                        Arc::clone(&templates),
+                        Arc::clone(&sink),
+                        config.disorder,
+                        telemetry,
+                        Arc::clone(&ring),
+                        rec,
+                        events,
+                        *bytes,
+                    ) {
+                        Ok(worker) => worker,
+                        Err(e) => {
+                            // Unpark the shards already spawned before
+                            // surfacing the failure.
+                            for w in workers.drain(..) {
+                                w.ring.close();
+                                let _ = w.handle.join();
+                            }
+                            return Err(AcepError::Recovery(e));
+                        }
+                    }
+                }
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("acep-shard-{shard}"))
+                .spawn(move || worker.run())
+                .expect("spawning a shard worker thread");
+            workers.push(WorkerHandle { ring, handle });
+        }
         let pending = (0..workers.len())
             .map(|_| ShardBatch::with_target(config.max_batch))
             .collect();
@@ -177,6 +324,7 @@ impl ShardedRuntime {
             extractor,
             num_queries: set.len(),
             telemetry: hub,
+            events_ingested: 0,
         })
     }
 
@@ -255,10 +403,19 @@ impl ShardedRuntime {
             // the extractor (it may hash string attributes).
             let key = self.extractor.shard_key(ev);
             let shard = self.shard_of(key);
+            self.events_ingested += 1;
             if self.pending[shard].push(key, source, Arc::clone(ev)) {
                 self.ship(shard);
             }
         }
+    }
+
+    /// The runtime's position in the caller's event sequence: events
+    /// routed so far, resuming from the manifest's offset after
+    /// [`recover`](Self::recover). Each checkpoint's manifest records
+    /// this as the replay point.
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
     }
 
     /// Ships shard `shard`'s in-flight batch to its worker (no-op when
@@ -313,6 +470,20 @@ impl ShardedRuntime {
     /// break delivery-order independence for events the watermark has
     /// not yet cleared.
     pub fn flush(&mut self) {
+        if let Err(e) = self.try_flush() {
+            panic!(
+                "shard worker {} died before acknowledging the flush: {}",
+                e.shard, e.payload
+            );
+        }
+    }
+
+    /// [`flush`](Self::flush) that surfaces a poisoned shard as
+    /// [`ShardFailed`] instead of panicking — the barrier on which a
+    /// contained worker panic (see [`ShardFailed`]) becomes observable.
+    /// Healthy shards have still processed everything pushed before
+    /// this call.
+    pub fn try_flush(&mut self) -> Result<(), ShardFailed> {
         self.drain_pending();
         let acks: Vec<_> = (0..self.workers.len())
             .map(|shard| {
@@ -321,12 +492,25 @@ impl ShardedRuntime {
                 ack_rx
             })
             .collect();
+        let mut failure: Option<(usize, String)> = None;
         for (shard, ack) in acks.into_iter().enumerate() {
-            // Like stats()/finish(): a worker dying mid-flush must not
-            // let the caller believe the barrier held.
-            if ack.recv().is_err() {
-                panic!("shard worker {shard} died before acknowledging the flush");
-            }
+            // A worker dying mid-flush must not let the caller believe
+            // the barrier held — but keep collecting the other acks so
+            // every shard is quiesced when this returns.
+            let result = match ack.recv() {
+                Ok(Ok(())) => continue,
+                Ok(Err(payload)) => payload,
+                Err(_) => DIED_SILENTLY.to_string(),
+            };
+            failure.get_or_insert((shard, result));
+        }
+        match failure {
+            None => Ok(()),
+            Some((shard, payload)) => Err(ShardFailed {
+                shard,
+                payload,
+                partial: Vec::new(),
+            }),
         }
     }
 
@@ -356,6 +540,21 @@ impl ShardedRuntime {
     /// after all previously pushed events, including any still
     /// assembling in producer-side batches).
     pub fn stats(&mut self) -> RuntimeStats {
+        match self.try_stats() {
+            Ok(stats) => stats,
+            Err(e) => panic!(
+                "shard worker {} died before replying with stats: {}",
+                e.shard, e.payload
+            ),
+        }
+    }
+
+    /// [`stats`](Self::stats) that surfaces a poisoned shard as
+    /// [`ShardFailed`] instead of panicking. On failure,
+    /// [`partial`](ShardFailed::partial) carries the healthy shards'
+    /// snapshots — a contained panic loses one shard's numbers, not the
+    /// run's.
+    pub fn try_stats(&mut self) -> Result<RuntimeStats, ShardFailed> {
         self.drain_pending();
         let replies: Vec<_> = (0..self.workers.len())
             .map(|shard| {
@@ -364,17 +563,95 @@ impl ShardedRuntime {
                 rx
             })
             .collect();
-        RuntimeStats {
-            shards: replies
-                .into_iter()
-                .enumerate()
-                .map(|(shard, rx)| {
-                    rx.recv().unwrap_or_else(|_| {
-                        panic!("shard worker {shard} died before replying with stats")
-                    })
-                })
-                .collect(),
+        let mut shards = Vec::with_capacity(replies.len());
+        let mut failure: Option<(usize, String)> = None;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(stats)) => shards.push(stats),
+                Ok(Err(payload)) => {
+                    failure.get_or_insert((shard, payload));
+                }
+                Err(_) => {
+                    failure.get_or_insert((shard, DIED_SILENTLY.to_string()));
+                }
+            }
         }
+        match failure {
+            None => Ok(RuntimeStats { shards }),
+            Some((shard, payload)) => Err(ShardFailed {
+                shard,
+                payload,
+                partial: shards,
+            }),
+        }
+    }
+
+    /// Checkpoint barrier: quiesces every shard (in-flight producer
+    /// batches ship first, and a shard's reply implies it processed
+    /// every prior message), serializes each shard's full recoverable
+    /// state, and appends one incremental frame per shard plus a
+    /// sealing manifest to `log`. The manifest records
+    /// [`events_ingested`](Self::events_ingested) — the caller's replay
+    /// offset — and the per-shard emit frontier for sink-side dedup.
+    ///
+    /// Incremental: events already persisted for a shard by an earlier
+    /// checkpoint *into the same log by this runtime incarnation* are
+    /// not re-encoded; recovery folds the frame chain. A crash while
+    /// appending leaves an unsealed (manifest-less) checkpoint, which
+    /// recovery ignores in favor of the previous sealed one.
+    ///
+    /// On [`ShardFailed`] nothing is appended to `log` — a poisoned
+    /// shard cannot checkpoint, and partial checkpoints without their
+    /// manifest would only be dead weight.
+    pub fn checkpoint(&mut self, log: &mut CheckpointLog) -> Result<CheckpointStats, ShardFailed> {
+        self.drain_pending();
+        let replies: Vec<_> = (0..self.workers.len())
+            .map(|shard| {
+                let (tx, rx) = mpsc::channel();
+                self.send(shard, ToWorker::Checkpoint(tx));
+                rx
+            })
+            .collect();
+        let mut frames: Vec<Vec<u8>> = Vec::with_capacity(replies.len());
+        let mut emit_frontier = vec![0u64; replies.len()];
+        let mut failure: Option<(usize, String)> = None;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok((bytes, emit))) => {
+                    emit_frontier[shard] = emit;
+                    frames.push(bytes);
+                }
+                Ok(Err(payload)) => {
+                    failure.get_or_insert((shard, payload));
+                }
+                Err(_) => {
+                    failure.get_or_insert((shard, DIED_SILENTLY.to_string()));
+                }
+            }
+        }
+        if let Some((shard, payload)) = failure {
+            return Err(ShardFailed {
+                shard,
+                payload,
+                partial: Vec::new(),
+            });
+        }
+        let checkpoint_id = log.next_checkpoint_id();
+        let mut bytes = 0u64;
+        for (shard, frame) in frames.iter().enumerate() {
+            bytes += frame.len() as u64;
+            log.append_shard(checkpoint_id, shard as u32, frame);
+        }
+        log.append_manifest(&Manifest {
+            checkpoint_id,
+            shards: self.workers.len() as u32,
+            events_ingested: self.events_ingested,
+            emit_frontier,
+        });
+        Ok(CheckpointStats {
+            checkpoint_id,
+            bytes,
+        })
     }
 
     /// Ends the stream: ships the in-flight producer batches, drains
@@ -382,7 +659,24 @@ impl ShardedRuntime {
     /// the watermark jumps to infinity), flushes end-of-stream matches
     /// from all engines to the sink, joins the workers, and returns the
     /// final statistics.
-    pub fn finish(mut self) -> RuntimeStats {
+    pub fn finish(self) -> RuntimeStats {
+        match self.try_finish() {
+            Ok(stats) => stats,
+            Err(e) => panic!(
+                "shard worker {} died before finishing its keys: {}",
+                e.shard, e.payload
+            ),
+        }
+    }
+
+    /// [`finish`](Self::finish) that surfaces a poisoned shard as
+    /// [`ShardFailed`] instead of panicking. Healthy shards still drain
+    /// their buffers, flush end-of-stream matches to the sink, and
+    /// report final stats (via [`partial`](ShardFailed::partial));
+    /// returning partial stats as if complete would silently truncate
+    /// the stream, so the failure stays an error. Workers are joined
+    /// either way.
+    pub fn try_finish(mut self) -> Result<RuntimeStats, ShardFailed> {
         self.drain_pending();
         let replies: Vec<_> = (0..self.workers.len())
             .map(|shard| {
@@ -391,25 +685,33 @@ impl ShardedRuntime {
                 rx
             })
             .collect();
-        // A missing reply or a panicked join means a worker died mid-
-        // flush; returning partial stats would silently truncate the
-        // stream, so surface it.
-        let shards = replies
-            .into_iter()
-            .enumerate()
-            .map(|(shard, rx)| {
-                rx.recv().unwrap_or_else(|_| {
-                    panic!("shard worker {shard} died before finishing its keys")
-                })
-            })
-            .collect();
+        let mut shards = Vec::with_capacity(replies.len());
+        let mut failure: Option<(usize, String)> = None;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(stats)) => shards.push(stats),
+                Ok(Err(payload)) => {
+                    failure.get_or_insert((shard, payload));
+                }
+                Err(_) => {
+                    failure.get_or_insert((shard, DIED_SILENTLY.to_string()));
+                }
+            }
+        }
         for (shard, w) in self.workers.drain(..).enumerate() {
             w.ring.close();
             if w.handle.join().is_err() {
-                panic!("shard worker {shard} panicked during shutdown");
+                failure.get_or_insert((shard, "worker panicked during shutdown".to_string()));
             }
         }
-        RuntimeStats { shards }
+        match failure {
+            None => Ok(RuntimeStats { shards }),
+            Some((shard, payload)) => Err(ShardFailed {
+                shard,
+                payload,
+                partial: shards,
+            }),
+        }
     }
 
     fn send(&self, shard: usize, msg: ToWorker) {

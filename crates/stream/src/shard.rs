@@ -62,13 +62,17 @@
 //! `ts` remains" is meaningful in arrival time too).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
+use std::time::Instant;
 
+use acep_checkpoint::{CountersRec, EventMap, EventTable, KeyStateRec, ShardCheckpoint};
 use acep_core::{EngineTemplate, KeyedEngine, QueryController};
 use acep_engine::{Match, RelevanceIndex};
 use acep_telemetry::{Histogram, TelemetryEvent};
+use acep_types::faultpoint::{self, FaultPoint};
 use acep_types::{
     DisorderConfig, Event, EventTypeId, LatenessPolicy, RoutedEvent, SourceId, Timestamp,
 };
@@ -86,6 +90,12 @@ use crate::telemetry::WorkerTelemetry;
 const RETIRE_BUDGET: usize = 32;
 
 /// Control messages from the runtime to one worker.
+///
+/// Replies carry `Result<_, String>`: a worker whose evaluation code
+/// panicked is *poisoned* — it survives as a drain loop that discards
+/// data messages and answers every barrier with `Err(panic payload)`,
+/// so one shard's failure surfaces as an error on the next barrier
+/// instead of a process abort, and healthy shards keep running.
 pub(crate) enum ToWorker {
     /// A producer-assembled shard-local batch, in ingest order.
     Batch(Vec<RoutedEvent>),
@@ -94,12 +104,16 @@ pub(crate) enum ToWorker {
     /// driving engine finalization deadlines.
     Watermark(Timestamp),
     /// Acknowledge once every prior message is processed.
-    Flush(Sender<()>),
+    Flush(Sender<Result<(), String>>),
     /// Reply with a stats snapshot (processing continues).
-    Stats(Sender<ShardStats>),
+    Stats(Sender<Result<ShardStats, String>>),
+    /// Serialize the shard's full recoverable state, replying with the
+    /// encoded [`ShardCheckpoint`] frame and the shard's emit frontier
+    /// (last emission number handed to the sink). Processing continues.
+    Checkpoint(Sender<Result<(Vec<u8>, u64), String>>),
     /// Release the reorder buffer, flush engine state (end-of-stream
     /// matches), reply with final stats, and exit.
-    Finish(Sender<ShardStats>),
+    Finish(Sender<Result<ShardStats, String>>),
 }
 
 /// One live engine plus the deadline currently representing it in the
@@ -197,6 +211,18 @@ pub(crate) struct ShardWorker {
     scratch: Vec<Match>,
     /// Matches of the batch in flight, delivered to the sink per batch.
     pending: Vec<TaggedMatch>,
+    /// Dense per-shard emission counter: the `emit` number stamped on
+    /// the next match is `emit_seq + 1`. Checkpointed as the shard's
+    /// emit frontier (sink-side exactly-once dedup, see
+    /// [`TaggedMatch::emit`]).
+    emit_seq: u64,
+    /// Event seqs already persisted by an earlier checkpoint frame of
+    /// this incarnation — the incremental baseline: the next frame's
+    /// event table only carries seqs not in here.
+    logged_seqs: HashSet<u64>,
+    /// Panic payload of the evaluation panic that poisoned this worker
+    /// (`None` = healthy). See [`ToWorker`].
+    poisoned: Option<String>,
 }
 
 impl ShardWorker {
@@ -254,31 +280,261 @@ impl ShardWorker {
             mask_col: Vec::new(),
             scratch: Vec::new(),
             pending: Vec::new(),
+            emit_seq: 0,
+            logged_seqs: HashSet::new(),
+            poisoned: None,
         }
+    }
+
+    /// Rebuilds a worker from a checkpoint frame: counters, controller
+    /// plans/epochs, every (key, query) engine (in checkpointed
+    /// first-seen order, so the retirement cursor stays meaningful),
+    /// the reorder buffer, and the emit frontier. The deadline heap is
+    /// re-derived from the restored engines' pending finalizations.
+    /// `bytes_read` is the checkpoint-log footprint that produced
+    /// `rec` + `events` (telemetry only).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_checkpoint(
+        shard: usize,
+        templates: Arc<[EngineTemplate]>,
+        sink: Arc<dyn MatchSink>,
+        disorder: DisorderConfig,
+        telemetry: WorkerTelemetry,
+        ring: Arc<SpscRing<ToWorker>>,
+        rec: &ShardCheckpoint,
+        events: &EventMap,
+        bytes_read: u64,
+    ) -> Result<Self, String> {
+        let start = Instant::now();
+        let mut worker = Self::new(shard, templates, sink, disorder, telemetry, ring);
+        if rec.shard as usize != shard {
+            return Err(format!(
+                "checkpoint frame of shard {} cannot restore shard {shard}",
+                rec.shard
+            ));
+        }
+        if rec.controllers.len() != worker.controllers.len() {
+            return Err(format!(
+                "checkpoint has {} queries but the runtime registered {}",
+                rec.controllers.len(),
+                worker.controllers.len()
+            ));
+        }
+        for (controller, crec) in worker.controllers.iter_mut().zip(&rec.controllers) {
+            controller.import_rec(crec).map_err(|e| e.to_string())?;
+        }
+        match (worker.reorder.is_some(), &rec.reorder) {
+            (true, Some(rrec)) => {
+                let mut restored =
+                    ReorderBuffer::restore(disorder.strategy, disorder.max_buffered, rrec, events)
+                        .map_err(|e| e.to_string())?;
+                if worker.telemetry.recorder().is_some() {
+                    restored.set_eviction_tracking(true);
+                }
+                worker.reorder = Some(restored);
+            }
+            (false, None) => {}
+            (true, None) => {
+                return Err("disorder config expects reorder state the checkpoint lacks".into())
+            }
+            (false, Some(_)) => {
+                return Err(
+                    "checkpoint has reorder state but the disorder config is passthrough".into(),
+                )
+            }
+        }
+        for krec in &rec.keys {
+            if krec.engines.len() != worker.templates.len() {
+                return Err(format!(
+                    "key {} has {} engine slots but the runtime registered {} queries",
+                    krec.key,
+                    krec.engines.len(),
+                    worker.templates.len()
+                ));
+            }
+            let mut engines: KeyEngines = Vec::with_capacity(krec.engines.len());
+            for (qi, erec) in krec.engines.iter().enumerate() {
+                engines.push(match erec {
+                    None => None,
+                    Some(erec) => {
+                        let engine =
+                            KeyedEngine::restore(&worker.controllers[qi], krec.key, erec, events)
+                                .map_err(|e| e.to_string())?;
+                        let queued = engine.min_pending_deadline();
+                        if let Some(d) = queued {
+                            worker.deadlines.push(Reverse((d, krec.key, qi as u32)));
+                        }
+                        Some(EngineSlot {
+                            engine,
+                            queued_deadline: queued,
+                        })
+                    }
+                });
+            }
+            worker.key_order.push(krec.key);
+            worker.keys.insert(krec.key, engines);
+        }
+        let c = &rec.counters;
+        worker.events = c.events;
+        worker.batches = c.batches;
+        worker.late_dropped = c.late_dropped;
+        worker.late_routed = c.late_routed;
+        worker.engine_time = c.engine_time;
+        worker.max_event_ts = c.max_event_ts;
+        worker.finalize_visits = c.finalize_visits;
+        worker.stall_batches = c.stall_batches;
+        worker.prev_watermark = c.prev_watermark;
+        worker.emit_seq = c.emit_seq;
+        worker.retire_cursor = rec.retire_cursor as usize;
+        worker.logged_seqs = events.seqs().collect();
+        if worker.telemetry.enabled() {
+            worker.telemetry.record(TelemetryEvent::Restore {
+                bytes: bytes_read,
+                micros: start.elapsed().as_micros() as u64,
+            });
+        }
+        Ok(worker)
     }
 
     /// The worker loop: drain ring messages until `Finish` (or until
     /// the runtime is dropped and the ring closes).
+    ///
+    /// Every message is handled under `catch_unwind`: a panic in
+    /// evaluation code poisons *this* worker only. A poisoned worker
+    /// keeps draining its ring — discarding data messages, answering
+    /// every barrier with `Err(panic payload)` — so producers never
+    /// park on a dead consumer and the failure surfaces as a typed
+    /// error on the runtime's next barrier, not a process abort.
     pub(crate) fn run(mut self) {
         let ring = Arc::clone(&self.ring);
         let _exit = ConsumerExit(Arc::clone(&ring));
         while let Some(msg) = ring.recv() {
-            match msg {
-                ToWorker::Batch(events) => self.on_batch(&events),
-                ToWorker::Watermark(ts) => self.on_watermark(ts),
-                ToWorker::Flush(ack) => {
-                    let _ = ack.send(());
-                }
-                ToWorker::Stats(reply) => {
-                    let _ = reply.send(self.stats());
-                }
-                ToWorker::Finish(reply) => {
-                    self.finish();
-                    let _ = reply.send(self.stats());
+            if let Some(payload) = self.poisoned.clone() {
+                if Self::refuse(msg, &payload) {
                     break;
                 }
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| self.handle(msg))) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(panic) => self.poisoned = Some(panic_message(panic)),
             }
         }
+    }
+
+    /// Handles one healthy-path message; `true` = exit the loop.
+    fn handle(&mut self, msg: ToWorker) -> bool {
+        match msg {
+            ToWorker::Batch(events) => {
+                self.on_batch(&events);
+                false
+            }
+            ToWorker::Watermark(ts) => {
+                self.on_watermark(ts);
+                false
+            }
+            ToWorker::Flush(ack) => {
+                let _ = ack.send(Ok(()));
+                false
+            }
+            ToWorker::Stats(reply) => {
+                let _ = reply.send(Ok(self.stats()));
+                false
+            }
+            ToWorker::Checkpoint(reply) => {
+                let frame = self.export_checkpoint();
+                let _ = reply.send(Ok(frame));
+                false
+            }
+            ToWorker::Finish(reply) => {
+                self.finish();
+                let _ = reply.send(Ok(self.stats()));
+                true
+            }
+        }
+    }
+
+    /// The poisoned drain: discards data messages, answers barriers
+    /// with the panic payload; `true` = exit the loop (`Finish`).
+    fn refuse(msg: ToWorker, payload: &str) -> bool {
+        match msg {
+            ToWorker::Batch(_) | ToWorker::Watermark(_) => false,
+            ToWorker::Flush(ack) => {
+                let _ = ack.send(Err(payload.to_string()));
+                false
+            }
+            ToWorker::Stats(reply) => {
+                let _ = reply.send(Err(payload.to_string()));
+                false
+            }
+            ToWorker::Checkpoint(reply) => {
+                let _ = reply.send(Err(payload.to_string()));
+                false
+            }
+            ToWorker::Finish(reply) => {
+                let _ = reply.send(Err(payload.to_string()));
+                true
+            }
+        }
+    }
+
+    /// Serializes the shard's recoverable state into one incremental
+    /// [`ShardCheckpoint`] frame (events already persisted by an
+    /// earlier frame of this incarnation are omitted; recovery folds
+    /// the per-shard frame chain back together). Returns the encoded
+    /// frame and the shard's emit frontier.
+    fn export_checkpoint(&mut self) -> (Vec<u8>, u64) {
+        let start = Instant::now();
+        let mut table = EventTable::new();
+        let reorder = self.reorder.as_ref().map(|b| b.export_rec(&mut table));
+        let controllers = self
+            .controllers
+            .iter()
+            .map(QueryController::export_rec)
+            .collect();
+        let mut keys = Vec::with_capacity(self.key_order.len());
+        for &key in &self.key_order {
+            let engines = &self.keys[&key];
+            keys.push(KeyStateRec {
+                key,
+                engines: engines
+                    .iter()
+                    .map(|slot| slot.as_ref().map(|s| s.engine.export_rec(&mut table)))
+                    .collect(),
+            });
+        }
+        let events = table.into_delta(&self.logged_seqs);
+        self.logged_seqs.extend(events.iter().map(|r| r.seq));
+        let checkpoint = ShardCheckpoint {
+            shard: self.shard as u32,
+            counters: CountersRec {
+                events: self.events,
+                batches: self.batches,
+                late_dropped: self.late_dropped,
+                late_routed: self.late_routed,
+                engine_time: self.engine_time,
+                max_event_ts: self.max_event_ts,
+                finalize_visits: self.finalize_visits,
+                stall_batches: self.stall_batches,
+                prev_watermark: self.prev_watermark,
+                emit_seq: self.emit_seq,
+            },
+            reorder,
+            controllers,
+            keys,
+            retire_cursor: self.retire_cursor as u64,
+            events,
+        };
+        let bytes = checkpoint.to_bytes();
+        if self.telemetry.enabled() {
+            self.telemetry.record(TelemetryEvent::Checkpoint {
+                bytes: bytes.len() as u64,
+                micros: start.elapsed().as_micros() as u64,
+                events: self.events,
+            });
+        }
+        (bytes, self.emit_seq)
     }
 
     /// Classifies a column of type discriminators into per-event
@@ -474,6 +730,7 @@ impl ShardWorker {
     /// fall back to the template scan — the mask word only covers the
     /// first 64.
     fn process_one(&mut self, key: u64, ev: &Arc<Event>, any: bool, mask: u64) {
+        faultpoint::hit(FaultPoint::MidBatch);
         self.events += 1;
         // Keys whose events no query ever references must not pin a
         // map entry: memory stays bounded by keys hosting engines.
@@ -503,7 +760,7 @@ impl ShardWorker {
             let controller = &mut self.controllers[qi];
             stepped |= controller.observe(ev);
             let slot = slot.get_or_insert_with(|| EngineSlot {
-                engine: controller.new_engine(),
+                engine: controller.new_engine_for(key),
                 queued_deadline: None,
             });
             let recording = self.telemetry.enabled();
@@ -546,6 +803,7 @@ impl ShardWorker {
             drain_tagged(
                 &mut self.scratch,
                 &mut self.pending,
+                &mut self.emit_seq,
                 QueryId(qi as u32),
                 key,
                 self.shard,
@@ -607,6 +865,7 @@ impl ShardWorker {
                 drain_tagged(
                     &mut self.scratch,
                     &mut self.pending,
+                    &mut self.emit_seq,
                     QueryId(qi as u32),
                     key,
                     self.shard,
@@ -625,6 +884,7 @@ impl ShardWorker {
         if to <= self.engine_time {
             return;
         }
+        faultpoint::hit(FaultPoint::MidFinalize);
         self.engine_time = to;
         // `flush_ready` emits deadlines strictly below the clock, so an
         // entry at `to` stays queued for a later advance.
@@ -666,6 +926,7 @@ impl ShardWorker {
             drain_tagged(
                 &mut self.scratch,
                 &mut self.pending,
+                &mut self.emit_seq,
                 QueryId(qi),
                 key,
                 self.shard,
@@ -697,6 +958,7 @@ impl ShardWorker {
                     drain_tagged(
                         &mut self.scratch,
                         &mut self.pending,
+                        &mut self.emit_seq,
                         QueryId(qi as u32),
                         key,
                         self.shard,
@@ -764,19 +1026,40 @@ impl ShardWorker {
     }
 }
 
+/// Moves the per-event match buffer into the pending batch, stamping
+/// each match with the shard's next dense emission number. Replay after
+/// recovery re-derives identical emission numbers (matches only leave
+/// at message boundaries, and emission within a message is
+/// deterministic), which is what makes the emit frontier an exact
+/// dedup line.
 fn drain_tagged(
     scratch: &mut Vec<Match>,
     pending: &mut Vec<TaggedMatch>,
+    emit_seq: &mut u64,
     query: QueryId,
     key: u64,
     shard: usize,
 ) {
     for matched in scratch.drain(..) {
+        *emit_seq += 1;
         pending.push(TaggedMatch {
             query,
             key,
             shard,
+            emit: *emit_seq,
             matched,
         });
+    }
+}
+
+/// Renders a caught panic payload (`&str` / `String` cover every panic
+/// the runtime itself raises, including armed faultpoints).
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }

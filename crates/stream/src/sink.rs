@@ -25,6 +25,12 @@ pub struct TaggedMatch {
     pub key: u64,
     /// The shard that hosted the key.
     pub shard: usize,
+    /// The shard's emission sequence number, starting at 1 and dense
+    /// per shard. A checkpoint records each shard's last-emitted number
+    /// as its *emit frontier*; after recovery, replayed matches with
+    /// `emit` at or below the frontier are duplicates of matches the
+    /// original run already delivered (see [`DedupSink`]).
+    pub emit: u64,
     /// The match itself.
     pub matched: Match,
 }
@@ -172,16 +178,113 @@ impl MatchSink for CountingSink {
     }
 }
 
+/// Exactly-once adapter for recovery replay: drops matches whose
+/// per-shard [`emit`](TaggedMatch::emit) number is at or below a
+/// restored *emit frontier* and forwards everything else to the inner
+/// sink.
+///
+/// After [`ShardedRuntime::recover`](crate::ShardedRuntime::recover),
+/// the caller re-ingests the post-checkpoint event suffix; the shards
+/// resume their emission numbering from the checkpointed counters, so
+/// every re-derived match carries the same `emit` number the original
+/// run assigned it. Wrapping the durable sink in a `DedupSink` seeded
+/// with the manifest's frontier
+/// ([`with_frontier`](Self::with_frontier)) therefore suppresses
+/// exactly the matches the pre-crash run already delivered — no more
+/// (at-least-once) and no fewer (at-most-once). Late events are
+/// forwarded untouched: the late channel is diagnostics, not output.
+pub struct DedupSink {
+    inner: Arc<dyn MatchSink>,
+    /// Highest emission number seen (or restored) per shard.
+    frontier: Vec<AtomicU64>,
+    dropped: AtomicU64,
+}
+
+impl DedupSink {
+    /// Wraps `inner` with a zero frontier for `shards` shards (drops
+    /// nothing until a frontier is observed; useful for symmetric
+    /// wiring of the uninterrupted run).
+    pub fn new(inner: Arc<dyn MatchSink>, shards: usize) -> Self {
+        Self::with_frontier(inner, vec![0; shards])
+    }
+
+    /// Wraps `inner` seeded with a recovered per-shard emit frontier
+    /// (one entry per shard, e.g. `Manifest::emit_frontier`).
+    pub fn with_frontier(inner: Arc<dyn MatchSink>, frontier: Vec<u64>) -> Self {
+        Self {
+            inner,
+            frontier: frontier.into_iter().map(AtomicU64::new).collect(),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The current per-shard emit frontier: the highest emission number
+    /// delivered (or seeded) per shard. Persist alongside downstream
+    /// effects to seed the next recovery.
+    pub fn frontier(&self) -> Vec<u64> {
+        self.frontier
+            .iter()
+            .map(|f| f.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Matches suppressed as duplicates so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn accept(&self, m: &TaggedMatch) -> bool {
+        match self.frontier.get(m.shard) {
+            Some(f) => {
+                if m.emit <= f.load(Ordering::Relaxed) {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    f.fetch_max(m.emit, Ordering::Relaxed);
+                    true
+                }
+            }
+            // A shard index beyond the seeded frontier cannot be a
+            // replayed duplicate; pass it through unfiltered.
+            None => true,
+        }
+    }
+}
+
+impl MatchSink for DedupSink {
+    fn on_match(&self, m: TaggedMatch) {
+        if self.accept(&m) {
+            self.inner.on_match(m);
+        }
+    }
+
+    fn on_batch(&self, mut ms: Vec<TaggedMatch>) {
+        ms.retain(|m| self.accept(m));
+        if !ms.is_empty() {
+            self.inner.on_batch(ms);
+        }
+    }
+
+    fn on_late(&self, late: LateEvent) {
+        self.inner.on_late(late);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use acep_engine::Match;
 
     fn tagged(query: u32, key: u64) -> TaggedMatch {
+        emitted(query, key, 0)
+    }
+
+    fn emitted(query: u32, key: u64, emit: u64) -> TaggedMatch {
         TaggedMatch {
             query: QueryId(query),
             key,
             shard: 0,
+            emit,
             matched: Match {
                 bindings: Vec::new(),
                 min_ts: 0,
@@ -227,6 +330,32 @@ mod tests {
         counting.on_late(late());
         assert_eq!(counting.late(), 2);
         assert_eq!(counting.total(), 0);
+    }
+
+    #[test]
+    fn dedup_sink_drops_at_or_below_the_frontier_and_advances_it() {
+        let inner = Arc::new(CollectingSink::new());
+        let dedup = DedupSink::with_frontier(Arc::clone(&inner) as Arc<dyn MatchSink>, vec![2]);
+        // Replay after recovery: emits 1..=2 were already delivered.
+        dedup.on_batch(vec![emitted(0, 1, 1), emitted(0, 1, 2), emitted(0, 1, 3)]);
+        dedup.on_match(emitted(0, 2, 3));
+        dedup.on_match(emitted(0, 2, 4));
+        let delivered: Vec<u64> = inner.drain().iter().map(|m| m.emit).collect();
+        assert_eq!(
+            delivered,
+            vec![3, 4],
+            "emit 3 delivered once, 1..=2 dropped"
+        );
+        assert_eq!(dedup.dropped(), 3);
+        assert_eq!(dedup.frontier(), vec![4]);
+
+        // A shard beyond the seeded frontier passes through unfiltered.
+        let stray = TaggedMatch {
+            shard: 7,
+            ..emitted(0, 9, 1)
+        };
+        dedup.on_match(stray);
+        assert_eq!(inner.len(), 1);
     }
 
     #[test]

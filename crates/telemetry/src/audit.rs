@@ -77,6 +77,10 @@ pub struct AuditLog {
     trajectories: Vec<QueryTrajectory>,
     evictions: u64,
     stalls: u64,
+    checkpoints: u64,
+    restores: u64,
+    checkpoint_bytes: Histogram,
+    restore_micros: Histogram,
 }
 
 impl AuditLog {
@@ -142,6 +146,14 @@ impl AuditLog {
                 }
                 TelemetryEvent::ReorderEviction { .. } => log.evictions += 1,
                 TelemetryEvent::WatermarkStall { .. } => log.stalls += 1,
+                TelemetryEvent::Checkpoint { bytes, .. } => {
+                    log.checkpoints += 1;
+                    log.checkpoint_bytes.record(*bytes);
+                }
+                TelemetryEvent::Restore { micros, .. } => {
+                    log.restores += 1;
+                    log.restore_micros.record(*micros);
+                }
             }
         }
         log
@@ -214,6 +226,28 @@ impl AuditLog {
     /// Watermark-stall records.
     pub fn stalls(&self) -> u64 {
         self.stalls
+    }
+
+    /// Checkpoint barriers recorded (one per shard per barrier).
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints
+    }
+
+    /// Shard restores recorded (one per shard per recovery).
+    pub fn restores(&self) -> u64 {
+        self.restores
+    }
+
+    /// Histogram of incremental shard-frame sizes, bytes (one sample
+    /// per recorded checkpoint).
+    pub fn checkpoint_bytes(&self) -> &Histogram {
+        &self.checkpoint_bytes
+    }
+
+    /// Histogram of shard restore latencies, µs (one sample per
+    /// recorded restore).
+    pub fn restore_micros(&self) -> &Histogram {
+        &self.restore_micros
     }
 }
 

@@ -162,6 +162,23 @@ pub enum TelemetryEvent {
         /// on), when the strategy tracks sources.
         blocking: Option<SourceId>,
     },
+    /// The shard serialized its full recoverable state at a checkpoint
+    /// barrier.
+    Checkpoint {
+        /// Size of the encoded (incremental) shard frame, bytes.
+        bytes: u64,
+        /// Wall time spent serializing, µs.
+        micros: u64,
+        /// Events the shard had processed when the barrier fired.
+        events: u64,
+    },
+    /// The shard rebuilt itself from a checkpoint frame at recovery.
+    Restore {
+        /// Bytes of checkpoint log read to rebuild the shard.
+        bytes: u64,
+        /// Wall time spent deserializing and rebuilding, µs.
+        micros: u64,
+    },
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ pub enum AcepError {
     },
     /// Invalid engine or policy configuration value.
     InvalidConfig(String),
+    /// A checkpoint log could not be decoded or does not match the
+    /// runtime it is being restored into.
+    Recovery(String),
 }
 
 impl fmt::Display for AcepError {
@@ -38,6 +41,7 @@ impl fmt::Display for AcepError {
                 "unknown attribute {attribute} on event type {event_type}"
             ),
             AcepError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AcepError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
         }
     }
 }
@@ -69,6 +73,10 @@ mod tests {
         assert_eq!(
             AcepError::InvalidConfig("bad".into()).to_string(),
             "invalid configuration: bad"
+        );
+        assert_eq!(
+            AcepError::Recovery("bad crc".into()).to_string(),
+            "recovery failed: bad crc"
         );
     }
 

@@ -1,0 +1,143 @@
+//! Named fault-injection points for crash-recovery testing.
+//!
+//! A [`FaultPoint`] marks a place in the runtime where a shard worker may
+//! be killed mid-operation to exercise checkpoint recovery. The registry
+//! is process-global: a test arms one point with a countdown via `arm`
+//! (only compiled under the `fault-injection` feature),
+//! and the worker thread whose call to [`hit`] decrements the countdown
+//! to zero panics with a recognizable payload (`"faultpoint: <name>"`).
+//!
+//! The whole mechanism is compiled out unless the `fault-injection`
+//! cargo feature is enabled: with the feature off, [`hit`] is an empty
+//! `#[inline(always)]` function and the atomics do not exist, so release
+//! builds pay zero cost.
+
+/// A named point in the runtime where a worker can be killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FaultPoint {
+    /// Inside per-event batch processing, between events.
+    MidBatch = 0,
+    /// Inside an arena compaction sweep.
+    MidCompaction = 1,
+    /// Inside a lazy per-key plan migration.
+    MidMigration = 2,
+    /// Inside watermark-driven finalization.
+    MidFinalize = 3,
+}
+
+impl FaultPoint {
+    /// All fault points, in declaration order.
+    pub const ALL: [FaultPoint; 4] = [
+        FaultPoint::MidBatch,
+        FaultPoint::MidCompaction,
+        FaultPoint::MidMigration,
+        FaultPoint::MidFinalize,
+    ];
+
+    /// Stable kebab-case name, used in panic payloads and CI matrices.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::MidBatch => "mid-batch",
+            FaultPoint::MidCompaction => "mid-compaction",
+            FaultPoint::MidMigration => "mid-migration",
+            FaultPoint::MidFinalize => "mid-finalize",
+        }
+    }
+
+    /// Parse a kebab-case name produced by [`FaultPoint::name`].
+    pub fn parse(s: &str) -> Option<FaultPoint> {
+        FaultPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+mod armed {
+    use super::FaultPoint;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+    /// 0 = disarmed; otherwise `point as u8 + 1`.
+    static ARMED_POINT: AtomicU8 = AtomicU8::new(0);
+    /// Remaining hits before the armed point fires.
+    static COUNTDOWN: AtomicU64 = AtomicU64::new(0);
+
+    /// Arm `point` to fire (panic) on its `countdown`-th hit (1 = next hit).
+    ///
+    /// Only one point is armed at a time; arming replaces any prior arm.
+    pub fn arm(point: FaultPoint, countdown: u64) {
+        assert!(countdown > 0, "countdown must be at least 1");
+        // Disarm first so a concurrent hit never observes the new point
+        // with the old countdown.
+        ARMED_POINT.store(0, Ordering::SeqCst);
+        COUNTDOWN.store(countdown, Ordering::SeqCst);
+        ARMED_POINT.store(point as u8 + 1, Ordering::SeqCst);
+    }
+
+    /// Disarm whatever point is armed, if any.
+    pub fn disarm() {
+        ARMED_POINT.store(0, Ordering::SeqCst);
+        COUNTDOWN.store(0, Ordering::SeqCst);
+    }
+
+    /// Record a hit at `point`. The thread that takes the armed
+    /// countdown from 1 to 0 disarms the registry and panics with
+    /// payload `"faultpoint: <name>"`.
+    pub fn hit(point: FaultPoint) {
+        if ARMED_POINT.load(Ordering::Relaxed) != point as u8 + 1 {
+            return;
+        }
+        let took_last = COUNTDOWN
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| c.checked_sub(1))
+            .map(|prev| prev == 1)
+            .unwrap_or(false);
+        if took_last {
+            ARMED_POINT.store(0, Ordering::SeqCst);
+            panic!("faultpoint: {}", point.name());
+        }
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use armed::{arm, disarm, hit};
+
+/// Record a hit at `point`. No-op: the `fault-injection` feature is off.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn hit(point: FaultPoint) {
+    let _ = point;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in FaultPoint::ALL {
+            assert_eq!(FaultPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(FaultPoint::parse("nope"), None);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn countdown_fires_on_nth_hit() {
+        arm(FaultPoint::MidBatch, 3);
+        hit(FaultPoint::MidCompaction); // different point: ignored
+        hit(FaultPoint::MidBatch);
+        hit(FaultPoint::MidBatch);
+        let err = std::panic::catch_unwind(|| hit(FaultPoint::MidBatch))
+            .expect_err("third hit must fire");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "faultpoint: mid-batch");
+        // Fired once, then disarmed: further hits are safe.
+        hit(FaultPoint::MidBatch);
+        disarm();
+    }
+}

@@ -50,6 +50,7 @@ pub mod canonical;
 pub mod disorder;
 pub mod error;
 pub mod event;
+pub mod faultpoint;
 pub mod partition;
 pub mod pattern;
 pub mod predicate;
@@ -64,6 +65,7 @@ pub use canonical::{
 pub use disorder::{DisorderConfig, LatenessPolicy, SourceId, WatermarkStrategy};
 pub use error::AcepError;
 pub use event::{Event, EventTypeId, Timestamp};
+pub use faultpoint::FaultPoint;
 pub use partition::{
     mix64, value_key, AttrKeyExtractor, KeyExtractor, LastAttrKeyExtractor, TypeKeyExtractor,
 };

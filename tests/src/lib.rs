@@ -24,6 +24,7 @@ pub fn run_adaptive(
         control_interval,
         warmup_events: 256,
         min_improvement: 0.0,
+        migration_stagger: 0,
         stats: StatsConfig {
             window_ms: 2_000,
             exact_rates: true,

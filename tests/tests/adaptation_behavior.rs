@@ -16,6 +16,7 @@ fn config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
         control_interval: 64,
         warmup_events: 512,
         min_improvement: 0.0,
+        migration_stagger: 0,
         stats: StatsConfig {
             window_ms: 4_000,
             sample_capacity: 32,

@@ -109,6 +109,7 @@ fn config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
         control_interval: 32,
         warmup_events: 128,
         min_improvement: 0.0,
+        migration_stagger: 0,
         stats: StatsConfig {
             window_ms: 2_000,
             exact_rates: true,

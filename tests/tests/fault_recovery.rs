@@ -1,0 +1,310 @@
+//! Kill-at-random-faultpoint recovery property (requires the
+//! `fault-injection` feature).
+//!
+//! The harness arms one [`FaultPoint`] with a random countdown, drives
+//! a sharded run with periodic checkpoints until the faultpoint
+//! panics a worker mid-operation (mid-batch, mid-compaction,
+//! mid-migration, or mid-finalize), then recovers from the newest
+//! sealed checkpoint and replays the event suffix through a
+//! [`DedupSink`] seeded with the frontier downstream observed. The
+//! property: the total delivered match multiset — pre-crash deliveries
+//! plus post-recovery replay — is **identical** to the uninterrupted
+//! run's, for every faultpoint, at W = 1, 2, and 4.
+//!
+//! `ACEP_FAULTPOINT=<mid-batch|mid-compaction|mid-migration|
+//! mid-finalize>` pins every case to one faultpoint (the CI
+//! fault-injection matrix sets it); unset, cases sweep all four.
+//! `ACEP_PROPTEST_SEED` re-seeds the case generator as everywhere
+//! else.
+//!
+//! The whole suite is one `#[test]`: the faultpoint registry is
+//! process-global, so concurrent arming would race.
+//!
+//! [`FaultPoint`]: acep_stream::faultpoint::FaultPoint
+//! [`DedupSink`]: acep_stream::DedupSink
+
+#![cfg(feature = "fault-injection")]
+
+use std::sync::{Arc, OnceLock};
+
+use acep_core::{AdaptiveConfig, PolicyKind};
+use acep_engine::MatchKey;
+use acep_plan::PlannerKind;
+use acep_stats::StatsConfig;
+use acep_stream::faultpoint::{self, FaultPoint};
+use acep_stream::{
+    CheckpointLog, CollectingSink, DedupSink, DisorderConfig, LastAttrKeyExtractor, MatchSink,
+    PatternSet, ShardedRuntime, StreamConfig,
+};
+use acep_types::Event;
+use acep_workloads::{bounded_shuffle, DatasetKind, PatternSetKind, Scenario};
+use proptest::prelude::*;
+
+const NUM_KEYS: u64 = 4;
+/// Long enough that the invariant query's per-key executors cross the
+/// 256-event sweep interval (each sees ~30% of its key's substream),
+/// so mid-compaction faultpoints genuinely fire.
+const EVENTS_PER_KEY: usize = 1_600;
+/// Disorder bound for the event-time half of the sweep.
+const BOUND: u64 = 128;
+
+fn adaptive_config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
+    AdaptiveConfig {
+        planner,
+        policy,
+        control_interval: 32,
+        warmup_events: 128,
+        min_improvement: 0.0,
+        migration_stagger: 0,
+        stats: StatsConfig {
+            window_ms: 2_000,
+            exact_rates: true,
+            sample_capacity: 16,
+            max_pairs: 100,
+            ..StatsConfig::default()
+        },
+    }
+}
+
+fn queries(scenario: &Scenario) -> PatternSet {
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3-greedy-invariant",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        adaptive_config(
+            PlannerKind::Greedy,
+            PolicyKind::invariant_with_distance(0.1),
+        ),
+    )
+    .unwrap();
+    set.register(
+        "stocks/neg3-zstream-unconditional",
+        scenario.pattern(PatternSetKind::Negation, 3),
+        adaptive_config(PlannerKind::ZStream, PolicyKind::Unconditional),
+    )
+    .unwrap();
+    set
+}
+
+/// The in-order and bounded-disorder delivery sequences, built once.
+fn deliveries() -> &'static [Vec<Arc<Event>>; 2] {
+    static STREAMS: OnceLock<[Vec<Arc<Event>>; 2]> = OnceLock::new();
+    STREAMS.get_or_init(|| {
+        let events = Scenario::new(DatasetKind::Stocks).keyed_events(NUM_KEYS, EVENTS_PER_KEY);
+        let shuffled = bounded_shuffle(&events, BOUND, 41);
+        [events, shuffled]
+    })
+}
+
+fn stream_config(shards: usize, disordered: bool) -> StreamConfig {
+    StreamConfig {
+        shards,
+        channel_capacity: 4,
+        max_batch: 256,
+        disorder: if disordered {
+            DisorderConfig::bounded(BOUND)
+        } else {
+            DisorderConfig::in_order()
+        },
+        ..StreamConfig::default()
+    }
+}
+
+fn canonical(matches: Vec<acep_stream::TaggedMatch>) -> Vec<(u32, u64, MatchKey)> {
+    let mut lines: Vec<(u32, u64, MatchKey)> = matches
+        .into_iter()
+        .map(|m| (m.query.0, m.key, m.matched.key()))
+        .collect();
+    lines.sort();
+    lines
+}
+
+/// Reference multisets (in-order and disordered delivery), built once:
+/// both deliveries are bounded by `BOUND`, so they yield the same
+/// matches — but we compare each crash run against its own delivery's
+/// reference to keep the oracle assumption-free.
+fn references() -> &'static [Vec<(u32, u64, MatchKey)>; 2] {
+    static REFS: OnceLock<[Vec<(u32, u64, MatchKey)>; 2]> = OnceLock::new();
+    REFS.get_or_init(|| {
+        let set = queries(&Scenario::new(DatasetKind::Stocks));
+        let run = |events: &[Arc<Event>], disordered: bool| {
+            let sink = Arc::new(CollectingSink::new());
+            let mut runtime = ShardedRuntime::new(
+                &set,
+                Arc::new(LastAttrKeyExtractor),
+                Arc::clone(&sink) as _,
+                stream_config(2, disordered),
+            )
+            .unwrap();
+            for chunk in events.chunks(500) {
+                runtime.push_batch(chunk);
+            }
+            runtime.finish();
+            canonical(sink.drain())
+        };
+        let streams = deliveries();
+        [run(&streams[0], false), run(&streams[1], true)]
+    })
+}
+
+/// The faultpoint to arm: pinned by `ACEP_FAULTPOINT` when set (the CI
+/// matrix), else swept by the case generator.
+fn pick_point(case_choice: usize) -> FaultPoint {
+    static PINNED: OnceLock<Option<FaultPoint>> = OnceLock::new();
+    PINNED
+        .get_or_init(|| {
+            std::env::var("ACEP_FAULTPOINT").ok().map(|raw| {
+                FaultPoint::parse(&raw)
+                    .unwrap_or_else(|| panic!("unknown ACEP_FAULTPOINT value {raw:?}"))
+            })
+        })
+        .unwrap_or(FaultPoint::ALL[case_choice % FaultPoint::ALL.len()])
+}
+
+/// Drops the panic chatter of intentionally killed workers; everything
+/// else goes to the previously installed hook.
+fn silence_faultpoint_panics() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(|s| s.as_str()))
+                .unwrap_or("");
+            if !msg.starts_with("faultpoint:") {
+                default(info);
+            }
+        }));
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kill the run at an armed faultpoint, recover, replay — the
+    /// delivered multiset must be bit-identical to the uninterrupted
+    /// run's. When the countdown outlives the run (rare faultpoints
+    /// with a high countdown), the case degenerates to the plain
+    /// determinism check against the same reference.
+    #[test]
+    fn kill_at_any_faultpoint_recovers_the_exact_multiset(
+        (shards_choice, point_choice, countdown_seed)
+            in (0usize..3, 0usize..4, 1u64..10_000),
+        (chunk, cp_every, disordered_choice) in (200usize..700, 1usize..4, 0u8..2),
+    ) {
+        silence_faultpoint_panics();
+        let shards = [1usize, 2, 4][shards_choice];
+        let disordered = disordered_choice == 1;
+        let point = pick_point(point_choice);
+        // Mid-batch fires once per event; migrations are plentiful
+        // (one query redeploys unconditionally); compaction sweeps run
+        // every 256 executor events and watermark finalization only at
+        // releases/punctuation/finish — so the sparser points get
+        // countdowns matched to their per-run hit budget, else the
+        // case degenerates to the uninterrupted check.
+        let countdown = match point {
+            FaultPoint::MidBatch => 1 + countdown_seed % 2_000,
+            FaultPoint::MidMigration => 1 + countdown_seed % 24,
+            FaultPoint::MidCompaction => 1 + countdown_seed % 4,
+            FaultPoint::MidFinalize => 1 + countdown_seed % 8,
+        };
+        let events = &deliveries()[disordered as usize];
+        let reference = &references()[disordered as usize];
+        prop_assert!(!reference.is_empty());
+
+        let set = queries(&Scenario::new(DatasetKind::Stocks));
+        let inner = Arc::new(CollectingSink::new());
+        let dedup = Arc::new(DedupSink::new(
+            Arc::clone(&inner) as Arc<dyn MatchSink>,
+            shards,
+        ));
+        let mut log = CheckpointLog::new();
+        let mut runtime = Some(ShardedRuntime::new(
+            &set,
+            Arc::new(LastAttrKeyExtractor),
+            Arc::clone(&dedup) as _,
+            stream_config(shards, disordered),
+        ).unwrap());
+
+        // Seed the log with one pre-arm checkpoint so recovery always
+        // has a sealed manifest, then arm and keep checkpointing as
+        // the stream advances until the faultpoint kills a worker.
+        let mut crashed = false;
+        let mut armed = false;
+        for (i, batch) in events.chunks(chunk).enumerate() {
+            let rt = runtime.as_mut().unwrap();
+            rt.push_batch(batch);
+            if i == 0 || i % cp_every == 0 {
+                if rt.checkpoint(&mut log).is_err() {
+                    crashed = true;
+                    break;
+                }
+                if !armed {
+                    faultpoint::arm(point, countdown);
+                    armed = true;
+                }
+            }
+        }
+        if !crashed {
+            match runtime.take().unwrap().try_finish() {
+                Ok(_) => {
+                    // The countdown outlived the run: no crash, plain
+                    // determinism against the reference.
+                    faultpoint::disarm();
+                    prop_assert_eq!(
+                        &canonical(inner.drain()), reference,
+                        "uninterrupted case diverged ({:?}, W={})", point, shards
+                    );
+                    return Ok(());
+                }
+                Err(failed) => {
+                    // A faultpoint firing while the worker handles the
+                    // finish barrier itself unwinds past the reply
+                    // channel, so the runtime sees a silent exit
+                    // rather than the panic payload.
+                    prop_assert!(
+                        failed.payload.contains("faultpoint")
+                            || failed.payload.contains("without reporting"),
+                        "unexpected worker failure: {}", failed.payload
+                    );
+                    crashed = true;
+                }
+            }
+        }
+        prop_assert!(crashed);
+        faultpoint::disarm();
+        drop(runtime); // crash: whatever state was in flight is gone
+
+        let observed = dedup.frontier();
+        let dedup2 = Arc::new(DedupSink::with_frontier(
+            Arc::clone(&inner) as Arc<dyn MatchSink>,
+            observed,
+        ));
+        let (mut recovered, report) = ShardedRuntime::recover(
+            &set,
+            Arc::new(LastAttrKeyExtractor),
+            Arc::clone(&dedup2) as _,
+            stream_config(shards, disordered),
+            &log,
+        ).map_err(|e| TestCaseError::fail(format!(
+            "recovery failed ({point:?}, W={shards}): {e}"
+        )))?;
+        prop_assert!(report.events_ingested <= events.len() as u64);
+        for batch in events[report.events_ingested as usize..].chunks(chunk) {
+            recovered.push_batch(batch);
+        }
+        recovered.try_finish().map_err(|e| TestCaseError::fail(format!(
+            "recovered run failed ({point:?}, W={shards}): {e}"
+        )))?;
+
+        prop_assert_eq!(
+            &canonical(inner.drain()), reference,
+            "recovered multiset diverged ({:?}, W={}, countdown={}, \
+             chunk={}, cp_every={}, disordered={})",
+            point, shards, countdown, chunk, cp_every, disordered
+        );
+    }
+}

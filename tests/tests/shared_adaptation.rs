@@ -34,6 +34,7 @@ fn config(control_interval: u64, warmup_events: u64) -> AdaptiveConfig {
         control_interval,
         warmup_events,
         min_improvement: 0.0,
+        migration_stagger: 0,
         stats: StatsConfig {
             window_ms: 2_000,
             exact_rates: true,
