@@ -8,7 +8,7 @@ mod common;
 use std::sync::Arc;
 
 use acep_engine::{build_executor, ExecContext, MigratingExecutor};
-use acep_plan::{EvalPlan, OrderPlan, TreePlan};
+use acep_plan::{EvalPlan, LazyPlan, OrderPlan, TreePlan};
 use acep_workloads::{DatasetKind, PatternSetKind};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -19,11 +19,20 @@ fn bench(c: &mut Criterion) {
 
     // Traffic rates descend with the type index, so the identity order
     // is the *eager* (bad) plan and the reverse is the lazy (good) one.
+    // `lazy_chain` is a different axis entirely: the deferred executor
+    // (buffer events, build chains only when a rarest-type trigger
+    // fires) at the same rare-first order, so the eager-vs-deferred
+    // trade is measured at a matching workload shape rather than
+    // inferred from the smoke grid alone.
     let plans = [
         ("order_eager", EvalPlan::Order(OrderPlan::identity(5))),
         (
             "order_lazy",
             EvalPlan::Order(OrderPlan::new(vec![4, 3, 2, 1, 0])),
+        ),
+        (
+            "lazy_chain",
+            EvalPlan::Lazy(LazyPlan::new(vec![4, 3, 2, 1, 0])),
         ),
         (
             "tree_left_deep",

@@ -16,7 +16,8 @@
 //!                         BENCH_smoke.json) for the CI perf trajectory
 //!   smoke-diff CURRENT BASELINE [--tolerance PCT]
 //!              compares two smoke reports. Semantic drift — match
-//!              counts or partials_live differing from the baseline, a
+//!              counts, partials_live, or buffered_events differing
+//!              from the baseline, a
 //!              baseline grid point disappearing, an empty baseline —
 //!              prints `::error::` and exits 1. Throughput/p99
 //!              regressions beyond PCT percent (default 20) stay
@@ -124,7 +125,7 @@ fn main() {
                     String::new()
                 };
                 println!(
-                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials{p99}{durability}",
+                    "  {:<10} bound {:>4}: {:>9.0} events/s ({vs}), {} matches, {} late, peak buffer {}, {} engines, {} partials, {} buffered{p99}{durability}",
                     p.strategy,
                     p.bound,
                     p.throughput_eps,
@@ -133,6 +134,7 @@ fn main() {
                     p.max_reorder_depth,
                     p.engines_live,
                     p.partials_live,
+                    p.buffered_events,
                 );
             }
             std::fs::write(path, report.to_json()).expect("writing the smoke report");
@@ -181,7 +183,7 @@ fn main() {
             if !diff.errors.is_empty() {
                 eprintln!(
                     "smoke-diff: {} semantic drift error(s) against {baseline_path} — \
-                     match counts and partials_live are deterministic on this grid, so \
+                     match counts, partials_live, and buffered_events are deterministic on this grid, so \
                      a drift is a behavior change, not runner noise. If intentional, \
                      regenerate the baseline (`experiments smoke --json BENCH_baseline.json`) \
                      and commit it.",

@@ -28,6 +28,7 @@ impl Combo {
         let p = match self.planner {
             PlannerKind::Greedy => "greedy",
             PlannerKind::ZStream => "zstream",
+            PlannerKind::LazyChain => "lazy",
         };
         format!("{}/{}", self.dataset.label(), p)
     }
@@ -356,6 +357,9 @@ pub fn fig6to9(combo: Combo, scale: &Scale, harness: &HarnessConfig) -> Vec<Meth
         (DatasetKind::Traffic, PlannerKind::ZStream) => "Figure 7",
         (DatasetKind::Stocks, PlannerKind::Greedy) => "Figure 8",
         (DatasetKind::Stocks, PlannerKind::ZStream) => "Figure 9",
+        // Not a paper figure: the lazy-chain planner postdates the
+        // paper's evaluated combos.
+        (_, PlannerKind::LazyChain) => "Lazy-chain supplement",
     };
     print_method_comparison(
         &format!(

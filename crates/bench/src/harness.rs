@@ -42,6 +42,7 @@ impl HarnessConfig {
             planner,
             policy,
             control_interval: self.control_interval,
+            control_interval_ms: None,
             warmup_events: self.warmup_events,
             min_improvement: self.min_improvement,
             migration_stagger: 0,

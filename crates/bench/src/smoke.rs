@@ -40,12 +40,22 @@
 //!   per shard × query, lazy epoch migration) and reports the per-key
 //!   memory proxy — live keyed engines plus stored partial-match nodes
 //!   — alongside throughput;
+//! * `scale_keys_lazy` — the same workload forced onto
+//!   [`PlannerKind::LazyChain`]: instead of eager NFA expansion the
+//!   executors hold per-slot event buffers and defer chain construction
+//!   to window close, so its `partials_live` column must collapse
+//!   against `scale_keys` while `buffered_events` (the slot-buffer
+//!   occupancy) carries the memory trade — both are wired into
+//!   smoke-diff's error-level drift gates;
 //! * `scale_iot_{any,next,strict}` — the adversarial IoT-fleet scenario
 //!   ([`acep_workloads::iot`]: 100k partition keys, Zipf traffic,
 //!   correlated bursts), swept across the selection-policy matrix via
 //!   [`StreamConfig::policy_override`]. The three rows share one stream
 //!   and one pattern, so their `matches`/`partials_live` columns track
-//!   how much state each policy's pruning actually collapses;
+//!   how much state each policy's pruning actually collapses, and a
+//!   fourth `scale_iot_lazy` row runs the same stream under a forced
+//!   lazy-chain plan (pattern-default policy, i.e. the `any` multiset)
+//!   so the buffered path is probed at fleet cardinality too;
 //! * `scale_click_{any,next,strict}` — the adversarial
 //!   clickstream-funnel scenario ([`mod@acep_workloads::clickstream`]: deep
 //!   `SEQ` with two negations, pathological per-source lateness under
@@ -153,6 +163,11 @@ pub struct SmokePoint {
     pub engines_live: usize,
     /// Stored partial-match nodes at end of run.
     pub partials_live: usize,
+    /// Events held in executor history buffers at end of run — the
+    /// lazy executor's slot-buffer occupancy, reported next to
+    /// `partials_live` so the lazy memory trade (few partials, more
+    /// buffered events) is a tracked column, not an anecdote.
+    pub buffered_events: usize,
     /// p99 of the watermark-driven emission latency (ms): how long
     /// deadline-held matches (the trailing-negation query) waited past
     /// their deadline before the watermark released them. `NaN`
@@ -226,6 +241,7 @@ struct RunOutcome {
     max_reorder_depth: usize,
     engines_live: usize,
     partials_live: usize,
+    buffered_events: usize,
     /// Full stats snapshot of the run (p99 emission latency, telemetry
     /// exporters).
     stats: RuntimeStats,
@@ -280,6 +296,7 @@ fn run_once(
             .unwrap_or(0),
         engines_live: stats.total_engines_live(),
         partials_live: stats.total_partials_live(),
+        buffered_events: stats.total_buffered_events(),
         stats,
     }
 }
@@ -332,10 +349,12 @@ fn skew_shift_keyed(keys: u64, events_per_key: usize) -> Vec<Arc<Event>> {
 const SCALE_WINDOW_MS: u64 = 200_000;
 
 /// Two 3-type queries for the `scale_keys` point, so every key hosts
-/// two engines from one shared controller pair per shard.
-fn scale_pattern_set() -> PatternSet {
+/// two engines from one shared controller pair per shard. The planner
+/// is the row's independent variable: `Greedy` for the eager
+/// `scale_keys` row, `LazyChain` for `scale_keys_lazy`.
+fn scale_pattern_set(planner: PlannerKind) -> PatternSet {
     let adaptive = AdaptiveConfig {
-        planner: PlannerKind::Greedy,
+        planner,
         policy: PolicyKind::invariant_with_distance(0.1),
         ..AdaptiveConfig::default()
     };
@@ -419,9 +438,14 @@ fn scale_cores_workload(config: &SmokeConfig) -> (PatternSet, Vec<(SourceId, Arc
 /// itself is *not* baked in here — the sweep applies it through
 /// [`StreamConfig::policy_override`], so all three rows of a scenario
 /// share one registration and one compiled canonical form.
-fn scenario_pattern_set(name: &str, pattern: Pattern, num_types: usize) -> PatternSet {
+fn scenario_pattern_set(
+    name: &str,
+    pattern: Pattern,
+    num_types: usize,
+    planner: PlannerKind,
+) -> PatternSet {
     let adaptive = AdaptiveConfig {
-        planner: PlannerKind::Greedy,
+        planner,
         policy: PolicyKind::invariant_with_distance(0.1),
         ..AdaptiveConfig::default()
     };
@@ -499,6 +523,7 @@ fn run_checkpoint_once(
             .unwrap_or(0),
         engines_live: stats.total_engines_live(),
         partials_live: stats.total_partials_live(),
+        buffered_events: stats.total_buffered_events(),
         stats,
     };
 
@@ -569,6 +594,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
             max_reorder_depth: o.max_reorder_depth,
             engines_live: o.engines_live,
             partials_live: o.partials_live,
+            buffered_events: o.buffered_events,
             p99_emission_ms: o.p99_emission_ms(),
             checkpoint_bytes: 0,
             restore_ms: f64::NAN,
@@ -654,7 +680,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.scale_keys,
         config.scale_events_per_key,
     ));
-    let scale_set = scale_pattern_set();
+    let scale_set = scale_pattern_set(PlannerKind::Greedy);
     let outcome = best_of(
         &scale_set,
         &delivered,
@@ -665,6 +691,22 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         config.repeats,
     );
     points.push(point("scale_keys", 0, f64::NAN, &outcome));
+
+    // The same workload forced onto the lazy-chain planner: its
+    // `partials_live` must collapse against the eager row above (the
+    // error-level smoke-diff gate pins both), and its
+    // `buffered_events` column is where the traded memory shows up.
+    let lazy_set = scale_pattern_set(PlannerKind::LazyChain);
+    let outcome = best_of(
+        &lazy_set,
+        &delivered,
+        config.shards,
+        DisorderConfig::in_order(),
+        None,
+        None,
+        config.repeats,
+    );
+    points.push(point("scale_keys_lazy", 0, f64::NAN, &outcome));
 
     // The adversarial scenario rows: each workload runs once per
     // selection policy over the *same* delivered stream and pattern,
@@ -680,7 +722,12 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         ..IotConfig::default()
     };
     let delivered = tag_merged(iot_fleet(&iot_cfg));
-    let iot_set = scenario_pattern_set("iot/seq3", iot_cfg.pattern(), IotConfig::NUM_TYPES);
+    let iot_set = scenario_pattern_set(
+        "iot/seq3",
+        iot_cfg.pattern(),
+        IotConfig::NUM_TYPES,
+        PlannerKind::Greedy,
+    );
     for (policy, name) in IOT_ROWS {
         let outcome = best_of(
             &iot_set,
@@ -694,6 +741,27 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         points.push(point(name, 0, f64::NAN, &outcome));
     }
 
+    // The fleet stream once more under a forced lazy-chain plan and
+    // the pattern's own (skip-till-any) policy: slot buffers at 100k-key
+    // cardinality, pinned by the same error-level gates as the policy
+    // rows.
+    let iot_lazy_set = scenario_pattern_set(
+        "iot/seq3",
+        iot_cfg.pattern(),
+        IotConfig::NUM_TYPES,
+        PlannerKind::LazyChain,
+    );
+    let outcome = best_of(
+        &iot_lazy_set,
+        &delivered,
+        config.shards,
+        DisorderConfig::in_order(),
+        None,
+        None,
+        config.repeats,
+    );
+    points.push(point("scale_iot_lazy", 0, f64::NAN, &outcome));
+
     let click_cfg = ClickstreamConfig {
         users: config.click_users,
         ..ClickstreamConfig::default()
@@ -703,6 +771,7 @@ pub fn run_smoke(config: &SmokeConfig) -> SmokeReport {
         "click/funnel5",
         click_cfg.pattern(),
         ClickstreamConfig::NUM_TYPES,
+        PlannerKind::Greedy,
     );
     for (policy, name) in CLICK_ROWS {
         let outcome = best_of(
@@ -911,7 +980,7 @@ impl SmokeReport {
         ));
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}, \"p99_emission_ms\": {}, \"checkpoint_bytes\": {}, \"restore_ms\": {}}}{}\n",
+                "    {{\"strategy\": \"{}\", \"bound\": {}, \"throughput_eps\": {}, \"overhead_pct\": {}, \"matches\": {}, \"late_dropped\": {}, \"max_reorder_depth\": {}, \"engines_live\": {}, \"partials_live\": {}, \"buffered_events\": {}, \"p99_emission_ms\": {}, \"checkpoint_bytes\": {}, \"restore_ms\": {}}}{}\n",
                 p.strategy,
                 p.bound,
                 json_f64(p.throughput_eps),
@@ -921,6 +990,7 @@ impl SmokeReport {
                 p.max_reorder_depth,
                 p.engines_live,
                 p.partials_live,
+                p.buffered_events,
                 json_f64(p.p99_emission_ms),
                 p.checkpoint_bytes,
                 json_f64(p.restore_ms),
@@ -956,6 +1026,8 @@ pub struct ParsedPoint {
     pub matches: Option<u64>,
     /// `None` for reports predating the field.
     pub partials_live: Option<u64>,
+    /// `None` for reports predating the field.
+    pub buffered_events: Option<u64>,
     /// `None` for reports predating the field (0 on rows that take no
     /// checkpoints).
     pub checkpoint_bytes: Option<u64>,
@@ -977,6 +1049,7 @@ pub fn parse_points(json: &str) -> Vec<ParsedPoint> {
                     .unwrap_or(f64::NAN),
                 matches: json_field(line, "matches").and_then(|v| v.parse().ok()),
                 partials_live: json_field(line, "partials_live").and_then(|v| v.parse().ok()),
+                buffered_events: json_field(line, "buffered_events").and_then(|v| v.parse().ok()),
                 checkpoint_bytes: json_field(line, "checkpoint_bytes").and_then(|v| v.parse().ok()),
                 restore_ms: json_field(line, "restore_ms")
                     .and_then(|v| v.parse().ok())
@@ -1003,10 +1076,11 @@ impl SmokeDiff {
 /// Diffs a current smoke report against a committed baseline.
 ///
 /// **Errors** (CI exits nonzero on any): semantic drift that no amount
-/// of runner noise explains — a grid point's match count or
-/// `partials_live` differing from the baseline (both are deterministic
-/// on this grid: every point runs a fixed workload on a fixed shard
-/// count, and batch boundaries are assembled producer-side), a
+/// of runner noise explains — a grid point's match count,
+/// `partials_live`, or `buffered_events` differing from the baseline
+/// (all three are deterministic on this grid: every point runs a fixed
+/// workload on a fixed shard count, and batch boundaries are assembled
+/// producer-side), a
 /// baseline grid point missing from the current report (a silently
 /// shrunk grid is how coverage rots), or a baseline with no points at
 /// all.
@@ -1052,6 +1126,14 @@ pub fn diff_reports(current: &str, baseline: &str, tolerance_pct: f64) -> SmokeD
                     if cur_p != base_p {
                         diff.errors.push(format!(
                             "{}@{}: partials_live drifted from baseline ({cur_p} vs {base_p})",
+                            b.strategy, b.bound
+                        ));
+                    }
+                }
+                if let (Some(cur_b), Some(base_b)) = (c.buffered_events, b.buffered_events) {
+                    if cur_b != base_b {
+                        diff.errors.push(format!(
+                            "{}@{}: buffered_events drifted from baseline ({cur_b} vs {base_b})",
                             b.strategy, b.bound
                         ));
                     }
@@ -1135,7 +1217,7 @@ mod tests {
             cores_events_per_key: 250,
         });
         assert_eq!(report.events, 1_000);
-        assert_eq!(report.points.len(), 17);
+        assert_eq!(report.points.len(), 19);
         assert!(report.baseline_eps > 0.0);
         let matches = report.points[0].matches;
         for p in &report.points {
@@ -1216,11 +1298,34 @@ mod tests {
             "both queries host one engine per key"
         );
 
+        // The forced-lazy twin of `scale_keys`: same stream, same
+        // pattern, so the match count is pinned to the eager row's,
+        // while the partial-match store must not grow past it (the
+        // lazy executor defers chain construction to window close —
+        // the ≥5× collapse itself is asserted at a realistic instance
+        // in `lazy_plan_collapses_partials_on_scale_workload`).
+        let scale_lazy = &report.points[8];
+        assert_eq!(scale_lazy.strategy, "scale_keys_lazy");
+        assert!(
+            scale_lazy.overhead_pct.is_nan(),
+            "different workload → null overhead"
+        );
+        assert_eq!(
+            scale_lazy.matches, scale.matches,
+            "the plan kind must not change the match multiset"
+        );
+        assert!(
+            scale_lazy.partials_live <= scale.partials_live,
+            "lazy must not store more partials than eager ({} vs {})",
+            scale_lazy.partials_live,
+            scale.partials_live
+        );
+
         // The per-policy scenario rows: each triple shares one stream
         // and pattern, so the match counts must respect the policy
         // lattice (strict ⊆ next ⊆ any — the policies are pure filters
         // on the skip-till-any match set).
-        for (scenario, base) in [("scale_iot", 8usize), ("scale_click", 11usize)] {
+        for (scenario, base) in [("scale_iot", 9usize), ("scale_click", 13usize)] {
             let [any, next, strict] = [
                 &report.points[base],
                 &report.points[base + 1],
@@ -1245,9 +1350,23 @@ mod tests {
             }
         }
 
+        // The lazy IoT row shares the `any` triple's stream and runs
+        // the pattern's builder-default (skip-till-any) policy, so its
+        // match count must land exactly on the `scale_iot_any` row.
+        let iot_lazy = &report.points[12];
+        assert_eq!(iot_lazy.strategy, "scale_iot_lazy");
+        assert!(
+            iot_lazy.overhead_pct.is_nan(),
+            "scenario row → null overhead"
+        );
+        assert_eq!(
+            iot_lazy.matches, report.points[9].matches,
+            "lazy plan under the default policy must match scale_iot_any"
+        );
+
         // The multicore rows: one workload at W = 1/2/4, so parallelism
         // must not change what is detected.
-        let [w1, w2, w4] = [&report.points[14], &report.points[15], &report.points[16]];
+        let [w1, w2, w4] = [&report.points[16], &report.points[17], &report.points[18]];
         assert_eq!(w1.strategy, "scale_cores_w1");
         assert_eq!(w2.strategy, "scale_cores_w2");
         assert_eq!(w4.strategy, "scale_cores_w4");
@@ -1267,26 +1386,31 @@ mod tests {
         assert!(json.contains("\"strategy\": \"scale_keys\""));
         assert!(json.contains("\"strategy\": \"telemetry\""));
         assert!(json.contains("\"strategy\": \"scale_iot_next\""));
+        assert!(json.contains("\"strategy\": \"scale_keys_lazy\""));
+        assert!(json.contains("\"strategy\": \"scale_iot_lazy\""));
         assert!(json.contains("\"strategy\": \"scale_click_strict\""));
         assert!(json.contains("\"strategy\": \"scale_cores_w4\""));
         assert!(json.contains("\"strategy\": \"checkpoint\""));
         assert!(json.contains("\"partials_live\""));
+        assert!(json.contains("\"buffered_events\""));
         assert!(json.contains("\"p99_emission_ms\""));
         assert!(json.contains("\"checkpoint_bytes\""));
         assert!(json.contains("\"restore_ms\""));
-        assert_eq!(json.matches("\"bound\":").count(), 17);
+        assert_eq!(json.matches("\"bound\":").count(), 19);
 
         // The report round-trips through the baseline-diff parser.
         let points = parse_points(&json);
-        assert_eq!(points.len(), 17);
+        assert_eq!(points.len(), 19);
         assert_eq!(points[0].strategy, "merged");
         assert_eq!(points[0].bound, 0);
         assert!((points[0].throughput_eps - report.points[0].throughput_eps).abs() < 1.0);
         assert_eq!(points[1].strategy, "telemetry");
         assert_eq!(points[2].strategy, "checkpoint");
         assert_eq!(points[7].strategy, "scale_keys");
-        assert_eq!(points[13].strategy, "scale_click_strict");
-        assert_eq!(points[16].strategy, "scale_cores_w4");
+        assert_eq!(points[8].strategy, "scale_keys_lazy");
+        assert_eq!(points[12].strategy, "scale_iot_lazy");
+        assert_eq!(points[15].strategy, "scale_click_strict");
+        assert_eq!(points[18].strategy, "scale_cores_w4");
         for (i, p) in points.iter().enumerate() {
             let want = report.points[i].p99_emission_ms;
             assert!(
@@ -1297,6 +1421,10 @@ mod tests {
             );
             assert_eq!(p.matches, Some(report.points[i].matches));
             assert_eq!(p.partials_live, Some(report.points[i].partials_live as u64));
+            assert_eq!(
+                p.buffered_events,
+                Some(report.points[i].buffered_events as u64)
+            );
             assert_eq!(p.checkpoint_bytes, Some(report.points[i].checkpoint_bytes));
             let want = report.points[i].restore_ms;
             assert!(
@@ -1305,6 +1433,61 @@ mod tests {
                 p.restore_ms
             );
         }
+    }
+
+    #[test]
+    fn lazy_plan_collapses_partials_on_scale_workload() {
+        // The lazy-plan acceptance gate, at a CI-sized but honest
+        // instance of the `scale_keys` workload: forcing the
+        // lazy-chain planner must cut the live partial-match store at
+        // least five-fold against the eager greedy plan, while the
+        // match multiset stays bit-identical — laziness is a memory
+        // trade, never a semantics change. The full-size counterpart
+        // is visible as the `scale_keys` vs `scale_keys_lazy` rows of
+        // `BENCH_baseline.json`.
+        let delivered: Vec<(SourceId, Arc<Event>)> = skew_shift_keyed(2_000, 12)
+            .into_iter()
+            .map(|ev| (SourceId::MERGED, ev))
+            .collect();
+        let run = |planner: PlannerKind| {
+            let set = scale_pattern_set(planner);
+            let sink = Arc::new(CollectingSink::new());
+            let mut runtime = ShardedRuntime::new(
+                &set,
+                Arc::new(LastAttrKeyExtractor),
+                Arc::clone(&sink) as _,
+                StreamConfig {
+                    shards: 2,
+                    ..StreamConfig::default()
+                },
+            )
+            .expect("scale runtime configuration is valid");
+            for chunk in delivered.chunks(4_096) {
+                runtime.push_tagged(chunk);
+            }
+            let stats = runtime.finish();
+            let mut lines: Vec<(u32, u64, MatchKey)> = sink
+                .drain()
+                .into_iter()
+                .map(|m| (m.query.0, m.key, m.matched.key()))
+                .collect();
+            lines.sort();
+            (stats.total_partials_live(), lines)
+        };
+        let (eager_partials, eager_lines) = run(PlannerKind::Greedy);
+        let (lazy_partials, lazy_lines) = run(PlannerKind::LazyChain);
+        assert!(
+            !eager_lines.is_empty(),
+            "the scale workload must complete matches"
+        );
+        assert_eq!(
+            lazy_lines, eager_lines,
+            "the plan kind must not change the match multiset"
+        );
+        assert!(
+            eager_partials >= 5 * lazy_partials.max(1),
+            "lazy chain must collapse partials at least 5x: eager {eager_partials}, lazy {lazy_partials}"
+        );
     }
 
     #[test]
@@ -1335,24 +1518,26 @@ mod tests {
     #[test]
     fn diff_semantic_drift_is_an_error_not_a_warning() {
         let base = "\
-{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 50, \"partials_live\": 7}\n\
-{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 7}\n";
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 50, \"partials_live\": 7, \"buffered_events\": 3}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 7, \"buffered_events\": 3}\n";
         // Identical semantics, slower within tolerance → clean.
         let ok = "\
-{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 950.0, \"matches\": 50, \"partials_live\": 7}\n\
-{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 880.0, \"matches\": 50, \"partials_live\": 7}\n";
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 950.0, \"matches\": 50, \"partials_live\": 7, \"buffered_events\": 3}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 880.0, \"matches\": 50, \"partials_live\": 7, \"buffered_events\": 3}\n";
         assert!(diff_reports(ok, base, 20.0).is_clean());
-        // Match drift on one point, partials drift on the other: two
-        // errors even though every throughput is within tolerance.
+        // Match drift on one point, partials and buffered-events drift
+        // on the other: three errors even though every throughput is
+        // within tolerance.
         let drifted = "\
-{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 49, \"partials_live\": 7}\n\
-{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 8}\n";
+{\"strategy\": \"merged\", \"bound\": 0, \"throughput_eps\": 1000.0, \"matches\": 49, \"partials_live\": 7, \"buffered_events\": 3}\n\
+{\"strategy\": \"merged\", \"bound\": 16, \"throughput_eps\": 900.0, \"matches\": 50, \"partials_live\": 8, \"buffered_events\": 4}\n";
         let diff = diff_reports(drifted, base, 20.0);
         assert!(diff.warnings.is_empty(), "{diff:?}");
-        assert_eq!(diff.errors.len(), 2, "{diff:?}");
+        assert_eq!(diff.errors.len(), 3, "{diff:?}");
         assert!(diff.errors[0].contains("match count drifted"));
         assert!(diff.errors[0].contains("49 vs 50"));
         assert!(diff.errors[1].contains("partials_live drifted"));
+        assert!(diff.errors[2].contains("buffered_events drifted"));
         // Old-format baselines without the fields stay comparable:
         // nothing to check semantically, so no error.
         let old = "\

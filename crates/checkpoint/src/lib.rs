@@ -3,12 +3,13 @@
 //! Versioned, incremental per-shard checkpoints and crash recovery for
 //! the acep streaming runtime.
 //!
-//! The crate defines the `acep-checkpoint-v1` wire format — an
+//! The crate defines the `acep-checkpoint-v2` wire format — an
 //! append-only log of per-shard state frames sealed by manifests — and
 //! the snapshot record types mirroring every structure a shard worker
 //! must survive a crash with: per-(key, query) engine arenas
 //! ([`PartialRec`] frontiers, [`FinalizerRec`] pending entries),
-//! controller plan epochs ([`ControllerRec`]), reorder-buffer contents
+//! controller plan epochs and statistics-collector state
+//! ([`ControllerRec`]), reorder-buffer contents
 //! and per-source watermarks ([`ReorderRec`]), and the per-shard
 //! emitted-match frontier (`emit_seq` in [`CountersRec`]) that lets a
 //! deduplicating sink make replay exactly-once.
@@ -38,7 +39,8 @@ pub use codec::{fnv64, CheckpointError, Reader, Writer};
 pub use event_table::{EventMap, EventRec, EventTable, ValueRec};
 pub use log::{CheckpointLog, Manifest, MAGIC};
 pub use rec::{
-    decode_plan, encode_plan, BranchCtlRec, BufferRec, ControllerRec, CountersRec, ExecutorRec,
-    FinalizerRec, GenerationRec, KeyStateRec, KeyedEngineRec, MigratingRec, OrderExecRec,
-    PartialRec, PendingRec, ReorderRec, ShardCheckpoint, StatsRec, TreeExecRec,
+    decode_plan, encode_plan, BranchCtlRec, BufferRec, CollectorRec, ControllerRec, CountersRec,
+    ExecutorRec, FinalizerRec, GenerationRec, KeyStateRec, KeyedEngineRec, LazyExecRec,
+    MigratingRec, OrderExecRec, PartialRec, PendingRec, RateRec, ReorderRec, ShardCheckpoint,
+    StatsRec, TreeExecRec,
 };

@@ -1,7 +1,7 @@
 //! The append-only checkpoint log.
 //!
 //! ```text
-//! [magic "acep-checkpoint-v1"]
+//! [magic "acep-checkpoint-v2"]
 //! frame*            where frame =
 //!   [kind u8] [checkpoint_id u64] [shard u32] [len u32] [crc u64] [payload]
 //! ```
@@ -28,8 +28,12 @@ use crate::codec::{fnv64, CheckpointError, Reader, Writer};
 use crate::event_table::EventMap;
 use crate::rec::ShardCheckpoint;
 
-/// The wire-format magic, doubling as the version marker.
-pub const MAGIC: &[u8] = b"acep-checkpoint-v1";
+/// The wire-format magic, doubling as the version marker. `v2` added
+/// the statistics-collector state to [`ControllerRec`]
+/// (`collector`, `last_step_ts`); `v1` logs are rejected at open.
+///
+/// [`ControllerRec`]: crate::ControllerRec
+pub const MAGIC: &[u8] = b"acep-checkpoint-v2";
 
 const KIND_SHARD: u8 = 1;
 const KIND_MANIFEST: u8 = 2;

@@ -11,7 +11,7 @@
 //! [`EventTable`](crate::EventTable); nothing here embeds an event
 //! payload.
 
-use acep_plan::{EvalPlan, OrderPlan, TreeNode, TreePlan};
+use acep_plan::{EvalPlan, LazyPlan, OrderPlan, TreeNode, TreePlan};
 
 use crate::codec::{CheckpointError, Reader, Writer};
 use crate::event_table::EventRec;
@@ -60,6 +60,13 @@ pub fn encode_plan(w: &mut Writer, plan: &EvalPlan) {
             }
             w.put_usize(p.root);
         }
+        EvalPlan::Lazy(p) => {
+            w.put_u8(2);
+            w.put_usize(p.order.len());
+            for &s in &p.order {
+                w.put_usize(s);
+            }
+        }
     }
 }
 
@@ -91,6 +98,14 @@ pub fn decode_plan(r: &mut Reader<'_>) -> Result<EvalPlan, CheckpointError> {
             }
             let root = r.get_usize()?;
             EvalPlan::Tree(TreePlan { nodes, root })
+        }
+        2 => {
+            let n = r.get_len()?;
+            let mut order = Vec::with_capacity(n);
+            for _ in 0..n {
+                order.push(r.get_usize()?);
+            }
+            EvalPlan::Lazy(LazyPlan { order })
         }
         _ => return Err(CheckpointError::BadValue("plan tag")),
     })
@@ -388,13 +403,60 @@ impl TreeExecRec {
     }
 }
 
-/// Either executor kind's state.
+/// A lazy-chain executor's live state. Trigger deadlines are not
+/// serialized: each is recomputed on restore as the trigger event's
+/// timestamp plus the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LazyExecRec {
+    /// Per-join-position event buffers (join-order indexed).
+    pub buffers: Vec<BufferRec>,
+    /// Pending trigger event seqs, arrival order.
+    pub triggers: Vec<u64>,
+    /// The finalization stage.
+    pub finalizer: FinalizerRec,
+    /// Predicate evaluations so far.
+    pub comparisons: u64,
+    /// Events since the last expiry sweep.
+    pub events_since_sweep: u64,
+}
+
+impl LazyExecRec {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.buffers.len());
+        for b in &self.buffers {
+            b.encode(w);
+        }
+        encode_vec_u64(w, &self.triggers);
+        self.finalizer.encode(w);
+        w.put_u64(self.comparisons);
+        w.put_u64(self.events_since_sweep);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let n = r.get_len()?;
+        let mut buffers = Vec::with_capacity(n);
+        for _ in 0..n {
+            buffers.push(BufferRec::decode(r)?);
+        }
+        Ok(Self {
+            buffers,
+            triggers: decode_vec_u64(r)?,
+            finalizer: FinalizerRec::decode(r)?,
+            comparisons: r.get_u64()?,
+            events_since_sweep: r.get_u64()?,
+        })
+    }
+}
+
+/// Any executor kind's state.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecutorRec {
     /// Order-based executor.
     Order(OrderExecRec),
     /// Tree-based executor.
     Tree(TreeExecRec),
+    /// Lazy-chain executor.
+    Lazy(LazyExecRec),
 }
 
 impl ExecutorRec {
@@ -408,6 +470,10 @@ impl ExecutorRec {
                 w.put_u8(1);
                 e.encode(w);
             }
+            ExecutorRec::Lazy(e) => {
+                w.put_u8(2);
+                e.encode(w);
+            }
         }
     }
 
@@ -415,6 +481,7 @@ impl ExecutorRec {
         Ok(match r.get_u8()? {
             0 => ExecutorRec::Order(OrderExecRec::decode(r)?),
             1 => ExecutorRec::Tree(TreeExecRec::decode(r)?),
+            2 => ExecutorRec::Lazy(LazyExecRec::decode(r)?),
             _ => return Err(CheckpointError::BadValue("executor tag")),
         })
     }
@@ -602,11 +669,131 @@ impl StatsRec {
     }
 }
 
-/// A per-(shard, query) controller: deployed plans, epochs, and
-/// adaptation counters. The statistics collector restarts fresh after
-/// recovery — the emitted-match multiset is plan-trajectory-invariant,
-/// so re-learning statistics cannot change *what* is detected, only
-/// which plan detects it.
+/// One rate estimator's state inside a [`CollectorRec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateRec {
+    /// Exact ring buffer: retained in-window arrival timestamps (oldest
+    /// first) and the warm-up anchor.
+    Exact {
+        /// Retained arrival timestamps, oldest first.
+        times: Vec<u64>,
+        /// Timestamp of the first observation ever.
+        first_ts: Option<u64>,
+    },
+    /// DGIM histogram: `(bucket size, newest-arrival ts)` pairs (oldest
+    /// bucket first) and the warm-up anchor.
+    Dgim {
+        /// Bucket list, oldest bucket first.
+        buckets: Vec<(u64, u64)>,
+        /// Timestamp of the first observation ever.
+        first_ts: Option<u64>,
+    },
+}
+
+impl RateRec {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        match self {
+            RateRec::Exact { times, first_ts } => {
+                w.put_u8(0);
+                encode_vec_u64(w, times);
+                w.put_opt_u64(*first_ts);
+            }
+            RateRec::Dgim { buckets, first_ts } => {
+                w.put_u8(1);
+                w.put_usize(buckets.len());
+                for &(size, ts) in buckets {
+                    w.put_u64(size);
+                    w.put_u64(ts);
+                }
+                w.put_opt_u64(*first_ts);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        Ok(match r.get_u8()? {
+            0 => RateRec::Exact {
+                times: decode_vec_u64(r)?,
+                first_ts: r.get_opt_u64()?,
+            },
+            1 => {
+                let n = r.get_len()?;
+                let mut buckets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buckets.push((r.get_u64()?, r.get_u64()?));
+                }
+                RateRec::Dgim {
+                    buckets,
+                    first_ts: r.get_opt_u64()?,
+                }
+            }
+            _ => return Err(CheckpointError::BadValue("rate estimator tag")),
+        })
+    }
+}
+
+/// A controller's statistics collector: per-type rate-estimator state
+/// and per-type samples (event seq references into the shard's event
+/// table).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollectorRec {
+    /// Total events the collector observed.
+    pub events_observed: u64,
+    /// Per-type rate-estimator state, type index order.
+    pub rates: Vec<RateRec>,
+    /// Per-type sampled events as seq references (oldest first), type
+    /// index order.
+    pub samples: Vec<Vec<u64>>,
+}
+
+impl CollectorRec {
+    pub(crate) fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.events_observed);
+        w.put_usize(self.rates.len());
+        for rate in &self.rates {
+            rate.encode(w);
+        }
+        w.put_usize(self.samples.len());
+        for sample in &self.samples {
+            encode_vec_u64(w, sample);
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
+        let events_observed = r.get_u64()?;
+        let n = r.get_len()?;
+        let mut rates = Vec::with_capacity(n);
+        for _ in 0..n {
+            rates.push(RateRec::decode(r)?);
+        }
+        let n = r.get_len()?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(decode_vec_u64(r)?);
+        }
+        Ok(Self {
+            events_observed,
+            rates,
+            samples,
+        })
+    }
+}
+
+/// A per-(shard, query) controller: deployed plans, epochs, adaptation
+/// counters, and the statistics collector's state.
+///
+/// The collector is captured (since `acep-checkpoint-v2`) so a
+/// recovered controller replays the exact snapshot trajectory of the
+/// crashed incarnation. For eager executors that is belt-and-braces —
+/// their emission times are plan-independent, so any plan trajectory
+/// detects the same multiset at the same times. Lazy-chain executors,
+/// however, emit when a *trigger's* window closes, and the trigger slot
+/// is the plan's statistics-chosen first join position: replaying a
+/// different plan trajectory after recovery would reorder emissions and
+/// break frontier-based deduplication. Armed decision-function state
+/// still restarts fresh; policies whose decisions derive purely from
+/// the (restored) snapshot trajectory — e.g. unconditional
+/// re-optimization — replay exactly.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ControllerRec {
     /// Per-branch deployed plans.
@@ -616,6 +803,11 @@ pub struct ControllerRec {
     /// `stats.events` value at the most recent deployment (drives
     /// migration staggering).
     pub last_deploy_event: u64,
+    /// The statistics collector's state.
+    pub collector: CollectorRec,
+    /// Event time of the most recent control step (anchors the
+    /// time-based control cadence).
+    pub last_step_ts: u64,
 }
 
 impl ControllerRec {
@@ -626,6 +818,8 @@ impl ControllerRec {
         }
         self.stats.encode(w);
         w.put_u64(self.last_deploy_event);
+        self.collector.encode(w);
+        w.put_u64(self.last_step_ts);
     }
 
     pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Self, CheckpointError> {
@@ -638,6 +832,8 @@ impl ControllerRec {
             branches,
             stats: StatsRec::decode(r)?,
             last_deploy_event: r.get_u64()?,
+            collector: CollectorRec::decode(r)?,
+            last_step_ts: r.get_u64()?,
         })
     }
 }
@@ -948,6 +1144,21 @@ mod tests {
                     ..StatsRec::default()
                 },
                 last_deploy_event: 64,
+                collector: CollectorRec {
+                    events_observed: 100,
+                    rates: vec![
+                        RateRec::Exact {
+                            times: vec![10, 20, 400],
+                            first_ts: Some(10),
+                        },
+                        RateRec::Dgim {
+                            buckets: vec![(4, 15), (2, 30), (1, 400)],
+                            first_ts: Some(5),
+                        },
+                    ],
+                    samples: vec![vec![40], vec![]],
+                },
+                last_step_ts: 400,
             }],
             keys: vec![KeyStateRec {
                 key: 5,
@@ -1018,12 +1229,37 @@ mod tests {
     }
 
     #[test]
+    fn lazy_executor_rec_round_trips() {
+        let rec = ExecutorRec::Lazy(LazyExecRec {
+            buffers: vec![BufferRec { seqs: vec![1, 2] }, BufferRec::default()],
+            triggers: vec![2, 7],
+            finalizer: FinalizerRec {
+                neg: vec![],
+                kleene: vec![],
+                seen: None,
+                pending: vec![],
+                comparisons: 3,
+            },
+            comparisons: 21,
+            events_since_sweep: 5,
+        });
+        let mut w = Writer::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = ExecutorRec::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
     fn plan_round_trips() {
         for plan in [
             EvalPlan::Order(OrderPlan {
                 order: vec![1, 0, 3, 2],
             }),
             EvalPlan::Tree(TreePlan::leaf(0)),
+            EvalPlan::Lazy(LazyPlan {
+                order: vec![2, 0, 1],
+            }),
         ] {
             let mut w = Writer::new();
             encode_plan(&mut w, &plan);

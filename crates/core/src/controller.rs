@@ -30,10 +30,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acep_checkpoint::{BranchCtlRec, CheckpointError, ControllerRec, StatsRec};
+use acep_checkpoint::{
+    BranchCtlRec, CheckpointError, CollectorRec, ControllerRec, EventMap, EventTable, RateRec,
+    StatsRec,
+};
 use acep_engine::{build_executor, ExecContext, Executor};
 use acep_plan::{CollectingRecorder, EvalPlan, Planner};
-use acep_stats::{SharedSnapshot, StatisticsCollector};
+use acep_stats::{CollectorState, RateState, SharedSnapshot, StatisticsCollector};
 use acep_telemetry::{
     snapshot_hash, Histogram, Record, ReplanOutcome as ReplanVerdict, ShardRecorder, TelemetryEvent,
 };
@@ -121,6 +124,11 @@ pub struct QueryController {
     /// Drives [`events_since_deployment`](Self::events_since_deployment)
     /// for migration staggering; `0` until the first deployment.
     last_deploy_event: u64,
+    /// Event time of the most recent control step — the reference point
+    /// of the optional time-based cadence
+    /// ([`AdaptiveConfig::control_interval_ms`]); `0` before the first
+    /// step.
+    last_step_ts: Timestamp,
     /// Telemetry producer handle (`None` = not recording) and the
     /// query tag stamped on records. Only touched at control-step
     /// cadence — the per-event path never sees it.
@@ -162,6 +170,7 @@ impl QueryController {
             branches,
             stats: AdaptationStats::default(),
             last_deploy_event: 0,
+            last_step_ts: 0,
             recorder: None,
             query_tag: 0,
         }
@@ -180,16 +189,25 @@ impl QueryController {
 
     /// Feeds one relevant event into the statistics estimators and,
     /// every `control_interval` events past warmup, runs one control
-    /// step. Returns whether a control step ran — hosts piggy-back
-    /// bounded housekeeping (idle-key generation retirement) on that
-    /// cadence.
+    /// step. With [`AdaptiveConfig::control_interval_ms`] set, a step
+    /// also runs when that much event time has passed since the last
+    /// one — whichever cadence comes due first (each step resets both).
+    /// Returns whether a control step ran — hosts piggy-back bounded
+    /// housekeeping (idle-key generation retirement) on that cadence.
     #[allow(clippy::manual_is_multiple_of)] // `%` keeps the 1.82 MSRV
     pub fn observe(&mut self, ev: &Arc<Event>) -> bool {
         self.collector.observe(ev);
         self.stats.events += 1;
-        if self.stats.events >= self.config.warmup_events
-            && self.stats.events % self.config.control_interval == 0
-        {
+        if self.stats.events < self.config.warmup_events {
+            return false;
+        }
+        let count_due = self.stats.events % self.config.control_interval == 0;
+        let time_due = self
+            .config
+            .control_interval_ms
+            .is_some_and(|ms| ev.timestamp >= self.last_step_ts.saturating_add(ms));
+        if count_due || time_due {
+            self.last_step_ts = ev.timestamp;
             self.control_step(ev.timestamp);
             true
         } else {
@@ -409,16 +427,24 @@ impl QueryController {
     }
 
     /// Serializes the controller's recoverable state: deployed plans,
-    /// epochs, and adaptation counters.
+    /// epochs, adaptation counters, and the statistics collector
+    /// (sample events are interned into `table`).
     ///
-    /// The statistics collector, the armed decision-function state, and
-    /// the timing histograms are deliberately **not** captured — they
-    /// restart fresh after recovery. This is sound because the emitted
-    /// match multiset is plan-trajectory-invariant (pinned by the
-    /// `controller_equivalence` goldens): a recovered run may adapt
-    /// along a different plan trajectory than the uninterrupted run,
-    /// but it detects exactly the same matches.
-    pub fn export_rec(&self) -> ControllerRec {
+    /// The collector is captured so the recovered controller replays
+    /// the crashed incarnation's snapshot trajectory. Eager executors
+    /// would tolerate a fresh collector — their emission times are
+    /// plan-independent, so the match multiset is plan-trajectory-
+    /// invariant (pinned by the `controller_equivalence` goldens). Lazy
+    /// executors emit when a *trigger's* window closes, and the trigger
+    /// slot is the plan's statistics-chosen first join position:
+    /// replaying a different plan trajectory would reorder emissions
+    /// and break frontier-based deduplication on replay. Armed
+    /// decision-function state and timing histograms still restart
+    /// fresh — only policies whose decisions derive purely from the
+    /// (restored) snapshot trajectory, such as unconditional
+    /// re-optimization, are replay-exact.
+    pub fn export_rec(&self, table: &mut EventTable) -> ControllerRec {
+        let state = self.collector.export_state();
         ControllerRec {
             branches: self
                 .branches
@@ -440,14 +466,38 @@ impl QueryController {
                 planning_time_us: self.stats.planning_time.as_micros().min(u64::MAX as u128) as u64,
             },
             last_deploy_event: self.last_deploy_event,
+            collector: CollectorRec {
+                events_observed: state.events_observed,
+                rates: state
+                    .rates
+                    .into_iter()
+                    .map(|r| match r {
+                        RateState::Exact { times, first_ts } => RateRec::Exact { times, first_ts },
+                        RateState::Dgim { buckets, first_ts } => {
+                            RateRec::Dgim { buckets, first_ts }
+                        }
+                    })
+                    .collect(),
+                samples: state
+                    .samples
+                    .iter()
+                    .map(|evs| evs.iter().map(|ev| table.intern(ev)).collect())
+                    .collect(),
+            },
+            last_step_ts: self.last_step_ts,
         }
     }
 
     /// Restores the state captured by [`export_rec`](Self::export_rec)
-    /// into a freshly templated controller. Plans, epochs, and counters
-    /// come back exactly; the statistics collector and policy state
-    /// restart fresh (see `export_rec` for why that is sound).
-    pub fn import_rec(&mut self, rec: &ControllerRec) -> Result<(), CheckpointError> {
+    /// into a freshly templated controller, resolving sampled events
+    /// through `events`. Plans, epochs, counters, and the statistics
+    /// collector come back exactly; policy state restarts fresh (see
+    /// `export_rec` for the boundary).
+    pub fn import_rec(
+        &mut self,
+        rec: &ControllerRec,
+        events: &EventMap,
+    ) -> Result<(), CheckpointError> {
         if rec.branches.len() != self.branches.len() {
             return Err(CheckpointError::BadValue("controller branch count"));
         }
@@ -469,6 +519,35 @@ impl QueryController {
             control_step_us: Histogram::default(),
         };
         self.last_deploy_event = rec.last_deploy_event;
+        let samples = rec
+            .collector
+            .samples
+            .iter()
+            .map(|seqs| seqs.iter().map(|&s| events.get(s)).collect())
+            .collect::<Result<Vec<Vec<Arc<Event>>>, CheckpointError>>()?;
+        let state = CollectorState {
+            events_observed: rec.collector.events_observed,
+            rates: rec
+                .collector
+                .rates
+                .iter()
+                .map(|r| match r {
+                    RateRec::Exact { times, first_ts } => RateState::Exact {
+                        times: times.clone(),
+                        first_ts: *first_ts,
+                    },
+                    RateRec::Dgim { buckets, first_ts } => RateState::Dgim {
+                        buckets: buckets.clone(),
+                        first_ts: *first_ts,
+                    },
+                })
+                .collect(),
+            samples,
+        };
+        self.collector
+            .import_state(state)
+            .map_err(CheckpointError::BadValue)?;
+        self.last_step_ts = rec.last_step_ts;
         Ok(())
     }
 }
@@ -620,6 +699,68 @@ mod tests {
     }
 
     #[test]
+    fn time_based_cadence_fires_between_count_intervals() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        // Event-count cadence effectively disabled: only the time-based
+        // branch can run control steps.
+        let starve = AdaptiveConfig {
+            control_interval: u64::MAX / 2,
+            ..config()
+        };
+        let timed = AdaptiveConfig {
+            control_interval_ms: Some(500),
+            ..starve.clone()
+        };
+        let stream = skewed_stream(600);
+
+        let mut ctl = EngineTemplate::new(&p, 3, starve).unwrap().controller();
+        let mut steps = 0;
+        for e in &stream {
+            steps += u64::from(ctl.observe(e));
+        }
+        assert_eq!(steps, 0, "count cadence alone must starve");
+        assert_eq!(ctl.epoch(0), 0);
+
+        let mut ctl = EngineTemplate::new(&p, 3, timed).unwrap().controller();
+        let mut steps = 0;
+        for e in &stream {
+            steps += u64::from(ctl.observe(e));
+        }
+        // ~6000ms of post-warmup event time / 500ms per step.
+        assert!(steps >= 5, "time cadence must keep deciding (got {steps})");
+        assert!(
+            ctl.epoch(0) > 0,
+            "initial optimization must deploy the skew-adapted plan"
+        );
+        assert!(ctl.stats().decision_evals > 0);
+    }
+
+    #[test]
+    fn lazy_chain_planner_deploys_rarest_first_lazy_plan() {
+        let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
+        let cfg = AdaptiveConfig {
+            planner: acep_plan::PlannerKind::LazyChain,
+            ..config()
+        };
+        let template = EngineTemplate::new(&p, 3, cfg).unwrap();
+        let mut ctl = template.controller();
+        let mut eng = ctl.new_engine();
+        let mut out = Vec::new();
+        for e in skewed_stream(800) {
+            ctl.observe(&e);
+            eng.on_event(&ctl, &e, &mut out);
+        }
+        eng.finish(&mut out);
+        match ctl.plan(0) {
+            acep_plan::EvalPlan::Lazy(l) => {
+                assert_eq!(l.order[0], 2, "rarest type leads: {:?}", l.order)
+            }
+            other => panic!("lazy-chain planner must deploy lazy plans, got {other:?}"),
+        }
+        assert!(!out.is_empty(), "lazy engine must detect matches");
+    }
+
+    #[test]
     fn controller_and_engine_checkpoint_round_trip() {
         let p = Pattern::sequence("p", &[t(0), t(1), t(2)], 500);
         let template = EngineTemplate::new(&p, 3, config()).unwrap();
@@ -634,8 +775,8 @@ mod tests {
         }
         assert!(ctl.epoch(0) > 0, "skew must deploy before the checkpoint");
 
-        let crec = ctl.export_rec();
         let mut table = acep_checkpoint::EventTable::new();
+        let crec = ctl.export_rec(&mut table);
         let erec = eng.export_rec(&mut table);
         let mut map = acep_checkpoint::EventMap::new();
         for r in table.into_records() {
@@ -643,7 +784,7 @@ mod tests {
         }
 
         let mut ctl2 = template.controller();
-        ctl2.import_rec(&crec).unwrap();
+        ctl2.import_rec(&crec, &map).unwrap();
         let mut eng2 = KeyedEngine::restore(&ctl2, 42, &erec, &map).unwrap();
         assert_eq!(ctl2.epoch(0), ctl.epoch(0));
         assert_eq!(ctl2.stats().plan_epoch, ctl.stats().plan_epoch);
@@ -653,9 +794,9 @@ mod tests {
         assert_eq!(eng2.comparisons(), eng.comparisons());
 
         // The restored pair must emit the same matches on the same
-        // suffix — even though the restored controller re-learns
-        // statistics from scratch (the match multiset is
-        // plan-trajectory-invariant).
+        // suffix — with the collector restored, both controllers see
+        // identical snapshots, so their plan trajectories stay in
+        // lockstep as well.
         let (mut o1, mut o2) = (Vec::new(), Vec::new());
         for e in &full[prefix_len..] {
             ctl.observe(e);

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use acep_checkpoint::{CheckpointError, EventMap, EventTable, KeyedEngineRec};
-use acep_engine::{Match, MigratingExecutor};
+use acep_engine::{Match, MigratingExecutor, SharedSeen};
 use acep_types::{mix64, Event, Timestamp};
 
 use crate::controller::QueryController;
@@ -54,7 +54,7 @@ impl KeyedEngine {
     /// Builds the engine for partition `key` running `controller`'s
     /// current plans at the current epochs (no migration debt).
     pub(crate) fn from_controller_keyed(controller: &QueryController, key: u64) -> Self {
-        let branches = (0..controller.num_branches())
+        let mut branches: Vec<MigratingExecutor> = (0..controller.num_branches())
             .map(|b| {
                 MigratingExecutor::with_epoch(
                     controller.branch_window(b),
@@ -64,12 +64,28 @@ impl KeyedEngine {
                 )
             })
             .collect();
+        Self::share_seen_ring(&mut branches);
         Self {
             branches,
             key,
             last_ts: 0,
             events: 0,
             matches: 0,
+        }
+    }
+
+    /// Points every branch's restrictive-policy finalizer at one shared
+    /// per-key seen-event ring: every branch observes the identical
+    /// event sequence, so the private rings were redundant copies. New
+    /// generations spliced in by later migrations inherit the ring
+    /// through the finalizer-history handoff. The local handle is
+    /// dropped deliberately — a permanently idle sharer would pin the
+    /// ring's prune cutoff at zero. No-op for non-restrictive policies
+    /// (no finalizer keeps a ring to share).
+    fn share_seen_ring(branches: &mut [MigratingExecutor]) {
+        let ring = SharedSeen::new();
+        for b in branches {
+            b.share_seen(&ring);
         }
     }
 
@@ -189,6 +205,15 @@ impl KeyedEngine {
             .sum()
     }
 
+    /// Events held in per-position history buffers across branches and
+    /// generations (the lazy executor's primary stored state).
+    pub fn buffered_events(&self) -> usize {
+        self.branches
+            .iter()
+            .map(MigratingExecutor::buffered_events)
+            .sum()
+    }
+
     /// Join/predicate comparisons across branches.
     pub fn comparisons(&self) -> u64 {
         self.branches
@@ -241,6 +266,10 @@ impl KeyedEngine {
                 events,
             )?);
         }
+        // Restored finalizers come back with private rings (the record
+        // holds each one's contents); re-share them — the merge is
+        // idempotent, so the shared ring ends up with exactly the union.
+        Self::share_seen_ring(&mut branches);
         Ok(Self {
             branches,
             key,

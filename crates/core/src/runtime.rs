@@ -42,6 +42,14 @@ pub struct AdaptiveConfig {
     /// engine would — and pays the snapshot/decision cost at that rate.
     /// Hosts with high-volume shards can scale this up accordingly.
     pub control_interval: u64,
+    /// Optional time-based decision cadence: when set, a control step
+    /// also runs once at least this many milliseconds of *event time*
+    /// have passed since the previous step (past warmup), even if fewer
+    /// than [`control_interval`](Self::control_interval) events arrived.
+    /// Bounds the decision latency of sparse or bursty shards — a rate
+    /// collapse is itself the signal that event-count cadence reacts to
+    /// slowest. `None` (the default) keeps the pure event-count cadence.
+    pub control_interval_ms: Option<u64>,
     /// Events before the one-off *initial optimization*: every policy —
     /// including `static` — gets one plan built from the first real
     /// statistics, modeling the paper's initially-tuned plans. Also
@@ -75,6 +83,7 @@ impl Default for AdaptiveConfig {
             planner: PlannerKind::Greedy,
             policy: PolicyKind::Invariant(Default::default()),
             control_interval: 64,
+            control_interval_ms: None,
             warmup_events: 512,
             min_improvement: 0.0,
             migration_stagger: 0,
@@ -162,6 +171,11 @@ impl EngineTemplate {
         if config.control_interval == 0 {
             return Err(AcepError::InvalidConfig(
                 "control_interval must be positive".into(),
+            ));
+        }
+        if config.control_interval_ms == Some(0) {
+            return Err(AcepError::InvalidConfig(
+                "control_interval_ms must be positive when set".into(),
             ));
         }
         let canonical = pattern.canonical().clone();

@@ -8,6 +8,7 @@ use acep_types::{Event, Timestamp};
 
 use crate::context::ExecContext;
 use crate::finalize::FinalizerHistory;
+use crate::lazy_exec::LazyExecutor;
 use crate::matches::Match;
 use crate::order_exec::OrderExecutor;
 use crate::tree_exec::TreeExecutor;
@@ -43,6 +44,22 @@ pub trait Executor: Send {
     /// metric).
     fn partial_count(&self) -> usize;
 
+    /// Events currently held in the executor's per-position history
+    /// buffers (the lazy executor's primary stored state; eager
+    /// executors report their join-position buffers for comparison).
+    /// Defaults to 0 for executors without event buffers.
+    fn buffered_events(&self) -> usize {
+        0
+    }
+
+    /// Attaches the per-key shared seen-event ring (see
+    /// [`SharedSeen`](crate::selection::SharedSeen)), merging any
+    /// privately logged events into it. No-op for executors that keep
+    /// no seen log (non-restrictive selection policies).
+    fn share_seen(&mut self, shared: &crate::selection::SharedSeen) {
+        let _ = shared;
+    }
+
     /// Binding nodes currently allocated in the executor's
     /// partial-match arena, live *and* garbage awaiting compaction —
     /// the actual memory footprint behind
@@ -75,6 +92,7 @@ pub fn build_executor(ctx: Arc<ExecContext>, plan: &EvalPlan) -> Box<dyn Executo
     match plan {
         EvalPlan::Order(p) => Box::new(OrderExecutor::new(ctx, p)),
         EvalPlan::Tree(p) => Box::new(TreeExecutor::new(ctx, p)),
+        EvalPlan::Lazy(p) => Box::new(LazyExecutor::new(ctx, p)),
     }
 }
 
@@ -94,6 +112,9 @@ pub fn restore_executor(
         }
         (EvalPlan::Tree(p), ExecutorRec::Tree(r)) => {
             Ok(Box::new(TreeExecutor::restore(ctx, p, r, events)?))
+        }
+        (EvalPlan::Lazy(p), ExecutorRec::Lazy(r)) => {
+            Ok(Box::new(LazyExecutor::restore(ctx, p, r, events)?))
         }
         _ => Err(CheckpointError::BadValue("plan/executor kind mismatch")),
     }

@@ -33,7 +33,7 @@ use acep_types::{Event, SubKind, Timestamp};
 use crate::buffer::EventBuffer;
 use crate::context::{ExecContext, NegGuard, PartialBinding};
 use crate::matches::Match;
-use crate::selection::{self, SeenLog};
+use crate::selection::{self, SeenRef, SharedSeen};
 
 /// Event history needed by negation/Kleene finalization; transferable
 /// between plan generations.
@@ -44,10 +44,12 @@ pub struct FinalizerHistory {
     /// One buffer per Kleene slot.
     pub kleene: Vec<EventBuffer>,
     /// Engine-delivered event log for restrictive selection policies
-    /// (`None` under the default skip-till-any). Transfers on plan
-    /// migration so a fresh generation can validate matches whose
-    /// leading members (e.g. a leading Kleene set) predate deployment.
-    pub seen: Option<SeenLog>,
+    /// (`None` under the default skip-till-any). A handle to the per-key
+    /// shared ring: cloning on export registers the importing generation
+    /// as a sharer, so migration transfers the log without copying it
+    /// and a fresh generation can validate matches whose leading members
+    /// (e.g. a leading Kleene set) predate deployment.
+    pub seen: Option<SharedSeen>,
 }
 
 /// A completed positive join combination, materialized out of the
@@ -101,31 +103,45 @@ pub struct Finalizer {
     pending: Vec<PendingMatch>,
     /// Cached minimum over `pending[..].deadline` (`None` when empty).
     min_deadline: Option<Timestamp>,
+    /// Retention span of the neg/Kleene history buffers. `W` for eager
+    /// executors (candidates are scanned on admission, which trails an
+    /// event by at most one window). The lazy executor passes `2W`: it
+    /// admits a trigger's combinations up to `W` after the trigger, so
+    /// candidates reach up to `2W` behind the admitting event.
+    retention: Timestamp,
     comparisons: u64,
 }
 
 impl Finalizer {
-    /// Creates a finalizer for the given compiled sub-pattern.
+    /// Creates a finalizer for the given compiled sub-pattern with the
+    /// default (eager-executor) history retention of one window.
     pub fn new(ctx: Arc<ExecContext>) -> Self {
         let window = ctx.window;
+        Self::with_history_retention(ctx, window)
+    }
+
+    /// Creates a finalizer whose neg/Kleene history buffers retain
+    /// `retention` of stream time (see the `retention` field).
+    pub fn with_history_retention(ctx: Arc<ExecContext>, retention: Timestamp) -> Self {
         let history = FinalizerHistory {
             neg: ctx
                 .negated
                 .iter()
-                .map(|_| EventBuffer::new(window))
+                .map(|_| EventBuffer::new(retention))
                 .collect(),
             kleene: ctx
                 .kleene_slots
                 .iter()
-                .map(|_| EventBuffer::new(window))
+                .map(|_| EventBuffer::new(retention))
                 .collect(),
-            seen: ctx.policy.is_restrictive().then(SeenLog::new),
+            seen: ctx.policy.is_restrictive().then(SharedSeen::new),
         };
         Self {
             ctx,
             history,
             pending: Vec::new(),
             min_deadline: None,
+            retention,
             comparisons: 0,
         }
     }
@@ -156,17 +172,52 @@ impl Finalizer {
         self.history.clone()
     }
 
-    /// Imports history exported from a previous plan's finalizer.
+    /// Imports history exported from a previous plan's finalizer. The
+    /// neg/Kleene buffers are rebuilt by re-pushing at *this*
+    /// finalizer's retention — the exporter may retain a different span
+    /// (eager `W` vs lazy `2W`), and an importing lazy finalizer must
+    /// not inherit an eager buffer's shorter expiry going forward.
     pub fn import_history(&mut self, history: FinalizerHistory) {
         debug_assert_eq!(history.neg.len(), self.history.neg.len());
         debug_assert_eq!(history.kleene.len(), self.history.kleene.len());
         debug_assert_eq!(history.seen.is_some(), self.history.seen.is_some());
-        self.history = history;
+        let rebuild = |src: &EventBuffer| {
+            let mut buf = EventBuffer::new(self.retention);
+            for ev in src.iter() {
+                buf.push(Arc::clone(ev));
+            }
+            buf
+        };
+        self.history.neg = history.neg.iter().map(rebuild).collect();
+        self.history.kleene = history.kleene.iter().map(rebuild).collect();
+        if let Some(imported) = history.seen {
+            // Adopt the exporter's shared ring (the handle is already a
+            // registered sharer); our own fresh ring deregisters on drop.
+            self.history.seen = Some(imported);
+        }
+    }
+
+    /// Joins the given per-key shared seen ring, merging anything this
+    /// finalizer's private ring already holds (restored checkpoints).
+    /// No-op under skip-till-any or when already on the same ring.
+    pub fn share_seen(&mut self, shared: &SharedSeen) {
+        let Some(own) = self.history.seen.take() else {
+            return;
+        };
+        if own.same_ring(shared) {
+            self.history.seen = Some(own);
+            return;
+        }
+        let handle = shared.clone();
+        for ev in own.read().iter() {
+            handle.push(Arc::clone(ev));
+        }
+        self.history.seen = Some(handle);
     }
 
     /// The engine-delivered event log (restrictive policies only).
-    pub fn seen(&self) -> Option<&SeenLog> {
-        self.history.seen.as_ref()
+    pub fn seen(&self) -> Option<SeenRef<'_>> {
+        self.history.seen.as_ref().map(SharedSeen::read)
     }
 
     /// Serializes the full finalizer state (history buffers, seen log,
@@ -209,7 +260,7 @@ impl Finalizer {
                 .history
                 .seen
                 .as_ref()
-                .map(|s| s.iter().map(|e| table.intern(e)).collect()),
+                .map(|s| s.read().iter().map(|e| table.intern(e)).collect()),
             pending,
             comparisons: self.comparisons,
         }
@@ -231,9 +282,9 @@ impl Finalizer {
         {
             return Err(CheckpointError::BadValue("finalizer shape"));
         }
-        let window = self.ctx.window;
+        let retention = self.retention;
         let restore_buf = |seqs: &[u64]| -> Result<EventBuffer, CheckpointError> {
-            let mut buf = EventBuffer::new(window);
+            let mut buf = EventBuffer::new(retention);
             for &seq in seqs {
                 buf.push(events.get(seq)?);
             }
@@ -245,12 +296,13 @@ impl Finalizer {
         for (buf, rec) in self.history.kleene.iter_mut().zip(&rec.kleene) {
             *buf = restore_buf(&rec.seqs)?;
         }
-        if let (Some(log), Some(seqs)) = (self.history.seen.as_mut(), rec.seen.as_ref()) {
-            let mut fresh = SeenLog::new();
+        if let (Some(ring), Some(seqs)) = (self.history.seen.as_ref(), rec.seen.as_ref()) {
+            // A restored finalizer starts on its own private (empty)
+            // ring; the host re-shares per key after restore, merging
+            // these entries idempotently.
             for &seq in seqs {
-                fresh.push(events.get(seq)?);
+                ring.push(events.get(seq)?);
             }
-            *log = fresh;
         }
         self.pending.clear();
         for pm in &rec.pending {
@@ -297,7 +349,7 @@ impl Finalizer {
         // admissions have `min_ts ≥ now − W` and members (including
         // leading Kleene events) reach at most `W` before a match's
         // `min_ts`, hence the two cutoff terms.
-        if let Some(seen) = self.history.seen.as_mut() {
+        if let Some(seen) = self.history.seen.as_ref() {
             seen.push(Arc::clone(ev));
             let mut cutoff = now.saturating_sub(self.ctx.window.saturating_mul(2));
             if let Some(floor) = self.pending.iter().map(|pm| pm.completed.min_ts).min() {
@@ -462,7 +514,7 @@ impl Finalizer {
         // Restrictive selection policies filter here — emit-time is the
         // single point of truth, so every plan emits the same multiset.
         if let Some(seen) = self.history.seen.as_ref() {
-            if !selection::validate(&self.ctx, &completed, &kleene_sets, seen) {
+            if !selection::validate(&self.ctx, &completed, &kleene_sets, &seen.read()) {
                 return;
             }
         }

@@ -8,6 +8,10 @@
 //!   following an [`OrderPlan`](acep_plan::OrderPlan).
 //! * [`tree_exec`] — the ZStream-style tree executor (paper Fig. 3):
 //!   events buffered at leaves, internal nodes joining child results.
+//! * [`lazy_exec`] — the lazy-chain executor: events buffered per join
+//!   position, chain construction deferred until a rare-slot trigger's
+//!   window closes, trading detection latency for near-zero live
+//!   partial-match state.
 //! * [`finalize`] — negation guards and Kleene-closure sets, applied as
 //!   plan post-processing (paper §4.1) with correct window semantics.
 //! * [`migration`] — live plan replacement (paper §2.2): overlapping
@@ -41,6 +45,7 @@ pub mod composite;
 pub mod context;
 pub mod executor;
 pub mod finalize;
+pub mod lazy_exec;
 pub mod matches;
 pub mod migration;
 pub mod order_exec;
@@ -54,10 +59,11 @@ pub use composite::StaticEngine;
 pub use context::{ExecContext, NegGuard, PartialBinding};
 pub use executor::{build_executor, restore_executor, Executor};
 pub use finalize::{Completed, Finalizer, FinalizerHistory};
+pub use lazy_exec::LazyExecutor;
 pub use matches::{Match, MatchKey};
 pub use migration::MigratingExecutor;
 pub use order_exec::OrderExecutor;
 pub use partial::{ChainBinding, Partial, PartialStore};
 pub use relevance::{QueryMask, RelevanceIndex};
-pub use selection::SeenLog;
+pub use selection::{SeenLog, SeenRef, SharedSeen};
 pub use tree_exec::TreeExecutor;

@@ -207,8 +207,21 @@ impl MigratingExecutor {
     }
 
     /// Retires generations whose ownership range has fully expired.
-    fn retire(&mut self, now: Timestamp) {
+    ///
+    /// The retiring generation is flushed first: a lazy executor may
+    /// still hold unfired triggers owing matches to this generation.
+    /// Every owed match is already complete — its events all carry
+    /// `max_ts < start_next + W < now` — so flushing emits it now,
+    /// while premature unowned completions are filtered out by the
+    /// ownership range (and re-produced by the owning generation at
+    /// its own pace). For eager executors the flush is a no-op: owned
+    /// pending matches were already emitted when their deadlines
+    /// passed.
+    fn retire(&mut self, now: Timestamp, out: &mut Vec<Match>) {
         while self.gens.len() >= 2 && self.gens[1].start.saturating_add(self.window) < now {
+            self.scratch.clear();
+            self.gens[0].exec.finish(&mut self.scratch);
+            self.emit_owned(0, out);
             let retired = self.gens.remove(0);
             self.retired_comparisons += retired.exec.comparisons();
         }
@@ -223,7 +236,7 @@ impl MigratingExecutor {
             self.gens[i].exec.on_event(ev, &mut self.scratch);
             self.emit_owned(i, out);
         }
-        self.retire(now);
+        self.retire(now, out);
     }
 
     /// Advances stream time to `now` in every live generation (see
@@ -235,7 +248,7 @@ impl MigratingExecutor {
             self.gens[i].exec.advance_time(now, &mut self.scratch);
             self.emit_owned(i, out);
         }
-        self.retire(now);
+        self.retire(now, out);
     }
 
     /// Flushes all generations at end of stream.
@@ -256,6 +269,22 @@ impl MigratingExecutor {
     /// [`Executor::arena_nodes`]).
     pub fn arena_nodes(&self) -> usize {
         self.gens.iter().map(|g| g.exec.arena_nodes()).sum()
+    }
+
+    /// Total events held in per-position history buffers across
+    /// generations (see [`Executor::buffered_events`]).
+    pub fn buffered_events(&self) -> usize {
+        self.gens.iter().map(|g| g.exec.buffered_events()).sum()
+    }
+
+    /// Attaches the per-key shared seen-event ring to every live
+    /// generation (see [`Executor::share_seen`]). New generations
+    /// inherit the ring through the history handoff in
+    /// [`replace_epoch`](Self::replace_epoch).
+    pub fn share_seen(&mut self, shared: &crate::selection::SharedSeen) {
+        for g in &mut self.gens {
+            g.exec.share_seen(shared);
+        }
     }
 
     /// Total comparisons across generations (monotonic: retired

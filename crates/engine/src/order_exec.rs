@@ -160,7 +160,14 @@ impl OrderExecutor {
             for i in 0..self.levels[pos - 1].len() {
                 let pm = self.levels[pos - 1][i];
                 self.comparisons += 1;
-                if compatible(&self.ctx, &self.store, &pm, slot, ev, self.finalizer.seen()) {
+                if compatible(
+                    &self.ctx,
+                    &self.store,
+                    &pm,
+                    slot,
+                    ev,
+                    self.finalizer.seen().as_deref(),
+                ) {
                     let ext = pm.extend(&mut self.store, slot, Arc::clone(ev));
                     self.cascade_stack.push((ext, pos + 1));
                 }
@@ -193,7 +200,7 @@ impl OrderExecutor {
                     &partial,
                     slot,
                     ev,
-                    self.finalizer.seen(),
+                    self.finalizer.seen().as_deref(),
                 ) {
                     let ext = partial.extend(&mut self.store, slot, Arc::clone(ev));
                     self.cascade_stack.push((ext, depth + 1));
@@ -253,6 +260,14 @@ impl Executor for OrderExecutor {
         self.levels.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
     }
 
+    fn buffered_events(&self) -> usize {
+        self.buffers.iter().map(EventBuffer::len).sum()
+    }
+
+    fn share_seen(&mut self, shared: &crate::selection::SharedSeen) {
+        self.finalizer.share_seen(shared);
+    }
+
     fn arena_nodes(&self) -> usize {
         self.store.len()
     }
@@ -292,7 +307,12 @@ impl Executor for OrderExecutor {
 }
 
 /// Unary predicates on `slot` hold for `ev`.
-fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event>) -> bool {
+pub(crate) fn unary_ok(
+    ctx: &ExecContext,
+    store: &PartialStore,
+    slot: usize,
+    ev: &Arc<Event>,
+) -> bool {
     if ctx.unary[slot].is_empty() {
         return true;
     }
@@ -303,7 +323,7 @@ fn unary_ok(ctx: &ExecContext, store: &PartialStore, slot: usize, ev: &Arc<Event
 /// Full compatibility check for extending `partial` with `ev` at `slot`.
 /// `seen` (present only under restrictive selection policies) enables
 /// conservative policy pruning of the extension cascade.
-fn compatible(
+pub(crate) fn compatible(
     ctx: &ExecContext,
     store: &PartialStore,
     partial: &Partial,

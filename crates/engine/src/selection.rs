@@ -44,7 +44,7 @@
 //! set), window checks, and general conditions are policy-independent.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use acep_types::{Event, SelectionPolicy, SubKind, Timestamp};
 
@@ -93,14 +93,21 @@ impl SeenLog {
     }
 
     /// Records a delivered event. Appending is O(1) for in-order
-    /// delivery; an out-of-order straggler is insert-sorted.
+    /// delivery; an out-of-order straggler is insert-sorted. Pushing an
+    /// event whose `(timestamp, seq)` key is already present is a no-op,
+    /// so merging two logs of the same stream never duplicates entries.
     pub fn push(&mut self, ev: Arc<Event>) {
         let k = stream_key(&ev);
-        if self.buf.back().is_none_or(|b| stream_key(b) <= k) {
-            self.buf.push_back(ev);
-        } else {
-            let idx = self.buf.partition_point(|e| stream_key(e) <= k);
-            self.buf.insert(idx, ev);
+        match self.buf.back() {
+            Some(b) if stream_key(b) == k => {}
+            Some(b) if stream_key(b) < k => self.buf.push_back(ev),
+            None => self.buf.push_back(ev),
+            _ => {
+                let idx = self.buf.partition_point(|e| stream_key(e) <= k);
+                if idx == 0 || stream_key(&self.buf[idx - 1]) != k {
+                    self.buf.insert(idx, ev);
+                }
+            }
         }
     }
 
@@ -127,6 +134,129 @@ impl SeenLog {
     /// True if any event lies strictly between the two positions.
     pub fn any_between(&self, lo: StreamKey, hi: StreamKey) -> bool {
         self.between(lo, hi).next().is_some()
+    }
+}
+
+/// A [`SeenLog`] shared by every restrictive-policy finalizer evaluating
+/// the same partition key.
+///
+/// All branch executors of a keyed engine — and all generations of a
+/// migrating executor — receive the identical event stream, so their
+/// private seen logs were byte-for-byte copies of each other's suffix.
+/// A `SharedSeen` stores that log once per key; each holder is a
+/// *sharer* with its own requested prune cutoff, and the ring only drops
+/// events older than the minimum cutoff across sharers, so no finalizer
+/// loses an event it could still inspect. Cloning a handle registers a
+/// new sharer (inheriting the source's cutoff); dropping one deregisters
+/// it.
+///
+/// The interior mutex is uncontended in practice — a key is owned by one
+/// shard worker — and exists only to keep executors `Send`.
+#[derive(Debug)]
+pub struct SharedSeen {
+    state: Arc<Mutex<SharedSeenState>>,
+    id: u64,
+}
+
+#[derive(Debug)]
+struct SharedSeenState {
+    log: SeenLog,
+    /// `(sharer id, requested prune cutoff)` pairs; the log prunes to
+    /// the minimum so the slowest sharer bounds retention.
+    cutoffs: Vec<(u64, Timestamp)>,
+    next_id: u64,
+}
+
+/// Read guard over a [`SharedSeen`]'s log, dereferencing to
+/// [`SeenLog`] so the policy helpers take it unchanged.
+pub struct SeenRef<'a>(std::sync::MutexGuard<'a, SharedSeenState>);
+
+impl std::ops::Deref for SeenRef<'_> {
+    type Target = SeenLog;
+
+    fn deref(&self) -> &SeenLog {
+        &self.0.log
+    }
+}
+
+fn lock_state(state: &Mutex<SharedSeenState>) -> std::sync::MutexGuard<'_, SharedSeenState> {
+    state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl SharedSeen {
+    /// A fresh ring with this handle as its only sharer.
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(Mutex::new(SharedSeenState {
+                log: SeenLog::new(),
+                cutoffs: vec![(0, 0)],
+                next_id: 1,
+            })),
+            id: 0,
+        }
+    }
+
+    /// True if both handles view the same underlying ring.
+    pub fn same_ring(&self, other: &SharedSeen) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
+    }
+
+    /// Records a delivered event (idempotent across sharers: the first
+    /// sharer to push a given `(timestamp, seq)` wins, the rest no-op).
+    pub fn push(&self, ev: Arc<Event>) {
+        lock_state(&self.state).log.push(ev);
+    }
+
+    /// Sets this sharer's prune cutoff and drops events older than the
+    /// minimum cutoff across all sharers.
+    pub fn prune(&self, cutoff: Timestamp) {
+        let mut st = lock_state(&self.state);
+        if let Some(entry) = st.cutoffs.iter_mut().find(|(id, _)| *id == self.id) {
+            entry.1 = cutoff;
+        }
+        if let Some(min) = st.cutoffs.iter().map(|&(_, c)| c).min() {
+            st.log.prune(min);
+        }
+    }
+
+    /// Locks the ring for reading.
+    pub fn read(&self) -> SeenRef<'_> {
+        SeenRef(lock_state(&self.state))
+    }
+}
+
+impl Default for SharedSeen {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for SharedSeen {
+    fn clone(&self) -> Self {
+        let mut st = lock_state(&self.state);
+        let inherited = st
+            .cutoffs
+            .iter()
+            .find(|(id, _)| *id == self.id)
+            .map_or(0, |&(_, c)| c);
+        let id = st.next_id;
+        st.next_id += 1;
+        st.cutoffs.push((id, inherited));
+        drop(st);
+        Self {
+            state: Arc::clone(&self.state),
+            id,
+        }
+    }
+}
+
+impl Drop for SharedSeen {
+    fn drop(&mut self) {
+        lock_state(&self.state)
+            .cutoffs
+            .retain(|(id, _)| *id != self.id);
     }
 }
 
@@ -497,6 +627,40 @@ mod tests {
         assert_eq!(log.len(), 1);
         log.prune(100);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn seen_log_push_is_idempotent() {
+        let mut log = SeenLog::new();
+        log.push(ev(0, 10, 0, 0));
+        log.push(ev(0, 10, 0, 0)); // duplicate tail
+        log.push(ev(0, 30, 2, 0));
+        log.push(ev(0, 20, 1, 0));
+        log.push(ev(0, 20, 1, 0)); // duplicate straggler
+        assert_eq!(log.len(), 3);
+        let seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_seen_prunes_to_slowest_sharer() {
+        let a = SharedSeen::new();
+        let b = a.clone();
+        a.push(ev(0, 10, 0, 0));
+        b.push(ev(0, 10, 0, 0)); // deduped
+        a.push(ev(0, 20, 1, 0));
+        assert_eq!(a.read().len(), 2);
+        assert!(a.same_ring(&b));
+        // One sharer wants to drop everything, the other still needs
+        // ts ≥ 10: the ring keeps both events.
+        a.prune(100);
+        b.prune(10);
+        assert_eq!(b.read().len(), 2);
+        // Once the slow sharer leaves, the next prune applies the
+        // remaining minimum.
+        drop(b);
+        a.prune(100);
+        assert!(a.read().is_empty());
     }
 
     #[test]

@@ -151,7 +151,13 @@ impl TreeExecutor {
             for a in &self.prop_new {
                 for b in &self.store[sibling] {
                     self.comparisons += 1;
-                    if join_compatible(&self.ctx, &self.pstore, a, b, self.finalizer.seen()) {
+                    if join_compatible(
+                        &self.ctx,
+                        &self.pstore,
+                        a,
+                        b,
+                        self.finalizer.seen().as_deref(),
+                    ) {
                         self.prop_joined.push(a.merge(&mut self.pstore, b));
                     }
                 }
@@ -207,6 +213,21 @@ impl Executor for TreeExecutor {
 
     fn partial_count(&self) -> usize {
         self.store.iter().map(Vec::len).sum::<usize>() + self.finalizer.pending_count()
+    }
+
+    fn buffered_events(&self) -> usize {
+        // Leaf result sets hold single events; internal nodes hold
+        // joined partials counted by `partial_count`.
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n, TreeNode::Leaf { .. }))
+            .map(|(i, _)| self.store[i].len())
+            .sum()
+    }
+
+    fn share_seen(&mut self, shared: &crate::selection::SharedSeen) {
+        self.finalizer.share_seen(shared);
     }
 
     fn arena_nodes(&self) -> usize {

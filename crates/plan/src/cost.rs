@@ -15,6 +15,7 @@
 
 use acep_stats::StatSnapshot;
 
+use crate::lazy::LazyPlan;
 use crate::order::OrderPlan;
 use crate::planner::EvalPlan;
 use crate::tree::{TreeNode, TreePlan};
@@ -33,6 +34,28 @@ pub fn order_plan_cost(plan: &OrderPlan, s: &StatSnapshot) -> f64 {
         total += acc;
     }
     total
+}
+
+/// Cost of a lazy-chain plan: the per-slot buffer occupancy (every
+/// arrival is retained for the window regardless of order) plus the
+/// chain-construction work triggered per `order[0]` arrival — the same
+/// prefix-product recurrence as an order plan, since a fired trigger
+/// enumerates exactly the combinations an eager executor would have
+/// stored. Minimized by ascending effective frequency, and sensitive to
+/// rate inversions, which is what adaptation re-plans on.
+pub fn lazy_plan_cost(plan: &LazyPlan, s: &StatSnapshot) -> f64 {
+    let buffered: f64 = plan.order.iter().map(|&j| s.rate(j) * s.sel(j, j)).sum();
+    let mut work = 0.0;
+    let mut acc = 1.0;
+    for (i, &slot) in plan.order.iter().enumerate() {
+        let mut f = s.rate(slot) * s.sel(slot, slot);
+        for &prev in &plan.order[..i] {
+            f *= s.sel(prev, slot);
+        }
+        acc *= f;
+        work += acc;
+    }
+    buffered + work
 }
 
 /// Cardinality (expected matches reaching a node) and cost of a subtree.
@@ -75,6 +98,7 @@ pub fn eval_plan_cost(plan: &EvalPlan, s: &StatSnapshot) -> f64 {
     match plan {
         EvalPlan::Order(p) => order_plan_cost(p, s),
         EvalPlan::Tree(p) => tree_plan_cost(p, s),
+        EvalPlan::Lazy(p) => lazy_plan_cost(p, s),
     }
 }
 
@@ -155,10 +179,27 @@ mod tests {
     }
 
     #[test]
+    fn lazy_cost_prefers_ascending_frequency_and_tracks_inversions() {
+        let s = snap3();
+        let asc = LazyPlan::new(vec![2, 1, 0]);
+        let dec = LazyPlan::identity(3);
+        assert!(lazy_plan_cost(&asc, &s) < lazy_plan_cost(&dec, &s));
+        // Both carry the order-independent buffer term: 125 on top of
+        // the order-plan work (15160 / 16600 from the paper example).
+        assert!((lazy_plan_cost(&asc, &s) - 15_285.0).abs() < 1e-9);
+        assert!((lazy_plan_cost(&dec, &s) - 16_725.0).abs() < 1e-9);
+        // After a rate inversion the old ascending plan is the dearer
+        // one — the signal the controller re-plans on.
+        let inverted = StatSnapshot::from_rates(vec![10.0, 15.0, 100.0]);
+        assert!(lazy_plan_cost(&asc, &inverted) > lazy_plan_cost(&dec, &inverted));
+    }
+
+    #[test]
     fn eval_plan_cost_dispatches() {
         let s = snap3();
         let o = EvalPlan::Order(OrderPlan::identity(3));
         let t = EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2]));
+        let l = EvalPlan::Lazy(LazyPlan::identity(3));
         assert_eq!(
             eval_plan_cost(&o, &s),
             order_plan_cost(&OrderPlan::identity(3), &s)
@@ -166,6 +207,10 @@ mod tests {
         assert_eq!(
             eval_plan_cost(&t, &s),
             tree_plan_cost(&TreePlan::left_deep(&[0, 1, 2]), &s)
+        );
+        assert_eq!(
+            eval_plan_cost(&l, &s),
+            lazy_plan_cost(&LazyPlan::identity(3), &s)
         );
     }
 }

@@ -1,0 +1,207 @@
+//! Lazy-chain evaluation plans (buffered, selectivity-ordered
+//! evaluation after the lazy chain automata of the paper's reference
+//! \[36\]).
+//!
+//! A lazy-chain plan is, like an order plan, a permutation of the
+//! sub-pattern's slots — but the executor interprets it differently:
+//! events are only *buffered* per slot, and chain construction runs when
+//! an instance of `order[0]` (the statistically rarest slot) arrives,
+//! extending through the remaining buffered slots in plan order. The
+//! stored state is therefore the per-slot buffers plus one pending
+//! trigger per `order[0]` arrival, instead of every partial-match
+//! prefix.
+//!
+//! The planner sorts slots by ascending `r_j · sel_{j,j}` and records
+//! each kept-vs-rejected comparison as a deciding condition, so the
+//! adaptive layer re-plans exactly when the observed arrival rates
+//! invert the frequency order the plan was built on.
+
+use acep_stats::StatSnapshot;
+use acep_types::SubPattern;
+
+use crate::condition::{BlockId, DecidingCondition};
+use crate::expr::{CostExpr, Monomial};
+use crate::recorder::ComparisonRecorder;
+
+/// A lazy-chain plan: a permutation of a sub-pattern's slot indices in
+/// ascending expected-frequency order.
+///
+/// `order[0]` is the trigger slot (its arrivals open chain
+/// construction); `order[k]` for `k ≥ 1` is the `k`-th buffered slot a
+/// fired chain extends through.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LazyPlan {
+    /// Slot indices in evaluation (ascending-frequency) order.
+    pub order: Vec<usize>,
+}
+
+impl LazyPlan {
+    /// Creates a plan from an explicit evaluation order, validating that
+    /// it is a permutation of `0..n`.
+    pub fn new(order: Vec<usize>) -> Self {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &s in &order {
+            assert!(s < n && !seen[s], "order must be a permutation of 0..n");
+            seen[s] = true;
+        }
+        Self { order }
+    }
+
+    /// The identity plan (pattern declaration order).
+    pub fn identity(n: usize) -> Self {
+        Self {
+            order: (0..n).collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Evaluation position of slot `s`.
+    pub fn position_of(&self, s: usize) -> usize {
+        self.order
+            .iter()
+            .position(|&x| x == s)
+            .expect("slot not in plan")
+    }
+}
+
+/// The lazy-chain planner: ascending-frequency slot order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LazyChainPlanner;
+
+impl LazyChainPlanner {
+    /// Generates a lazy-chain plan for `sub` under statistics `s`,
+    /// reporting every kept-vs-rejected frequency comparison to `rec`.
+    ///
+    /// Deterministic: ties break toward the lower slot index.
+    pub fn plan(
+        &self,
+        sub: &SubPattern,
+        s: &StatSnapshot,
+        rec: &mut dyn ComparisonRecorder,
+    ) -> LazyPlan {
+        let n = sub.n();
+        let mut chosen: Vec<usize> = Vec::with_capacity(n);
+        let mut remaining: Vec<usize> = (0..n).collect();
+
+        for step in 0..n {
+            debug_assert!(!remaining.is_empty());
+            let exprs: Vec<(usize, CostExpr)> =
+                remaining.iter().map(|&j| (j, frequency_expr(j))).collect();
+
+            let mut best_idx = 0;
+            let mut best_val = f64::INFINITY;
+            for (k, (_, e)) in exprs.iter().enumerate() {
+                let v = e.eval(s);
+                if v < best_val {
+                    best_idx = k;
+                    best_val = v;
+                }
+            }
+
+            let (best_slot, best_expr) = exprs[best_idx].clone();
+            for (k, (_, e)) in exprs.iter().enumerate() {
+                if k != best_idx {
+                    rec.record(DecidingCondition {
+                        block: BlockId(step),
+                        lhs: best_expr.clone(),
+                        rhs: e.clone(),
+                    });
+                }
+            }
+
+            chosen.push(best_slot);
+            remaining.retain(|&x| x != best_slot);
+        }
+
+        LazyPlan::new(chosen)
+    }
+}
+
+/// Effective arrival frequency of slot `j`: `r_j · sel_{j,j}`.
+fn frequency_expr(j: usize) -> CostExpr {
+    CostExpr::monomial(Monomial::rate(j).with_sel(j, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{CollectingRecorder, NoopRecorder};
+    use acep_types::{EventTypeId, Pattern};
+
+    fn seq_pattern(n: usize) -> Pattern {
+        let types: Vec<EventTypeId> = (0..n as u32).map(EventTypeId).collect();
+        Pattern::sequence("p", &types, 1_000)
+    }
+
+    fn sub(p: &Pattern) -> &acep_types::SubPattern {
+        &p.canonical().branches[0]
+    }
+
+    #[test]
+    fn sorts_slots_by_ascending_rate() {
+        let p = seq_pattern(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let plan = LazyChainPlanner.plan(sub(&p), &s, &mut NoopRecorder);
+        assert_eq!(plan.order, vec![2, 1, 0]);
+        assert_eq!(plan.position_of(2), 0);
+    }
+
+    #[test]
+    fn ties_break_toward_lower_slot_index() {
+        let p = seq_pattern(3);
+        let s = StatSnapshot::from_rates(vec![5.0, 5.0, 5.0]);
+        let plan = LazyChainPlanner.plan(sub(&p), &s, &mut NoopRecorder);
+        assert_eq!(plan.order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unary_selectivity_scales_the_frequency() {
+        // A is frequent but its unary predicate passes almost nothing:
+        // its *effective* frequency is the lowest.
+        let p = seq_pattern(2);
+        let mut s = StatSnapshot::from_rates(vec![100.0, 10.0]);
+        s.set_sel(0, 0, 0.01);
+        let plan = LazyChainPlanner.plan(sub(&p), &s, &mut NoopRecorder);
+        assert_eq!(plan.order, vec![0, 1]);
+    }
+
+    #[test]
+    fn records_rate_comparisons_that_hold_on_the_snapshot() {
+        let p = seq_pattern(3);
+        let s = StatSnapshot::from_rates(vec![100.0, 15.0, 10.0]);
+        let mut rec = CollectingRecorder::new();
+        LazyChainPlanner.plan(sub(&p), &s, &mut rec);
+        let sets = rec.into_condition_sets();
+        assert_eq!(sets.len(), 2); // last step has an empty DCS
+        assert_eq!(sets[0].conditions.len(), 2);
+        for set in &sets {
+            for c in &set.conditions {
+                assert!(c.holds(&s));
+            }
+        }
+        // A rate inversion breaks the trigger-slot block's conditions.
+        let inverted = StatSnapshot::from_rates(vec![1.0, 15.0, 10.0]);
+        assert!(sets[0].conditions.iter().any(|c| !c.holds(&inverted)));
+    }
+
+    #[test]
+    fn planner_is_deterministic() {
+        let p = seq_pattern(4);
+        let s = StatSnapshot::from_rates(vec![7.0, 3.0, 9.0, 5.0]);
+        let a = LazyChainPlanner.plan(sub(&p), &s, &mut NoopRecorder);
+        let b = LazyChainPlanner.plan(sub(&p), &s, &mut NoopRecorder);
+        assert_eq!(a, b);
+        assert_eq!(a.order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn duplicate_slot_panics() {
+        LazyPlan::new(vec![0, 0, 1]);
+    }
+}

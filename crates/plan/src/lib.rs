@@ -9,7 +9,10 @@
 //! * [`greedy`] — the greedy order-based algorithm (paper Algorithm 2,
 //!   §4.1), producing [`OrderPlan`]s for the lazy-NFA engine;
 //! * [`zstream`] — the ZStream dynamic-programming algorithm (paper
-//!   Algorithm 3, §4.2), producing [`TreePlan`]s for the tree engine.
+//!   Algorithm 3, §4.2), producing [`TreePlan`]s for the tree engine;
+//! * [`lazy`] — the ascending-frequency lazy-chain planner (after the
+//!   paper's reference \[36\]), producing [`LazyPlan`]s for the
+//!   buffered trigger-driven engine.
 //!
 //! Both planners are *instrumented* (paper §3.1): every block-building
 //! comparison is reported to a [`ComparisonRecorder`] as a
@@ -25,6 +28,7 @@ pub mod cost;
 pub mod exhaustive;
 pub mod expr;
 pub mod greedy;
+pub mod lazy;
 pub mod order;
 pub mod planner;
 pub mod recorder;
@@ -32,9 +36,10 @@ pub mod tree;
 pub mod zstream;
 
 pub use condition::{BlockId, DecidingCondition};
-pub use cost::{eval_plan_cost, order_plan_cost, tree_plan_cost};
+pub use cost::{eval_plan_cost, lazy_plan_cost, order_plan_cost, tree_plan_cost};
 pub use expr::{CostExpr, Monomial};
 pub use greedy::GreedyOrderPlanner;
+pub use lazy::{LazyChainPlanner, LazyPlan};
 pub use order::OrderPlan;
 pub use planner::{EvalPlan, Planner, PlannerKind};
 pub use recorder::{CollectingRecorder, ComparisonRecorder, DecidingConditionSet, NoopRecorder};

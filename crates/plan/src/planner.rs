@@ -5,18 +5,21 @@ use acep_types::SubPattern;
 
 use crate::cost::eval_plan_cost;
 use crate::greedy::GreedyOrderPlanner;
+use crate::lazy::{LazyChainPlanner, LazyPlan};
 use crate::order::OrderPlan;
 use crate::recorder::ComparisonRecorder;
 use crate::tree::TreePlan;
 use crate::zstream::ZStreamTreePlanner;
 
-/// An evaluation plan of either family.
+/// An evaluation plan of any family.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EvalPlan {
     /// Order-based (lazy-NFA) plan.
     Order(OrderPlan),
     /// Tree-based (ZStream) plan.
     Tree(TreePlan),
+    /// Lazy-chain plan (buffered slots, trigger-driven construction).
+    Lazy(LazyPlan),
 }
 
 impl EvalPlan {
@@ -30,16 +33,19 @@ impl EvalPlan {
         match self {
             EvalPlan::Order(p) => format!("order{:?}", p.order),
             EvalPlan::Tree(p) => format!("tree{}", p.shape()),
+            EvalPlan::Lazy(p) => format!("lazy{:?}", p.order),
         }
     }
 
     /// Number of building blocks carrying invariants: `n` steps for an
     /// order plan, internal nodes (+ leaf-order blocks for conjunctions,
-    /// counted separately by the planner) for trees.
+    /// counted separately by the planner) for trees, `n` frequency-rank
+    /// steps for a lazy-chain plan.
     pub fn num_blocks(&self) -> usize {
         match self {
             EvalPlan::Order(p) => p.n(),
             EvalPlan::Tree(p) => p.internal_nodes_bottom_up().len(),
+            EvalPlan::Lazy(p) => p.n(),
         }
     }
 }
@@ -53,6 +59,9 @@ pub enum PlannerKind {
     /// ZStream dynamic-programming tree planner (paper Algorithm 3,
     /// §4.2).
     ZStream,
+    /// Lazy-chain planner: ascending-frequency buffered evaluation
+    /// (reference \[36\]'s lazy chain automata as a plan family).
+    LazyChain,
 }
 
 /// The plan-generation algorithm `A`: deterministic, instrumented.
@@ -83,6 +92,7 @@ impl Planner {
         match self.kind {
             PlannerKind::Greedy => EvalPlan::Order(GreedyOrderPlanner.plan(sub, s, rec)),
             PlannerKind::ZStream => EvalPlan::Tree(ZStreamTreePlanner.plan(sub, s, rec)),
+            PlannerKind::LazyChain => EvalPlan::Lazy(LazyChainPlanner.plan(sub, s, rec)),
         }
     }
 }
@@ -129,10 +139,28 @@ mod tests {
     }
 
     #[test]
+    fn lazy_chain_kind_yields_lazy_plan() {
+        let p = sub3();
+        let s = StatSnapshot::from_rates(vec![3.0, 2.0, 1.0]);
+        let plan = Planner::new(PlannerKind::LazyChain).generate(
+            &p.canonical().branches[0],
+            &s,
+            &mut NoopRecorder,
+        );
+        assert!(matches!(plan, EvalPlan::Lazy(_)));
+        assert_eq!(plan.describe(), "lazy[2, 1, 0]");
+        assert_eq!(plan.num_blocks(), 3);
+    }
+
+    #[test]
     fn planner_is_deterministic() {
         let p = sub3();
         let s = StatSnapshot::from_rates(vec![5.0, 4.0, 6.0]);
-        for kind in [PlannerKind::Greedy, PlannerKind::ZStream] {
+        for kind in [
+            PlannerKind::Greedy,
+            PlannerKind::ZStream,
+            PlannerKind::LazyChain,
+        ] {
             let a = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
             let b = Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
             assert_eq!(a, b);
@@ -143,7 +171,11 @@ mod tests {
     fn plan_cost_is_positive() {
         let p = sub3();
         let s = StatSnapshot::from_rates(vec![5.0, 4.0, 6.0]);
-        for kind in [PlannerKind::Greedy, PlannerKind::ZStream] {
+        for kind in [
+            PlannerKind::Greedy,
+            PlannerKind::ZStream,
+            PlannerKind::LazyChain,
+        ] {
             let plan =
                 Planner::new(kind).generate(&p.canonical().branches[0], &s, &mut NoopRecorder);
             assert!(plan.cost(&s) > 0.0);

@@ -210,6 +210,100 @@ impl StatisticsCollector {
             .map(|b| self.snapshot_branch(b, now))
             .collect()
     }
+
+    /// Captures the collector's complete mutable state for
+    /// checkpointing. Branch specs and the selectivity estimator are
+    /// derived from the pattern and configuration, so a collector
+    /// rebuilt from the same template plus this state produces
+    /// bit-identical snapshots — which keeps a recovered run's plan
+    /// trajectory (and with it lazy-plan emission times) deterministic.
+    pub fn export_state(&self) -> CollectorState {
+        CollectorState {
+            events_observed: self.events_observed,
+            rates: self
+                .rates
+                .iter()
+                .map(|r| match r {
+                    RateImpl::Exact(e) => {
+                        let (times, first_ts) = e.export_state();
+                        RateState::Exact { times, first_ts }
+                    }
+                    RateImpl::Dgim(e) => {
+                        let (buckets, first_ts) = e.export_state();
+                        RateState::Dgim { buckets, first_ts }
+                    }
+                })
+                .collect(),
+            samples: self
+                .samples
+                .iter()
+                .map(|s| s.iter().cloned().collect())
+                .collect(),
+        }
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state)
+    /// into a collector built from the same pattern and configuration.
+    /// Fails if the state's shape (per-type vector lengths, estimator
+    /// kinds, sample sizes) does not match this collector's.
+    pub fn import_state(&mut self, state: CollectorState) -> Result<(), &'static str> {
+        if state.rates.len() != self.rates.len() {
+            return Err("collector rate-estimator count mismatch");
+        }
+        if state.samples.len() != self.samples.len() {
+            return Err("collector sample count mismatch");
+        }
+        for (rate, rec) in self.rates.iter_mut().zip(state.rates) {
+            match (rate, rec) {
+                (RateImpl::Exact(e), RateState::Exact { times, first_ts }) => {
+                    e.import_state(times, first_ts)?;
+                }
+                (RateImpl::Dgim(e), RateState::Dgim { buckets, first_ts }) => {
+                    e.import_state(&buckets, first_ts)?;
+                }
+                _ => return Err("rate-estimator kind mismatch"),
+            }
+        }
+        for (sample, events) in self.samples.iter_mut().zip(state.samples) {
+            sample.import_events(events)?;
+        }
+        self.events_observed = state.events_observed;
+        Ok(())
+    }
+}
+
+/// One rate estimator's state inside a [`CollectorState`].
+#[derive(Debug, Clone)]
+pub enum RateState {
+    /// Exact ring buffer: retained in-window timestamps (oldest first)
+    /// and the warm-up anchor.
+    Exact {
+        /// Retained arrival timestamps, oldest first.
+        times: Vec<Timestamp>,
+        /// Timestamp of the first observation ever.
+        first_ts: Option<Timestamp>,
+    },
+    /// DGIM histogram: `(bucket size, newest-arrival ts)` pairs (oldest
+    /// bucket first) and the warm-up anchor.
+    Dgim {
+        /// Bucket list, oldest bucket first.
+        buckets: Vec<(u64, Timestamp)>,
+        /// Timestamp of the first observation ever.
+        first_ts: Option<Timestamp>,
+    },
+}
+
+/// The complete mutable state of a [`StatisticsCollector`] — what
+/// [`export_state`](StatisticsCollector::export_state) captures and
+/// [`import_state`](StatisticsCollector::import_state) restores.
+#[derive(Debug, Clone)]
+pub struct CollectorState {
+    /// Total events observed.
+    pub events_observed: u64,
+    /// Per-type rate-estimator state, type index order.
+    pub rates: Vec<RateState>,
+    /// Per-type sampled events (oldest first), type index order.
+    pub samples: Vec<Vec<Arc<Event>>>,
 }
 
 /// A [`StatSnapshot`] behind an `Arc`: the shareable form produced by

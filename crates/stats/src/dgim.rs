@@ -75,6 +75,40 @@ impl ExponentialHistogram {
         self.buckets.len()
     }
 
+    /// The bucket list as `(size, newest-arrival ts)` pairs, oldest
+    /// bucket first — together with the construction parameters this is
+    /// the histogram's complete state. Used by checkpointing.
+    pub fn export_buckets(&self) -> Vec<(u64, Timestamp)> {
+        self.buckets.iter().map(|b| (b.size, b.ts)).collect()
+    }
+
+    /// Replaces the bucket list with one captured by
+    /// [`export_buckets`](Self::export_buckets); the running total is
+    /// recomputed. Fails if a size is not a power of two or the
+    /// timestamps are decreasing.
+    pub fn import_buckets(&mut self, buckets: &[(u64, Timestamp)]) -> Result<(), &'static str> {
+        let mut prev_ts = 0;
+        let mut total = 0u64;
+        for &(size, ts) in buckets {
+            if !size.is_power_of_two() {
+                return Err("dgim bucket size is not a power of two");
+            }
+            if ts < prev_ts {
+                return Err("dgim bucket timestamps decrease");
+            }
+            prev_ts = ts;
+            total = total
+                .checked_add(size)
+                .ok_or("dgim bucket total overflows")?;
+        }
+        self.buckets = buckets
+            .iter()
+            .map(|&(size, ts)| Bucket { size, ts })
+            .collect();
+        self.total = total;
+        Ok(())
+    }
+
     /// Records an arrival at `ts`. Timestamps must be non-decreasing.
     pub fn insert(&mut self, ts: Timestamp) {
         debug_assert!(

@@ -29,7 +29,7 @@ pub mod selectivity;
 pub mod snapshot;
 pub mod variance;
 
-pub use collector::{SharedSnapshot, StatisticsCollector, StatsConfig};
+pub use collector::{CollectorState, RateState, SharedSnapshot, StatisticsCollector, StatsConfig};
 pub use dgim::ExponentialHistogram;
 pub use rates::{DgimRateEstimator, ExactRateEstimator, RateEstimator};
 pub use sample::EventSample;

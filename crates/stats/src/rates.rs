@@ -32,6 +32,24 @@ impl DgimRateEstimator {
             first_ts: None,
         }
     }
+
+    /// Captures the estimator's state — the histogram's buckets and
+    /// the warm-up anchor — for checkpointing.
+    pub fn export_state(&self) -> (Vec<(u64, Timestamp)>, Option<Timestamp>) {
+        (self.hist.export_buckets(), self.first_ts)
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state)
+    /// into an estimator built with the same configuration.
+    pub fn import_state(
+        &mut self,
+        buckets: &[(u64, Timestamp)],
+        first_ts: Option<Timestamp>,
+    ) -> Result<(), &'static str> {
+        self.hist.import_buckets(buckets)?;
+        self.first_ts = first_ts;
+        Ok(())
+    }
 }
 
 impl RateEstimator for DgimRateEstimator {
@@ -70,6 +88,27 @@ impl ExactRateEstimator {
             window,
             first_ts: None,
         }
+    }
+
+    /// Captures the estimator's state — the retained timestamps (oldest
+    /// first) and the warm-up anchor — for checkpointing.
+    pub fn export_state(&self) -> (Vec<Timestamp>, Option<Timestamp>) {
+        (self.times.iter().copied().collect(), self.first_ts)
+    }
+
+    /// Restores state captured by [`export_state`](Self::export_state)
+    /// into an estimator built with the same configuration.
+    pub fn import_state(
+        &mut self,
+        times: Vec<Timestamp>,
+        first_ts: Option<Timestamp>,
+    ) -> Result<(), &'static str> {
+        if times.windows(2).any(|w| w[1] < w[0]) {
+            return Err("rate timestamps decrease");
+        }
+        self.times = times.into();
+        self.first_ts = first_ts;
+        Ok(())
     }
 }
 

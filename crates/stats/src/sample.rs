@@ -49,6 +49,16 @@ impl EventSample {
     pub fn iter(&self) -> impl Iterator<Item = &Arc<Event>> {
         self.buf.iter()
     }
+
+    /// Replaces the buffer with `events` (oldest first), as captured by
+    /// iterating a sample of the same capacity. Used by checkpointing.
+    pub fn import_events(&mut self, events: Vec<Arc<Event>>) -> Result<(), &'static str> {
+        if events.len() > self.capacity {
+            return Err("sample holds more events than its capacity");
+        }
+        self.buf = events.into();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -321,7 +321,9 @@ impl ShardWorker {
             ));
         }
         for (controller, crec) in worker.controllers.iter_mut().zip(&rec.controllers) {
-            controller.import_rec(crec).map_err(|e| e.to_string())?;
+            controller
+                .import_rec(crec, events)
+                .map_err(|e| e.to_string())?;
         }
         match (worker.reorder.is_some(), &rec.reorder) {
             (true, Some(rrec)) => {
@@ -491,7 +493,7 @@ impl ShardWorker {
         let controllers = self
             .controllers
             .iter()
-            .map(QueryController::export_rec)
+            .map(|c| c.export_rec(&mut table))
             .collect();
         let mut keys = Vec::with_capacity(self.key_order.len());
         for &key in &self.key_order {
@@ -715,6 +717,16 @@ impl ShardWorker {
         self.prefilter();
         for (i, (key, ev)) in released.iter().enumerate() {
             let (any, mask) = self.mask_col[i];
+            // Fire deadlines the released stream itself proves passed
+            // BEFORE this event runs: releases come in `(ts, seq)`
+            // order, so `ev.timestamp` is a watermark over everything
+            // still to come. This pins every deadline-held emission to
+            // a position in the per-shard ingest sequence — batch
+            // boundaries (which a crash can cut anywhere) no longer
+            // decide where finalizations land between on-event
+            // emissions, so a recovered replay reproduces the exact
+            // per-shard emit numbering the sink's dedup line needs.
+            self.advance_engines(ev.timestamp);
             self.process_one(*key, ev, any, mask);
         }
         self.telemetry.stage_evaluate(t);
@@ -794,9 +806,18 @@ impl ShardWorker {
             }
             // Index the engine by its earliest pending deadline so the
             // watermark sweep can find it without visiting every key.
-            if let Some(d) = slot.engine.min_pending_deadline() {
-                if slot.queued_deadline.is_none_or(|q| d < q) {
-                    slot.queued_deadline = Some(d);
+            // Re-index on ANY change — not just decreases. If the min
+            // deadline grew (the event emitted or discarded what the
+            // live heap entry stood for), a kept stale-smaller entry
+            // would still match `queued_deadline` and visit the engine
+            // early in the flush order, while a checkpoint-restored
+            // worker derives the true min and visits it later: emit
+            // numbering would diverge across recovery and break the
+            // sink's exactly-once dedup line.
+            let next = slot.engine.min_pending_deadline();
+            if next != slot.queued_deadline {
+                slot.queued_deadline = next;
+                if let Some(d) = next {
                     self.deadlines.push(Reverse((d, key, qi as u32)));
                 }
             }
@@ -974,6 +995,7 @@ impl ShardWorker {
         let mut key_migrations = vec![0u64; self.templates.len()];
         let mut generations_live = 0;
         let mut partials_live = 0;
+        let mut buffered_events = 0;
         for engines in self.keys.values() {
             for (qi, slot) in engines.iter().enumerate() {
                 if let Some(slot) = slot {
@@ -981,6 +1003,7 @@ impl ShardWorker {
                     key_migrations[qi] += slot.engine.replacements();
                     generations_live += slot.engine.generations();
                     partials_live += slot.engine.partial_count();
+                    buffered_events += slot.engine.buffered_events();
                 }
             }
         }
@@ -992,6 +1015,7 @@ impl ShardWorker {
             engines_live: per_query.iter().map(|q| q.engines).sum(),
             generations_live,
             partials_live,
+            buffered_events,
             late_dropped: self.late_dropped,
             late_routed: self.late_routed,
             reorder_depth: self.reorder.as_ref().map_or(0, ReorderBuffer::depth),

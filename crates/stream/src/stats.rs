@@ -144,6 +144,11 @@ pub struct ShardStats {
     /// Stored partial matches across all engines and generations (the
     /// bytes-ish memory proxy reported by the `scale_keys` bench).
     pub partials_live: usize,
+    /// Events held in executor history buffers across all engines and
+    /// generations — the lazy executor's primary stored state (its
+    /// slot buffers), reported next to `partials_live` so the lazy
+    /// memory trade (few partials, more buffered events) is visible.
+    pub buffered_events: usize,
     /// Events dropped as late (behind the shard watermark) under
     /// [`LatenessPolicy::Drop`](acep_types::LatenessPolicy::Drop). Late
     /// events are never counted in `events`.
@@ -259,6 +264,11 @@ impl RuntimeStats {
     /// Stored partial matches across all shards.
     pub fn total_partials_live(&self) -> usize {
         self.shards.iter().map(|s| s.partials_live).sum()
+    }
+
+    /// Events held in executor history buffers across all shards.
+    pub fn total_buffered_events(&self) -> usize {
+        self.shards.iter().map(|s| s.buffered_events).sum()
     }
 
     /// Late events dropped across all shards.
@@ -396,6 +406,7 @@ impl RuntimeStats {
     /// * per shard (`{shard=…}`): `acep_events_total`,
     ///   `acep_batches_total`, `acep_keys`, `acep_engines_live`,
     ///   `acep_generations_live`, `acep_partials_live`,
+    ///   `acep_buffered_events`,
     ///   `acep_late_dropped_total`, `acep_late_routed_total`,
     ///   `acep_reorder_depth`, `acep_reorder_depth_max`,
     ///   `acep_reorder_overflow_total`, `acep_watermark_ms`,
@@ -457,6 +468,12 @@ impl RuntimeStats {
                 "Stored partial matches",
                 l(s),
                 s.partials_live as f64,
+            );
+            reg.gauge(
+                "acep_buffered_events",
+                "Events held in executor history buffers (lazy slot buffers)",
+                l(s),
+                s.buffered_events as f64,
             );
             reg.counter(
                 "acep_late_dropped_total",
@@ -745,6 +762,7 @@ mod tests {
                     engines_live: 6,
                     generations_live: 7,
                     partials_live: 40,
+                    buffered_events: 25,
                     late_dropped: 4,
                     late_routed: 1,
                     reorder_depth: 2,
@@ -786,6 +804,7 @@ mod tests {
                     engines_live: 4,
                     generations_live: 4,
                     partials_live: 10,
+                    buffered_events: 5,
                     late_dropped: 1,
                     late_routed: 0,
                     reorder_depth: 3,
@@ -828,6 +847,7 @@ mod tests {
         assert_eq!(stats.total_engines_live(), 10);
         assert_eq!(stats.total_generations_live(), 11);
         assert_eq!(stats.total_partials_live(), 50);
+        assert_eq!(stats.total_buffered_events(), 30);
         assert_eq!(stats.total_late_dropped(), 5);
         assert_eq!(stats.total_late_routed(), 1);
         assert_eq!(stats.total_reorder_depth(), 5);
@@ -883,6 +903,8 @@ mod tests {
             "acep_engines_live{shard=\"1\"} 4",
             "acep_generations_live{shard=\"0\"} 7",
             "acep_partials_live{shard=\"0\"} 40",
+            "acep_buffered_events{shard=\"0\"} 25",
+            "acep_buffered_events{shard=\"1\"} 5",
             "acep_late_dropped_total{shard=\"0\"} 4",
             "acep_late_routed_total{shard=\"0\"} 1",
             "acep_reorder_depth{shard=\"1\"} 3",

@@ -22,6 +22,7 @@ pub fn run_adaptive(
         planner,
         policy,
         control_interval,
+        control_interval_ms: None,
         warmup_events: 256,
         min_improvement: 0.0,
         migration_stagger: 0,

@@ -14,6 +14,7 @@ fn config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
         planner,
         policy,
         control_interval: 64,
+        control_interval_ms: None,
         warmup_events: 512,
         min_improvement: 0.0,
         migration_stagger: 0,

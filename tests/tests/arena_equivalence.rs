@@ -9,15 +9,18 @@
 //! executors must keep reproducing it forever.
 //!
 //! Complementing the golden pins, a property test re-runs every
-//! oracle-scenario pattern on random streams through both executors
-//! twice, asserting runs are deterministic and that Order and Tree
-//! plans agree on the match multiset (the existing `oracle.rs` suite
-//! separately ties that multiset to naive enumerators).
+//! oracle-scenario pattern on random streams through the executors
+//! twice, asserting runs are deterministic and that Order, Tree, and
+//! Lazy plans agree on the match multiset (the existing `oracle.rs`
+//! suite separately ties that multiset to naive enumerators). Lazy
+//! plans stay out of the golden table: their `comparisons()` counts
+//! deferred-chain work, which is intentionally different from the
+//! seed's eager metric, while the multiset must still be identical.
 
 use std::sync::Arc;
 
 use acep_engine::{build_executor, ExecContext, Match, MatchKey, StaticEngine};
-use acep_plan::{EvalPlan, OrderPlan, TreeNode, TreePlan};
+use acep_plan::{EvalPlan, LazyPlan, OrderPlan, TreeNode, TreePlan};
 use acep_types::{attr, constant, Event, EventTypeId, Pattern, PatternExpr, Value};
 use proptest::prelude::*;
 
@@ -295,8 +298,10 @@ proptest! {
 
     /// On random streams, (a) repeated runs of the same executor are
     /// bit-identical in both match multiset and comparisons (the arena
-    /// introduces no nondeterminism), and (b) Order and Tree plans
-    /// agree on the match multiset for every oracle-scenario pattern.
+    /// introduces no nondeterminism), and (b) Order, Tree, and Lazy
+    /// plans agree on the match multiset for every oracle-scenario
+    /// pattern — the lazy executor's deferred chain construction is
+    /// externally invisible.
     #[test]
     fn arena_runs_are_deterministic_and_plan_invariant(
         seed in 0u64..1u64 << 32,
@@ -310,10 +315,9 @@ proptest! {
             trailing_neg_pattern(),
             kleene_pattern(),
         ] {
-            let order = EvalPlan::Order(OrderPlan::identity(
-                pattern.canonical().branches[0].n(),
-            ));
-            let slots: Vec<usize> = (0..pattern.canonical().branches[0].n()).collect();
+            let slot_count = pattern.canonical().branches[0].n();
+            let order = EvalPlan::Order(OrderPlan::identity(slot_count));
+            let slots: Vec<usize> = (0..slot_count).collect();
             let tree = EvalPlan::Tree(TreePlan::left_deep(&slots));
             let (k1, c1) = run_one(&pattern, &order, &events);
             let (k2, c2) = run_one(&pattern, &order, &events);
@@ -324,6 +328,15 @@ proptest! {
             prop_assert_eq!(&k3, &k4, "tree run not deterministic");
             prop_assert_eq!(c3, c4, "tree comparisons not deterministic");
             prop_assert_eq!(&k1, &k3, "order and tree multisets diverged");
+            let lazy_fwd = EvalPlan::Lazy(LazyPlan::identity(slot_count));
+            let lazy_rev = EvalPlan::Lazy(LazyPlan::new((0..slot_count).rev().collect()));
+            let (k5, c5) = run_one(&pattern, &lazy_fwd, &events);
+            let (k6, c6) = run_one(&pattern, &lazy_fwd, &events);
+            prop_assert_eq!(&k5, &k6, "lazy run not deterministic");
+            prop_assert_eq!(c5, c6, "lazy comparisons not deterministic");
+            let (k7, _) = run_one(&pattern, &lazy_rev, &events);
+            prop_assert_eq!(&k1, &k5, "order and lazy multisets diverged");
+            prop_assert_eq!(&k5, &k7, "lazy join order changed the multiset");
         }
     }
 }

@@ -8,7 +8,7 @@
 //! exactly the match multiset of the uninterrupted run, at every
 //! worker count. On top of that end-to-end property this suite pins:
 //!
-//! * the `acep-checkpoint-v1` **wire format** against a committed
+//! * the `acep-checkpoint-v2` **wire format** against a committed
 //!   golden byte image (regenerate with `ACEP_REGEN_GOLDENS=1`),
 //! * **incrementality** — a second checkpoint with no new traffic
 //!   re-encodes structure but not event payloads, so it is strictly
@@ -34,13 +34,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use acep_checkpoint::{
-    BranchCtlRec, BufferRec, ControllerRec, CountersRec, EventRec, ExecutorRec, FinalizerRec,
-    GenerationRec, KeyStateRec, KeyedEngineRec, Manifest, MigratingRec, OrderExecRec, PartialRec,
-    PendingRec, ReorderRec, ShardCheckpoint, StatsRec, TreeExecRec, ValueRec,
+    BranchCtlRec, BufferRec, CollectorRec, ControllerRec, CountersRec, EventRec, ExecutorRec,
+    FinalizerRec, GenerationRec, KeyStateRec, KeyedEngineRec, LazyExecRec, Manifest, MigratingRec,
+    OrderExecRec, PartialRec, PendingRec, RateRec, ReorderRec, ShardCheckpoint, StatsRec,
+    TreeExecRec, ValueRec,
 };
 use acep_core::{AdaptiveConfig, PolicyKind};
 use acep_engine::MatchKey;
-use acep_plan::{EvalPlan, OrderPlan, PlannerKind, TreeNode, TreePlan};
+use acep_plan::{EvalPlan, LazyPlan, OrderPlan, PlannerKind, TreeNode, TreePlan};
 use acep_stats::StatsConfig;
 use acep_stream::{
     AttrKeyExtractor, CheckpointLog, CollectingSink, DedupSink, DisorderConfig,
@@ -62,6 +63,7 @@ fn adaptive_config(planner: PlannerKind, policy: PolicyKind, stagger: u64) -> Ad
         planner,
         policy,
         control_interval: 32,
+        control_interval_ms: None,
         warmup_events: 128,
         min_improvement: 0.0,
         migration_stagger: stagger,
@@ -246,6 +248,99 @@ fn recovery_replays_to_the_uninterrupted_match_multiset() {
     }
 }
 
+/// The recovery contract extends to the deferred executor: a
+/// lazy-chain query checkpointed mid-stream — with unfired triggers
+/// and populated slot buffers in flight — recovers and replays to the
+/// uninterrupted run's multiset. The decoded shard frames must carry
+/// actual [`ExecutorRec::Lazy`] generations, so the round trip
+/// exercises the lazy wire records, not an eager fallback.
+#[test]
+fn lazy_executors_survive_a_mid_stream_checkpoint() {
+    let events = stream();
+    let scenario = Scenario::new(DatasetKind::Stocks);
+    let mut set = PatternSet::new(scenario.num_types());
+    set.register(
+        "stocks/seq3-lazychain-unconditional",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        adaptive_config(PlannerKind::LazyChain, PolicyKind::Unconditional, 0),
+    )
+    .unwrap();
+    let shards = 2;
+    let (reference, ref_matches) = run_uninterrupted(&set, &events, shards);
+    assert!(!reference.is_empty(), "the lazy workload must match");
+
+    let cut = events.len() * 3 / 5;
+    let inner = Arc::new(CollectingSink::new());
+    let dedup = Arc::new(DedupSink::new(
+        Arc::clone(&inner) as Arc<dyn MatchSink>,
+        shards,
+    ));
+    let mut log = CheckpointLog::new();
+    let mut runtime = ShardedRuntime::new(
+        &set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&dedup) as _,
+        config(shards),
+    )
+    .unwrap();
+    for chunk in events[..cut].chunks(1_000) {
+        runtime.push_batch(chunk);
+    }
+    let cp = runtime.checkpoint(&mut log).unwrap();
+    let observed = dedup.frontier();
+    drop(runtime);
+
+    let mut lazy_gens = 0usize;
+    let mut buffered = 0usize;
+    for shard in 0..shards as u32 {
+        let (decoded, _, _) = log.recover_shard(cp.checkpoint_id, shard).unwrap();
+        for key in &decoded.keys {
+            for engine in key.engines.iter().flatten() {
+                for branch in &engine.branches {
+                    for g in &branch.gens {
+                        if let ExecutorRec::Lazy(rec) = &g.exec {
+                            assert!(matches!(g.plan, EvalPlan::Lazy(_)));
+                            lazy_gens += 1;
+                            buffered += rec.buffers.iter().map(|b| b.seqs.len()).sum::<usize>();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(lazy_gens > 0, "no lazy executor reached the checkpoint");
+    assert!(buffered > 0, "lazy slot buffers must carry in-flight state");
+
+    let dedup2 = Arc::new(DedupSink::with_frontier(
+        Arc::clone(&inner) as Arc<dyn MatchSink>,
+        observed,
+    ));
+    let (mut recovered, report) = ShardedRuntime::recover(
+        &set,
+        Arc::new(LastAttrKeyExtractor),
+        Arc::clone(&dedup2) as _,
+        config(shards),
+        &log,
+    )
+    .expect("lazy executor state must restore");
+    for chunk in events[report.events_ingested as usize..].chunks(1_000) {
+        recovered.push_batch(chunk);
+    }
+    let stats = recovered.finish();
+    assert_eq!(
+        canonical(inner.drain()),
+        reference,
+        "lazy recovery diverged from the uninterrupted run"
+    );
+    for (q, expected) in ref_matches.iter().enumerate() {
+        assert_eq!(
+            stats.query(QueryId(q as u32)).matches,
+            *expected,
+            "query {q} match counter diverged across lazy recovery"
+        );
+    }
+}
+
 /// Incrementality: a second checkpoint with no traffic in between
 /// re-encodes structure but not the event payloads the first already
 /// persisted, so its frames are strictly smaller — and recovery from
@@ -358,11 +453,12 @@ fn recovery_rejects_a_mismatched_shard_count() {
 // Golden wire format.
 // ---------------------------------------------------------------------
 
-/// A hand-built checkpoint exercising every record type and both
+/// A hand-built checkpoint exercising every record type and all three
 /// executor families with fixed, wall-clock-free values — the byte
-/// image it encodes to *is* the `acep-checkpoint-v1` format.
+/// image it encodes to *is* the `acep-checkpoint-v2` format.
 fn golden_checkpoint() -> ShardCheckpoint {
     let order_plan = EvalPlan::Order(OrderPlan::new(vec![2, 0, 1]));
+    let lazy_plan = EvalPlan::Lazy(LazyPlan::new(vec![1, 2, 0]));
     let tree_plan = EvalPlan::Tree(TreePlan {
         nodes: vec![
             TreeNode::Leaf { slot: 0 },
@@ -406,9 +502,20 @@ fn golden_checkpoint() -> ShardCheckpoint {
             }],
             vec![],
         ],
-        finalizer,
+        finalizer: finalizer.clone(),
         comparisons: 7,
         events_since_sweep: 1,
+    });
+    let lazy_exec = ExecutorRec::Lazy(LazyExecRec {
+        buffers: vec![
+            BufferRec { seqs: vec![2] },
+            BufferRec { seqs: vec![] },
+            BufferRec { seqs: vec![1] },
+        ],
+        triggers: vec![2],
+        finalizer,
+        comparisons: 3,
+        events_since_sweep: 2,
     });
     ShardCheckpoint {
         shard: 0,
@@ -452,6 +559,25 @@ fn golden_checkpoint() -> ShardCheckpoint {
                     planning_time_us: 340,
                 },
                 last_deploy_event: 7,
+                collector: CollectorRec {
+                    events_observed: 10,
+                    rates: vec![
+                        RateRec::Exact {
+                            times: vec![100, 220],
+                            first_ts: Some(100),
+                        },
+                        RateRec::Dgim {
+                            buckets: vec![(2, 140), (1, 230)],
+                            first_ts: Some(100),
+                        },
+                        RateRec::Exact {
+                            times: vec![],
+                            first_ts: None,
+                        },
+                    ],
+                    samples: vec![vec![1], vec![2], vec![]],
+                },
+                last_step_ts: 220,
             },
             ControllerRec {
                 branches: vec![BranchCtlRec {
@@ -470,6 +596,12 @@ fn golden_checkpoint() -> ShardCheckpoint {
                     planning_time_us: 120,
                 },
                 last_deploy_event: 0,
+                collector: CollectorRec {
+                    events_observed: 0,
+                    rates: vec![],
+                    samples: vec![],
+                },
+                last_step_ts: 0,
             },
         ],
         keys: vec![KeyStateRec {
@@ -488,8 +620,13 @@ fn golden_checkpoint() -> ShardCheckpoint {
                                 start: 220,
                                 exec: tree_exec,
                             },
+                            GenerationRec {
+                                plan: lazy_plan,
+                                start: 230,
+                                exec: lazy_exec,
+                            },
                         ],
-                        replacements: 1,
+                        replacements: 2,
                         plan_epoch: 3,
                         retired_comparisons: 11,
                     }],
@@ -518,14 +655,14 @@ fn golden_checkpoint() -> ShardCheckpoint {
     }
 }
 
-/// Pins the `acep-checkpoint-v1` byte image: a fixed synthetic
-/// checkpoint (every record type, both plan families, all four value
-/// kinds) framed into a log must encode to exactly the committed
+/// Pins the `acep-checkpoint-v2` byte image: a fixed synthetic
+/// checkpoint (every record type, all three plan families, all four
+/// value kinds) framed into a log must encode to exactly the committed
 /// golden bytes, and decode back to itself. Any codec change that
 /// shifts a byte is a wire-format break and must bump the version
 /// magic instead. Regenerate deliberately with `ACEP_REGEN_GOLDENS=1`.
 #[test]
-fn golden_wire_format_v1_is_stable() {
+fn golden_wire_format_v2_is_stable() {
     let checkpoint = golden_checkpoint();
     let mut log = CheckpointLog::new();
     let id = log.next_checkpoint_id();
@@ -538,7 +675,7 @@ fn golden_wire_format_v1_is_stable() {
     });
 
     let path =
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/acep_checkpoint_v1.bin");
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens/acep_checkpoint_v2.bin");
     if std::env::var_os("ACEP_REGEN_GOLDENS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(&path, log.as_bytes()).unwrap();
@@ -553,8 +690,8 @@ fn golden_wire_format_v1_is_stable() {
     assert_eq!(
         log.as_bytes(),
         golden.as_slice(),
-        "acep-checkpoint-v1 byte image changed — this is a wire-format \
-         break; introduce a v2 magic instead of regenerating"
+        "acep-checkpoint-v2 byte image changed — this is a wire-format \
+         break; introduce a v3 magic instead of regenerating"
     );
 
     // The image must also survive the full read path.

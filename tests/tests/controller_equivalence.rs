@@ -107,6 +107,7 @@ fn config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
         planner,
         policy,
         control_interval: 32,
+        control_interval_ms: None,
         warmup_events: 128,
         min_improvement: 0.0,
         migration_stagger: 0,

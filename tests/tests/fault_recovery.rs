@@ -53,6 +53,7 @@ fn adaptive_config(planner: PlannerKind, policy: PolicyKind) -> AdaptiveConfig {
         planner,
         policy,
         control_interval: 32,
+        control_interval_ms: None,
         warmup_events: 128,
         min_improvement: 0.0,
         migration_stagger: 0,
@@ -81,6 +82,16 @@ fn queries(scenario: &Scenario) -> PatternSet {
         "stocks/neg3-zstream-unconditional",
         scenario.pattern(PatternSetKind::Negation, 3),
         adaptive_config(PlannerKind::ZStream, PolicyKind::Unconditional),
+    )
+    .unwrap();
+    // The lazy-chain query keeps deferred executors (unfired triggers,
+    // slot buffers) in flight at every crash, and its unconditional
+    // redeployments add lazy→lazy migrations to the mid-migration
+    // faultpoint's hit budget.
+    set.register(
+        "stocks/seq3-lazychain-unconditional",
+        scenario.pattern(PatternSetKind::Sequence, 3),
+        adaptive_config(PlannerKind::LazyChain, PolicyKind::Unconditional),
     )
     .unwrap();
     set

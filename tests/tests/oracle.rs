@@ -6,7 +6,8 @@
 //! top-level `OR` (evaluated branch-per-executor), negation (`~`) both
 //! interior and trailing (the trailing form exercises the finalizer's
 //! pending-deadline queue), and Kleene closure (`*`) with maximal-set
-//! semantics — each against order-based and tree-based plans.
+//! semantics — each against order-based, tree-based, and lazy-chain
+//! plans (the deferred executor must be externally indistinguishable).
 //!
 //! Every oracle takes a [`SelectionPolicy`]: the naive enumerator first
 //! finds the skip-till-any combinations, then applies [`policy_ok`] — an
@@ -18,7 +19,7 @@
 use std::sync::Arc;
 
 use acep_engine::{build_executor, ExecContext, Match, MatchKey, StaticEngine};
-use acep_plan::{EvalPlan, OrderPlan, TreePlan};
+use acep_plan::{EvalPlan, LazyPlan, OrderPlan, TreePlan};
 use acep_types::{
     attr, constant, Event, EventTypeId, Pattern, PatternExpr, SelectionPolicy, Value,
 };
@@ -467,22 +468,27 @@ fn oracle_kleene(events: &[Arc<Event>], policy: SelectionPolicy) -> Vec<MatchKey
     sort_dedup(keys)
 }
 
-/// Order and tree plans covering both ends of a 2-positive-slot branch.
-fn two_slot_plans() -> [EvalPlan; 3] {
+/// Order, tree, and lazy plans covering both ends of a
+/// 2-positive-slot branch.
+fn two_slot_plans() -> [EvalPlan; 5] {
     [
         EvalPlan::Order(OrderPlan::new(vec![0, 1])),
         EvalPlan::Order(OrderPlan::new(vec![1, 0])),
         EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+        EvalPlan::Lazy(LazyPlan::identity(2)),
+        EvalPlan::Lazy(LazyPlan::new(vec![1, 0])),
     ]
 }
 
 /// Plans for a 3-slot branch (possibly with a Kleene slot the executors
 /// prune from the join order).
-fn three_slot_plans() -> [EvalPlan; 5] {
+fn three_slot_plans() -> [EvalPlan; 7] {
     [
         EvalPlan::Order(OrderPlan::new(vec![0, 1, 2])),
         EvalPlan::Order(OrderPlan::new(vec![2, 1, 0])),
         EvalPlan::Order(OrderPlan::new(vec![1, 0, 2])),
+        EvalPlan::Lazy(LazyPlan::identity(3)),
+        EvalPlan::Lazy(LazyPlan::new(vec![2, 0, 1])),
         EvalPlan::Tree(TreePlan::left_deep(&[0, 1, 2])),
         EvalPlan::Tree(TreePlan {
             nodes: vec![
@@ -542,7 +548,7 @@ proptest! {
         let p = or_pattern();
         let events = make_events(&spec);
         let expected = oracle_or(&events, SelectionPolicy::SkipTillAny);
-        let plan_sets: [[EvalPlan; 2]; 3] = [
+        let plan_sets: [[EvalPlan; 2]; 4] = [
             [
                 EvalPlan::Order(OrderPlan::new(vec![0, 1])),
                 EvalPlan::Order(OrderPlan::new(vec![0, 1])),
@@ -554,6 +560,10 @@ proptest! {
             [
                 EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
                 EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+            ],
+            [
+                EvalPlan::Lazy(LazyPlan::new(vec![1, 0])),
+                EvalPlan::Lazy(LazyPlan::identity(2)),
             ],
         ];
         for plans in &plan_sets {
@@ -711,7 +721,7 @@ proptest! {
     ) {
         let p = or_pattern();
         let events = make_events(&spec);
-        let plan_sets: [[EvalPlan; 2]; 2] = [
+        let plan_sets: [[EvalPlan; 2]; 3] = [
             [
                 EvalPlan::Order(OrderPlan::new(vec![1, 0])),
                 EvalPlan::Order(OrderPlan::new(vec![0, 1])),
@@ -719,6 +729,10 @@ proptest! {
             [
                 EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
                 EvalPlan::Tree(TreePlan::left_deep(&[0, 1])),
+            ],
+            [
+                EvalPlan::Lazy(LazyPlan::identity(2)),
+                EvalPlan::Lazy(LazyPlan::new(vec![1, 0])),
             ],
         ];
         let mut per_policy = Vec::new();

@@ -32,6 +32,7 @@ fn config(control_interval: u64, warmup_events: u64) -> AdaptiveConfig {
         planner: PlannerKind::Greedy,
         policy: PolicyKind::invariant_with_distance(0.0),
         control_interval,
+        control_interval_ms: None,
         warmup_events,
         min_improvement: 0.0,
         migration_stagger: 0,

@@ -41,6 +41,7 @@ fn config() -> AdaptiveConfig {
         planner: PlannerKind::Greedy,
         policy: PolicyKind::invariant_with_distance(0.0),
         control_interval: 32,
+        control_interval_ms: None,
         warmup_events: 128,
         min_improvement: 0.0,
         migration_stagger: 0,
